@@ -1,0 +1,35 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Every module in this directory regenerates one table or figure of the
+paper (see the experiment index in DESIGN.md), asserts its shape targets,
+and times the computation with pytest-benchmark.  Run with ``-s`` to see
+the regenerated tables:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.devices import ddr3_2g_55nm, sensitivity_trio
+
+
+def emit(text: str) -> None:
+    """Print a regenerated artifact (visible with pytest -s)."""
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def ddr3_device():
+    return ddr3_2g_55nm()
+
+
+@pytest.fixture(scope="session")
+def ddr3_model(ddr3_device):
+    return DramPowerModel(ddr3_device)
+
+
+@pytest.fixture(scope="session")
+def trio():
+    return sensitivity_trio()

@@ -1,0 +1,74 @@
+"""Ablation A7 — open- vs closed-page controller policy.
+
+The §V schemes narrow what an activation costs; the controller policy
+decides how often one happens.  This ablation runs the same access
+streams under both policies across row-hit rates: open-page wins whenever
+locality exists, and the gap closes as the stream randomises — the
+workload-side framing of "spatial locality is important in all power
+reduction proposals" (§VI).
+"""
+
+from repro import DramPowerModel
+from repro.analysis import format_table
+from repro.core.trace import evaluate_trace
+from repro.workloads import OpenPageScheduler, Request
+
+from conftest import emit
+
+ACCESSES = 800
+
+
+def _requests(device, hit_rate, seed=9):
+    import random
+    rng = random.Random(seed)
+    banks = device.spec.banks
+    rows = device.spec.rows_per_bank
+    last = {bank: 0 for bank in range(banks)}
+    stream = []
+    for _ in range(ACCESSES):
+        bank = rng.randrange(banks)
+        if rng.random() < hit_rate:
+            row = last[bank]
+        else:
+            row = rng.randrange(rows)
+            last[bank] = row
+        stream.append(Request(bank=bank, row=row))
+    return stream
+
+
+def sweep(device):
+    model = DramPowerModel(device)
+    rows = []
+    for hit_rate in (0.9, 0.5, 0.1):
+        energies = {}
+        for policy in ("open", "closed"):
+            scheduler = OpenPageScheduler(device, policy=policy)
+            scheduler.extend(_requests(device, hit_rate))
+            result = evaluate_trace(model, scheduler.finalize(),
+                                    strict=True)
+            energies[policy] = result.energy_per_bit
+        rows.append((hit_rate, energies["open"], energies["closed"]))
+    return rows
+
+
+def test_ablation_page_policy(benchmark, ddr3_device):
+    rows = benchmark(sweep, ddr3_device)
+
+    emit(format_table(
+        ["target hit rate", "open pJ/bit", "closed pJ/bit",
+         "open advantage"],
+        [[f"{hit:.0%}", round(open_e * 1e12, 1),
+          round(closed_e * 1e12, 1),
+          f"{1 - open_e / closed_e:+.1%}"]
+         for hit, open_e, closed_e in rows],
+        title="Ablation - controller page policy on "
+              f"{ddr3_device.name} ({ACCESSES} accesses)",
+    ))
+
+    # Open-page never loses, and wins big under locality.
+    for hit, open_e, closed_e in rows:
+        assert open_e <= closed_e * 1.02, hit
+    high_hit = rows[0]
+    low_hit = rows[-1]
+    assert 1 - high_hit[1] / high_hit[2] > 0.2   # >20 % at 90 % hits
+    assert 1 - low_hit[1] / low_hit[2] < 0.15    # gap closes when random

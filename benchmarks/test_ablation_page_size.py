@@ -1,0 +1,73 @@
+"""Ablation A4 — page size vs activation energy (§V).
+
+Two ways to shrink the effective page are compared on the 55 nm DDR3:
+
+* *activation narrowing* (the §V proposals): the physical array is
+  unchanged and only a fraction of the page is activated — activate
+  energy scales with the fraction while the read path is untouched;
+* *reorganising the device* (fewer column bits, more row bits): activate
+  energy also falls, but the array blocks grow taller and the column
+  lines longer, so read energy **rises** — the geometric feedback that
+  makes naive page-size reduction unattractive and motivates the paper's
+  CSL-ratio architecture.
+"""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.analysis import format_table
+from repro.description import Command
+from repro.schemes.library import _scale_activation
+
+from conftest import emit
+
+FRACTIONS = (1.0, 0.5, 0.25, 0.0625)
+
+
+def sweep_narrowing(device):
+    base = DramPowerModel(device)
+    results = []
+    for fraction in FRACTIONS:
+        model = DramPowerModel(
+            device, events=_scale_activation(base.events, fraction)
+        )
+        results.append((fraction,
+                        model.operation_energy(Command.ACT),
+                        model.operation_energy(Command.RD)))
+    return results
+
+
+def test_ablation_page_size(benchmark, ddr3_device):
+    results = benchmark(sweep_narrowing, ddr3_device)
+
+    page = ddr3_device.spec.page_bits
+    emit(format_table(
+        ["activated bits", "fraction", "E_act pJ", "E_rd pJ"],
+        [[int(page * fraction), fraction, round(act * 1e12, 1),
+          round(read * 1e12, 1)] for fraction, act, read in results],
+        title="Ablation - activation narrowing on "
+              f"{ddr3_device.name} (2 KB physical page)",
+    ))
+
+    acts = [act for _, act, _ in results]
+    reads = [read for _, _, read in results]
+
+    # Activate energy tracks the activated fraction nearly linearly at
+    # first (halving the page nearly halves the energy)...
+    assert acts[0] / acts[1] == pytest.approx(2.0, rel=0.15)
+    # ...but the fixed master-wordline/decode/row-logic part (~10 % of
+    # an activate) caps the saving of aggressive narrowing.
+    assert 5.0 < acts[0] / acts[-1] < 16.0
+    assert all(a > b for a, b in zip(acts, acts[1:]))
+    # The read path is genuinely untouched by narrowing.
+    for read in reads[1:]:
+        assert read == pytest.approx(reads[0], rel=1e-9)
+
+    # Contrast: reorganising the device instead (half the columns, twice
+    # the rows) makes the read path *more* expensive — taller blocks,
+    # longer column select and master data lines.
+    reorganised = ddr3_device.replace_path("spec.col_bits", 9)
+    reorganised = reorganised.replace_path("spec.row_bits", 15)
+    model = DramPowerModel(reorganised)
+    assert model.operation_energy(Command.RD) > reads[0]
+    assert model.operation_energy(Command.ACT) < acts[0]

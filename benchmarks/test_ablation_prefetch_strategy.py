@@ -1,0 +1,56 @@
+"""Ablation A3 — prefetch vs core frequency for the DDR5 forecast.
+
+The paper assumes the per-pin data rate keeps doubling while "the maximum
+core frequency does not increase, so that the higher interface pin
+datarate is increased by increasing the prefetch" — the low-cost core
+choice.  This ablation builds the 18 nm DDR5 both ways: prefetch 32 at a
+200 MHz core (paper) vs prefetch 16 at a 400 MHz core, and quantifies the
+energy difference.
+"""
+
+from repro import DramPowerModel
+from repro.core.idd import idd4r
+from repro.devices import build_device
+
+from conftest import emit
+
+
+def build_pair():
+    wide = build_device(18, name="ddr5-prefetch32")
+    # Same bandwidth with half the prefetch: the core runs twice as fast,
+    # each access moves half as many bits.
+    fast_core = build_device(18, name="ddr5-prefetch16")
+    fast_core = fast_core.replace_path("spec.prefetch", 16)
+    fast_core = fast_core.replace_path("spec.burst_length", 16)
+    return wide, fast_core
+
+
+def test_ablation_prefetch_strategy(benchmark):
+    wide, fast_core = benchmark(build_pair)
+    wide_model = DramPowerModel(wide)
+    fast_model = DramPowerModel(fast_core)
+
+    assert wide.spec.core_access_rate == fast_core.spec.core_access_rate / 2
+    assert wide.spec.bits_per_access == 2 * fast_core.spec.bits_per_access
+
+    wide_idd4 = idd4r(wide_model)
+    fast_idd4 = idd4r(fast_model)
+    emit("Ablation - DDR5 prefetch strategy at 6.4 Gb/s/pin:\n"
+         f"  prefetch 32, 200 MHz core: IDD4R "
+         f"{wide_idd4.milliamps:.1f} mA, "
+         f"{wide_idd4.power.energy_per_bit_pj:.2f} pJ/bit\n"
+         f"  prefetch 16, 400 MHz core: IDD4R "
+         f"{fast_idd4.milliamps:.1f} mA, "
+         f"{fast_idd4.power.energy_per_bit_pj:.2f} pJ/bit")
+
+    # Both strategies deliver the full bandwidth.
+    assert wide_idd4.power.data_bits_per_second == \
+        fast_idd4.power.data_bits_per_second
+
+    # The per-bit energies stay in the same ballpark — the choice is a
+    # cost (core design) decision, not a large power one.  The wide
+    # prefetch moves more wires per access; the fast core clocks its
+    # logic twice as often.
+    ratio = (wide_idd4.power.energy_per_bit
+             / fast_idd4.power.energy_per_bit)
+    assert 0.6 < ratio < 1.6

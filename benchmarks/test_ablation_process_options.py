@@ -1,0 +1,47 @@
+"""Ablation A6 — the §VI process options across generations.
+
+"Power reduction techniques used in logic devices therefore become more
+important for DRAMs in the future" — low-k dielectrics and low-voltage
+transistors must save a growing share of power from DDR3 to the DDR5
+forecast.
+"""
+
+from repro.analysis import format_table
+from repro.schemes import combined_process_stack, process_option_savings
+
+from conftest import emit
+
+
+def sweep(devices):
+    rows = {}
+    for device in devices:
+        savings = process_option_savings(device)
+        savings["combined"] = combined_process_stack(device)
+        rows[device.interface] = savings
+    return rows
+
+
+def test_ablation_process_options(benchmark, trio):
+    rows = benchmark(sweep, trio)
+
+    option_names = [name for name in rows["DDR3"] if name != "combined"]
+    emit(format_table(
+        ["option"] + list(rows.keys()),
+        [[name] + [f"{rows[interface][name]:.1%}"
+                   for interface in rows] for name in
+         option_names + ["combined"]],
+        title="Ablation - Section VI process options "
+              "(power saving per device)",
+    ))
+
+    # Every option saves on every generation.
+    for interface, savings in rows.items():
+        for name, value in savings.items():
+            assert value > 0, (interface, name)
+
+    # The combined stack grows in importance toward the forecast.
+    assert rows["DDR5"]["combined"] > rows["SDR"]["combined"]
+
+    # Low-k matters more on the wiring-heavy modern devices.
+    assert (rows["DDR5"]["low-k-dielectric"]
+            > rows["SDR"]["low-k-dielectric"])

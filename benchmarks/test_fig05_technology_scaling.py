@@ -1,0 +1,50 @@
+"""Experiment E5 — Figure 5: scaling of technology-related parameters.
+
+Regenerates the shrink-factor curves of the transistor-technology
+parameters (gate oxide thicknesses, minimum channel lengths, junction
+capacitances, access-transistor geometry) against the f-shrink reference
+line, and asserts the paper's claim that they shrink more slowly than the
+feature size.
+"""
+
+from repro.analysis import format_table
+from repro.technology import SCALING_LAWS, feature_shrink, shrink_factor
+from repro.technology.roadmap import nodes
+
+from conftest import emit
+
+FIG5_PARAMETERS = [name for name, law in SCALING_LAWS.items()
+                   if law.figure == "fig5"]
+
+
+def compute_curves():
+    return {
+        name: [shrink_factor(name, node) for node in nodes()]
+        for name in FIG5_PARAMETERS
+    }
+
+
+def test_fig05_technology_scaling(benchmark):
+    curves = benchmark(compute_curves)
+    node_list = nodes()
+    f_line = [feature_shrink(node) for node in node_list]
+
+    rows = []
+    for index, node in enumerate(node_list):
+        row = [node, round(f_line[index], 3)]
+        row.extend(round(curves[name][index], 3)
+                   for name in FIG5_PARAMETERS)
+        rows.append(row)
+    emit(format_table(["node nm", "f-shrink"] + FIG5_PARAMETERS, rows,
+                      title="Figure 5 - technology parameter scaling"))
+
+    # All curves start at 1 at the 170 nm reference...
+    for name in FIG5_PARAMETERS:
+        assert abs(curves[name][0] - 1.0) < 1e-9, name
+    # ...decline monotonically (dual-oxide step included)...
+    for name in FIG5_PARAMETERS:
+        values = curves[name]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:])), name
+    # ...and sit at or above the f-shrink line at the final node.
+    for name in FIG5_PARAMETERS:
+        assert curves[name][-1] >= f_line[-1] * 0.999, name

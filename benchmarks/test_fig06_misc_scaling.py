@@ -1,0 +1,64 @@
+"""Experiment E6 — Figure 6: scaling of capacitances, stripe widths and
+miscellaneous logic device widths.
+
+Includes the two disruptive wiring steps (Cu metallization at 44 nm) and
+asserts the near-constant cell capacitance the refresh requirement
+demands.
+"""
+
+from repro.analysis import format_table
+from repro.technology import (
+    SCALING_LAWS,
+    auxiliary_for_node,
+    feature_shrink,
+    shrink_factor,
+)
+from repro.technology.roadmap import nodes
+
+from conftest import emit
+
+FIG6_PARAMETERS = [name for name, law in SCALING_LAWS.items()
+                   if law.figure == "fig6" and law.exponent > 0.0]
+
+
+def compute_curves():
+    return {
+        name: [shrink_factor(name, node) for node in nodes()]
+        for name in FIG6_PARAMETERS
+    }
+
+
+def test_fig06_misc_scaling(benchmark):
+    curves = benchmark(compute_curves)
+    node_list = nodes()
+
+    rows = []
+    for index, node in enumerate(node_list):
+        row = [node, round(feature_shrink(node), 3)]
+        row.extend(round(curves[name][index], 3)
+                   for name in FIG6_PARAMETERS)
+        rows.append(row)
+    emit(format_table(["node nm", "f-shrink"] + FIG6_PARAMETERS, rows,
+                      title="Figure 6 - capacitance and stripe scaling"))
+
+    # Cell capacitance is nearly flat: the refresh-time requirement.
+    c_cell = curves["c_cell"]
+    assert c_cell[-1] > 0.7
+
+    # The Cu step appears between 55 and 44 nm in the wire capacitance.
+    index_55 = list(node_list).index(55)
+    index_44 = list(node_list).index(44)
+    smooth = (44 / 55) ** SCALING_LAWS["c_wire_signal"].exponent
+    actual = curves["c_wire_signal"][index_44] \
+        / curves["c_wire_signal"][index_55]
+    assert actual < smooth * 0.9
+
+    # Stripe widths shrink slower than the feature size (the on-pitch
+    # area pressure of §II).
+    for name in ("width_sa_stripe", "width_swd_stripe"):
+        assert curves[name][-1] > feature_shrink(node_list[-1])
+
+    # The auxiliary accessor agrees with the curves.
+    aux = auxiliary_for_node(170)
+    assert aux["width_sa_stripe"] > auxiliary_for_node(16)[
+        "width_sa_stripe"]

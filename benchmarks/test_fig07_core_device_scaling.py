@@ -1,0 +1,53 @@
+"""Experiment E7 — Figure 7: scaling of core (on-pitch) device widths and
+lengths: bitline sense-amplifier devices and the row circuitry in the
+array block.
+
+The paper scales these by scaling the length with the feature size while
+keeping the width-over-length ratio constant — a single exponent below 1
+for both W and L.
+"""
+
+from repro.analysis import format_table
+from repro.technology import SCALING_LAWS, feature_shrink, shrink_factor
+from repro.technology.roadmap import nodes
+
+from conftest import emit
+
+FIG7_PARAMETERS = [name for name, law in SCALING_LAWS.items()
+                   if law.figure == "fig7"]
+
+
+def compute_curves():
+    return {
+        name: [shrink_factor(name, node) for node in nodes()]
+        for name in FIG7_PARAMETERS
+    }
+
+
+def test_fig07_core_device_scaling(benchmark):
+    curves = benchmark(compute_curves)
+    node_list = nodes()
+
+    sample = ["w_sa_n", "l_sa_n", "w_swd_n", "w_nset", "w_wl_ctrl_load_p"]
+    rows = []
+    for index, node in enumerate(node_list):
+        row = [node, round(feature_shrink(node), 3)]
+        row.extend(round(curves[name][index], 3) for name in sample)
+        rows.append(row)
+    emit(format_table(["node nm", "f-shrink"] + sample, rows,
+                      title="Figure 7 - core device W/L scaling "
+                            "(sample of the 21 device parameters)"))
+
+    # Constant W/L: widths and lengths of the same device share one
+    # scaling factor.
+    for w_name, l_name in (("w_sa_n", "l_sa_n"), ("w_sa_p", "l_sa_p"),
+                           ("w_eq", "l_eq"), ("w_nset", "l_nset")):
+        for index in range(len(node_list)):
+            assert abs(curves[w_name][index]
+                       - curves[l_name][index]) < 1e-9
+
+    # All core devices shrink, but slower than the feature size.
+    f_final = feature_shrink(node_list[-1])
+    for name in FIG7_PARAMETERS:
+        assert curves[name][-1] < 1.0, name
+        assert curves[name][-1] > f_final, name

@@ -1,0 +1,43 @@
+"""Experiment E1 — Figure 8: 1 Gb DDR2 model vs datasheet values.
+
+Regenerates the comparison of model currents against the five-vendor
+datasheet spread for Idd0 / Idd4R / Idd4W across 400-800 Mbit/s/pin and
+x4/x8/x16, and asserts the paper's shape claims: good agreement with the
+band, currents growing with data rate and width.
+"""
+
+from repro.analysis import verification_report, verify_ddr2
+from repro.core.idd import IddMeasure
+
+from conftest import emit
+
+
+def _row(rows, measure, rate, width):
+    for row in rows:
+        if (row.measure is measure and row.datarate == rate
+                and row.io_width == width):
+            return row
+    raise AssertionError("missing comparison point")
+
+
+def test_fig08_ddr2_verification(benchmark):
+    rows = benchmark(verify_ddr2)
+    emit(verification_report(
+        rows, title="Figure 8 - 1G DDR2 model vs datasheet (mA)"
+    ))
+
+    # Shape target: the large majority of points inside the widened
+    # vendor spread, no point off by more than ~2x.
+    hits = sum(row.within_spread(0.25) for row in rows)
+    assert hits >= 0.75 * len(rows)
+    assert all(0.4 < row.ratio_to_mean < 2.0 for row in rows)
+
+    # Currents grow with data rate...
+    for width in (4, 8, 16):
+        values = [_row(rows, IddMeasure.IDD4R, rate, width).best_model
+                  for rate in (400e6, 533e6, 667e6, 800e6)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+    # ...and with I/O width.
+    values = [_row(rows, IddMeasure.IDD4R, 800e6, width).best_model
+              for width in (4, 8, 16)]
+    assert all(a < b for a, b in zip(values, values[1:]))

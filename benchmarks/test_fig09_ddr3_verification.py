@@ -1,0 +1,39 @@
+"""Experiment E2 — Figure 9: 1 Gb DDR3 model vs datasheet values.
+
+Same comparison as Figure 8 for the DDR3 generation (800-1600
+Mbit/s/pin, 65/55 nm), plus the cross-figure claim that DDR3 draws less
+than DDR2 at equal data rate.
+"""
+
+from repro.analysis import verification_report, verify_ddr2, verify_ddr3
+from repro.core.idd import IddMeasure
+
+from conftest import emit
+
+
+def _best(rows, measure, rate, width):
+    for row in rows:
+        if (row.measure is measure and row.datarate == rate
+                and row.io_width == width):
+            return row.best_model
+    raise AssertionError("missing comparison point")
+
+
+def test_fig09_ddr3_verification(benchmark):
+    rows = benchmark(verify_ddr3)
+    emit(verification_report(
+        rows, title="Figure 9 - 1G DDR3 model vs datasheet (mA)"
+    ))
+
+    hits = sum(row.within_spread(0.25) for row in rows)
+    assert hits >= 0.75 * len(rows)
+
+    # Idd4 above Idd0 on wide parts (column streaming dominates).
+    idd0 = _best(rows, IddMeasure.IDD0, 1600e6, 16)
+    idd4r = _best(rows, IddMeasure.IDD4R, 1600e6, 16)
+    assert idd4r > idd0
+
+    # The interface-standard dependency: DDR3 below DDR2 at 800 Mb/s.
+    ddr2 = _best(verify_ddr2(), IddMeasure.IDD4R, 800e6, 16)
+    ddr3 = _best(rows, IddMeasure.IDD4R, 800e6, 16)
+    assert ddr3 < ddr2

@@ -1,0 +1,56 @@
+"""Experiment E3 — Figure 10: power change vs ±20 % parameter variation.
+
+Regenerates the sensitivity Pareto for the three devices (128M SDR
+170 nm, 2G DDR3 55 nm, 16G DDR5 18 nm) under the paper's pattern (IDD7
+with half the reads replaced by writes), sorted by impact on the DDR3
+device, and asserts the key claims: no parameter except Vdd reaches the
+direct-proportionality 40 %, Vint dominates, and most parameters have
+little individual influence.
+"""
+
+from repro.analysis import PARAMETERS, format_table, sensitivity
+from repro.analysis.sensitivity import external_voltage_proportionality
+
+from conftest import emit
+
+
+def _impacts(device):
+    return {result.name: result.impact
+            for result in sensitivity(device)}
+
+
+def test_fig10_sensitivity_pareto(benchmark, trio):
+    sdr, ddr3, ddr5 = trio
+    results = benchmark(sensitivity, ddr3)
+
+    impacts = {device.interface: _impacts(device)
+               for device in (sdr, ddr5)}
+    impacts["DDR3"] = {result.name: result.impact for result in results}
+    order = [result.name for result in results]
+    emit(format_table(
+        ["parameter (sorted by DDR3 impact)", "SDR 170nm", "DDR3 55nm",
+         "DDR5 18nm"],
+        [[name, f"{impacts['SDR'][name]:+.1%}",
+          f"{impacts['DDR3'][name]:+.1%}",
+          f"{impacts['DDR5'][name]:+.1%}"] for name in order],
+        title="Figure 10 - power change for +/-20% parameter variation",
+    ))
+
+    # Vint dominates every device.
+    for interface, table in impacts.items():
+        top = max(table, key=lambda name: abs(table[name]))
+        assert top == "Internal voltage Vint", interface
+
+    # "Most parameters have little individual influence": at least half
+    # of the parameters move power by under 10 %.
+    small = sum(1 for value in impacts["DDR3"].values()
+                if abs(value) < 0.10)
+    assert small >= len(PARAMETERS) / 2
+
+    # Only the external supply is directly proportional (the 40 % line);
+    # it is excluded from the chart but verified here.
+    assert external_voltage_proportionality(ddr3, 1.2) == \
+        __import__("pytest").approx(0.20, abs=0.04)
+    assert all(abs(value) < 0.40 for name, value in
+               impacts["DDR3"].items()
+               if name != "Internal voltage Vint")

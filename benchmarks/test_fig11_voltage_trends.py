@@ -1,0 +1,37 @@
+"""Experiment E9 — Figure 11: DRAM voltage trends 170 nm → 16 nm.
+
+Regenerates the four voltage curves and asserts the headline: voltage
+scaling slows down — the main reason the energy-per-bit curve of
+Figure 13 flattens.
+"""
+
+from repro.analysis import format_table, voltage_trend
+
+from conftest import emit
+
+
+def test_fig11_voltage_trends(benchmark):
+    trend = benchmark(voltage_trend)
+
+    emit(format_table(
+        ["node nm", "year", "Vdd", "Vint", "Vbl", "Vpp"],
+        [[point["node_nm"], int(point["year"]), point["vdd"],
+          point["vint"], point["vbl"], point["vpp"]] for point in trend],
+        title="Figure 11 - voltage trends",
+    ))
+
+    by_node = {point["node_nm"]: point for point in trend}
+
+    # Monotone non-increasing voltages.
+    for key in ("vdd", "vint", "vbl", "vpp"):
+        values = [point[key] for point in trend]
+        assert all(a >= b for a, b in zip(values, values[1:])), key
+
+    # Historical era (170 → 44 nm) drops Vdd by more than 2x; the
+    # forecast era (44 → 16 nm) by well under 1.5x: scaling slowdown.
+    assert by_node[170]["vdd"] / by_node[44]["vdd"] > 2.0
+    assert by_node[44]["vdd"] / by_node[16]["vdd"] < 1.5
+
+    # Rail ordering at every node.
+    for point in trend:
+        assert point["vpp"] > point["vdd"] >= point["vint"] >= point["vbl"]

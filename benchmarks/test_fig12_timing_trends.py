@@ -1,0 +1,38 @@
+"""Experiment E10 — Figure 12: data rate and row timing trends.
+
+Regenerates the per-pin data rate, core frequency, prefetch and tRC
+series, asserting the paper's §IV.C assumptions: data rate doubles per
+interface transition while the core frequency stays flat (prefetch
+absorbs the growth) and row timings barely improve.
+"""
+
+from repro.analysis import format_table, timing_trend
+
+from conftest import emit
+
+
+def test_fig12_timing_trends(benchmark):
+    trend = benchmark(timing_trend)
+
+    emit(format_table(
+        ["node nm", "Gb/s/pin", "core MHz", "prefetch", "tRC ns",
+         "tRRD ns"],
+        [[point["node_nm"], point["datarate_gbps"],
+          point["core_frequency_mhz"], int(point["prefetch"]),
+          point["trc_ns"], point["trrd_ns"]] for point in trend],
+        title="Figure 12 - data rate and row timing trends",
+    ))
+
+    rates = [point["datarate_gbps"] for point in trend]
+    assert all(a <= b for a, b in zip(rates, rates[1:]))
+    assert rates[-1] / rates[0] > 30  # bandwidth exploded...
+
+    trcs = [point["trc_ns"] for point in trend]
+    assert trcs[0] / trcs[-1] < 2.0   # ...row timing barely moved.
+
+    cores = [point["core_frequency_mhz"] for point in trend]
+    assert max(cores) / min(cores) < 2.0  # flat core frequency.
+
+    prefetches = [int(point["prefetch"]) for point in trend]
+    assert prefetches[0] == 1 and prefetches[-1] == 32
+    assert all(a <= b for a, b in zip(prefetches, prefetches[1:]))

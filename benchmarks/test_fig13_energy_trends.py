@@ -1,0 +1,54 @@
+"""Experiment E11 — Figure 13: energy consumption and die area trends.
+
+The paper's headline result: energy per bit fell ≈1.5× per generation
+from the 170 nm generation (2000) to 44 nm (2010), but the forecast to
+the 16 nm generation improves only ≈1.2× per generation because voltage
+scaling is slowing down.
+"""
+
+from repro.analysis import (
+    energy_reduction_factors,
+    format_table,
+    generation_trend,
+)
+
+from conftest import emit
+
+
+def test_fig13_energy_trends(benchmark):
+    points = benchmark(generation_trend)
+
+    emit(format_table(
+        ["node nm", "interface", "density", "die mm2", "eff %",
+         "pJ/bit idd4", "pJ/bit idd7"],
+        [[point.node_nm, point.interface,
+          (f"{point.density_bits >> 30}G"
+           if point.density_bits >= 1 << 30
+           else f"{point.density_bits >> 20}M"),
+          point.die_area_mm2, point.array_efficiency * 100,
+          point.energy_idd4_pj, point.energy_idd7_pj]
+         for point in points],
+        title="Figure 13 - energy per bit and die area trends",
+    ))
+
+    # Monotone decline of energy per bit.
+    energies = [point.energy_idd7_pj for point in points]
+    assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    # ~1.5x per generation historically, ~1.2x in the forecast, with the
+    # flattening clearly visible.
+    early, late = energy_reduction_factors(points)
+    emit(f"reduction per generation: {early:.2f}x (170->44nm), "
+         f"{late:.2f}x (44->16nm); paper: ~1.5x and ~1.2x")
+    assert 1.40 < early < 1.75
+    assert 1.10 < late < 1.35
+    assert late < early - 0.15
+
+    # Die areas in the commodity band the paper targets.
+    for point in points:
+        assert 25 < point.die_area_mm2 < 95, point.node_nm
+
+    # Total decline over ten years 2000-2010: more than an order of
+    # magnitude (1.5^7 ≈ 17×).
+    by_node = {point.node_nm: point for point in points}
+    assert by_node[170].energy_idd7_pj / by_node[44].energy_idd7_pj > 10

@@ -1,0 +1,42 @@
+"""Experiment E13 — §IV.B / §VI: the shift of power away from the array.
+
+"Comparing the different DRAM generations shows a shift from direct array
+related power consumption to signal wiring and logic circuitry power
+consumption" and "the share of power usage is shifting away from the DRAM
+specific cell array circuitry to general logic outside of the cell
+array."
+"""
+
+from repro.analysis import format_table, generation_trend, power_shift
+
+from conftest import emit
+
+
+def test_sec4b_power_shift(benchmark):
+    points = benchmark(generation_trend)
+    rows = power_shift(points)
+
+    emit(format_table(
+        ["node nm", "row ops", "column ops", "background",
+         "array circuits"],
+        [[row["node_nm"], f"{row['row_share']:.0%}",
+          f"{row['column_share']:.0%}",
+          f"{row['background_share']:.0%}",
+          f"{row['array_component_share']:.0%}"] for row in rows],
+        title="Section IV.B - power shares across generations "
+              "(Idd7-style pattern)",
+    ))
+
+    first, last = rows[0], rows[-1]
+
+    # Row-operation share falls; column-operation share rises.
+    assert last["row_share"] < first["row_share"]
+    assert last["column_share"] > first["column_share"]
+
+    # Array-circuit share (bitlines, sense amps, wordlines) falls by a
+    # large factor from SDR to the DDR5 forecast.
+    assert last["array_component_share"] \
+        < 0.6 * first["array_component_share"]
+
+    # On the SDR part the array still dominates the active power.
+    assert first["array_component_share"] > 0.3

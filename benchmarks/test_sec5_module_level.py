@@ -1,0 +1,47 @@
+"""Experiment E12b — Section V at module level: mini-rank (Zheng et al.).
+
+Evaluates the mini-rank proposal where it actually operates: a 64-bit
+rank of x8 devices.  Splitting the rank conserves column energy and
+bandwidth while dividing the row energy — module energy per bit falls
+with the divisor but saturates as background and data movement dominate.
+"""
+
+from repro.analysis import format_table
+from repro.devices import build_device
+from repro.system import mini_rank_study
+
+from conftest import emit
+
+
+def test_sec5_module_level(benchmark):
+    device = build_device(55, io_width=8)
+    results = benchmark(mini_rank_study, device, 8, (1, 2, 4))
+
+    emit(format_table(
+        ["configuration", "active devices", "module W", "Gb/s",
+         "pJ/bit"],
+        [[result.config_label, result.active_devices,
+          round(result.power, 2),
+          round(result.bandwidth / 1e9, 1),
+          round(result.energy_per_bit * 1e12, 1)]
+         for result in results.values()],
+        title="Section V (module level) - mini-rank on a 64-bit rank "
+              "of x8 DDR3 55nm",
+    ))
+
+    # Bandwidth conserved across splits.
+    bandwidths = {round(result.bandwidth) for result in results.values()}
+    assert len(bandwidths) == 1
+
+    # Energy per bit falls with the divisor...
+    energies = [results[k].energy_per_bit for k in (1, 2, 4)]
+    assert energies[0] > energies[1] > energies[2]
+
+    # ...but saturates: the /4 step saves less than the /2 step.
+    first_step = energies[0] - energies[1]
+    second_step = energies[1] - energies[2]
+    assert second_step < first_step
+
+    # Total saving stays below the row-energy share — column + background
+    # are conserved.
+    assert energies[2] > 0.5 * energies[0]

@@ -1,0 +1,53 @@
+"""Experiment E12 — Section V: comparison of power-reduction schemes.
+
+Evaluates the published proposals on the 2 Gb DDR3 55 nm device and
+asserts the qualitative conclusions the paper draws: narrowing the page
+activation saves the most row energy but carries on-pitch area cost
+(worst for single-subarray access), the paper's own 8:1 CSL architecture
+gets most of the benefit at no stripe cost, and spatial locality plus
+voltage reduction matter everywhere.
+"""
+
+from repro.schemes import compare_schemes, scheme_report
+
+from conftest import emit
+
+
+def test_sec5_scheme_comparison(benchmark, ddr3_device):
+    results = benchmark(compare_schemes, ddr3_device)
+    emit(scheme_report(
+        results, title="Section V - power reduction schemes on "
+                       f"{ddr3_device.name}"
+    ))
+
+    by_name = {result.scheme: result for result in results}
+
+    # Activation-narrowing schemes slash activate energy.
+    assert by_name["selective-bitline-activation"].act_energy_saving > 0.7
+    assert by_name["single-subarray-access"].act_energy_saving > 0.7
+
+    # SSA pays far more area than SBA for the same energy here — the
+    # paper's feasibility argument about the sense-amplifier stripe.
+    sba = by_name["selective-bitline-activation"]
+    ssa = by_name["single-subarray-access"]
+    assert ssa.area_overhead > 2 * sba.area_overhead
+
+    # The paper's own proposal: close to SBA's saving at zero stripe
+    # area cost.
+    csl = by_name["csl-ratio-reduction"]
+    assert csl.area_overhead == 0.0
+    assert csl.power_saving > 0.8 * sba.power_saving
+
+    # Voltage reduction cuts deep across all operations.
+    low_voltage = by_name["low-voltage-operation"]
+    assert low_voltage.power_saving > 0.2
+    assert low_voltage.act_energy_saving > 0.2
+
+    # Wiring-only schemes save much less on a commodity DDR3.
+    assert by_name["segmented-data-lines"].power_saving \
+        < 0.3 * sba.power_saving
+
+    # Every scheme saves something, none breaks the model.
+    for result in results:
+        assert result.power_saving > 0
+        assert result.modified.power > 0

@@ -1,0 +1,59 @@
+"""Experiment E8 — Table II: disruptive DRAM technology changes.
+
+Regenerates the table and asserts that every encoded transition is
+actually reflected in the model: the cell-architecture staircase, the
+cells-per-line step, and the discrete multiplier steps in the scaling
+laws.
+"""
+
+from repro.analysis import format_table
+from repro.devices import build_device
+from repro.technology import (
+    DISRUPTIVE_CHANGES,
+    cell_architecture_for_node,
+    cells_per_line_for_node,
+    changes_between,
+    shrink_factor,
+)
+
+from conftest import emit
+
+
+def test_tab2_disruptive_changes(benchmark):
+    crossed = benchmark(changes_between, 250, 16)
+
+    emit(format_table(
+        ["transition", "disruptive change", "model effect"],
+        [[f"{change.from_node_nm:g}->{change.to_node_nm:g}nm",
+          change.change[:46], change.model_effect[:52]]
+         for change in DISRUPTIVE_CHANGES],
+        title="Table II - disruptive DRAM technology changes",
+    ))
+
+    # Every Table II row is crossed over the full span.
+    assert len(crossed) == len(DISRUPTIVE_CHANGES) == 9
+
+    # 110→90: cells per bitline/local wordline step.
+    assert cells_per_line_for_node(110) == 256
+    assert cells_per_line_for_node(90) == 512
+
+    # 110→90: dual gate oxide — a visible discontinuity in tox_logic.
+    assert shrink_factor("tox_logic", 110, 90) > (110 / 90) ** 0.5 * 1.2
+
+    # 75→65: folded 8F² to open 6F².
+    assert cell_architecture_for_node(75)[0] == "folded"
+    assert cell_architecture_for_node(65)[0] == "open"
+    device_75 = build_device(75)
+    device_65 = build_device(65)
+    assert device_75.floorplan.array.is_folded
+    assert not device_65.floorplan.array.is_folded
+
+    # 55→44: Cu metallization lowers specific wire capacitance.
+    assert shrink_factor("c_wire_signal", 44, 55) < (44 / 55) ** 0.2 * 0.9
+
+    # 40→36: 4F² — wordline pitch drops from 3F to 2F.
+    assert cell_architecture_for_node(44)[1] == 3.0
+    assert cell_architecture_for_node(36)[1] == 2.0
+
+    # 36→31: high-k gate oxide step.
+    assert shrink_factor("tox_logic", 31, 36) < (31 / 36) ** 0.5 * 0.95

@@ -1,0 +1,52 @@
+"""Experiment E4 — Table III: top-10 sensitivity ranking per generation.
+
+Regenerates the three-column ranking (128M SDR 170 nm, 2G DDR3 55 nm,
+16G DDR5 18 nm) and asserts the paper's structural claims: Vint ranks
+first everywhere, and importance shifts from direct array parameters to
+signal wiring and logic circuitry across generations.
+"""
+
+from repro.analysis import format_table, sensitivity, top_ranking
+
+from conftest import emit
+
+
+def test_tab3_sensitivity_ranking(benchmark, trio):
+    sdr, ddr3, ddr5 = trio
+    rankings = benchmark(
+        lambda: {device.interface: top_ranking(device)
+                 for device in (sdr, ddr3, ddr5)}
+    )
+
+    emit(format_table(
+        ["#", "128M SDR 170nm", "2G DDR3 55nm", "16G DDR5 18nm"],
+        [[index + 1, rankings["SDR"][index], rankings["DDR3"][index],
+          rankings["DDR5"][index]] for index in range(10)],
+        title="Table III - top 10 ranking of sensitivity to parameters",
+    ))
+
+    # Row 1 of Table III: internal voltage Vint everywhere.
+    for interface in ("SDR", "DDR3", "DDR5"):
+        assert rankings[interface][0] == "Internal voltage Vint"
+
+    # Array → wiring/logic shift: compare impact magnitudes directly.
+    def impact(device, name):
+        for result in sensitivity(device):
+            if result.name == name:
+                return result.magnitude
+        raise AssertionError(name)
+
+    assert impact(ddr5, "Specific wire capacitance") > impact(
+        sdr, "Specific wire capacitance")
+    assert impact(ddr5, "Bitline capacitance") < impact(
+        sdr, "Bitline capacitance")
+    assert impact(ddr5, "Wordline voltage Vpp") < impact(
+        sdr, "Wordline voltage Vpp")
+
+    # Logic parameters populate the top ten of the modern column
+    # (Table III lists gates, device widths and the density figures).
+    for name in ("Number of logic gates", "Width PFET logic",
+                 "Width NFET logic"):
+        assert name in rankings["DDR5"], name
+    assert ("Logic wiring density" in rankings["DDR5"]
+            or "Logic device density" in rankings["DDR5"])

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Reproduce the DRAM power trends of Figures 11, 12 and 13.
+
+Sweeps the mainstream device of every roadmap node from 170 nm (SDR,
+year 2000) to 16 nm (DDR5 forecast) and prints the voltage trend, the
+data-rate/row-timing trend, and the energy-per-bit / die-area trend,
+including the per-generation energy-reduction factors the paper
+highlights (≈1.5× historically, flattening to ≈1.2× in the forecast) and
+the §IV.B shift of power from the cell array into logic and wiring.
+
+Run:  python examples/future_dram_forecast.py
+"""
+
+from repro.analysis import (
+    energy_reduction_factors,
+    format_table,
+    generation_trend,
+    power_shift,
+    timing_trend,
+    voltage_trend,
+)
+
+
+def main() -> None:
+    print(format_table(
+        ["node nm", "year", "Vdd", "Vint", "Vbl", "Vpp"],
+        [[point["node_nm"], int(point["year"]), point["vdd"],
+          point["vint"], point["vbl"], point["vpp"]]
+         for point in voltage_trend()],
+        title="Figure 11 - voltage trends",
+    ))
+    print()
+
+    print(format_table(
+        ["node nm", "Gb/s/pin", "core MHz", "prefetch", "tRC ns"],
+        [[point["node_nm"], point["datarate_gbps"],
+          point["core_frequency_mhz"], int(point["prefetch"]),
+          point["trc_ns"]] for point in timing_trend()],
+        title="Figure 12 - data rate and row timing trends",
+    ))
+    print()
+
+    points = generation_trend()
+    print(format_table(
+        ["node nm", "interface", "density", "die mm2", "IDD0 mA",
+         "IDD4R mA", "pJ/bit idd4", "pJ/bit idd7"],
+        [[point.node_nm, point.interface,
+          f"{point.density_bits >> 30}G" if point.density_bits >= 1 << 30
+          else f"{point.density_bits >> 20}M",
+          point.die_area_mm2, point.idd0_ma, point.idd4r_ma,
+          point.energy_idd4_pj, point.energy_idd7_pj]
+         for point in points],
+        title="Figure 13 - die area and energy per bit",
+    ))
+    early, late = energy_reduction_factors(points)
+    print(f"\nEnergy-per-bit reduction per generation: "
+          f"{early:.2f}x through the 44 nm generation, "
+          f"{late:.2f}x in the forecast "
+          f"(paper: ~1.5x flattening to ~1.2x).")
+    print()
+
+    print(format_table(
+        ["node nm", "row ops", "column ops", "background",
+         "array circuits"],
+        [[row["node_nm"], f"{row['row_share']:.0%}",
+          f"{row['column_share']:.0%}",
+          f"{row['background_share']:.0%}",
+          f"{row['array_component_share']:.0%}"]
+         for row in power_shift(points)],
+        title="Section IV.B - share of power by activity "
+              "(Idd7-style pattern)",
+    ))
+    print("\nThe share of power shifts from the activate/precharge (row)")
+    print("operations and array circuitry to read/write data movement,")
+    print("general logic and wiring - the paper's §IV.B observation.")
+
+
+if __name__ == "__main__":
+    main()

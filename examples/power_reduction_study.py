@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Reproduce the Section V comparison of DRAM power-reduction schemes.
+
+Evaluates the published proposals the paper discusses — selective bitline
+activation and single-subarray access (Udipi et al.), segmented data
+lines (Jeong et al.), low-voltage operation (Moon et al.), TSV stacking
+(Kang et al.), threaded modules (Ware & Hampel), mini-rank (Zheng et
+al.) — plus the paper's own 8:1 CSL-ratio architecture, on the 2 Gb DDR3
+55 nm device, and also shows the Figure 10 sensitivity Pareto that
+motivates them.
+
+Run:  python examples/power_reduction_study.py
+"""
+
+from repro.analysis import format_table, sensitivity
+from repro.devices import ddr3_2g_55nm
+from repro.schemes import ALL_SCHEMES, compare_schemes, scheme_report
+
+
+def main() -> None:
+    device = ddr3_2g_55nm()
+
+    print(format_table(
+        ["parameter", "impact of +/-20%"],
+        [[result.name, f"{result.impact:+.1%}"]
+         for result in sensitivity(device)],
+        title=f"Figure 10 - power sensitivity of {device.name}",
+    ))
+    print("\n(The external supply voltage is excluded: power is directly "
+          "proportional to it.)\n")
+
+    results = compare_schemes(device)
+    print(scheme_report(results,
+                        title=f"Section V - schemes on {device.name}"))
+    print()
+    for scheme in ALL_SCHEMES:
+        print(f"- {scheme.name}: {scheme.reference}")
+        print(f"    {scheme.description}")
+    print()
+    print("Note the §V trade-off: the biggest savers narrow the page")
+    print("activation, but any change inside the bitline sense-amplifier")
+    print("stripe carries the largest area cost on the die.")
+
+
+if __name__ == "__main__":
+    main()

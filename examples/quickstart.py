@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: model the power of one DRAM device.
+
+Builds the paper's main example — a 2 Gb DDR3-1600 x16 in a 55 nm
+technology — and prints the derived geometry, the per-operation energy
+breakdown, the standard datasheet IDD currents and the power of the
+paper's example command pattern.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DramPowerModel, Pattern, build_device
+from repro.analysis import format_table
+from repro.core.idd import standard_idd_suite
+
+
+def main() -> None:
+    device = build_device(node_nm=55)  # roadmap default: 2G DDR3-1600 x16
+    model = DramPowerModel(device)
+
+    print(f"Device: {device.name}")
+    print(f"  interface  : {device.interface}, "
+          f"{device.spec.datarate / 1e9:.1f} Gb/s/pin, "
+          f"x{device.spec.io_width}")
+    print(f"  density    : {device.density_label}, "
+          f"{device.spec.banks} banks, "
+          f"{device.spec.page_bits // 8 // 1024} KB page")
+    geometry = model.geometry
+    print(f"  die        : {geometry.die_width * 1e3:.1f} x "
+          f"{geometry.die_height * 1e3:.1f} mm "
+          f"({geometry.die_area * 1e6:.1f} mm2), "
+          f"array efficiency {geometry.array_efficiency:.0%}")
+    print(f"  stripes    : sense-amp {geometry.sa_stripe_share:.1%} "
+          f"of die, wordline drivers {geometry.swd_stripe_share:.1%}")
+    print()
+
+    print("Per-operation energy (pJ), by component:")
+    table = model.energies.as_table()
+    components = sorted({name for row in table.values() for name in row})
+    rows = []
+    for operation in ("act", "pre", "rd", "wr"):
+        row = [operation]
+        row.extend(round(table[operation].get(name, 0.0), 1)
+                   for name in components)
+        rows.append(row)
+    print(format_table(["op"] + components, rows))
+    print()
+
+    print("Standard datasheet currents:")
+    rows = [[result.measure.value, round(result.milliamps, 1)]
+            for result in standard_idd_suite(model).values()]
+    print(format_table(["measure", "mA"], rows))
+    print()
+
+    pattern = Pattern.parse("act nop wrt nop rd nop pre nop")
+    result = model.pattern_power(pattern)
+    print(f"Pattern '{pattern}':")
+    print(f"  power        : {result.power * 1e3:.1f} mW "
+          f"({result.current * 1e3:.1f} mA at "
+          f"{device.voltages.vdd:g} V)")
+    print(f"  energy/bit   : {result.energy_per_bit_pj:.1f} pJ "
+          f"(= mW per Gb/s)")
+    shares = result.breakdown.as_dict()
+    top = list(shares.items())[:4]
+    print("  top components: "
+          + ", ".join(f"{name} {value * 1e3:.1f} mW"
+                      for name, value in top))
+
+
+if __name__ == "__main__":
+    main()

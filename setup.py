@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+``pip install -e .`` where PEP 660 editable installs are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — a flexible, bottom-up DRAM power model.
+
+Reproduction of T. Vogelsang, *Understanding the Energy Consumption of
+Dynamic Random Access Memories*, MICRO-43, 2010.
+
+Quickstart
+----------
+>>> from repro import build_device, DramPowerModel
+>>> device = build_device(node_nm=55, interface="DDR3", density_bits=2**31,
+...                       io_width=16)
+>>> model = DramPowerModel(device)
+>>> power = model.pattern_power()
+
+The main entry points:
+
+* :func:`repro.devices.build_device` — construct a calibrated device
+  description for any node/interface/density/width;
+* :class:`repro.core.DramPowerModel` — evaluate energies, currents and
+  pattern power;
+* :func:`repro.dsl.load` / :func:`repro.dsl.loads` — parse the paper's
+  description language;
+* :mod:`repro.analysis` — datasheet verification, sensitivity Pareto and
+  generation trends (Figures 8-13, Table III);
+* :mod:`repro.schemes` — the Section V power-reduction proposals.
+"""
+
+from .description import (
+    Command,
+    DramDescription,
+    LogicBlock,
+    Pattern,
+    PhysicalFloorplan,
+    Rail,
+    SignalingFloorplan,
+    Specification,
+    TechnologyParameters,
+    TimingParameters,
+    VoltageSet,
+)
+from .core import (
+    ChargeEvent,
+    Component,
+    DramPowerModel,
+    IddMeasure,
+    PatternPower,
+    standard_idd_suite,
+)
+from .devices import build_device
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Command",
+    "DramDescription",
+    "LogicBlock",
+    "Pattern",
+    "PhysicalFloorplan",
+    "Rail",
+    "SignalingFloorplan",
+    "Specification",
+    "TechnologyParameters",
+    "TimingParameters",
+    "VoltageSet",
+    "ChargeEvent",
+    "Component",
+    "DramPowerModel",
+    "IddMeasure",
+    "PatternPower",
+    "standard_idd_suite",
+    "build_device",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""Analysis suite: the paper's evaluation experiments.
+
+* :mod:`repro.analysis.verification` — model vs datasheet comparison
+  (Figures 8 and 9);
+* :mod:`repro.analysis.sensitivity` — ±20 % parameter variation Pareto
+  and top-10 ranking (Figure 10, Table III);
+* :mod:`repro.analysis.trends`      — generation sweep: voltages, timings,
+  die area and energy per bit (Figures 11-13) and the array→logic power
+  shift (§IV.B);
+* :mod:`repro.analysis.reporting`   — plain-text table rendering shared by
+  the examples and the benchmark harness.
+"""
+
+from .verification import (
+    VerificationRow,
+    verify_ddr2,
+    verify_ddr3,
+    verification_report,
+)
+from .sensitivity import (
+    PARAMETERS,
+    SensitivityParameter,
+    SensitivityResult,
+    external_voltage_proportionality,
+    sensitivity,
+    top_ranking,
+)
+from .trends import (
+    GenerationPoint,
+    energy_reduction_factors,
+    generation_trend,
+    power_shift,
+    timing_trend,
+    voltage_trend,
+)
+from .reporting import format_table
+from .checks import CheckResult, check_device, is_feasible
+from .calibration import (
+    CalibrationResult,
+    CalibrationTarget,
+    calibrate_logic,
+)
+from .export import (
+    export_all,
+    export_schemes,
+    export_sensitivity,
+    export_trends,
+    export_verification,
+)
+from .corners import (
+    Corner,
+    CornerBand,
+    STANDARD_CORNERS,
+    VENDOR_SPREAD_CORNERS,
+    corner_sweep,
+)
+from .peak_current import (
+    PeakCurrent,
+    peak_current,
+    peak_current_table,
+    peak_to_average_ratio,
+)
+from .breakdown import breakdown_matrix, breakdown_report
+from .compare import compare_report, diff_devices
+from .montecarlo import Distribution, monte_carlo
+from .optimizer import (
+    DesignChoice,
+    DesignPoint,
+    best_design,
+    design_space_report,
+    explore_design_space,
+)
+from .whatif import sensitivity_slope, sweep_parameter, sweep_report
+
+__all__ = [
+    "CheckResult",
+    "check_device",
+    "is_feasible",
+    "CalibrationResult",
+    "CalibrationTarget",
+    "calibrate_logic",
+    "export_all",
+    "export_schemes",
+    "export_sensitivity",
+    "export_trends",
+    "export_verification",
+    "Corner",
+    "CornerBand",
+    "STANDARD_CORNERS",
+    "VENDOR_SPREAD_CORNERS",
+    "corner_sweep",
+    "PeakCurrent",
+    "peak_current",
+    "peak_current_table",
+    "peak_to_average_ratio",
+    "breakdown_matrix",
+    "breakdown_report",
+    "compare_report",
+    "diff_devices",
+    "Distribution",
+    "monte_carlo",
+    "DesignChoice",
+    "DesignPoint",
+    "best_design",
+    "design_space_report",
+    "explore_design_space",
+    "sensitivity_slope",
+    "sweep_parameter",
+    "sweep_report",
+    "VerificationRow",
+    "verify_ddr2",
+    "verify_ddr3",
+    "verification_report",
+    "PARAMETERS",
+    "SensitivityParameter",
+    "SensitivityResult",
+    "external_voltage_proportionality",
+    "sensitivity",
+    "top_ranking",
+    "GenerationPoint",
+    "energy_reduction_factors",
+    "generation_trend",
+    "power_shift",
+    "timing_trend",
+    "voltage_trend",
+    "format_table",
+]

@@ -1,0 +1,62 @@
+"""Component × measure breakdown matrix.
+
+Answers "where does the power go in each operating mode" in one table:
+rows are component categories, columns the IDD measures — the detailed
+view the paper's introduction promises over datasheet arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..core import Component, DramPowerModel
+from ..core.idd import IddMeasure, measure as run_measure
+from .reporting import format_table
+
+DEFAULT_MEASURES = (IddMeasure.IDD0, IddMeasure.IDD2N, IddMeasure.IDD4R,
+                    IddMeasure.IDD4W, IddMeasure.IDD7)
+
+
+def breakdown_matrix(model: DramPowerModel,
+                     measures: Iterable[IddMeasure] = DEFAULT_MEASURES
+                     ) -> Dict[IddMeasure, Dict[Component, float]]:
+    """Power (W) per component per measure."""
+    matrix: Dict[IddMeasure, Dict[Component, float]] = {}
+    for which in measures:
+        result = run_measure(model, which)
+        matrix[IddMeasure(which)] = {
+            component: result.power.breakdown.get(component)
+            for component in Component
+        }
+    return matrix
+
+
+def breakdown_report(model: DramPowerModel,
+                     measures: Iterable[IddMeasure] = DEFAULT_MEASURES,
+                     as_share: bool = True) -> str:
+    """Render the matrix, components sorted by their IDD7 weight."""
+    measures = [IddMeasure(which) for which in measures]
+    matrix = breakdown_matrix(model, measures)
+    reference = measures[-1]
+    components = sorted(
+        Component,
+        key=lambda component: -matrix[reference][component],
+    )
+    headers = ["component"] + [which.value for which in measures]
+    rows: List[List[object]] = []
+    for component in components:
+        row: List[object] = [component.value]
+        for which in measures:
+            value = matrix[which][component]
+            total = sum(matrix[which].values())
+            if as_share and total > 0:
+                row.append(f"{value / total:.1%}")
+            else:
+                row.append(round(value * 1e3, 1))
+        rows.append(row)
+    unit = "share" if as_share else "mW"
+    return format_table(
+        headers, rows,
+        title=f"Power breakdown by component ({unit}) - "
+              f"{model.device.name}",
+    )

@@ -1,0 +1,159 @@
+"""Datasheet calibration: fit logic-block gate counts to IDD targets.
+
+Paper §III.B.5: "The number of gates in these circuits is used as fit
+parameter to fit the model output to known DRAM power values, e.g. from
+DRAM data sheets."  This module automates that step: given a device and a
+set of IDD targets, it searches multiplicative scale factors for the
+peripheral logic blocks (and optionally the constant current) that
+minimise the weighted squared log-error of the modeled currents.
+
+The optimiser is a deterministic coordinate descent with a shrinking
+step — the objective is smooth and low-dimensional, so nothing fancier
+is warranted (and no external dependency is needed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..core import DramPowerModel
+from ..core.idd import IddMeasure, measure as run_measure
+from ..description import DramDescription
+from ..errors import ModelError
+
+#: Blocks whose gate counts are considered free fit parameters.
+DEFAULT_FIT_BLOCKS: Tuple[str, ...] = (
+    "control", "rowlogic", "collogic", "datapath", "interface", "dll",
+)
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One datasheet value to fit against."""
+
+    measure: IddMeasure
+    milliamps: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "measure", IddMeasure(self.measure))
+        if self.milliamps <= 0:
+            raise ModelError("target current must be positive")
+        if self.weight <= 0:
+            raise ModelError("target weight must be positive")
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one calibration run."""
+
+    device: DramDescription
+    """The device with fitted gate counts."""
+    scale_factors: Dict[str, float]
+    """Fitted multiplier per logic block."""
+    initial_error: float
+    """RMS log-error before fitting."""
+    final_error: float
+    """RMS log-error after fitting."""
+    residuals: Dict[IddMeasure, float]
+    """model/target ratio per measure after fitting."""
+
+    @property
+    def improved(self) -> bool:
+        """True when fitting reduced the error."""
+        return self.final_error <= self.initial_error + 1e-12
+
+
+def _apply_scales(device: DramDescription,
+                  scales: Dict[str, float]) -> DramDescription:
+    blocks = []
+    for block in device.logic_blocks:
+        factor = scales.get(block.name, 1.0)
+        if factor == 1.0:
+            blocks.append(block)
+        else:
+            gates = max(1, int(round(block.n_gates * factor)))
+            blocks.append(dataclasses.replace(block, n_gates=gates))
+    return device.evolve(logic_blocks=tuple(blocks))
+
+
+def _error(device: DramDescription,
+           targets: Sequence[CalibrationTarget]) -> float:
+    model = DramPowerModel(device)
+    total = 0.0
+    weight_sum = 0.0
+    for target in targets:
+        current = run_measure(model, target.measure).milliamps
+        total += target.weight * math.log(current
+                                          / target.milliamps) ** 2
+        weight_sum += target.weight
+    return math.sqrt(total / weight_sum)
+
+
+def calibrate_logic(device: DramDescription,
+                    targets: Iterable[CalibrationTarget],
+                    blocks: Sequence[str] = DEFAULT_FIT_BLOCKS,
+                    iterations: int = 20,
+                    initial_step: float = 0.5,
+                    bounds: Tuple[float, float] = (0.2, 5.0)
+                    ) -> CalibrationResult:
+    """Fit the gate counts of ``blocks`` to the IDD ``targets``.
+
+    Coordinate descent over log-scale multipliers: each sweep tries
+    increasing and decreasing every block's multiplier by the current
+    step and keeps improvements; the step halves whenever a full sweep
+    makes no progress.  Multipliers are clamped to ``bounds`` — a fit
+    wanting more than 5× the starting gate count indicates the
+    description, not the periphery, is wrong.
+    """
+    targets = list(targets)
+    if not targets:
+        raise ModelError("calibration needs at least one target")
+    names = [name for name in blocks
+             if any(block.name == name for block in device.logic_blocks)]
+    if not names:
+        raise ModelError("no fit blocks present on the device")
+
+    scales: Dict[str, float] = {name: 1.0 for name in names}
+    initial = _error(device, targets)
+    best = initial
+    step = initial_step
+    low, high = bounds
+
+    for _ in range(iterations):
+        improved = False
+        for name in names:
+            for factor in (1.0 + step, 1.0 / (1.0 + step)):
+                candidate = dict(scales)
+                candidate[name] = min(high, max(low,
+                                                scales[name] * factor))
+                if candidate[name] == scales[name]:
+                    continue
+                error = _error(_apply_scales(device, candidate), targets)
+                if error < best - 1e-12:
+                    best = error
+                    scales = candidate
+                    improved = True
+        if not improved:
+            step /= 2.0
+            if step < 0.01:
+                break
+
+    fitted = _apply_scales(device, scales)
+    model = DramPowerModel(fitted)
+    residuals = {
+        target.measure:
+            run_measure(model, target.measure).milliamps
+            / target.milliamps
+        for target in targets
+    }
+    return CalibrationResult(
+        device=fitted,
+        scale_factors=scales,
+        initial_error=initial,
+        final_error=best,
+        residuals=residuals,
+    )

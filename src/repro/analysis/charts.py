@@ -1,0 +1,107 @@
+"""Plain-text chart rendering for terminals and logs.
+
+The paper's figures are line/bar charts; these helpers render their data
+as ASCII so the examples and the CLI can show the *shapes* without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, title: str = "",
+              unit: str = "") -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        raise ValueError("nothing to chart")
+    if width < 4:
+        raise ValueError("width must be at least 4 characters")
+    peak = max(abs(value) for value in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        filled = abs(value) / peak * width
+        whole = int(filled)
+        remainder = filled - whole
+        partial_index = int(remainder * (len(_BLOCKS) - 1))
+        bar = "█" * whole
+        if partial_index > 0 and whole < width:
+            bar += _BLOCKS[partial_index]
+        sign = "-" if value < 0 else ""
+        lines.append(f"{label.ljust(label_width)}  {bar} "
+                     f"{sign}{abs(value):.3g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[float], ys: Sequence[float], height: int = 12,
+               width: int = 60, title: str = "",
+               log_y: bool = False) -> str:
+    """A scatter/line chart drawn with dots on a character grid.
+
+    ``log_y`` plots the y-axis logarithmically — the natural scale for
+    the Figure 13 energy-per-bit decay.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    if log_y and any(value <= 0 for value in ys):
+        raise ValueError("log axis needs positive values")
+    y_values = [math.log10(value) for value in ys] if log_y else list(ys)
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(y_values), max(y_values)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, y_values):
+        column = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    top_label = f"{ys[y_values.index(y_max)]:.3g}" if log_y \
+        else f"{y_max:.3g}"
+    bottom_label = f"{ys[y_values.index(y_min)]:.3g}" if log_y \
+        else f"{y_min:.3g}"
+    for index, row in enumerate(grid):
+        prefix = top_label.rjust(8) if index == 0 else (
+            bottom_label.rjust(8) if index == height - 1 else " " * 8
+        )
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:.3g}".ljust(width - 8)
+                 + f"{x_max:.3g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (eight levels)."""
+    if not values:
+        raise ValueError("nothing to chart")
+    levels = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    span = (max(values) - low) or 1.0
+    return "".join(
+        levels[int((value - low) / span * (len(levels) - 1))]
+        for value in values
+    )
+
+
+def normalize_series(values: Sequence[float]) -> Tuple[float, ...]:
+    """Scale a series so its maximum is 1 (for overlay charts)."""
+    peak = max(abs(value) for value in values) or 1.0
+    return tuple(value / peak for value in values)

@@ -1,0 +1,109 @@
+"""Feasibility checks for device descriptions (paper §II / §V).
+
+The paper stresses that power proposals must be judged by their die-size
+and process impact: the bitline sense-amplifier stripes occupy 8-15 % of
+a typical commodity die, the local wordline driver stripes 5-10 %, the
+die should sit near 40-60 mm² with high array efficiency.  This module
+turns those feasibility rules into a checker that returns structured
+warnings — used by the CLI ``check`` command and available to scheme
+studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..description import DramDescription
+from ..floorplan import FloorplanGeometry
+
+#: Feasibility bands (paper §II and §IV.C), with engineering slack.
+SA_STRIPE_BAND = (0.05, 0.22)
+SWD_STRIPE_BAND = (0.03, 0.12)
+ARRAY_EFFICIENCY_BAND = (0.40, 0.70)
+DIE_AREA_BAND_MM2 = (20.0, 100.0)
+DIE_ASPECT_LIMIT = 4.0
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One feasibility finding."""
+
+    check: str
+    severity: str
+    """``ok``, ``warning`` or ``error``."""
+    message: str
+    value: float
+
+    @property
+    def is_ok(self) -> bool:
+        return self.severity == "ok"
+
+
+def _banded(check: str, value: float, band, unit: str,
+            description: str) -> CheckResult:
+    low, high = band
+    if low <= value <= high:
+        severity = "ok"
+        message = f"{description}: {value:.3g}{unit} within " \
+                  f"[{low:g}, {high:g}]{unit}"
+    else:
+        severity = "warning"
+        message = (f"{description}: {value:.3g}{unit} outside "
+                   f"[{low:g}, {high:g}]{unit}")
+    return CheckResult(check=check, severity=severity, message=message,
+                       value=value)
+
+
+def check_device(device: DramDescription) -> List[CheckResult]:
+    """Run all feasibility checks; returns one result per check."""
+    geometry = FloorplanGeometry(device)
+    results = [
+        _banded("sa_stripe_share", geometry.sa_stripe_share,
+                SA_STRIPE_BAND, "",
+                "bitline sense-amplifier stripe share of die"),
+        _banded("swd_stripe_share", geometry.swd_stripe_share,
+                SWD_STRIPE_BAND, "",
+                "local wordline driver stripe share of die"),
+        _banded("array_efficiency", geometry.array_efficiency,
+                ARRAY_EFFICIENCY_BAND, "",
+                "array efficiency (cell area / die area)"),
+        _banded("die_area", geometry.die_area * 1e6, DIE_AREA_BAND_MM2,
+                "mm2", "die area"),
+    ]
+    aspect = max(geometry.die_width, geometry.die_height) \
+        / min(geometry.die_width, geometry.die_height)
+    if aspect <= DIE_ASPECT_LIMIT:
+        results.append(CheckResult(
+            "die_aspect", "ok",
+            f"die aspect ratio {aspect:.2f} within {DIE_ASPECT_LIMIT:g}",
+            aspect,
+        ))
+    else:
+        results.append(CheckResult(
+            "die_aspect", "warning",
+            f"die aspect ratio {aspect:.2f} exceeds "
+            f"{DIE_ASPECT_LIMIT:g} — unmanufacturable floorplan",
+            aspect,
+        ))
+    # Vpp headroom: the boost must clear the bitline level by an access
+    # transistor threshold (the reason for the Vpp domain, §III.A).
+    headroom = device.voltages.vpp - device.voltages.vbl
+    if headroom >= 0.8:
+        results.append(CheckResult(
+            "vpp_headroom", "ok",
+            f"wordline boost headroom {headroom:.2f} V", headroom,
+        ))
+    else:
+        results.append(CheckResult(
+            "vpp_headroom", "warning",
+            f"wordline boost headroom only {headroom:.2f} V — full "
+            "write-back through the cell transistor is at risk",
+            headroom,
+        ))
+    return results
+
+
+def is_feasible(device: DramDescription) -> bool:
+    """True when no check raises a warning or error."""
+    return all(result.is_ok for result in check_device(device))

@@ -1,0 +1,106 @@
+"""Side-by-side device comparison.
+
+Diffs two device descriptions (parameters that differ) and their power
+figures — the quickest way to understand *why* one design draws more
+than another.  Used by the CLI ``compare`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core import DramPowerModel
+from ..core.idd import standard_idd_suite
+from ..description import DramDescription
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class ParameterDiff:
+    """One differing parameter."""
+
+    path: str
+    left: object
+    right: object
+
+    @property
+    def ratio(self) -> float:
+        """right/left for numeric values, nan otherwise."""
+        try:
+            return float(self.right) / float(self.left)
+        except (TypeError, ValueError, ZeroDivisionError):
+            return float("nan")
+
+
+_SCALAR_PATHS = (
+    ["voltages." + name for name in
+     ("vdd", "vint", "vbl", "vpp", "eff_vint", "eff_vbl", "eff_vpp")]
+    + ["spec." + name for name in
+       ("io_width", "datarate", "prefetch", "bank_bits", "row_bits",
+        "col_bits", "f_ctrlclock")]
+    + ["timing." + name for name in ("trc", "trrd", "tfaw")]
+    + ["constant_current"]
+)
+
+
+def diff_devices(left: DramDescription,
+                 right: DramDescription) -> List[ParameterDiff]:
+    """All scalar description parameters that differ."""
+    diffs: List[ParameterDiff] = []
+    paths = list(_SCALAR_PATHS)
+    paths.extend(f"technology.{name}" for name, _ in
+                 left.technology.items())
+    for path in paths:
+        left_value = left.get_path(path)
+        right_value = right.get_path(path)
+        if left_value != right_value:
+            diffs.append(ParameterDiff(path=path, left=left_value,
+                                       right=right_value))
+    if left.floorplan.array != right.floorplan.array:
+        for field in ("bitline_arch", "bits_per_bitline", "bits_per_swl",
+                      "wl_pitch", "bl_pitch"):
+            left_value = getattr(left.floorplan.array, field)
+            right_value = getattr(right.floorplan.array, field)
+            if left_value != right_value:
+                diffs.append(ParameterDiff(
+                    path=f"floorplan.array.{field}",
+                    left=left_value, right=right_value,
+                ))
+    return diffs
+
+
+def compare_report(left: DramDescription,
+                   right: DramDescription) -> str:
+    """Render the parameter diff plus the IDD comparison."""
+    sections: List[str] = []
+    diffs = diff_devices(left, right)
+    if diffs:
+        rows: List[Tuple[object, ...]] = []
+        for diff in diffs:
+            ratio = diff.ratio
+            ratio_text = f"{ratio:.3g}x" if ratio == ratio else "-"
+            rows.append((diff.path, f"{diff.left}", f"{diff.right}",
+                         ratio_text))
+        sections.append(format_table(
+            ["parameter", left.name, right.name, "ratio"],
+            rows, title="Differing parameters",
+        ))
+    else:
+        sections.append("The descriptions are parameter-identical.")
+    sections.append("")
+
+    left_suite = standard_idd_suite(DramPowerModel(left))
+    right_suite = standard_idd_suite(DramPowerModel(right))
+    rows = []
+    for measure in left_suite:
+        left_ma = left_suite[measure].milliamps
+        right_ma = right_suite[measure].milliamps
+        rows.append([measure.value, round(left_ma, 1),
+                     round(right_ma, 1),
+                     f"{right_ma / left_ma:.2f}x" if left_ma else "-"])
+    sections.append(format_table(
+        ["measure", f"{left.name} mA", f"{right.name} mA", "ratio"],
+        rows, title="IDD comparison",
+    ))
+    return "\n".join(sections)

@@ -1,0 +1,114 @@
+"""Machine-readable exports of every experiment's data.
+
+Each exporter regenerates one paper artifact (figure series or table) and
+writes it as CSV or JSON, so downstream tooling (plotting, regression
+tracking) can consume the reproduction without importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from ..devices import ddr3_2g_55nm, sensitivity_trio
+from .sensitivity import sensitivity
+from .trends import generation_trend, power_shift, timing_trend, \
+    voltage_trend
+from .verification import verify_ddr2, verify_ddr3
+
+PathLike = Union[str, Path]
+
+
+def _write_csv(path: PathLike, headers: Sequence[str],
+               rows: Iterable[Sequence[object]]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_verification(path: PathLike) -> Path:
+    """Figures 8 and 9 as one CSV."""
+    headers = ["figure", "interface", "point", "sheet_min", "sheet_mean",
+               "sheet_max", "best_model_ma", "model_over_mean"]
+    rows: List[List[object]] = []
+    for figure, verify in (("fig8", verify_ddr2), ("fig9", verify_ddr3)):
+        for row in verify():
+            rows.append([figure, row.interface, row.label,
+                         row.sheet_min, row.sheet_mean, row.sheet_max,
+                         round(row.best_model, 2),
+                         round(row.ratio_to_mean, 3)])
+    return _write_csv(path, headers, rows)
+
+
+def export_sensitivity(path: PathLike) -> Path:
+    """Figure 10 impacts for the three Table III devices as CSV."""
+    headers = ["device", "interface", "parameter", "impact"]
+    rows: List[List[object]] = []
+    for device in sensitivity_trio():
+        for result in sensitivity(device):
+            rows.append([device.name, device.interface, result.name,
+                         round(result.impact, 5)])
+    return _write_csv(path, headers, rows)
+
+
+def export_trends(path: PathLike) -> Path:
+    """Figures 11-13 plus the §IV.B shares as one JSON document."""
+    points = generation_trend()
+    document: Dict[str, object] = {
+        "figure11_voltages": voltage_trend(),
+        "figure12_timings": timing_trend(),
+        "figure13_energy": [
+            {
+                "node_nm": point.node_nm,
+                "year": point.year,
+                "interface": point.interface,
+                "density_bits": point.density_bits,
+                "die_area_mm2": round(point.die_area_mm2, 2),
+                "array_efficiency": round(point.array_efficiency, 4),
+                "idd0_ma": round(point.idd0_ma, 2),
+                "idd4r_ma": round(point.idd4r_ma, 2),
+                "energy_idd4_pj": round(point.energy_idd4_pj, 3),
+                "energy_idd7_pj": round(point.energy_idd7_pj, 3),
+            }
+            for point in points
+        ],
+        "section4b_power_shift": power_shift(points),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    return path
+
+
+def export_schemes(path: PathLike) -> Path:
+    """The Section V scheme comparison as CSV."""
+    from ..schemes import compare_schemes
+
+    headers = ["scheme", "power_saving", "energy_per_bit_saving",
+               "act_energy_saving", "area_overhead"]
+    rows = []
+    for result in compare_schemes(ddr3_2g_55nm()):
+        rows.append([result.scheme,
+                     round(result.power_saving, 4),
+                     round(result.energy_per_bit_saving, 4),
+                     round(result.act_energy_saving, 4),
+                     round(result.area_overhead, 4)])
+    return _write_csv(path, headers, rows)
+
+
+def export_all(directory: PathLike) -> List[Path]:
+    """Write every experiment export into ``directory``."""
+    directory = Path(directory)
+    return [
+        export_verification(directory / "fig08_fig09_verification.csv"),
+        export_sensitivity(directory / "fig10_sensitivity.csv"),
+        export_trends(directory / "fig11_13_trends.json"),
+        export_schemes(directory / "sec5_schemes.csv"),
+    ]

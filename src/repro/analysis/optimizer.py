@@ -1,0 +1,186 @@
+"""Small design-space search under feasibility constraints.
+
+The paper positions the model as a tool "to direct optimization work".
+This module closes the loop: enumerate a documented design space (page
+organisation, sub-wordline length, internal voltage, stripe widths),
+evaluate each point's energy per bit, filter by the §II/§V feasibility
+checks, and rank what remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core import DramPowerModel
+from ..core.idd import idd7_mixed
+from ..description import DramDescription
+from ..errors import ModelError
+from .checks import check_device
+from .reporting import format_table
+
+Transform = Callable[[DramDescription], Optional[DramDescription]]
+
+
+@dataclass(frozen=True)
+class DesignChoice:
+    """One axis of the design space."""
+
+    name: str
+    options: Dict[str, Transform]
+    """Option label → transformation (None result = inapplicable)."""
+
+
+def _page_option(col_delta: int) -> Transform:
+    def apply(device: DramDescription) -> Optional[DramDescription]:
+        spec = device.spec
+        try:
+            modified = device.replace_path("spec.col_bits",
+                                           spec.col_bits + col_delta)
+            return modified.replace_path("spec.row_bits",
+                                         spec.row_bits - col_delta)
+        except Exception:
+            return None
+    return apply
+
+
+def _swl_option(bits: int) -> Transform:
+    def apply(device: DramDescription) -> Optional[DramDescription]:
+        try:
+            return device.replace_path("floorplan.array.bits_per_swl",
+                                       bits)
+        except Exception:
+            return None
+    return apply
+
+
+def _vint_option(factor: float) -> Transform:
+    def apply(device: DramDescription) -> Optional[DramDescription]:
+        volts = device.voltages
+        vint = volts.vint * factor
+        if vint < volts.vbl:
+            return None
+        ratio = vint / volts.vdd
+        return device.evolve(voltages=volts.with_levels(
+            vint=vint, eff_vint=1.0 if ratio > 0.97 else ratio,
+        ))
+    return apply
+
+
+def _stripe_option(factor: float) -> Transform:
+    def apply(device: DramDescription) -> Optional[DramDescription]:
+        try:
+            return device.scale_path(
+                "floorplan.array.width_sa_stripe", factor)
+        except Exception:
+            return None
+    return apply
+
+
+#: The documented default space (3 × 2 × 2 × 2 = 24 points).
+DEFAULT_SPACE: Sequence[DesignChoice] = (
+    DesignChoice("page", {
+        "full-page": _page_option(0),
+        "half-page": _page_option(-1),
+        "double-page": _page_option(+1),
+    }),
+    DesignChoice("sub-wordline", {
+        "512b-swl": _swl_option(512),
+        "256b-swl": _swl_option(256),
+    }),
+    DesignChoice("vint", {
+        "nominal-vint": _vint_option(1.0),
+        "low-vint": _vint_option(0.93),
+    }),
+    DesignChoice("sa-stripe", {
+        "nominal-stripe": _stripe_option(1.0),
+        "lean-stripe": _stripe_option(0.85),
+    }),
+)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated corner of the design space."""
+
+    labels: Dict[str, str]
+    device: DramDescription
+    energy_per_bit: float
+    power: float
+    feasible: bool
+    warnings: int
+
+    @property
+    def label(self) -> str:
+        return " + ".join(self.labels.values())
+
+
+def explore_design_space(device: DramDescription,
+                         space: Sequence[DesignChoice] = DEFAULT_SPACE,
+                         evaluate=None) -> List[DesignPoint]:
+    """Enumerate and rank the full design space (feasible first)."""
+    evaluate = evaluate or idd7_mixed
+    points: List[DesignPoint] = []
+
+    def recurse(index: int, current: DramDescription,
+                labels: Dict[str, str]) -> None:
+        if index == len(space):
+            try:
+                result = evaluate(DramPowerModel(current))
+            except Exception:
+                return
+            findings = check_device(current)
+            warnings = sum(1 for finding in findings
+                           if not finding.is_ok)
+            points.append(DesignPoint(
+                labels=dict(labels),
+                device=current,
+                energy_per_bit=result.energy_per_bit,
+                power=result.power,
+                feasible=warnings == 0,
+                warnings=warnings,
+            ))
+            return
+        choice = space[index]
+        for option_name, transform in choice.options.items():
+            candidate = transform(current)
+            if candidate is None:
+                continue
+            labels[choice.name] = option_name
+            recurse(index + 1, candidate, labels)
+            del labels[choice.name]
+
+    recurse(0, device, {})
+    if not points:
+        raise ModelError("no design point evaluated successfully")
+    points.sort(key=lambda point: (not point.feasible,
+                                   point.energy_per_bit))
+    return points
+
+
+def best_design(device: DramDescription,
+                space: Sequence[DesignChoice] = DEFAULT_SPACE
+                ) -> DesignPoint:
+    """The lowest-energy feasible point (falls back to overall best)."""
+    points = explore_design_space(device, space)
+    for point in points:
+        if point.feasible:
+            return point
+    return points[0]
+
+
+def design_space_report(points: Iterable[DesignPoint],
+                        limit: int = 12) -> str:
+    """Render the top of a ranked design-space exploration."""
+    rows = []
+    for point in list(points)[:limit]:
+        rows.append([
+            point.label,
+            round(point.energy_per_bit * 1e12, 2),
+            round(point.power * 1e3, 1),
+            "yes" if point.feasible else f"no ({point.warnings})",
+        ])
+    return format_table(
+        ["design point", "pJ/bit", "mW", "feasible"],
+        rows, title="Design-space exploration (best first)",
+    )

@@ -1,0 +1,103 @@
+"""Regression baseline: snapshot and diff the headline model metrics.
+
+An open-source model lives or dies by numeric stability: a refactor that
+silently shifts IDD0 by 10 % must fail CI.  :func:`collect_metrics`
+gathers every headline figure; :func:`compare_to_baseline` diffs the
+current model against a checked-in snapshot
+(``benchmarks/baseline_metrics.json``) with a per-metric tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..core import DramPowerModel
+from ..core.idd import standard_idd_suite
+from ..devices import ddr3_2g_55nm, sensitivity_trio
+from ..errors import ModelError
+
+PathLike = Union[str, Path]
+
+#: Default relative tolerance for baseline comparisons.
+DEFAULT_TOLERANCE = 0.02
+
+
+def collect_metrics() -> Dict[str, float]:
+    """All headline figures of the calibrated model."""
+    from .sensitivity import sensitivity
+    from .trends import energy_reduction_factors, generation_trend
+    from .verification import verify_ddr2, verify_ddr3
+
+    metrics: Dict[str, float] = {}
+
+    device = ddr3_2g_55nm()
+    model = DramPowerModel(device)
+    for measure, result in standard_idd_suite(model).items():
+        metrics[f"ddr3_55nm.{measure.value}_ma"] = round(
+            result.milliamps, 3)
+    metrics["ddr3_55nm.die_mm2"] = round(
+        model.geometry.die_area * 1e6, 3)
+    metrics["ddr3_55nm.array_efficiency"] = round(
+        model.geometry.array_efficiency, 4)
+
+    points = generation_trend()
+    early, late = energy_reduction_factors(points)
+    metrics["trend.reduction_early"] = round(early, 4)
+    metrics["trend.reduction_late"] = round(late, 4)
+    by_node = {point.node_nm: point for point in points}
+    for node in (170, 55, 16):
+        metrics[f"trend.pj_per_bit_{node:g}nm"] = round(
+            by_node[node].energy_idd7_pj, 3)
+
+    for name, rows in (("ddr2", verify_ddr2()), ("ddr3", verify_ddr3())):
+        hits = sum(row.within_spread(0.25) for row in rows)
+        metrics[f"verify.{name}_hits"] = float(hits)
+
+    for dev in sensitivity_trio():
+        top = sensitivity(dev)[0]
+        metrics[f"sensitivity.{dev.interface}_top_impact"] = round(
+            top.impact, 4)
+
+    return metrics
+
+
+def save_baseline(path: PathLike) -> Path:
+    """Write the current metrics as the regression baseline."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(collect_metrics(), handle, indent=2, sort_keys=True)
+    return path
+
+
+def compare_to_baseline(path: PathLike,
+                        tolerance: float = DEFAULT_TOLERANCE
+                        ) -> List[Tuple[str, float, float]]:
+    """Diff current metrics against a baseline file.
+
+    Returns ``(metric, baseline, current)`` for every metric deviating
+    by more than ``tolerance`` (relative; absolute for zero baselines).
+    Missing or extra metrics are also reported (with NaN placeholders).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"no baseline at {path}")
+    with open(path, encoding="utf-8") as handle:
+        baseline: Dict[str, float] = json.load(handle)
+    current = collect_metrics()
+    deviations: List[Tuple[str, float, float]] = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            deviations.append((name, float("nan"), current[name]))
+            continue
+        if name not in current:
+            deviations.append((name, baseline[name], float("nan")))
+            continue
+        reference = baseline[name]
+        value = current[name]
+        scale = abs(reference) if reference else 1.0
+        if abs(value - reference) > tolerance * scale:
+            deviations.append((name, reference, value))
+    return deviations

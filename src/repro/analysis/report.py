@@ -1,0 +1,108 @@
+"""One-shot full reproduction report.
+
+:func:`generate_report` runs every experiment and renders a single text
+document — the complete paper reproduction at a glance, used by the CLI
+``report`` command and handy for regression diffs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import DramPowerModel
+from ..core.idd import standard_idd_suite
+from ..devices import ddr3_2g_55nm, sensitivity_trio
+from ..schemes import compare_schemes, scheme_report
+from .charts import bar_chart, line_chart
+from .reporting import format_table
+from .sensitivity import sensitivity
+from .trends import (
+    energy_reduction_factors,
+    generation_trend,
+    power_shift,
+)
+from .verification import verification_report, verify_ddr2, verify_ddr3
+
+
+def generate_report() -> str:
+    """Run everything and render the reproduction report."""
+    sections: List[str] = []
+    out = sections.append
+
+    out("DRAM POWER MODEL - FULL REPRODUCTION REPORT")
+    out("(Vogelsang, 'Understanding the Energy Consumption of DRAMs', "
+        "MICRO 2010)")
+    out("")
+
+    # --- headline device ------------------------------------------------
+    device = ddr3_2g_55nm()
+    model = DramPowerModel(device)
+    out(format_table(
+        ["measure", "mA"],
+        [[result.measure.value, round(result.milliamps, 1)]
+         for result in standard_idd_suite(model).values()],
+        title=f"Reference device: {device.name}",
+    ))
+    out("")
+
+    # --- verification ----------------------------------------------------
+    ddr2_rows = verify_ddr2()
+    ddr3_rows = verify_ddr3()
+    out(verification_report(ddr2_rows,
+                            title="Figure 8 - 1G DDR2 vs datasheets (mA)"))
+    out("")
+    out(verification_report(ddr3_rows,
+                            title="Figure 9 - 1G DDR3 vs datasheets (mA)"))
+    hits = sum(row.within_spread(0.25)
+               for row in ddr2_rows + ddr3_rows)
+    out(f"\npoints inside the widened vendor spread: "
+        f"{hits}/{len(ddr2_rows) + len(ddr3_rows)}")
+    out("")
+
+    # --- sensitivity ------------------------------------------------------
+    results = sensitivity(device)
+    out(bar_chart(
+        [result.name for result in results],
+        [result.impact * 100 for result in results],
+        title=f"Figure 10 - impact of +/-20% variation on "
+              f"{device.name} (%)",
+        unit="%",
+    ))
+    out("")
+    rankings = {d.interface: [r.name for r in sensitivity(d)[:10]]
+                for d in sensitivity_trio()}
+    out(format_table(
+        ["#", "SDR 170nm", "DDR3 55nm", "DDR5 18nm"],
+        [[i + 1, rankings["SDR"][i], rankings["DDR3"][i],
+          rankings["DDR5"][i]] for i in range(10)],
+        title="Table III - top-10 sensitivity ranking",
+    ))
+    out("")
+
+    # --- trends -------------------------------------------------------------
+    points = generation_trend()
+    out(line_chart(
+        [point.node_nm for point in points],
+        [point.energy_idd7_pj for point in points],
+        log_y=True,
+        title="Figure 13 - energy per bit vs node (log pJ/bit; x = nm)",
+    ))
+    early, late = energy_reduction_factors(points)
+    out(f"\nreduction per generation: {early:.2f}x (170->44nm), "
+        f"{late:.2f}x (44->16nm); paper: ~1.5x and ~1.2x")
+    out("")
+    out(format_table(
+        ["node nm", "row ops", "column ops", "background"],
+        [[row["node_nm"], f"{row['row_share']:.0%}",
+          f"{row['column_share']:.0%}",
+          f"{row['background_share']:.0%}"]
+         for row in power_shift(points)],
+        title="Section IV.B - power shift away from row operations",
+    ))
+    out("")
+
+    # --- schemes ---------------------------------------------------------------
+    out(scheme_report(compare_schemes(device),
+                      title=f"Section V - schemes on {device.name}"))
+    out("")
+    return "\n".join(sections)

@@ -1,0 +1,53 @@
+"""Plain-text report rendering shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Numeric cells are right-aligned, text cells left-aligned; floats are
+    shown with one decimal.
+    """
+    rendered_rows: List[List[str]] = []
+    numeric = [True] * len(headers)
+    for row in rows:
+        cells = []
+        for index, cell in enumerate(row):
+            if isinstance(cell, float):
+                cells.append(f"{cell:.1f}")
+            else:
+                cells.append(str(cell))
+                if not isinstance(cell, (int, float)):
+                    numeric[index] = False
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append(cells)
+    widths = [len(header) for header in headers]
+    for cells in rendered_rows:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index] and cell != headers[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(cells) for cells in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Model vs datasheet verification (paper §IV.A, Figures 8 and 9).
+
+For every comparison point (IDD measure × data rate × I/O width) the model
+is evaluated at the two technology nodes the paper assumes for the part
+family — 75/65 nm for 1 Gb DDR2, 65/55 nm for 1 Gb DDR3 — and compared
+against the reconstructed vendor spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core import DramPowerModel
+from ..core.idd import IddMeasure, measure as run_measure
+from ..datasheets import ddr2_points, ddr3_points
+from ..datasheets.idd import DatasheetPoint, spread
+from ..devices import build_device
+from .reporting import format_table
+
+_GBIT = 1 << 30
+
+#: Technology nodes assumed for the verification parts.  The paper models
+#: typical 75/65 nm DDR2 and 65/55 nm DDR3; 90 nm is added for DDR2
+#: because the slow speed bins (400/533) shipped on 90 nm volume parts —
+#: "the comparison assumed technology nodes which were typically used for
+#: high volume parts in the time frame" (§IV.A).
+DDR2_NODES: Tuple[float, ...] = (90, 75, 65)
+DDR3_NODES: Tuple[float, ...] = (65, 55)
+
+
+@dataclass(frozen=True)
+class VerificationRow:
+    """One comparison point of Figure 8/9."""
+
+    label: str
+    """x-axis label, e.g. ``idd4r 800 x16``."""
+    interface: str
+    measure: IddMeasure
+    datarate: float
+    io_width: int
+    sheet_min: float
+    """Lowest vendor datasheet value (mA)."""
+    sheet_mean: float
+    """Mean vendor datasheet value (mA)."""
+    sheet_max: float
+    """Highest vendor datasheet value (mA)."""
+    model_ma: Dict[float, float]
+    """Model current per assumed technology node (node nm → mA)."""
+
+    @property
+    def best_model(self) -> float:
+        """Model value closest to the datasheet mean (mA)."""
+        return min(self.model_ma.values(),
+                   key=lambda value: abs(value - self.sheet_mean))
+
+    @property
+    def ratio_to_mean(self) -> float:
+        """Best model value over the datasheet mean."""
+        return self.best_model / self.sheet_mean
+
+    def within_spread(self, tolerance: float = 0.0) -> bool:
+        """True when any node's model value falls in the vendor spread
+        widened by ``tolerance`` (fraction of the mean)."""
+        low = self.sheet_min - tolerance * self.sheet_mean
+        high = self.sheet_max + tolerance * self.sheet_mean
+        return any(low <= value <= high for value in self.model_ma.values())
+
+
+def _verify(points: Sequence[DatasheetPoint], interface: str,
+            nodes: Sequence[float]) -> List[VerificationRow]:
+    keys = sorted(
+        {(point.measure, point.datarate, point.io_width)
+         for point in points},
+        key=lambda key: (key[0].value, key[2], key[1]),
+    )
+    models: Dict[Tuple[float, float, int], DramPowerModel] = {}
+    rows: List[VerificationRow] = []
+    for measure, datarate, io_width in keys:
+        matching = [point for point in points
+                    if (point.measure, point.datarate, point.io_width)
+                    == (measure, datarate, io_width)]
+        low, mean, high = spread(matching)
+        model_ma: Dict[float, float] = {}
+        for node in nodes:
+            cache_key = (node, datarate, io_width)
+            if cache_key not in models:
+                device = build_device(node, interface=interface,
+                                      density_bits=_GBIT,
+                                      io_width=io_width, datarate=datarate)
+                models[cache_key] = DramPowerModel(device)
+            result = run_measure(models[cache_key], measure)
+            model_ma[node] = result.milliamps
+        rows.append(VerificationRow(
+            label=f"{measure.value} {datarate / 1e6:.0f} x{io_width}",
+            interface=interface,
+            measure=measure,
+            datarate=datarate,
+            io_width=io_width,
+            sheet_min=low,
+            sheet_mean=mean,
+            sheet_max=high,
+            model_ma=model_ma,
+        ))
+    return rows
+
+
+def verify_ddr2(nodes: Sequence[float] = DDR2_NODES
+                ) -> List[VerificationRow]:
+    """The Figure 8 comparison: 1 Gb DDR2 model vs datasheet spread."""
+    return _verify(ddr2_points(), "DDR2", nodes)
+
+
+def verify_ddr3(nodes: Sequence[float] = DDR3_NODES
+                ) -> List[VerificationRow]:
+    """The Figure 9 comparison: 1 Gb DDR3 model vs datasheet spread."""
+    return _verify(ddr3_points(), "DDR3", nodes)
+
+
+def verification_report(rows: Iterable[VerificationRow],
+                        title: str = "") -> str:
+    """Render a verification run as a plain-text table."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no verification rows")
+    nodes = sorted(rows[0].model_ma, reverse=True)
+    headers = (["point", "sheet min", "sheet mean", "sheet max"]
+               + [f"model {node:g}nm" for node in nodes]
+               + ["model/mean"])
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [row.label, row.sheet_min, row.sheet_mean, row.sheet_max]
+            + [row.model_ma[node] for node in nodes]
+            + [round(row.ratio_to_mean, 2)]
+        )
+    return format_table(headers, table_rows, title=title)

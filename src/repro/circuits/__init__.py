@@ -1,0 +1,32 @@
+"""Circuit-level capacitance models.
+
+Each module turns one slice of the DRAM description into
+:class:`~repro.core.ChargeEvent` objects:
+
+* :mod:`repro.circuits.array`     — bitlines, cells, sense-amplifier control
+  (Figure 2 of the paper);
+* :mod:`repro.circuits.wordline`  — local/master wordlines, sub-wordline
+  drivers (Figure 3) and the row decoder;
+* :mod:`repro.circuits.column`    — column select lines, local and master
+  data lines, write-back;
+* :mod:`repro.circuits.signaling` — the long signal wires of the signaling
+  floorplan (data/address/control buses, clock wiring);
+* :mod:`repro.circuits.logic`     — miscellaneous peripheral logic blocks.
+
+Modeling constants that are not description parameters (e.g. the number of
+wordline phase signals) live in :mod:`repro.circuits.constants`.
+"""
+
+from . import array, column, constants, logic, signaling, wordline
+from .devices import buffer_input_load, buffer_total_load
+
+__all__ = [
+    "array",
+    "column",
+    "constants",
+    "logic",
+    "signaling",
+    "wordline",
+    "buffer_input_load",
+    "buffer_total_load",
+]

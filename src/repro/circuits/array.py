@@ -1,0 +1,142 @@
+"""Bitline, cell and sense-amplifier charge events (paper Figure 2).
+
+Row activation is the dominant array energy: one local wordline per
+spanned sub-array rises to Vpp, every bitline pair of the page splits from
+the Vbl/2 precharge level (one line charges to Vbl from the bitline
+supply, the other discharges to ground), and the cells storing a one are
+restored through the sense amplifier.  Precharge equalises true and
+complement bitlines by shorting them — adiabatic, no supply charge — so the
+only precharge-side array events are the control lines of the equalise
+devices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..description import Command, DramDescription, Rail
+from ..description.signaling import Trigger
+from ..core.events import ChargeEvent, Component
+from ..floorplan import FloorplanGeometry
+from . import constants
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events of the cell array and sense-amplifier stripes."""
+    tech = device.technology
+    array = device.floorplan.array
+    volts = device.voltages
+    page_bits = device.spec.page_bits
+    stripes = device.swls_per_activate
+
+    produced: List[ChargeEvent] = []
+
+    # One bitline of every pair charges from the Vbl/2 precharge level to
+    # Vbl during sensing; its complement discharges to ground.  Only the
+    # charging line draws supply current.
+    produced.append(ChargeEvent(
+        name="bitline swing",
+        component=Component.BITLINE,
+        capacitance=tech.c_bitline,
+        swing=volts.vbl / 2.0,
+        rail=Rail.VBL,
+        count=float(page_bits),
+        trigger=Trigger.PER_ROW_OP,
+        operations=frozenset({Command.ACT}),
+    ))
+
+    # Destructive readout: cells that stored a one are refilled from the
+    # bitline supply (from the shared level ~Vbl/2 back up to Vbl).
+    produced.append(ChargeEvent(
+        name="cell restore",
+        component=Component.BITLINE,
+        capacitance=tech.c_cell,
+        swing=volts.vbl / 2.0,
+        rail=Rail.VBL,
+        count=page_bits * constants.ONES_FRACTION,
+        trigger=Trigger.PER_ROW_OP,
+        operations=frozenset({Command.ACT}),
+    ))
+
+    # NSET / PSET control lines: one pair per activated stripe, loaded by
+    # the distributed set transistors and the stripe-length wire.
+    pairs_per_stripe = array.bits_per_swl
+    set_devices = max(1, pairs_per_stripe // constants.SET_DEVICE_GROUP)
+    set_line_cap = (
+        array.local_wordline_length * tech.c_wire_signal
+        + set_devices * tech.logic_device_load(tech.w_nset, tech.l_nset)
+        + set_devices * tech.logic_device_load(tech.w_pset, tech.l_pset)
+    )
+    produced.append(ChargeEvent(
+        name="sense-amp set lines",
+        component=Component.SENSE_AMP,
+        capacitance=set_line_cap,
+        swing=volts.vint,
+        rail=Rail.VINT,
+        count=float(stripes),
+        trigger=Trigger.PER_ROW_OP,
+        operations=frozenset({Command.ACT}),
+    ))
+
+    # The PMOS common source node of each activated stripe is pulled from
+    # the Vbl/2 precharge level up to Vbl to power the sense amplifiers.
+    pcs_cap = (pairs_per_stripe * tech.logic_junction_cap(tech.w_sa_p)
+               + array.local_wordline_length * tech.c_wire_signal)
+    produced.append(ChargeEvent(
+        name="sense-amp source node",
+        component=Component.SENSE_AMP,
+        capacitance=pcs_cap,
+        swing=volts.vbl / 2.0,
+        rail=Rail.VBL,
+        count=float(stripes),
+        trigger=Trigger.PER_ROW_OP,
+        operations=frozenset({Command.ACT}),
+    ))
+
+    # Equalise control lines: three gates per pair (equalise plus two
+    # precharge devices), driven in the wordline voltage domain.  The line
+    # falls at activate (discharge) and is recharged at precharge.
+    eq_line_cap = (
+        array.local_wordline_length * tech.c_wire_signal
+        + pairs_per_stripe * 3 * tech.hv_device_load(tech.w_eq, tech.l_eq)
+    )
+    produced.append(ChargeEvent(
+        name="equalize control lines",
+        component=Component.SENSE_AMP,
+        capacitance=eq_line_cap,
+        swing=volts.vpp,
+        rail=Rail.VPP,
+        count=float(stripes),
+        trigger=Trigger.PER_ROW_OP,
+        operations=frozenset({Command.PRE}),
+    ))
+
+    # Folded architectures share each sense amplifier between the left and
+    # right sub-array through bitline multiplexers whose control lines
+    # switch on every activate.
+    if array.is_folded:
+        mux_line_cap = (
+            array.local_wordline_length * tech.c_wire_signal
+            + pairs_per_stripe * 2
+            * tech.hv_device_load(tech.w_blmux, tech.l_blmux)
+        )
+        produced.append(ChargeEvent(
+            name="bitline mux control lines",
+            component=Component.SENSE_AMP,
+            capacitance=mux_line_cap,
+            swing=volts.vpp,
+            rail=Rail.VPP,
+            count=float(stripes),
+            trigger=Trigger.PER_ROW_OP,
+            operations=frozenset({Command.ACT}),
+        ))
+
+    return produced
+
+
+def transistors_per_pair(device: DramDescription) -> int:
+    """Sense-amplifier transistors per bitline pair (9 open, 11 folded)."""
+    if device.floorplan.array.is_folded:
+        return constants.SA_TRANSISTORS_FOLDED
+    return constants.SA_TRANSISTORS_OPEN

@@ -1,0 +1,123 @@
+"""Column-path charge events (paper Sections II and III).
+
+A column access asserts one or more column select lines (CSLs).  Each CSL
+runs parallel to the bitlines over the full array block (or several blocks
+sharing it), loaded by the bit-switch gates in every sense-amplifier stripe
+it crosses.  The selected bit switches connect sense amplifiers to the
+local data lines, which feed the differential master array data lines
+running to the secondary sense amplifiers at the column logic.
+
+Writes additionally flip, on average, half of the accessed sense
+amplifiers and their cells — the only array charge of a column write.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..description import Command, DramDescription, Rail
+from ..description.signaling import Trigger
+from ..core.events import ChargeEvent, Component
+from ..floorplan import FloorplanGeometry
+from . import constants
+
+_COLUMN_OPS = frozenset({Command.RD, Command.WR})
+
+
+def csl_capacitance(device: DramDescription,
+                    geometry: FloorplanGeometry) -> float:
+    """Capacitance of one column select line (F)."""
+    tech = device.technology
+    array = device.floorplan.array
+    block = geometry.array_block
+    wire_per_block = block.column_line_length * tech.c_wire_signal
+    # In every stripe the CSL controls the bit switches of the pairs it
+    # can connect (two devices per differential pair).
+    gates_per_block = (block.subarray_rows * tech.bits_per_csl * 2
+                       * tech.logic_gate_cap(tech.w_bitswitch,
+                                             tech.l_bitswitch))
+    return array.blocks_per_csl * (wire_per_block + gates_per_block)
+
+
+def local_dataline_capacitance(device: DramDescription) -> float:
+    """Capacitance of one local data line (F).
+
+    The line runs along the sense-amplifier stripe and carries the bit
+    switch junctions of every CSL column in the sub-array.
+    """
+    tech = device.technology
+    array = device.floorplan.array
+    wire = array.local_wordline_length * tech.c_wire_signal
+    switch_junctions = (array.bits_per_swl // tech.bits_per_csl) \
+        * tech.logic_junction_cap(tech.w_bitswitch)
+    return wire + switch_junctions
+
+
+def master_dataline_capacitance(device: DramDescription,
+                                geometry: FloorplanGeometry) -> float:
+    """Capacitance of one master array data line (F)."""
+    tech = device.technology
+    block = geometry.array_block
+    wire = block.column_line_length * tech.c_wire_signal
+    # Local-to-master switches in every stripe plus the secondary
+    # sense-amplifier input at the end of the line.
+    stripe_junctions = block.subarray_rows \
+        * tech.logic_junction_cap(tech.w_bitswitch)
+    ssa_input = 2 * tech.logic_gate_cap(2 * tech.lmin_logic * 10,
+                                        tech.lmin_logic)
+    return wire + stripe_junctions + ssa_input
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events of the column path (reads and writes)."""
+    tech = device.technology
+    volts = device.voltages
+    spec = device.spec
+
+    produced = [
+        ChargeEvent(
+            name="column select lines",
+            component=Component.COLUMN,
+            capacitance=csl_capacitance(device, geometry),
+            swing=volts.vint,
+            rail=Rail.VINT,
+            count=float(device.csls_per_access),
+            trigger=Trigger.PER_ACCESS,
+            operations=_COLUMN_OPS,
+        ),
+        ChargeEvent(
+            name="local data lines",
+            component=Component.COLUMN,
+            capacitance=local_dataline_capacitance(device),
+            swing=volts.vbl / 2.0,
+            rail=Rail.VBL,
+            count=float(spec.bits_per_access),
+            trigger=Trigger.PER_ACCESS,
+            operations=_COLUMN_OPS,
+        ),
+        ChargeEvent(
+            name="master data lines",
+            component=Component.DATAPATH,
+            capacitance=master_dataline_capacitance(device, geometry),
+            swing=volts.vint,
+            rail=Rail.VINT,
+            count=float(spec.bits_per_access),
+            trigger=Trigger.PER_ACCESS,
+            operations=_COLUMN_OPS,
+        ),
+        # Writing random data flips on average half of the latched sense
+        # amplifiers: the rising bitline of each flipped pair is charged
+        # through the write driver, and the cell is rewritten.
+        ChargeEvent(
+            name="write bitline flip",
+            component=Component.BITLINE,
+            capacitance=tech.c_bitline + tech.c_cell,
+            swing=volts.vbl,
+            rail=Rail.VBL,
+            count=spec.bits_per_access * constants.WRITE_FLIP_PROBABILITY,
+            trigger=Trigger.PER_ACCESS,
+            operations=frozenset({Command.WR}),
+        ),
+    ]
+    return produced

@@ -1,0 +1,41 @@
+"""Modeling constants that are architecture conventions, not parameters.
+
+These values are fixed properties of the commodity-DRAM circuit style the
+paper describes (Section II) rather than per-device description inputs.
+They are collected here so every assumption is visible and testable.
+"""
+
+#: Wordline phase (FX) signals per master wordline.  In a hierarchical
+#: wordline scheme one master wordline selects a group of local wordlines
+#: and the phase signals pick one of them; four phases is the common
+#: commodity choice.
+WORDLINE_PHASES = 4
+
+#: Distributed sense-amplifier set devices (NSET/PSET switches) per
+#: sense-amplifier stripe.  The set transistors of Figure 2 are shared by
+#: groups of sense amplifiers; one pair per 32 bitline pairs is typical.
+SET_DEVICE_GROUP = 32
+
+#: Transistors per bitline pair in a bitline sense-amplifier stripe:
+#: 2 NMOS sense + 2 PMOS sense + 3 equalize/precharge + 2 bit switch,
+#: plus 2 bitline multiplexers in folded architectures (paper §II gives
+#: 11 for a typical — folded — stripe).
+SA_TRANSISTORS_OPEN = 9
+SA_TRANSISTORS_FOLDED = 11
+
+#: Transistors per local wordline in a sub-wordline driver stripe
+#: (Figure 3: driver PMOS + driver NMOS + restore NMOS).
+SWD_TRANSISTORS = 3
+
+#: Average probability that a written bit differs from the bit currently
+#: latched in the sense amplifier (random data).
+WRITE_FLIP_PROBABILITY = 0.5
+
+#: Average fraction of cells storing a one, i.e. needing a full restore
+#: from the bitline supply after destructive readout (random data).
+ONES_FRACTION = 0.5
+
+#: Fraction of the external-data-bit energy attributed to the on-die
+#: pre-driver and receiver circuitry per pin toggle; the off-chip link
+#: itself (Vddq) is excluded per the paper.
+IO_INTERNAL_TOGGLE = 0.5

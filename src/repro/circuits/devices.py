@@ -1,0 +1,51 @@
+"""Device-load helpers shared by the circuit models.
+
+Device capacitance is determined by gate capacitance (gate area over
+equivalent dielectric thickness) plus junction capacitance (junction width
+times specific capacitance) — paper Section III.B.2.  The per-family
+calculations live on :class:`~repro.description.TechnologyParameters`;
+this module adds the composite loads for buffers/re-drivers inserted into
+signal wires.
+"""
+
+from __future__ import annotations
+
+from ..description import TechnologyParameters
+
+
+def buffer_input_load(tech: TechnologyParameters, w_n: float,
+                      w_p: float) -> float:
+    """Input (gate) capacitance of a CMOS buffer stage (F).
+
+    The previous wire segment must charge both gates.
+    """
+    load = 0.0
+    if w_n > 0:
+        load += tech.logic_gate_cap(w_n)
+    if w_p > 0:
+        load += tech.logic_gate_cap(w_p)
+    return load
+
+
+def buffer_output_load(tech: TechnologyParameters, w_n: float,
+                       w_p: float) -> float:
+    """Output (junction) capacitance a buffer adds to its own segment (F)."""
+    load = 0.0
+    if w_n > 0:
+        load += tech.logic_junction_cap(w_n)
+    if w_p > 0:
+        load += tech.logic_junction_cap(w_p)
+    return load
+
+
+def buffer_total_load(tech: TechnologyParameters, w_n: float,
+                      w_p: float) -> float:
+    """Gate plus junction load of an inserted buffer/multiplexer (F).
+
+    When a buffer is inserted into a bus, each toggle charges the input
+    gates (driven by the upstream segment) and the output junctions (part
+    of the downstream segment).  Attributing both to the segment carrying
+    the buffer keeps the accounting local and conservative.
+    """
+    return buffer_input_load(tech, w_n, w_p) \
+        + buffer_output_load(tech, w_n, w_p)

@@ -1,0 +1,55 @@
+"""Peripheral logic-block charge events (paper Section III.B.5).
+
+Each miscellaneous block contributes ``n_gates × toggle`` switching gates
+per clock of its domain.  The capacitance per gate is the average device
+load (gate plus junction of the average-width transistors) times the
+transistors per gate, plus a local-wiring load derived from the block area
+— "the wire load as function of the block size which is calculated based
+on the number of gates".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..description import DramDescription, LogicBlock
+from ..core.events import ChargeEvent, Component
+from ..floorplan import FloorplanGeometry
+
+
+def gate_capacitance(device: DramDescription, block: LogicBlock) -> float:
+    """Switched capacitance of one average gate in the block (F)."""
+    tech = device.technology
+    width = (block.w_n + block.w_p) / 2.0
+    device_load = block.transistors_per_gate * (
+        tech.logic_gate_cap(width) + tech.logic_junction_cap(width)
+    )
+    wire_load = (block.wire_length_per_gate(tech.lmin_logic)
+                 * tech.c_wire_signal)
+    return device_load + wire_load
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events for every peripheral logic block."""
+    volts = device.voltages
+    produced: List[ChargeEvent] = []
+    for block in device.iter_logic_blocks():
+        produced.append(ChargeEvent(
+            name=f"logic {block.name}",
+            component=Component(block.component),
+            capacitance=gate_capacitance(device, block),
+            swing=volts.level(block.rail),
+            rail=block.rail,
+            count=block.n_gates * block.toggle,
+            trigger=block.trigger,
+            operations=block.operations,
+        ))
+    return produced
+
+
+def total_block_area(device: DramDescription) -> float:
+    """Total laid-out area of all peripheral logic blocks (m²)."""
+    length = device.technology.lmin_logic
+    return sum(block.block_area(length)
+               for block in device.iter_logic_blocks())

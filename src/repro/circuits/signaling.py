@@ -1,0 +1,49 @@
+"""Signal-wire charge events from the signaling floorplan (§III.B.2).
+
+For each segment of each net the wire capacitance is the segment length
+(measured on the physical floorplan) times the specific wire capacitance,
+plus the gate and junction load of any buffer or multiplexer inserted at
+the segment's end.  One event is emitted per segment so the breakdown can
+attribute power to individual bus sections.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..description import DramDescription
+from ..core.events import ChargeEvent, Component
+from ..floorplan import FloorplanGeometry
+from .devices import buffer_total_load
+
+
+def segment_capacitance(device: DramDescription,
+                        geometry: FloorplanGeometry,
+                        segment) -> float:
+    """Wire plus inserted-device capacitance of one segment wire (F)."""
+    tech = device.technology
+    wire = geometry.segment_length(segment) * tech.c_wire_signal
+    devices = buffer_total_load(tech, segment.buffer_w_n, segment.buffer_w_p)
+    return wire + devices
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events for every signal-net segment of the device."""
+    volts = device.voltages
+    produced: List[ChargeEvent] = []
+    for net in device.signaling:
+        component = Component(net.component)
+        for index, segment in enumerate(net.segments):
+            capacitance = segment_capacitance(device, geometry, segment)
+            produced.append(ChargeEvent(
+                name=f"net {net.name}[{index}]",
+                component=component,
+                capacitance=capacitance,
+                swing=volts.level(net.rail),
+                rail=net.rail,
+                count=segment.wires * segment.toggle,
+                trigger=net.trigger,
+                operations=net.operations,
+            ))
+    return produced

@@ -1,0 +1,153 @@
+"""Wordline-path charge events (paper Figure 3 and Section III.B.3).
+
+The hierarchical row path: a master wordline (metal, full array-block
+width) selects a group of local wordline drivers in every sub-wordline
+driver stripe it crosses; a phase (FX) line carries the Vpp pulse to the
+selected driver; the local wordline — the gate poly of the cell access
+transistors — rises to Vpp in each sub-array the page spans.
+
+All wordline-domain charges draw from the Vpp pump.  Discharges (wordline
+falling at precharge) return charge to ground, not to the pump, so only
+the rising edges appear as events; they are attached to the activate
+command.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..description import Command, DramDescription, Rail
+from ..description.signaling import Trigger
+from ..core.events import ChargeEvent, Component
+from ..floorplan import FloorplanGeometry
+from . import constants
+
+
+def local_wordline_capacitance(device: DramDescription) -> float:
+    """Capacitance of one local wordline (F).
+
+    Gate poly of ``bits_per_swl`` cell access transistors, the poly wire
+    itself, the coupling share of the crossing bitlines, and the output
+    junctions of its driver.
+    """
+    tech = device.technology
+    array = device.floorplan.array
+    gate_load = array.bits_per_swl * tech.cell_gate_cap()
+    wire_load = array.local_wordline_length * tech.c_wire_swl
+    # Each bitline couples a share of its total capacitance to the
+    # wordlines crossing it; one wordline sees that share divided by the
+    # number of wordlines along the bitline.
+    coupling_per_crossing = (tech.c_bitline * tech.share_bl_wl
+                             / array.rows_per_subarray)
+    coupling_load = array.bits_per_swl * coupling_per_crossing
+    driver_load = (tech.hv_junction_cap(tech.w_swd_n)
+                   + tech.hv_junction_cap(tech.w_swd_p)
+                   + tech.hv_junction_cap(tech.w_swd_restore))
+    return gate_load + wire_load + coupling_load + driver_load
+
+
+def master_wordline_capacitance(device: DramDescription,
+                                geometry: FloorplanGeometry) -> float:
+    """Capacitance of one master wordline (F).
+
+    Metal wire across the array block plus the input gates of the local
+    wordline drivers in every stripe it crosses and the junctions of its
+    own decoder.
+    """
+    tech = device.technology
+    block = geometry.array_block
+    wire_load = block.master_wordline_length * tech.c_wire_mwl
+    driver_gates = block.subarray_cols * (
+        tech.hv_gate_cap(tech.w_swd_n) + tech.hv_gate_cap(tech.w_swd_p)
+    )
+    decoder_load = (tech.hv_junction_cap(tech.w_mwl_dec_n)
+                    + tech.hv_junction_cap(tech.w_mwl_dec_p))
+    return wire_load + driver_gates + decoder_load
+
+
+def phase_line_capacitance(device: DramDescription,
+                           geometry: FloorplanGeometry) -> float:
+    """Capacitance of one wordline phase (FX) line (F).
+
+    The phase line runs parallel to the master wordline and feeds the
+    source of the selected driver PMOS in every stripe; it also drives the
+    restore-device gates of the non-selected drivers and is buffered by the
+    wordline-controller load devices.
+    """
+    tech = device.technology
+    block = geometry.array_block
+    wire_load = block.master_wordline_length * tech.c_wire_mwl
+    stripe_load = block.subarray_cols * (
+        tech.hv_junction_cap(tech.w_swd_p)
+        + tech.hv_gate_cap(tech.w_swd_restore)
+    )
+    controller_load = (tech.hv_device_load(tech.w_wl_ctrl_load_n)
+                       + tech.hv_device_load(tech.w_wl_ctrl_load_p))
+    return wire_load + stripe_load + controller_load
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events of the row (wordline) path."""
+    tech = device.technology
+    volts = device.voltages
+    block = geometry.array_block
+
+    produced = [
+        ChargeEvent(
+            name="local wordlines",
+            component=Component.WORDLINE,
+            capacitance=local_wordline_capacitance(device),
+            swing=volts.vpp,
+            rail=Rail.VPP,
+            count=float(device.swls_per_activate),
+            trigger=Trigger.PER_ROW_OP,
+            operations=frozenset({Command.ACT}),
+        ),
+        # A page split over several blocks drives one master wordline and
+        # one phase line in each of them.
+        ChargeEvent(
+            name="master wordline",
+            component=Component.WORDLINE,
+            capacitance=master_wordline_capacitance(device, geometry),
+            swing=volts.vpp,
+            rail=Rail.VPP,
+            count=float(device.blocks_per_bank),
+            trigger=Trigger.PER_ROW_OP,
+            operations=frozenset({Command.ACT}),
+        ),
+        ChargeEvent(
+            name="wordline phase line",
+            component=Component.WORDLINE,
+            capacitance=phase_line_capacitance(device, geometry),
+            swing=volts.vpp,
+            rail=Rail.VPP,
+            count=float(device.blocks_per_bank),
+            trigger=Trigger.PER_ROW_OP,
+            operations=frozenset({Command.ACT}),
+        ),
+    ]
+
+    # Row predecode: a handful of predecode lines toggle per activate.
+    # Each line runs along the row-logic stripe (the block height) and
+    # fans out to the master-wordline decoders it serves.
+    master_wordlines = (device.spec.rows_per_bank
+                        // constants.WORDLINE_PHASES)
+    decoders_per_line = max(1.0, master_wordlines / tech.predecode_mwl)
+    predecode_cap = (
+        block.column_line_length * tech.c_wire_signal
+        + decoders_per_line * (tech.hv_gate_cap(tech.w_mwl_dec_n)
+                               + tech.hv_gate_cap(tech.w_mwl_dec_p))
+    )
+    produced.append(ChargeEvent(
+        name="row predecode lines",
+        component=Component.WORDLINE,
+        capacitance=predecode_cap,
+        swing=volts.vint,
+        rail=Rail.VINT,
+        count=tech.predecode_mwl * tech.mwl_dec_activity,
+        trigger=Trigger.PER_ROW_OP,
+        operations=frozenset({Command.ACT}),
+    ))
+
+    return produced

@@ -1,0 +1,463 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``idd``          — datasheet IDD currents of a built or described device
+``pattern``      — power of a command pattern on a device
+``verify``       — the Figure 8/9 model-vs-datasheet comparison
+``trends``       — the Figure 11/12/13 generation tables
+``sensitivity``  — the Figure 10 Pareto for one device
+``schemes``      — the Section V scheme comparison for one device
+``trace``        — trace-based power of a generated workload
+``dump``         — serialise a built device to the description language
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import DramPowerModel, Pattern, build_device
+from .analysis import (
+    energy_reduction_factors,
+    format_table,
+    generation_trend,
+    sensitivity,
+    verification_report,
+    verify_ddr2,
+    verify_ddr3,
+)
+from .core.idd import standard_idd_suite
+from .core.trace import evaluate_trace
+from .description import DramDescription
+from .dsl import dumps, load
+from .schemes import compare_schemes, scheme_report
+from .units import parse_quantity
+from .workloads import random_trace, streaming_trace
+
+
+def _parse_density(text: str) -> int:
+    """Parse a density like ``2Gb`` or ``512M`` as *binary* bits.
+
+    Memory capacities use binary prefixes: 1 Gb = 2³⁰ bits.
+    """
+    cleaned = text.strip()
+    if cleaned.endswith("bit"):
+        cleaned = cleaned[:-3]
+    elif cleaned.endswith("b"):
+        cleaned = cleaned[:-1]
+    shifts = {"G": 30, "M": 20, "K": 10, "k": 10}
+    if cleaned and cleaned[-1] in shifts:
+        return int(float(cleaned[:-1])) << shifts[cleaned[-1]]
+    return int(float(cleaned))
+
+
+def _device_from_args(args: argparse.Namespace) -> DramDescription:
+    """Build or load the device a subcommand operates on."""
+    if getattr(args, "file", None):
+        return load(args.file)
+    kwargs = {}
+    if args.interface:
+        kwargs["interface"] = args.interface
+    if args.density:
+        kwargs["density_bits"] = _parse_density(args.density)
+    if args.datarate:
+        kwargs["datarate"] = parse_quantity(args.datarate)
+    return build_device(args.node, io_width=args.width, **kwargs)
+
+
+def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--file", help="description-language file to load "
+                                       "(overrides the build options)")
+    parser.add_argument("--node", type=float, default=55,
+                        help="technology node in nm (default 55)")
+    parser.add_argument("--interface",
+                        choices=["SDR", "DDR", "DDR2", "DDR3", "DDR4",
+                                 "DDR5"],
+                        help="interface family (default: node mainstream)")
+    parser.add_argument("--density",
+                        help="density in bits, units allowed (e.g. 2Gb)")
+    parser.add_argument("--width", type=int, default=16,
+                        help="I/O width (default 16)")
+    parser.add_argument("--datarate",
+                        help="per-pin data rate (e.g. 1.6Gbps)")
+
+
+def _cmd_idd(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    model = DramPowerModel(device)
+    rows = [[result.measure.value, round(result.milliamps, 1),
+             round(result.power.power * 1e3, 1)]
+            for result in standard_idd_suite(model).values()]
+    print(format_table(["measure", "mA", "mW"], rows,
+                       title=f"IDD currents of {device.name}"))
+    return 0
+
+
+def _cmd_pattern(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    model = DramPowerModel(device)
+    pattern = Pattern.parse(args.loop)
+    result = model.pattern_power(pattern)
+    print(f"device       : {device.name}")
+    print(f"pattern      : {pattern}")
+    print(f"power        : {result.power * 1e3:.1f} mW "
+          f"({result.current * 1e3:.1f} mA)")
+    print(f"energy/bit   : {result.energy_per_bit_pj:.2f} pJ")
+    rows = [[name, round(value * 1e3, 1)]
+            for name, value in result.breakdown.as_dict().items()]
+    print(format_table(["component", "mW"], rows))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.standard in ("ddr2", "both"):
+        print(verification_report(verify_ddr2(),
+                                  title="Figure 8 - 1G DDR2 (mA)"))
+        print()
+    if args.standard in ("ddr3", "both"):
+        print(verification_report(verify_ddr3(),
+                                  title="Figure 9 - 1G DDR3 (mA)"))
+    return 0
+
+
+def _cmd_trends(args: argparse.Namespace) -> int:
+    points = generation_trend(io_width=args.width)
+    rows = [[point.node_nm, point.interface,
+             point.datarate / 1e9, point.vdd, point.die_area_mm2,
+             point.idd0_ma, point.idd4r_ma, point.energy_idd7_pj]
+            for point in points]
+    print(format_table(
+        ["node nm", "interface", "Gb/s", "Vdd", "die mm2", "IDD0 mA",
+         "IDD4R mA", "pJ/bit"],
+        rows, title="Figures 11-13 - generation trends",
+    ))
+    early, late = energy_reduction_factors(points)
+    print(f"\nenergy reduction per generation: {early:.2f}x "
+          f"(170->44nm), {late:.2f}x (44->16nm)")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    results = sensitivity(device, variation=args.variation)
+    rows = [[result.name, f"{result.impact:+.1%}"] for result in results]
+    print(format_table(
+        ["parameter", f"impact of +/-{args.variation:.0%}"], rows,
+        title=f"Figure 10 - sensitivity of {device.name}",
+    ))
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    print(scheme_report(compare_schemes(device),
+                        title=f"Section V - schemes on {device.name}"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    model = DramPowerModel(device)
+    if args.workload == "streaming":
+        commands = streaming_trace(device, args.accesses,
+                                   read_fraction=args.read_fraction)
+    else:
+        commands = random_trace(device, args.accesses,
+                                row_hit_rate=args.hit_rate,
+                                read_fraction=args.read_fraction,
+                                seed=args.seed)
+    result = evaluate_trace(model, commands)
+    print(f"device        : {device.name}")
+    print(f"workload      : {args.workload}, {args.accesses} accesses")
+    print(f"duration      : {result.duration * 1e6:.2f} us")
+    print(f"row hit rate  : {result.row_hit_rate:.2f}")
+    print(f"bandwidth     : "
+          f"{result.data_bits / result.duration / 1e9:.2f} Gb/s")
+    print(f"average power : {result.average_power * 1e3:.1f} mW "
+          f"({result.average_current * 1e3:.1f} mA)")
+    print(f"energy/bit    : {result.energy_per_bit * 1e12:.2f} pJ")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import check_device
+
+    device = _device_from_args(args)
+    results = check_device(device)
+    rows = [[result.severity, result.check, result.message]
+            for result in results]
+    print(format_table(["severity", "check", "finding"], rows,
+                       title=f"Feasibility of {device.name}"))
+    return 0 if all(result.is_ok for result in results) else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .analysis import export_all
+
+    paths = export_all(args.directory)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_corners(args: argparse.Namespace) -> int:
+    from .analysis.corners import VENDOR_SPREAD_CORNERS, corner_sweep
+    from .analysis.montecarlo import monte_carlo
+
+    device = _device_from_args(args)
+    corners = (VENDOR_SPREAD_CORNERS if args.vendor
+               else None)
+    bands = (corner_sweep(device, corners=corners) if corners
+             else corner_sweep(device))
+    rows = []
+    for band in bands:
+        rows.append([band.measure.value, round(band.minimum, 1),
+                     round(band.typical, 1), round(band.maximum, 1),
+                     f"{band.spread:.1%}"])
+    label = "vendor-spread" if args.vendor else "process"
+    print(format_table(
+        ["measure", "min mA", "typ mA", "max mA", "spread"],
+        rows, title=f"{label} corners of {device.name}",
+    ))
+    if args.samples:
+        print()
+        rows = []
+        for dist in monte_carlo(device, samples=args.samples,
+                                seed=args.seed):
+            rows.append([dist.measure.value, round(dist.mean, 1),
+                         round(dist.stdev, 2),
+                         round(dist.percentile(0.95), 1),
+                         f"{dist.guard_band:.3f}"])
+        print(format_table(
+            ["measure", "mean mA", "sigma", "p95 mA", "p95/mean"],
+            rows, title=f"Monte-Carlo ({args.samples} samples)",
+        ))
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from .description import Command
+
+    device = _device_from_args(args)
+    model = DramPowerModel(device)
+    command = Command(args.operation)
+    rows = []
+    for event, energy in model.event_energies(command):
+        rows.append([
+            event.name,
+            event.component.value,
+            event.rail.value,
+            f"{event.count:g}",
+            f"{event.capacitance * 1e15:.2f}",
+            f"{event.swing:.2f}",
+            round(energy * 1e12, 2),
+        ])
+    print(format_table(
+        ["event", "component", "rail", "count", "C (fF)", "swing (V)",
+         "energy (pJ)"],
+        rows,
+        title=f"Charge events of one {command.value} on {device.name}",
+    ))
+    total = model.operation_energy(command)
+    print(f"\ntotal: {total * 1e12:.1f} pJ per {command.value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.compare import compare_report
+    from .dsl import load as load_description
+
+    left = load_description(args.left)
+    right = load_description(args.right)
+    print(compare_report(left, right))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .analysis.breakdown import breakdown_report
+    from .floorplan import FloorplanGeometry
+
+    device = _device_from_args(args)
+    geometry = FloorplanGeometry(device)
+    spec = device.spec
+    print(f"device        : {device.name}")
+    print(f"interface     : {device.interface}, "
+          f"{spec.datarate / 1e9:g} Gb/s/pin, x{spec.io_width}, "
+          f"prefetch {spec.prefetch}")
+    print(f"organisation  : {spec.banks} banks x {spec.rows_per_bank} "
+          f"rows x {spec.page_bits} bits/page "
+          f"({device.density_label})")
+    print(f"array         : {device.floorplan.array.bitline_arch} "
+          f"bitlines, {device.floorplan.array.bits_per_bitline} "
+          f"cells/BL, {device.swls_per_activate} SWLs/activate, "
+          f"{device.csls_per_access} CSLs/access")
+    print(f"die           : {geometry.die_width * 1e3:.1f} x "
+          f"{geometry.die_height * 1e3:.1f} mm = "
+          f"{geometry.die_area * 1e6:.1f} mm2, efficiency "
+          f"{geometry.array_efficiency:.0%}")
+    print(f"stripes       : SA {geometry.sa_stripe_share:.1%}, "
+          f"SWD {geometry.swd_stripe_share:.1%} of die")
+    volts = device.voltages
+    print(f"voltages      : Vdd {volts.vdd:g}, Vint {volts.vint:g}, "
+          f"Vbl {volts.vbl:g}, Vpp {volts.vpp:g} V")
+    print()
+    model = DramPowerModel(device)
+    print(breakdown_report(model))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    text = generate_report()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    if args.format == "json":
+        from .description.jsonio import dumps_json
+        text = dumps_json(device)
+    else:
+        text = dumps(device)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {device.name} to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bottom-up DRAM power model "
+                    "(Vogelsang, MICRO 2010 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    idd = subparsers.add_parser("idd", help="datasheet IDD currents")
+    _add_device_arguments(idd)
+    idd.set_defaults(handler=_cmd_idd)
+
+    pattern = subparsers.add_parser("pattern",
+                                    help="power of a command pattern")
+    _add_device_arguments(pattern)
+    pattern.add_argument("--loop",
+                         default="act nop wrt nop rd nop pre nop",
+                         help="command loop (paper syntax)")
+    pattern.set_defaults(handler=_cmd_pattern)
+
+    verify = subparsers.add_parser("verify",
+                                   help="Figure 8/9 datasheet comparison")
+    verify.add_argument("standard", nargs="?", default="both",
+                        choices=["ddr2", "ddr3", "both"])
+    verify.set_defaults(handler=_cmd_verify)
+
+    trends = subparsers.add_parser("trends",
+                                   help="Figure 11-13 generation tables")
+    trends.add_argument("--width", type=int, default=16)
+    trends.set_defaults(handler=_cmd_trends)
+
+    sens = subparsers.add_parser("sensitivity",
+                                 help="Figure 10 parameter Pareto")
+    _add_device_arguments(sens)
+    sens.add_argument("--variation", type=float, default=0.2)
+    sens.set_defaults(handler=_cmd_sensitivity)
+
+    schemes = subparsers.add_parser("schemes",
+                                    help="Section V scheme comparison")
+    _add_device_arguments(schemes)
+    schemes.set_defaults(handler=_cmd_schemes)
+
+    trace = subparsers.add_parser("trace",
+                                  help="trace-based workload power")
+    _add_device_arguments(trace)
+    trace.add_argument("--workload", default="random",
+                       choices=["random", "streaming"])
+    trace.add_argument("--accesses", type=int, default=2000)
+    trace.add_argument("--hit-rate", dest="hit_rate", type=float,
+                       default=0.5)
+    trace.add_argument("--read-fraction", dest="read_fraction",
+                       type=float, default=0.67)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.set_defaults(handler=_cmd_trace)
+
+    check = subparsers.add_parser(
+        "check", help="feasibility checks (stripe shares, die area)")
+    _add_device_arguments(check)
+    check.set_defaults(handler=_cmd_check)
+
+    export = subparsers.add_parser(
+        "export", help="write all experiment data as CSV/JSON")
+    export.add_argument("directory", help="output directory")
+    export.set_defaults(handler=_cmd_export)
+
+    corners = subparsers.add_parser(
+        "corners", help="process/vendor corner bands and Monte-Carlo")
+    _add_device_arguments(corners)
+    corners.add_argument("--vendor", action="store_true",
+                         help="use the wider vendor-spread corner set")
+    corners.add_argument("--samples", type=int, default=0,
+                         help="add a Monte-Carlo run with N samples")
+    corners.add_argument("--seed", type=int, default=1)
+    corners.set_defaults(handler=_cmd_corners)
+
+    events = subparsers.add_parser(
+        "events", help="per-event energy catalog of one operation")
+    _add_device_arguments(events)
+    events.add_argument("--operation", default="act",
+                        choices=["act", "pre", "rd", "wr"])
+    events.set_defaults(handler=_cmd_events)
+
+    compare = subparsers.add_parser(
+        "compare", help="diff two description files and their IDDs")
+    compare.add_argument("left", help="first description file")
+    compare.add_argument("right", help="second description file")
+    compare.set_defaults(handler=_cmd_compare)
+
+    info = subparsers.add_parser(
+        "info", help="device organisation, geometry and breakdown")
+    _add_device_arguments(info)
+    info.set_defaults(handler=_cmd_info)
+
+    report = subparsers.add_parser(
+        "report", help="full reproduction report (all experiments)")
+    report.add_argument("-o", "--output",
+                        help="output file (default stdout)")
+    report.set_defaults(handler=_cmd_report)
+
+    dump = subparsers.add_parser(
+        "dump", help="serialise a device to the description language")
+    _add_device_arguments(dump)
+    dump.add_argument("-o", "--output", help="output file (default stdout)")
+    dump.add_argument("--format", choices=["dsl", "json"], default="dsl",
+                      help="output format (default: the description "
+                           "language)")
+    dump.set_defaults(handler=_cmd_dump)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The power-model pipeline (paper Section III, Figure 4).
+
+``parse input`` and ``syntax check`` live in :mod:`repro.dsl`; this package
+implements the remaining stages: calculate wire and device capacitances
+(:mod:`repro.core.builder` with :mod:`repro.circuits`), determine the charge
+associated with activate/precharge/read/write (:class:`ChargeEvent`),
+calculate the current and power of each operation, and calculate the power
+of a specified pattern (:class:`DramPowerModel`).
+"""
+
+from .events import ChargeEvent, Component
+from .operations import EnergyBreakdown, OperationEnergies
+from .model import DramPowerModel, PatternPower
+from .idd import IddMeasure, IddResult, standard_idd_suite
+
+__all__ = [
+    "ChargeEvent",
+    "Component",
+    "EnergyBreakdown",
+    "OperationEnergies",
+    "DramPowerModel",
+    "PatternPower",
+    "IddMeasure",
+    "IddResult",
+    "standard_idd_suite",
+]

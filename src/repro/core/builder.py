@@ -1,0 +1,31 @@
+"""Assembles the full charge-event list of a device.
+
+This is the "calculate wire and device capacitances / determine charge"
+stage of Figure 4: every circuit model contributes its events, computed
+against the resolved floorplan geometry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..description import DramDescription
+from ..floorplan import FloorplanGeometry
+from .events import ChargeEvent
+
+
+def build_events(device: DramDescription,
+                 geometry: FloorplanGeometry = None
+                 ) -> Tuple[ChargeEvent, ...]:
+    """All charge events of ``device`` against its floorplan geometry."""
+    from ..circuits import array, column, logic, signaling, wordline
+
+    if geometry is None:
+        geometry = FloorplanGeometry(device)
+    produced: List[ChargeEvent] = []
+    produced.extend(array.events(device, geometry))
+    produced.extend(wordline.events(device, geometry))
+    produced.extend(column.events(device, geometry))
+    produced.extend(signaling.events(device, geometry))
+    produced.extend(logic.events(device, geometry))
+    return tuple(produced)

@@ -1,0 +1,133 @@
+"""Charge events — the atoms of the power model.
+
+The paper partitions DRAM operation "into a large number of charge and
+discharge processes for which capacitance, voltage and frequency can be
+determined individually" (eq. 2).  A :class:`ChargeEvent` is one such
+process: ``count`` capacitors of ``capacitance`` each swinging by ``swing``
+volts, supplied from ``rail``, fired by ``trigger`` during ``operations``.
+
+Charge accounting convention: per firing the supply rail delivers
+``Q = count · C · swing`` (the charging half of the cycle; the discharge
+returns the energy to ground, not to the supply).  Energy drawn from the
+external Vdd is ``Q · V_rail / efficiency`` — see
+:meth:`repro.description.VoltageSet.vdd_energy`.  The bitline
+precharge-to-midlevel is adiabatic (true and complement are shorted) and is
+represented by *not* emitting a precharge event for the bitlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import FrozenSet, Iterable, Tuple
+
+from ..description import Command, Rail
+from ..description.signaling import Trigger
+from ..errors import ModelError
+
+
+class Component(str, Enum):
+    """Where on the die a charge event happens — the breakdown categories."""
+
+    BITLINE = "bitline"
+    """Bitline swing and cell restore in the sub-arrays."""
+    SENSE_AMP = "sense_amp"
+    """Bitline sense-amplifier control (set/equalize/mux lines)."""
+    WORDLINE = "wordline"
+    """Local and master wordlines, sub-wordline drivers, row decoder."""
+    ROW_LOGIC = "row_logic"
+    """Off-pitch row logic blocks (redundancy, address latches)."""
+    COLUMN = "column"
+    """Column select lines, local data lines, column decode."""
+    DATAPATH = "datapath"
+    """Master array data lines, central data buses, (de)serialisers."""
+    CONTROL = "control"
+    """Command/address receivers and central control logic."""
+    CLOCK = "clock"
+    """Clock wiring, clock tree and DLL."""
+    IO = "io"
+    """Internal interface circuitry (pre-drivers, receivers)."""
+    POWER = "power"
+    """Power system overhead (references, regulators)."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ChargeEvent:
+    """One charge/discharge process of eq. 2."""
+
+    name: str
+    """Human-readable event name, e.g. ``bitline swing``."""
+    component: Component
+    """Breakdown category."""
+    capacitance: float
+    """Capacitance of one switching element (F)."""
+    swing: float
+    """Voltage swing of the element (V)."""
+    rail: Rail
+    """Supply rail delivering the charge."""
+    count: float
+    """Elements switching per firing (may be fractional: activity)."""
+    trigger: Trigger
+    """What fires the event (per command, per access, per clock)."""
+    operations: FrozenSet[Command] = frozenset()
+    """Commands gating the event; empty = background (clock-triggered)."""
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ModelError(f"event {self.name!r}: negative capacitance")
+        if self.swing < 0:
+            raise ModelError(f"event {self.name!r}: negative swing")
+        if self.count < 0:
+            raise ModelError(f"event {self.name!r}: negative count")
+        object.__setattr__(self, "component", Component(self.component))
+        object.__setattr__(self, "rail", Rail(self.rail))
+        object.__setattr__(self, "trigger", Trigger(self.trigger))
+        object.__setattr__(
+            self, "operations",
+            frozenset(Command(op) for op in self.operations),
+        )
+        clocked = self.trigger in (Trigger.PER_CTRL_CLOCK,
+                                   Trigger.PER_DATA_CLOCK)
+        if not clocked and not self.operations:
+            raise ModelError(
+                f"event {self.name!r}: a {self.trigger.value}-triggered "
+                "event must name the commands that fire it"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def charge_per_firing(self) -> float:
+        """Charge drawn from the rail per firing (C)."""
+        return self.count * self.capacitance * self.swing
+
+    @property
+    def is_background(self) -> bool:
+        """True when the event runs regardless of the command stream."""
+        return not self.operations
+
+    @property
+    def is_clocked(self) -> bool:
+        """True when the event fires on a clock rather than on a command."""
+        return self.trigger in (Trigger.PER_CTRL_CLOCK,
+                                Trigger.PER_DATA_CLOCK)
+
+    def scaled(self, **overrides: object) -> "ChargeEvent":
+        """Return a copy with fields replaced."""
+        return replace(self, **overrides)
+
+
+def filter_events(events: Iterable[ChargeEvent],
+                  component: Component = None,
+                  operation: Command = None) -> Tuple[ChargeEvent, ...]:
+    """Select events by component and/or gating operation."""
+    selected = []
+    for event in events:
+        if component is not None and event.component != Component(component):
+            continue
+        if operation is not None and Command(operation) not in event.operations:
+            continue
+        selected.append(event)
+    return tuple(selected)

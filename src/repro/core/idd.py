@@ -1,0 +1,276 @@
+"""Datasheet IDD current definitions (paper Section IV.A).
+
+The verification of Figures 8 and 9 compares model currents against
+datasheet IDD values.  Each measure is a standardised command loop:
+
+* **IDD0**  — one activate + one precharge per row cycle time (row power);
+* **IDD2N** — precharge standby, clock running, no commands;
+* **IDD3N** — active standby (modelled equal to IDD2N: the model carries
+  no bank-state dependent DC current);
+* **IDD4R** — gapless read bursts;
+* **IDD4W** — gapless write bursts;
+* **IDD5B** — distributed auto-refresh (row cycles averaged over tREFI);
+* **IDD7**  — interleaved activates on all banks plus gapless reads, the
+  "random access at full bandwidth" measure.
+
+The Figure 10 sensitivity pattern ("Idd7 but half of the read operations
+replaced by write operations") is :func:`idd7_mixed_counts`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Mapping, Tuple
+
+from ..description import Command
+from .model import DramPowerModel, PatternPower
+
+
+class IddMeasure(str, Enum):
+    """Standard datasheet current measures."""
+
+    IDD0 = "idd0"
+    IDD1 = "idd1"
+    IDD2N = "idd2n"
+    IDD2P = "idd2p"
+    IDD3N = "idd3n"
+    IDD3P = "idd3p"
+    IDD4R = "idd4r"
+    IDD4W = "idd4w"
+    IDD5B = "idd5b"
+    IDD6 = "idd6"
+    IDD7 = "idd7"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Fraction of the dynamic background (clock tree, control, DLL) still
+#: toggling in each low-power state.  Power-down gates the input buffers
+#: and freezes most of the clock tree; self-refresh additionally stops
+#: the external clock entirely.  These ratios are typical of the
+#: datasheet IDD2P/IDD3P/IDD6-to-IDD2N proportions of the DDR2/DDR3 era
+#: and are modeling assumptions, not description parameters.
+POWER_DOWN_PRECHARGE_FRACTION = 0.15
+POWER_DOWN_ACTIVE_FRACTION = 0.25
+SELF_REFRESH_FRACTION = 0.08
+
+
+@dataclass(frozen=True)
+class IddResult:
+    """One measured IDD point."""
+
+    measure: IddMeasure
+    current: float
+    """Average Vdd current (A)."""
+    power: PatternPower
+    """Full pattern-power result behind the current."""
+
+    @property
+    def milliamps(self) -> float:
+        """Current in mA — the datasheet unit."""
+        return self.current * 1e3
+
+
+def _result(measure: IddMeasure, power: PatternPower) -> IddResult:
+    return IddResult(measure=measure, current=power.current, power=power)
+
+
+def idd0(model: DramPowerModel) -> IddResult:
+    """Row-cycle current: one ACT + one PRE per tRC."""
+    timing = model.device.timing
+    power = model.counts_power(
+        {Command.ACT: 1.0, Command.PRE: 1.0}, timing.trc, label="IDD0"
+    )
+    return _result(IddMeasure.IDD0, power)
+
+
+def idd1(model: DramPowerModel) -> IddResult:
+    """Row cycling with one read burst: ACT + RD + PRE per tRC."""
+    timing = model.device.timing
+    power = model.counts_power(
+        {Command.ACT: 1.0, Command.RD: 1.0, Command.PRE: 1.0},
+        timing.trc, label="IDD1",
+    )
+    return _result(IddMeasure.IDD1, power)
+
+
+def idd2n(model: DramPowerModel) -> IddResult:
+    """Precharge standby current: background only."""
+    duration = 1.0 / model.device.spec.f_ctrlclock
+    power = model.counts_power({}, duration, label="IDD2N")
+    return _result(IddMeasure.IDD2N, power)
+
+
+def idd3n(model: DramPowerModel) -> IddResult:
+    """Active standby current (modelled equal to IDD2N)."""
+    result = idd2n(model)
+    return IddResult(measure=IddMeasure.IDD3N, current=result.current,
+                     power=result.power)
+
+
+def _gated_background(model: DramPowerModel, fraction: float):
+    """Background breakdown with the dynamic part scaled (W).
+
+    The constant current sink (references, regulators) keeps flowing at
+    full strength; everything clock-driven is scaled by ``fraction``.
+    """
+    from .events import Component
+
+    background = model.energies.background_power
+    constant_power = (model.device.constant_current
+                      * model.device.voltages.vdd)
+    scaled = background.scaled(fraction)
+    delta = constant_power - scaled.get(Component.POWER)
+    if delta > 0:
+        scaled.add(Component.POWER, delta)
+    return scaled
+
+
+def _state_result(model: DramPowerModel, measure: IddMeasure,
+                  breakdown, duration: float,
+                  operation_power) -> IddResult:
+    power_watts = breakdown.total
+    power = PatternPower(
+        device_name=model.device.name,
+        pattern=measure.value.upper(),
+        duration=duration,
+        power=power_watts,
+        current=power_watts / model.device.voltages.vdd,
+        breakdown=breakdown,
+        operation_power=operation_power,
+        data_bits_per_second=0.0,
+    )
+    return _result(measure, power)
+
+
+def idd2p(model: DramPowerModel) -> IddResult:
+    """Precharge power-down current (clock gated, inputs disabled)."""
+    breakdown = _gated_background(model, POWER_DOWN_PRECHARGE_FRACTION)
+    return _state_result(
+        model, IddMeasure.IDD2P, breakdown,
+        1.0 / model.device.spec.f_ctrlclock,
+        {"background": breakdown.total},
+    )
+
+
+def idd3p(model: DramPowerModel) -> IddResult:
+    """Active power-down current (a bank open, clock gated)."""
+    breakdown = _gated_background(model, POWER_DOWN_ACTIVE_FRACTION)
+    return _state_result(
+        model, IddMeasure.IDD3P, breakdown,
+        1.0 / model.device.spec.f_ctrlclock,
+        {"background": breakdown.total},
+    )
+
+
+def idd6(model: DramPowerModel) -> IddResult:
+    """Self-refresh current: gated background plus internal refresh."""
+    timing = model.device.timing
+    breakdown = _gated_background(model, SELF_REFRESH_FRACTION)
+    standby = breakdown.total
+    rows = float(timing.rows_per_refresh)
+    refresh = (model.energies.operation_energy(Command.ACT)
+               + model.energies.operation_energy(Command.PRE)) \
+        .scaled(rows / timing.tref_interval)
+    breakdown = breakdown + refresh
+    return _state_result(
+        model, IddMeasure.IDD6, breakdown, timing.tref_interval,
+        {"background": standby, "refresh": refresh.total},
+    )
+
+
+def idd4r(model: DramPowerModel) -> IddResult:
+    """Gapless read current: one read per burst duration."""
+    spec = model.device.spec
+    duration = spec.burst_length / spec.datarate
+    power = model.counts_power({Command.RD: 1.0}, duration, label="IDD4R")
+    return _result(IddMeasure.IDD4R, power)
+
+
+def idd4w(model: DramPowerModel) -> IddResult:
+    """Gapless write current: one write per burst duration."""
+    spec = model.device.spec
+    duration = spec.burst_length / spec.datarate
+    power = model.counts_power({Command.WR: 1.0}, duration, label="IDD4W")
+    return _result(IddMeasure.IDD4W, power)
+
+
+def idd5b(model: DramPowerModel) -> IddResult:
+    """Distributed auto-refresh current averaged over tREFI."""
+    timing = model.device.timing
+    rows = float(timing.rows_per_refresh)
+    power = model.counts_power(
+        {Command.ACT: rows, Command.PRE: rows},
+        timing.tref_interval,
+        label="IDD5B",
+    )
+    return _result(IddMeasure.IDD5B, power)
+
+
+def idd7_counts(model: DramPowerModel,
+                write_fraction: float = 0.0
+                ) -> Tuple[Dict[Command, float], float]:
+    """Command counts and window of the IDD7 loop.
+
+    All banks are activated once per window (limited by tRC, tRRD and
+    tFAW) while the data bus runs gapless column accesses;
+    ``write_fraction`` of the accesses are writes (0 for plain IDD7, 0.5
+    for the Figure 10 sensitivity pattern).
+    """
+    device = model.device
+    spec = device.spec
+    timing = device.timing
+    banks = spec.banks
+    window = max(timing.trc, banks * timing.trrd, banks * timing.tfaw / 4.0)
+    accesses = math.floor(window * spec.core_access_rate)
+    reads = accesses * (1.0 - write_fraction)
+    writes = accesses * write_fraction
+    counts: Dict[Command, float] = {
+        Command.ACT: float(banks),
+        Command.PRE: float(banks),
+        Command.RD: reads,
+        Command.WR: writes,
+    }
+    return counts, window
+
+
+def idd7(model: DramPowerModel) -> IddResult:
+    """Interleaved activate + gapless read current."""
+    counts, window = idd7_counts(model)
+    power = model.counts_power(counts, window, label="IDD7")
+    return _result(IddMeasure.IDD7, power)
+
+
+def idd7_mixed(model: DramPowerModel) -> PatternPower:
+    """The Figure 10 pattern: IDD7 with half the reads replaced by writes."""
+    counts, window = idd7_counts(model, write_fraction=0.5)
+    return model.counts_power(counts, window, label="IDD7-mixed")
+
+
+_DISPATCH = {
+    IddMeasure.IDD0: idd0,
+    IddMeasure.IDD1: idd1,
+    IddMeasure.IDD2N: idd2n,
+    IddMeasure.IDD2P: idd2p,
+    IddMeasure.IDD3N: idd3n,
+    IddMeasure.IDD3P: idd3p,
+    IddMeasure.IDD4R: idd4r,
+    IddMeasure.IDD4W: idd4w,
+    IddMeasure.IDD5B: idd5b,
+    IddMeasure.IDD6: idd6,
+    IddMeasure.IDD7: idd7,
+}
+
+
+def measure(model: DramPowerModel, which: IddMeasure) -> IddResult:
+    """Compute one IDD measure."""
+    return _DISPATCH[IddMeasure(which)](model)
+
+
+def standard_idd_suite(model: DramPowerModel
+                       ) -> Mapping[IddMeasure, IddResult]:
+    """All standard IDD measures of one device."""
+    return {which: fn(model) for which, fn in _DISPATCH.items()}

@@ -1,0 +1,107 @@
+"""Power-over-time profiles of command traces.
+
+Bins a trace's energy into fixed time windows so the instantaneous power
+profile can be inspected or plotted: each command's energy is spread over
+its natural duration (row commands over tRCD, column commands over the
+burst) and the background runs continuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..description import Command
+from ..errors import ModelError
+from .model import DramPowerModel
+from .trace import TraceCommand
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """A binned power-vs-time series."""
+
+    bin_width: float
+    """Width of one bin (s)."""
+    power: Tuple[float, ...]
+    """Average power in each bin (W)."""
+
+    @property
+    def duration(self) -> float:
+        """Profile duration (s)."""
+        return self.bin_width * len(self.power)
+
+    @property
+    def peak(self) -> float:
+        """Highest binned power (W)."""
+        return max(self.power) if self.power else 0.0
+
+    @property
+    def average(self) -> float:
+        """Mean power across the profile (W)."""
+        if not self.power:
+            return 0.0
+        return sum(self.power) / len(self.power)
+
+    @property
+    def crest_factor(self) -> float:
+        """Peak over average — the burstiness figure."""
+        average = self.average
+        if average == 0:
+            return 0.0
+        return self.peak / average
+
+    def times(self) -> List[float]:
+        """Bin-centre timestamps (s)."""
+        return [(index + 0.5) * self.bin_width
+                for index in range(len(self.power))]
+
+
+def _spread_duration(model: DramPowerModel, command: Command) -> float:
+    if command in (Command.ACT, Command.PRE):
+        return model.device.timing.trcd
+    spec = model.device.spec
+    return spec.burst_length / spec.datarate
+
+
+def power_profile(model: DramPowerModel,
+                  commands: Iterable[TraceCommand],
+                  bin_width: float = 5e-9) -> PowerProfile:
+    """Bin a trace's power over time.
+
+    The trace is not legality-checked here — use
+    :func:`repro.core.trace.evaluate_trace` for that; this function only
+    accounts energy into bins.
+    """
+    if bin_width <= 0:
+        raise ModelError("bin width must be positive")
+    command_list: List[TraceCommand] = sorted(commands,
+                                              key=lambda c: c.time)
+    if not command_list:
+        raise ModelError("cannot profile an empty trace")
+    end = max(entry.time + _spread_duration(model, entry.command)
+              for entry in command_list
+              if entry.command is not Command.NOP)
+    bins = max(1, int(end / bin_width) + 1)
+    energy = [0.0] * bins
+    for entry in command_list:
+        if entry.command is Command.NOP:
+            continue
+        total = model.operation_energy(entry.command)
+        if total == 0.0:
+            continue
+        duration = _spread_duration(model, entry.command)
+        start = entry.time
+        stop = entry.time + duration
+        first = int(start / bin_width)
+        last = min(bins - 1, int(stop / bin_width))
+        for index in range(first, last + 1):
+            bin_start = index * bin_width
+            bin_stop = bin_start + bin_width
+            overlap = min(stop, bin_stop) - max(start, bin_start)
+            if overlap > 0:
+                energy[index] += total * overlap / duration
+    background = model.background_power
+    power = tuple(background + bin_energy / bin_width
+                  for bin_energy in energy)
+    return PowerProfile(bin_width=bin_width, power=power)

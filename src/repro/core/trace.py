@@ -1,0 +1,279 @@
+"""Timed command-trace evaluation.
+
+The paper's pattern mechanism evaluates a steady-state loop; system
+studies (the §V references: memory-controller power management, mini-rank
+scheduling…) need to price an arbitrary *trace* of timed commands.  This
+module provides that: a bank-state machine with full timing-legality
+checking (tRC, tRRD, tFAW, tRCD, tRAS, tRP) and energy integration over
+the trace.
+
+Energy accounting is identical to the pattern engine: each command
+occurrence costs its per-operation energy, the background runs for the
+trace duration, and refresh commands cost ``rows_per_refresh`` row
+cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..description import Command
+from ..errors import ModelError
+from .model import DramPowerModel
+from .operations import EnergyBreakdown
+
+
+#: Tolerance for timing comparisons (s) — absorbs float rounding when
+#: commands sit exactly on a timing boundary.
+TIMING_EPSILON = 1e-12
+
+
+class TraceError(ModelError):
+    """A trace is illegal: protocol or timing violation."""
+
+    def __init__(self, message: str, time: float = 0.0, index: int = 0):
+        self.time = time
+        self.index = index
+        super().__init__(f"command {index} @ {time * 1e9:.2f} ns: "
+                         f"{message}")
+
+
+@dataclass(frozen=True)
+class TraceCommand:
+    """One timed command of a trace."""
+
+    time: float
+    """Issue time (s), non-decreasing along the trace."""
+    command: Command
+    """Command mnemonic (ACT / PRE / RD / WR; NOP is ignored)."""
+    bank: int = 0
+    """Target bank."""
+    row: int = 0
+    """Target row (ACT) — used for row-hit bookkeeping only."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "command", Command(self.command))
+        if self.time < 0:
+            raise ModelError("command time must not be negative")
+        if self.bank < 0:
+            raise ModelError("bank must not be negative")
+
+
+@dataclass
+class _BankState:
+    """Protocol state of one bank during trace replay."""
+
+    active_row: Optional[int] = None
+    last_act: float = float("-inf")
+    last_pre: float = float("-inf")
+    last_read: float = float("-inf")
+    write_data_end: float = float("-inf")
+
+    @property
+    def is_active(self) -> bool:
+        return self.active_row is not None
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Energy and statistics of one evaluated trace."""
+
+    device_name: str
+    vdd: float
+    """External supply voltage of the device (V)."""
+    duration: float
+    """Trace duration (s): last command time + one row cycle."""
+    counts: Dict[Command, int]
+    """Commands executed, by type."""
+    energy: float
+    """Total energy drawn from Vdd (J), including background."""
+    breakdown: EnergyBreakdown
+    """Energy by component category (J)."""
+    data_bits: float
+    """Bits transferred by the reads and writes of the trace."""
+    row_hits: int
+    """Column accesses that reused the already-open row."""
+    row_misses: int
+    """Activates issued (each opens a row for subsequent accesses)."""
+
+    @property
+    def average_power(self) -> float:
+        """Mean power over the trace (W)."""
+        return self.energy / self.duration
+
+    @property
+    def average_current(self) -> float:
+        """Mean Vdd current over the trace (A)."""
+        return self.average_power / self.vdd
+
+    @property
+    def energy_per_bit(self) -> float:
+        """Energy per transferred bit (J); inf for a data-free trace."""
+        if self.data_bits <= 0:
+            return float("inf")
+        return self.energy / self.data_bits
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of column accesses hitting the open row."""
+        total = self.row_hits + self.row_misses
+        if total == 0:
+            return 0.0
+        return self.row_hits / total
+
+
+def evaluate_trace(model: DramPowerModel,
+                   commands: Iterable[TraceCommand],
+                   strict: bool = True) -> TraceResult:
+    """Replay a trace against the model and integrate its energy.
+
+    With ``strict`` (default) every protocol and timing violation raises
+    :class:`TraceError`; with ``strict=False`` the trace is priced as
+    given (useful for approximate traces from external simulators).
+    """
+    device = model.device
+    timing = device.timing
+    banks: Dict[int, _BankState] = {}
+    act_window: deque = deque()
+    counts: Dict[Command, int] = {command: 0 for command in Command}
+    last_time = 0.0
+    previous = float("-inf")
+    row_hits = 0
+    n_banks = device.spec.banks
+
+    command_list: List[TraceCommand] = list(commands)
+    for index, entry in enumerate(command_list):
+        if entry.time < previous:
+            raise TraceError("trace times must be non-decreasing",
+                             entry.time, index)
+        previous = entry.time
+        last_time = max(last_time, entry.time)
+        command = entry.command
+        if command is Command.NOP:
+            continue
+        if strict and entry.bank >= n_banks:
+            raise TraceError(
+                f"bank {entry.bank} outside 0..{n_banks - 1}",
+                entry.time, index,
+            )
+        state = banks.setdefault(entry.bank, _BankState())
+        if command is Command.ACT:
+            group = device.spec.bank_group_of(entry.bank) \
+                if entry.bank < n_banks else 0
+            _check_activate(entry, index, state, act_window, timing,
+                            strict, group)
+            state.active_row = entry.row
+            state.last_act = entry.time
+            act_window.append((entry.time, group))
+            while act_window and act_window[0][0] < entry.time \
+                    - timing.tfaw:
+                act_window.popleft()
+        elif command is Command.PRE:
+            if strict and not state.is_active:
+                raise TraceError(f"precharge on idle bank {entry.bank}",
+                                 entry.time, index)
+            if strict and entry.time < state.last_act + timing.tras \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRAS violation on bank {entry.bank}",
+                    entry.time, index,
+                )
+            if strict and entry.time < state.last_read + timing.trtp \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRTP violation on bank {entry.bank}",
+                    entry.time, index,
+                )
+            if strict and entry.time < state.write_data_end \
+                    + timing.twr - TIMING_EPSILON:
+                raise TraceError(
+                    f"tWR violation on bank {entry.bank}",
+                    entry.time, index,
+                )
+            state.active_row = None
+            state.last_pre = entry.time
+        elif command in (Command.RD, Command.WR):
+            if strict and not state.is_active:
+                raise TraceError(
+                    f"column access on idle bank {entry.bank}",
+                    entry.time, index,
+                )
+            if strict and entry.time < state.last_act + timing.trcd \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRCD violation on bank {entry.bank}",
+                    entry.time, index,
+                )
+            row_hits += 1
+            if command is Command.RD:
+                state.last_read = entry.time
+            else:
+                burst = (device.spec.burst_length
+                         / device.spec.datarate)
+                state.write_data_end = entry.time + burst
+        counts[command] += 1
+
+    # Each activate serves its first access, so hits exclude one access
+    # per activate.
+    row_misses = counts[Command.ACT]
+    row_hits = max(0, row_hits - row_misses)
+
+    duration = last_time + timing.trc
+    breakdown = model.energies.background_power.scaled(duration)
+    for command in (Command.ACT, Command.PRE, Command.RD, Command.WR):
+        if counts[command]:
+            breakdown = breakdown + model.energies.operation_energy(
+                command).scaled(counts[command])
+    data_bits = ((counts[Command.RD] + counts[Command.WR])
+                 * device.spec.bits_per_access)
+    return TraceResult(
+        device_name=device.name,
+        vdd=device.voltages.vdd,
+        duration=duration,
+        counts=counts,
+        energy=breakdown.total,
+        breakdown=breakdown,
+        data_bits=float(data_bits),
+        row_hits=row_hits,
+        row_misses=row_misses,
+    )
+
+
+def _check_activate(entry: TraceCommand, index: int, state: _BankState,
+                    act_window: Sequence, timing,
+                    strict: bool, group: int) -> None:
+    if not strict:
+        return
+    if state.is_active:
+        raise TraceError(f"activate on already-active bank {entry.bank}",
+                         entry.time, index)
+    if entry.time < state.last_act + timing.trc - TIMING_EPSILON:
+        raise TraceError(f"tRC violation on bank {entry.bank}",
+                         entry.time, index)
+    if entry.time < state.last_pre + timing.trp - TIMING_EPSILON:
+        raise TraceError(f"tRP violation on bank {entry.bank}",
+                         entry.time, index)
+    recent = [t for t, _ in act_window
+              if t > entry.time - timing.trrd + TIMING_EPSILON]
+    if recent:
+        raise TraceError("tRRD violation", entry.time, index)
+    same_group = [t for t, g in act_window if g == group
+                  and t > entry.time - timing.trrd_l + TIMING_EPSILON]
+    if same_group:
+        raise TraceError("tRRD_L violation (same bank group)",
+                         entry.time, index)
+    window = [t for t, _ in act_window
+              if t > entry.time - timing.tfaw + TIMING_EPSILON]
+    if len(window) >= 4:
+        raise TraceError("tFAW violation", entry.time, index)
+
+
+def trace_power(model: DramPowerModel,
+                commands: Iterable[TraceCommand],
+                strict: bool = True) -> Tuple[float, float]:
+    """(average power W, average Vdd current A) of a trace."""
+    result = evaluate_trace(model, commands, strict=strict)
+    power = result.average_power
+    return power, power / model.device.voltages.vdd

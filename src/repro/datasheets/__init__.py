@@ -1,0 +1,28 @@
+"""Vendor datasheet IDD database (paper references [22], [23]).
+
+The paper verifies the model against 1 Gb DDR2 and 1 Gb DDR3 datasheets
+from Samsung, Hynix, Micron, Elpida and Qimonda.  Those documents are not
+redistributable, so this package embeds a *reconstruction*: typical
+2008-2010-era datasheet maxima per vendor, derived from the published
+center values of the era with per-vendor spread factors.  The spread is
+deliberately wide — the paper itself notes "the data sheet values show a
+quite large spread" due to different technologies and design styles.
+
+What matters for the Figure 8/9 reproduction is the *shape*: ordering
+across IDD type, data rate and I/O width, and DDR3 sitting below DDR2 —
+not exact milliamps.
+"""
+
+from .idd import ComparisonPoint, DatasheetPoint, VENDORS
+from .ddr2 import DDR2_1G_POINTS, ddr2_points
+from .ddr3 import DDR3_1G_POINTS, ddr3_points
+
+__all__ = [
+    "ComparisonPoint",
+    "DatasheetPoint",
+    "VENDORS",
+    "DDR2_1G_POINTS",
+    "ddr2_points",
+    "DDR3_1G_POINTS",
+    "ddr3_points",
+]

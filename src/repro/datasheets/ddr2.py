@@ -1,0 +1,81 @@
+"""Reconstructed 1 Gb DDR2 datasheet IDD values (paper reference [22]).
+
+Center values are era-typical datasheet maxima (mA at Vdd = 1.8 V) for
+1 Gb DDR2 parts of the 2007-2009 market; per-vendor points are derived
+with the spread factors of :data:`repro.datasheets.idd.VENDORS`.  The
+comparison points mirror the x-axis of Figure 8: Idd0, Idd4R and Idd4W at
+400/533/667/800 Mbit/s/pin for x4, x8 and x16 parts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.idd import IddMeasure
+from .idd import DatasheetPoint, build_vendor_points
+
+_GBIT = 1 << 30
+
+#: Era-typical center values (mA): (measure, datarate, io_width) → mA.
+DDR2_1G_CENTERS: Dict[Tuple[IddMeasure, float, int], float] = {
+    # Idd0 — row cycling; grows mildly with speed grade.  Narrow parts
+    # open a 1 KB page instead of the x16's 2 KB, so they sit lower.
+    (IddMeasure.IDD0, 400e6, 4): 66.0,
+    (IddMeasure.IDD0, 533e6, 4): 71.0,
+    (IddMeasure.IDD0, 667e6, 4): 76.0,
+    (IddMeasure.IDD0, 800e6, 4): 82.0,
+    (IddMeasure.IDD0, 400e6, 8): 66.0,
+    (IddMeasure.IDD0, 533e6, 8): 71.0,
+    (IddMeasure.IDD0, 667e6, 8): 76.0,
+    (IddMeasure.IDD0, 800e6, 8): 82.0,
+    (IddMeasure.IDD0, 400e6, 16): 80.0,
+    (IddMeasure.IDD0, 533e6, 16): 85.0,
+    (IddMeasure.IDD0, 667e6, 16): 92.0,
+    (IddMeasure.IDD0, 800e6, 16): 100.0,
+    # Idd4R — gapless reads; strong growth with rate and width.
+    (IddMeasure.IDD4R, 400e6, 4): 55.0,
+    (IddMeasure.IDD4R, 533e6, 4): 67.0,
+    (IddMeasure.IDD4R, 667e6, 4): 80.0,
+    (IddMeasure.IDD4R, 800e6, 4): 95.0,
+    (IddMeasure.IDD4R, 400e6, 8): 62.0,
+    (IddMeasure.IDD4R, 533e6, 8): 75.0,
+    (IddMeasure.IDD4R, 667e6, 8): 88.0,
+    (IddMeasure.IDD4R, 800e6, 8): 105.0,
+    (IddMeasure.IDD4R, 400e6, 16): 80.0,
+    (IddMeasure.IDD4R, 533e6, 16): 100.0,
+    (IddMeasure.IDD4R, 667e6, 16): 125.0,
+    (IddMeasure.IDD4R, 800e6, 16): 155.0,
+    # Idd4W — gapless writes; slightly above reads for most vendors.
+    (IddMeasure.IDD4W, 400e6, 4): 60.0,
+    (IddMeasure.IDD4W, 533e6, 4): 72.0,
+    (IddMeasure.IDD4W, 667e6, 4): 85.0,
+    (IddMeasure.IDD4W, 800e6, 4): 100.0,
+    (IddMeasure.IDD4W, 400e6, 8): 67.0,
+    (IddMeasure.IDD4W, 533e6, 8): 80.0,
+    (IddMeasure.IDD4W, 667e6, 8): 93.0,
+    (IddMeasure.IDD4W, 800e6, 8): 110.0,
+    (IddMeasure.IDD4W, 400e6, 16): 85.0,
+    (IddMeasure.IDD4W, 533e6, 16): 105.0,
+    (IddMeasure.IDD4W, 667e6, 16): 130.0,
+    (IddMeasure.IDD4W, 800e6, 16): 160.0,
+}
+
+#: All reconstructed per-vendor 1 Gb DDR2 points.
+DDR2_1G_POINTS: Tuple[DatasheetPoint, ...] = build_vendor_points(
+    "DDR2", _GBIT, DDR2_1G_CENTERS, "ddr2_part"
+)
+
+
+def ddr2_points(measure: IddMeasure = None, datarate: float = None,
+                io_width: int = None) -> Tuple[DatasheetPoint, ...]:
+    """Filter the DDR2 datasheet points."""
+    selected = []
+    for point in DDR2_1G_POINTS:
+        if measure is not None and point.measure != IddMeasure(measure):
+            continue
+        if datarate is not None and point.datarate != datarate:
+            continue
+        if io_width is not None and point.io_width != io_width:
+            continue
+        selected.append(point)
+    return tuple(selected)

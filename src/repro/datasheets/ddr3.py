@@ -1,0 +1,81 @@
+"""Reconstructed 1 Gb DDR3 datasheet IDD values (paper reference [23]).
+
+Center values are era-typical datasheet maxima (mA at Vdd = 1.5 V) for
+1 Gb DDR3 parts of the 2009-2010 market.  The comparison points mirror
+the x-axis of Figure 9: Idd0, Idd4R and Idd4W at 800/1066/1333/1600
+Mbit/s/pin for x4, x8 and x16 parts.  DDR3 currents sit below DDR2 at
+equal rate thanks to the 1.5 V supply and the newer technology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.idd import IddMeasure
+from .idd import DatasheetPoint, build_vendor_points
+
+_GBIT = 1 << 30
+
+#: Era-typical center values (mA): (measure, datarate, io_width) → mA.
+DDR3_1G_CENTERS: Dict[Tuple[IddMeasure, float, int], float] = {
+    # Idd0 — row cycling.  Narrow parts open a 1 KB page instead of the
+    # x16's 2 KB, so they sit lower.
+    (IddMeasure.IDD0, 800e6, 4): 50.0,
+    (IddMeasure.IDD0, 1066e6, 4): 54.0,
+    (IddMeasure.IDD0, 1333e6, 4): 58.0,
+    (IddMeasure.IDD0, 1600e6, 4): 63.0,
+    (IddMeasure.IDD0, 800e6, 8): 50.0,
+    (IddMeasure.IDD0, 1066e6, 8): 54.0,
+    (IddMeasure.IDD0, 1333e6, 8): 58.0,
+    (IddMeasure.IDD0, 1600e6, 8): 63.0,
+    (IddMeasure.IDD0, 800e6, 16): 65.0,
+    (IddMeasure.IDD0, 1066e6, 16): 70.0,
+    (IddMeasure.IDD0, 1333e6, 16): 77.0,
+    (IddMeasure.IDD0, 1600e6, 16): 85.0,
+    # Idd4R — gapless reads.
+    (IddMeasure.IDD4R, 800e6, 4): 55.0,
+    (IddMeasure.IDD4R, 1066e6, 4): 65.0,
+    (IddMeasure.IDD4R, 1333e6, 4): 78.0,
+    (IddMeasure.IDD4R, 1600e6, 4): 90.0,
+    (IddMeasure.IDD4R, 800e6, 8): 65.0,
+    (IddMeasure.IDD4R, 1066e6, 8): 78.0,
+    (IddMeasure.IDD4R, 1333e6, 8): 92.0,
+    (IddMeasure.IDD4R, 1600e6, 8): 108.0,
+    (IddMeasure.IDD4R, 800e6, 16): 110.0,
+    (IddMeasure.IDD4R, 1066e6, 16): 130.0,
+    (IddMeasure.IDD4R, 1333e6, 16): 155.0,
+    (IddMeasure.IDD4R, 1600e6, 16): 185.0,
+    # Idd4W — gapless writes.
+    (IddMeasure.IDD4W, 800e6, 4): 60.0,
+    (IddMeasure.IDD4W, 1066e6, 4): 70.0,
+    (IddMeasure.IDD4W, 1333e6, 4): 83.0,
+    (IddMeasure.IDD4W, 1600e6, 4): 95.0,
+    (IddMeasure.IDD4W, 800e6, 8): 70.0,
+    (IddMeasure.IDD4W, 1066e6, 8): 83.0,
+    (IddMeasure.IDD4W, 1333e6, 8): 97.0,
+    (IddMeasure.IDD4W, 1600e6, 8): 113.0,
+    (IddMeasure.IDD4W, 800e6, 16): 115.0,
+    (IddMeasure.IDD4W, 1066e6, 16): 135.0,
+    (IddMeasure.IDD4W, 1333e6, 16): 160.0,
+    (IddMeasure.IDD4W, 1600e6, 16): 190.0,
+}
+
+#: All reconstructed per-vendor 1 Gb DDR3 points.
+DDR3_1G_POINTS: Tuple[DatasheetPoint, ...] = build_vendor_points(
+    "DDR3", _GBIT, DDR3_1G_CENTERS, "ddr3_part"
+)
+
+
+def ddr3_points(measure: IddMeasure = None, datarate: float = None,
+                io_width: int = None) -> Tuple[DatasheetPoint, ...]:
+    """Filter the DDR3 datasheet points."""
+    selected = []
+    for point in DDR3_1G_POINTS:
+        if measure is not None and point.measure != IddMeasure(measure):
+            continue
+        if datarate is not None and point.datarate != datarate:
+            continue
+        if io_width is not None and point.io_width != io_width:
+            continue
+        selected.append(point)
+    return tuple(selected)

@@ -1,0 +1,105 @@
+"""Datasheet data structures and the vendor list of references [22]/[23]."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.idd import IddMeasure
+
+#: The vendors whose 1 Gb parts the paper compares against, with the part
+#: families named in references [22] and [23], and the spread factor used
+#: to reconstruct per-vendor values around the era-typical center.
+VENDORS: Dict[str, Dict[str, object]] = {
+    "Samsung": {
+        "ddr2_part": "K4T1G044QQ/084QQ/164QQ",
+        "ddr3_part": "K4B1G0446D/0846D/1646D",
+        "factor": 0.90,
+    },
+    "Hynix": {
+        "ddr2_part": "H5PS1G63EFR / HY5PS1G1631CFP",
+        "ddr3_part": "H5TQ1G63AFP",
+        "factor": 1.00,
+    },
+    "Micron": {
+        "ddr2_part": "MT47H64M16",
+        "ddr3_part": "MT41J64M16",
+        "factor": 1.12,
+    },
+    "Elpida": {
+        "ddr2_part": "EDE1116ACBG",
+        "ddr3_part": "EDJ1116BBSE",
+        "factor": 0.95,
+    },
+    "Qimonda": {
+        "ddr2_part": "HYI18T1G160C2",
+        "ddr3_part": "IDSH1G-04A1F1C",
+        "factor": 1.06,
+    },
+}
+
+
+@dataclass(frozen=True)
+class DatasheetPoint:
+    """One datasheet IDD value of one vendor part."""
+
+    vendor: str
+    part: str
+    interface: str
+    density_bits: int
+    io_width: int
+    datarate: float
+    """Per-pin data rate (bit/s)."""
+    measure: IddMeasure
+    current_ma: float
+    """Datasheet maximum current (mA)."""
+
+    @property
+    def label(self) -> str:
+        """The paper's x-axis label style, e.g. ``Idd0 533 x4``."""
+        mbps = self.datarate / 1e6
+        return f"{self.measure.value} {mbps:.0f} x{self.io_width}"
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """One x-axis point of Figure 8/9: an (IDD, datarate, width) triple."""
+
+    interface: str
+    measure: IddMeasure
+    datarate: float
+    io_width: int
+
+    @property
+    def label(self) -> str:
+        """The paper's x-axis label style, e.g. ``Idd0 533 x4``."""
+        mbps = self.datarate / 1e6
+        return f"{self.measure.value} {mbps:.0f} x{self.io_width}"
+
+
+def spread(points: Iterable[DatasheetPoint]) -> Tuple[float, float, float]:
+    """(min, mean, max) current in mA over a set of datasheet points."""
+    values: List[float] = [point.current_ma for point in points]
+    if not values:
+        raise ValueError("no datasheet points given")
+    return min(values), sum(values) / len(values), max(values)
+
+
+def build_vendor_points(interface: str, density_bits: int,
+                        centers: Dict[Tuple[IddMeasure, float, int], float],
+                        part_key: str) -> Tuple[DatasheetPoint, ...]:
+    """Expand era-typical center values into per-vendor points."""
+    points: List[DatasheetPoint] = []
+    for (measure, datarate, io_width), center in centers.items():
+        for vendor, info in VENDORS.items():
+            points.append(DatasheetPoint(
+                vendor=vendor,
+                part=str(info[part_key]),
+                interface=interface,
+                density_bits=density_bits,
+                io_width=io_width,
+                datarate=datarate,
+                measure=measure,
+                current_ma=round(center * float(info["factor"]), 1),
+            ))
+    return tuple(points)

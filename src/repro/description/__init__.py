@@ -1,0 +1,43 @@
+"""Canonical, validated dataclasses describing a DRAM.
+
+This package is the in-memory form of the paper's DRAM description language
+(Table I).  Every model input — physical floorplan, signaling floorplan,
+technology, specification, voltages, peripheral logic blocks and the command
+pattern — is a frozen dataclass here; the DSL front end (:mod:`repro.dsl`)
+and the prebuilt device library (:mod:`repro.devices`) both produce these
+objects, and the power model (:mod:`repro.core`) consumes them.
+"""
+
+from .technology import TechnologyParameters
+from .voltages import Rail, VoltageSet
+from .floorplan import (
+    ArrayArchitecture,
+    BitlineArchitecture,
+    BlockSpec,
+    PhysicalFloorplan,
+)
+from .signaling import SegmentKind, SignalNet, SignalSegment, SignalingFloorplan
+from .specification import Specification, TimingParameters
+from .logic import LogicBlock
+from .pattern import Command, Pattern
+from .dram import DramDescription
+
+__all__ = [
+    "TechnologyParameters",
+    "Rail",
+    "VoltageSet",
+    "ArrayArchitecture",
+    "BitlineArchitecture",
+    "BlockSpec",
+    "PhysicalFloorplan",
+    "SegmentKind",
+    "SignalNet",
+    "SignalSegment",
+    "SignalingFloorplan",
+    "Specification",
+    "TimingParameters",
+    "LogicBlock",
+    "Command",
+    "Pattern",
+    "DramDescription",
+]

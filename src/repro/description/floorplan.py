@@ -1,0 +1,218 @@
+"""Physical floorplan description (paper Section III.B.1, Figure 1).
+
+A DRAM floorplan is described as a grid: a sequence of column types along
+the horizontal axis and a sequence of row types along the vertical axis
+(the paper's ``Vertical blocks = A1 P1 P2 P1 A1``), plus a size for each
+type (``SizeVertical A1=3396um P1=200um P2=530um``).  A grid cell whose
+column type *and* row type are both array types is an array block (a bank
+or part of one); everything else is peripheral circuitry.
+
+The cell-array organisation itself — bitline direction, cells per bitline
+and per local wordline, open vs folded architecture, pitches and the widths
+of the on-pitch stripes — is carried by :class:`ArrayArchitecture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, FrozenSet, Tuple
+
+from ..errors import DescriptionError, FloorplanError
+
+
+class BitlineArchitecture(str, Enum):
+    """Open or folded bitline architecture (Table II, 75→65 nm row)."""
+
+    OPEN = "open"
+    FOLDED = "folded"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArrayArchitecture:
+    """Cell-array organisation parameters of Table I (physical floorplan)."""
+
+    bitline_direction: str
+    """``'v'`` if bitlines run parallel to the vertical axis, else ``'h'``.
+
+    The paper phrases this as parallel or perpendicular to the pad row.
+    """
+    bits_per_bitline: int
+    """Cells connected to one local bitline (typically 256-512)."""
+    bits_per_swl: int
+    """Cells connected to one sub- (local) wordline (typically 256-512)."""
+    bitline_arch: BitlineArchitecture
+    """Open or folded bitline architecture."""
+    blocks_per_csl: int
+    """Number of array blocks sharing one column select line."""
+    wl_pitch: float
+    """Wordline pitch — cell repeat distance along the bitline (m)."""
+    bl_pitch: float
+    """Bitline pitch — cell repeat distance along the wordline (m)."""
+    width_sa_stripe: float
+    """Width of one bitline sense-amplifier stripe (m)."""
+    width_swd_stripe: float
+    """Width of one sub-wordline (local wordline) driver stripe (m)."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bitline_arch",
+                           BitlineArchitecture(self.bitline_arch))
+        if self.bitline_direction not in ("v", "h"):
+            raise DescriptionError(
+                "bitline_direction must be 'v' or 'h', got "
+                f"{self.bitline_direction!r}"
+            )
+        for name in ("bits_per_bitline", "bits_per_swl", "blocks_per_csl"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise DescriptionError(f"{name} must be a positive integer")
+        for name in ("wl_pitch", "bl_pitch", "width_sa_stripe",
+                     "width_swd_stripe"):
+            if getattr(self, name) <= 0:
+                raise DescriptionError(f"{name} must be positive")
+        if self.bits_per_bitline & (self.bits_per_bitline - 1):
+            raise DescriptionError("bits_per_bitline must be a power of two")
+        if self.bits_per_swl & (self.bits_per_swl - 1):
+            raise DescriptionError("bits_per_swl must be a power of two")
+
+    @property
+    def is_folded(self) -> bool:
+        """True for folded bitline architectures."""
+        return self.bitline_arch is BitlineArchitecture.FOLDED
+
+    @property
+    def cell_area(self) -> float:
+        """Area of one cell (m²).
+
+        Open architectures store one bit per pitch rectangle (6F² style);
+        folded architectures pay a factor of two because the complement
+        bitline runs through the same sub-array and only every other
+        wordline crossing holds a cell (8F² style).
+        """
+        factor = 2.0 if self.is_folded else 1.0
+        return self.wl_pitch * self.bl_pitch * factor
+
+    @property
+    def local_bitline_length(self) -> float:
+        """Physical length of one local bitline (m).
+
+        In a folded architecture two cells share each bitline contact and
+        only every other wordline crossing holds a cell, so the bitline
+        spans twice as many wordline pitches per stored bit.
+        """
+        factor = 2.0 if self.is_folded else 1.0
+        return self.bits_per_bitline * self.wl_pitch * factor
+
+    @property
+    def local_wordline_length(self) -> float:
+        """Physical length of one sub-wordline (m)."""
+        return self.bits_per_swl * self.bl_pitch
+
+    @property
+    def rows_per_subarray(self) -> int:
+        """Addressable rows (wordlines) per sub-array.
+
+        A folded sub-array holds cells on both the true and the complement
+        bitline, so it contains twice as many wordlines as one bitline has
+        cells.
+        """
+        return self.bits_per_bitline * (2 if self.is_folded else 1)
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One named block type of the floorplan grid."""
+
+    name: str
+    """Type name as used in the axis sequences, e.g. ``A1`` or ``P2``."""
+    is_array: bool
+    """True when the block type is a cell-array block."""
+    size: float = 0.0
+    """Extent of the type along its axis (m); 0 means derive (array only)."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DescriptionError("block type name must not be empty")
+        if self.size < 0:
+            raise DescriptionError("block size must not be negative")
+        if not self.is_array and self.size == 0:
+            raise DescriptionError(
+                f"peripheral block {self.name!r} needs an explicit size"
+            )
+
+
+@dataclass(frozen=True)
+class PhysicalFloorplan:
+    """The full physical floorplan: array organisation plus block grid."""
+
+    array: ArrayArchitecture
+    """Cell-array organisation."""
+    horizontal: Tuple[str, ...]
+    """Block type names along the horizontal (x) axis, left to right."""
+    vertical: Tuple[str, ...]
+    """Block type names along the vertical (y) axis, bottom to top."""
+    widths: Dict[str, float] = field(default_factory=dict)
+    """Horizontal extent per block type (m); array types may be omitted."""
+    heights: Dict[str, float] = field(default_factory=dict)
+    """Vertical extent per block type (m); array types may be omitted."""
+    array_types: FrozenSet[str] = frozenset({"A1"})
+    """Names of block types that are cell-array blocks."""
+
+    def __post_init__(self) -> None:
+        if not self.horizontal or not self.vertical:
+            raise FloorplanError("floorplan axes must not be empty")
+        object.__setattr__(self, "horizontal", tuple(self.horizontal))
+        object.__setattr__(self, "vertical", tuple(self.vertical))
+        object.__setattr__(self, "array_types", frozenset(self.array_types))
+        used = set(self.horizontal) | set(self.vertical)
+        for name in used:
+            if name in self.array_types:
+                continue
+            axis_maps = []
+            if name in self.horizontal:
+                axis_maps.append(self.widths)
+            if name in self.vertical:
+                axis_maps.append(self.heights)
+            for sizes in axis_maps:
+                if name not in sizes:
+                    raise FloorplanError(
+                        f"peripheral block type {name!r} has no size"
+                    )
+        for sizes in (self.widths, self.heights):
+            for name, value in sizes.items():
+                if value <= 0:
+                    raise FloorplanError(
+                        f"block type {name!r} has non-positive size {value}"
+                    )
+        if not any(name in self.array_types for name in self.horizontal):
+            raise FloorplanError("no array block type on the horizontal axis")
+        if not any(name in self.array_types for name in self.vertical):
+            raise FloorplanError("no array block type on the vertical axis")
+
+    # ------------------------------------------------------------------
+    @property
+    def array_columns(self) -> int:
+        """Number of array-block columns in the grid."""
+        return sum(1 for name in self.horizontal if name in self.array_types)
+
+    @property
+    def array_rows(self) -> int:
+        """Number of array-block rows in the grid."""
+        return sum(1 for name in self.vertical if name in self.array_types)
+
+    @property
+    def array_block_count(self) -> int:
+        """Total number of array blocks (typically the bank count)."""
+        return self.array_columns * self.array_rows
+
+    def is_array_cell(self, x: int, y: int) -> bool:
+        """True when grid cell (x, y) is an array block."""
+        return (self.horizontal[x] in self.array_types
+                and self.vertical[y] in self.array_types)
+
+    def with_array(self, **overrides: object) -> "PhysicalFloorplan":
+        """Return a copy with array-architecture fields replaced."""
+        return replace(self, array=replace(self.array, **overrides))

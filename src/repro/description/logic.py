@@ -1,0 +1,117 @@
+"""Miscellaneous peripheral logic blocks (paper Section III.B.5).
+
+Beyond the array and the long signal wires, a DRAM contains logic for
+command/address decoding, clock synchronisation and distribution, test
+support, etc.  These blocks are modeled by the number of toggling gates,
+the average transistor sizes, and a wire load derived from the block area —
+the gate counts are the model's *fit parameters* against datasheet values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import FrozenSet
+
+from ..errors import DescriptionError
+from .pattern import Command
+from .signaling import Trigger
+from .voltages import Rail
+
+#: Empirical routing factor: average local wire length per gate is this
+#: multiple of the gate pitch at full wiring density.
+_WIRE_LENGTH_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class LogicBlock:
+    """One peripheral logic block (Table I "Logic block description")."""
+
+    name: str
+    """Block name, e.g. ``control``, ``rowdec``, ``dll``."""
+    n_gates: int
+    """Number of gates in the block (the datasheet fit parameter)."""
+    w_n: float
+    """Average NMOS gate width in the block (m)."""
+    w_p: float
+    """Average PMOS gate width in the block (m)."""
+    transistors_per_gate: float = 4.0
+    """Average number of transistors per gate."""
+    layout_density: float = 0.25
+    """Coverage of the block area with transistor gates (0..1)."""
+    wiring_density: float = 0.5
+    """Coverage of the block area with local wiring (0..1)."""
+    operations: FrozenSet[str] = frozenset()
+    """Commands during which the block is active (empty = always on)."""
+    toggle: float = 0.1
+    """Rate of toggling relative to the block's clock (0..1)."""
+    trigger: Trigger = Trigger.PER_CTRL_CLOCK
+    """Clock domain of the block."""
+    rail: Rail = Rail.VINT
+    """Supply rail of the block."""
+    component: str = "control"
+    """Breakdown category of the block (a :class:`repro.core.Component`
+    value: ``control``, ``row_logic``, ``column``, ``clock``, ``io``…)."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DescriptionError("logic block name must not be empty")
+        if not isinstance(self.n_gates, int) or self.n_gates <= 0:
+            raise DescriptionError(
+                f"logic block {self.name!r}: n_gates must be a positive "
+                "integer"
+            )
+        for field_name in ("w_n", "w_p"):
+            if getattr(self, field_name) <= 0:
+                raise DescriptionError(
+                    f"logic block {self.name!r}: {field_name} must be "
+                    "positive"
+                )
+        if self.transistors_per_gate < 1:
+            raise DescriptionError(
+                f"logic block {self.name!r}: transistors_per_gate must be "
+                ">= 1"
+            )
+        for field_name in ("layout_density", "wiring_density", "toggle"):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise DescriptionError(
+                    f"logic block {self.name!r}: {field_name} must be in "
+                    f"(0, 1], got {value}"
+                )
+        object.__setattr__(
+            self, "operations",
+            frozenset(Command(op) for op in self.operations),
+        )
+        object.__setattr__(self, "trigger", Trigger(self.trigger))
+        object.__setattr__(self, "rail", Rail(self.rail))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_background(self) -> bool:
+        """True when the block runs regardless of the command stream."""
+        return not self.operations
+
+    def device_area(self, gate_length: float) -> float:
+        """Total transistor gate area of the block (m²)."""
+        per_gate = (self.w_n + self.w_p) / 2.0 * gate_length
+        return self.n_gates * self.transistors_per_gate * per_gate
+
+    def block_area(self, gate_length: float) -> float:
+        """Laid-out block area (m²) at the given layout density."""
+        return self.device_area(gate_length) / self.layout_density
+
+    def wire_length_per_gate(self, gate_length: float) -> float:
+        """Average local wire length driven by one gate (m).
+
+        Derived from the block area: at full wiring density each gate drives
+        a wire a few gate pitches long; sparser blocks route shorter local
+        wires.  The paper describes this as "the wire load as function of
+        the block size which is calculated based on the number of gates".
+        """
+        pitch = math.sqrt(self.block_area(gate_length) / self.n_gates)
+        return pitch * self.wiring_density * _WIRE_LENGTH_FACTOR
+
+    def scaled(self, **overrides: object) -> "LogicBlock":
+        """Return a copy with fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,149 @@
+"""Command patterns (paper Section III.B.4).
+
+The pattern description gives a series of commands assumed to repeat in a
+continuous loop, one command per control-clock cycle:
+
+.. code-block:: text
+
+    Pattern loop= act nop wrt nop rd nop pre nop
+
+In this example the power is 12.5 % of the power associated with each of
+activate, write, read and precharge plus 50 % no-operation power.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Tuple
+
+from ..errors import DescriptionError
+
+
+class Command(str, Enum):
+    """DRAM command mnemonics understood by the pattern engine."""
+
+    ACT = "act"
+    PRE = "pre"
+    RD = "rd"
+    WR = "wr"
+    NOP = "nop"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Alternate spellings accepted by :meth:`Pattern.parse` (the paper's
+#: example writes ``wrt`` for write).
+_ALIASES: Dict[str, Command] = {
+    "act": Command.ACT,
+    "activate": Command.ACT,
+    "pre": Command.PRE,
+    "precharge": Command.PRE,
+    "rd": Command.RD,
+    "read": Command.RD,
+    "wr": Command.WR,
+    "wrt": Command.WR,
+    "write": Command.WR,
+    "nop": Command.NOP,
+    "noop": Command.NOP,
+}
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A repeating command loop, one slot per control-clock cycle."""
+
+    commands: Tuple[Command, ...]
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise DescriptionError("pattern must contain at least one slot")
+        object.__setattr__(
+            self, "commands", tuple(Command(c) for c in self.commands)
+        )
+        balance = 0
+        for command in self.commands:
+            if command is Command.ACT:
+                balance += 1
+            elif command is Command.PRE:
+                balance -= 1
+        if balance != 0:
+            raise DescriptionError(
+                "pattern must contain equally many activates and "
+                f"precharges per loop (got imbalance {balance:+d})"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Pattern":
+        """Parse a space-separated command loop, e.g. ``"act nop rd pre"``."""
+        tokens = text.replace(",", " ").split()
+        if not tokens:
+            raise DescriptionError("empty pattern string")
+        commands = []
+        for token in tokens:
+            mnemonic = token.strip().lower()
+            if mnemonic not in _ALIASES:
+                raise DescriptionError(f"unknown command mnemonic {token!r}")
+            commands.append(_ALIASES[mnemonic])
+        return cls(tuple(commands))
+
+    @classmethod
+    def from_counts(cls, counts: Dict[Command, int],
+                    length: int) -> "Pattern":
+        """Build a pattern of ``length`` slots from per-command counts.
+
+        Commands are spread evenly; remaining slots are NOPs.
+        """
+        total = sum(counts.values())
+        if total > length:
+            raise DescriptionError(
+                f"{total} commands do not fit in {length} slots"
+            )
+        slots = [Command.NOP] * length
+        index = 0
+        for command, count in counts.items():
+            if command is Command.NOP:
+                continue
+            if count <= 0:
+                continue
+            stride = max(1, length // count)
+            placed = 0
+            while placed < count:
+                while slots[index % length] is not Command.NOP:
+                    index += 1
+                slots[index % length] = command
+                index += stride
+                placed += 1
+        return cls(tuple(slots))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self) -> Iterable[Command]:
+        return iter(self.commands)
+
+    def counts(self) -> Dict[Command, int]:
+        """Occurrences of each command per loop."""
+        counter: Counter = Counter(self.commands)
+        return {command: counter.get(command, 0) for command in Command}
+
+    def weight(self, command: Command) -> float:
+        """Fraction of loop slots holding ``command``."""
+        return self.counts()[Command(command)] / len(self.commands)
+
+    def rate(self, command: Command, f_ctrlclock: float) -> float:
+        """Occurrences of ``command`` per second at the given clock."""
+        return self.weight(command) * f_ctrlclock
+
+    @property
+    def has_column_traffic(self) -> bool:
+        """True when the loop issues any read or write."""
+        counts = self.counts()
+        return counts[Command.RD] > 0 or counts[Command.WR] > 0
+
+    def __str__(self) -> str:
+        return " ".join(str(command) for command in self.commands)

@@ -1,0 +1,182 @@
+"""Signaling floorplan description (paper Section III.B.2).
+
+A significant portion of DRAM power charges and discharges long signal
+wires: the read and write data buses, the bank/row/column address buses,
+the control bus and the clock.  In the model each such *net* is built from
+*wire segments* with optional device loads (re-drivers, multiplexers)
+inserted along the bus — exactly the paper's ``FloorplanSignaling`` section:
+
+.. code-block:: text
+
+    DataW0 inside=0_2 fraction=25% dir=h mux=1:8
+    DataW1 start=0_2 end=3_2 PchW=19.2 NchW=9.6
+
+Segments between blocks extend from block centre to block centre; segments
+inside one block are a fraction of the block's extent in a given direction.
+Each segment carries its own wire count and toggle rate (a bus before a 1:8
+de-serialiser has ``io_width`` wires toggling at the data rate, after it
+``8 × io_width`` wires at the core rate — expressed here as separate
+segments with their own ``wires``/``events_per_trigger``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Optional, Tuple
+
+from ..errors import DescriptionError, FloorplanError
+from .pattern import Command
+from .voltages import Rail
+
+
+class SegmentKind(str, Enum):
+    """How a segment's length is derived from the physical floorplan."""
+
+    INSIDE = "inside"
+    """The segment runs inside one block; length = fraction × block extent."""
+    SPAN = "span"
+    """The segment runs from one block centre to another block centre."""
+
+
+class Trigger(str, Enum):
+    """What clock or event drives a signal net."""
+
+    PER_ACCESS = "access"
+    """Once per column access (a burst of ``io_width × prefetch`` bits)."""
+    PER_ROW_OP = "row_op"
+    """Once per activate or precharge command."""
+    PER_CTRL_CLOCK = "ctrl_clock"
+    """Every control-clock cycle (command/address/clock wiring)."""
+    PER_DATA_CLOCK = "data_clock"
+    """Every data-clock cycle (interface-speed wiring)."""
+
+
+@dataclass(frozen=True)
+class SignalSegment:
+    """One wire segment of a signal net, with optional inserted devices."""
+
+    kind: SegmentKind
+    """Geometry rule for this segment."""
+    start: Tuple[int, int]
+    """Grid coordinate (x, y) of the segment origin block."""
+    end: Optional[Tuple[int, int]] = None
+    """Grid coordinate of the destination block (``SPAN`` only)."""
+    fraction: float = 1.0
+    """Fraction of the block extent covered (``INSIDE`` only)."""
+    direction: str = "h"
+    """Direction of an ``INSIDE`` segment: ``'h'`` or ``'v'``."""
+    wires: int = 1
+    """Number of parallel wires in this segment of the bus."""
+    toggle: float = 0.5
+    """Average toggles per wire per net event (activity factor)."""
+    buffer_w_n: float = 0.0
+    """Width of the NMOS of a buffer driven by this segment (m), 0 = none."""
+    buffer_w_p: float = 0.0
+    """Width of the PMOS of a buffer driven by this segment (m), 0 = none."""
+    mux_ratio: float = 1.0
+    """Serialisation change after this segment (``8`` for a 1:8 mux)."""
+
+    def __post_init__(self) -> None:
+        kind = SegmentKind(self.kind)
+        object.__setattr__(self, "kind", kind)
+        if kind is SegmentKind.SPAN:
+            if self.end is None:
+                raise FloorplanError("a SPAN segment needs an end coordinate")
+        else:
+            if not 0.0 < self.fraction <= 1.0:
+                raise FloorplanError(
+                    f"segment fraction must be in (0, 1], got {self.fraction}"
+                )
+            if self.direction not in ("h", "v"):
+                raise FloorplanError(
+                    f"segment direction must be 'h' or 'v', got "
+                    f"{self.direction!r}"
+                )
+        if self.wires <= 0:
+            raise DescriptionError("segment wire count must be positive")
+        if not 0.0 <= self.toggle <= 1.0:
+            raise DescriptionError(
+                f"segment toggle rate must be in [0, 1], got {self.toggle}"
+            )
+        for name in ("buffer_w_n", "buffer_w_p"):
+            if getattr(self, name) < 0:
+                raise DescriptionError(f"{name} must not be negative")
+        if self.mux_ratio < 1.0:
+            raise DescriptionError("mux_ratio must be >= 1")
+
+    @property
+    def has_buffer(self) -> bool:
+        """True when a re-driver/multiplexer load is inserted here."""
+        return self.buffer_w_n > 0 or self.buffer_w_p > 0
+
+
+@dataclass(frozen=True)
+class SignalNet:
+    """A named bus built from wire segments.
+
+    ``operations`` restricts when the net fires: a write data bus only
+    toggles during write commands.  An empty set means the net is part of
+    the background (clock, control) and fires on its trigger regardless of
+    the command stream.
+    """
+
+    name: str
+    """Net name, e.g. ``DataWrite`` or ``RowAddr``."""
+    segments: Tuple[SignalSegment, ...]
+    """Ordered wire segments making up the bus."""
+    trigger: Trigger = Trigger.PER_ACCESS
+    """Event driving the net."""
+    operations: FrozenSet[str] = frozenset()
+    """Command mnemonics during which the net is active (empty = always)."""
+    rail: Rail = Rail.VINT
+    """Supply rail the net swings on."""
+    component: str = "datapath"
+    """Breakdown category of the net (a :class:`repro.core.Component`
+    value: ``datapath``, ``control``, ``clock``, ``row_logic``…)."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DescriptionError("signal net name must not be empty")
+        if not self.segments:
+            raise DescriptionError(
+                f"signal net {self.name!r} has no segments"
+            )
+        object.__setattr__(self, "segments", tuple(self.segments))
+        object.__setattr__(self, "trigger", Trigger(self.trigger))
+        object.__setattr__(
+            self, "operations",
+            frozenset(Command(op) for op in self.operations),
+        )
+        object.__setattr__(self, "rail", Rail(self.rail))
+
+    @property
+    def is_background(self) -> bool:
+        """True when the net toggles regardless of the command stream."""
+        return not self.operations
+
+
+@dataclass(frozen=True)
+class SignalingFloorplan:
+    """All signal nets of the device."""
+
+    nets: Tuple[SignalNet, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nets", tuple(self.nets))
+        names = [net.name for net in self.nets]
+        if len(names) != len(set(names)):
+            raise DescriptionError("signal net names must be unique")
+
+    def net(self, name: str) -> SignalNet:
+        """Look up a net by name."""
+        for net in self.nets:
+            if net.name == name:
+                return net
+        raise KeyError(f"no signal net named {name!r}")
+
+    def __iter__(self):
+        return iter(self.nets)
+
+    def __len__(self) -> int:
+        return len(self.nets)

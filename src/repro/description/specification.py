@@ -1,0 +1,205 @@
+"""Interface specification and timing parameters (Table I "Specification").
+
+The specification defines the I/O width, per-pin data rate, clocking and
+the address-space split (bank/row/column bits).  Serialisation appears both
+here (the ``prefetch`` factor) and in the signaling floorplan (the physical
+placement of the 1:8 de-serialiser), matching the paper's split.
+
+Timing parameters are *not* part of the paper's Table I (the model computes
+power, not timing) but the IDD current definitions need the row cycle time
+and activate-spacing constraints, so they are carried alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import DescriptionError
+
+
+@dataclass(frozen=True)
+class Specification:
+    """Interface specification of the device."""
+
+    io_width: int
+    """Number of DQ pins (x4 / x8 / x16 / x32)."""
+    datarate: float
+    """Data rate per DQ pin (bit/s)."""
+    n_clock_wires: int
+    """Number of clock wires distributed across the die."""
+    f_dataclock: float
+    """Data clock frequency (Hz); data rate is 1× or 2× this."""
+    f_ctrlclock: float
+    """Control (command/address) clock frequency (Hz)."""
+    bank_bits: int
+    """Number of bank address bits."""
+    row_bits: int
+    """Number of row address bits."""
+    col_bits: int
+    """Number of column address bits (including burst-order bits)."""
+    n_misc_control: int = 8
+    """Number of miscellaneous control signals (CS, RAS, CAS, WE, ODT…)."""
+    prefetch: int = 8
+    """Internal prefetch: bits fetched per DQ per column access."""
+    burst_length: int = 0
+    """Burst length in beats; defaults to the prefetch depth."""
+    bank_groups: int = 1
+    """Bank groups (DDR4/DDR5): same-group activates pay tRRD_L."""
+
+    def __post_init__(self) -> None:
+        for name in ("io_width", "n_clock_wires", "bank_bits", "row_bits",
+                     "col_bits", "prefetch"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise DescriptionError(f"{name} must be a positive integer")
+        for name in ("datarate", "f_dataclock", "f_ctrlclock"):
+            if getattr(self, name) <= 0:
+                raise DescriptionError(f"{name} must be positive")
+        if self.n_misc_control < 0:
+            raise DescriptionError("n_misc_control must not be negative")
+        if self.prefetch & (self.prefetch - 1):
+            raise DescriptionError("prefetch must be a power of two")
+        ratio = self.datarate / self.f_dataclock
+        if not (0.99 < ratio < 1.01 or 1.99 < ratio < 2.01):
+            raise DescriptionError(
+                "data rate must be 1x (SDR) or 2x (DDR) the data clock; got "
+                f"ratio {ratio:.3g}"
+            )
+        if self.burst_length == 0:
+            object.__setattr__(self, "burst_length", self.prefetch)
+        if self.burst_length <= 0:
+            raise DescriptionError("burst_length must be positive")
+        if (1 << self.col_bits) < self.prefetch:
+            raise DescriptionError(
+                "column address space smaller than one prefetch burst"
+            )
+        if self.bank_groups <= 0 or self.banks % self.bank_groups:
+            raise DescriptionError(
+                f"{self.banks} banks cannot split into "
+                f"{self.bank_groups} bank groups"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_ddr(self) -> bool:
+        """True when data transfers on both clock edges."""
+        return self.datarate / self.f_dataclock > 1.5
+
+    @property
+    def bits_per_access(self) -> int:
+        """Bits moved per internal column access (io_width × prefetch)."""
+        return self.io_width * self.prefetch
+
+    @property
+    def core_access_rate(self) -> float:
+        """Maximum internal column-access rate (accesses/s) at full speed."""
+        return self.datarate / self.prefetch
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak device data bandwidth (bit/s)."""
+        return self.datarate * self.io_width
+
+    @property
+    def page_bits(self) -> int:
+        """Page (row buffer) size in bits: 2^col_bits × io_width."""
+        return (1 << self.col_bits) * self.io_width
+
+    @property
+    def banks(self) -> int:
+        """Number of banks."""
+        return 1 << self.bank_bits
+
+    @property
+    def rows_per_bank(self) -> int:
+        """Number of rows (wordlines addressable) per bank."""
+        return 1 << self.row_bits
+
+    @property
+    def density_bits(self) -> int:
+        """Total device density in bits."""
+        return self.page_bits * self.rows_per_bank * self.banks
+
+    @property
+    def banks_per_group(self) -> int:
+        """Banks within one bank group."""
+        return self.banks // self.bank_groups
+
+    def bank_group_of(self, bank: int) -> int:
+        """The bank group a bank belongs to."""
+        return bank // self.banks_per_group
+
+    def scaled(self, **overrides: object) -> "Specification":
+        """Return a copy with fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Row-timing parameters used by the IDD pattern definitions."""
+
+    trc: float
+    """Row cycle time: activate-to-activate on one bank (s)."""
+    trrd: float = 10e-9
+    """Activate-to-activate delay between different banks (s); with bank
+    groups this is the cross-group tRRD_S."""
+    trrd_l: float = 0.0
+    """Same-bank-group activate-to-activate delay tRRD_L (s); 0 derives
+    tRRD (no bank-group distinction)."""
+    tfaw: float = 40e-9
+    """Four-activate window (s)."""
+    trcd: float = 0.0
+    """Activate-to-column-command delay (s); 0 derives 0.3 × tRC."""
+    trp: float = 0.0
+    """Precharge-to-activate delay (s); 0 derives 0.3 × tRC."""
+    tras: float = 0.0
+    """Minimum row-active time (s); 0 derives tRC − tRP."""
+    twr: float = 15e-9
+    """Write recovery: end of write data to precharge (s)."""
+    trtp: float = 7.5e-9
+    """Read-to-precharge delay (s)."""
+    trfc: float = 110e-9
+    """Refresh cycle time (s)."""
+    tref_interval: float = 7.8e-6
+    """Average interval between auto-refresh commands (s)."""
+    rows_per_refresh: int = 8
+    """Physical rows refreshed per auto-refresh command."""
+
+    def __post_init__(self) -> None:
+        for name in ("trc", "trrd", "tfaw", "trfc", "tref_interval",
+                     "twr", "trtp"):
+            if getattr(self, name) <= 0:
+                raise DescriptionError(f"{name} must be positive")
+        if self.rows_per_refresh <= 0:
+            raise DescriptionError("rows_per_refresh must be positive")
+        if self.trrd > self.trc:
+            raise DescriptionError("trrd cannot exceed trc")
+        if self.tfaw < self.trrd:
+            raise DescriptionError("tfaw cannot be shorter than trrd")
+        if self.trrd_l == 0.0:
+            object.__setattr__(self, "trrd_l", self.trrd)
+        if self.trrd_l < self.trrd:
+            raise DescriptionError("trrd_l cannot be shorter than trrd")
+        if self.trcd == 0.0:
+            object.__setattr__(self, "trcd", 0.3 * self.trc)
+        if self.trp == 0.0:
+            object.__setattr__(self, "trp", 0.3 * self.trc)
+        if self.tras == 0.0:
+            object.__setattr__(self, "tras", self.trc - self.trp)
+        for name in ("trcd", "trp", "tras"):
+            value = getattr(self, name)
+            if not 0 < value <= self.trc:
+                raise DescriptionError(
+                    f"{name} must be positive and no larger than trc"
+                )
+        if self.tras + self.trp > self.trc * 1.0001:
+            raise DescriptionError("tras + trp cannot exceed trc")
+
+    @property
+    def max_row_rate(self) -> float:
+        """Maximum sustainable activate rate across banks (1/s)."""
+        return min(1.0 / self.trrd, 4.0 / self.tfaw)
+
+    def scaled(self, **overrides: float) -> "TimingParameters":
+        """Return a copy with fields replaced."""
+        return replace(self, **overrides)

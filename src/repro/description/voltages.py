@@ -1,0 +1,128 @@
+"""Voltage domains of a DRAM (paper Section III.A).
+
+A DRAM has four main voltage domains:
+
+* ``vpp``  — boosted wordline voltage (above Vdd), produced by a charge pump;
+* ``vbl``  — bitline high voltage, limited by cell-capacitor reliability;
+* ``vint`` — internal voltage supplying most logic, regulated from Vdd or
+  connected directly to it;
+* ``vdd``  — the external supply itself (interface circuitry, pumps).
+
+Each derived rail carries a *generator efficiency*: the fraction of the
+energy drawn from Vdd that is delivered at the rail.  A linear regulator has
+``eff = V_rail / Vdd``; an ideal voltage-doubling pump ``eff = V_rail /
+(2 Vdd)``; a direct connection ``eff = 1``.  Datasheet IDD currents are
+measured at Vdd, so all rail charges are referred back through these
+efficiencies.
+
+The interface signaling voltage Vddq is intentionally *not* modeled — the
+paper excludes I/O link power because it depends on the link, not on the
+DRAM (Section III.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict
+
+from ..errors import DescriptionError
+
+
+class Rail(str, Enum):
+    """Identifies the supply rail a charge event draws from."""
+
+    VDD = "vdd"
+    VINT = "vint"
+    VBL = "vbl"
+    VPP = "vpp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class VoltageSet:
+    """Voltage levels and generator efficiencies of the four domains."""
+
+    vdd: float
+    """External supply voltage (V)."""
+    vint: float
+    """Voltage used for general logic (V)."""
+    vbl: float
+    """Bitline voltage (V)."""
+    vpp: float
+    """Wordline (boosted) voltage (V)."""
+    eff_vint: float = 1.0
+    """Generator efficiency of the Vint regulator (1.0 = direct connect)."""
+    eff_vbl: float = 1.0
+    """Generator efficiency of the Vbl generator."""
+    eff_vpp: float = 0.5
+    """Pump efficiency of the Vpp charge pump."""
+
+    def __post_init__(self) -> None:
+        for name in ("vdd", "vint", "vbl", "vpp"):
+            if getattr(self, name) <= 0:
+                raise DescriptionError(f"voltage {name} must be positive")
+        for name in ("eff_vint", "eff_vbl", "eff_vpp"):
+            eff = getattr(self, name)
+            if not 0.0 < eff <= 1.0:
+                raise DescriptionError(
+                    f"{name} must be in (0, 1], got {eff}"
+                )
+        if self.vint > self.vdd * 1.001:
+            raise DescriptionError(
+                f"vint ({self.vint} V) cannot exceed vdd ({self.vdd} V)"
+            )
+        if self.vbl > self.vpp:
+            raise DescriptionError(
+                f"vbl ({self.vbl} V) must not exceed vpp ({self.vpp} V): "
+                "the wordline boost must cover the full bitline level"
+            )
+
+    def level(self, rail: Rail) -> float:
+        """Voltage level of ``rail`` (V)."""
+        return {
+            Rail.VDD: self.vdd,
+            Rail.VINT: self.vint,
+            Rail.VBL: self.vbl,
+            Rail.VPP: self.vpp,
+        }[Rail(rail)]
+
+    def efficiency(self, rail: Rail) -> float:
+        """Generator efficiency of ``rail`` relative to Vdd."""
+        return {
+            Rail.VDD: 1.0,
+            Rail.VINT: self.eff_vint,
+            Rail.VBL: self.eff_vbl,
+            Rail.VPP: self.eff_vpp,
+        }[Rail(rail)]
+
+    def vdd_energy(self, charge: float, rail: Rail) -> float:
+        """Energy drawn from Vdd to deliver ``charge`` at ``rail`` (J).
+
+        A charge Q delivered at a rail at level V costs Q·V at the rail and
+        Q·V / eff at the external supply.
+        """
+        rail = Rail(rail)
+        return charge * self.level(rail) / self.efficiency(rail)
+
+    def vdd_current(self, charge_per_second: float, rail: Rail) -> float:
+        """Vdd current needed to sustain a rail charge flow (A)."""
+        return self.vdd_energy(charge_per_second, rail) / self.vdd
+
+    def with_levels(self, **overrides: float) -> "VoltageSet":
+        """Return a copy with the given levels/efficiencies replaced."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, float]:
+        """All levels and efficiencies as a plain dict."""
+        return {
+            "vdd": self.vdd,
+            "vint": self.vint,
+            "vbl": self.vbl,
+            "vpp": self.vpp,
+            "eff_vint": self.eff_vint,
+            "eff_vbl": self.eff_vbl,
+            "eff_vpp": self.eff_vpp,
+        }

@@ -1,0 +1,54 @@
+"""Prebuilt, calibrated device descriptions.
+
+:func:`build_device` constructs a description for any node / interface /
+density / width combination; :mod:`repro.devices.catalog` names the
+specific devices the paper evaluates (the Figure 8/9 verification parts,
+the three Figure 10 / Table III sensitivity devices and the Figure 13
+generation sweep).
+"""
+
+from .builder import (
+    INTERFACE_VDD,
+    LOGIC_FIT,
+    build_device,
+    default_bank_count,
+    default_page_bits,
+)
+from .catalog import (
+    ddr2_1g,
+    ddr3_1g,
+    ddr3_2g_55nm,
+    ddr5_16g_18nm,
+    generation_sweep,
+    sdr_128m_170nm,
+    sensitivity_trio,
+)
+from .mobile import build_mobile_device
+from .speed_bins import (
+    SPEED_BINS,
+    SpeedBin,
+    bins_for_interface,
+    build_binned_device,
+    speed_bin,
+)
+
+__all__ = [
+    "build_mobile_device",
+    "SPEED_BINS",
+    "SpeedBin",
+    "bins_for_interface",
+    "build_binned_device",
+    "speed_bin",
+    "INTERFACE_VDD",
+    "LOGIC_FIT",
+    "build_device",
+    "default_bank_count",
+    "default_page_bits",
+    "ddr2_1g",
+    "ddr3_1g",
+    "ddr3_2g_55nm",
+    "ddr5_16g_18nm",
+    "generation_sweep",
+    "sdr_128m_170nm",
+    "sensitivity_trio",
+]

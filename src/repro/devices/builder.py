@@ -1,0 +1,452 @@
+"""Construct calibrated DRAM descriptions for any generation.
+
+:func:`build_device` assembles a complete :class:`DramDescription` from a
+technology node, interface family, density and I/O width, pulling
+
+* the 39 technology parameters from the scaling engine,
+* cell architecture and cells-per-line from the Table II staircase,
+* voltages and timings from the roadmap (adjusted when the interface is
+  not the node's mainstream pairing, e.g. a DDR2 built at 65 nm),
+* a standard eight-block commodity floorplan (Figure 1),
+* the standard signal nets (clock, command/address, row/column fan-out,
+  core data buses, interface wiring),
+* peripheral logic blocks whose gate counts are the model's datasheet fit
+  parameters, scaled with the interface complexity factor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..description import (
+    DramDescription,
+    LogicBlock,
+    Command,
+    PhysicalFloorplan,
+    Rail,
+    SignalingFloorplan,
+    Specification,
+    TimingParameters,
+    VoltageSet,
+)
+from ..description.floorplan import ArrayArchitecture, BitlineArchitecture
+from ..description.signaling import (
+    SegmentKind,
+    SignalNet,
+    SignalSegment,
+    Trigger,
+)
+from ..errors import DescriptionError
+from ..technology.disruptions import (
+    cell_architecture_for_node,
+    cells_per_line_for_node,
+)
+from ..technology.roadmap import COMPLEXITY, PREFETCH, roadmap_entry
+from ..technology.scaling import auxiliary_for_node, technology_for_node
+
+#: Standard supply voltage of each interface family (V).
+INTERFACE_VDD: Dict[str, float] = {
+    "SDR": 3.3,
+    "DDR": 2.5,
+    "DDR2": 1.8,
+    "DDR3": 1.5,
+    "DDR4": 1.2,
+    "DDR5": 1.1,
+}
+
+#: Fitted gate-count bases of the peripheral logic blocks (at complexity
+#: 1.0 = SDR); see the calibration notes in DESIGN.md.  These are the
+#: paper's §III.B.5 datasheet fit parameters.
+LOGIC_FIT = {
+    "control_base": 8000,
+    "rowlogic_base": 12000,
+    "collogic_base": 7000,
+    "datapath_per_bit": 280,
+    "interface_per_pin": 400,
+    "dll_base": 3000,
+    "iodrv_per_pin": 45,
+}
+
+_ROW_OPS = frozenset({Command.ACT, Command.PRE})
+_COL_OPS = frozenset({Command.RD, Command.WR})
+
+
+def default_page_bits(interface: str, io_width: int) -> int:
+    """Typical page size: 2 KB for wide modern parts, 1 KB otherwise."""
+    if io_width >= 16 and PREFETCH[interface] >= 4:
+        return 16384
+    return 8192
+
+
+def default_bank_count(interface: str, density_bits: int) -> int:
+    """Typical bank count of an interface family."""
+    if interface in ("SDR", "DDR"):
+        return 4
+    if interface == "DDR2":
+        return 8 if density_bits >= (1 << 30) else 4
+    if interface == "DDR3":
+        return 8
+    if interface == "DDR4":
+        return 16
+    if interface == "DDR5":
+        return 32
+    raise DescriptionError(f"unknown interface family {interface!r}")
+
+
+def _log2_exact(value: int, what: str) -> int:
+    bits = int(round(math.log2(value)))
+    if (1 << bits) != value:
+        raise DescriptionError(f"{what} ({value}) must be a power of two")
+    return bits
+
+
+def _voltages(node_nm: float, interface: str) -> VoltageSet:
+    """Voltage set for an interface built at a given node.
+
+    Vbl and Vpp are technology properties and come from the node's roadmap
+    entry.  Vdd is fixed by the interface standard; when it differs from
+    the node's mainstream pairing the internal logic voltage follows the
+    supply part way (a 65 nm DDR2 runs its periphery higher than a 65 nm
+    DDR3).
+    """
+    entry = roadmap_entry(node_nm)
+    vdd = INTERFACE_VDD[interface]
+    vint = entry.vint + 0.6 * (vdd - entry.vdd)
+    vint = min(vint, vdd)
+    vint = max(vint, entry.vbl)
+    ratio = vint / vdd
+    eff_vint = 1.0 if ratio > 0.97 else ratio
+    return VoltageSet(
+        vdd=vdd,
+        vint=vint,
+        vbl=entry.vbl,
+        vpp=entry.vpp,
+        eff_vint=eff_vint,
+        eff_vbl=entry.vbl / vdd,
+        eff_vpp=min(1.0, 0.8 * entry.vpp / (2.0 * vdd)),
+    )
+
+
+def _floorplan(node_nm: float, interface: str) -> PhysicalFloorplan:
+    """The standard eight-block commodity floorplan of Figure 1."""
+    arch, wl_f, bl_f = cell_architecture_for_node(node_nm)
+    cells = cells_per_line_for_node(node_nm)
+    aux = auxiliary_for_node(node_nm)
+    feature = node_nm * 1e-9
+    shrink = (node_nm / 55.0) ** 0.6
+    complexity = COMPLEXITY[interface]
+    array = ArrayArchitecture(
+        bitline_direction="v",
+        bits_per_bitline=cells,
+        bits_per_swl=cells,
+        bitline_arch=BitlineArchitecture(arch),
+        blocks_per_csl=1,
+        wl_pitch=wl_f * feature,
+        bl_pitch=bl_f * feature,
+        width_sa_stripe=aux["width_sa_stripe"],
+        width_swd_stripe=aux["width_swd_stripe"],
+    )
+    row_stripe = 150e-6 * shrink
+    column_stripe = 200e-6 * shrink
+    center_stripe = 530e-6 * (node_nm / 55.0) ** 0.5 \
+        * (complexity / COMPLEXITY["DDR3"]) ** 0.25
+    return PhysicalFloorplan(
+        array=array,
+        horizontal=("A1", "R1", "A1", "R1", "A1", "R1", "A1"),
+        vertical=("A1", "P1", "P2", "P1", "A1"),
+        widths={"R1": row_stripe},
+        heights={"P1": column_stripe, "P2": center_stripe},
+        array_types=frozenset({"A1"}),
+    )
+
+
+def _specification(interface: str, density_bits: int, io_width: int,
+                   datarate: float, page_bits: int,
+                   banks: int) -> Specification:
+    prefetch = PREFETCH[interface]
+    bank_bits = _log2_exact(banks, "bank count")
+    col_bits = _log2_exact(page_bits // io_width, "columns per page")
+    rows_total = density_bits // (banks * page_bits)
+    row_bits = _log2_exact(rows_total, "rows per bank")
+    if interface == "SDR":
+        f_clock = datarate
+    else:
+        f_clock = datarate / 2.0
+    bank_groups = {"DDR4": 4, "DDR5": 8}.get(interface, 1)
+    return Specification(
+        io_width=io_width,
+        datarate=datarate,
+        n_clock_wires=4 if interface == "DDR5" else 2,
+        f_dataclock=f_clock,
+        f_ctrlclock=f_clock,
+        bank_bits=bank_bits,
+        row_bits=row_bits,
+        col_bits=col_bits,
+        n_misc_control=8,
+        prefetch=prefetch,
+        bank_groups=bank_groups,
+    )
+
+
+def _signal_nets(spec: Specification, interface: str) -> SignalingFloorplan:
+    """The standard signal nets on the 7×5 block grid.
+
+    Coordinates: array blocks at x ∈ {0, 2, 4, 6} and y ∈ {0, 4}; row
+    logic stripes at odd x; column logic at y ∈ {1, 3}; the centre stripe
+    (pads, control, serialisers) at y = 2 around x = 3.
+    """
+    is_ddr = interface != "SDR"
+    bits = spec.bits_per_access
+    half = max(1, bits // 2)
+    addr_row = spec.row_bits + spec.bank_bits
+    addr_col = spec.col_bits + spec.bank_bits
+    cmd_wires = addr_row + spec.col_bits + spec.n_misc_control
+
+    def span(start, end, wires, toggle, w_n=0.0, w_p=0.0, mux=1.0):
+        return SignalSegment(
+            kind=SegmentKind.SPAN, start=start, end=end, wires=wires,
+            toggle=toggle, buffer_w_n=w_n, buffer_w_p=w_p, mux_ratio=mux,
+        )
+
+    def inside(at, fraction, wires, toggle, w_n=0.0, w_p=0.0, mux=1.0):
+        return SignalSegment(
+            kind=SegmentKind.INSIDE, start=at, fraction=fraction,
+            direction="h", wires=wires, toggle=toggle, buffer_w_n=w_n,
+            buffer_w_p=w_p, mux_ratio=mux,
+        )
+
+    nets: List[SignalNet] = [
+        # Clock distribution along the centre stripe, re-driven mid-way.
+        SignalNet(
+            name="ClockTree",
+            segments=(
+                span((3, 2), (0, 2), spec.n_clock_wires, 1.0,
+                     w_n=10e-6, w_p=20e-6),
+                span((3, 2), (6, 2), spec.n_clock_wires, 1.0,
+                     w_n=10e-6, w_p=20e-6),
+            ),
+            trigger=Trigger.PER_CTRL_CLOCK,
+            operations=frozenset(),
+            rail=Rail.VINT,
+            component="clock",
+        ),
+        # Command/address bus from the centre pads to both die ends.
+        SignalNet(
+            name="CmdAddr",
+            segments=(
+                span((3, 2), (0, 2), cmd_wires, 0.1, w_n=2e-6, w_p=4e-6),
+                span((3, 2), (6, 2), cmd_wires, 0.1, w_n=2e-6, w_p=4e-6),
+            ),
+            trigger=Trigger.PER_CTRL_CLOCK,
+            operations=frozenset(),
+            rail=Rail.VINT,
+            component="control",
+        ),
+        # Row address fan-out to the row logic of the addressed bank.
+        SignalNet(
+            name="RowAddr",
+            segments=(
+                span((3, 2), (1, 0), max(1, addr_row // 2), 0.5),
+                span((3, 2), (5, 4), max(1, addr_row // 2), 0.5),
+            ),
+            trigger=Trigger.PER_ROW_OP,
+            operations=frozenset({Command.ACT}),
+            rail=Rail.VINT,
+            component="row_logic",
+        ),
+        # Column address fan-out to the column logic of the bank.
+        SignalNet(
+            name="ColAddr",
+            segments=(
+                span((3, 2), (1, 1), max(1, addr_col // 2), 0.5),
+                span((3, 2), (5, 3), max(1, addr_col // 2), 0.5),
+            ),
+            trigger=Trigger.PER_ACCESS,
+            operations=_COL_OPS,
+            rail=Rail.VINT,
+            component="column",
+        ),
+        # Core-speed read data: bank column logic to the centre stripe,
+        # along it, and into the serialiser (the paper's DataW* example,
+        # direction reversed).
+        SignalNet(
+            name="DataReadCore",
+            segments=(
+                span((0, 1), (3, 2), half, 0.5, w_n=3e-6, w_p=6e-6),
+                span((2, 1), (3, 2), bits - half, 0.5, w_n=3e-6, w_p=6e-6),
+                inside((3, 2), 0.15, bits, 0.5, w_n=2e-6, w_p=4e-6,
+                       mux=float(spec.prefetch)),
+            ),
+            trigger=Trigger.PER_ACCESS,
+            operations=frozenset({Command.RD}),
+            rail=Rail.VINT,
+            component="datapath",
+        ),
+        SignalNet(
+            name="DataWriteCore",
+            segments=(
+                inside((3, 2), 0.15, bits, 0.5, w_n=2e-6, w_p=4e-6,
+                       mux=float(spec.prefetch)),
+                span((3, 2), (0, 1), half, 0.5, w_n=3e-6, w_p=6e-6),
+                span((3, 2), (2, 1), bits - half, 0.5, w_n=3e-6, w_p=6e-6),
+            ),
+            trigger=Trigger.PER_ACCESS,
+            operations=frozenset({Command.WR}),
+            rail=Rail.VINT,
+            component="datapath",
+        ),
+        # Interface-speed data wiring: serialiser to the output
+        # pre-drivers (read) and receivers to the de-serialiser (write).
+        # Two beats per data clock on a DDR interface.
+        SignalNet(
+            name="DataReadIO",
+            segments=(
+                inside((3, 2), 0.10, spec.io_width,
+                       1.0 if is_ddr else 0.5, w_n=10e-6, w_p=20e-6),
+            ),
+            trigger=Trigger.PER_DATA_CLOCK,
+            operations=frozenset({Command.RD}),
+            rail=Rail.VDD,
+            component="io",
+        ),
+        SignalNet(
+            name="DataWriteIO",
+            segments=(
+                inside((3, 2), 0.10, spec.io_width,
+                       1.0 if is_ddr else 0.5, w_n=4e-6, w_p=8e-6),
+            ),
+            trigger=Trigger.PER_DATA_CLOCK,
+            operations=frozenset({Command.WR}),
+            rail=Rail.VDD,
+            component="io",
+        ),
+    ]
+    return SignalingFloorplan(tuple(nets))
+
+
+def _logic_blocks(spec: Specification, interface: str,
+                  node_nm: float) -> List[LogicBlock]:
+    """The peripheral logic blocks with complexity-scaled gate counts."""
+    complexity = COMPLEXITY[interface]
+    aux = auxiliary_for_node(node_nm)
+    w_misc = aux["w_logic_misc"]
+    w_n, w_p = w_misc, 2.0 * w_misc
+
+    def block(name, gates, toggle, operations, trigger, component,
+              width_factor=1.0):
+        return LogicBlock(
+            name=name,
+            n_gates=max(1, int(gates)),
+            w_n=w_n * width_factor,
+            w_p=w_p * width_factor,
+            transistors_per_gate=4.0,
+            layout_density=0.25,
+            wiring_density=0.5,
+            operations=operations,
+            toggle=toggle,
+            trigger=trigger,
+            rail=Rail.VINT,
+            component=component,
+        )
+
+    # The gated (per-access / interface-speed) blocks are anchored at the
+    # calibrated DDR3 values and scale superlinearly with interface
+    # complexity: an SDR column path is a handful of gates, a DDR5 one a
+    # deep pipeline.  This drives the §IV.B shift of power into logic.
+    relative = complexity / COMPLEXITY["DDR3"]
+    column_scale = relative ** 1.1
+    blocks = [
+        block("control", LOGIC_FIT["control_base"] * complexity, 0.10,
+              frozenset(), Trigger.PER_CTRL_CLOCK, "control"),
+        block("rowlogic", LOGIC_FIT["rowlogic_base"] * complexity ** 0.5,
+              0.5, _ROW_OPS, Trigger.PER_ROW_OP, "row_logic"),
+        block("collogic",
+              LOGIC_FIT["collogic_base"] * 4.0 ** 0.7 * column_scale,
+              0.5, _COL_OPS, Trigger.PER_ACCESS, "column"),
+        block("datapath",
+              LOGIC_FIT["datapath_per_bit"] * spec.bits_per_access
+              * column_scale,
+              0.5, _COL_OPS, Trigger.PER_ACCESS, "datapath"),
+        block("interface",
+              LOGIC_FIT["interface_per_pin"] * spec.io_width * 2.0
+              * column_scale,
+              0.4, _COL_OPS, Trigger.PER_DATA_CLOCK, "io"),
+        block("iodrv",
+              LOGIC_FIT["iodrv_per_pin"] * spec.io_width
+              * relative ** 0.5,
+              0.5, _COL_OPS, Trigger.PER_DATA_CLOCK, "io",
+              width_factor=6.0),
+    ]
+    if interface != "SDR":
+        blocks.append(
+            block("dll", LOGIC_FIT["dll_base"] * complexity ** 0.6, 0.25,
+                  frozenset(), Trigger.PER_DATA_CLOCK, "clock")
+        )
+    return blocks
+
+
+def build_device(node_nm: float,
+                 interface: Optional[str] = None,
+                 density_bits: Optional[int] = None,
+                 io_width: int = 16,
+                 datarate: Optional[float] = None,
+                 page_bits: Optional[int] = None,
+                 banks: Optional[int] = None,
+                 name: Optional[str] = None) -> DramDescription:
+    """Build a calibrated DRAM description.
+
+    Parameters default to the node's roadmap entry: ``build_device(55)``
+    is the mainstream 2 Gb DDR3-1600 x16 of 2009.  Any combination can be
+    overridden, e.g. the Figure 8 verification parts::
+
+        build_device(75, interface="DDR2", density_bits=2**30,
+                     io_width=8, datarate=800e6)
+    """
+    entry = roadmap_entry(node_nm)
+    interface = interface or entry.interface
+    if interface not in INTERFACE_VDD:
+        raise DescriptionError(f"unknown interface family {interface!r}")
+    density_bits = density_bits or entry.density_bits
+    datarate = datarate or entry.datarate
+    page_bits = page_bits or default_page_bits(interface, io_width)
+    banks = banks or default_bank_count(interface, density_bits)
+
+    tech = technology_for_node(node_nm)
+    tech = tech.scaled(
+        bits_per_csl=min(tech.bits_per_csl, io_width * PREFETCH[interface])
+    )
+    spec = _specification(interface, density_bits, io_width, datarate,
+                          page_bits, banks)
+    voltages = _voltages(node_nm, interface)
+    floorplan = _floorplan(node_nm, interface)
+    signaling = _signal_nets(spec, interface)
+    logic_blocks = _logic_blocks(spec, interface, node_nm)
+    timing = TimingParameters(
+        trc=entry.trc,
+        trrd=entry.trrd,
+        tfaw=entry.tfaw,
+        # Bank-grouped interfaces pay a longer same-group tRRD_L.
+        trrd_l=(entry.trrd * 1.6
+                if interface in ("DDR4", "DDR5") else 0.0),
+    )
+    if name is None:
+        density_label = (f"{density_bits >> 30}G" if density_bits >= 1 << 30
+                         else f"{density_bits >> 20}M")
+        rate_label = f"{datarate / 1e6:.0f}"
+        name = (f"{density_label}-{interface}-{rate_label}-x{io_width}-"
+                f"{node_nm:g}nm")
+    complexity = COMPLEXITY[interface]
+    return DramDescription(
+        name=name,
+        interface=interface,
+        node=node_nm * 1e-9,
+        technology=tech,
+        voltages=voltages,
+        floorplan=floorplan,
+        signaling=signaling,
+        spec=spec,
+        timing=timing,
+        logic_blocks=tuple(logic_blocks),
+        constant_current=2e-3 * complexity ** 0.5,
+    )

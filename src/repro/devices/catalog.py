@@ -1,0 +1,81 @@
+"""Named devices of the paper's evaluation.
+
+* :func:`ddr2_1g` / :func:`ddr3_1g` — the Figure 8/9 verification parts
+  (1 Gb DDR2 built in typical 75/65 nm technology, 1 Gb DDR3 in 65/55 nm);
+* :func:`sdr_128m_170nm`, :func:`ddr3_2g_55nm`, :func:`ddr5_16g_18nm` —
+  the three sensitivity devices of Figure 10 / Table III, spanning the
+  years ≈2000 to ≈2017;
+* :func:`generation_sweep` — one mainstream device per roadmap node for
+  the Figure 11-13 trends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..description import DramDescription
+from ..technology.roadmap import nodes
+from .builder import build_device
+
+_GBIT = 1 << 30
+_MBIT = 1 << 20
+
+
+def ddr2_1g(datarate: float = 800e6, io_width: int = 16,
+            node_nm: float = 75) -> DramDescription:
+    """A 1 Gb DDR2 verification part (Figure 8).
+
+    The paper models typical 75 nm and 65 nm technologies for the DDR2
+    comparison; datasheet points run 400-800 Mbit/s/pin at x4/x8/x16.
+    """
+    return build_device(node_nm, interface="DDR2", density_bits=_GBIT,
+                        io_width=io_width, datarate=datarate)
+
+
+def ddr3_1g(datarate: float = 1333e6, io_width: int = 16,
+            node_nm: float = 65) -> DramDescription:
+    """A 1 Gb DDR3 verification part (Figure 9).
+
+    The paper models typical 65 nm and 55 nm technologies for the DDR3
+    comparison; datasheet points run 800-1600 Mbit/s/pin at x4/x8/x16.
+    """
+    return build_device(node_nm, interface="DDR3", density_bits=_GBIT,
+                        io_width=io_width, datarate=datarate)
+
+
+def sdr_128m_170nm(io_width: int = 16) -> DramDescription:
+    """The 128 Mb SDR device in 170 nm technology (Figure 10, Table III)."""
+    return build_device(170, interface="SDR", density_bits=128 * _MBIT,
+                        io_width=io_width, datarate=166e6)
+
+
+def ddr3_2g_55nm(io_width: int = 16) -> DramDescription:
+    """The 2 Gb DDR3 device in 55 nm technology (Table III).
+
+    Figure 10's middle device is labelled 1G DDR3 55 nm in the figure and
+    2G DDR3 55 nm in Table III; we follow the table (the roadmap's 55 nm
+    mainstream part is 2 Gb).
+    """
+    return build_device(55, interface="DDR3", density_bits=2 * _GBIT,
+                        io_width=io_width, datarate=1600e6)
+
+
+def ddr5_16g_18nm(io_width: int = 16) -> DramDescription:
+    """The hypothetical 16 Gb DDR5 device in 18 nm (Figure 10, Table III)."""
+    return build_device(18, interface="DDR5", density_bits=16 * _GBIT,
+                        io_width=io_width, datarate=6400e6)
+
+
+def sensitivity_trio() -> Tuple[DramDescription, DramDescription,
+                                DramDescription]:
+    """The three devices of Figure 10 / Table III, oldest first."""
+    return sdr_128m_170nm(), ddr3_2g_55nm(), ddr5_16g_18nm()
+
+
+def generation_sweep(io_width: int = 16) -> List[DramDescription]:
+    """One mainstream device per roadmap node (Figures 11-13).
+
+    The density at each node keeps the die between roughly 40 and 60 mm²;
+    the data rate is the high end typically available (paper §IV.C).
+    """
+    return [build_device(node_nm, io_width=io_width) for node_nm in nodes()]

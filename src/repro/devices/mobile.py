@@ -1,0 +1,117 @@
+"""Mobile (LPDDR-style) device variants (paper §II).
+
+"Mobile DRAMs are optimized for low standby current with data rates
+similar to commodity DRAMs.  Their architecture ... places I/O pads at
+the chip edge to satisfy the packaging requirements ... The optimization
+for low standby current is not visible in the global architecture but
+influences technology and circuit optimization to reduce leakage current
+as much as possible."
+
+The mobile builder therefore starts from the commodity device of the same
+node and applies the three visible differences:
+
+* **edge pads** — the data has to be wired from the centre stripe to the
+  die edge: an extra signal-net section per direction;
+* **lower supply** — LPDDR-class Vdd (1.8 V for LPDDR1-era nodes, 1.2 V
+  from LPDDR2 on) with the internal rails following;
+* **standby optimisation** — a leaner always-on control block and a
+  smaller constant current sink.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..description import DramDescription, Rail
+from ..description.signaling import (
+    SegmentKind,
+    SignalNet,
+    SignalSegment,
+    Trigger,
+)
+from ..description.pattern import Command
+from .builder import build_device
+
+#: LPDDR-class supply voltage by node era.
+def _mobile_vdd(node_nm: float) -> float:
+    return 1.8 if node_nm > 80 else 1.2
+
+
+#: Standby-optimisation factors (paper: circuit optimisation for low
+#: standby current).
+_CONTROL_GATE_FACTOR = 0.7
+_CONSTANT_CURRENT_FACTOR = 0.5
+
+
+def build_mobile_device(node_nm: float,
+                        density_bits: Optional[int] = None,
+                        io_width: int = 32,
+                        datarate: Optional[float] = None
+                        ) -> DramDescription:
+    """Build an LPDDR-style mobile derivative of a node's device.
+
+    Mobile parts favour wide, moderately clocked interfaces (x32) and a
+    low supply; the floorplan gains the centre-to-edge pad wiring.
+    """
+    base = build_device(node_nm, density_bits=density_bits,
+                        io_width=io_width, datarate=datarate)
+
+    # Lower supply with rails following proportionally (but never below
+    # the technology's bitline voltage).
+    volts = base.voltages
+    vdd = _mobile_vdd(node_nm)
+    factor = vdd / volts.vdd
+    vint = max(volts.vbl, volts.vint * factor)
+    ratio = vint / vdd
+    voltages = volts.with_levels(
+        vdd=vdd,
+        vint=vint,
+        eff_vint=1.0 if ratio > 0.97 else ratio,
+        eff_vbl=min(1.0, volts.vbl / vdd),
+        eff_vpp=min(1.0, 0.8 * volts.vpp / (2.0 * vdd)),
+    )
+
+    # Edge pads: route the interface-speed data from the centre stripe
+    # to the die edge (half the centre-stripe block height each way).
+    edge_nets = []
+    for name, op in (("EdgePadRead", Command.RD),
+                     ("EdgePadWrite", Command.WR)):
+        edge_nets.append(SignalNet(
+            name=name,
+            segments=(
+                SignalSegment(
+                    kind=SegmentKind.SPAN, start=(3, 2), end=(3, 0),
+                    wires=io_width, toggle=1.0,
+                    buffer_w_n=6e-6, buffer_w_p=12e-6,
+                ),
+            ),
+            trigger=Trigger.PER_DATA_CLOCK,
+            operations=frozenset({op}),
+            rail=Rail.VDD,
+            component="io",
+        ))
+    signaling = dataclasses.replace(
+        base.signaling, nets=base.signaling.nets + tuple(edge_nets)
+    )
+
+    # Standby optimisation: leaner always-on control, smaller reference
+    # current.
+    blocks = []
+    for block in base.logic_blocks:
+        if block.is_background and block.name == "control":
+            gates = max(1, int(block.n_gates * _CONTROL_GATE_FACTOR))
+            blocks.append(dataclasses.replace(block, n_gates=gates))
+        else:
+            blocks.append(block)
+
+    density_label = base.density_label
+    return base.evolve(
+        name=f"{density_label}-LP-mobile-x{io_width}-{node_nm:g}nm",
+        interface=base.interface,
+        voltages=voltages,
+        signaling=signaling,
+        logic_blocks=tuple(blocks),
+        constant_current=base.constant_current
+        * _CONSTANT_CURRENT_FACTOR,
+    )

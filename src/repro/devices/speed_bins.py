@@ -1,0 +1,106 @@
+"""JEDEC-style speed bins: named data-rate/timing presets.
+
+The verification parts of Figures 8/9 are speed-binned products
+(DDR2-400 … DDR2-800, DDR3-800 … DDR3-1600); a bin fixes the per-pin
+data rate and the guaranteed row timings.  This module provides the
+era-typical bins so devices can be built by their market name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..description import DramDescription, TimingParameters
+from ..errors import DescriptionError
+from .builder import build_device
+
+
+@dataclass(frozen=True)
+class SpeedBin:
+    """One JEDEC-style speed grade."""
+
+    name: str
+    interface: str
+    datarate: float
+    trc: float
+    trcd: float
+    trp: float
+    trrd: float
+    tfaw: float
+
+    def timing(self) -> TimingParameters:
+        """The bin's timing parameters."""
+        return TimingParameters(
+            trc=self.trc, trrd=self.trrd, tfaw=self.tfaw,
+            trcd=self.trcd, trp=self.trp,
+        )
+
+
+def _bin(name, interface, mbps, trc, trcd, trp, trrd, tfaw) -> SpeedBin:
+    return SpeedBin(name=name, interface=interface, datarate=mbps * 1e6,
+                    trc=trc * 1e-9, trcd=trcd * 1e-9, trp=trp * 1e-9,
+                    trrd=trrd * 1e-9, tfaw=tfaw * 1e-9)
+
+
+#: Era-typical speed bins (timings in ns, mainstream CL grades).
+SPEED_BINS: Dict[str, SpeedBin] = {
+    bin.name: bin for bin in (
+        # DDR2 (JESD79-2 style)
+        _bin("DDR2-400", "DDR2", 400, 55.0, 15.0, 15.0, 7.5, 37.5),
+        _bin("DDR2-533", "DDR2", 533, 57.0, 15.0, 15.0, 7.5, 37.5),
+        _bin("DDR2-667", "DDR2", 667, 57.0, 15.0, 15.0, 7.5, 37.5),
+        _bin("DDR2-800", "DDR2", 800, 57.5, 12.5, 12.5, 7.5, 35.0),
+        # DDR3 (JESD79-3 style)
+        _bin("DDR3-800", "DDR3", 800, 52.5, 15.0, 15.0, 10.0, 40.0),
+        _bin("DDR3-1066", "DDR3", 1066, 50.6, 13.1, 13.1, 7.5, 37.5),
+        _bin("DDR3-1333", "DDR3", 1333, 49.5, 13.5, 13.5, 6.0, 30.0),
+        _bin("DDR3-1600", "DDR3", 1600, 48.8, 13.8, 13.8, 6.0, 30.0),
+        _bin("DDR3-1866", "DDR3", 1866, 47.9, 13.9, 13.9, 5.0, 27.0),
+        # DDR4 (JESD79-4 style)
+        _bin("DDR4-2400", "DDR4", 2400, 46.2, 14.2, 14.2, 5.3, 21.0),
+        _bin("DDR4-3200", "DDR4", 3200, 45.8, 13.8, 13.8, 5.0, 21.0),
+        # DDR5 (forecast-era grades)
+        _bin("DDR5-4800", "DDR5", 4800, 46.0, 14.0, 14.0, 5.0, 17.0),
+        _bin("DDR5-6400", "DDR5", 6400, 45.8, 13.8, 13.8, 5.0, 13.3),
+    )
+}
+
+
+def speed_bin(name: str) -> SpeedBin:
+    """Look up a bin by its market name (case-insensitive)."""
+    key = name.upper()
+    if key not in SPEED_BINS:
+        known = ", ".join(sorted(SPEED_BINS))
+        raise DescriptionError(
+            f"unknown speed bin {name!r} (known: {known})"
+        )
+    return SPEED_BINS[key]
+
+
+def build_binned_device(bin_name: str, node_nm: float,
+                        density_bits: Optional[int] = None,
+                        io_width: int = 16) -> DramDescription:
+    """Build a device for a named speed bin at a technology node.
+
+    The bin fixes interface, data rate and the guaranteed timings; the
+    node fixes the technology, voltages and geometry.
+    """
+    chosen = speed_bin(bin_name)
+    device = build_device(node_nm, interface=chosen.interface,
+                          density_bits=density_bits, io_width=io_width,
+                          datarate=chosen.datarate)
+    return device.evolve(
+        name=f"{device.density_label}-{chosen.name}-x{io_width}-"
+             f"{node_nm:g}nm",
+        timing=chosen.timing(),
+    )
+
+
+def bins_for_interface(interface: str) -> Tuple[SpeedBin, ...]:
+    """All bins of one interface family, slowest first."""
+    return tuple(sorted(
+        (bin for bin in SPEED_BINS.values()
+         if bin.interface == interface),
+        key=lambda bin: bin.datarate,
+    ))

@@ -1,0 +1,70 @@
+"""The DRAM description language (paper Section III.B).
+
+The original model was a Perl program reading a description file; this
+package provides the equivalent front end.  The concrete syntax follows
+the paper's published excerpts where available (``CellArray BL=v
+BitsPerBL=512 BLtype=open``, ``Vertical blocks = A1 P1 P2 P1 A1``,
+``SizeVertical A1=3396um P1=200um P2=530um``, segment statements with
+``inside=0_2 fraction=25% dir=h mux=1:8`` and ``start=0_2 end=3_2
+PchW=19.2 NchW=9.6``, ``IO width=16 datarate=1.6Gbps``, ``Pattern loop=
+act nop wrt nop rd nop pre nop``) and fills the unspecified parts with the
+same keyword=value style.
+
+Grammar
+-------
+A file is a sequence of *sections*; a section header is a bare word on its
+own line (``FloorplanPhysical``, ``FloorplanSignaling``, ``Specification``,
+``Voltages``, ``Technology``, ``Timing``, ``LogicBlocks``) and the
+top-level statements ``Device …`` and ``Pattern loop= …``.  Every other
+line is a *statement*: a keyword followed by ``key=value`` pairs.  Values
+carry units (``165nm``, ``1.6Gbps``, ``25%``, ``1:8``).  ``#`` starts a
+comment.  Two special statement forms exist: ``<axis> blocks = NAME…``
+(block sequences) and ``Pattern loop= CMD…`` (command loops).
+
+Entry points
+------------
+* :func:`loads` — parse a description string into a
+  :class:`~repro.description.DramDescription`;
+* :func:`load`  — parse a file;
+* :func:`dumps` — serialise a description back to the language;
+* :func:`dump`  — write a file.
+
+Round trip is lossless: ``loads(dumps(device))`` evaluates to the same
+power as ``device``.
+"""
+
+from .lexer import Line, Statement, tokenize
+from .parser import ParsedDescription, parse
+from .builder import build
+from .writer import dumps
+
+
+def loads(text: str, source: str = "<string>"):
+    """Parse description-language text into a DramDescription."""
+    return build(parse(tokenize(text, source)))
+
+
+def load(path):
+    """Parse a description-language file into a DramDescription."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), source=str(path))
+
+
+def dump(device, path) -> None:
+    """Serialise a DramDescription into a description-language file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(device))
+
+
+__all__ = [
+    "Line",
+    "Statement",
+    "tokenize",
+    "ParsedDescription",
+    "parse",
+    "build",
+    "loads",
+    "load",
+    "dumps",
+    "dump",
+]

@@ -1,0 +1,330 @@
+"""Builder: raw parsed description → validated DramDescription.
+
+Unit conversion happens here: all quantities accept SI suffixes
+(``165nm``, ``1.6Gbps``, ``25%``).  Following the paper's signaling
+excerpt (``PchW=19.2 NchW=9.6``), bare numbers in device-width fields are
+micrometres.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..description import (
+    DramDescription,
+    LogicBlock,
+    Pattern,
+    PhysicalFloorplan,
+    Rail,
+    SignalingFloorplan,
+    Specification,
+    TechnologyParameters,
+    TimingParameters,
+    VoltageSet,
+)
+from ..description.floorplan import ArrayArchitecture, BitlineArchitecture
+from ..description.signaling import (
+    SegmentKind,
+    SignalNet,
+    SignalSegment,
+    Trigger,
+)
+from ..errors import DslValidationError
+from ..units import parse_quantity, parse_ratio
+from .parser import ParsedDescription
+
+
+def _require(pairs: Dict[str, str], key: str, context: str) -> str:
+    if key not in pairs:
+        raise DslValidationError(f"{context}: missing {key!r}")
+    return pairs[key]
+
+
+def _width(value: str) -> float:
+    """Device width with the paper's bare-number convention.
+
+    The paper's excerpt writes ``PchW=19.2 NchW=9.6`` meaning micrometres.
+    Bare numbers of at least 0.01 are therefore micrometres; smaller bare
+    numbers are already SI metres (no physical transistor is narrower than
+    10 nm or wider than 10 mm, so the ranges cannot collide).  Values with
+    a unit suffix are parsed as usual.
+    """
+    try:
+        number = float(value)
+    except ValueError:
+        return parse_quantity(value)
+    if number >= 0.01:
+        return number * 1e-6
+    return number
+
+
+def _coordinate(value: str, context: str) -> Tuple[int, int]:
+    """Grid coordinate written as ``x_y``, e.g. ``0_2``."""
+    parts = value.split("_")
+    if len(parts) != 2:
+        raise DslValidationError(
+            f"{context}: coordinate must be x_y, got {value!r}"
+        )
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise DslValidationError(
+            f"{context}: coordinate must be integers, got {value!r}"
+        ) from None
+
+
+def _operations(value: str) -> frozenset:
+    """Comma-separated command list; empty means background/always."""
+    value = value.strip()
+    if not value or value == "always":
+        return frozenset()
+    return frozenset(token.strip() for token in value.split(",")
+                     if token.strip())
+
+
+# ----------------------------------------------------------------------
+# Section builders
+# ----------------------------------------------------------------------
+def _build_floorplan(parsed: ParsedDescription) -> PhysicalFloorplan:
+    cell = parsed.merged_pairs("FloorplanPhysical", "CellArray")
+    pitch = parsed.merged_pairs("FloorplanPhysical", "Pitch")
+    # The paper's excerpt puts pitches on a second CellArray line; accept
+    # both homes.
+    source = dict(cell)
+    source.update(pitch)
+    array = ArrayArchitecture(
+        bitline_direction=_require(source, "BL", "CellArray"),
+        bits_per_bitline=int(parse_quantity(
+            _require(source, "BitsPerBL", "CellArray"))),
+        bits_per_swl=int(parse_quantity(
+            _require(source, "BitsPerSWL", "CellArray"))),
+        bitline_arch=BitlineArchitecture(
+            _require(source, "BLtype", "CellArray")),
+        blocks_per_csl=int(parse_quantity(source.get("BlocksPerCSL", "1"))),
+        wl_pitch=parse_quantity(_require(source, "WLpitch", "CellArray")),
+        bl_pitch=parse_quantity(_require(source, "BLpitch", "CellArray")),
+        width_sa_stripe=parse_quantity(
+            _require(source, "SAwidth", "CellArray")),
+        width_swd_stripe=parse_quantity(
+            _require(source, "SWDwidth", "CellArray")),
+    )
+    horizontal = parsed.statements("FloorplanPhysical", "Horizontal")
+    vertical = parsed.statements("FloorplanPhysical", "Vertical")
+    if not horizontal or not vertical:
+        raise DslValidationError(
+            "FloorplanPhysical needs Horizontal and Vertical block lists"
+        )
+    array_types = parsed.statements("FloorplanPhysical", "ArrayTypes")
+    types = (frozenset(array_types[0].words) if array_types
+             else frozenset({"A1"}))
+    widths = {name: parse_quantity(value) for name, value in
+              parsed.merged_pairs("FloorplanPhysical",
+                                  "SizeHorizontal").items()}
+    heights = {name: parse_quantity(value) for name, value in
+               parsed.merged_pairs("FloorplanPhysical",
+                                   "SizeVertical").items()}
+    return PhysicalFloorplan(
+        array=array,
+        horizontal=horizontal[0].words,
+        vertical=vertical[0].words,
+        widths=widths,
+        heights=heights,
+        array_types=types,
+    )
+
+
+def _build_signaling(parsed: ParsedDescription) -> SignalingFloorplan:
+    nets: Dict[str, Dict] = {}
+    for statement in parsed.statements("FloorplanSignaling", "Net"):
+        pairs = statement.pairs
+        name = _require(pairs, "name", "Net")
+        if name in nets:
+            raise DslValidationError(f"Net {name!r} declared twice")
+        nets[name] = {
+            "trigger": Trigger(pairs.get("trigger", "access")),
+            "operations": _operations(pairs.get("ops", "")),
+            "rail": Rail(pairs.get("rail", "vint")),
+            "component": pairs.get("component", "datapath"),
+            "segments": [],
+        }
+    for statement in parsed.statements("FloorplanSignaling", "Seg"):
+        pairs = statement.pairs
+        net_name = _require(pairs, "net", "Seg")
+        if net_name not in nets:
+            raise DslValidationError(
+                f"Seg references undeclared net {net_name!r}"
+            )
+        common = dict(
+            wires=int(parse_quantity(pairs.get("wires", "1"))),
+            toggle=parse_quantity(pairs.get("toggle", "50%")),
+            buffer_w_n=_width(pairs["NchW"]) if "NchW" in pairs else 0.0,
+            buffer_w_p=_width(pairs["PchW"]) if "PchW" in pairs else 0.0,
+            mux_ratio=parse_ratio(pairs.get("mux", "1")),
+        )
+        if "inside" in pairs:
+            segment = SignalSegment(
+                kind=SegmentKind.INSIDE,
+                start=_coordinate(pairs["inside"], "Seg"),
+                fraction=parse_quantity(pairs.get("fraction", "100%")),
+                direction=pairs.get("dir", "h"),
+                **common,
+            )
+        elif "start" in pairs and "end" in pairs:
+            segment = SignalSegment(
+                kind=SegmentKind.SPAN,
+                start=_coordinate(pairs["start"], "Seg"),
+                end=_coordinate(pairs["end"], "Seg"),
+                **common,
+            )
+        else:
+            raise DslValidationError(
+                "Seg needs either inside=x_y or start=x_y end=x_y"
+            )
+        nets[net_name]["segments"].append(segment)
+    built = []
+    for name, info in nets.items():
+        if not info["segments"]:
+            raise DslValidationError(f"Net {name!r} has no segments")
+        built.append(SignalNet(
+            name=name,
+            segments=tuple(info["segments"]),
+            trigger=info["trigger"],
+            operations=info["operations"],
+            rail=info["rail"],
+            component=info["component"],
+        ))
+    return SignalingFloorplan(tuple(built))
+
+
+def _build_specification(parsed: ParsedDescription) -> Specification:
+    io = parsed.merged_pairs("Specification", "IO")
+    clock = parsed.merged_pairs("Specification", "Clock")
+    control = parsed.merged_pairs("Specification", "Control")
+    return Specification(
+        io_width=int(parse_quantity(_require(io, "width", "IO"))),
+        datarate=parse_quantity(_require(io, "datarate", "IO")),
+        n_clock_wires=int(parse_quantity(clock.get("number", "2"))),
+        f_dataclock=parse_quantity(_require(clock, "frequency", "Clock")),
+        f_ctrlclock=parse_quantity(
+            _require(control, "frequency", "Control")),
+        bank_bits=int(parse_quantity(
+            _require(control, "bankadd", "Control"))),
+        row_bits=int(parse_quantity(
+            _require(control, "rowadd", "Control"))),
+        col_bits=int(parse_quantity(
+            _require(control, "coladd", "Control"))),
+        n_misc_control=int(parse_quantity(control.get("misc", "8"))),
+        prefetch=int(parse_quantity(io.get("prefetch", "8"))),
+        bank_groups=int(parse_quantity(control.get("groups", "1"))),
+    )
+
+
+def _build_voltages(parsed: ParsedDescription) -> VoltageSet:
+    supply = parsed.merged_pairs("Voltages", "Supply")
+    eff = parsed.merged_pairs("Voltages", "Efficiency")
+    return VoltageSet(
+        vdd=parse_quantity(_require(supply, "vdd", "Supply")),
+        vint=parse_quantity(_require(supply, "vint", "Supply")),
+        vbl=parse_quantity(_require(supply, "vbl", "Supply")),
+        vpp=parse_quantity(_require(supply, "vpp", "Supply")),
+        eff_vint=parse_quantity(eff.get("vint", "1")),
+        eff_vbl=parse_quantity(eff.get("vbl", "1")),
+        eff_vpp=parse_quantity(eff.get("vpp", "0.5")),
+    )
+
+
+def _build_technology(parsed: ParsedDescription) -> TechnologyParameters:
+    pairs = parsed.merged_pairs("Technology", "Param")
+    field_names = {f.name for f in
+                   dataclasses.fields(TechnologyParameters)}
+    unknown = set(pairs) - field_names
+    if unknown:
+        raise DslValidationError(
+            f"unknown technology parameters: {', '.join(sorted(unknown))}"
+        )
+    missing = field_names - set(pairs)
+    if missing:
+        raise DslValidationError(
+            "missing technology parameters: "
+            f"{', '.join(sorted(missing))}"
+        )
+    values = {}
+    for name, raw in pairs.items():
+        value = parse_quantity(raw)
+        if name == "bits_per_csl":
+            value = int(value)
+        values[name] = value
+    return TechnologyParameters(**values)
+
+
+def _build_timing(parsed: ParsedDescription) -> TimingParameters:
+    row = parsed.merged_pairs("Timing", "Row")
+    return TimingParameters(
+        trc=parse_quantity(_require(row, "trc", "Row")),
+        trrd=parse_quantity(row.get("trrd", "10ns")),
+        trrd_l=parse_quantity(row.get("trrdl", "0")),
+        tfaw=parse_quantity(row.get("tfaw", "40ns")),
+        trfc=parse_quantity(row.get("trfc", "110ns")),
+        trcd=parse_quantity(row.get("trcd", "0")),
+        twr=parse_quantity(row.get("twr", "15ns")),
+        trtp=parse_quantity(row.get("trtp", "7.5ns")),
+        trp=parse_quantity(row.get("trp", "0")),
+        tras=parse_quantity(row.get("tras", "0")),
+        tref_interval=parse_quantity(row.get("trefi", "7.8us")),
+        rows_per_refresh=int(parse_quantity(row.get("rowsperref", "8"))),
+    )
+
+
+def _build_logic(parsed: ParsedDescription) -> Tuple[LogicBlock, ...]:
+    blocks = []
+    for statement in parsed.statements("LogicBlocks", "Block"):
+        pairs = statement.pairs
+        blocks.append(LogicBlock(
+            name=_require(pairs, "name", "Block"),
+            n_gates=int(parse_quantity(_require(pairs, "gates", "Block"))),
+            w_n=_width(_require(pairs, "wn", "Block")),
+            w_p=_width(_require(pairs, "wp", "Block")),
+            transistors_per_gate=parse_quantity(pairs.get("tpg", "4")),
+            layout_density=parse_quantity(pairs.get("density", "25%")),
+            wiring_density=parse_quantity(pairs.get("wiring", "50%")),
+            operations=_operations(pairs.get("ops", "")),
+            toggle=parse_quantity(pairs.get("toggle", "10%")),
+            trigger=Trigger(pairs.get("trigger", "ctrl_clock")),
+            rail=Rail(pairs.get("rail", "vint")),
+            component=pairs.get("component", "control"),
+        ))
+    return tuple(blocks)
+
+
+# ----------------------------------------------------------------------
+def build(parsed: ParsedDescription) -> DramDescription:
+    """Assemble the validated DramDescription from a parsed description."""
+    device = parsed.device
+    name = device.get("name", "dsl-device")
+    interface = device.get("interface", "DDR3")
+    node = parse_quantity(device.get("node", "55nm"))
+    constant = parse_quantity(device.get("constant", "0"))
+    kwargs = dict(
+        name=name,
+        interface=interface,
+        node=node,
+        technology=_build_technology(parsed),
+        voltages=_build_voltages(parsed),
+        floorplan=_build_floorplan(parsed),
+        signaling=_build_signaling(parsed),
+        spec=_build_specification(parsed),
+        timing=_build_timing(parsed),
+        logic_blocks=_build_logic(parsed),
+        constant_current=constant,
+    )
+    if parsed.pattern:
+        kwargs["pattern"] = Pattern.parse(" ".join(parsed.pattern))
+    return DramDescription(**kwargs)
+
+
+def build_optional_pattern(parsed: ParsedDescription) -> Optional[Pattern]:
+    """The pattern of a parsed description, if one was given."""
+    if parsed.pattern:
+        return Pattern.parse(" ".join(parsed.pattern))
+    return None

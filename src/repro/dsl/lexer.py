@@ -1,0 +1,123 @@
+"""Tokenizer for the description language.
+
+Turns raw text into a stream of :class:`Statement` objects: a keyword,
+optional ``key=value`` pairs and an optional word list (for the two list
+forms ``… blocks = A1 P1 …`` and ``Pattern loop= act nop …``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import DslSyntaxError
+
+_KEYWORD_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_PAIR_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)=(\S*)$")
+
+
+@dataclass(frozen=True)
+class Line:
+    """One significant source line."""
+
+    number: int
+    text: str
+    source: str = "<input>"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One tokenized statement."""
+
+    keyword: str
+    pairs: Dict[str, str] = field(default_factory=dict)
+    words: Tuple[str, ...] = ()
+    line: int = 0
+    source: str = "<input>"
+
+    @property
+    def is_section_header(self) -> bool:
+        """True for a bare keyword with no arguments."""
+        return not self.pairs and not self.words
+
+
+def _strip_comment(text: str) -> str:
+    index = text.find("#")
+    if index >= 0:
+        return text[:index]
+    return text
+
+
+def _split_list_form(tokens: List[str]) -> Tuple[str, List[str]]:
+    """Recognise ``KEY <marker> = WORDS…`` / ``KEY <marker>= WORDS…``.
+
+    Returns (marker, words) or raises ValueError when not a list form.
+    """
+    if len(tokens) < 2:
+        raise ValueError("not a list form")
+    marker = tokens[1]
+    rest = tokens[2:]
+    if marker.endswith("="):
+        return marker[:-1], rest
+    if rest and rest[0] == "=":
+        return marker, rest[1:]
+    raise ValueError("not a list form")
+
+
+#: Markers introducing a word-list statement.
+LIST_MARKERS = ("blocks", "loop")
+
+
+def tokenize(text: str, source: str = "<input>") -> List[Statement]:
+    """Tokenize description text into statements."""
+    statements: List[Statement] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(raw).strip()
+        if not stripped:
+            continue
+        tokens = stripped.split()
+        keyword = tokens[0]
+        if not _KEYWORD_RE.match(keyword):
+            raise DslSyntaxError(
+                f"invalid keyword {keyword!r}", line=number, source=source
+            )
+        # List forms: "Vertical blocks = A1 P1 P2", "Pattern loop= act nop".
+        if len(tokens) > 1:
+            marker = tokens[1].rstrip("=")
+            if marker in LIST_MARKERS:
+                try:
+                    marker, words = _split_list_form(tokens)
+                except ValueError:
+                    raise DslSyntaxError(
+                        f"malformed {marker!r} list", line=number,
+                        source=source,
+                    ) from None
+                if not words:
+                    raise DslSyntaxError(
+                        f"empty {marker!r} list", line=number, source=source
+                    )
+                statements.append(Statement(
+                    keyword=keyword, pairs={}, words=tuple(words),
+                    line=number, source=source,
+                ))
+                continue
+        pairs: Dict[str, str] = {}
+        for token in tokens[1:]:
+            match = _PAIR_RE.match(token)
+            if not match:
+                raise DslSyntaxError(
+                    f"expected key=value, got {token!r}", line=number,
+                    source=source,
+                )
+            key, value = match.group(1), match.group(2)
+            if key in pairs:
+                raise DslSyntaxError(
+                    f"duplicate key {key!r}", line=number, source=source
+                )
+            pairs[key] = value
+        statements.append(Statement(
+            keyword=keyword, pairs=pairs, words=(), line=number,
+            source=source,
+        ))
+    return statements

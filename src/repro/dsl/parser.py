@@ -1,0 +1,111 @@
+"""Parser: statement stream → structured raw description.
+
+Performs the paper's "syntax check" stage: every statement must belong to
+a known section and use known keywords; required sections must be
+present.  Values stay as strings here — unit conversion happens in the
+builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DslSyntaxError
+from .lexer import Statement
+
+#: Section names and the statement keywords allowed inside them.
+SECTIONS: Dict[str, Tuple[str, ...]] = {
+    "FloorplanPhysical": ("CellArray", "Pitch", "Horizontal", "Vertical",
+                          "ArrayTypes", "SizeHorizontal", "SizeVertical"),
+    "FloorplanSignaling": ("Net", "Seg"),
+    "Specification": ("IO", "Clock", "Control"),
+    "Voltages": ("Supply", "Efficiency"),
+    "Technology": ("Param",),
+    "Timing": ("Row",),
+    "LogicBlocks": ("Block",),
+}
+
+#: Statements allowed at top level (outside any section).
+TOP_LEVEL = ("Device", "Pattern")
+
+#: Sections that must appear in every description.
+REQUIRED_SECTIONS = ("FloorplanPhysical", "Specification", "Voltages",
+                     "Technology", "Timing")
+
+
+@dataclass
+class ParsedDescription:
+    """The raw, syntax-checked description."""
+
+    device: Dict[str, str] = field(default_factory=dict)
+    pattern: Tuple[str, ...] = ()
+    sections: Dict[str, List[Statement]] = field(default_factory=dict)
+
+    def section(self, name: str) -> List[Statement]:
+        """Statements of one section (empty list if absent)."""
+        return self.sections.get(name, [])
+
+    def statements(self, section: str, keyword: str) -> List[Statement]:
+        """Statements of one keyword within a section."""
+        return [statement for statement in self.section(section)
+                if statement.keyword == keyword]
+
+    def merged_pairs(self, section: str, keyword: str) -> Dict[str, str]:
+        """Union of the key=value pairs of all statements of a keyword."""
+        merged: Dict[str, str] = {}
+        for statement in self.statements(section, keyword):
+            for key, value in statement.pairs.items():
+                if key in merged:
+                    raise DslSyntaxError(
+                        f"duplicate {keyword} key {key!r}",
+                        line=statement.line, source=statement.source,
+                    )
+                merged[key] = value
+        return merged
+
+
+def parse(statements: List[Statement]) -> ParsedDescription:
+    """Group statements into sections and syntax-check them."""
+    result = ParsedDescription()
+    current: Optional[str] = None
+    for statement in statements:
+        keyword = statement.keyword
+        if keyword in SECTIONS and statement.is_section_header:
+            current = keyword
+            result.sections.setdefault(keyword, [])
+            continue
+        if keyword == "Device":
+            result.device.update(statement.pairs)
+            current = None
+            continue
+        if keyword == "Pattern":
+            if not statement.words:
+                raise DslSyntaxError(
+                    "Pattern requires a loop= command list",
+                    line=statement.line, source=statement.source,
+                )
+            result.pattern = statement.words
+            current = None
+            continue
+        if current is None:
+            raise DslSyntaxError(
+                f"statement {keyword!r} outside any section "
+                f"(top-level statements are {', '.join(TOP_LEVEL)})",
+                line=statement.line, source=statement.source,
+            )
+        allowed = SECTIONS[current]
+        if keyword not in allowed:
+            raise DslSyntaxError(
+                f"unknown statement {keyword!r} in section {current} "
+                f"(allowed: {', '.join(allowed)})",
+                line=statement.line, source=statement.source,
+            )
+        result.sections[current].append(statement)
+    missing = [name for name in REQUIRED_SECTIONS
+               if name not in result.sections]
+    if missing:
+        raise DslSyntaxError(
+            f"missing required sections: {', '.join(missing)}"
+        )
+    return result

@@ -1,0 +1,155 @@
+"""Serializer: DramDescription → description-language text.
+
+The writer emits every quantity with a natural SI prefix; the builder
+reads them back losslessly (within float formatting precision, which is
+kept at 9 significant digits to guarantee power-identical round trips).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..description import DramDescription
+from ..description.signaling import SegmentKind
+
+
+def _quantity(value: float, unit: str = "") -> str:
+    """Format a float compactly but losslessly (9 significant digits)."""
+    text = f"{value:.9g}"
+    return f"{text}{unit}"
+
+
+def _operations(operations) -> str:
+    if not operations:
+        return ""
+    return ",".join(sorted(op.value for op in operations))
+
+
+def dumps(device: DramDescription) -> str:
+    """Serialise a description to the description language."""
+    lines: List[str] = []
+    out = lines.append
+
+    out(f"# DRAM description: {device.name}")
+    out(f"Device name={device.name} interface={device.interface} "
+        f"node={_quantity(device.node)} "
+        f"constant={_quantity(device.constant_current)}")
+    out("")
+
+    # ---- physical floorplan ------------------------------------------
+    array = device.floorplan.array
+    out("FloorplanPhysical")
+    out(f"CellArray BL={array.bitline_direction} "
+        f"BitsPerBL={array.bits_per_bitline} "
+        f"BitsPerSWL={array.bits_per_swl} "
+        f"BLtype={array.bitline_arch.value} "
+        f"BlocksPerCSL={array.blocks_per_csl}")
+    out(f"Pitch WLpitch={_quantity(array.wl_pitch)} "
+        f"BLpitch={_quantity(array.bl_pitch)} "
+        f"SAwidth={_quantity(array.width_sa_stripe)} "
+        f"SWDwidth={_quantity(array.width_swd_stripe)}")
+    out("Horizontal blocks = " + " ".join(device.floorplan.horizontal))
+    out("Vertical blocks = " + " ".join(device.floorplan.vertical))
+    out("ArrayTypes blocks = "
+        + " ".join(sorted(device.floorplan.array_types)))
+    if device.floorplan.widths:
+        pairs = " ".join(f"{name}={_quantity(size)}" for name, size in
+                         sorted(device.floorplan.widths.items()))
+        out(f"SizeHorizontal {pairs}")
+    if device.floorplan.heights:
+        pairs = " ".join(f"{name}={_quantity(size)}" for name, size in
+                         sorted(device.floorplan.heights.items()))
+        out(f"SizeVertical {pairs}")
+    out("")
+
+    # ---- signaling floorplan -----------------------------------------
+    if len(device.signaling):
+        out("FloorplanSignaling")
+        for net in device.signaling:
+            ops = _operations(net.operations)
+            out(f"Net name={net.name} trigger={net.trigger.value} "
+                f"ops={ops} rail={net.rail.value} "
+                f"component={net.component}")
+        for net in device.signaling:
+            for segment in net.segments:
+                parts = [f"Seg net={net.name}"]
+                if segment.kind is SegmentKind.INSIDE:
+                    parts.append(
+                        f"inside={segment.start[0]}_{segment.start[1]}")
+                    parts.append(f"fraction={_quantity(segment.fraction)}")
+                    parts.append(f"dir={segment.direction}")
+                else:
+                    parts.append(
+                        f"start={segment.start[0]}_{segment.start[1]}")
+                    parts.append(f"end={segment.end[0]}_{segment.end[1]}")
+                parts.append(f"wires={segment.wires}")
+                parts.append(f"toggle={_quantity(segment.toggle)}")
+                if segment.buffer_w_n:
+                    parts.append(f"NchW={_quantity(segment.buffer_w_n)}")
+                if segment.buffer_w_p:
+                    parts.append(f"PchW={_quantity(segment.buffer_w_p)}")
+                if segment.mux_ratio != 1.0:
+                    parts.append(f"mux=1:{_quantity(segment.mux_ratio)}")
+                out(" ".join(parts))
+        out("")
+
+    # ---- specification ------------------------------------------------
+    spec = device.spec
+    out("Specification")
+    out(f"IO width={spec.io_width} datarate={_quantity(spec.datarate)} "
+        f"prefetch={spec.prefetch}")
+    out(f"Clock number={spec.n_clock_wires} "
+        f"frequency={_quantity(spec.f_dataclock)}")
+    out(f"Control frequency={_quantity(spec.f_ctrlclock)} "
+        f"bankadd={spec.bank_bits} rowadd={spec.row_bits} "
+        f"coladd={spec.col_bits} misc={spec.n_misc_control} "
+        f"groups={spec.bank_groups}")
+    out("")
+
+    # ---- voltages ------------------------------------------------------
+    volts = device.voltages
+    out("Voltages")
+    out(f"Supply vdd={_quantity(volts.vdd)} vint={_quantity(volts.vint)} "
+        f"vbl={_quantity(volts.vbl)} vpp={_quantity(volts.vpp)}")
+    out(f"Efficiency vint={_quantity(volts.eff_vint)} "
+        f"vbl={_quantity(volts.eff_vbl)} vpp={_quantity(volts.eff_vpp)}")
+    out("")
+
+    # ---- technology -----------------------------------------------------
+    out("Technology")
+    for name, value in device.technology.items():
+        out(f"Param {name}={_quantity(value)}")
+    out("")
+
+    # ---- timing ---------------------------------------------------------
+    timing = device.timing
+    out("Timing")
+    out(f"Row trc={_quantity(timing.trc)} trrd={_quantity(timing.trrd)} "
+        f"trrdl={_quantity(timing.trrd_l)} "
+        f"tfaw={_quantity(timing.tfaw)} trfc={_quantity(timing.trfc)} "
+        f"trcd={_quantity(timing.trcd)} trp={_quantity(timing.trp)} "
+        f"twr={_quantity(timing.twr)} trtp={_quantity(timing.trtp)} "
+        f"tras={_quantity(timing.tras)} "
+        f"trefi={_quantity(timing.tref_interval)} "
+        f"rowsperref={timing.rows_per_refresh}")
+    out("")
+
+    # ---- logic blocks ----------------------------------------------------
+    if device.logic_blocks:
+        out("LogicBlocks")
+        for block in device.logic_blocks:
+            ops = _operations(block.operations)
+            out(f"Block name={block.name} gates={block.n_gates} "
+                f"wn={_quantity(block.w_n)} wp={_quantity(block.w_p)} "
+                f"tpg={_quantity(block.transistors_per_gate)} "
+                f"density={_quantity(block.layout_density)} "
+                f"wiring={_quantity(block.wiring_density)} "
+                f"toggle={_quantity(block.toggle)} "
+                f"trigger={block.trigger.value} ops={ops} "
+                f"rail={block.rail.value} component={block.component}")
+        out("")
+
+    # ---- pattern ----------------------------------------------------------
+    out("Pattern loop= " + str(device.pattern))
+    out("")
+    return "\n".join(lines)

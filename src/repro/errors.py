@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro DRAM power model.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type.  Parsing errors carry the offending line number, validation errors
+carry the parameter path that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity string could not be parsed or formatted."""
+
+
+class DslError(ReproError):
+    """Base class of DRAM description language errors."""
+
+    def __init__(self, message: str, line: int = 0, source: str = "<input>"):
+        self.line = line
+        self.source = source
+        if line:
+            message = f"{source}:{line}: {message}"
+        super().__init__(message)
+
+
+class DslSyntaxError(DslError):
+    """The input file violates the description-language grammar."""
+
+
+class DslValidationError(DslError):
+    """The input parsed but describes an inconsistent DRAM."""
+
+
+class DescriptionError(ReproError, ValueError):
+    """A DRAM description object is internally inconsistent.
+
+    Raised by the dataclass validators in :mod:`repro.description` — for
+    example a negative capacitance, a page smaller than one access, or a
+    floorplan whose signal segments reference blocks that do not exist.
+    """
+
+
+class FloorplanError(DescriptionError):
+    """The physical or signaling floorplan is geometrically impossible."""
+
+
+class ModelError(ReproError):
+    """The power-model pipeline was asked to do something impossible.
+
+    For example computing a read current for a device whose pattern never
+    issues a read, or requesting an IDD measure the model does not define.
+    """
+
+
+class TechnologyError(ReproError, KeyError):
+    """An unknown technology node or scaling parameter was requested."""
+
+
+class SchemeError(ReproError):
+    """A power-reduction scheme cannot be applied to the given device."""

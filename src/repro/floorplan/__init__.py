@@ -1,0 +1,11 @@
+"""Floorplan geometry engine.
+
+Resolves the block grid of a :class:`~repro.description.PhysicalFloorplan`
+into physical coordinates: derives array-block dimensions from the cell
+counts and pitches, computes die size and array efficiency, and measures
+signal-segment lengths (block centre to block centre, per the paper).
+"""
+
+from .geometry import ArrayBlockGeometry, FloorplanGeometry
+
+__all__ = ["ArrayBlockGeometry", "FloorplanGeometry"]

@@ -1,0 +1,249 @@
+"""Physical geometry derived from a DRAM description.
+
+The description gives the floorplan as a grid of block types with sizes;
+array-block sizes may be omitted and are then derived bottom-up from the
+cell counts, pitches, and the widths of the on-pitch stripes (bitline
+sense-amplifier and sub-wordline driver stripes) — the hierarchy of
+Figure 1.
+
+All lengths in metres, areas in m².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..description import DramDescription, SegmentKind, SignalSegment
+from ..errors import FloorplanError
+
+
+def _centers(sizes: List[float]) -> List[float]:
+    """Centre coordinate of each interval in a packed 1-D sequence."""
+    centers = []
+    position = 0.0
+    for size in sizes:
+        centers.append(position + size / 2.0)
+        position += size
+    return centers
+
+
+@dataclass(frozen=True)
+class ArrayBlockGeometry:
+    """Derived dimensions of one array block (bank)."""
+
+    cell_width: float
+    """Extent of the cell field along the wordline direction (m)."""
+    cell_height: float
+    """Extent of the cell field along the bitline direction (m)."""
+    subarray_cols: int
+    """Sub-arrays along the wordline direction (master-wordline span)."""
+    subarray_rows: int
+    """Sub-array rows along the bitline direction."""
+    swd_stripe_width: float
+    """Width of one sub-wordline driver stripe (m)."""
+    sa_stripe_width: float
+    """Width of one bitline sense-amplifier stripe (m)."""
+
+    @property
+    def width(self) -> float:
+        """Block extent along the wordline direction incl. SWD stripes (m)."""
+        return self.cell_width + (self.subarray_cols + 1) * self.swd_stripe_width
+
+    @property
+    def height(self) -> float:
+        """Block extent along the bitline direction incl. SA stripes (m)."""
+        return self.cell_height + (self.subarray_rows + 1) * self.sa_stripe_width
+
+    @property
+    def area(self) -> float:
+        """Block area (m²)."""
+        return self.width * self.height
+
+    @property
+    def cell_area(self) -> float:
+        """Area covered by cells only (m²)."""
+        return self.cell_width * self.cell_height
+
+    @property
+    def sa_stripe_area(self) -> float:
+        """Area of all bitline sense-amplifier stripes in the block (m²)."""
+        return (self.subarray_rows + 1) * self.sa_stripe_width * self.width
+
+    @property
+    def swd_stripe_area(self) -> float:
+        """Area of all sub-wordline driver stripes in the block (m²)."""
+        return ((self.subarray_cols + 1) * self.swd_stripe_width
+                * self.cell_height)
+
+    @property
+    def master_wordline_length(self) -> float:
+        """Length of one master wordline — the block width (m)."""
+        return self.width
+
+    @property
+    def column_line_length(self) -> float:
+        """Length of column select / master data lines — block height (m)."""
+        return self.height
+
+
+class FloorplanGeometry:
+    """Resolves a description's floorplan into physical coordinates."""
+
+    def __init__(self, device: DramDescription):
+        self.device = device
+        self.array_block = self._derive_array_block()
+        self._col_widths = self._resolve_axis(
+            device.floorplan.horizontal, device.floorplan.widths,
+            self._array_extent_horizontal(),
+        )
+        self._row_heights = self._resolve_axis(
+            device.floorplan.vertical, device.floorplan.heights,
+            self._array_extent_vertical(),
+        )
+        self._col_centers = _centers(self._col_widths)
+        self._row_centers = _centers(self._row_heights)
+
+    # ------------------------------------------------------------------
+    # Array block derivation
+    # ------------------------------------------------------------------
+    def _derive_array_block(self) -> ArrayBlockGeometry:
+        device = self.device
+        array = device.floorplan.array
+        spec = device.spec
+        cells_per_block = (spec.density_bits
+                           / device.floorplan.array_block_count)
+        page_per_block = device.page_bits_per_block
+        if cells_per_block % page_per_block:
+            raise FloorplanError(
+                "array block does not hold a whole number of page slices"
+            )
+        folded = 2.0 if array.is_folded else 1.0
+        cell_width = page_per_block * array.bl_pitch * folded
+        logical_rows = cells_per_block / page_per_block
+        if logical_rows % array.rows_per_subarray:
+            raise FloorplanError(
+                "array block does not hold a whole number of sub-array rows"
+            )
+        cell_height = logical_rows / array.rows_per_subarray \
+            * array.local_bitline_length
+        return ArrayBlockGeometry(
+            cell_width=cell_width,
+            cell_height=cell_height,
+            subarray_cols=page_per_block // array.bits_per_swl,
+            subarray_rows=int(logical_rows // array.rows_per_subarray),
+            swd_stripe_width=array.width_swd_stripe,
+            sa_stripe_width=array.width_sa_stripe,
+        )
+
+    def _array_extent_horizontal(self) -> float:
+        """Array-block extent along the x axis (depends on BL direction)."""
+        if self.device.floorplan.array.bitline_direction == "v":
+            return self.array_block.width
+        return self.array_block.height
+
+    def _array_extent_vertical(self) -> float:
+        """Array-block extent along the y axis."""
+        if self.device.floorplan.array.bitline_direction == "v":
+            return self.array_block.height
+        return self.array_block.width
+
+    def _resolve_axis(self, names: Tuple[str, ...],
+                      sizes: Dict[str, float],
+                      array_extent: float) -> List[float]:
+        resolved = []
+        array_types = self.device.floorplan.array_types
+        for name in names:
+            if name in sizes:
+                resolved.append(sizes[name])
+            elif name in array_types:
+                resolved.append(array_extent)
+            else:
+                raise FloorplanError(f"block type {name!r} has no size")
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Die-level quantities
+    # ------------------------------------------------------------------
+    @property
+    def die_width(self) -> float:
+        """Die extent along x (m)."""
+        return sum(self._col_widths)
+
+    @property
+    def die_height(self) -> float:
+        """Die extent along y (m)."""
+        return sum(self._row_heights)
+
+    @property
+    def die_area(self) -> float:
+        """Die area (m²)."""
+        return self.die_width * self.die_height
+
+    @property
+    def array_efficiency(self) -> float:
+        """Ratio of total cell area to die area (the cost figure of §II)."""
+        cells = self.device.spec.density_bits
+        return cells * self.device.floorplan.array.cell_area / self.die_area
+
+    @property
+    def sa_stripe_share(self) -> float:
+        """Share of die area used by bitline sense-amplifier stripes.
+
+        Typical commodity DRAMs land between 8 % and 15 % (paper §II).
+        """
+        blocks = self.device.floorplan.array_block_count
+        return blocks * self.array_block.sa_stripe_area / self.die_area
+
+    @property
+    def swd_stripe_share(self) -> float:
+        """Share of die area used by local wordline driver stripes.
+
+        Typical commodity DRAMs land between 5 % and 10 % (paper §II).
+        """
+        blocks = self.device.floorplan.array_block_count
+        return blocks * self.array_block.swd_stripe_area / self.die_area
+
+    # ------------------------------------------------------------------
+    # Coordinates and segment lengths
+    # ------------------------------------------------------------------
+    def block_size(self, x: int, y: int) -> Tuple[float, float]:
+        """(width, height) of the grid cell at (x, y)."""
+        self._check_coordinate(x, y)
+        return self._col_widths[x], self._row_heights[y]
+
+    def block_center(self, x: int, y: int) -> Tuple[float, float]:
+        """Physical centre of the grid cell at (x, y), from die origin."""
+        self._check_coordinate(x, y)
+        return self._col_centers[x], self._row_centers[y]
+
+    def _check_coordinate(self, x: int, y: int) -> None:
+        if not (0 <= x < len(self._col_widths)):
+            raise FloorplanError(
+                f"x coordinate {x} outside grid 0..{len(self._col_widths) - 1}"
+            )
+        if not (0 <= y < len(self._row_heights)):
+            raise FloorplanError(
+                f"y coordinate {y} outside grid 0..{len(self._row_heights) - 1}"
+            )
+
+    def segment_length(self, segment: SignalSegment) -> float:
+        """Physical wire length of one signal segment (m).
+
+        ``SPAN`` segments run block centre to block centre (Manhattan);
+        ``INSIDE`` segments cover a fraction of their block's extent in the
+        given direction — exactly the paper's convention.
+        """
+        if segment.kind is SegmentKind.SPAN:
+            assert segment.end is not None
+            x0, y0 = self.block_center(*segment.start)
+            x1, y1 = self.block_center(*segment.end)
+            return abs(x1 - x0) + abs(y1 - y0)
+        width, height = self.block_size(*segment.start)
+        extent = width if segment.direction == "h" else height
+        return segment.fraction * extent
+
+    def net_wire_length(self, net_name: str) -> float:
+        """Total single-wire length of a named net (m)."""
+        net = self.device.signaling.net(net_name)
+        return sum(self.segment_length(seg) for seg in net.segments)

@@ -1,0 +1,84 @@
+"""Power-reduction scheme evaluation (paper Section V).
+
+Each scheme is a transformation of the device description, of its charge
+events, or of the command pattern — mirroring how the paper uses the model
+to "evaluate proposals quickly to understand their power benefit" and to
+quantify the die-size impact.
+
+Schemes implemented:
+
+* :class:`SelectiveBitlineActivation` — Udipi et al., SBA;
+* :class:`SingleSubarrayAccess`       — Udipi et al., SSA;
+* :class:`SegmentedDataLines`         — Jeong et al. (LPDDR2 cut-offs);
+* :class:`LowVoltageOperation`        — Moon et al. (1.2 V DDR3);
+* :class:`TsvStacking`                — Kang et al. (3-D with TSV);
+* :class:`ThreadedModule`             — Ware & Hampel;
+* :class:`MiniRank`                   — Zheng et al.;
+* :class:`CslRatioReduction`          — the paper's own 8:1 CSL proposal.
+"""
+
+from .base import CompositeScheme, Scheme, SchemeResult
+from .library import (
+    ALL_SCHEMES,
+    CslRatioReduction,
+    LowVoltageOperation,
+    MiniRank,
+    SegmentedDataLines,
+    SelectiveBitlineActivation,
+    SingleSubarrayAccess,
+    ThreadedModule,
+    TsvStacking,
+)
+from .evaluator import compare_schemes, pareto_frontier, scheme_report
+from .process_options import (
+    FourthMetalLayer,
+    LowKDielectric,
+    LowVoltageTransistors,
+    PROCESS_OPTIONS,
+    combined_process_stack,
+    process_option_savings,
+)
+from .power_management import (
+    DutyCyclePower,
+    RefreshPolicy,
+    adaptive_refresh_savings,
+    power_down_savings,
+    power_down_scheduling,
+    power_state_table,
+    refresh_power,
+    refresh_rate_for_temperature,
+    temperature_refresh_power,
+)
+
+__all__ = [
+    "CompositeScheme",
+    "FourthMetalLayer",
+    "LowKDielectric",
+    "LowVoltageTransistors",
+    "PROCESS_OPTIONS",
+    "combined_process_stack",
+    "process_option_savings",
+    "DutyCyclePower",
+    "RefreshPolicy",
+    "adaptive_refresh_savings",
+    "power_down_savings",
+    "power_down_scheduling",
+    "power_state_table",
+    "refresh_power",
+    "refresh_rate_for_temperature",
+    "temperature_refresh_power",
+    "Scheme",
+    "SchemeResult",
+    "ALL_SCHEMES",
+    "CslRatioReduction",
+    "LowVoltageOperation",
+    "MiniRank",
+    "SegmentedDataLines",
+    "SelectiveBitlineActivation",
+    "SingleSubarrayAccess",
+    "ThreadedModule",
+    "TsvStacking",
+    "compare_schemes",
+    "pareto_frontier",
+    "scheme_report",
+]

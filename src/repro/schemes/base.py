@@ -1,0 +1,160 @@
+"""Scheme abstraction: a proposal = transformations + area impact."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..description import Command, DramDescription
+from ..core import DramPowerModel, PatternPower
+from ..core.events import ChargeEvent
+from ..core.idd import idd7_counts
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """Evaluation of one scheme on one device."""
+
+    scheme: str
+    device: str
+    baseline: PatternPower
+    """The reference Idd7-style mixed pattern on the unmodified device."""
+    modified: PatternPower
+    """The same workload on the modified device."""
+    baseline_act_energy: float
+    """Activate energy per operation before (J)."""
+    modified_act_energy: float
+    """Activate energy per operation after (J)."""
+    area_overhead: float
+    """Estimated die-area overhead as a fraction of the original die."""
+    notes: str = ""
+
+    @property
+    def power_saving(self) -> float:
+        """Fractional pattern-power saving (positive = saves power)."""
+        return 1.0 - self.modified.power / self.baseline.power
+
+    @property
+    def energy_per_bit_saving(self) -> float:
+        """Fractional energy-per-bit saving."""
+        base = self.baseline.energy_per_bit
+        new = self.modified.energy_per_bit
+        return 1.0 - new / base
+
+    @property
+    def act_energy_saving(self) -> float:
+        """Fractional activate-energy saving."""
+        if self.baseline_act_energy == 0:
+            return 0.0
+        return 1.0 - self.modified_act_energy / self.baseline_act_energy
+
+
+class Scheme:
+    """Base class: identity transformation, zero area cost.
+
+    Subclasses override any of the three hooks:
+
+    * :meth:`transform_device` — change the description (voltages, page
+      organisation…);
+    * :meth:`transform_events` — rescale charge events (activation
+      narrowing, wire segmentation…);
+    * :meth:`pattern_counts`   — change the workload itself (system-level
+      schemes that avoid activates).
+    """
+
+    name = "identity"
+    reference = ""
+    description = ""
+
+    def transform_device(self, device: DramDescription) -> DramDescription:
+        """Return the modified device description."""
+        return device
+
+    def transform_events(self, model: DramPowerModel
+                         ) -> Tuple[ChargeEvent, ...]:
+        """Return the modified charge-event list of the transformed model."""
+        return model.events
+
+    def pattern_counts(self, model: DramPowerModel
+                       ) -> Tuple[Dict[Command, float], float]:
+        """Return (command counts, window) of the evaluation workload."""
+        return idd7_counts(model, write_fraction=0.5)
+
+    def area_overhead(self, model: DramPowerModel) -> float:
+        """Estimated die-area overhead (fraction of the original die)."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def evaluate(self, device: DramDescription) -> SchemeResult:
+        """Evaluate the scheme against the unmodified device."""
+        base_model = DramPowerModel(device)
+        base_counts, base_window = idd7_counts(base_model,
+                                               write_fraction=0.5)
+        baseline = base_model.counts_power(base_counts, base_window,
+                                           label="IDD7-mixed")
+        new_device = self.transform_device(device)
+        new_model = DramPowerModel(new_device)
+        new_events = self.transform_events(new_model)
+        if new_events is not new_model.events:
+            new_model = DramPowerModel(new_device, events=new_events)
+        counts, window = self.pattern_counts(new_model)
+        modified = new_model.counts_power(counts, window,
+                                          label=f"IDD7-mixed+{self.name}")
+        return SchemeResult(
+            scheme=self.name,
+            device=device.name,
+            baseline=baseline,
+            modified=modified,
+            baseline_act_energy=base_model.operation_energy(Command.ACT),
+            modified_act_energy=new_model.operation_energy(Command.ACT),
+            area_overhead=self.area_overhead(new_model),
+            notes=self.description,
+        )
+
+
+class CompositeScheme(Scheme):
+    """Several schemes applied together (§V proposals stack).
+
+    Device transformations compose in order; event transformations chain;
+    the workload counts come from the *last* scheme that overrides them;
+    area overheads add.
+    """
+
+    def __init__(self, schemes, name: str = ""):
+        self.schemes = tuple(schemes)
+        if not self.schemes:
+            raise ValueError("composite needs at least one scheme")
+        self.name = name or "+".join(scheme.name
+                                     for scheme in self.schemes)
+        self.reference = "; ".join(scheme.reference
+                                   for scheme in self.schemes
+                                   if scheme.reference)
+        self.description = " / ".join(scheme.description
+                                      for scheme in self.schemes
+                                      if scheme.description)
+
+    def transform_device(self, device: DramDescription) -> DramDescription:
+        for scheme in self.schemes:
+            device = scheme.transform_device(device)
+        return device
+
+    def transform_events(self, model: DramPowerModel
+                         ) -> Tuple[ChargeEvent, ...]:
+        events = model.events
+        for scheme in self.schemes:
+            if events is not model.events:
+                model = DramPowerModel(model.device, events=events)
+            events = scheme.transform_events(model)
+        return events
+
+    def pattern_counts(self, model: DramPowerModel
+                       ) -> Tuple[Dict[Command, float], float]:
+        counts, window = super().pattern_counts(model)
+        for scheme in self.schemes:
+            if type(scheme).pattern_counts is not Scheme.pattern_counts:
+                counts, window = scheme.pattern_counts(model)
+        return counts, window
+
+    def area_overhead(self, model: DramPowerModel) -> float:
+        return sum(scheme.area_overhead(model)
+                   for scheme in self.schemes)

@@ -1,0 +1,279 @@
+"""The Section V scheme library.
+
+The activation-narrowing schemes (SBA, SSA, threaded modules, the paper's
+CSL-ratio proposal) scale the activate-gated array events: fewer local
+wordlines rise, fewer bitline pairs split, fewer sense amplifiers fire.
+The wiring schemes rescale data-path capacitances.  The voltage scheme
+replaces the voltage set.  The system-level schemes change the workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from ..description import Command, DramDescription
+from ..core import Component, DramPowerModel
+from ..core.events import ChargeEvent
+from ..core.idd import idd7_counts
+from ..errors import SchemeError
+from .base import Scheme
+
+#: Activate-gated event names that shrink when the activation narrows.
+_ACTIVATION_EVENTS = frozenset({
+    "bitline swing",
+    "cell restore",
+    "sense-amp set lines",
+    "sense-amp source node",
+    "equalize control lines",
+    "bitline mux control lines",
+    "local wordlines",
+})
+
+
+def _scale_activation(events: Tuple[ChargeEvent, ...],
+                      fraction: float) -> Tuple[ChargeEvent, ...]:
+    """Scale the counts of the activation-width-proportional events."""
+    if not 0.0 < fraction <= 1.0:
+        raise SchemeError(
+            f"activation fraction must be in (0, 1], got {fraction}"
+        )
+    scaled = []
+    for event in events:
+        if event.name in _ACTIVATION_EVENTS:
+            scaled.append(event.scaled(count=event.count * fraction))
+        else:
+            scaled.append(event)
+    return tuple(scaled)
+
+
+class SelectiveBitlineActivation(Scheme):
+    """Udipi et al. [15]: store the activate until the column command is
+    known, then raise only the sub-wordlines holding the accessed bits."""
+
+    name = "selective-bitline-activation"
+    reference = "Udipi et al., ISCA 2010 (SBA)"
+    description = ("Posted activate raises only the sub-wordlines covering "
+                   "the accessed cache line; costs row-address latches and "
+                   "a posted-RAS delay.")
+
+    def activation_fraction(self, model: DramPowerModel) -> float:
+        """Fraction of the page that still gets activated."""
+        device = model.device
+        needed_swls = math.ceil(device.spec.bits_per_access
+                                / device.floorplan.array.bits_per_swl)
+        return needed_swls / device.swls_per_activate
+
+    def transform_events(self, model: DramPowerModel
+                         ) -> Tuple[ChargeEvent, ...]:
+        return _scale_activation(model.events,
+                                 self.activation_fraction(model))
+
+    def area_overhead(self, model: DramPowerModel) -> float:
+        # Row-address latches and per-stripe gating in the row logic.
+        return 0.02
+
+
+class SingleSubarrayAccess(SelectiveBitlineActivation):
+    """Udipi et al. [15]: fetch the whole cache line from one sub-array.
+
+    Energy behaves like SBA with a single sub-array activated; the area
+    cost is far larger because every sense-amplifier stripe needs many
+    more local-to-master data connections (the paper argues this breaks
+    today's 64:1 / 128:1 CSL-to-master-data-line ratio).
+    """
+
+    name = "single-subarray-access"
+    reference = "Udipi et al., ISCA 2010 (SSA)"
+    description = ("One sub-array supplies the full cache line; requires "
+                   "re-architecting the array block data path (bitline "
+                   "sense-amplifier stripe area grows).")
+
+    def activation_fraction(self, model: DramPowerModel) -> float:
+        return 1.0 / model.device.swls_per_activate
+
+    def area_overhead(self, model: DramPowerModel) -> float:
+        # The on-pitch stripes grow to host the widened data path: the
+        # paper's §II warns changes here have the largest area impact.
+        return 0.30 * model.geometry.sa_stripe_share
+
+
+class SegmentedDataLines(Scheme):
+    """Jeong et al. [8]: cut-off switches segment the main data lines so
+    only the section towards the active bank toggles."""
+
+    name = "segmented-data-lines"
+    reference = "Jeong et al., ISSCC 2009 (LPDDR2)"
+
+    def __init__(self, remaining_fraction: float = 0.6):
+        if not 0.0 < remaining_fraction <= 1.0:
+            raise SchemeError("remaining_fraction must be in (0, 1]")
+        self.remaining_fraction = remaining_fraction
+        self.description = (
+            "Controllable repeaters cut the central data buses; on average "
+            f"{remaining_fraction:.0%} of the bus capacitance still "
+            "toggles."
+        )
+
+    def transform_events(self, model: DramPowerModel
+                         ) -> Tuple[ChargeEvent, ...]:
+        scaled = []
+        for event in model.events:
+            if (event.component is Component.DATAPATH
+                    and event.name.startswith("net ")):
+                scaled.append(event.scaled(
+                    capacitance=event.capacitance * self.remaining_fraction
+                ))
+            else:
+                scaled.append(event)
+        return tuple(scaled)
+
+    def area_overhead(self, model: DramPowerModel) -> float:
+        return 0.01
+
+
+class LowVoltageOperation(Scheme):
+    """Moon et al. [10]: a more advanced process runs the DRAM at 1.2 V."""
+
+    name = "low-voltage-operation"
+    reference = "Moon et al., ISSCC 2009 (1.2 V DDR3)"
+
+    def __init__(self, vdd: float = 1.2):
+        self.vdd = vdd
+        self.description = (
+            f"Run the device at Vdd = {vdd:g} V with internal rails scaled "
+            "along; requires a more advanced (more expensive) process."
+        )
+
+    def transform_device(self, device: DramDescription) -> DramDescription:
+        volts = device.voltages
+        if self.vdd >= volts.vdd:
+            raise SchemeError(
+                f"low-voltage scheme needs a target below Vdd="
+                f"{volts.vdd:g} V"
+            )
+        factor = self.vdd / volts.vdd
+        return device.evolve(voltages=volts.with_levels(
+            vdd=self.vdd,
+            vint=volts.vint * factor,
+            vbl=volts.vbl * factor,
+            # The wordline boost shrinks less: the cell still needs full
+            # write-back over the access-transistor threshold.
+            vpp=volts.vpp * factor ** 0.5,
+        ))
+
+
+class TsvStacking(Scheme):
+    """Kang et al. [9]: 3-D stacking with through-silicon vias shortens
+    wires and buffers the I/O load."""
+
+    name = "tsv-stacking"
+    reference = "Kang et al., JSSC 2010 (8 Gb 3-D DDR3)"
+    description = ("A master die buffers the interface; slave dies see "
+                   "short TSVs instead of long on-die buses and heavy "
+                   "external loads.")
+
+    def __init__(self, wire_fraction: float = 0.6,
+                 io_fraction: float = 0.5):
+        self.wire_fraction = wire_fraction
+        self.io_fraction = io_fraction
+
+    def transform_events(self, model: DramPowerModel
+                         ) -> Tuple[ChargeEvent, ...]:
+        scaled = []
+        for event in model.events:
+            if event.component is Component.IO:
+                scaled.append(event.scaled(
+                    capacitance=event.capacitance * self.io_fraction
+                ))
+            elif (event.component is Component.DATAPATH
+                    and event.name.startswith("net ")):
+                scaled.append(event.scaled(
+                    capacitance=event.capacitance * self.wire_fraction
+                ))
+            else:
+                scaled.append(event)
+        return tuple(scaled)
+
+    def area_overhead(self, model: DramPowerModel) -> float:
+        # TSV keep-out area on every die.
+        return 0.03
+
+
+class ThreadedModule(Scheme):
+    """Ware & Hampel [13]: threaded modules increase addressing
+    flexibility so each access activates a smaller page slice."""
+
+    name = "threaded-module"
+    reference = "Ware & Hampel, ICCD 2006"
+
+    def __init__(self, threads: int = 2):
+        if threads < 1:
+            raise SchemeError("threads must be >= 1")
+        self.threads = threads
+        self.description = (
+            f"{threads}-way threading localises accesses; page activation "
+            "size shrinks accordingly at a given data rate."
+        )
+
+    def transform_events(self, model: DramPowerModel
+                         ) -> Tuple[ChargeEvent, ...]:
+        return _scale_activation(model.events, 1.0 / self.threads)
+
+
+class MiniRank(Scheme):
+    """Zheng et al. [14]: narrower rank portions let fewer devices
+    activate for a given access stream (modelled as a reduced activate
+    rate per device)."""
+
+    name = "mini-rank"
+    reference = "Zheng et al., MICRO 2008"
+
+    def __init__(self, rank_divisor: int = 2):
+        if rank_divisor < 1:
+            raise SchemeError("rank_divisor must be >= 1")
+        self.rank_divisor = rank_divisor
+        self.description = (
+            f"Rank split {rank_divisor}-ways: each device sees 1/"
+            f"{rank_divisor} of the row activations of the access stream."
+        )
+
+    def pattern_counts(self, model: DramPowerModel
+                       ) -> Tuple[Dict[Command, float], float]:
+        counts, window = idd7_counts(model, write_fraction=0.5)
+        counts[Command.ACT] /= self.rank_divisor
+        counts[Command.PRE] /= self.rank_divisor
+        return counts, window
+
+
+class CslRatioReduction(Scheme):
+    """The paper's own §V proposal: an architecture with an 8:1 ratio of
+    page size to simultaneously accessible data, using the dense metal-3
+    tracks as master array data lines, so a 64 B cache line needs a 512 B
+    page instead of 4-8 kB."""
+
+    name = "csl-ratio-reduction"
+    reference = "Vogelsang, MICRO 2010, Section V"
+    description = ("8:1 page-to-access ratio: a 64 B line needs a 512 B "
+                   "page; master data lines reuse column-select metal "
+                   "tracks, keeping the sense-amplifier stripe unchanged.")
+
+    def transform_events(self, model: DramPowerModel
+                         ) -> Tuple[ChargeEvent, ...]:
+        device = model.device
+        target_page_bits = 8 * device.spec.bits_per_access
+        fraction = min(1.0, target_page_bits / device.spec.page_bits)
+        return _scale_activation(model.events, fraction)
+
+
+#: One instance of every scheme, for sweep-style comparisons.
+ALL_SCHEMES: Tuple[Scheme, ...] = (
+    SelectiveBitlineActivation(),
+    SingleSubarrayAccess(),
+    SegmentedDataLines(),
+    LowVoltageOperation(),
+    TsvStacking(),
+    ThreadedModule(),
+    MiniRank(),
+    CslRatioReduction(),
+)

@@ -1,0 +1,179 @@
+"""System-side power management (paper §V references [11] and [12]).
+
+Hur & Lin [11] schedule the DRAM power-down modes from the memory
+controller; Emma et al. [12] adaptively reduce refresh rates for DRAM
+caches.  Both act on the *duty cycle* of the device rather than its
+circuits, so they are modeled as occupancy mixes over the pattern and
+power-state results rather than description transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core import DramPowerModel
+from ..core.idd import idd2n, idd2p, idd5b, idd6, idd7_mixed
+from ..errors import SchemeError
+
+
+@dataclass(frozen=True)
+class DutyCyclePower:
+    """Average power of a utilization/power-mode mix."""
+
+    device_name: str
+    utilization: float
+    """Fraction of time spent actively transferring data."""
+    idle_in_power_down: float
+    """Fraction of the *idle* time spent in power-down."""
+    active_power: float
+    """Power while active (W)."""
+    standby_power: float
+    """Power while idle but not powered down (W)."""
+    power_down_power: float
+    """Power while in power-down (W)."""
+    entry_exit_overhead: float
+    """Extra energy per second for mode transitions (W)."""
+
+    @property
+    def average_power(self) -> float:
+        """Duty-cycle-weighted average power (W)."""
+        idle = 1.0 - self.utilization
+        in_pd = idle * self.idle_in_power_down
+        in_standby = idle - in_pd
+        return (self.utilization * self.active_power
+                + in_standby * self.standby_power
+                + in_pd * self.power_down_power
+                + self.entry_exit_overhead)
+
+
+def power_down_scheduling(model: DramPowerModel,
+                          utilization: float,
+                          idle_in_power_down: float = 0.0,
+                          transitions_per_second: float = 0.0
+                          ) -> DutyCyclePower:
+    """Average power under Hur & Lin-style power-down scheduling.
+
+    The active phase runs the Idd7-style mixed pattern; idle time splits
+    between normal standby and precharge power-down.  Each power-down
+    entry/exit costs roughly one standby clock period of extra energy —
+    the throttling-delay trade-off the paper's reference studies.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise SchemeError("utilization must be a fraction")
+    if not 0.0 <= idle_in_power_down <= 1.0:
+        raise SchemeError("idle_in_power_down must be a fraction")
+    if transitions_per_second < 0:
+        raise SchemeError("transitions_per_second must not be negative")
+    active = idd7_mixed(model).power
+    standby = idd2n(model).power.power
+    powered_down = idd2p(model).power.power
+    transition_energy = standby / model.device.spec.f_ctrlclock
+    return DutyCyclePower(
+        device_name=model.device.name,
+        utilization=utilization,
+        idle_in_power_down=idle_in_power_down,
+        active_power=active,
+        standby_power=standby,
+        power_down_power=powered_down,
+        entry_exit_overhead=transitions_per_second * transition_energy,
+    )
+
+
+def power_down_savings(model: DramPowerModel, utilization: float,
+                       idle_in_power_down: float = 0.9,
+                       transitions_per_second: float = 1e5) -> float:
+    """Fractional power saving of aggressive power-down scheduling."""
+    base = power_down_scheduling(model, utilization, 0.0, 0.0)
+    managed = power_down_scheduling(model, utilization,
+                                    idle_in_power_down,
+                                    transitions_per_second)
+    return 1.0 - managed.average_power / base.average_power
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """An adaptive-refresh operating point (Emma et al. [12])."""
+
+    name: str
+    rate_factor: float
+    """Refresh rate relative to the nominal tREFI (1.0 = nominal)."""
+
+    def __post_init__(self) -> None:
+        if self.rate_factor < 0:
+            raise SchemeError("rate_factor must not be negative")
+
+
+def refresh_power(model: DramPowerModel,
+                  policy: RefreshPolicy = RefreshPolicy("nominal", 1.0),
+                  self_refresh: bool = False) -> float:
+    """Standby-plus-refresh power under a refresh policy (W).
+
+    With ``self_refresh`` the device refreshes itself in the gated
+    low-power state; otherwise the controller issues distributed
+    auto-refresh on top of normal standby.
+    """
+    if self_refresh:
+        base = idd6(model).power
+        refresh_part = base.operation_power["refresh"]
+        background = base.operation_power["background"]
+        return background + refresh_part * policy.rate_factor
+    standby = idd2n(model).power.power
+    refresh_part = idd5b(model).power.power - standby
+    return standby + refresh_part * policy.rate_factor
+
+
+def adaptive_refresh_savings(model: DramPowerModel,
+                             rate_factor: float,
+                             self_refresh: bool = True) -> float:
+    """Fractional standby-power saving of a reduced refresh rate.
+
+    Emma et al. reduce refresh by exploiting retention-time slack and
+    cache semantics; ``rate_factor`` = 0.25 means refreshing four times
+    less often.
+    """
+    nominal = refresh_power(model, RefreshPolicy("nominal", 1.0),
+                            self_refresh)
+    reduced = refresh_power(model,
+                            RefreshPolicy("reduced", rate_factor),
+                            self_refresh)
+    return 1.0 - reduced / nominal
+
+
+#: Retention time roughly halves per this many kelvin of temperature
+#: increase — the standard DRAM retention/temperature rule of thumb that
+#: makes refresh rate a function of operating temperature.
+RETENTION_HALVING_KELVIN = 10.0
+
+#: Temperature at which the nominal tREFI is specified (°C).
+NOMINAL_REFRESH_TEMPERATURE = 85.0
+
+
+def refresh_rate_for_temperature(t_celsius: float) -> float:
+    """Refresh-rate factor relative to the nominal 85 °C rate.
+
+    Cooler devices retain longer and may refresh slower (factor < 1);
+    hotter devices need faster refresh.  Clamped below at 1/8 — vendors
+    do not specify slower than 8× tREFI.
+    """
+    factor = 2.0 ** ((t_celsius - NOMINAL_REFRESH_TEMPERATURE)
+                     / RETENTION_HALVING_KELVIN)
+    return max(0.125, factor)
+
+
+def temperature_refresh_power(model: DramPowerModel, t_celsius: float,
+                              self_refresh: bool = True) -> float:
+    """Standby-plus-refresh power at an operating temperature (W)."""
+    factor = refresh_rate_for_temperature(t_celsius)
+    return refresh_power(model, RefreshPolicy(f"{t_celsius:g}C", factor),
+                         self_refresh=self_refresh)
+
+
+def power_state_table(model: DramPowerModel) -> Dict[str, float]:
+    """All standby/low-power state powers (W) — for reports."""
+    return {
+        "standby (IDD2N)": idd2n(model).power.power,
+        "power-down (IDD2P)": idd2p(model).power.power,
+        "self-refresh (IDD6)": idd6(model).power.power,
+        "auto-refresh standby (IDD5B)": idd5b(model).power.power,
+    }

@@ -1,0 +1,123 @@
+"""Process-technology options (paper §VI, the forward-looking trade).
+
+"Power reduction techniques used in logic devices therefore become more
+important for DRAMs in the future.  This could for example mean the use
+of low-k dielectrics and an accelerated push for transistor improvements
+to operate at lower voltages depending on the willingness to trade
+reduced power consumption with increased process cost."
+
+Each option is a :class:`~repro.schemes.base.Scheme` whose cost shows up
+as a process-cost note rather than die area.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core import DramPowerModel
+from ..description import DramDescription
+from ..errors import SchemeError
+from .base import Scheme
+
+
+class LowKDielectric(Scheme):
+    """Low-k inter-metal dielectrics: all wire capacitances drop."""
+
+    name = "low-k-dielectric"
+    reference = "Vogelsang, MICRO 2010, Section VI"
+
+    def __init__(self, capacitance_factor: float = 0.75):
+        if not 0.0 < capacitance_factor <= 1.0:
+            raise SchemeError("capacitance_factor must be in (0, 1]")
+        self.capacitance_factor = capacitance_factor
+        self.description = (
+            f"Low-k dielectrics cut every specific wire capacitance to "
+            f"{capacitance_factor:.0%}; costs extra process steps, not "
+            "die area."
+        )
+
+    def transform_device(self, device: DramDescription) -> DramDescription:
+        for path in ("technology.c_wire_signal", "technology.c_wire_mwl",
+                     "technology.c_wire_swl"):
+            device = device.scale_path(path, self.capacitance_factor)
+        return device
+
+
+class LowVoltageTransistors(Scheme):
+    """Faster (logic-style) transistors allow a lower internal voltage.
+
+    The paper: DRAM processes use "relatively high threshold voltage ...
+    much less expensive than a logic process but also much lower
+    performance.  It requires higher operating voltages."  Buying logic-
+    grade devices buys voltage headroom — at process cost.
+    """
+
+    name = "low-voltage-transistors"
+    reference = "Vogelsang, MICRO 2010, Sections II and VI"
+
+    def __init__(self, vint_factor: float = 0.85):
+        if not 0.5 <= vint_factor < 1.0:
+            raise SchemeError("vint_factor must be in [0.5, 1)")
+        self.vint_factor = vint_factor
+        self.description = (
+            f"Logic-grade peripheral transistors run Vint at "
+            f"{vint_factor:.0%} of nominal; trades process cost for "
+            "power."
+        )
+
+    def transform_device(self, device: DramDescription) -> DramDescription:
+        volts = device.voltages
+        vint = max(volts.vbl, volts.vint * self.vint_factor)
+        ratio = vint / volts.vdd
+        return device.evolve(voltages=volts.with_levels(
+            vint=vint,
+            eff_vint=1.0 if ratio > 0.97 else ratio,
+        ))
+
+
+class FourthMetalLayer(Scheme):
+    """A fourth metal level for power/route relief (paper §II).
+
+    High-performance DRAMs spend an extra metal level when that is
+    cheaper than the area the dense lower levels would cost; wiring runs
+    relax and the general signal capacitance falls moderately.
+    """
+
+    name = "fourth-metal-layer"
+    reference = "Vogelsang, MICRO 2010, Section II"
+    description = ("A fourth metal level relaxes signal routing "
+                   "(c_wire_signal −10 %); pays one more mask/process "
+                   "step.")
+
+    def transform_device(self, device: DramDescription) -> DramDescription:
+        return device.scale_path("technology.c_wire_signal", 0.9)
+
+
+#: The §VI process-option set (evaluated like architecture schemes but
+#: costed in process complexity, not area).
+PROCESS_OPTIONS: Tuple[Scheme, ...] = (
+    LowKDielectric(),
+    LowVoltageTransistors(),
+    FourthMetalLayer(),
+)
+
+
+def process_option_savings(device: DramDescription) -> dict:
+    """Power saving of each §VI process option on a device."""
+    savings = {}
+    for option in PROCESS_OPTIONS:
+        result = option.evaluate(device)
+        savings[option.name] = result.power_saving
+    return savings
+
+
+def combined_process_stack(device: DramDescription) -> float:
+    """Fractional saving of applying all §VI options together."""
+    from ..core.idd import idd7_mixed
+
+    base = idd7_mixed(DramPowerModel(device)).power
+    stacked_device = device
+    for option in PROCESS_OPTIONS:
+        stacked_device = option.transform_device(stacked_device)
+    stacked = idd7_mixed(DramPowerModel(stacked_device)).power
+    return 1.0 - stacked / base

@@ -1,0 +1,13 @@
+"""Module- and rank-level power modeling.
+
+The paper's Section V references act at the memory-*module* level:
+mini-rank (Zheng et al.) splits a 64-bit rank into narrower portions,
+threaded modules (Ware & Hampel) add addressing flexibility, and
+controller power management (Hur & Lin) parks idle ranks.  This package
+composes per-device power models into channel-level figures so those
+proposals can be evaluated where they actually live.
+"""
+
+from .module import ModulePowerModel, RankConfig, mini_rank_study
+
+__all__ = ["ModulePowerModel", "RankConfig", "mini_rank_study"]

@@ -1,0 +1,155 @@
+"""Rank and module composition of device power models.
+
+A rank is ``devices_per_rank`` identical DRAMs operated in lockstep: a
+64-bit channel is eight x8 devices or four x16 devices.  A cache-line
+access touches every device of the (sub-)rank, so device row/column
+operations multiply accordingly; idle ranks sit in standby or power-down.
+
+The mini-rank evaluation follows Zheng et al.: splitting the rank by k
+means only 1/k of the devices activate per access while each transfers k
+times the data (k bursts) — row energy divides by k, column energy stays,
+and the per-access latency grows (not modeled: latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import DramPowerModel
+from ..core.idd import idd2n, idd2p, idd7_counts
+from ..description import Command, DramDescription
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class RankConfig:
+    """One memory-module organisation."""
+
+    device: DramDescription
+    devices_per_rank: int
+    ranks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.devices_per_rank <= 0:
+            raise ModelError("devices_per_rank must be positive")
+        if self.ranks <= 0:
+            raise ModelError("ranks must be positive")
+
+    @property
+    def channel_width(self) -> int:
+        """Data-bus width of the module (bits)."""
+        return self.devices_per_rank * self.device.spec.io_width
+
+    @property
+    def line_bits_per_device(self) -> int:
+        """Bits one device contributes to a single burst access."""
+        return self.device.spec.bits_per_access
+
+
+@dataclass(frozen=True)
+class ModulePower:
+    """Channel-level power result."""
+
+    config_label: str
+    power: float
+    """Total module power (W)."""
+    bandwidth: float
+    """Channel data bandwidth of the workload (bit/s)."""
+    active_devices: int
+    parked_devices: int
+
+    @property
+    def energy_per_bit(self) -> float:
+        """Module energy per transferred bit (J)."""
+        if self.bandwidth <= 0:
+            return float("inf")
+        return self.power / self.bandwidth
+
+
+class ModulePowerModel:
+    """Evaluates a rank configuration under a mixed workload."""
+
+    def __init__(self, config: RankConfig):
+        self.config = config
+        self.device_model = DramPowerModel(config.device)
+
+    # ------------------------------------------------------------------
+    def lockstep_power(self, write_fraction: float = 0.5,
+                       park_idle_ranks: bool = True) -> ModulePower:
+        """Full-bandwidth mixed workload on one rank, others idle.
+
+        Every device of the active rank runs the Idd7-style pattern in
+        lockstep; the remaining ranks sit in power-down (or plain
+        standby when ``park_idle_ranks`` is false).
+        """
+        counts, window = idd7_counts(self.device_model, write_fraction)
+        active = self.device_model.counts_power(counts, window).power
+        idle = (idd2p(self.device_model).power.power if park_idle_ranks
+                else idd2n(self.device_model).power.power)
+        devices = self.config.devices_per_rank
+        idle_devices = devices * (self.config.ranks - 1)
+        power = devices * active + idle_devices * idle
+        accesses = counts[Command.RD] + counts[Command.WR]
+        device_bits = accesses * self.config.device.spec.bits_per_access
+        bandwidth = device_bits * devices / window
+        return ModulePower(
+            config_label=f"{self.config.ranks}R x "
+                         f"{devices}dev lockstep",
+            power=power,
+            bandwidth=bandwidth,
+            active_devices=devices,
+            parked_devices=idle_devices,
+        )
+
+    def mini_rank_power(self, divisor: int,
+                        write_fraction: float = 0.5) -> ModulePower:
+        """The same channel traffic delivered by 1/divisor-wide
+        sub-ranks.
+
+        Per cache-line access only ``devices/divisor`` devices activate,
+        each bursting ``divisor`` times as long: across the module the
+        column (data) energy is conserved, the row (activate/precharge)
+        energy divides by the divisor, and every device keeps its
+        background running — exactly Zheng et al.'s energy argument.
+        """
+        devices = self.config.devices_per_rank
+        if divisor <= 0 or devices % divisor:
+            raise ModelError(
+                f"divisor {divisor} must evenly split "
+                f"{devices} devices"
+            )
+        counts, window = idd7_counts(self.device_model, write_fraction)
+        base = self.device_model.counts_power(counts, window)
+        ops = base.operation_power
+        background = ops.get("background", 0.0)
+        row_part = ops.get("act", 0.0) + ops.get("pre", 0.0)
+        column_part = ops.get("rd", 0.0) + ops.get("wr", 0.0)
+        per_device = background + row_part / divisor + column_part
+        idle_devices = devices * (self.config.ranks - 1)
+        parked = idd2p(self.device_model).power.power
+        power = devices * per_device + idle_devices * parked
+        accesses = counts[Command.RD] + counts[Command.WR]
+        device_bits = accesses * self.config.device.spec.bits_per_access
+        return ModulePower(
+            config_label=f"mini-rank /{divisor}",
+            power=power,
+            bandwidth=device_bits * devices / window,
+            active_devices=devices // divisor,
+            parked_devices=idle_devices,
+        )
+
+
+def mini_rank_study(device: DramDescription, devices_per_rank: int = 8,
+                    divisors: List[int] = (1, 2, 4)
+                    ) -> Dict[int, ModulePower]:
+    """Module energy per bit across mini-rank splits (Zheng et al.)."""
+    model = ModulePowerModel(RankConfig(device, devices_per_rank))
+    results: Dict[int, ModulePower] = {}
+    for divisor in divisors:
+        if divisor == 1:
+            results[divisor] = model.lockstep_power(
+                park_idle_ranks=False)
+        else:
+            results[divisor] = model.mini_rank_power(divisor)
+    return results

@@ -1,0 +1,61 @@
+"""Technology roadmap and scaling assumptions (paper §III.C, Figures 5-7,
+11-12, Table II).
+
+* :mod:`repro.technology.roadmap` — per-node voltages, data rates, row
+  timings, densities and interface assignments (the inputs behind
+  Figures 11 and 12);
+* :mod:`repro.technology.scaling` — the 39 technology parameters at any
+  node, anchored at a calibrated 55 nm baseline and scaled with the
+  shrink curves of Figures 5-7;
+* :mod:`repro.technology.disruptions` — the disruptive technology
+  transitions of Table II and their discrete model adjustments.
+"""
+
+from .roadmap import (
+    ROADMAP,
+    RoadmapEntry,
+    nodes,
+    roadmap_entry,
+)
+from .scaling import (
+    AUXILIARY_BASELINES_55NM,
+    BASELINE_55NM,
+    BASELINE_NODE_NM,
+    ScalingLaw,
+    SCALING_LAWS,
+    auxiliary_for_node,
+    feature_shrink,
+    shrink_factor,
+    technology_for_node,
+)
+from .projection import build_projected_device, projected_entry
+from .disruptions import (
+    DISRUPTIVE_CHANGES,
+    DisruptiveChange,
+    cell_architecture_for_node,
+    cells_per_line_for_node,
+    changes_between,
+)
+
+__all__ = [
+    "ROADMAP",
+    "RoadmapEntry",
+    "nodes",
+    "roadmap_entry",
+    "AUXILIARY_BASELINES_55NM",
+    "BASELINE_55NM",
+    "BASELINE_NODE_NM",
+    "ScalingLaw",
+    "SCALING_LAWS",
+    "auxiliary_for_node",
+    "feature_shrink",
+    "shrink_factor",
+    "technology_for_node",
+    "build_projected_device",
+    "projected_entry",
+    "DISRUPTIVE_CHANGES",
+    "DisruptiveChange",
+    "cell_architecture_for_node",
+    "cells_per_line_for_node",
+    "changes_between",
+]

@@ -1,0 +1,156 @@
+"""Disruptive DRAM technology changes (paper Table II).
+
+While most parameters shrink smoothly, nearly every technology transition
+carried one disruptive change.  This module encodes Table II verbatim and
+maps each change to the model quantity it affects, so the scaling engine
+and the device builder can apply the discrete adjustments at the right
+nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DisruptiveChange:
+    """One row of Table II."""
+
+    from_node_nm: float
+    """Node (nm) before the transition (the upper end of a range)."""
+    to_node_nm: float
+    """Node (nm) after the transition."""
+    change: str
+    """The disruptive change."""
+    background: str
+    """Why the change happened (Table II background column)."""
+    model_effect: str
+    """How this reproduction's model reflects the change."""
+    affected_parameter: Optional[str] = None
+    """Model parameter carrying a discrete step, if any."""
+
+
+DISRUPTIVE_CHANGES: Tuple[DisruptiveChange, ...] = (
+    DisruptiveChange(
+        250, 110,
+        "Stitched wordline to segmented wordline",
+        "Minimum feature size of aluminum wiring no longer feasible; the "
+        "time when different vendors did this transition has a large "
+        "spread.",
+        "All modeled generations use the hierarchical (segmented) wordline "
+        "of Figures 1 and 3; stitched-wordline devices predate the "
+        "roadmap's 170 nm start.",
+    ),
+    DisruptiveChange(
+        110, 90,
+        "Increase in number of cells per bitline and/or local wordline",
+        "Leads to smaller die size; better control of technology and "
+        "design make the step possible.",
+        "Devices at nodes above 90 nm use 256 cells per bitline and local "
+        "wordline; 90 nm and below use 512.",
+        affected_parameter="bits_per_bitline",
+    ),
+    DisruptiveChange(
+        110, 90,
+        "Introduction of dual gate oxide",
+        "Allows lower voltage operation and better performance of "
+        "standard logic transistors.",
+        "The logic gate-oxide scaling law carries a 1.3× step above "
+        "110 nm (single thick oxide before the transition).",
+        affected_parameter="tox_logic",
+    ),
+    DisruptiveChange(
+        90, 75,
+        "Introduction of p+ gate doping of PMOS transistors",
+        "Buried-channel PFET performance not sufficient for standard "
+        "logic of high-data-rate DRAMs.",
+        "Subsumed in the logic-transistor scaling (performance, not "
+        "capacitance).",
+    ),
+    DisruptiveChange(
+        90, 75,
+        "Introduction of 3-dimensional access transistor",
+        "Planar device length got too short for threshold-voltage "
+        "control.",
+        "The cell-access-transistor length scales with exponent 0.7 — "
+        "much slower than feature size — reflecting the recessed channel.",
+        affected_parameter="l_cell",
+    ),
+    DisruptiveChange(
+        75, 65,
+        "Cell architecture 8f² folded bitline to 6f² open bitline",
+        "Leads to smaller die size; better control of technology and "
+        "design make the step possible.",
+        "Devices at 65 nm and below use the open-bitline architecture "
+        "(wordline pitch 3F); larger nodes are folded (8F²).",
+        affected_parameter="bitline_arch",
+    ),
+    DisruptiveChange(
+        55, 44,
+        "Cu metallization",
+        "Lower resistance and/or capacitance in wiring for improved "
+        "performance and/or power reduction.",
+        "Specific wire capacitances carry a 0.85× step at and below "
+        "44 nm.",
+        affected_parameter="c_wire_signal",
+    ),
+    DisruptiveChange(
+        40, 36,
+        "Cell architecture 6f² to 4f² with vertical access transistor",
+        "Leads to smaller die size; better control of technology and "
+        "design expected to make the step possible (ITRS forecast).",
+        "Devices at 36 nm and below use a 4F² open-bitline cell "
+        "(wordline pitch 2F).",
+        affected_parameter="cell_size_factor",
+    ),
+    DisruptiveChange(
+        36, 31,
+        "High-k dielectric gate oxide",
+        "Better subthreshold behavior and reduced gate leakage (ITRS "
+        "forecast).",
+        "The logic gate-oxide scaling law carries a 0.9× EOT step at and "
+        "below 31 nm.",
+        affected_parameter="tox_logic",
+    ),
+)
+
+
+def changes_between(from_node_nm: float,
+                    to_node_nm: float) -> Tuple[DisruptiveChange, ...]:
+    """Disruptive changes crossed when shrinking between two nodes."""
+    low = min(from_node_nm, to_node_nm)
+    high = max(from_node_nm, to_node_nm)
+    crossed = []
+    for change in DISRUPTIVE_CHANGES:
+        if high >= change.from_node_nm and low <= change.to_node_nm:
+            crossed.append(change)
+    return tuple(crossed)
+
+
+def cell_architecture_for_node(node_nm: float) -> Tuple[str, float, float]:
+    """(architecture, wordline pitch in F, bitline pitch in F) at a node.
+
+    Implements the Table II cell-architecture staircase:
+    8F² folded above 65 nm, 6F² open down to 40 nm, 4F² open below.
+    """
+    if node_nm > 65:
+        return "folded", 2.0, 2.0
+    if node_nm > 40:
+        return "open", 3.0, 2.0
+    return "open", 2.0, 2.0
+
+
+def cells_per_line_for_node(node_nm: float) -> int:
+    """Cells per bitline / local wordline at a node.
+
+    Table II documents the 256 → 512 step at the 110 → 90 nm transition;
+    the further step to 1024 accompanies the 4F² architecture below 40 nm
+    (it keeps the sense-amplifier stripe share of the die bounded as the
+    cell keeps shrinking).
+    """
+    if node_nm > 90:
+        return 256
+    if node_nm > 40:
+        return 512
+    return 1024

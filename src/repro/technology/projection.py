@@ -1,0 +1,112 @@
+"""Projection to arbitrary (off-roadmap) technology nodes.
+
+The paper's core claim is that "extrapolation to future DRAM generations
+is therefore possible".  The roadmap table carries fourteen named nodes;
+this module interpolates between them — and extrapolates beyond the
+16 nm endpoint — so a device can be built at *any* feature size:
+
+* voltages and row timings interpolate geometrically between the
+  bracketing roadmap nodes (they are smooth, slowly-varying trends);
+* interface family, data rate and density snap to the nearest roadmap
+  node (they are stepwise market decisions);
+* beyond the endpoints the last trend segment continues, with voltages
+  floored at the 16 nm values — the voltage-scaling stall of §IV.C is
+  precisely why no further headroom is assumed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..errors import TechnologyError
+from .roadmap import ROADMAP, RoadmapEntry, nodes
+
+
+def _bracket(node_nm: float) -> Tuple[float, float]:
+    """The two roadmap nodes bracketing ``node_nm`` (clamped)."""
+    ordered = nodes()  # large → small
+    if node_nm >= ordered[0]:
+        return ordered[0], ordered[1]
+    if node_nm <= ordered[-1]:
+        return ordered[-2], ordered[-1]
+    for larger, smaller in zip(ordered, ordered[1:]):
+        if smaller <= node_nm <= larger:
+            return larger, smaller
+    raise TechnologyError(f"cannot bracket node {node_nm}")  # pragma: no cover
+
+
+def _geometric(value_a: float, value_b: float, node_a: float,
+               node_b: float, node: float) -> float:
+    """Log-log interpolation between two roadmap points."""
+    if value_a <= 0 or value_b <= 0:
+        raise TechnologyError("geometric interpolation needs positives")
+    t = (math.log(node) - math.log(node_a)) \
+        / (math.log(node_b) - math.log(node_a))
+    return math.exp(math.log(value_a)
+                    + t * (math.log(value_b) - math.log(value_a)))
+
+
+def projected_entry(node_nm: float) -> RoadmapEntry:
+    """A roadmap entry for any node, interpolated or extrapolated."""
+    if node_nm <= 0:
+        raise TechnologyError("node must be positive")
+    if node_nm in ROADMAP:
+        return ROADMAP[node_nm]
+    larger, smaller = _bracket(node_nm)
+    a, b = ROADMAP[larger], ROADMAP[smaller]
+    nearest = a if abs(node_nm - larger) <= abs(node_nm - smaller) else b
+
+    def interp(field: str) -> float:
+        return _geometric(getattr(a, field), getattr(b, field),
+                          larger, smaller, node_nm)
+
+    floor = ROADMAP[nodes()[-1]]
+    vdd = max(interp("vdd"), floor.vdd) if node_nm < nodes()[-1] \
+        else interp("vdd")
+    vint = max(interp("vint"), floor.vint) if node_nm < nodes()[-1] \
+        else interp("vint")
+    vbl = max(interp("vbl"), floor.vbl) if node_nm < nodes()[-1] \
+        else interp("vbl")
+    vpp = max(interp("vpp"), floor.vpp) if node_nm < nodes()[-1] \
+        else interp("vpp")
+    vint = min(vint, vdd)
+    vbl = min(vbl, vint)
+
+    year = int(round(a.year + (b.year - a.year)
+                     * (math.log(node_nm) - math.log(larger))
+                     / (math.log(smaller) - math.log(larger))))
+    return RoadmapEntry(
+        node_nm=node_nm,
+        year=year,
+        interface=nearest.interface,
+        datarate=nearest.datarate,
+        density_bits=nearest.density_bits,
+        vdd=round(vdd, 3),
+        vint=round(vint, 3),
+        vbl=round(vbl, 3),
+        vpp=round(vpp, 3),
+        trc=interp("trc"),
+    )
+
+
+def build_projected_device(node_nm: float, io_width: int = 16,
+                           **overrides):
+    """Build a device at an arbitrary node via the projected roadmap.
+
+    For nodes present in the roadmap this is exactly
+    :func:`repro.devices.build_device`; in between (or beyond) the
+    projected entry is registered temporarily so the whole builder
+    stack — technology scaling, cell architecture staircase, voltage
+    derivation — works unchanged.
+    """
+    from ..devices.builder import build_device
+
+    if node_nm in ROADMAP:
+        return build_device(node_nm, io_width=io_width, **overrides)
+    entry = projected_entry(node_nm)
+    ROADMAP[node_nm] = entry
+    try:
+        return build_device(node_nm, io_width=io_width, **overrides)
+    finally:
+        del ROADMAP[node_nm]

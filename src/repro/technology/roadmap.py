@@ -1,0 +1,203 @@
+"""The DRAM generation roadmap (paper §IV.C, Figures 11 and 12).
+
+One entry per technology node from 170 nm (the year-2000 SDR generation)
+to 16 nm (the 2018 DDR5 forecast).  Each entry fixes the mainstream
+interface at the node's peak-usage time, the per-pin data rate at the high
+end of typically available devices, the density that keeps the die between
+roughly 40 and 60 mm², the four voltages (ITRS-guided; the flattening of
+the voltage curves is the paper's headline result) and the row timings.
+
+The paper's interface assumptions: the data rate per pin doubles at each
+interface transition while the maximum core frequency stays constant, so
+the prefetch doubles (SDR 1 → DDR 2 → DDR2 4 → DDR3 8 → DDR4 16 →
+DDR5 32).
+
+Generator efficiencies follow the supply style: Vint and Vbl come from
+linear regulators (efficiency = V_rail / Vdd, or direct connection at the
+lowest supplies), Vpp from a charge pump (ideal doubler efficiency
+V_pp / 2·Vdd times a 0.8 implementation factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import TechnologyError
+
+#: Prefetch depth per interface family (paper §IV.C assumption).
+PREFETCH: Dict[str, int] = {
+    "SDR": 1,
+    "DDR": 2,
+    "DDR2": 4,
+    "DDR3": 8,
+    "DDR4": 16,
+    "DDR5": 32,
+}
+
+#: Peripheral-logic complexity relative to SDR.  The paper: peripheral
+#: logic "becomes more complex in more advanced DRAM generations"; this
+#: factor scales the fitted gate counts of the logic blocks and drives the
+#: sensitivity shift of Table III.
+COMPLEXITY: Dict[str, float] = {
+    "SDR": 1.0,
+    "DDR": 1.8,
+    "DDR2": 3.0,
+    "DDR3": 4.0,
+    "DDR4": 6.5,
+    "DDR5": 10.0,
+}
+
+#: Interface families in roadmap order.
+INTERFACE_ORDER: Tuple[str, ...] = ("SDR", "DDR", "DDR2", "DDR3", "DDR4",
+                                    "DDR5")
+
+
+@dataclass(frozen=True)
+class RoadmapEntry:
+    """One generation of the commodity DRAM roadmap."""
+
+    node_nm: float
+    """Feature size (nm)."""
+    year: int
+    """Approximate year of peak usage."""
+    interface: str
+    """Mainstream interface family at peak usage."""
+    datarate: float
+    """Per-pin data rate at the high end of available devices (bit/s)."""
+    density_bits: int
+    """Mainstream monolithic density (bits)."""
+    vdd: float
+    """External supply voltage (V)."""
+    vint: float
+    """Internal logic voltage (V)."""
+    vbl: float
+    """Bitline voltage (V)."""
+    vpp: float
+    """Wordline boost voltage (V)."""
+    trc: float
+    """Row cycle time (s)."""
+
+    @property
+    def prefetch(self) -> int:
+        """Prefetch depth of the interface family."""
+        return PREFETCH[self.interface]
+
+    @property
+    def complexity(self) -> float:
+        """Peripheral-logic complexity factor relative to SDR."""
+        return COMPLEXITY[self.interface]
+
+    @property
+    def f_ctrlclock(self) -> float:
+        """Control clock: the interface clock (Hz)."""
+        if self.interface == "SDR":
+            return self.datarate
+        return self.datarate / 2.0
+
+    @property
+    def f_dataclock(self) -> float:
+        """Data clock (Hz); data toggles on both edges for DDR families."""
+        return self.f_ctrlclock
+
+    @property
+    def core_frequency(self) -> float:
+        """Internal column-access rate at full bandwidth (Hz)."""
+        return self.datarate / self.prefetch
+
+    @property
+    def eff_vint(self) -> float:
+        """Vint generator efficiency (linear regulator or direct)."""
+        ratio = self.vint / self.vdd
+        return 1.0 if ratio > 0.97 else ratio
+
+    @property
+    def eff_vbl(self) -> float:
+        """Vbl generator efficiency (linear regulator from Vdd)."""
+        return self.vbl / self.vdd
+
+    @property
+    def eff_vpp(self) -> float:
+        """Vpp pump efficiency: ideal doubler × 0.8 implementation factor."""
+        return 0.8 * self.vpp / (2.0 * self.vdd)
+
+    @property
+    def trrd(self) -> float:
+        """Activate-to-activate (different banks) delay (s)."""
+        return self.trc / 8.0
+
+    @property
+    def tfaw(self) -> float:
+        """Four-activate window (s)."""
+        return self.trc * 0.8
+
+    @property
+    def banks(self) -> int:
+        """Bank count typical of the interface family and density."""
+        if self.interface in ("SDR", "DDR"):
+            return 4
+        if self.interface == "DDR2":
+            return 8 if self.density_bits >= (1 << 30) else 4
+        if self.interface == "DDR3":
+            return 8
+        if self.interface == "DDR4":
+            return 16
+        return 32
+
+
+_MBIT = 1 << 20
+_GBIT = 1 << 30
+
+#: The roadmap, 170 nm (2000) to 16 nm (2018 forecast).  Average feature
+#: shrink between generations is ≈16 % (paper §III.C).
+_ENTRIES: Tuple[RoadmapEntry, ...] = (
+    RoadmapEntry(170, 2000, "SDR", 166e6, 128 * _MBIT, 3.30, 2.90, 2.00,
+                 3.80, 70e-9),
+    RoadmapEntry(140, 2002, "DDR", 333e6, 256 * _MBIT, 2.50, 2.30, 1.80,
+                 3.50, 65e-9),
+    RoadmapEntry(110, 2004, "DDR", 400e6, 512 * _MBIT, 2.50, 2.20, 1.60,
+                 3.30, 60e-9),
+    RoadmapEntry(90, 2005, "DDR2", 667e6, 512 * _MBIT, 1.80, 1.70, 1.50,
+                 3.10, 57e-9),
+    RoadmapEntry(75, 2007, "DDR2", 800e6, 1 * _GBIT, 1.80, 1.65, 1.35,
+                 3.00, 54e-9),
+    RoadmapEntry(65, 2008, "DDR3", 1066e6, 1 * _GBIT, 1.50, 1.45, 1.25,
+                 2.90, 52e-9),
+    RoadmapEntry(55, 2009, "DDR3", 1600e6, 2 * _GBIT, 1.50, 1.40, 1.15,
+                 2.80, 50e-9),
+    RoadmapEntry(44, 2010, "DDR3", 1866e6, 4 * _GBIT, 1.50, 1.35, 1.10,
+                 2.70, 48e-9),
+    RoadmapEntry(36, 2012, "DDR4", 2667e6, 4 * _GBIT, 1.35, 1.25, 1.05,
+                 2.70, 47e-9),
+    RoadmapEntry(31, 2013, "DDR4", 3200e6, 8 * _GBIT, 1.20, 1.15, 1.00,
+                 2.60, 46e-9),
+    RoadmapEntry(25, 2015, "DDR4", 3200e6, 8 * _GBIT, 1.20, 1.10, 0.95,
+                 2.60, 45e-9),
+    RoadmapEntry(21, 2016, "DDR5", 4800e6, 16 * _GBIT, 1.10, 1.05, 0.90,
+                 2.50, 45e-9),
+    RoadmapEntry(18, 2017, "DDR5", 6400e6, 16 * _GBIT, 1.10, 1.00, 0.90,
+                 2.50, 44e-9),
+    RoadmapEntry(16, 2018, "DDR5", 6400e6, 16 * _GBIT, 1.05, 1.00, 0.85,
+                 2.40, 44e-9),
+)
+
+#: Node (nm) → roadmap entry.
+ROADMAP: Dict[float, RoadmapEntry] = {
+    entry.node_nm: entry for entry in _ENTRIES
+}
+
+
+def nodes() -> Tuple[float, ...]:
+    """All roadmap nodes (nm), large to small."""
+    return tuple(entry.node_nm for entry in _ENTRIES)
+
+
+def roadmap_entry(node_nm: float) -> RoadmapEntry:
+    """The roadmap entry of one node."""
+    try:
+        return ROADMAP[node_nm]
+    except KeyError:
+        known = ", ".join(f"{n:g}" for n in nodes())
+        raise TechnologyError(
+            f"no roadmap entry for {node_nm} nm (known nodes: {known})"
+        ) from None

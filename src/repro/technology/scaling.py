@@ -1,0 +1,224 @@
+"""Technology-parameter scaling across nodes (paper §III.C, Figures 5-7).
+
+The 39 technology parameters are anchored at a calibrated 55 nm baseline
+(the node of the paper's main DDR3 example) and scaled to other nodes with
+per-parameter power laws: ``value(node) = baseline × (node / 55 nm)^e``.
+In general technology parameters shrink more slowly than the feature size
+(exponent < 1); the solid ``f-shrink`` line of the paper's figures is the
+exponent-1 reference.
+
+Disruptive transitions (Table II) that change a capacitive load
+differently from a smooth shrink are expressed as discrete multiplier
+steps: the introduction of dual gate oxides at 90 nm, Cu metallization at
+44 nm, and high-k gate dielectrics at 31 nm.
+
+Beyond the Table I parameters, three auxiliary quantities scale the same
+way and are used by the device builder: the widths of the two on-pitch
+stripes and the average width of miscellaneous logic devices (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..description import TechnologyParameters
+from ..errors import TechnologyError
+
+#: The calibration node (nm): a typical 2009 DDR3 technology.
+BASELINE_NODE_NM = 55.0
+
+#: Reference node (nm) for shrink-factor plots (Figures 5-7 span the full
+#: roadmap starting at the 170 nm generation).
+REFERENCE_NODE_NM = 170.0
+
+#: The calibrated 55 nm parameter set (SI units).
+BASELINE_55NM = TechnologyParameters(
+    tox_logic=4.0e-9,
+    tox_hv=7.0e-9,
+    tox_cell=6.0e-9,
+    lmin_logic=90e-9,
+    cj_logic=8.0e-10,
+    lmin_hv=150e-9,
+    cj_hv=1.0e-9,
+    l_cell=100e-9,
+    w_cell=55e-9,
+    c_bitline=100e-15,
+    c_cell=25e-15,
+    share_bl_wl=0.15,
+    bits_per_csl=16,
+    c_wire_mwl=2.5e-10,
+    predecode_mwl=8.0,
+    w_mwl_dec_n=0.6e-6,
+    w_mwl_dec_p=0.4e-6,
+    mwl_dec_activity=0.5,
+    w_wl_ctrl_load_n=2.0e-6,
+    w_wl_ctrl_load_p=4.0e-6,
+    w_swd_n=0.3e-6,
+    w_swd_p=0.4e-6,
+    w_swd_restore=0.2e-6,
+    c_wire_swl=2.0e-10,
+    w_sa_n=0.5e-6,
+    w_sa_p=0.4e-6,
+    l_sa_n=0.10e-6,
+    l_sa_p=0.10e-6,
+    w_eq=0.3e-6,
+    l_eq=0.15e-6,
+    w_bitswitch=0.4e-6,
+    l_bitswitch=0.10e-6,
+    w_blmux=0.4e-6,
+    l_blmux=0.15e-6,
+    w_nset=10e-6,
+    l_nset=0.20e-6,
+    w_pset=10e-6,
+    l_pset=0.20e-6,
+    c_wire_signal=2.0e-10,
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """A discrete multiplier tied to a disruptive transition."""
+
+    side: str
+    """``'le'`` — applies at and below ``node_nm``; ``'ge'`` — at and
+    above."""
+    node_nm: float
+    """Threshold node (nm)."""
+    multiplier: float
+    """Factor applied to the smoothly scaled value."""
+
+    def applies(self, node_nm: float) -> bool:
+        """True when the step is active at ``node_nm``."""
+        if self.side == "le":
+            return node_nm <= self.node_nm
+        if self.side == "ge":
+            return node_nm >= self.node_nm
+        raise TechnologyError(f"unknown step side {self.side!r}")
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """Power-law scaling of one parameter, with disruptive steps."""
+
+    exponent: float
+    """Shrink exponent e: value ∝ (node / baseline)^e."""
+    figure: str
+    """Which paper figure plots this parameter: fig5, fig6 or fig7."""
+    steps: Tuple[Step, ...] = field(default_factory=tuple)
+
+    def factor(self, node_nm: float,
+               reference_nm: float = BASELINE_NODE_NM) -> float:
+        """Scaling factor of the parameter at ``node_nm`` vs reference."""
+        if node_nm <= 0 or reference_nm <= 0:
+            raise TechnologyError("nodes must be positive")
+        value = (node_nm / reference_nm) ** self.exponent
+        for step in self.steps:
+            if step.applies(node_nm) and not step.applies(reference_nm):
+                value *= step.multiplier
+            elif step.applies(reference_nm) and not step.applies(node_nm):
+                value /= step.multiplier
+        return value
+
+
+_CU_STEP = Step("le", 44.0, 0.85)
+_DUAL_OXIDE_STEP = Step("ge", 110.0, 1.30)
+_HIGH_K_STEP = Step("le", 31.0, 0.90)
+
+#: Scaling law per parameter.  Keys cover all 39 Table I parameters plus
+#: the three auxiliary Figure 6 quantities used by the device builder.
+SCALING_LAWS: Dict[str, ScalingLaw] = {
+    # Figure 5: transistor-technology parameters.
+    "tox_logic": ScalingLaw(0.5, "fig5", (_DUAL_OXIDE_STEP, _HIGH_K_STEP)),
+    "tox_hv": ScalingLaw(0.3, "fig5"),
+    "tox_cell": ScalingLaw(0.4, "fig5"),
+    "lmin_logic": ScalingLaw(0.9, "fig5"),
+    "cj_logic": ScalingLaw(0.5, "fig5"),
+    "lmin_hv": ScalingLaw(0.8, "fig5"),
+    "cj_hv": ScalingLaw(0.5, "fig5"),
+    "l_cell": ScalingLaw(0.7, "fig5"),
+    "w_cell": ScalingLaw(1.0, "fig5"),
+    # Figure 6: capacitances, stripe widths, miscellaneous logic widths.
+    "c_bitline": ScalingLaw(0.45, "fig6"),
+    "c_cell": ScalingLaw(0.1, "fig6"),
+    "share_bl_wl": ScalingLaw(0.0, "fig6"),
+    "bits_per_csl": ScalingLaw(0.0, "fig6"),
+    "c_wire_mwl": ScalingLaw(0.2, "fig6", (_CU_STEP,)),
+    "c_wire_swl": ScalingLaw(0.15, "fig6"),
+    "c_wire_signal": ScalingLaw(0.2, "fig6", (_CU_STEP,)),
+    "predecode_mwl": ScalingLaw(0.0, "fig6"),
+    "mwl_dec_activity": ScalingLaw(0.0, "fig6"),
+    "width_sa_stripe": ScalingLaw(0.6, "fig6"),
+    "width_swd_stripe": ScalingLaw(0.6, "fig6"),
+    "w_logic_misc": ScalingLaw(0.8, "fig6"),
+    # Figure 7: core (on-pitch) device dimensions.
+    "w_mwl_dec_n": ScalingLaw(0.9, "fig7"),
+    "w_mwl_dec_p": ScalingLaw(0.9, "fig7"),
+    "w_wl_ctrl_load_n": ScalingLaw(0.9, "fig7"),
+    "w_wl_ctrl_load_p": ScalingLaw(0.9, "fig7"),
+    "w_swd_n": ScalingLaw(0.9, "fig7"),
+    "w_swd_p": ScalingLaw(0.9, "fig7"),
+    "w_swd_restore": ScalingLaw(0.9, "fig7"),
+    "w_sa_n": ScalingLaw(0.9, "fig7"),
+    "w_sa_p": ScalingLaw(0.9, "fig7"),
+    "l_sa_n": ScalingLaw(0.9, "fig7"),
+    "l_sa_p": ScalingLaw(0.9, "fig7"),
+    "w_eq": ScalingLaw(0.9, "fig7"),
+    "l_eq": ScalingLaw(0.9, "fig7"),
+    "w_bitswitch": ScalingLaw(0.9, "fig7"),
+    "l_bitswitch": ScalingLaw(0.9, "fig7"),
+    "w_blmux": ScalingLaw(0.9, "fig7"),
+    "l_blmux": ScalingLaw(0.9, "fig7"),
+    "w_nset": ScalingLaw(0.9, "fig7"),
+    "l_nset": ScalingLaw(0.9, "fig7"),
+    "w_pset": ScalingLaw(0.9, "fig7"),
+    "l_pset": ScalingLaw(0.9, "fig7"),
+}
+
+#: Baselines of the auxiliary (non-Table-I) scaled quantities at 55 nm.
+AUXILIARY_BASELINES_55NM: Dict[str, float] = {
+    "width_sa_stripe": 20e-6,
+    "width_swd_stripe": 8e-6,
+    "w_logic_misc": 0.5e-6,
+}
+
+
+def feature_shrink(node_nm: float,
+                   reference_nm: float = REFERENCE_NODE_NM) -> float:
+    """The f-shrink reference line: feature size relative to reference."""
+    if node_nm <= 0 or reference_nm <= 0:
+        raise TechnologyError("nodes must be positive")
+    return node_nm / reference_nm
+
+
+def shrink_factor(parameter: str, node_nm: float,
+                  reference_nm: float = REFERENCE_NODE_NM) -> float:
+    """Scaling factor of a parameter at ``node_nm`` relative to reference.
+
+    This is what Figures 5-7 plot (reference = the 170 nm generation).
+    """
+    try:
+        law = SCALING_LAWS[parameter]
+    except KeyError:
+        raise TechnologyError(f"no scaling law for {parameter!r}") from None
+    return law.factor(node_nm, reference_nm)
+
+
+def technology_for_node(node_nm: float) -> TechnologyParameters:
+    """The full 39-parameter technology set at ``node_nm``."""
+    values: Dict[str, float] = {}
+    for name, baseline in BASELINE_55NM.items():
+        law = SCALING_LAWS[name]
+        scaled = baseline * law.factor(node_nm, BASELINE_NODE_NM)
+        values[name] = scaled
+    values["bits_per_csl"] = int(round(values["bits_per_csl"]))
+    return TechnologyParameters(**values)
+
+
+def auxiliary_for_node(node_nm: float) -> Dict[str, float]:
+    """Stripe widths and misc logic width at ``node_nm`` (Figure 6)."""
+    return {
+        name: baseline * SCALING_LAWS[name].factor(node_nm,
+                                                   BASELINE_NODE_NM)
+        for name, baseline in AUXILIARY_BASELINES_55NM.items()
+    }

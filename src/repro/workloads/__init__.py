@@ -1,0 +1,30 @@
+"""Workload generation for trace-based power studies.
+
+The pattern engine answers "what does this steady-state loop cost"; the
+workload package answers "what does this *access stream* cost": a greedy
+open-page scheduler (:mod:`repro.workloads.scheduler`) turns logical
+requests into timing-legal command traces, and the generators
+(:mod:`repro.workloads.generators`) produce the canonical streams —
+sequential streaming, random access with a row-hit-rate knob, and
+utilization sweeps.
+"""
+
+from .scheduler import OpenPageScheduler, Request, schedule_frfcfs
+from .generators import (
+    copy_trace,
+    pointer_chase_trace,
+    random_trace,
+    streaming_trace,
+    utilization_trace,
+)
+
+__all__ = [
+    "OpenPageScheduler",
+    "Request",
+    "schedule_frfcfs",
+    "copy_trace",
+    "pointer_chase_trace",
+    "random_trace",
+    "streaming_trace",
+    "utilization_trace",
+]

@@ -1,0 +1,147 @@
+"""Canonical access-stream generators.
+
+All generators are deterministic given their seed and return timing-legal
+traces built by the open-page scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.trace import TraceCommand
+from ..description import DramDescription
+from ..errors import ModelError
+from .scheduler import OpenPageScheduler, Request
+
+
+def _accesses_per_page(device: DramDescription) -> int:
+    return device.spec.page_bits // device.spec.bits_per_access
+
+
+def streaming_trace(device: DramDescription, accesses: int,
+                    read_fraction: float = 1.0,
+                    banks_used: int = 0) -> List[TraceCommand]:
+    """A sequential stream: fill each open page before moving on.
+
+    Pages are walked round-robin across ``banks_used`` banks (default:
+    all) so activates overlap with data transfer — the best case for
+    row-buffer locality.
+    """
+    if accesses <= 0:
+        raise ModelError("accesses must be positive")
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ModelError("read_fraction must be a fraction")
+    banks_used = banks_used or device.spec.banks
+    banks_used = min(banks_used, device.spec.banks)
+    per_page = _accesses_per_page(device)
+    scheduler = OpenPageScheduler(device)
+    writes_every = (0 if read_fraction >= 1.0
+                    else max(1, round(1.0 / max(1e-9, 1.0 - read_fraction))))
+    rows = [0] * banks_used
+    index = 0
+    while index < accesses:
+        bank = (index // per_page) % banks_used
+        if index % per_page == 0 and index // per_page >= banks_used:
+            rows[bank] += 1
+        is_write = bool(writes_every) and (index % writes_every
+                                           == writes_every - 1)
+        scheduler.add(Request(bank=bank, row=rows[bank],
+                              is_write=is_write))
+        index += 1
+    return scheduler.finalize()
+
+
+def random_trace(device: DramDescription, accesses: int,
+                 row_hit_rate: float = 0.5, read_fraction: float = 0.67,
+                 seed: int = 1,
+                 with_refresh: bool = False) -> List[TraceCommand]:
+    """A random-access stream with a target row-buffer hit rate.
+
+    Each access reuses the last row of a random bank with probability
+    ``row_hit_rate``, otherwise it touches a fresh row — the knob that
+    moves a workload between streaming-like and fully random behaviour.
+    With ``with_refresh`` the scheduler interleaves per-bank refresh
+    cycles at the tREFI cadence.
+    """
+    if accesses <= 0:
+        raise ModelError("accesses must be positive")
+    for name, value in (("row_hit_rate", row_hit_rate),
+                        ("read_fraction", read_fraction)):
+        if not 0.0 <= value <= 1.0:
+            raise ModelError(f"{name} must be a fraction")
+    rng = random.Random(seed)
+    banks = device.spec.banks
+    rows_per_bank = device.spec.rows_per_bank
+    last_rows = {bank: 0 for bank in range(banks)}
+    scheduler = OpenPageScheduler(device)
+    deadline = device.timing.tref_interval / banks
+    for _ in range(accesses):
+        if with_refresh:
+            deadline = scheduler.maybe_refresh(deadline)
+        bank = rng.randrange(banks)
+        if rng.random() < row_hit_rate:
+            row = last_rows[bank]
+        else:
+            row = rng.randrange(rows_per_bank)
+            last_rows[bank] = row
+        scheduler.add(Request(
+            bank=bank, row=row,
+            is_write=rng.random() >= read_fraction,
+        ))
+    return scheduler.finalize()
+
+
+def copy_trace(device: DramDescription, lines: int,
+               banks_apart: int = 1) -> List[TraceCommand]:
+    """A memory-copy stream: read a source page, write a destination.
+
+    Source and destination live ``banks_apart`` banks apart so reads and
+    writes interleave across banks; each page is fully read then fully
+    written — the classic memcpy/DMA pattern, write-heavy on the data
+    bus but streaming-friendly on the rows.
+    """
+    if lines <= 0:
+        raise ModelError("lines must be positive")
+    banks = device.spec.banks
+    per_page = _accesses_per_page(device)
+    scheduler = OpenPageScheduler(device)
+    for line in range(lines):
+        src_bank = (2 * line) % banks
+        dst_bank = (2 * line + banks_apart) % banks
+        row = line // banks
+        for _ in range(per_page):
+            scheduler.add(Request(bank=src_bank, row=row))
+            scheduler.add(Request(bank=dst_bank, row=row,
+                                  is_write=True))
+    return scheduler.finalize()
+
+
+def pointer_chase_trace(device: DramDescription, accesses: int,
+                        seed: int = 1) -> List[TraceCommand]:
+    """A dependent-load chain: every access a fresh random row.
+
+    The worst case for row-buffer locality (hit rate ≈ 0) — each load
+    pays a full precharge + activate before its column access.
+    """
+    return random_trace(device, accesses, row_hit_rate=0.0,
+                        read_fraction=1.0, seed=seed)
+
+
+def utilization_trace(device: DramDescription, duration: float,
+                      utilization: float, row_hit_rate: float = 0.5,
+                      read_fraction: float = 0.67,
+                      seed: int = 1) -> List[TraceCommand]:
+    """A random stream sized to a target bandwidth utilization.
+
+    ``utilization`` is the fraction of peak bandwidth the stream demands;
+    the scheduler stretches the trace if the protocol cannot sustain it.
+    """
+    if duration <= 0:
+        raise ModelError("duration must be positive")
+    if not 0.0 < utilization <= 1.0:
+        raise ModelError("utilization must be in (0, 1]")
+    spec = device.spec
+    accesses = max(1, int(duration * spec.core_access_rate * utilization))
+    return random_trace(device, accesses, row_hit_rate=row_hit_rate,
+                        read_fraction=read_fraction, seed=seed)

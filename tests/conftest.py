@@ -1,0 +1,77 @@
+"""Shared fixtures: representative devices and their power models."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.devices import (
+    build_device,
+    ddr2_1g,
+    ddr3_1g,
+    ddr3_2g_55nm,
+    ddr5_16g_18nm,
+    sdr_128m_170nm,
+)
+
+
+@pytest.fixture(scope="session")
+def ddr3_device():
+    """The paper's main example: 2 Gb DDR3-1600 x16 at 55 nm."""
+    return ddr3_2g_55nm()
+
+
+@pytest.fixture(scope="session")
+def ddr3_model(ddr3_device):
+    return DramPowerModel(ddr3_device)
+
+
+@pytest.fixture(scope="session")
+def sdr_device():
+    """The oldest sensitivity device: 128 Mb SDR at 170 nm."""
+    return sdr_128m_170nm()
+
+
+@pytest.fixture(scope="session")
+def sdr_model(sdr_device):
+    return DramPowerModel(sdr_device)
+
+
+@pytest.fixture(scope="session")
+def ddr5_device():
+    """The forecast device: 16 Gb DDR5 at 18 nm."""
+    return ddr5_16g_18nm()
+
+
+@pytest.fixture(scope="session")
+def ddr5_model(ddr5_device):
+    return DramPowerModel(ddr5_device)
+
+
+@pytest.fixture(scope="session")
+def ddr2_device():
+    """A Figure 8 verification part: 1 Gb DDR2-800 x16 at 75 nm."""
+    return ddr2_1g(800e6, 16)
+
+
+@pytest.fixture(scope="session")
+def ddr2_model(ddr2_device):
+    return DramPowerModel(ddr2_device)
+
+
+@pytest.fixture(scope="session")
+def ddr3_1g_device():
+    """A Figure 9 verification part: 1 Gb DDR3-1333 x16 at 65 nm."""
+    return ddr3_1g(1333e6, 16)
+
+
+@pytest.fixture(scope="session")
+def all_devices(ddr3_device, sdr_device, ddr5_device, ddr2_device,
+                ddr3_1g_device):
+    return [ddr3_device, sdr_device, ddr5_device, ddr2_device,
+            ddr3_1g_device]
+
+
+@pytest.fixture(scope="session")
+def x4_device():
+    """A narrow device exercising the x4 parameter corner."""
+    return build_device(65, interface="DDR3", density_bits=1 << 30,
+                        io_width=4, datarate=1066e6)

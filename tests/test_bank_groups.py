@@ -1,0 +1,133 @@
+"""Tests for DDR4/DDR5 bank-group timing (tRRD_S vs tRRD_L)."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.core.trace import TraceCommand, TraceError, evaluate_trace
+from repro.description import Command
+from repro.devices import build_device
+from repro.errors import DescriptionError
+from repro.workloads import OpenPageScheduler, Request, random_trace
+
+
+@pytest.fixture(scope="module")
+def ddr4_device():
+    return build_device(31)  # 8G DDR4-3200 x16: 16 banks, 4 groups
+
+
+@pytest.fixture(scope="module")
+def ddr4_model(ddr4_device):
+    return DramPowerModel(ddr4_device)
+
+
+class TestSpecification:
+    def test_ddr4_has_four_groups(self, ddr4_device):
+        assert ddr4_device.spec.bank_groups == 4
+        assert ddr4_device.spec.banks_per_group == 4
+
+    def test_ddr5_has_eight_groups(self):
+        device = build_device(18)
+        assert device.spec.bank_groups == 8
+
+    def test_ddr3_has_no_groups(self, ddr3_device):
+        assert ddr3_device.spec.bank_groups == 1
+        assert ddr3_device.timing.trrd_l == ddr3_device.timing.trrd
+
+    def test_group_mapping(self, ddr4_device):
+        spec = ddr4_device.spec
+        assert spec.bank_group_of(0) == 0
+        assert spec.bank_group_of(3) == 0
+        assert spec.bank_group_of(4) == 1
+        assert spec.bank_group_of(15) == 3
+
+    def test_groups_must_divide_banks(self, ddr3_device):
+        with pytest.raises(DescriptionError):
+            ddr3_device.replace_path("spec.bank_groups", 3)
+
+    def test_trrd_l_not_shorter_than_trrd(self, ddr3_device):
+        with pytest.raises(DescriptionError):
+            ddr3_device.replace_path("timing.trrd_l",
+                                     ddr3_device.timing.trrd / 2)
+
+    def test_ddr4_trrd_l_longer(self, ddr4_device):
+        assert ddr4_device.timing.trrd_l > ddr4_device.timing.trrd
+
+
+class TestTraceChecking:
+    def test_same_group_fast_pair_rejected(self, ddr4_model):
+        timing = ddr4_model.device.timing
+        # Banks 0 and 1 share group 0: spacing between tRRD and tRRD_L
+        # violates tRRD_L.
+        spacing = (timing.trrd + timing.trrd_l) / 2
+        trace = [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(spacing, Command.ACT, bank=1),
+        ]
+        with pytest.raises(TraceError, match="tRRD_L"):
+            evaluate_trace(ddr4_model, trace)
+
+    def test_cross_group_fast_pair_accepted(self, ddr4_model):
+        timing = ddr4_model.device.timing
+        spacing = (timing.trrd + timing.trrd_l) / 2
+        trace = [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(spacing, Command.ACT, bank=4),  # group 1
+        ]
+        result = evaluate_trace(ddr4_model, trace)
+        assert result.counts[Command.ACT] == 2
+
+    def test_same_group_slow_pair_accepted(self, ddr4_model):
+        timing = ddr4_model.device.timing
+        trace = [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(timing.trrd_l, Command.ACT, bank=1),
+        ]
+        result = evaluate_trace(ddr4_model, trace)
+        assert result.counts[Command.ACT] == 2
+
+
+class TestScheduler:
+    def test_scheduler_respects_trrd_l(self, ddr4_device):
+        scheduler = OpenPageScheduler(ddr4_device)
+        scheduler.extend([Request(0, 1), Request(1, 1)])  # same group
+        trace = scheduler.finalize()
+        acts = [entry.time for entry in trace
+                if entry.command is Command.ACT]
+        assert acts[1] - acts[0] >= ddr4_device.timing.trrd_l - 1e-12
+
+    def test_cross_group_schedule_still_legal(self, ddr4_device,
+                                              ddr4_model):
+        # In the greedy in-order scheduler the tRCD wait of the previous
+        # request always exceeds tRRD_L, so the group distinction binds
+        # in the strict checker (out-of-order controllers), not here —
+        # but the produced trace must of course replay cleanly.
+        scheduler = OpenPageScheduler(ddr4_device)
+        scheduler.extend([Request(0, 1), Request(4, 1)])  # groups 0, 1
+        trace = scheduler.finalize()
+        acts = [entry.time for entry in trace
+                if entry.command is Command.ACT]
+        assert acts[1] - acts[0] >= ddr4_device.timing.trrd - 1e-12
+        evaluate_trace(ddr4_model, trace, strict=True)
+
+    def test_random_ddr4_traces_stay_legal(self, ddr4_device,
+                                           ddr4_model):
+        for seed in (1, 2, 3):
+            trace = random_trace(ddr4_device, 400, row_hit_rate=0.2,
+                                 seed=seed)
+            result = evaluate_trace(ddr4_model, trace, strict=True)
+            assert result.counts[Command.ACT] > 0
+
+
+class TestSerialization:
+    def test_dsl_round_trips_groups(self, ddr4_device):
+        from repro.dsl import dumps, loads
+        restored = loads(dumps(ddr4_device))
+        assert restored.spec.bank_groups == 4
+        assert restored.timing.trrd_l == pytest.approx(
+            ddr4_device.timing.trrd_l)
+
+    def test_json_round_trips_groups(self, ddr4_device):
+        from repro.description.jsonio import dumps_json, loads_json
+        restored = loads_json(dumps_json(ddr4_device))
+        assert restored.spec.bank_groups == 4
+        assert restored.timing == ddr4_device.timing

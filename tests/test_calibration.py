@@ -1,0 +1,110 @@
+"""Tests for the datasheet calibration fitter."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.analysis.calibration import (
+    CalibrationResult,
+    CalibrationTarget,
+    calibrate_logic,
+)
+from repro.core.idd import IddMeasure, measure
+from repro.errors import ModelError
+
+
+def targets_from_model(model, scale=1.0):
+    """Targets derived from the model itself, optionally scaled."""
+    return [
+        CalibrationTarget(which,
+                          measure(model, which).milliamps * scale)
+        for which in (IddMeasure.IDD0, IddMeasure.IDD2N,
+                      IddMeasure.IDD4R, IddMeasure.IDD4W)
+    ]
+
+
+class TestTargets:
+    def test_rejects_non_positive_current(self):
+        with pytest.raises(ModelError):
+            CalibrationTarget(IddMeasure.IDD0, 0.0)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ModelError):
+            CalibrationTarget(IddMeasure.IDD0, 50.0, weight=0.0)
+
+    def test_string_measure_coerced(self):
+        target = CalibrationTarget("idd4r", 150.0)
+        assert target.measure is IddMeasure.IDD4R
+
+
+class TestCalibration:
+    def test_already_calibrated_device_stays_put(self, ddr3_device):
+        model = DramPowerModel(ddr3_device)
+        result = calibrate_logic(ddr3_device, targets_from_model(model))
+        assert result.final_error <= result.initial_error + 1e-12
+        assert result.initial_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_fits_inflated_targets(self, ddr3_device):
+        # Ask for 30 % more current everywhere: the fitter must close
+        # most of the gap by growing the logic blocks.
+        model = DramPowerModel(ddr3_device)
+        result = calibrate_logic(ddr3_device,
+                                 targets_from_model(model, scale=1.3))
+        assert result.improved
+        assert result.final_error < 0.5 * result.initial_error
+        assert any(factor > 1.0
+                   for factor in result.scale_factors.values())
+
+    def test_fits_deflated_targets(self, ddr3_device):
+        model = DramPowerModel(ddr3_device)
+        result = calibrate_logic(ddr3_device,
+                                 targets_from_model(model, scale=0.75))
+        assert result.improved
+        assert any(factor < 1.0
+                   for factor in result.scale_factors.values())
+
+    def test_residuals_near_one_after_fit(self, ddr3_device):
+        model = DramPowerModel(ddr3_device)
+        result = calibrate_logic(ddr3_device,
+                                 targets_from_model(model, scale=1.2))
+        for which, ratio in result.residuals.items():
+            assert 0.8 < ratio < 1.25, which
+
+    def test_bounds_respected(self, ddr3_device):
+        model = DramPowerModel(ddr3_device)
+        # An absurd 10x target cannot push factors beyond the bound.
+        result = calibrate_logic(ddr3_device,
+                                 targets_from_model(model, scale=10.0),
+                                 bounds=(0.5, 2.0))
+        for factor in result.scale_factors.values():
+            assert 0.5 <= factor <= 2.0
+
+    def test_device_unchanged_outside_fit_blocks(self, ddr3_device):
+        model = DramPowerModel(ddr3_device)
+        result = calibrate_logic(ddr3_device,
+                                 targets_from_model(model, scale=1.2),
+                                 blocks=("control",))
+        fitted = result.device
+        assert fitted.technology == ddr3_device.technology
+        for name in ("datapath", "interface", "collogic"):
+            assert (fitted.logic_block(name).n_gates
+                    == ddr3_device.logic_block(name).n_gates)
+
+    def test_needs_targets(self, ddr3_device):
+        with pytest.raises(ModelError):
+            calibrate_logic(ddr3_device, [])
+
+    def test_needs_valid_blocks(self, ddr3_device):
+        model = DramPowerModel(ddr3_device)
+        with pytest.raises(ModelError):
+            calibrate_logic(ddr3_device, targets_from_model(model),
+                            blocks=("nonexistent",))
+
+    def test_result_type(self, ddr3_device):
+        model = DramPowerModel(ddr3_device)
+        result = calibrate_logic(ddr3_device, targets_from_model(model),
+                                 iterations=2)
+        assert isinstance(result, CalibrationResult)
+        assert set(result.scale_factors) <= {
+            "control", "rowlogic", "collogic", "datapath", "interface",
+            "dll",
+        }

@@ -1,0 +1,109 @@
+"""Tests for the ASCII chart helpers and the full report generator."""
+
+import pytest
+
+from repro.analysis.charts import (
+    bar_chart,
+    line_chart,
+    normalize_series,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart(["alpha", "beta"], [1.0, 2.0])
+        assert "alpha" in chart
+        assert "beta" in chart
+
+    def test_longest_bar_for_largest_value(self):
+        chart = bar_chart(["a", "b"], [1.0, 4.0], width=8)
+        lines = chart.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_negative_values_marked(self):
+        chart = bar_chart(["down"], [-3.0], unit="%")
+        assert "-3" in chart
+
+    def test_title(self):
+        chart = bar_chart(["a"], [1.0], title="Impact")
+        assert chart.splitlines()[0] == "Impact"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestLineChart:
+    def test_renders_grid(self):
+        chart = line_chart([1, 2, 3, 4], [10, 20, 15, 40], height=6,
+                           width=20)
+        assert chart.count("*") >= 3
+        assert "+" in chart
+
+    def test_log_axis(self):
+        chart = line_chart([170, 55, 16], [350, 18, 3.6], log_y=True)
+        assert "350" in chart
+        assert "3.6" in chart
+
+    def test_log_axis_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], [0.0, 1.0], log_y=True)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            line_chart([1], [1])
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestNormalize:
+    def test_peak_is_one(self):
+        series = normalize_series([2.0, 4.0, 1.0])
+        assert max(series) == 1.0
+        assert series == (0.5, 1.0, 0.25)
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.analysis.report import generate_report
+        return generate_report()
+
+    def test_contains_every_experiment(self, report):
+        for marker in ("Figure 8", "Figure 9", "Figure 10",
+                       "Table III", "Figure 13", "Section IV.B",
+                       "Section V"):
+            assert marker in report, marker
+
+    def test_headline_figures_present(self, report):
+        assert "reduction per generation" in report
+        assert "selective-bitline-activation" in report
+        assert "Internal voltage Vint" in report
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "report.txt"
+        code = main(["report", "-o", str(path)])
+        assert code == 0
+        assert path.exists()
+        assert "Figure 13" in path.read_text()

@@ -1,0 +1,124 @@
+"""Tests for the feasibility checker, data exporters and event reports."""
+
+import csv
+import json
+
+import pytest
+
+from repro import Command, DramPowerModel
+from repro.analysis import (
+    check_device,
+    export_all,
+    export_schemes,
+    export_sensitivity,
+    export_trends,
+    export_verification,
+    is_feasible,
+)
+from repro.devices import build_device
+
+
+class TestChecks:
+    def test_calibrated_device_is_feasible(self, ddr3_device):
+        assert is_feasible(ddr3_device)
+
+    def test_all_checks_present(self, ddr3_device):
+        checks = {result.check for result in check_device(ddr3_device)}
+        assert checks == {"sa_stripe_share", "swd_stripe_share",
+                          "array_efficiency", "die_area", "die_aspect",
+                          "vpp_headroom"}
+
+    def test_oversized_stripe_flagged(self, ddr3_device):
+        bloated = ddr3_device.replace_path(
+            "floorplan.array.width_sa_stripe",
+            ddr3_device.floorplan.array.width_sa_stripe * 3
+        )
+        results = {result.check: result
+                   for result in check_device(bloated)}
+        assert results["sa_stripe_share"].severity == "warning"
+        assert not is_feasible(bloated)
+
+    def test_low_vpp_headroom_flagged(self, ddr3_device):
+        squeezed = ddr3_device.evolve(
+            voltages=ddr3_device.voltages.with_levels(vpp=1.6)
+        )
+        results = {result.check: result
+                   for result in check_device(squeezed)}
+        assert results["vpp_headroom"].severity == "warning"
+
+    def test_generation_sweep_mostly_feasible(self):
+        # Every roadmap device passes the stripe-share and headroom
+        # checks; die-area/aspect may warn on extreme nodes.
+        for node in (170, 90, 55, 31, 18):
+            results = {result.check: result
+                       for result in check_device(build_device(node))}
+            assert results["sa_stripe_share"].is_ok, node
+            assert results["vpp_headroom"].is_ok, node
+
+
+class TestEventReports:
+    def test_activate_dominated_by_bitline_swing(self, ddr3_model):
+        entries = ddr3_model.event_energies(Command.ACT)
+        assert entries[0][0].name == "bitline swing"
+        energies = [energy for _, energy in entries]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_event_energies_sum_to_operation(self, ddr3_model):
+        total = sum(energy for _, energy in
+                    ddr3_model.event_energies(Command.RD))
+        assert total == pytest.approx(
+            ddr3_model.operation_energy(Command.RD)
+        )
+
+    def test_background_event_powers_sum(self, ddr3_model):
+        total = sum(power for _, power in
+                    ddr3_model.background_event_powers())
+        constant = (ddr3_model.device.constant_current
+                    * ddr3_model.device.voltages.vdd)
+        assert total + constant == pytest.approx(
+            ddr3_model.background_power
+        )
+
+
+class TestExports:
+    def test_verification_csv(self, tmp_path):
+        path = export_verification(tmp_path / "verify.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 72
+        assert {row["figure"] for row in rows} == {"fig8", "fig9"}
+        assert all(float(row["best_model_ma"]) > 0 for row in rows)
+
+    def test_sensitivity_csv(self, tmp_path):
+        path = export_sensitivity(tmp_path / "sens.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        devices = {row["device"] for row in rows}
+        assert len(devices) == 3
+        vint_rows = [row for row in rows
+                     if row["parameter"] == "Internal voltage Vint"]
+        assert len(vint_rows) == 3
+
+    def test_trends_json(self, tmp_path):
+        path = export_trends(tmp_path / "trends.json")
+        with open(path) as handle:
+            document = json.load(handle)
+        assert len(document["figure13_energy"]) == 14
+        energies = [point["energy_idd7_pj"]
+                    for point in document["figure13_energy"]]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+        assert "figure11_voltages" in document
+        assert "section4b_power_shift" in document
+
+    def test_schemes_csv(self, tmp_path):
+        path = export_schemes(tmp_path / "schemes.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 8
+        assert all(float(row["power_saving"]) > 0 for row in rows)
+
+    def test_export_all_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "out"
+        paths = export_all(target)
+        assert len(paths) == 4
+        assert all(path.exists() for path in paths)

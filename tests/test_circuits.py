@@ -1,0 +1,205 @@
+"""Tests for the circuit-level capacitance models."""
+
+import pytest
+
+from repro.circuits import array, column, constants, logic, wordline
+from repro.circuits.devices import (
+    buffer_input_load,
+    buffer_output_load,
+    buffer_total_load,
+)
+from repro.circuits import signaling as signaling_circuits
+from repro.core.events import Component
+from repro.description import Command, Rail
+from repro.floorplan import FloorplanGeometry
+
+
+@pytest.fixture(scope="module")
+def geometry(ddr3_device):
+    return FloorplanGeometry(ddr3_device)
+
+
+def event_by_name(events, name):
+    matches = [event for event in events if event.name == name]
+    assert matches, f"no event named {name!r}"
+    return matches[0]
+
+
+class TestBufferLoads:
+    def test_zero_widths_no_load(self, ddr3_device):
+        assert buffer_total_load(ddr3_device.technology, 0.0, 0.0) == 0.0
+
+    def test_total_is_input_plus_output(self, ddr3_device):
+        tech = ddr3_device.technology
+        total = buffer_total_load(tech, 2e-6, 4e-6)
+        assert total == pytest.approx(
+            buffer_input_load(tech, 2e-6, 4e-6)
+            + buffer_output_load(tech, 2e-6, 4e-6)
+        )
+
+    def test_load_monotone_in_width(self, ddr3_device):
+        tech = ddr3_device.technology
+        assert (buffer_total_load(tech, 4e-6, 8e-6)
+                > buffer_total_load(tech, 2e-6, 4e-6))
+
+
+class TestArrayEvents:
+    def test_bitline_swing_covers_page(self, ddr3_device, geometry):
+        events = array.events(ddr3_device, geometry)
+        swing = event_by_name(events, "bitline swing")
+        assert swing.count == ddr3_device.spec.page_bits
+        assert swing.rail is Rail.VBL
+        assert swing.swing == pytest.approx(
+            ddr3_device.voltages.vbl / 2.0
+        )
+        assert swing.operations == frozenset({Command.ACT})
+
+    def test_cell_restore_half_the_page(self, ddr3_device, geometry):
+        events = array.events(ddr3_device, geometry)
+        restore = event_by_name(events, "cell restore")
+        assert restore.count == pytest.approx(
+            ddr3_device.spec.page_bits * constants.ONES_FRACTION
+        )
+
+    def test_equalize_fires_on_precharge(self, ddr3_device, geometry):
+        events = array.events(ddr3_device, geometry)
+        eq = event_by_name(events, "equalize control lines")
+        assert eq.operations == frozenset({Command.PRE})
+        assert eq.rail is Rail.VPP
+
+    def test_open_architecture_has_no_mux_lines(self, ddr3_device,
+                                                geometry):
+        events = array.events(ddr3_device, geometry)
+        names = {event.name for event in events}
+        assert "bitline mux control lines" not in names
+
+    def test_folded_architecture_adds_mux_lines(self, ddr2_device):
+        events = array.events(ddr2_device,
+                              FloorplanGeometry(ddr2_device))
+        names = {event.name for event in events}
+        assert "bitline mux control lines" in names
+
+    def test_transistor_counts(self, ddr3_device, ddr2_device):
+        assert array.transistors_per_pair(ddr3_device) == 9   # open
+        assert array.transistors_per_pair(ddr2_device) == 11  # folded
+
+    def test_stripe_events_scale_with_swls(self, ddr3_device, geometry):
+        events = array.events(ddr3_device, geometry)
+        set_lines = event_by_name(events, "sense-amp set lines")
+        assert set_lines.count == ddr3_device.swls_per_activate
+
+
+class TestWordlineEvents:
+    def test_local_wordline_count(self, ddr3_device, geometry):
+        events = wordline.events(ddr3_device, geometry)
+        lwl = event_by_name(events, "local wordlines")
+        assert lwl.count == ddr3_device.swls_per_activate
+        assert lwl.rail is Rail.VPP
+        assert lwl.swing == ddr3_device.voltages.vpp
+
+    def test_local_wordline_capacitance_components(self, ddr3_device):
+        tech = ddr3_device.technology
+        arr = ddr3_device.floorplan.array
+        cap = wordline.local_wordline_capacitance(ddr3_device)
+        gate_only = arr.bits_per_swl * tech.cell_gate_cap()
+        # The full load exceeds the cell gates alone (wire + coupling +
+        # driver junctions) but stays the same order of magnitude.
+        assert gate_only < cap < 20 * gate_only
+
+    def test_master_wordline_per_block(self, ddr3_device, sdr_device,
+                                       geometry):
+        events = wordline.events(ddr3_device, geometry)
+        mwl = event_by_name(events, "master wordline")
+        assert mwl.count == 1.0
+        sdr_events = wordline.events(sdr_device,
+                                     FloorplanGeometry(sdr_device))
+        sdr_mwl = event_by_name(sdr_events, "master wordline")
+        assert sdr_mwl.count == 2.0  # page split over two blocks
+
+    def test_mwl_capacitance_includes_wire_and_drivers(self, ddr3_device,
+                                                       geometry):
+        cap = wordline.master_wordline_capacitance(ddr3_device, geometry)
+        wire_only = (geometry.array_block.master_wordline_length
+                     * ddr3_device.technology.c_wire_mwl)
+        assert cap > wire_only
+
+    def test_predecode_uses_vint(self, ddr3_device, geometry):
+        events = wordline.events(ddr3_device, geometry)
+        predecode = event_by_name(events, "row predecode lines")
+        assert predecode.rail is Rail.VINT
+
+
+class TestColumnEvents:
+    def test_csl_count_matches_access(self, ddr3_device, geometry):
+        events = column.events(ddr3_device, geometry)
+        csl = event_by_name(events, "column select lines")
+        assert csl.count == ddr3_device.csls_per_access
+        assert csl.operations == frozenset({Command.RD, Command.WR})
+
+    def test_csl_capacitance_scales_with_sharing(self, ddr3_device,
+                                                 geometry):
+        base = column.csl_capacitance(ddr3_device, geometry)
+        shared = ddr3_device.replace_path(
+            "floorplan.array.blocks_per_csl", 2
+        )
+        double = column.csl_capacitance(shared,
+                                        FloorplanGeometry(shared))
+        assert double == pytest.approx(2 * base)
+
+    def test_master_datalines_per_access_bit(self, ddr3_device, geometry):
+        events = column.events(ddr3_device, geometry)
+        mdq = event_by_name(events, "master data lines")
+        assert mdq.count == ddr3_device.spec.bits_per_access
+        assert mdq.component is Component.DATAPATH
+
+    def test_write_flip_only_on_writes(self, ddr3_device, geometry):
+        events = column.events(ddr3_device, geometry)
+        flip = event_by_name(events, "write bitline flip")
+        assert flip.operations == frozenset({Command.WR})
+        assert flip.count == pytest.approx(
+            ddr3_device.spec.bits_per_access
+            * constants.WRITE_FLIP_PROBABILITY
+        )
+        assert flip.swing == ddr3_device.voltages.vbl
+
+
+class TestSignalingEvents:
+    def test_one_event_per_segment(self, ddr3_device, geometry):
+        events = signaling_circuits.events(ddr3_device, geometry)
+        segments = sum(len(net.segments) for net in ddr3_device.signaling)
+        assert len(events) == segments
+
+    def test_event_capacitance_positive(self, ddr3_device, geometry):
+        for event in signaling_circuits.events(ddr3_device, geometry):
+            assert event.capacitance > 0
+
+    def test_component_taken_from_net(self, ddr3_device, geometry):
+        events = signaling_circuits.events(ddr3_device, geometry)
+        clock_events = [event for event in events
+                        if event.name.startswith("net ClockTree")]
+        assert clock_events
+        assert all(event.component is Component.CLOCK
+                   for event in clock_events)
+
+
+class TestLogicEvents:
+    def test_one_event_per_block(self, ddr3_device, geometry):
+        events = logic.events(ddr3_device, geometry)
+        assert len(events) == len(ddr3_device.logic_blocks)
+
+    def test_gate_capacitance_scale(self, ddr3_device):
+        # An average peripheral gate switches a few femtofarads.
+        block = ddr3_device.logic_block("control")
+        cap = logic.gate_capacitance(ddr3_device, block)
+        assert 0.5e-15 < cap < 50e-15
+
+    def test_count_is_gates_times_toggle(self, ddr3_device, geometry):
+        events = logic.events(ddr3_device, geometry)
+        control = event_by_name(events, "logic control")
+        block = ddr3_device.logic_block("control")
+        assert control.count == pytest.approx(block.n_gates * block.toggle)
+
+    def test_total_block_area_positive(self, ddr3_device):
+        area = logic.total_block_area(ddr3_device)
+        # Peripheral logic should be a visible but small part of a die.
+        assert 0.05e-6 < area < 20e-6  # m² (0.05 to 20 mm²)

@@ -1,0 +1,87 @@
+"""Source-tree hygiene checks.
+
+Cheap static guards that keep the library tidy without external linters:
+no unused imports outside ``__init__`` re-export modules, no tab
+characters, every public module carries a docstring.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def _module_paths():
+    return sorted(SRC.rglob("*.py"))
+
+
+def _imported_names(tree):
+    names = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                key = (alias.asname or alias.name).split(".")[0]
+                names[key] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names[alias.asname or alias.name] = node.lineno
+    return names
+
+
+def test_no_unused_imports():
+    offenders = []
+    for path in _module_paths():
+        if path.name == "__init__.py":
+            continue  # re-export modules use imports as their API
+        source = path.read_text()
+        tree = ast.parse(source)
+        for name, line in _imported_names(tree).items():
+            if name == "annotations":
+                continue  # from __future__ import annotations
+            if source.count(name) <= 1:
+                offenders.append(f"{path.relative_to(SRC)}:{line}: "
+                                 f"{name}")
+    assert offenders == []
+
+
+def test_no_tabs():
+    offenders = [str(path.relative_to(SRC))
+                 for path in _module_paths()
+                 if "\t" in path.read_text()]
+    assert offenders == []
+
+
+def test_every_module_has_a_docstring():
+    offenders = []
+    for path in _module_paths():
+        tree = ast.parse(path.read_text())
+        if not ast.get_docstring(tree):
+            offenders.append(str(path.relative_to(SRC)))
+    assert offenders == []
+
+
+def test_no_print_in_library_code():
+    # The CLI is the only module allowed to print.
+    offenders = []
+    for path in _module_paths():
+        if path.name in ("cli.py",):
+            continue
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                offenders.append(f"{path.relative_to(SRC)}:{node.lineno}")
+    assert offenders == []
+
+
+def test_line_length_soft_limit():
+    # PEP 8's 79 with a small grace for tables/URLs.
+    offenders = []
+    for path in _module_paths():
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            if len(line) > 85:
+                offenders.append(f"{path.relative_to(SRC)}:{number}")
+    assert offenders == []

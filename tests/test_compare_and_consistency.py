@@ -1,0 +1,113 @@
+"""Device-diff tool tests plus pattern-vs-trace engine consistency."""
+
+import pytest
+
+from repro import DramPowerModel, Pattern
+from repro.analysis.compare import compare_report, diff_devices
+from repro.core.trace import TraceCommand, evaluate_trace
+from repro.description import Command
+from repro.devices import build_device
+
+
+class TestDiffDevices:
+    def test_identical_devices_no_diff(self, ddr3_device):
+        assert diff_devices(ddr3_device, ddr3_device) == []
+
+    def test_voltage_diff_detected(self, ddr3_device):
+        lowered = ddr3_device.replace_path("voltages.vint", 1.2)
+        diffs = diff_devices(ddr3_device, lowered)
+        assert len(diffs) == 1
+        assert diffs[0].path == "voltages.vint"
+        assert diffs[0].ratio == pytest.approx(1.2 / 1.4)
+
+    def test_technology_diff_detected(self, ddr3_device):
+        changed = ddr3_device.scale_path("technology.c_bitline", 1.5)
+        diffs = diff_devices(ddr3_device, changed)
+        assert [diff.path for diff in diffs] == ["technology.c_bitline"]
+
+    def test_architecture_diff_detected(self, ddr3_device):
+        folded = ddr3_device.replace_path(
+            "floorplan.array.bitline_arch", "folded")
+        paths = {diff.path for diff in diff_devices(ddr3_device, folded)}
+        assert "floorplan.array.bitline_arch" in paths
+
+    def test_report_renders(self, ddr3_device):
+        other = build_device(65, interface="DDR3",
+                             density_bits=1 << 30, datarate=1333e6)
+        text = compare_report(ddr3_device, other)
+        assert "Differing parameters" in text
+        assert "IDD comparison" in text
+        assert "idd4r" in text
+
+    def test_identical_report(self, ddr3_device):
+        text = compare_report(ddr3_device, ddr3_device)
+        assert "parameter-identical" in text
+
+    def test_cli_compare(self, tmp_path, capsys, ddr3_device):
+        from repro.cli import main
+        from repro.dsl import dump
+        left = tmp_path / "a.dram"
+        right = tmp_path / "b.dram"
+        dump(ddr3_device, left)
+        dump(ddr3_device.replace_path("voltages.vint", 1.3), right)
+        assert main(["compare", str(left), str(right)]) == 0
+        out = capsys.readouterr().out
+        assert "voltages.vint" in out
+
+
+class TestPatternTraceConsistency:
+    """The steady-state pattern engine and the trace engine must price
+    the same workload identically."""
+
+    def test_row_cycle_loop(self, ddr3_model):
+        device = ddr3_model.device
+        f_clock = device.spec.f_ctrlclock
+        trc_cycles = int(round(device.timing.trc * f_clock))
+        # Pattern: one ACT + one PRE per tRC worth of slots.
+        slots = [Command.NOP] * trc_cycles
+        slots[0] = Command.ACT
+        tras_slot = int(round(device.timing.tras * f_clock))
+        slots[tras_slot] = Command.PRE
+        pattern_power = ddr3_model.pattern_power(Pattern(tuple(slots)))
+
+        # Equivalent trace: many repetitions of the same loop.
+        loops = 50
+        trace = []
+        for index in range(loops):
+            base = index * device.timing.trc
+            trace.append(TraceCommand(base, Command.ACT, bank=0))
+            trace.append(TraceCommand(base + device.timing.tras,
+                                      Command.PRE, bank=0))
+        result = evaluate_trace(ddr3_model, trace)
+        # The trace duration carries one extra tail tRC; correct for it.
+        effective = result.energy / (loops * device.timing.trc)
+        assert effective == pytest.approx(
+            pattern_power.power,
+            rel=0.03,
+        )
+
+    def test_read_stream(self, ddr3_model):
+        device = ddr3_model.device
+        spec = device.spec
+        gap = spec.burst_length / spec.datarate
+        timing = device.timing
+        # Open one row per bank, stream reads gapless; compare the
+        # steady-state section against IDD4R plus the row overhead.
+        from repro.core.idd import idd4r
+        reads = 400
+        trace = [TraceCommand(0.0, Command.ACT, bank=0)]
+        start = timing.trcd
+        for index in range(reads):
+            trace.append(TraceCommand(start + index * gap, Command.RD,
+                                      bank=0))
+        trace.append(TraceCommand(
+            start + (reads - 1) * gap + timing.trtp, Command.PRE,
+            bank=0))
+        result = evaluate_trace(ddr3_model, trace)
+        stream_power = (reads * ddr3_model.operation_energy(Command.RD)
+                        / (reads * gap)
+                        + ddr3_model.background_power)
+        assert stream_power == pytest.approx(
+            idd4r(ddr3_model).power.power, rel=1e-9)
+        # The trace's total energy dominated by the same stream power.
+        assert result.energy > 0.8 * stream_power * (reads * gap)

@@ -1,0 +1,93 @@
+"""Tests for process-corner sweeps and peak-current estimation."""
+
+import pytest
+
+from repro import Command, DramPowerModel, Rail
+from repro.analysis.corners import (
+    Corner,
+    STANDARD_CORNERS,
+    VENDOR_SPREAD_CORNERS,
+    corner_sweep,
+)
+from repro.analysis.peak_current import (
+    peak_current,
+    peak_current_table,
+    peak_to_average_ratio,
+)
+from repro.core.idd import IddMeasure
+from repro.errors import ModelError
+
+
+class TestCorners:
+    def test_identity_corner(self, ddr3_device):
+        typical = Corner("typical")
+        assert typical.apply(ddr3_device) == ddr3_device
+
+    def test_corner_scales_groups(self, ddr3_device):
+        shifted = Corner("hot", capacitance=1.2).apply(ddr3_device)
+        assert shifted.technology.c_bitline == pytest.approx(
+            1.2 * ddr3_device.technology.c_bitline
+        )
+        # Voltages untouched by a capacitance-only corner.
+        assert shifted.voltages == ddr3_device.voltages
+
+    def test_sweep_band_ordering(self, ddr3_device):
+        for band in corner_sweep(ddr3_device):
+            assert band.minimum <= band.typical <= band.maximum
+
+    def test_fast_corner_draws_less(self, ddr3_device):
+        bands = {band.measure: band for band in corner_sweep(ddr3_device)}
+        idd4 = bands[IddMeasure.IDD4R]
+        assert idd4.values_ma["fast"] < idd4.values_ma["typical"] \
+            < idd4.values_ma["slow"]
+
+    def test_spread_figure(self, ddr3_device):
+        # The standard ±10 % corner set yields a double-digit-percent
+        # spread, the vendor set a wider one — the §IV.A observation.
+        standard = corner_sweep(ddr3_device)[0].spread
+        vendor = corner_sweep(ddr3_device,
+                              corners=VENDOR_SPREAD_CORNERS)[0].spread
+        assert 0.1 < standard < 0.5
+        assert vendor > standard
+
+    def test_empty_corner_set_rejected(self, ddr3_device):
+        with pytest.raises(ModelError):
+            corner_sweep(ddr3_device, corners=())
+
+    def test_standard_set_has_typical(self):
+        assert any(corner.name == "typical"
+                   for corner in STANDARD_CORNERS)
+
+
+class TestPeakCurrent:
+    def test_activate_peaks_on_bitline_rail(self, ddr3_model):
+        result = peak_current(ddr3_model, Command.ACT)
+        assert result.worst_rail is Rail.VBL
+
+    def test_column_commands_peak_on_vint(self, ddr3_model):
+        for command in (Command.RD, Command.WR):
+            result = peak_current(ddr3_model, command)
+            assert result.worst_rail is Rail.VINT, command
+
+    def test_activate_is_the_worst_transient(self, ddr3_model):
+        table = peak_current_table(ddr3_model)
+        assert table[0].command in (Command.ACT, Command.WR)
+        currents = [entry.vdd_current for entry in table]
+        assert currents == sorted(currents, reverse=True)
+
+    def test_peak_well_above_average(self, ddr3_model):
+        # The activate transient sits several times above the IDD0
+        # average — decoupling territory.
+        ratio = peak_to_average_ratio(ddr3_model)
+        assert 1.5 < ratio < 20.0
+
+    def test_precharge_transient_small(self, ddr3_model):
+        act = peak_current(ddr3_model, Command.ACT).vdd_current
+        pre = peak_current(ddr3_model, Command.PRE).vdd_current
+        assert pre < 0.5 * act
+
+    def test_magnitudes_are_sub_ampere(self, ddr3_model):
+        # A commodity DDR3 activate bursts hundreds of milliamps, not
+        # tens of amperes.
+        for entry in peak_current_table(ddr3_model):
+            assert entry.vdd_current < 2.0

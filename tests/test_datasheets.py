@@ -1,0 +1,92 @@
+"""Tests for the reconstructed vendor datasheet database."""
+
+import pytest
+
+from repro.core.idd import IddMeasure
+from repro.datasheets import (
+    DDR2_1G_POINTS,
+    DDR3_1G_POINTS,
+    VENDORS,
+    ddr2_points,
+    ddr3_points,
+)
+from repro.datasheets.idd import spread
+
+
+class TestDatabaseShape:
+    def test_five_vendors(self):
+        assert len(VENDORS) == 5
+        assert {"Samsung", "Hynix", "Micron", "Elpida",
+                "Qimonda"} == set(VENDORS)
+
+    def test_point_counts(self):
+        # 3 measures × 4 rates × 3 widths × 5 vendors.
+        assert len(DDR2_1G_POINTS) == 180
+        assert len(DDR3_1G_POINTS) == 180
+
+    def test_labels_match_paper_style(self):
+        point = ddr2_points(IddMeasure.IDD0, 533e6, 4)[0]
+        assert point.label == "idd0 533 x4"
+
+    def test_filtering(self):
+        points = ddr3_points(measure=IddMeasure.IDD4R, io_width=16)
+        assert len(points) == 20  # 4 rates × 5 vendors
+        assert all(p.measure is IddMeasure.IDD4R for p in points)
+        assert all(p.io_width == 16 for p in points)
+
+    def test_spread_helper(self):
+        points = ddr3_points(IddMeasure.IDD4R, 1600e6, 16)
+        low, mean, high = spread(points)
+        assert low < mean < high
+
+    def test_spread_rejects_empty(self):
+        with pytest.raises(ValueError):
+            spread([])
+
+
+class TestDatabaseShapeInvariants:
+    """The orderings that Figure 8/9 must show."""
+
+    def test_idd4_grows_with_datarate(self):
+        for points_fn in (ddr2_points, ddr3_points):
+            rates = sorted({p.datarate for p in points_fn()})
+            means = [spread(points_fn(IddMeasure.IDD4R, rate, 16))[1]
+                     for rate in rates]
+            assert all(a < b for a, b in zip(means, means[1:]))
+
+    def test_idd4_grows_with_width(self):
+        for points_fn, rate in ((ddr2_points, 800e6),
+                                (ddr3_points, 1333e6)):
+            means = [spread(points_fn(IddMeasure.IDD4R, rate, w))[1]
+                     for w in (4, 8, 16)]
+            assert all(a < b for a, b in zip(means, means[1:]))
+
+    def test_ddr3_below_ddr2_at_800(self):
+        ddr2_mean = spread(ddr2_points(IddMeasure.IDD4R, 800e6, 16))[1]
+        ddr3_mean = spread(ddr3_points(IddMeasure.IDD4R, 800e6, 16))[1]
+        assert ddr3_mean < ddr2_mean
+
+    def test_idd0_width_dependence_is_mild(self):
+        # Row cycling grows with page size (x16 parts open 2 KB pages)
+        # but far less than proportionally.
+        for points_fn, rate in ((ddr2_points, 667e6),
+                                (ddr3_points, 1333e6)):
+            x4 = spread(points_fn(IddMeasure.IDD0, rate, 4))[1]
+            x16 = spread(points_fn(IddMeasure.IDD0, rate, 16))[1]
+            assert 1.0 < x16 / x4 < 1.5
+
+    def test_write_above_read(self):
+        for points_fn, rate in ((ddr2_points, 800e6),
+                                (ddr3_points, 1600e6)):
+            read = spread(points_fn(IddMeasure.IDD4R, rate, 16))[1]
+            write = spread(points_fn(IddMeasure.IDD4W, rate, 16))[1]
+            assert write >= read
+
+    def test_vendor_spread_is_wide(self):
+        # The paper: "the data sheet values show a quite large spread".
+        low, mean, high = spread(ddr3_points(IddMeasure.IDD4R, 1333e6, 16))
+        assert (high - low) / mean > 0.15
+
+    def test_all_currents_positive_and_sane(self):
+        for point in DDR2_1G_POINTS + DDR3_1G_POINTS:
+            assert 20 < point.current_ma < 400, point.label

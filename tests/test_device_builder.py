@@ -1,0 +1,151 @@
+"""Tests for the device builder and the named catalog."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.devices import (
+    build_device,
+    default_bank_count,
+    default_page_bits,
+    ddr2_1g,
+    ddr3_1g,
+    ddr3_2g_55nm,
+    ddr5_16g_18nm,
+    generation_sweep,
+    sdr_128m_170nm,
+    sensitivity_trio,
+)
+from repro.errors import DescriptionError
+from repro.technology.roadmap import nodes
+
+_GBIT = 1 << 30
+
+
+class TestDefaults:
+    def test_node_defaults_from_roadmap(self):
+        device = build_device(55)
+        assert device.interface == "DDR3"
+        assert device.spec.density_bits == 2 * _GBIT
+        assert device.spec.datarate == pytest.approx(1.6e9)
+
+    def test_page_bits_rules(self):
+        assert default_page_bits("DDR3", 16) == 16384
+        assert default_page_bits("DDR3", 8) == 8192
+        assert default_page_bits("SDR", 16) == 8192
+
+    def test_bank_count_rules(self):
+        assert default_bank_count("SDR", 128 << 20) == 4
+        assert default_bank_count("DDR2", 512 << 20) == 4
+        assert default_bank_count("DDR2", _GBIT) == 8
+        assert default_bank_count("DDR4", 8 * _GBIT) == 16
+        assert default_bank_count("DDR5", 16 * _GBIT) == 32
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(DescriptionError):
+            build_device(55, interface="HBM3")
+
+    def test_non_power_of_two_density_rejected(self):
+        with pytest.raises(DescriptionError):
+            build_device(55, density_bits=3 * _GBIT)
+
+
+class TestVoltagesAcrossInterfaces:
+    def test_mainstream_pairing(self):
+        device = build_device(55)
+        assert device.voltages.vdd == 1.5
+        assert device.voltages.vint == pytest.approx(1.4)
+
+    def test_cross_pairing_raises_vint(self):
+        # A DDR2 built at 65 nm runs its periphery above a 65 nm DDR3.
+        ddr2 = build_device(65, interface="DDR2", density_bits=_GBIT,
+                            datarate=800e6)
+        ddr3 = build_device(65, interface="DDR3", density_bits=_GBIT,
+                            datarate=1066e6)
+        assert ddr2.voltages.vdd == 1.8
+        assert ddr2.voltages.vint > ddr3.voltages.vint
+        # Technology rails are unchanged.
+        assert ddr2.voltages.vbl == ddr3.voltages.vbl
+        assert ddr2.voltages.vpp == ddr3.voltages.vpp
+
+    def test_efficiencies_within_bounds(self):
+        for node in (170, 90, 55, 18):
+            volts = build_device(node).voltages
+            assert 0 < volts.eff_vpp <= 1, node
+            assert 0 < volts.eff_vint <= 1, node
+
+
+class TestCatalog:
+    def test_ddr2_verification_part(self):
+        device = ddr2_1g(800e6, 16)
+        assert device.interface == "DDR2"
+        assert device.spec.density_bits == _GBIT
+        assert device.node == pytest.approx(75e-9)
+        assert device.floorplan.array.is_folded  # 8F² era
+
+    def test_ddr3_verification_part(self):
+        device = ddr3_1g(1333e6, 8)
+        assert device.spec.io_width == 8
+        assert not device.floorplan.array.is_folded  # 6F² era
+
+    def test_sensitivity_trio_matches_table_iii(self):
+        sdr, ddr3, ddr5 = sensitivity_trio()
+        assert sdr.density_label == "128M" and sdr.interface == "SDR"
+        assert ddr3.density_label == "2G" and ddr3.interface == "DDR3"
+        assert ddr5.density_label == "16G" and ddr5.interface == "DDR5"
+        assert sdr.node == pytest.approx(170e-9)
+        assert ddr3.node == pytest.approx(55e-9)
+        assert ddr5.node == pytest.approx(18e-9)
+
+    def test_named_devices_build_models(self):
+        for device in (sdr_128m_170nm(), ddr3_2g_55nm(),
+                       ddr5_16g_18nm()):
+            model = DramPowerModel(device)
+            assert model.pattern_power().power > 0
+
+    def test_generation_sweep_covers_roadmap(self):
+        devices = generation_sweep()
+        assert len(devices) == len(nodes())
+        assert [round(d.node * 1e9) for d in devices] == \
+            [round(n) for n in nodes()]
+
+
+class TestBuilderInternals:
+    def test_bits_per_csl_capped_by_access(self):
+        # An SDR x4 access is 4 bits; the CSL group must shrink to fit.
+        device = build_device(170, interface="SDR",
+                              density_bits=128 << 20, io_width=4,
+                              datarate=166e6)
+        assert device.technology.bits_per_csl == 4
+
+    def test_logic_blocks_present(self):
+        device = build_device(55)
+        names = {block.name for block in device.logic_blocks}
+        assert {"control", "rowlogic", "collogic", "datapath",
+                "interface", "iodrv", "dll"} <= names
+
+    def test_sdr_has_no_dll(self):
+        device = build_device(170)
+        names = {block.name for block in device.logic_blocks}
+        assert "dll" not in names
+
+    def test_signal_nets_present(self):
+        device = build_device(55)
+        names = {net.name for net in device.signaling}
+        assert {"ClockTree", "CmdAddr", "RowAddr", "ColAddr",
+                "DataReadCore", "DataWriteCore", "DataReadIO",
+                "DataWriteIO"} == names
+
+    def test_logic_gate_counts_grow_with_complexity(self):
+        sdr = build_device(170)
+        ddr5 = build_device(18)
+        assert (ddr5.logic_block("control").n_gates
+                > 5 * sdr.logic_block("control").n_gates)
+
+    def test_custom_name(self):
+        device = build_device(55, name="my-part")
+        assert device.name == "my-part"
+
+    def test_explicit_page_and_banks(self):
+        device = build_device(55, page_bits=8192, banks=16)
+        assert device.spec.page_bits == 8192
+        assert device.spec.banks == 16

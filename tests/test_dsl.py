@@ -1,0 +1,214 @@
+"""Tests for the description language: lexer, parser, builder, writer."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.description import Command
+from repro.dsl import dumps, loads, tokenize
+from repro.dsl.parser import parse
+from repro.errors import DslSyntaxError, DslValidationError
+
+MINIMAL = """
+# A minimal but complete description.
+Device name=test interface=DDR3 node=55nm constant=4mA
+
+FloorplanPhysical
+CellArray BL=v BitsPerBL=512 BitsPerSWL=512 BLtype=open BlocksPerCSL=1
+Pitch WLpitch=165nm BLpitch=110nm SAwidth=20um SWDwidth=8um
+Horizontal blocks = A1 R1 A1 R1 A1 R1 A1
+Vertical blocks = A1 P1 P2 P1 A1
+SizeHorizontal R1=150um
+SizeVertical P1=200um P2=530um
+
+Specification
+IO width=16 datarate=1.6Gbps prefetch=8
+Clock number=2 frequency=800MHz
+Control frequency=800MHz bankadd=3 rowadd=14 coladd=10 misc=8
+
+Voltages
+Supply vdd=1.5 vint=1.4 vbl=1.15 vpp=2.8
+Efficiency vint=0.93 vbl=0.77 vpp=0.75
+
+Technology
+{params}
+
+Timing
+Row trc=50ns trrd=6.25ns tfaw=40ns
+
+Pattern loop= act nop wrt nop rd nop pre nop
+"""
+
+
+def minimal_text():
+    from repro.technology.scaling import BASELINE_55NM
+    params = "\n".join(f"Param {name}={value!r}"
+                       for name, value in BASELINE_55NM.items())
+    return MINIMAL.format(params=params)
+
+
+class TestLexer:
+    def test_comments_and_blanks_skipped(self):
+        statements = tokenize("# comment\n\nIO width=16\n")
+        assert len(statements) == 1
+        assert statements[0].keyword == "IO"
+
+    def test_pairs_parsed(self):
+        statement = tokenize("CellArray BL=v BitsPerBL=512")[0]
+        assert statement.pairs == {"BL": "v", "BitsPerBL": "512"}
+
+    def test_blocks_list_with_spaced_equals(self):
+        statement = tokenize("Vertical blocks = A1 P1 P2 P1 A1")[0]
+        assert statement.words == ("A1", "P1", "P2", "P1", "A1")
+
+    def test_pattern_loop_form(self):
+        statement = tokenize("Pattern loop= act nop pre nop")[0]
+        assert statement.keyword == "Pattern"
+        assert statement.words == ("act", "nop", "pre", "nop")
+
+    def test_section_header_detected(self):
+        statement = tokenize("FloorplanPhysical")[0]
+        assert statement.is_section_header
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("IO width=16 width=8")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("IO width")
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("Vertical blocks =")
+
+    def test_error_carries_line_number(self):
+        try:
+            tokenize("IO width=16\nIO oops", source="test.dram")
+        except DslSyntaxError as error:
+            assert error.line == 2
+            assert "test.dram" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+
+class TestParser:
+    def test_statements_grouped_by_section(self):
+        parsed = parse(tokenize(minimal_text()))
+        assert parsed.statements("Specification", "IO")
+        assert parsed.statements("Voltages", "Supply")
+
+    def test_device_and_pattern_top_level(self):
+        parsed = parse(tokenize(minimal_text()))
+        assert parsed.device["name"] == "test"
+        assert parsed.pattern[0] == "act"
+
+    def test_statement_outside_section_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse(tokenize("IO width=16"))
+
+    def test_unknown_statement_in_section_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse(tokenize("Specification\nBogus key=value"))
+
+    def test_missing_required_section_rejected(self):
+        text = "\n".join(line for line in minimal_text().splitlines()
+                         if not line.startswith("Timing")
+                         and not line.startswith("Row "))
+        with pytest.raises(DslSyntaxError):
+            parse(tokenize(text))
+
+    def test_merged_pairs_reject_duplicates(self):
+        text = minimal_text() + "\nVoltages\nSupply vdd=1.5\n"
+        with pytest.raises(DslSyntaxError):
+            parse(tokenize(text)).merged_pairs("Voltages", "Supply")
+
+
+class TestBuilder:
+    def test_minimal_description_builds(self):
+        device = loads(minimal_text())
+        assert device.name == "test"
+        assert device.spec.io_width == 16
+        assert device.voltages.vpp == pytest.approx(2.8)
+        assert device.timing.trc == pytest.approx(50e-9)
+        assert device.pattern.counts()[Command.ACT] == 1
+
+    def test_model_runs_on_dsl_device(self):
+        device = loads(minimal_text())
+        power = DramPowerModel(device).pattern_power()
+        assert power.power > 0
+
+    def test_missing_key_reported(self):
+        text = minimal_text().replace("Supply vdd=1.5 ", "Supply ")
+        with pytest.raises(DslValidationError):
+            loads(text)
+
+    def test_missing_technology_param_reported(self):
+        text = minimal_text().replace("Param c_bitline", "Param c_bitlin")
+        with pytest.raises(DslValidationError):
+            loads(text)
+
+    def test_bare_width_is_micrometres(self):
+        # The paper's excerpt: "DataW1 start=0_2 end=3_2 PchW=19.2
+        # NchW=9.6" — bare widths in µm.
+        text = minimal_text() + (
+            "\nFloorplanSignaling\n"
+            "Net name=DataW trigger=access ops=wr rail=vint "
+            "component=datapath\n"
+            "Seg net=DataW start=0_2 end=3_2 PchW=19.2 NchW=9.6\n"
+        )
+        device = loads(text)
+        segment = device.signaling.net("DataW").segments[0]
+        assert segment.buffer_w_p == pytest.approx(19.2e-6)
+        assert segment.buffer_w_n == pytest.approx(9.6e-6)
+
+    def test_mux_ratio_form(self):
+        text = minimal_text() + (
+            "\nFloorplanSignaling\n"
+            "Net name=DataW0 trigger=access ops=wr rail=vint "
+            "component=datapath\n"
+            "Seg net=DataW0 inside=0_2 fraction=25% dir=h mux=1:8\n"
+        )
+        segment = loads(text).signaling.net("DataW0").segments[0]
+        assert segment.mux_ratio == 8.0
+        assert segment.fraction == pytest.approx(0.25)
+
+    def test_segment_for_unknown_net_rejected(self):
+        text = minimal_text() + (
+            "\nFloorplanSignaling\nSeg net=ghost start=0_2 end=3_2\n"
+        )
+        with pytest.raises(DslValidationError):
+            loads(text)
+
+    def test_bad_coordinate_rejected(self):
+        text = minimal_text() + (
+            "\nFloorplanSignaling\n"
+            "Net name=N trigger=access ops=rd rail=vint component=datapath\n"
+            "Seg net=N start=02 end=3_2\n"
+        )
+        with pytest.raises(DslValidationError):
+            loads(text)
+
+
+class TestRoundTrip:
+    def test_power_identical_for_all_catalog_devices(self, all_devices):
+        for device in all_devices:
+            restored = loads(dumps(device))
+            original = DramPowerModel(device).pattern_power().power
+            rebuilt = DramPowerModel(restored).pattern_power().power
+            assert rebuilt == pytest.approx(original, rel=1e-6), device.name
+
+    def test_structure_preserved(self, ddr3_device):
+        restored = loads(dumps(ddr3_device))
+        assert restored.name == ddr3_device.name
+        assert restored.spec == ddr3_device.spec
+        # Voltages survive within the writer's 9-digit float precision.
+        assert restored.voltages.as_dict() == pytest.approx(
+            ddr3_device.voltages.as_dict(), rel=1e-8
+        )
+        assert len(restored.signaling) == len(ddr3_device.signaling)
+        assert len(restored.logic_blocks) == len(ddr3_device.logic_blocks)
+
+    def test_double_round_trip_stable(self, ddr3_device):
+        once = dumps(loads(dumps(ddr3_device)))
+        twice = dumps(loads(once))
+        assert once == twice

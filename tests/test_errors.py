@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DescriptionError,
+    DslError,
+    DslSyntaxError,
+    DslValidationError,
+    FloorplanError,
+    ModelError,
+    ReproError,
+    SchemeError,
+    TechnologyError,
+    UnitError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        UnitError, DslError, DslSyntaxError, DslValidationError,
+        DescriptionError, FloorplanError, ModelError, TechnologyError,
+        SchemeError,
+    ])
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_unit_error_is_value_error(self):
+        assert issubclass(UnitError, ValueError)
+
+    def test_technology_error_is_key_error(self):
+        assert issubclass(TechnologyError, KeyError)
+
+    def test_floorplan_error_is_description_error(self):
+        assert issubclass(FloorplanError, DescriptionError)
+
+    def test_dsl_errors_specialise_dsl_error(self):
+        assert issubclass(DslSyntaxError, DslError)
+        assert issubclass(DslValidationError, DslError)
+
+
+class TestDslErrorFormatting:
+    def test_carries_location(self):
+        error = DslSyntaxError("bad token", line=7, source="file.dram")
+        assert error.line == 7
+        assert error.source == "file.dram"
+        assert "file.dram:7" in str(error)
+
+    def test_no_location_plain_message(self):
+        error = DslSyntaxError("missing section")
+        assert str(error) == "missing section"
+
+
+class TestCatchability:
+    def test_library_errors_catchable_as_repro_error(self, ddr3_device):
+        with pytest.raises(ReproError):
+            ddr3_device.replace_path("voltages.vint", -1.0)
+        with pytest.raises(ReproError):
+            from repro.units import parse_quantity
+            parse_quantity("garbage units")
+        with pytest.raises(ReproError):
+            from repro.technology import roadmap_entry
+            roadmap_entry(123.456)

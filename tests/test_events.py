@@ -1,0 +1,207 @@
+"""Tests for charge events and the per-operation energy accounting."""
+
+import pytest
+
+from repro.core.events import ChargeEvent, Component, filter_events
+from repro.core.operations import (
+    EnergyBreakdown,
+    background_rate,
+    command_activity_time,
+    firings_per_command,
+)
+from repro.description import Command, Rail
+from repro.description.signaling import Trigger
+from repro.errors import ModelError
+
+
+def bitline_event(**overrides):
+    values = dict(
+        name="bitline swing",
+        component=Component.BITLINE,
+        capacitance=100e-15,
+        swing=0.6,
+        rail=Rail.VBL,
+        count=16384.0,
+        trigger=Trigger.PER_ROW_OP,
+        operations=frozenset({Command.ACT}),
+    )
+    values.update(overrides)
+    return ChargeEvent(**values)
+
+
+def clock_event(**overrides):
+    values = dict(
+        name="clock tree",
+        component=Component.CLOCK,
+        capacitance=1e-12,
+        swing=1.4,
+        rail=Rail.VINT,
+        count=2.0,
+        trigger=Trigger.PER_CTRL_CLOCK,
+        operations=frozenset(),
+    )
+    values.update(overrides)
+    return ChargeEvent(**values)
+
+
+class TestChargeEvent:
+    def test_charge_per_firing(self):
+        event = bitline_event()
+        assert event.charge_per_firing == pytest.approx(
+            16384 * 100e-15 * 0.6
+        )
+
+    def test_background_flag(self):
+        assert clock_event().is_background
+        assert not bitline_event().is_background
+
+    def test_clocked_flag(self):
+        assert clock_event().is_clocked
+        assert not bitline_event().is_clocked
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(ModelError):
+            bitline_event(capacitance=-1.0)
+
+    def test_rejects_command_trigger_without_operations(self):
+        with pytest.raises(ModelError):
+            bitline_event(operations=frozenset())
+
+    def test_string_coercion(self):
+        event = bitline_event(component="bitline", rail="vbl",
+                              trigger="row_op", operations={"act"})
+        assert event.component is Component.BITLINE
+        assert Command.ACT in event.operations
+
+    def test_scaled_copy(self):
+        event = bitline_event().scaled(count=8192.0)
+        assert event.count == 8192.0
+        assert event.capacitance == pytest.approx(100e-15)
+
+    def test_filter_by_component(self):
+        events = [bitline_event(), clock_event()]
+        selected = filter_events(events, component=Component.CLOCK)
+        assert len(selected) == 1
+        assert selected[0].name == "clock tree"
+
+    def test_filter_by_operation(self):
+        events = [bitline_event(), clock_event()]
+        selected = filter_events(events, operation=Command.ACT)
+        assert len(selected) == 1
+
+
+class TestEnergyBreakdown:
+    def test_accumulation(self):
+        breakdown = EnergyBreakdown()
+        breakdown.add(Component.BITLINE, 1.0)
+        breakdown.add(Component.BITLINE, 0.5)
+        breakdown.add(Component.CLOCK, 2.0)
+        assert breakdown.get(Component.BITLINE) == 1.5
+        assert breakdown.total == 3.5
+
+    def test_addition_operator(self):
+        a = EnergyBreakdown({Component.CLOCK: 1.0})
+        b = EnergyBreakdown({Component.CLOCK: 2.0,
+                             Component.IO: 1.0})
+        merged = a + b
+        assert merged.get(Component.CLOCK) == 3.0
+        assert merged.get(Component.IO) == 1.0
+        # Operands unchanged.
+        assert a.get(Component.CLOCK) == 1.0
+
+    def test_scaled(self):
+        breakdown = EnergyBreakdown({Component.CLOCK: 2.0})
+        assert breakdown.scaled(0.5).get(Component.CLOCK) == 1.0
+
+    def test_share(self):
+        breakdown = EnergyBreakdown({Component.CLOCK: 1.0,
+                                     Component.IO: 3.0})
+        assert breakdown.share(Component.IO) == pytest.approx(0.75)
+
+    def test_share_of_empty(self):
+        assert EnergyBreakdown().share(Component.IO) == 0.0
+
+    def test_as_dict_sorted_descending(self):
+        breakdown = EnergyBreakdown({Component.CLOCK: 1.0,
+                                     Component.IO: 3.0})
+        assert list(breakdown.as_dict()) == ["io", "clock"]
+
+
+class TestFiringSemantics:
+    def test_row_op_fires_once_per_command(self, ddr3_device):
+        event = bitline_event()
+        assert firings_per_command(ddr3_device, event, Command.ACT) == 1.0
+        assert firings_per_command(ddr3_device, event, Command.PRE) == 0.0
+
+    def test_access_event_fires_once(self, ddr3_device):
+        event = bitline_event(trigger=Trigger.PER_ACCESS,
+                              operations=frozenset({Command.RD}))
+        assert firings_per_command(ddr3_device, event, Command.RD) == 1.0
+
+    def test_gated_data_clock_event_fires_per_burst_beat(self, ddr3_device):
+        # A read burst of 8 beats at 1.6 Gb/s lasts 5 ns = 4 data clocks.
+        event = bitline_event(trigger=Trigger.PER_DATA_CLOCK,
+                              operations=frozenset({Command.RD}))
+        assert firings_per_command(ddr3_device, event,
+                                   Command.RD) == pytest.approx(4.0)
+
+    def test_gated_ctrl_clock_event_during_row_op(self, ddr3_device):
+        event = bitline_event(trigger=Trigger.PER_CTRL_CLOCK,
+                              operations=frozenset({Command.ACT}))
+        assert firings_per_command(ddr3_device, event,
+                                   Command.ACT) == pytest.approx(1.0)
+
+    def test_command_activity_time(self, ddr3_device):
+        burst = command_activity_time(ddr3_device, Command.RD)
+        assert burst == pytest.approx(8 / 1.6e9)
+        row = command_activity_time(ddr3_device, Command.ACT)
+        assert row == pytest.approx(1 / 800e6)
+
+    def test_background_rate(self, ddr3_device):
+        assert background_rate(ddr3_device, clock_event()) == pytest.approx(
+            800e6
+        )
+
+    def test_background_rate_rejects_gated(self, ddr3_device):
+        with pytest.raises(ModelError):
+            background_rate(ddr3_device, bitline_event())
+
+
+class TestOperationEnergies:
+    def test_activate_dominated_by_array(self, ddr3_model):
+        breakdown = ddr3_model.operation_breakdown(Command.ACT)
+        array_energy = (breakdown.get(Component.BITLINE)
+                        + breakdown.get(Component.SENSE_AMP)
+                        + breakdown.get(Component.WORDLINE))
+        assert array_energy > 0.5 * breakdown.total
+
+    def test_precharge_cheaper_than_activate(self, ddr3_model):
+        # Bitline equalisation is adiabatic: only control lines and row
+        # logic toggle at precharge.
+        assert (ddr3_model.operation_energy(Command.PRE)
+                < 0.5 * ddr3_model.operation_energy(Command.ACT))
+
+    def test_read_dominated_by_datapath_and_logic(self, ddr3_model):
+        breakdown = ddr3_model.operation_breakdown(Command.RD)
+        moving_data = (breakdown.get(Component.DATAPATH)
+                       + breakdown.get(Component.IO)
+                       + breakdown.get(Component.COLUMN))
+        assert moving_data > 0.7 * breakdown.total
+
+    def test_write_touches_bitlines(self, ddr3_model):
+        breakdown = ddr3_model.operation_breakdown(Command.WR)
+        assert breakdown.get(Component.BITLINE) > 0
+
+    def test_nop_has_no_operation_energy(self, ddr3_model):
+        assert ddr3_model.operation_energy(Command.NOP) == 0.0
+
+    def test_background_includes_constant_current(self, ddr3_model):
+        background = ddr3_model.background_breakdown
+        expected = (ddr3_model.device.constant_current
+                    * ddr3_model.device.voltages.vdd)
+        assert background.get(Component.POWER) == pytest.approx(expected)
+
+    def test_energy_table_shape(self, ddr3_model):
+        table = ddr3_model.energies.as_table()
+        assert set(table) == {"act", "pre", "rd", "wr", "background_mw"}
+        assert all(value >= 0 for value in table["act"].values())

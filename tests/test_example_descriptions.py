@@ -1,0 +1,35 @@
+"""The shipped example description files must stay loadable and sane."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import DramPowerModel
+from repro.dsl import load
+
+DESCRIPTIONS = sorted(
+    (Path(__file__).parent.parent / "examples" / "descriptions")
+    .glob("*.dram")
+)
+
+
+def test_example_descriptions_exist():
+    assert len(DESCRIPTIONS) >= 2
+
+
+@pytest.mark.parametrize("path", DESCRIPTIONS,
+                         ids=[p.name for p in DESCRIPTIONS])
+def test_description_loads_and_models(path):
+    device = load(path)
+    model = DramPowerModel(device)
+    result = model.pattern_power()
+    assert result.power > 0
+    assert result.energy_per_bit_pj < 1000
+
+
+def test_ddr3_description_matches_catalog():
+    from repro.devices import ddr3_2g_55nm
+    path = [p for p in DESCRIPTIONS if "ddr3" in p.name][0]
+    loaded = DramPowerModel(load(path)).pattern_power().power
+    built = DramPowerModel(ddr3_2g_55nm()).pattern_power().power
+    assert loaded == pytest.approx(built, rel=1e-6)

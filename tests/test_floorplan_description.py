@@ -1,0 +1,143 @@
+"""Tests for the physical-floorplan description classes."""
+
+import pytest
+
+from repro.description import PhysicalFloorplan
+from repro.description.floorplan import (
+    ArrayArchitecture,
+    BitlineArchitecture,
+    BlockSpec,
+)
+from repro.errors import DescriptionError, FloorplanError
+
+
+def open_array(**overrides):
+    values = dict(
+        bitline_direction="v",
+        bits_per_bitline=512,
+        bits_per_swl=512,
+        bitline_arch=BitlineArchitecture.OPEN,
+        blocks_per_csl=1,
+        wl_pitch=165e-9,
+        bl_pitch=110e-9,
+        width_sa_stripe=20e-6,
+        width_swd_stripe=8e-6,
+    )
+    values.update(overrides)
+    return ArrayArchitecture(**values)
+
+
+def folded_array(**overrides):
+    overrides.setdefault("bitline_arch", BitlineArchitecture.FOLDED)
+    overrides.setdefault("wl_pitch", 150e-9)
+    overrides.setdefault("bl_pitch", 150e-9)
+    return open_array(**overrides)
+
+
+class TestArrayArchitecture:
+    def test_open_cell_area_is_pitch_product(self):
+        array = open_array()
+        assert array.cell_area == pytest.approx(165e-9 * 110e-9)
+
+    def test_folded_cell_area_doubles(self):
+        array = folded_array()
+        assert array.cell_area == pytest.approx(150e-9 * 150e-9 * 2)
+
+    def test_open_bitline_length(self):
+        array = open_array()
+        assert array.local_bitline_length == pytest.approx(512 * 165e-9)
+
+    def test_folded_bitline_length_doubles(self):
+        array = folded_array()
+        assert array.local_bitline_length == pytest.approx(
+            2 * 512 * 150e-9
+        )
+
+    def test_local_wordline_length(self):
+        array = open_array()
+        assert array.local_wordline_length == pytest.approx(512 * 110e-9)
+
+    def test_rows_per_subarray_open(self):
+        assert open_array().rows_per_subarray == 512
+
+    def test_rows_per_subarray_folded_doubles(self):
+        assert folded_array().rows_per_subarray == 1024
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(DescriptionError):
+            open_array(bitline_direction="x")
+
+    def test_rejects_non_power_of_two_bitline(self):
+        with pytest.raises(DescriptionError):
+            open_array(bits_per_bitline=500)
+
+    def test_rejects_zero_pitch(self):
+        with pytest.raises(DescriptionError):
+            open_array(wl_pitch=0.0)
+
+    def test_is_folded_flag(self):
+        assert folded_array().is_folded
+        assert not open_array().is_folded
+
+
+class TestBlockSpec:
+    def test_peripheral_needs_size(self):
+        with pytest.raises(DescriptionError):
+            BlockSpec(name="P1", is_array=False, size=0.0)
+
+    def test_array_may_derive_size(self):
+        assert BlockSpec(name="A1", is_array=True).size == 0.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(DescriptionError):
+            BlockSpec(name="", is_array=True)
+
+
+def sample_floorplan(**overrides):
+    values = dict(
+        array=open_array(),
+        horizontal=("A1", "R1", "A1", "R1", "A1", "R1", "A1"),
+        vertical=("A1", "P1", "P2", "P1", "A1"),
+        widths={"R1": 150e-6},
+        heights={"P1": 200e-6, "P2": 530e-6},
+        array_types=frozenset({"A1"}),
+    )
+    values.update(overrides)
+    return PhysicalFloorplan(**values)
+
+
+class TestPhysicalFloorplan:
+    def test_paper_grid_has_eight_array_blocks(self):
+        # Figure 1: "The eight array blocks correspond to the eight banks".
+        plan = sample_floorplan()
+        assert plan.array_columns == 4
+        assert plan.array_rows == 2
+        assert plan.array_block_count == 8
+
+    def test_is_array_cell(self):
+        plan = sample_floorplan()
+        assert plan.is_array_cell(0, 0)
+        assert plan.is_array_cell(6, 4)
+        assert not plan.is_array_cell(1, 0)  # row-logic column
+        assert not plan.is_array_cell(0, 2)  # centre stripe row
+
+    def test_missing_peripheral_size_rejected(self):
+        with pytest.raises(FloorplanError):
+            sample_floorplan(widths={})
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(FloorplanError):
+            sample_floorplan(widths={"R1": -1.0})
+
+    def test_needs_array_on_both_axes(self):
+        with pytest.raises(FloorplanError):
+            sample_floorplan(vertical=("P1", "P2", "P1"))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(FloorplanError):
+            sample_floorplan(horizontal=())
+
+    def test_with_array_override(self):
+        plan = sample_floorplan().with_array(bits_per_swl=256)
+        assert plan.array.bits_per_swl == 256
+        assert plan.array.bits_per_bitline == 512

@@ -1,0 +1,75 @@
+"""Tests for the FR-FCFS reordering scheduler front-end."""
+
+import random
+
+import pytest
+
+from repro.core.trace import evaluate_trace
+from repro.description import Command
+from repro.errors import ModelError
+from repro.workloads import OpenPageScheduler, Request, schedule_frfcfs
+
+
+def hot_row_stream(device, count, rows=16, seed=4):
+    """Random accesses over a small hot row pool per bank."""
+    rng = random.Random(seed)
+    return [Request(bank=rng.randrange(device.spec.banks),
+                    row=rng.randrange(rows))
+            for _ in range(count)]
+
+
+class TestFrFcfs:
+    def test_trace_is_legal(self, ddr3_device, ddr3_model):
+        trace = schedule_frfcfs(ddr3_device,
+                                hot_row_stream(ddr3_device, 300))
+        result = evaluate_trace(ddr3_model, trace, strict=True)
+        total = result.counts[Command.RD] + result.counts[Command.WR]
+        assert total == 300
+
+    def test_improves_hit_rate_over_fcfs(self, ddr3_device, ddr3_model):
+        requests = hot_row_stream(ddr3_device, 600)
+        reordered = evaluate_trace(
+            ddr3_model,
+            schedule_frfcfs(ddr3_device, requests, window=16))
+        scheduler = OpenPageScheduler(ddr3_device)
+        scheduler.extend(requests)
+        in_order = evaluate_trace(ddr3_model, scheduler.finalize())
+        assert reordered.row_hit_rate > in_order.row_hit_rate
+        assert reordered.energy_per_bit < in_order.energy_per_bit
+
+    def test_all_requests_served_exactly_once(self, ddr3_device):
+        requests = [Request(bank=0, row=index % 4)
+                    for index in range(40)]
+        trace = schedule_frfcfs(ddr3_device, requests, window=4)
+        reads = [entry for entry in trace
+                 if entry.command is Command.RD]
+        assert len(reads) == 40
+
+    def test_window_one_degenerates_to_fcfs(self, ddr3_device):
+        requests = hot_row_stream(ddr3_device, 100)
+        fifo = OpenPageScheduler(ddr3_device)
+        fifo.extend(requests)
+        assert schedule_frfcfs(ddr3_device, requests, window=1) \
+            == fifo.finalize()
+
+    def test_bigger_window_helps_or_ties(self, ddr3_device, ddr3_model):
+        requests = hot_row_stream(ddr3_device, 400, seed=7)
+        small = evaluate_trace(
+            ddr3_model, schedule_frfcfs(ddr3_device, requests, window=2))
+        large = evaluate_trace(
+            ddr3_model, schedule_frfcfs(ddr3_device, requests,
+                                        window=32))
+        assert large.row_hit_rate >= small.row_hit_rate - 0.02
+
+    def test_window_validated(self, ddr3_device):
+        with pytest.raises(ModelError):
+            schedule_frfcfs(ddr3_device, [Request(0, 0)], window=0)
+
+    def test_closed_policy_combination(self, ddr3_device, ddr3_model):
+        # FR-FCFS over a closed-page scheduler never finds open rows,
+        # but must still be legal and complete.
+        trace = schedule_frfcfs(ddr3_device,
+                                hot_row_stream(ddr3_device, 100),
+                                policy="closed")
+        result = evaluate_trace(ddr3_model, trace, strict=True)
+        assert result.row_hit_rate == 0.0

@@ -1,0 +1,104 @@
+"""Property-based fuzzing of the device builder across the design space.
+
+Any device the builder accepts must yield a physically coherent model:
+positive energies, correct IDD orderings, valid geometry, and a lossless
+DSL round trip.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import DramPowerModel
+from repro.core.idd import idd0, idd2n, idd4r
+from repro.description import Command
+from repro.devices import build_device
+from repro.dsl import dumps, loads
+from repro.errors import ReproError
+from repro.technology.roadmap import ROADMAP, nodes
+
+_GBIT = 1 << 30
+_MBIT = 1 << 20
+
+node_strategy = st.sampled_from(nodes())
+width_strategy = st.sampled_from([4, 8, 16, 32])
+density_shift = st.integers(min_value=-1, max_value=1)
+
+
+def _build(node, io_width, shift):
+    entry = ROADMAP[node]
+    density = entry.density_bits << shift if shift >= 0 \
+        else entry.density_bits >> (-shift)
+    try:
+        return build_device(node, io_width=io_width,
+                            density_bits=density)
+    except ReproError:
+        return None
+
+
+@settings(max_examples=60, deadline=None)
+@given(node_strategy, width_strategy, density_shift)
+def test_built_devices_are_coherent(node, io_width, shift):
+    device = _build(node, io_width, shift)
+    assume(device is not None)
+    model = DramPowerModel(device)
+
+    # Energies positive and ordered.
+    act = model.operation_energy(Command.ACT)
+    pre = model.operation_energy(Command.PRE)
+    read = model.operation_energy(Command.RD)
+    assert act > 0 and read > 0
+    assert pre < act
+
+    # IDD orderings.
+    standby = idd2n(model).current
+    assert idd0(model).current > standby
+    assert idd4r(model).current > standby
+
+    # Geometry sane.
+    geometry = model.geometry
+    assert 0.2 < geometry.array_efficiency < 0.8
+    assert geometry.die_area > 1e-6  # > 1 mm2
+
+    # Page organisation consistent.
+    assert device.swls_per_activate >= 1
+    assert device.csls_per_access >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(node_strategy, width_strategy)
+def test_dsl_round_trip_any_device(node, io_width):
+    device = _build(node, io_width, 0)
+    assume(device is not None)
+    restored = loads(dumps(device))
+    original = DramPowerModel(device).pattern_power().power
+    rebuilt = DramPowerModel(restored).pattern_power().power
+    assert rebuilt == pytest.approx(original, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(node_strategy)
+def test_wider_devices_never_cheaper_per_access(node):
+    narrow = _build(node, 4, 0)
+    wide = _build(node, 16, 0)
+    assume(narrow is not None and wide is not None)
+    narrow_read = DramPowerModel(narrow).operation_energy(Command.RD)
+    wide_read = DramPowerModel(wide).operation_energy(Command.RD)
+    assert wide_read > narrow_read
+
+
+@settings(max_examples=30, deadline=None)
+@given(node_strategy, width_strategy)
+def test_scaling_down_a_node_reduces_energy_per_bit(node, io_width):
+    """Any adjacent-node shrink at the same interface-era cannot
+    increase the mixed-pattern energy per bit by more than a sliver."""
+    node_list = list(nodes())
+    index = node_list.index(node)
+    assume(index + 1 < len(node_list))
+    smaller = node_list[index + 1]
+    old = _build(node, io_width, 0)
+    new = _build(smaller, io_width, 0)
+    assume(old is not None and new is not None)
+    from repro.core.idd import idd7_mixed
+    old_energy = idd7_mixed(DramPowerModel(old)).energy_per_bit
+    new_energy = idd7_mixed(DramPowerModel(new)).energy_per_bit
+    assert new_energy < old_energy * 1.05

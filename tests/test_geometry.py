@@ -1,0 +1,150 @@
+"""Tests for the floorplan geometry engine."""
+
+import pytest
+
+from repro.description.signaling import SegmentKind, SignalSegment
+from repro.errors import FloorplanError
+from repro.floorplan import FloorplanGeometry
+
+
+@pytest.fixture(scope="module")
+def geometry(ddr3_device):
+    return FloorplanGeometry(ddr3_device)
+
+
+class TestArrayBlockDerivation:
+    def test_block_width_from_page(self, ddr3_device, geometry):
+        # Open architecture: page bits × bitline pitch.
+        array = ddr3_device.floorplan.array
+        expected = 16384 * array.bl_pitch
+        assert geometry.array_block.cell_width == pytest.approx(expected)
+
+    def test_block_height_from_rows(self, ddr3_device, geometry):
+        # 2 Gb / 8 banks / 16 kb page = 16384 rows → 32 sub-array rows.
+        assert geometry.array_block.subarray_rows == 32
+        expected = 32 * ddr3_device.floorplan.array.local_bitline_length
+        assert geometry.array_block.cell_height == pytest.approx(expected)
+
+    def test_subarray_cols_match_device(self, ddr3_device, geometry):
+        assert (geometry.array_block.subarray_cols
+                == ddr3_device.swls_per_activate)
+
+    def test_stripes_add_to_block_size(self, geometry):
+        block = geometry.array_block
+        assert block.width > block.cell_width
+        assert block.height > block.cell_height
+        assert block.area > block.cell_area
+
+    def test_master_wordline_is_block_width(self, geometry):
+        block = geometry.array_block
+        assert block.master_wordline_length == block.width
+        assert block.column_line_length == block.height
+
+
+class TestDieLevel:
+    def test_die_area_in_commodity_range(self, geometry):
+        # The paper sizes dies between roughly 40 and 60 mm²; allow
+        # modest overshoot for the high-density nodes.
+        area_mm2 = geometry.die_area * 1e6
+        assert 30.0 < area_mm2 < 90.0
+
+    def test_array_efficiency_band(self, geometry):
+        # Commodity DRAMs land roughly between 45 % and 65 %.
+        assert 0.45 < geometry.array_efficiency < 0.70
+
+    def test_sa_stripe_share_band(self, geometry):
+        # Paper §II: 8 % to 15 % of die area (we allow slight overshoot).
+        assert 0.06 < geometry.sa_stripe_share < 0.20
+
+    def test_swd_stripe_share_band(self, geometry):
+        # Paper §II: 5 % to 10 %.
+        assert 0.03 < geometry.swd_stripe_share < 0.12
+
+    def test_die_dimensions_positive(self, geometry):
+        assert geometry.die_width > 0
+        assert geometry.die_height > 0
+
+
+class TestCoordinates:
+    def test_block_centers_ordered(self, geometry):
+        x0, _ = geometry.block_center(0, 2)
+        x3, _ = geometry.block_center(3, 2)
+        x6, _ = geometry.block_center(6, 2)
+        assert x0 < x3 < x6
+
+    def test_center_symmetry(self, geometry):
+        # The 7-column grid is symmetric, so block 3 sits at die centre.
+        x3, _ = geometry.block_center(3, 2)
+        assert x3 == pytest.approx(geometry.die_width / 2.0)
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(FloorplanError):
+            geometry.block_center(7, 0)
+        with pytest.raises(FloorplanError):
+            geometry.block_center(0, 5)
+
+    def test_block_size_lookup(self, geometry, ddr3_device):
+        width, height = geometry.block_size(1, 2)
+        assert width == pytest.approx(
+            ddr3_device.floorplan.widths["R1"]
+        )
+        assert height == pytest.approx(
+            ddr3_device.floorplan.heights["P2"]
+        )
+
+
+class TestSegmentLengths:
+    def test_span_is_manhattan_distance(self, geometry):
+        segment = SignalSegment(kind=SegmentKind.SPAN, start=(0, 2),
+                                end=(3, 2))
+        x0, y0 = geometry.block_center(0, 2)
+        x3, y3 = geometry.block_center(3, 2)
+        assert geometry.segment_length(segment) == pytest.approx(
+            abs(x3 - x0) + abs(y3 - y0)
+        )
+
+    def test_inside_fraction_of_block(self, geometry):
+        segment = SignalSegment(kind=SegmentKind.INSIDE, start=(3, 2),
+                                fraction=0.25, direction="h")
+        width, _ = geometry.block_size(3, 2)
+        assert geometry.segment_length(segment) == pytest.approx(
+            0.25 * width
+        )
+
+    def test_inside_vertical_uses_height(self, geometry):
+        segment = SignalSegment(kind=SegmentKind.INSIDE, start=(3, 2),
+                                fraction=0.5, direction="v")
+        _, height = geometry.block_size(3, 2)
+        assert geometry.segment_length(segment) == pytest.approx(
+            0.5 * height
+        )
+
+    def test_net_wire_length_sums_segments(self, geometry, ddr3_device):
+        net = ddr3_device.signaling.net("ClockTree")
+        total = sum(geometry.segment_length(seg) for seg in net.segments)
+        assert geometry.net_wire_length("ClockTree") == pytest.approx(total)
+
+    def test_clock_tree_spans_die_width(self, geometry):
+        # The two clock segments together run from end to end.
+        length = geometry.net_wire_length("ClockTree")
+        assert length == pytest.approx(
+            geometry.die_width - geometry.block_size(0, 2)[0] / 2
+            - geometry.block_size(6, 2)[0] / 2, rel=0.01
+        )
+
+
+class TestMultiBlockBanks:
+    def test_sdr_block_narrower_than_page(self, sdr_device):
+        geometry = FloorplanGeometry(sdr_device)
+        array = sdr_device.floorplan.array
+        # The page splits over two blocks, so the block holds half of it
+        # (folded: two wires per bit).
+        expected = (sdr_device.page_bits_per_block * array.bl_pitch * 2)
+        assert geometry.array_block.cell_width == pytest.approx(expected)
+
+    def test_ddr5_block_stacks_banks(self, ddr5_device):
+        geometry = FloorplanGeometry(ddr5_device)
+        # Four banks per block: rows per block = 4 × rows per bank.
+        rows_per_block = (geometry.array_block.subarray_rows
+                          * ddr5_device.floorplan.array.rows_per_subarray)
+        assert rows_per_block == 4 * ddr5_device.spec.rows_per_bank

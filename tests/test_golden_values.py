@@ -1,0 +1,86 @@
+"""Golden-value regression tests.
+
+These lock in the calibrated model's headline numbers with generous but
+meaningful bands, so silent regressions of the physics or the calibration
+are caught immediately.  If a deliberate recalibration moves a value,
+update the band *and* EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro import Command, DramPowerModel
+from repro.circuits import column, wordline
+from repro.core.idd import idd0, idd2n, idd4r, idd7_mixed
+from repro.devices import ddr3_2g_55nm
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DramPowerModel(ddr3_2g_55nm())
+
+
+class TestHeadlineCurrents:
+    """The 2 Gb DDR3-1600 x16 55 nm reference device."""
+
+    def test_idd0(self, model):
+        assert idd0(model).milliamps == pytest.approx(70.6, rel=0.15)
+
+    def test_idd2n(self, model):
+        assert idd2n(model).milliamps == pytest.approx(40.8, rel=0.15)
+
+    def test_idd4r(self, model):
+        assert idd4r(model).milliamps == pytest.approx(160.0, rel=0.15)
+
+    def test_energy_per_bit(self, model):
+        assert idd7_mixed(model).energy_per_bit_pj == pytest.approx(
+            18.1, rel=0.15)
+
+
+class TestOperationEnergies:
+    def test_activate_energy(self, model):
+        # Dominated by 16384 bitlines × ~100 fF × Vbl/2 through the Vbl
+        # regulator: a couple of nanojoules.
+        energy = model.operation_energy(Command.ACT)
+        assert energy == pytest.approx(2.2e-9, rel=0.3)
+
+    def test_read_energy(self, model):
+        energy = model.operation_energy(Command.RD)
+        assert energy == pytest.approx(1.15e-9, rel=0.3)
+
+    def test_precharge_energy(self, model):
+        energy = model.operation_energy(Command.PRE)
+        assert energy == pytest.approx(0.6e-9, rel=0.5)
+
+
+class TestCircuitCapacitances:
+    """Absolute capacitance sanity at the 55 nm calibration point."""
+
+    def test_local_wordline_tens_of_femtofarad(self, model):
+        cap = wordline.local_wordline_capacitance(model.device)
+        assert 10e-15 < cap < 100e-15
+
+    def test_master_wordline_sub_picofarad(self, model):
+        cap = wordline.master_wordline_capacitance(model.device,
+                                                   model.geometry)
+        assert 0.1e-12 < cap < 2e-12
+
+    def test_csl_about_a_picofarad(self, model):
+        cap = column.csl_capacitance(model.device, model.geometry)
+        assert 0.3e-12 < cap < 3e-12
+
+    def test_master_dataline_sub_picofarad(self, model):
+        cap = column.master_dataline_capacitance(model.device,
+                                                 model.geometry)
+        assert 0.2e-12 < cap < 2e-12
+
+
+class TestGeometryGolden:
+    def test_die_area(self, model):
+        assert model.geometry.die_area * 1e6 == pytest.approx(66.7,
+                                                              rel=0.1)
+
+    def test_block_matches_paper_sample(self, model):
+        # The paper's Figure 1 sample lists A1 = 3396 µm for a DDR3-era
+        # array block; our derived 55 nm block lands in the same range.
+        height = model.geometry.array_block.height
+        assert 2.5e-3 < height < 4.5e-3

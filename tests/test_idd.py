@@ -1,0 +1,131 @@
+"""Tests for the datasheet IDD current definitions."""
+
+import pytest
+
+from repro.core.idd import (
+    IddMeasure,
+    idd0,
+    idd2n,
+    idd3n,
+    idd4r,
+    idd4w,
+    idd5b,
+    idd7,
+    idd7_counts,
+    idd7_mixed,
+    measure,
+    standard_idd_suite,
+)
+from repro.description import Command
+
+
+class TestIdd0:
+    def test_one_row_cycle(self, ddr3_model):
+        result = idd0(ddr3_model)
+        assert result.power.duration == pytest.approx(
+            ddr3_model.device.timing.trc
+        )
+        assert result.measure is IddMeasure.IDD0
+
+    def test_above_standby(self, ddr3_model):
+        assert idd0(ddr3_model).current > idd2n(ddr3_model).current
+
+    def test_milliamps_scale(self, ddr3_model):
+        # A DDR3 part cycles rows at tens of mA.
+        assert 30 < idd0(ddr3_model).milliamps < 150
+
+
+class TestStandby:
+    def test_idd2n_is_background_only(self, ddr3_model):
+        result = idd2n(ddr3_model)
+        assert result.power.power == pytest.approx(
+            ddr3_model.background_power
+        )
+
+    def test_idd3n_equals_idd2n(self, ddr3_model):
+        # Documented model limitation: no bank-state DC current.
+        assert idd3n(ddr3_model).current == pytest.approx(
+            idd2n(ddr3_model).current
+        )
+
+
+class TestIdd4:
+    def test_gapless_read_duration(self, ddr3_model):
+        result = idd4r(ddr3_model)
+        spec = ddr3_model.device.spec
+        assert result.power.duration == pytest.approx(
+            spec.burst_length / spec.datarate
+        )
+
+    def test_read_saturates_bandwidth(self, ddr3_model):
+        result = idd4r(ddr3_model)
+        assert result.power.data_bits_per_second == pytest.approx(
+            ddr3_model.device.spec.peak_bandwidth
+        )
+
+    def test_idd4_above_idd0(self, ddr3_model):
+        # Column streaming beats row cycling on modern wide parts.
+        assert idd4r(ddr3_model).current > idd0(ddr3_model).current
+
+    def test_write_slightly_above_read(self, ddr3_model):
+        read = idd4r(ddr3_model).current
+        write = idd4w(ddr3_model).current
+        assert 0.95 < write / read < 1.25
+
+
+class TestRefresh:
+    def test_idd5b_above_standby(self, ddr3_model):
+        assert idd5b(ddr3_model).current > idd2n(ddr3_model).current
+
+    def test_idd5b_well_below_idd0(self, ddr3_model):
+        # Refresh is distributed: a few row cycles per 7.8 µs.
+        assert idd5b(ddr3_model).current < idd0(ddr3_model).current
+
+
+class TestIdd7:
+    def test_counts_cover_all_banks(self, ddr3_model):
+        counts, window = idd7_counts(ddr3_model)
+        assert counts[Command.ACT] == ddr3_model.device.spec.banks
+        assert counts[Command.PRE] == ddr3_model.device.spec.banks
+        assert window >= ddr3_model.device.timing.trc
+
+    def test_reads_fill_the_window(self, ddr3_model):
+        counts, window = idd7_counts(ddr3_model)
+        max_reads = window * ddr3_model.device.spec.core_access_rate
+        assert counts[Command.RD] == pytest.approx(max_reads, abs=1.0)
+
+    def test_write_fraction(self, ddr3_model):
+        counts, _ = idd7_counts(ddr3_model, write_fraction=0.5)
+        assert counts[Command.WR] == pytest.approx(counts[Command.RD])
+
+    def test_idd7_is_the_maximum_measure(self, ddr3_model):
+        suite = standard_idd_suite(ddr3_model)
+        largest = max(suite.values(), key=lambda result: result.current)
+        assert largest.measure is IddMeasure.IDD7
+
+    def test_mixed_pattern_close_to_idd7(self, ddr3_model):
+        mixed = idd7_mixed(ddr3_model)
+        pure = idd7(ddr3_model).power
+        assert 0.9 < mixed.power / pure.power < 1.15
+
+
+class TestSuite:
+    def test_all_measures_present(self, ddr3_model):
+        suite = standard_idd_suite(ddr3_model)
+        assert set(suite) == set(IddMeasure)
+
+    def test_measure_dispatch(self, ddr3_model):
+        result = measure(ddr3_model, IddMeasure.IDD4R)
+        assert result.measure is IddMeasure.IDD4R
+        by_string = measure(ddr3_model, "idd4r")
+        assert by_string.current == pytest.approx(result.current)
+
+    def test_ordering_invariants_all_devices(self, all_devices):
+        from repro import DramPowerModel
+        for device in all_devices:
+            model = DramPowerModel(device)
+            suite = standard_idd_suite(model)
+            assert (suite[IddMeasure.IDD0].current
+                    > suite[IddMeasure.IDD2N].current), device.name
+            assert (suite[IddMeasure.IDD7].current
+                    >= suite[IddMeasure.IDD4R].current * 0.99), device.name

@@ -1,0 +1,130 @@
+"""End-to-end integration tests spanning the full pipeline.
+
+Each test exercises the whole stack the way a downstream user would:
+DSL file → description → model → analysis → report.
+"""
+
+import pytest
+
+from repro import DramPowerModel, build_device
+from repro.analysis import (
+    energy_reduction_factors,
+    format_table,
+    generation_trend,
+    sensitivity,
+    verify_ddr3,
+)
+from repro.core.idd import IddMeasure, standard_idd_suite
+from repro.description import Command, Pattern
+from repro.dsl import dump, dumps, load
+from repro.schemes import SelectiveBitlineActivation, compare_schemes
+
+
+class TestFileWorkflow:
+    def test_dump_load_file(self, tmp_path, ddr3_device):
+        path = tmp_path / "device.dram"
+        dump(ddr3_device, path)
+        restored = load(path)
+        original = DramPowerModel(ddr3_device).pattern_power().power
+        rebuilt = DramPowerModel(restored).pattern_power().power
+        assert rebuilt == pytest.approx(original, rel=1e-6)
+
+    def test_edit_description_file_changes_power(self, tmp_path,
+                                                 ddr3_device):
+        # A user doubles the bitline capacitance in the text file; the
+        # activate power must go up.
+        text = dumps(ddr3_device)
+        base_cap = ddr3_device.technology.c_bitline
+        edited = text.replace(f"Param c_bitline={base_cap:.9g}",
+                              f"Param c_bitline={2 * base_cap:.9g}")
+        assert edited != text
+        path = tmp_path / "edited.dram"
+        path.write_text(edited)
+        modified = load(path)
+        base = DramPowerModel(ddr3_device).operation_energy(Command.ACT)
+        new = DramPowerModel(modified).operation_energy(Command.ACT)
+        assert new > base
+
+
+class TestUserScenarios:
+    def test_custom_pattern_evaluation(self, ddr3_model):
+        # A streaming workload: open the row once, read it out fully.
+        streaming = Pattern.parse(
+            "act nop rd nop rd nop rd nop rd nop rd nop pre nop"
+        )
+        mixed = Pattern.parse("act nop rd nop pre nop")
+        s = ddr3_model.pattern_power(streaming)
+        m = ddr3_model.pattern_power(mixed)
+        # Streaming amortises the row energy: cheaper per bit.
+        assert s.energy_per_bit < m.energy_per_bit
+
+    def test_full_idd_suite_consistency(self, ddr3_model):
+        suite = standard_idd_suite(ddr3_model)
+        # Active measures sit at or above the standby floor; the gated
+        # power-down and self-refresh states sit below it.
+        floor = suite[IddMeasure.IDD2N].current
+        low_power = {IddMeasure.IDD2P, IddMeasure.IDD3P, IddMeasure.IDD6}
+        for measure, result in suite.items():
+            if measure in low_power:
+                assert result.current < floor, measure
+            else:
+                assert result.current >= floor * 0.999, measure
+
+    def test_what_if_voltage_study(self, ddr3_device):
+        # Lower Vint by 10 % and quantify the saving — the model's core
+        # use case.
+        low = ddr3_device.replace_path("voltages.vint",
+                                       ddr3_device.voltages.vint * 0.9)
+        base = DramPowerModel(ddr3_device).pattern_power().power
+        saved = DramPowerModel(low).pattern_power().power
+        assert 0.0 < 1.0 - saved / base < 0.25
+
+    def test_future_device_forecast(self):
+        # Build a hypothetical DDR5 x32 part and check it produces
+        # coherent numbers.
+        device = build_device(16, io_width=32)
+        model = DramPowerModel(device)
+        result = model.pattern_power()
+        assert result.power > 0
+        assert result.energy_per_bit_pj < 10
+
+    def test_scheme_on_dsl_round_tripped_device(self, ddr3_device):
+        from repro.dsl import loads
+        restored = loads(dumps(ddr3_device))
+        result = SelectiveBitlineActivation().evaluate(restored)
+        assert result.power_saving > 0.2
+
+
+class TestPaperPipeline:
+    """The experiments of Section IV chained end to end."""
+
+    def test_verification_then_sensitivity(self):
+        rows = verify_ddr3(nodes=(55,))
+        assert rows
+        device = build_device(55, interface="DDR3",
+                              density_bits=1 << 30, datarate=1333e6)
+        results = sensitivity(device, variation=0.1)
+        assert results[0].name == "Internal voltage Vint"
+
+    def test_trend_report_renders(self):
+        points = generation_trend(node_list=[170, 55, 18])
+        table = format_table(
+            ["node", "pJ/bit"],
+            [[point.node_nm, point.energy_idd7_pj] for point in points],
+            title="Figure 13 excerpt",
+        )
+        assert "Figure 13 excerpt" in table
+        assert "170" in table
+
+    def test_energy_factors_on_subset(self):
+        points = generation_trend()
+        early, late = energy_reduction_factors(points)
+        assert early > late > 1.0
+
+    def test_scheme_comparison_on_paper_device(self, ddr3_device):
+        results = compare_schemes(ddr3_device)
+        names = [result.scheme for result in results]
+        assert "selective-bitline-activation" in names
+        # Sorted by saving, best first.
+        savings = [result.power_saving for result in results]
+        assert savings == sorted(savings, reverse=True)

@@ -1,0 +1,69 @@
+"""Tests for the JSON interchange format."""
+
+import json
+
+import pytest
+
+from repro import DramPowerModel
+from repro.description.jsonio import (
+    SCHEMA_VERSION,
+    dumps_json,
+    from_dict,
+    loads_json,
+    to_dict,
+)
+from repro.errors import DescriptionError
+
+
+class TestRoundTrip:
+    def test_exact_field_round_trip(self, ddr3_device):
+        restored = loads_json(dumps_json(ddr3_device))
+        assert restored.technology == ddr3_device.technology
+        assert restored.voltages == ddr3_device.voltages
+        assert restored.spec == ddr3_device.spec
+        assert restored.timing == ddr3_device.timing
+        assert restored.logic_blocks == ddr3_device.logic_blocks
+        assert restored.pattern == ddr3_device.pattern
+        assert restored.floorplan.array == ddr3_device.floorplan.array
+
+    def test_power_identical(self, all_devices):
+        for device in all_devices:
+            restored = loads_json(dumps_json(device))
+            original = DramPowerModel(device).pattern_power().power
+            rebuilt = DramPowerModel(restored).pattern_power().power
+            assert rebuilt == pytest.approx(original, rel=0.0), \
+                device.name
+
+    def test_mobile_device_round_trips(self):
+        from repro.devices import build_mobile_device
+        device = build_mobile_device(55)
+        restored = loads_json(dumps_json(device))
+        assert {net.name for net in restored.signaling} == \
+            {net.name for net in device.signaling}
+
+
+class TestSchema:
+    def test_valid_json(self, ddr3_device):
+        data = json.loads(dumps_json(ddr3_device))
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert len(data["technology"]) == 39
+
+    def test_unknown_version_rejected(self, ddr3_device):
+        data = to_dict(ddr3_device)
+        data["schema_version"] = 99
+        with pytest.raises(DescriptionError):
+            from_dict(data)
+
+    def test_operations_serialised_as_strings(self, ddr3_device):
+        data = to_dict(ddr3_device)
+        write_net = [net for net in data["signaling"]
+                     if net["name"] == "DataWriteCore"][0]
+        assert write_net["operations"] == ["wr"]
+
+    def test_dsl_and_json_agree(self, ddr3_device):
+        from repro.dsl import dumps, loads
+        via_json = loads_json(dumps_json(ddr3_device))
+        via_dsl = loads(dumps(ddr3_device))
+        json_power = DramPowerModel(via_json).pattern_power().power
+        dsl_power = DramPowerModel(via_dsl).pattern_power().power
+        assert json_power == pytest.approx(dsl_power, rel=1e-6)

@@ -1,0 +1,83 @@
+"""Tests for peripheral logic-block descriptions."""
+
+import pytest
+
+from repro.description import LogicBlock
+from repro.description.signaling import Trigger
+from repro.errors import DescriptionError
+
+
+def control_block(**overrides):
+    values = dict(name="control", n_gates=32000, w_n=0.5e-6, w_p=1.0e-6)
+    values.update(overrides)
+    return LogicBlock(**values)
+
+
+class TestValidation:
+    def test_accepts_typical_block(self):
+        block = control_block()
+        assert block.is_background
+        assert block.trigger is Trigger.PER_CTRL_CLOCK
+
+    def test_rejects_zero_gates(self):
+        with pytest.raises(DescriptionError):
+            control_block(n_gates=0)
+
+    def test_rejects_float_gates(self):
+        with pytest.raises(DescriptionError):
+            control_block(n_gates=100.5)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(DescriptionError):
+            control_block(w_n=0.0)
+
+    def test_rejects_density_above_one(self):
+        with pytest.raises(DescriptionError):
+            control_block(layout_density=1.5)
+
+    def test_rejects_zero_toggle(self):
+        with pytest.raises(DescriptionError):
+            control_block(toggle=0.0)
+
+    def test_rejects_sub_unity_transistors_per_gate(self):
+        with pytest.raises(DescriptionError):
+            control_block(transistors_per_gate=0.5)
+
+    def test_operations_make_block_gated(self):
+        block = control_block(operations=frozenset({"rd", "wr"}))
+        assert not block.is_background
+
+
+class TestAreaModel:
+    def test_device_area_scales_with_gates(self):
+        one = control_block(n_gates=1000).device_area(0.1e-6)
+        two = control_block(n_gates=2000).device_area(0.1e-6)
+        assert two == pytest.approx(2 * one)
+
+    def test_block_area_inverse_in_density(self):
+        dense = control_block(layout_density=0.5).block_area(0.1e-6)
+        sparse = control_block(layout_density=0.25).block_area(0.1e-6)
+        assert sparse == pytest.approx(2 * dense)
+
+    def test_wire_length_grows_with_sparser_layout(self):
+        dense = control_block(layout_density=0.5)
+        sparse = control_block(layout_density=0.125)
+        assert (sparse.wire_length_per_gate(0.1e-6)
+                > dense.wire_length_per_gate(0.1e-6))
+
+    def test_wire_length_scales_with_wiring_density(self):
+        low = control_block(wiring_density=0.25)
+        high = control_block(wiring_density=0.5)
+        assert high.wire_length_per_gate(0.1e-6) == pytest.approx(
+            2 * low.wire_length_per_gate(0.1e-6)
+        )
+
+    def test_wire_length_order_of_magnitude(self):
+        # Local wires per gate should be on the micron scale, not metres.
+        length = control_block().wire_length_per_gate(0.1e-6)
+        assert 0.1e-6 < length < 100e-6
+
+    def test_scaled_copy(self):
+        block = control_block().scaled(toggle=0.2)
+        assert block.toggle == 0.2
+        assert block.name == "control"

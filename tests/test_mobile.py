@@ -1,0 +1,89 @@
+"""Tests for the mobile (LPDDR-style) device variants."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.core.idd import idd2n, idd2p, idd4r
+from repro.devices import build_device, build_mobile_device
+
+
+@pytest.fixture(scope="module")
+def mobile_55():
+    return build_mobile_device(55)
+
+
+@pytest.fixture(scope="module")
+def commodity_55_x32():
+    return build_device(55, io_width=32)
+
+
+class TestConstruction:
+    def test_name_marks_mobile(self, mobile_55):
+        assert "mobile" in mobile_55.name
+
+    def test_low_supply(self, mobile_55):
+        assert mobile_55.voltages.vdd == pytest.approx(1.2)
+        assert mobile_55.voltages.vint <= 1.2
+
+    def test_old_nodes_use_lpddr1_supply(self):
+        mobile = build_mobile_device(90)
+        assert mobile.voltages.vdd == pytest.approx(1.8)
+
+    def test_edge_pad_nets_added(self, mobile_55):
+        names = {net.name for net in mobile_55.signaling}
+        assert "EdgePadRead" in names
+        assert "EdgePadWrite" in names
+
+    def test_technology_rails_preserved(self, mobile_55,
+                                        commodity_55_x32):
+        # Vbl/Vpp are technology properties, unchanged by packaging.
+        assert mobile_55.voltages.vbl == commodity_55_x32.voltages.vbl
+        assert mobile_55.voltages.vpp == commodity_55_x32.voltages.vpp
+
+    def test_leaner_control_block(self, mobile_55, commodity_55_x32):
+        assert (mobile_55.logic_block("control").n_gates
+                < commodity_55_x32.logic_block("control").n_gates)
+
+    def test_smaller_constant_current(self, mobile_55,
+                                      commodity_55_x32):
+        assert (mobile_55.constant_current
+                < commodity_55_x32.constant_current)
+
+
+class TestPowerCharacteristics:
+    def test_lower_standby_than_commodity(self, mobile_55,
+                                          commodity_55_x32):
+        mobile = DramPowerModel(mobile_55)
+        commodity = DramPowerModel(commodity_55_x32)
+        assert idd2n(mobile).current < 0.8 * idd2n(commodity).current
+
+    def test_lower_power_down_too(self, mobile_55, commodity_55_x32):
+        mobile = DramPowerModel(mobile_55)
+        commodity = DramPowerModel(commodity_55_x32)
+        assert idd2p(mobile).current < idd2p(commodity).current
+
+    def test_lower_energy_per_bit(self, mobile_55, commodity_55_x32):
+        mobile = DramPowerModel(mobile_55)
+        commodity = DramPowerModel(commodity_55_x32)
+        assert (mobile.pattern_power().energy_per_bit
+                < commodity.pattern_power().energy_per_bit)
+
+    def test_edge_wiring_costs_io_energy(self, mobile_55):
+        # The edge-pad nets must show up in the read-energy breakdown.
+        from repro.description import Command
+        model = DramPowerModel(mobile_55)
+        names = [event.name for event, _ in
+                 model.event_energies(Command.RD)]
+        assert any("EdgePadRead" in name for name in names)
+
+    def test_still_a_valid_model(self, mobile_55):
+        model = DramPowerModel(mobile_55)
+        result = idd4r(model)
+        assert 50 < result.milliamps < 500
+
+    def test_dsl_round_trip(self, mobile_55):
+        from repro.dsl import dumps, loads
+        restored = loads(dumps(mobile_55))
+        original = DramPowerModel(mobile_55).pattern_power().power
+        rebuilt = DramPowerModel(restored).pattern_power().power
+        assert rebuilt == pytest.approx(original, rel=1e-6)

@@ -1,0 +1,129 @@
+"""Tests for the DramPowerModel pipeline and pattern evaluation."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.core.events import Component
+from repro.description import Command, Pattern
+from repro.errors import ModelError
+
+
+class TestPatternPower:
+    def test_default_pattern_is_papers(self, ddr3_model):
+        result = ddr3_model.pattern_power()
+        assert result.pattern == "act nop wr nop rd nop pre nop"
+
+    def test_pattern_power_decomposition(self, ddr3_model):
+        # Pattern power must equal background plus the weighted operation
+        # energies — the paper's final combination step.
+        pattern = Pattern.parse("act nop wrt nop rd nop pre nop")
+        result = ddr3_model.pattern_power(pattern)
+        duration = len(pattern) / ddr3_model.device.spec.f_ctrlclock
+        expected = ddr3_model.background_power
+        for command in (Command.ACT, Command.PRE, Command.RD, Command.WR):
+            expected += ddr3_model.operation_energy(command) / duration
+        assert result.power == pytest.approx(expected)
+
+    def test_operation_power_entries(self, ddr3_model):
+        result = ddr3_model.pattern_power()
+        assert set(result.operation_power) == {
+            "background", "act", "pre", "rd", "wr"
+        }
+        assert sum(result.operation_power.values()) == pytest.approx(
+            result.power
+        )
+
+    def test_nop_only_pattern_is_background(self, ddr3_model):
+        result = ddr3_model.pattern_power(Pattern.parse("nop"))
+        assert result.power == pytest.approx(ddr3_model.background_power)
+        assert result.energy_per_bit == float("inf")
+
+    def test_current_is_power_over_vdd(self, ddr3_model):
+        result = ddr3_model.pattern_power()
+        assert result.current == pytest.approx(
+            result.power / ddr3_model.device.voltages.vdd
+        )
+
+    def test_data_rate_accounting(self, ddr3_model):
+        pattern = Pattern.parse("act nop wrt nop rd nop pre nop")
+        result = ddr3_model.pattern_power(pattern)
+        duration = 8 / 800e6
+        expected = 2 * ddr3_model.device.spec.bits_per_access / duration
+        assert result.data_bits_per_second == pytest.approx(expected)
+
+    def test_energy_per_bit_pj_consistent(self, ddr3_model):
+        result = ddr3_model.pattern_power()
+        assert result.energy_per_bit_pj == pytest.approx(
+            result.energy_per_bit * 1e12
+        )
+
+    def test_counts_power_rejects_zero_duration(self, ddr3_model):
+        with pytest.raises(ModelError):
+            ddr3_model.counts_power({Command.RD: 1.0}, 0.0)
+
+    def test_counts_power_rejects_negative_count(self, ddr3_model):
+        with pytest.raises(ModelError):
+            ddr3_model.counts_power({Command.RD: -1.0}, 1e-6)
+
+    def test_more_reads_more_power(self, ddr3_model):
+        light = ddr3_model.pattern_power(
+            Pattern.parse("rd nop nop nop nop nop nop nop"))
+        heavy = ddr3_model.pattern_power(
+            Pattern.parse("rd nop rd nop rd nop rd nop"))
+        assert heavy.power > light.power
+
+
+class TestModelConstruction:
+    def test_event_list_nonempty(self, ddr3_model):
+        assert len(ddr3_model.events) > 10
+
+    def test_custom_event_list(self, ddr3_device, ddr3_model):
+        # Halving all activate bitline counts must reduce ACT energy.
+        modified = tuple(
+            event.scaled(count=event.count / 2)
+            if event.name == "bitline swing" else event
+            for event in ddr3_model.events
+        )
+        model = DramPowerModel(ddr3_device, events=modified)
+        assert (model.operation_energy(Command.ACT)
+                < ddr3_model.operation_energy(Command.ACT))
+
+    def test_component_share_sums_to_one(self, ddr3_model):
+        total = sum(ddr3_model.component_share(component)
+                    for component in Component)
+        assert total == pytest.approx(1.0)
+
+    def test_total_switched_capacitance_positive(self, ddr3_model):
+        # The sum over C·count is dominated by the page's bitlines.
+        total = ddr3_model.total_switched_capacitance()
+        page_cap = (ddr3_model.device.spec.page_bits
+                    * ddr3_model.device.technology.c_bitline)
+        assert total > page_cap
+
+
+class TestPhysicalOrderings:
+    """Sanity orderings that must hold for any real DRAM."""
+
+    def test_activate_is_nanojoule_scale(self, ddr3_model):
+        energy = ddr3_model.operation_energy(Command.ACT)
+        assert 0.1e-9 < energy < 100e-9
+
+    def test_read_energy_per_bit_scale(self, ddr3_model):
+        energy = ddr3_model.operation_energy(Command.RD)
+        per_bit = energy / ddr3_model.device.spec.bits_per_access
+        assert 1e-12 < per_bit < 100e-12  # a few pJ per bit internally
+
+    def test_background_power_scale(self, ddr3_model):
+        # Tens of milliwatts for a DDR3 part.
+        assert 10e-3 < ddr3_model.background_power < 200e-3
+
+    def test_write_close_to_read(self, ddr3_model):
+        read = ddr3_model.operation_energy(Command.RD)
+        write = ddr3_model.operation_energy(Command.WR)
+        assert 0.8 < write / read < 1.5
+
+    def test_wider_io_costs_more_per_access(self, ddr3_model, x4_device):
+        x4_model = DramPowerModel(x4_device)
+        read_x4 = x4_model.operation_energy(Command.RD)
+        read_x16 = ddr3_model.operation_energy(Command.RD)
+        assert read_x16 > read_x4

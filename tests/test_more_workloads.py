@@ -1,0 +1,84 @@
+"""Tests for the copy and pointer-chase workloads plus dump --format."""
+
+import json
+
+import pytest
+
+from repro import DramPowerModel
+from repro.core.trace import evaluate_trace
+from repro.description import Command
+from repro.errors import ModelError
+from repro.workloads import (
+    copy_trace,
+    pointer_chase_trace,
+    streaming_trace,
+)
+
+
+class TestCopyTrace:
+    def test_balanced_reads_and_writes(self, ddr3_device, ddr3_model):
+        trace = copy_trace(ddr3_device, lines=4)
+        result = evaluate_trace(ddr3_model, trace, strict=True)
+        assert result.counts[Command.RD] == result.counts[Command.WR]
+        per_page = (ddr3_device.spec.page_bits
+                    // ddr3_device.spec.bits_per_access)
+        assert result.counts[Command.RD] == 4 * per_page
+
+    def test_streaming_like_locality(self, ddr3_device, ddr3_model):
+        trace = copy_trace(ddr3_device, lines=4)
+        result = evaluate_trace(ddr3_model, trace)
+        assert result.row_hit_rate > 0.9
+
+    def test_write_heavier_than_pure_read_stream(self, ddr3_device,
+                                                 ddr3_model):
+        copy = evaluate_trace(ddr3_model, copy_trace(ddr3_device, 4))
+        per_page = (ddr3_device.spec.page_bits
+                    // ddr3_device.spec.bits_per_access)
+        stream = evaluate_trace(
+            ddr3_model,
+            streaming_trace(ddr3_device, 8 * per_page))
+        # Same data volume; the copy's writes flip bitlines and cost a
+        # little more per bit.
+        assert copy.energy_per_bit > stream.energy_per_bit
+
+    def test_lines_validated(self, ddr3_device):
+        with pytest.raises(ModelError):
+            copy_trace(ddr3_device, 0)
+
+
+class TestPointerChase:
+    def test_zero_hit_rate(self, ddr3_device, ddr3_model):
+        trace = pointer_chase_trace(ddr3_device, 500, seed=2)
+        result = evaluate_trace(ddr3_model, trace, strict=True)
+        assert result.row_hit_rate < 0.05
+
+    def test_most_expensive_per_bit(self, ddr3_device, ddr3_model):
+        chase = evaluate_trace(ddr3_model,
+                               pointer_chase_trace(ddr3_device, 500))
+        stream = evaluate_trace(ddr3_model,
+                                streaming_trace(ddr3_device, 500))
+        assert chase.energy_per_bit > 2 * stream.energy_per_bit
+
+    def test_reads_only(self, ddr3_device, ddr3_model):
+        trace = pointer_chase_trace(ddr3_device, 200)
+        result = evaluate_trace(ddr3_model, trace)
+        assert result.counts[Command.WR] == 0
+
+
+class TestDumpFormats:
+    def test_dump_json_parses(self, capsys):
+        from repro.cli import main
+        assert main(["dump", "--node", "55", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["interface"] == "DDR3"
+        assert len(data["technology"]) == 39
+
+    def test_json_dump_reloads(self, capsys, tmp_path, ddr3_device):
+        from repro.cli import main
+        from repro.description.jsonio import loads_json
+        path = tmp_path / "device.json"
+        assert main(["dump", "--node", "55", "--format", "json",
+                     "-o", str(path)]) == 0
+        restored = loads_json(path.read_text())
+        assert DramPowerModel(restored).pattern_power().power > 0

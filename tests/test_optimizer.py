@@ -1,0 +1,87 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.analysis.optimizer import (
+    DEFAULT_SPACE,
+    DesignChoice,
+    best_design,
+    design_space_report,
+    explore_design_space,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def points(ddr3_device):
+    return explore_design_space(ddr3_device)
+
+
+class TestExploration:
+    def test_full_space_evaluated(self, points):
+        # 3 pages × 2 SWLs × 2 Vints × 2 stripes, all applicable on the
+        # reference device.
+        assert len(points) == 24
+
+    def test_feasible_sorted_first_then_by_energy(self, points):
+        feasible_flags = [point.feasible for point in points]
+        # Once infeasible points start they never go back to feasible.
+        if False in feasible_flags:
+            first_bad = feasible_flags.index(False)
+            assert all(not flag for flag in feasible_flags[first_bad:])
+        feasible = [point for point in points if point.feasible]
+        energies = [point.energy_per_bit for point in feasible]
+        assert energies == sorted(energies)
+
+    def test_half_page_wins(self, points):
+        # Smaller activation dominates the Idd7-style objective.
+        assert points[0].labels["page"] == "half-page"
+
+    def test_low_vint_beats_nominal_pairwise(self, points):
+        by_label = {point.label: point for point in points}
+        for label, point in by_label.items():
+            if "low-vint" in label:
+                partner = label.replace("low-vint", "nominal-vint")
+                assert point.energy_per_bit < \
+                    by_label[partner].energy_per_bit
+
+    def test_devices_are_valid(self, points):
+        for point in points[:5]:
+            assert point.device.spec.density_bits == \
+                points[0].device.spec.density_bits
+
+    def test_report_renders(self, points):
+        text = design_space_report(points, limit=5)
+        assert "pJ/bit" in text
+        assert text.count("\n") <= 5 + 4
+
+
+class TestBestDesign:
+    def test_best_is_feasible(self, ddr3_device):
+        best = best_design(ddr3_device)
+        assert best.feasible
+
+    def test_best_improves_on_baseline(self, ddr3_device, points):
+        from repro.core.idd import idd7_mixed
+        from repro import DramPowerModel
+        baseline = idd7_mixed(
+            DramPowerModel(ddr3_device)).energy_per_bit
+        assert best_design(ddr3_device).energy_per_bit < baseline
+
+
+class TestCustomSpace:
+    def test_inapplicable_options_skipped(self, ddr3_device):
+        space = (DesignChoice("noop", {
+            "identity": lambda device: device,
+            "impossible": lambda device: None,
+        }),)
+        points = explore_design_space(ddr3_device, space)
+        assert len(points) == 1
+        assert points[0].labels["noop"] == "identity"
+
+    def test_empty_space_rejected(self, ddr3_device):
+        space = (DesignChoice("dead", {
+            "impossible": lambda device: None,
+        }),)
+        with pytest.raises(ModelError):
+            explore_design_space(ddr3_device, space)

@@ -1,0 +1,106 @@
+"""Coverage for less-travelled description branches and edge cases."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.description import Command, Pattern
+from repro.devices import build_device
+from repro.errors import DescriptionError
+from repro.floorplan import FloorplanGeometry
+
+
+class TestBitlineOrientation:
+    """The floorplan supports bitlines parallel or perpendicular to the
+    pad row (Table I: 'Bitline direction')."""
+
+    @pytest.fixture(scope="class")
+    def rotated(self, ddr3_device):
+        return ddr3_device.replace_path(
+            "floorplan.array.bitline_direction", "h"
+        )
+
+    def test_die_rotates(self, ddr3_device, rotated):
+        base = FloorplanGeometry(ddr3_device)
+        turned = FloorplanGeometry(rotated)
+        # The array block swaps extents between the axes.
+        assert turned.die_width != pytest.approx(base.die_width,
+                                                 rel=0.05)
+
+    def test_array_block_itself_unchanged(self, ddr3_device, rotated):
+        base = FloorplanGeometry(ddr3_device).array_block
+        turned = FloorplanGeometry(rotated).array_block
+        assert turned.width == pytest.approx(base.width)
+        assert turned.height == pytest.approx(base.height)
+        assert turned.area == pytest.approx(base.area)
+
+    def test_array_power_unchanged_by_rotation(self, ddr3_device,
+                                               rotated):
+        # Rotation changes the peripheral wire runs, not the array
+        # energies.
+        base = DramPowerModel(ddr3_device)
+        turned = DramPowerModel(rotated)
+        assert turned.operation_breakdown(Command.ACT).get(
+            "bitline") == pytest.approx(
+            base.operation_breakdown(Command.ACT).get("bitline"))
+
+    def test_total_power_close(self, ddr3_device, rotated):
+        base = DramPowerModel(ddr3_device).pattern_power().power
+        turned = DramPowerModel(rotated).pattern_power().power
+        assert turned == pytest.approx(base, rel=0.15)
+
+
+class TestExtremeDevices:
+    def test_x32_wide_part(self):
+        device = build_device(31, io_width=32)
+        model = DramPowerModel(device)
+        assert model.pattern_power().power > 0
+        assert device.spec.bits_per_access == 512
+
+    def test_tiny_sdr_x4(self):
+        device = build_device(170, io_width=4,
+                              density_bits=128 << 20)
+        model = DramPowerModel(device)
+        assert device.technology.bits_per_csl == 4
+        assert model.pattern_power().power > 0
+
+    def test_burst_chop(self, ddr3_device):
+        # Burst length below the prefetch is valid spec-wise (burst
+        # chop): the access still moves a full prefetch internally.
+        chopped = ddr3_device.replace_path("spec.burst_length", 4)
+        model = DramPowerModel(chopped)
+        assert model.pattern_power().power > 0
+
+
+class TestPatternEdgeCases:
+    def test_single_slot_loop(self, ddr3_model):
+        result = ddr3_model.pattern_power(Pattern.parse("rd"))
+        # A gapless read every control clock — far beyond the data bus,
+        # but the arithmetic must stay linear.
+        expected = (ddr3_model.background_power
+                    + ddr3_model.operation_energy(Command.RD)
+                    * ddr3_model.device.spec.f_ctrlclock)
+        assert result.power == pytest.approx(expected)
+
+    def test_long_nop_tail(self, ddr3_model):
+        sparse = Pattern.parse("act" + " nop" * 30 + " pre nop")
+        result = ddr3_model.pattern_power(sparse)
+        assert result.power > ddr3_model.background_power
+        dense = ddr3_model.pattern_power(Pattern.parse("act nop pre nop"))
+        assert result.power < dense.power
+
+
+class TestDescriptionEdgeCases:
+    def test_one_bank_per_csl_group_floor(self, ddr3_device):
+        # bits_per_csl equal to the whole access is the 1-CSL corner.
+        device = ddr3_device.replace_path("technology.bits_per_csl", 128)
+        assert device.csls_per_access == 1
+        assert DramPowerModel(device).pattern_power().power > 0
+
+    def test_misaligned_csl_rejected(self, ddr3_device):
+        with pytest.raises(DescriptionError):
+            ddr3_device.replace_path("technology.bits_per_csl", 96)
+
+    def test_zero_constant_current_allowed(self, ddr3_device):
+        device = ddr3_device.replace_path("constant_current", 0.0)
+        model = DramPowerModel(device)
+        assert model.background_breakdown.get("power") == 0.0

@@ -1,0 +1,78 @@
+"""Tests for IDD1 and the open- vs closed-page scheduling policy."""
+
+import pytest
+
+from repro.core.idd import idd0, idd1, idd4r
+from repro.core.trace import evaluate_trace
+from repro.description import Command
+from repro.errors import ModelError
+from repro.workloads import OpenPageScheduler, Request
+
+
+class TestIdd1:
+    def test_above_idd0(self, ddr3_model):
+        # IDD1 adds one read burst per row cycle on top of IDD0.
+        assert idd1(ddr3_model).current > idd0(ddr3_model).current
+
+    def test_below_idd4r(self, ddr3_model):
+        # One read per tRC is far below gapless reads.
+        assert idd1(ddr3_model).current < idd4r(ddr3_model).current
+
+    def test_decomposition(self, ddr3_model):
+        trc = ddr3_model.device.timing.trc
+        expected = (idd0(ddr3_model).power.power
+                    + ddr3_model.operation_energy(Command.RD) / trc)
+        assert idd1(ddr3_model).power.power == pytest.approx(expected)
+
+
+class TestClosedPagePolicy:
+    def test_policy_validated(self, ddr3_device):
+        with pytest.raises(ModelError):
+            OpenPageScheduler(ddr3_device, policy="speculative")
+
+    def test_closed_page_precharges_after_each_access(self, ddr3_device):
+        scheduler = OpenPageScheduler(ddr3_device, policy="closed")
+        scheduler.extend([Request(0, 1), Request(0, 1)])
+        trace = scheduler.finalize()
+        commands = [entry.command for entry in trace]
+        # Even the same-row second request re-activates.
+        assert commands == [Command.ACT, Command.RD, Command.PRE,
+                            Command.ACT, Command.RD, Command.PRE]
+
+    def test_closed_page_trace_is_legal(self, ddr3_device, ddr3_model):
+        scheduler = OpenPageScheduler(ddr3_device, policy="closed")
+        scheduler.extend(Request(bank=index % 8, row=index % 32)
+                         for index in range(100))
+        result = evaluate_trace(ddr3_model, scheduler.finalize(),
+                                strict=True)
+        assert result.counts[Command.ACT] == 100
+
+    def test_open_beats_closed_on_local_streams(self, ddr3_device,
+                                                ddr3_model):
+        # High locality: open-page reuses rows, closed-page re-pays the
+        # activation every access.
+        requests = [Request(bank=0, row=index // 32)
+                    for index in range(128)]
+        results = {}
+        for policy in ("open", "closed"):
+            scheduler = OpenPageScheduler(ddr3_device, policy=policy)
+            scheduler.extend(requests)
+            results[policy] = evaluate_trace(
+                ddr3_model, scheduler.finalize())
+        assert results["open"].energy_per_bit \
+            < 0.7 * results["closed"].energy_per_bit
+
+    def test_policies_converge_without_locality(self, ddr3_device,
+                                                ddr3_model):
+        # Every access a fresh row: both policies activate per access,
+        # so the energy per bit difference shrinks.
+        requests = [Request(bank=index % 8, row=index)
+                    for index in range(64)]
+        energies = {}
+        for policy in ("open", "closed"):
+            scheduler = OpenPageScheduler(ddr3_device, policy=policy)
+            scheduler.extend(requests)
+            energies[policy] = evaluate_trace(
+                ddr3_model, scheduler.finalize()).energy_per_bit
+        assert energies["closed"] == pytest.approx(energies["open"],
+                                                   rel=0.15)

@@ -1,0 +1,105 @@
+"""Tests for command patterns, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.description import Command, Pattern
+from repro.errors import DescriptionError
+
+
+class TestParse:
+    def test_paper_example(self):
+        # "Pattern loop= act nop wrt nop rd nop pre nop": 12.5 % each of
+        # act/wrt/rd/pre and 50 % nop (paper §III.B.4).
+        pattern = Pattern.parse("act nop wrt nop rd nop pre nop")
+        assert len(pattern) == 8
+        assert pattern.weight(Command.ACT) == pytest.approx(0.125)
+        assert pattern.weight(Command.WR) == pytest.approx(0.125)
+        assert pattern.weight(Command.RD) == pytest.approx(0.125)
+        assert pattern.weight(Command.PRE) == pytest.approx(0.125)
+        assert pattern.weight(Command.NOP) == pytest.approx(0.5)
+
+    def test_aliases(self):
+        pattern = Pattern.parse("activate precharge read write noop nop")
+        counts = pattern.counts()
+        assert counts[Command.ACT] == 1
+        assert counts[Command.PRE] == 1
+        assert counts[Command.RD] == 1
+        assert counts[Command.WR] == 1
+        assert counts[Command.NOP] == 2
+
+    def test_commas_accepted(self):
+        pattern = Pattern.parse("act, nop, pre, nop")
+        assert len(pattern) == 4
+
+    def test_case_insensitive(self):
+        assert Pattern.parse("ACT NOP PRE NOP").counts()[Command.ACT] == 1
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(DescriptionError):
+            Pattern.parse("act foo pre")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DescriptionError):
+            Pattern.parse("   ")
+
+
+class TestValidation:
+    def test_unbalanced_act_pre_rejected(self):
+        with pytest.raises(DescriptionError):
+            Pattern.parse("act act pre nop")
+
+    def test_pure_nop_allowed(self):
+        pattern = Pattern.parse("nop")
+        assert not pattern.has_column_traffic
+
+    def test_column_traffic_flag(self):
+        assert Pattern.parse("rd nop").has_column_traffic
+        assert not Pattern.parse("act nop pre nop").has_column_traffic
+
+
+class TestRates:
+    def test_rate_scales_with_clock(self):
+        pattern = Pattern.parse("act nop pre nop")
+        assert pattern.rate(Command.ACT, 800e6) == pytest.approx(200e6)
+
+    def test_str_round_trip(self):
+        pattern = Pattern.parse("act nop wrt nop rd nop pre nop")
+        assert Pattern.parse(str(pattern)) == pattern
+
+
+class TestFromCounts:
+    def test_spreads_commands(self):
+        pattern = Pattern.from_counts(
+            {Command.ACT: 2, Command.PRE: 2}, length=16
+        )
+        counts = pattern.counts()
+        assert counts[Command.ACT] == 2
+        assert counts[Command.PRE] == 2
+        assert counts[Command.NOP] == 12
+
+    def test_rejects_overflow(self):
+        with pytest.raises(DescriptionError):
+            Pattern.from_counts({Command.ACT: 9, Command.PRE: 9}, length=16)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=8))
+    def test_counts_preserved(self, rows, reads):
+        length = 64
+        pattern = Pattern.from_counts(
+            {Command.ACT: rows, Command.PRE: rows, Command.RD: reads},
+            length=length,
+        )
+        counts = pattern.counts()
+        assert counts[Command.ACT] == rows
+        assert counts[Command.PRE] == rows
+        assert counts[Command.RD] == reads
+        assert len(pattern) == length
+
+
+@given(st.lists(st.sampled_from(["act nop pre", "rd", "wr", "nop"]),
+                min_size=1, max_size=8))
+def test_weights_sum_to_one(chunks):
+    pattern = Pattern.parse(" ".join(chunks))
+    total = sum(pattern.weight(command) for command in Command)
+    assert total == pytest.approx(1.0)

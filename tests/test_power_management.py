@@ -1,0 +1,143 @@
+"""Tests for power-down states and system-side power management."""
+
+import pytest
+
+from repro.core.idd import (
+    IddMeasure,
+    idd2n,
+    idd2p,
+    idd3p,
+    idd6,
+    standard_idd_suite,
+)
+from repro.errors import SchemeError
+from repro.schemes import (
+    RefreshPolicy,
+    adaptive_refresh_savings,
+    power_down_savings,
+    power_down_scheduling,
+    power_state_table,
+    refresh_power,
+)
+
+
+class TestPowerDownStates:
+    def test_state_ordering(self, ddr3_model):
+        # IDD6 ≤ IDD2P < IDD3P < IDD2N: deeper states draw less.
+        suite = standard_idd_suite(ddr3_model)
+        assert suite[IddMeasure.IDD6].current <= \
+            suite[IddMeasure.IDD2P].current * 1.05
+        assert suite[IddMeasure.IDD2P].current \
+            < suite[IddMeasure.IDD3P].current
+        assert suite[IddMeasure.IDD3P].current \
+            < suite[IddMeasure.IDD2N].current
+
+    def test_constant_current_floor(self, ddr3_model):
+        # Even the deepest state keeps the reference/regulator current.
+        floor = (ddr3_model.device.constant_current * 1e3)
+        assert idd2p(ddr3_model).milliamps > floor
+
+    def test_idd6_includes_refresh(self, ddr3_model):
+        gated = idd2p(ddr3_model)
+        self_refresh = idd6(ddr3_model)
+        refresh_part = self_refresh.power.operation_power["refresh"]
+        assert refresh_part > 0
+        # Self-refresh standby is below power-down standby (deeper
+        # gating), refresh work partially offsets it.
+        assert self_refresh.power.operation_power["background"] \
+            < gated.power.power
+
+    def test_plausible_magnitudes(self, ddr3_model):
+        # DDR3-era power-down currents are around 10-20 mA.
+        assert 3 < idd2p(ddr3_model).milliamps < 30
+        assert 3 < idd6(ddr3_model).milliamps < 30
+
+    def test_breakdown_total_matches(self, ddr3_model):
+        result = idd3p(ddr3_model)
+        assert result.power.breakdown.total == pytest.approx(
+            result.power.power
+        )
+
+
+class TestPowerDownScheduling:
+    def test_idle_system_saves_most(self, ddr3_model):
+        low = power_down_savings(ddr3_model, utilization=0.05)
+        high = power_down_savings(ddr3_model, utilization=0.9)
+        assert low > 0.25
+        assert high < 0.1
+        assert low > high
+
+    def test_duty_cycle_math(self, ddr3_model):
+        result = power_down_scheduling(ddr3_model, utilization=0.5,
+                                       idle_in_power_down=1.0)
+        expected = 0.5 * result.active_power \
+            + 0.5 * result.power_down_power
+        assert result.average_power == pytest.approx(expected)
+
+    def test_transition_overhead_reduces_saving(self, ddr3_model):
+        cheap = power_down_scheduling(ddr3_model, 0.2, 0.9, 0.0)
+        costly = power_down_scheduling(ddr3_model, 0.2, 0.9, 1e6)
+        assert costly.average_power > cheap.average_power
+
+    def test_validation(self, ddr3_model):
+        with pytest.raises(SchemeError):
+            power_down_scheduling(ddr3_model, utilization=1.5)
+        with pytest.raises(SchemeError):
+            power_down_scheduling(ddr3_model, 0.5, idle_in_power_down=-1)
+
+
+class TestAdaptiveRefresh:
+    def test_reduced_rate_saves(self, ddr3_model):
+        saving = adaptive_refresh_savings(ddr3_model, rate_factor=0.25)
+        assert 0.0 < saving < 1.0
+
+    def test_self_refresh_mode_saves_more_fractionally(self, ddr3_model):
+        # Refresh is a bigger share of the self-refresh state than of
+        # clocked standby, so the fractional saving is larger there.
+        in_self_refresh = adaptive_refresh_savings(ddr3_model, 0.25,
+                                                   self_refresh=True)
+        in_standby = adaptive_refresh_savings(ddr3_model, 0.25,
+                                              self_refresh=False)
+        assert in_self_refresh > in_standby
+
+    def test_nominal_policy_is_neutral(self, ddr3_model):
+        assert adaptive_refresh_savings(ddr3_model, 1.0) == \
+            pytest.approx(0.0)
+
+    def test_refresh_power_monotone_in_rate(self, ddr3_model):
+        low = refresh_power(ddr3_model, RefreshPolicy("low", 0.5))
+        high = refresh_power(ddr3_model, RefreshPolicy("high", 2.0))
+        assert high > low
+
+    def test_policy_validation(self):
+        with pytest.raises(SchemeError):
+            RefreshPolicy("bad", -0.5)
+
+
+class TestTemperatureRefresh:
+    def test_nominal_at_85c(self):
+        from repro.schemes import refresh_rate_for_temperature
+        assert refresh_rate_for_temperature(85.0) == pytest.approx(1.0)
+
+    def test_halving_per_ten_kelvin(self):
+        from repro.schemes import refresh_rate_for_temperature
+        assert refresh_rate_for_temperature(75.0) == pytest.approx(0.5)
+        assert refresh_rate_for_temperature(95.0) == pytest.approx(2.0)
+
+    def test_clamped_below(self):
+        from repro.schemes import refresh_rate_for_temperature
+        assert refresh_rate_for_temperature(0.0) == 0.125
+
+    def test_power_monotone_in_temperature(self, ddr3_model):
+        from repro.schemes import temperature_refresh_power
+        powers = [temperature_refresh_power(ddr3_model, t)
+                  for t in (45, 65, 85, 95)]
+        assert all(a <= b for a, b in zip(powers, powers[1:]))
+
+
+class TestStateTable:
+    def test_all_states_reported(self, ddr3_model):
+        table = power_state_table(ddr3_model)
+        assert len(table) == 4
+        assert all(value > 0 for value in table.values())
+        assert table["power-down (IDD2P)"] < table["standby (IDD2N)"]

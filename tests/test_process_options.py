@@ -1,0 +1,110 @@
+"""Tests for the §VI process options and the breakdown matrix."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.analysis.breakdown import breakdown_matrix, breakdown_report
+from repro.core import Component
+from repro.core.idd import IddMeasure
+from repro.errors import SchemeError
+from repro.schemes import (
+    FourthMetalLayer,
+    LowKDielectric,
+    LowVoltageTransistors,
+    PROCESS_OPTIONS,
+    combined_process_stack,
+    process_option_savings,
+)
+
+
+class TestLowK:
+    def test_cuts_wire_capacitances(self, ddr3_device):
+        option = LowKDielectric(capacitance_factor=0.75)
+        modified = option.transform_device(ddr3_device)
+        for field in ("c_wire_signal", "c_wire_mwl", "c_wire_swl"):
+            assert getattr(modified.technology, field) == pytest.approx(
+                0.75 * getattr(ddr3_device.technology, field)
+            )
+
+    def test_saves_power(self, ddr3_device):
+        result = LowKDielectric().evaluate(ddr3_device)
+        assert 0.0 < result.power_saving < 0.25
+        assert result.area_overhead == 0.0
+
+    def test_factor_validated(self):
+        with pytest.raises(SchemeError):
+            LowKDielectric(capacitance_factor=0.0)
+
+
+class TestLowVoltageTransistors:
+    def test_lowers_vint_only(self, ddr3_device):
+        modified = LowVoltageTransistors(0.85).transform_device(
+            ddr3_device)
+        assert modified.voltages.vint == pytest.approx(
+            0.85 * ddr3_device.voltages.vint)
+        assert modified.voltages.vbl == ddr3_device.voltages.vbl
+        assert modified.voltages.vdd == ddr3_device.voltages.vdd
+
+    def test_vint_floored_at_vbl(self, ddr3_device):
+        modified = LowVoltageTransistors(0.5).transform_device(
+            ddr3_device)
+        assert modified.voltages.vint >= modified.voltages.vbl
+
+    def test_saves_on_logic_heavy_device(self, ddr5_device):
+        result = LowVoltageTransistors().evaluate(ddr5_device)
+        assert result.power_saving > 0.05
+
+    def test_factor_validated(self):
+        with pytest.raises(SchemeError):
+            LowVoltageTransistors(1.0)
+
+
+class TestStack:
+    def test_every_option_saves(self, ddr3_device):
+        savings = process_option_savings(ddr3_device)
+        assert set(savings) == {option.name
+                                for option in PROCESS_OPTIONS}
+        assert all(value > 0 for value in savings.values())
+
+    def test_fourth_metal_is_the_mildest(self, ddr3_device):
+        savings = process_option_savings(ddr3_device)
+        assert savings["fourth-metal-layer"] == min(savings.values())
+
+    def test_combined_stack_beats_each_alone(self, ddr3_device):
+        savings = process_option_savings(ddr3_device)
+        combined = combined_process_stack(ddr3_device)
+        assert combined > max(savings.values())
+        assert combined < sum(savings.values()) * 1.01
+
+    def test_options_matter_more_on_future_nodes(self, ddr3_device,
+                                                 ddr5_device):
+        # §VI: logic-style power techniques gain importance over time.
+        now = combined_process_stack(ddr3_device)
+        future = combined_process_stack(ddr5_device)
+        assert future > now
+
+
+class TestBreakdownMatrix:
+    def test_matrix_shape(self, ddr3_model):
+        matrix = breakdown_matrix(ddr3_model)
+        assert IddMeasure.IDD4R in matrix
+        assert set(matrix[IddMeasure.IDD4R]) == set(Component)
+
+    def test_standby_has_no_array_power(self, ddr3_model):
+        matrix = breakdown_matrix(ddr3_model)
+        assert matrix[IddMeasure.IDD2N][Component.BITLINE] == 0.0
+        assert matrix[IddMeasure.IDD2N][Component.CONTROL] > 0.0
+
+    def test_idd0_is_array_dominated(self, ddr3_model):
+        matrix = breakdown_matrix(ddr3_model)
+        row = matrix[IddMeasure.IDD0]
+        array = (row[Component.BITLINE] + row[Component.SENSE_AMP]
+                 + row[Component.WORDLINE])
+        assert array > 0.3 * sum(row.values())
+
+    def test_report_renders(self, ddr3_model):
+        text = breakdown_report(ddr3_model)
+        assert "bitline" in text
+        assert "idd7" in text
+        absolute = breakdown_report(ddr3_model, as_share=False)
+        assert "mW" in absolute

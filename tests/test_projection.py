@@ -1,0 +1,74 @@
+"""Tests for off-roadmap node projection."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.core.idd import idd7_mixed
+from repro.errors import TechnologyError
+from repro.technology import (
+    ROADMAP,
+    build_projected_device,
+    projected_entry,
+    roadmap_entry,
+)
+
+
+class TestProjectedEntry:
+    def test_roadmap_nodes_pass_through(self):
+        assert projected_entry(55) is roadmap_entry(55)
+
+    def test_interpolated_voltages_between_neighbours(self):
+        entry = projected_entry(60)  # between 65 and 55
+        assert ROADMAP[55].vdd <= entry.vdd <= ROADMAP[65].vdd
+        assert ROADMAP[55].vint <= entry.vint <= ROADMAP[65].vint
+        assert ROADMAP[55].trc <= entry.trc <= ROADMAP[65].trc
+
+    def test_interface_snaps_to_nearest(self):
+        assert projected_entry(60).interface == "DDR3"
+        assert projected_entry(100).interface == "DDR"
+
+    def test_rail_ordering_preserved(self):
+        for node in (150, 100, 80, 60, 40, 28, 19, 14):
+            entry = projected_entry(node)
+            assert entry.vpp > entry.vdd >= entry.vint >= entry.vbl, node
+
+    def test_extrapolation_below_16_floors_voltages(self):
+        entry = projected_entry(12)
+        floor = roadmap_entry(16)
+        assert entry.vdd >= floor.vdd - 1e-9
+        assert entry.vbl >= floor.vbl - 1e-9
+
+    def test_year_interpolates(self):
+        entry = projected_entry(60)
+        assert 2008 <= entry.year <= 2009
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(TechnologyError):
+            projected_entry(0)
+
+
+class TestBuildProjectedDevice:
+    def test_builds_between_nodes(self):
+        device = build_projected_device(60)
+        model = DramPowerModel(device)
+        assert model.pattern_power().power > 0
+        assert device.node == pytest.approx(60e-9)
+
+    def test_roadmap_not_polluted(self):
+        before = set(ROADMAP)
+        build_projected_device(60)
+        assert set(ROADMAP) == before
+
+    def test_energy_falls_monotonically_through_projection(self):
+        energies = []
+        for node in (65, 60, 55):
+            model = DramPowerModel(build_projected_device(node))
+            energies.append(idd7_mixed(model).energy_per_bit)
+        assert energies[0] > energies[1] > energies[2]
+
+    def test_matches_builder_on_roadmap_node(self):
+        from repro.devices import build_device
+        projected = build_projected_device(55)
+        direct = build_device(55)
+        assert projected.voltages == direct.voltages
+        assert projected.technology == direct.technology

@@ -1,0 +1,144 @@
+"""Property-based tests on core model invariants (hypothesis).
+
+These encode the physics the model must never violate: power is monotone
+and homogeneous in capacitances, superlinear in rail voltages, additive
+over pattern counts, and invariant under event-list permutation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DramPowerModel
+from repro.core.idd import idd7_counts
+from repro.description import Command, Pattern
+from repro.devices import build_device
+
+# One shared device/model per module keeps hypothesis fast.
+DEVICE = build_device(55)
+MODEL = DramPowerModel(DEVICE)
+BASE_POWER = MODEL.pattern_power().power
+
+scale_factors = st.floats(min_value=0.3, max_value=3.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale_factors)
+def test_power_monotone_in_bitline_capacitance(factor):
+    scaled = DEVICE.scale_path("technology.c_bitline", factor)
+    power = DramPowerModel(scaled).pattern_power().power
+    if factor > 1.0:
+        assert power >= BASE_POWER
+    elif factor < 1.0:
+        assert power <= BASE_POWER
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale_factors)
+def test_power_monotone_in_wire_capacitance(factor):
+    scaled = DEVICE.scale_path("technology.c_wire_signal", factor)
+    power = DramPowerModel(scaled).pattern_power().power
+    assert (power - BASE_POWER) * (factor - 1.0) >= 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.7, max_value=1.0))
+def test_power_superlinear_in_vint(factor):
+    # At fixed generator efficiency, rail energy goes like V²: scaling
+    # Vint down by f must scale the Vint-rail share by ≤ f.
+    scaled = DEVICE.replace_path("voltages.vint",
+                                 DEVICE.voltages.vint * factor)
+    power = DramPowerModel(scaled).pattern_power().power
+    assert power <= BASE_POWER
+    if factor < 0.999:
+        # Strictly better than linear on the affected share.
+        assert power < BASE_POWER
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=30),
+       st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=20))
+def test_counts_power_additive(rows, reads, writes):
+    """background + Σ count·E/T exactly, for arbitrary mixes."""
+    duration = 1e-6
+    counts = {Command.ACT: float(rows), Command.PRE: float(rows),
+              Command.RD: float(reads), Command.WR: float(writes)}
+    result = MODEL.counts_power(counts, duration)
+    expected = MODEL.background_power
+    expected += rows * MODEL.operation_energy(Command.ACT) / duration
+    expected += rows * MODEL.operation_energy(Command.PRE) / duration
+    expected += reads * MODEL.operation_energy(Command.RD) / duration
+    expected += writes * MODEL.operation_energy(Command.WR) / duration
+    assert result.power == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.5, max_value=2.0))
+def test_counts_power_scale_invariance(time_scale):
+    """Scaling counts and duration together leaves power unchanged."""
+    counts, window = idd7_counts(MODEL)
+    base = MODEL.counts_power(counts, window).power
+    scaled_counts = {command: count * time_scale
+                     for command, count in counts.items()}
+    scaled = MODEL.counts_power(scaled_counts, window * time_scale).power
+    assert scaled == pytest.approx(base)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.permutations(list(range(8))))
+def test_pattern_power_order_invariant(order):
+    """Command order within a loop does not change average power."""
+    base_cmds = [Command.ACT, Command.PRE, Command.RD, Command.WR,
+                 Command.NOP, Command.NOP, Command.NOP, Command.NOP]
+    shuffled = Pattern(tuple(base_cmds[index] for index in order))
+    reference = Pattern(tuple(base_cmds))
+    assert MODEL.pattern_power(shuffled).power == pytest.approx(
+        MODEL.pattern_power(reference).power
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from([4, 8, 16, 32]))
+def test_idd4_grows_with_io_width(io_width):
+    from repro.core.idd import idd4r
+    device = build_device(55, io_width=io_width)
+    narrow = build_device(55, io_width=4)
+    wide_current = idd4r(DramPowerModel(device)).current
+    narrow_current = idd4r(DramPowerModel(narrow)).current
+    assert wide_current >= narrow_current * 0.999
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.permutations(["bitline swing", "cell restore",
+                        "local wordlines"]))
+def test_event_order_irrelevant(names):
+    """Permuting the event list leaves every result unchanged."""
+    ordered = sorted(
+        MODEL.events,
+        key=lambda event: (names.index(event.name)
+                           if event.name in names else -1),
+    )
+    permuted = DramPowerModel(DEVICE, events=tuple(ordered))
+    assert permuted.pattern_power().power == pytest.approx(BASE_POWER)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.25, max_value=1.0))
+def test_activation_scaling_bounds_act_energy(fraction):
+    """Scaling activate-array event counts by f scales the array share
+    of ACT energy by exactly f, and never increases anything."""
+    from repro.schemes.library import _scale_activation
+    events = _scale_activation(MODEL.events, fraction)
+    model = DramPowerModel(DEVICE, events=events)
+    base_act = MODEL.operation_energy(Command.ACT)
+    new_act = model.operation_energy(Command.ACT)
+    assert new_act <= base_act * 1.0000001
+    assert new_act >= base_act * fraction * 0.999
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=1e-9, max_value=1e-3))
+def test_background_power_duration_independent(duration):
+    result = MODEL.counts_power({}, duration)
+    assert result.power == pytest.approx(MODEL.background_power)

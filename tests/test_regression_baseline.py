@@ -1,0 +1,69 @@
+"""The checked-in regression baseline must match the current model."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.regression import (
+    collect_metrics,
+    compare_to_baseline,
+    save_baseline,
+)
+from repro.errors import ModelError
+
+BASELINE = Path(__file__).parent.parent / "benchmarks" \
+    / "baseline_metrics.json"
+
+
+class TestBaselineFile:
+    def test_baseline_checked_in(self):
+        assert BASELINE.exists()
+
+    def test_current_model_matches_baseline(self):
+        deviations = compare_to_baseline(BASELINE)
+        assert deviations == [], (
+            "model metrics drifted from benchmarks/"
+            "baseline_metrics.json — if the change is deliberate, "
+            "regenerate the baseline via "
+            "repro.analysis.regression.save_baseline and update "
+            "EXPERIMENTS.md: " + repr(deviations)
+        )
+
+
+class TestMechanics:
+    def test_metrics_cover_the_headlines(self):
+        metrics = collect_metrics()
+        assert "ddr3_55nm.idd0_ma" in metrics
+        assert "trend.reduction_early" in metrics
+        assert "verify.ddr3_hits" in metrics
+        assert metrics["verify.ddr2_hits"] == 36.0
+        assert metrics["verify.ddr3_hits"] == 36.0
+
+    def test_save_and_compare_round_trip(self, tmp_path):
+        path = save_baseline(tmp_path / "baseline.json")
+        assert compare_to_baseline(path) == []
+
+    def test_deviation_detected(self, tmp_path):
+        import json
+        path = save_baseline(tmp_path / "baseline.json")
+        data = json.loads(path.read_text())
+        data["ddr3_55nm.idd0_ma"] *= 1.5
+        path.write_text(json.dumps(data))
+        deviations = compare_to_baseline(path)
+        assert len(deviations) == 1
+        assert deviations[0][0] == "ddr3_55nm.idd0_ma"
+
+    def test_missing_metric_reported(self, tmp_path):
+        import json
+        path = save_baseline(tmp_path / "baseline.json")
+        data = json.loads(path.read_text())
+        data["ghost.metric"] = 1.0
+        path.write_text(json.dumps(data))
+        deviations = compare_to_baseline(path)
+        assert any(name == "ghost.metric" and math.isnan(value)
+                   for name, _, value in deviations)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ModelError):
+            compare_to_baseline(tmp_path / "absent.json")

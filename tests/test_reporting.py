@@ -1,0 +1,46 @@
+"""Tests for the plain-text report renderer."""
+
+import pytest
+
+from repro.analysis import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["b", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.0" in text
+        assert "2.5" in text
+
+    def test_title_and_underline(self):
+        text = format_table(["x"], [[1]], title="Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 5.0], ["bbbb", 123.0]])
+        lines = text.splitlines()
+        # Last characters of numeric column line up.
+        assert lines[-1].endswith("123.0")
+        assert lines[-2].endswith("  5.0")
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting_one_decimal(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.1" in text
+        assert "3.14159" not in text
+
+    def test_string_cells_left_aligned(self):
+        text = format_table(["name", "v"], [["ab", 1], ["abcdef", 2]])
+        lines = text.splitlines()
+        assert lines[-2].startswith("ab ")
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["a"], [])
+        assert "a" in text

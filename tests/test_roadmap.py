@@ -1,0 +1,107 @@
+"""Tests for the generation roadmap (Figures 11/12 inputs)."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology import nodes, roadmap_entry
+from repro.technology.roadmap import COMPLEXITY, PREFETCH, ROADMAP
+
+
+class TestRoadmapShape:
+    def test_covers_170_to_16(self):
+        node_list = nodes()
+        assert node_list[0] == 170
+        assert node_list[-1] == 16
+        assert len(node_list) == 14
+
+    def test_nodes_strictly_decreasing(self):
+        node_list = nodes()
+        assert all(a > b for a, b in zip(node_list, node_list[1:]))
+
+    def test_average_shrink_near_16_percent(self):
+        # Paper §III.C: "The average feature size shrink between
+        # generations is 16%".
+        node_list = nodes()
+        ratio = (node_list[-1] / node_list[0]) ** (1 / (len(node_list) - 1))
+        assert 0.80 < ratio < 0.88
+
+    def test_years_increase(self):
+        years = [roadmap_entry(node).year for node in nodes()]
+        assert all(a <= b for a, b in zip(years, years[1:]))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TechnologyError):
+            roadmap_entry(100)
+
+
+class TestVoltageTrends:
+    def test_vdd_monotone_non_increasing(self):
+        vdd = [roadmap_entry(node).vdd for node in nodes()]
+        assert all(a >= b for a, b in zip(vdd, vdd[1:]))
+
+    def test_voltage_scaling_slows_down(self):
+        # Figure 11/13 headline: the early generations drop voltage much
+        # faster than the forecast ones.
+        early_drop = ROADMAP[170].vdd / ROADMAP[55].vdd
+        late_drop = ROADMAP[44].vdd / ROADMAP[16].vdd
+        assert early_drop > late_drop
+
+    def test_rail_orderings_every_node(self):
+        for node in nodes():
+            entry = roadmap_entry(node)
+            assert entry.vpp > entry.vdd >= entry.vint >= entry.vbl, node
+
+    def test_efficiencies_valid(self):
+        for node in nodes():
+            entry = roadmap_entry(node)
+            assert 0 < entry.eff_vint <= 1
+            assert 0 < entry.eff_vbl <= 1
+            assert 0 < entry.eff_vpp <= 1
+
+
+class TestInterfaceAssumptions:
+    def test_prefetch_doubles_per_family(self):
+        assert PREFETCH == {"SDR": 1, "DDR": 2, "DDR2": 4, "DDR3": 8,
+                            "DDR4": 16, "DDR5": 32}
+
+    def test_complexity_grows_with_family(self):
+        order = ["SDR", "DDR", "DDR2", "DDR3", "DDR4", "DDR5"]
+        values = [COMPLEXITY[name] for name in order]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_datarate_monotone_non_decreasing(self):
+        rates = [roadmap_entry(node).datarate for node in nodes()]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_core_frequency_capped(self):
+        # Paper §IV.C: "the maximum core frequency does not increase" —
+        # the prefetch absorbs the data-rate doubling.
+        for node in nodes():
+            entry = roadmap_entry(node)
+            assert entry.core_frequency <= 235e6, node
+
+    def test_sdr_control_clock_equals_datarate(self):
+        entry = ROADMAP[170]
+        assert entry.f_ctrlclock == entry.datarate
+
+    def test_ddr_control_clock_is_half_rate(self):
+        entry = ROADMAP[55]
+        assert entry.f_ctrlclock == pytest.approx(entry.datarate / 2)
+
+
+class TestTimings:
+    def test_trc_shrinks_slowly(self):
+        # Row timings improve far slower than bandwidth (Figure 12).
+        assert ROADMAP[170].trc / ROADMAP[16].trc < 2.0
+        trcs = [roadmap_entry(node).trc for node in nodes()]
+        assert all(a >= b for a, b in zip(trcs, trcs[1:]))
+
+    def test_bank_counts(self):
+        assert ROADMAP[170].banks == 4
+        assert ROADMAP[55].banks == 8
+        assert ROADMAP[31].banks == 16
+        assert ROADMAP[18].banks == 32
+
+    def test_density_never_decreases(self):
+        densities = [roadmap_entry(node).density_bits for node in nodes()]
+        assert all(a <= b for a, b in zip(densities, densities[1:]))

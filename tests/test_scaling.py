@@ -1,0 +1,146 @@
+"""Tests for technology scaling (Figures 5-7) and disruptions (Table II)."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology import (
+    BASELINE_55NM,
+    SCALING_LAWS,
+    auxiliary_for_node,
+    cell_architecture_for_node,
+    cells_per_line_for_node,
+    changes_between,
+    feature_shrink,
+    shrink_factor,
+    technology_for_node,
+)
+from repro.technology.disruptions import DISRUPTIVE_CHANGES
+from repro.technology.roadmap import nodes
+
+
+class TestScalingLaws:
+    def test_baseline_identity(self):
+        tech = technology_for_node(55)
+        assert tech == BASELINE_55NM
+
+    def test_every_parameter_has_a_law(self):
+        for name, _ in BASELINE_55NM.items():
+            assert name in SCALING_LAWS, name
+
+    def test_parameters_shrink_slower_than_feature(self):
+        # Paper §III.C: "In general technology parameters shrink more
+        # slowly than the feature size".
+        f = feature_shrink(16, 170)
+        slower = 0
+        total = 0
+        for name, law in SCALING_LAWS.items():
+            if law.exponent == 0.0:
+                continue
+            total += 1
+            # w_cell tracks the feature size exactly (exponent 1); all
+            # others shrink strictly slower.
+            if law.factor(16, 170) >= f * 0.999:
+                slower += 1
+        assert slower == total
+
+    def test_shrink_factor_at_reference_is_one(self):
+        assert shrink_factor("c_bitline", 170) == pytest.approx(1.0)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TechnologyError):
+            shrink_factor("flux_capacitor", 55)
+
+    def test_figures_partition(self):
+        figures = {law.figure for law in SCALING_LAWS.values()}
+        assert figures == {"fig5", "fig6", "fig7"}
+
+    def test_monotone_shrink(self):
+        for name in ("lmin_logic", "w_sa_n", "c_wire_signal"):
+            values = [shrink_factor(name, node) for node in nodes()]
+            assert all(a >= b for a, b in zip(values, values[1:])), name
+
+
+class TestDisruptiveSteps:
+    def test_dual_gate_oxide_step(self):
+        # Above 110 nm the logic oxide is 1.3× thicker than the smooth
+        # law (single thick oxide before the 110→90 transition).
+        smooth = (140 / 55) ** 0.5
+        assert shrink_factor("tox_logic", 140, 55) == pytest.approx(
+            smooth * 1.3
+        )
+
+    def test_cu_metallization_step(self):
+        # c_wire_signal drops by the Cu factor crossing 55 → 44 nm.
+        before = technology_for_node(55).c_wire_signal
+        after = technology_for_node(44).c_wire_signal
+        smooth = (44 / 55) ** 0.2
+        assert after / before == pytest.approx(smooth * 0.85)
+
+    def test_high_k_step(self):
+        before = shrink_factor("tox_logic", 36, 55)
+        after = shrink_factor("tox_logic", 31, 55)
+        smooth = (31 / 36) ** 0.5
+        assert after / before == pytest.approx(smooth * 0.9)
+
+
+class TestTechnologyForNode:
+    @pytest.mark.parametrize("node", [170, 110, 90, 75, 65, 55, 44, 36,
+                                      25, 18, 16])
+    def test_valid_at_every_node(self, node):
+        tech = technology_for_node(node)
+        assert tech.parameter_count == 39
+        assert tech.c_bitline > 0
+
+    def test_cell_cap_nearly_constant(self):
+        # The cell capacitance is held nearly constant across generations
+        # (refresh-time requirement, paper §III.C).
+        old = technology_for_node(170).c_cell
+        new = technology_for_node(16).c_cell
+        assert 0.6 < new / old < 1.0
+
+    def test_bits_per_csl_stays_integer(self):
+        assert isinstance(technology_for_node(31).bits_per_csl, int)
+
+    def test_auxiliary_quantities(self):
+        aux = auxiliary_for_node(55)
+        assert aux["width_sa_stripe"] == pytest.approx(20e-6)
+        older = auxiliary_for_node(170)
+        assert older["width_sa_stripe"] > aux["width_sa_stripe"]
+
+
+class TestTableTwo:
+    def test_nine_rows(self):
+        assert len(DISRUPTIVE_CHANGES) == 9
+
+    def test_cell_architecture_staircase(self):
+        assert cell_architecture_for_node(75)[0] == "folded"
+        assert cell_architecture_for_node(65)[0] == "open"
+        assert cell_architecture_for_node(44)[0] == "open"
+        # 6F² (3F wordline pitch) down to 40 nm, 4F² (2F) below.
+        assert cell_architecture_for_node(55)[1] == 3.0
+        assert cell_architecture_for_node(36)[1] == 2.0
+
+    def test_cell_areas(self):
+        for node, expected_f2 in ((90, 8.0), (55, 6.0), (31, 4.0)):
+            arch, wl_f, bl_f = cell_architecture_for_node(node)
+            factor = 2.0 if arch == "folded" else 1.0
+            assert wl_f * bl_f * factor == expected_f2, node
+
+    def test_cells_per_line_steps(self):
+        assert cells_per_line_for_node(110) == 256
+        assert cells_per_line_for_node(90) == 512
+        assert cells_per_line_for_node(55) == 512
+        assert cells_per_line_for_node(36) == 1024
+
+    def test_changes_between_75_and_65(self):
+        crossed = changes_between(75, 65)
+        assert any("folded bitline" in change.change
+                   for change in crossed)
+
+    def test_changes_between_full_roadmap(self):
+        crossed = changes_between(170, 16)
+        # Everything within the roadmap span is crossed.
+        assert len(crossed) >= 8
+
+    def test_no_changes_within_one_node(self):
+        assert changes_between(55, 55) == ()

@@ -1,0 +1,124 @@
+"""Tests for signal nets and segments."""
+
+import pytest
+
+from repro.description import Rail
+from repro.description.signaling import (
+    SegmentKind,
+    SignalNet,
+    SignalSegment,
+    SignalingFloorplan,
+    Trigger,
+)
+from repro.errors import DescriptionError, FloorplanError
+
+
+def span_segment(**overrides):
+    values = dict(kind=SegmentKind.SPAN, start=(0, 2), end=(3, 2),
+                  wires=16, toggle=0.5)
+    values.update(overrides)
+    return SignalSegment(**values)
+
+
+def inside_segment(**overrides):
+    values = dict(kind=SegmentKind.INSIDE, start=(3, 2), fraction=0.25,
+                  direction="h", wires=16, toggle=0.5)
+    values.update(overrides)
+    return SignalSegment(**values)
+
+
+class TestSignalSegment:
+    def test_span_requires_end(self):
+        with pytest.raises(FloorplanError):
+            span_segment(end=None)
+
+    def test_inside_fraction_range(self):
+        with pytest.raises(FloorplanError):
+            inside_segment(fraction=0.0)
+        with pytest.raises(FloorplanError):
+            inside_segment(fraction=1.5)
+
+    def test_inside_direction_validated(self):
+        with pytest.raises(FloorplanError):
+            inside_segment(direction="z")
+
+    def test_toggle_range(self):
+        with pytest.raises(DescriptionError):
+            span_segment(toggle=1.5)
+
+    def test_wires_positive(self):
+        with pytest.raises(DescriptionError):
+            span_segment(wires=0)
+
+    def test_buffer_widths_non_negative(self):
+        with pytest.raises(DescriptionError):
+            span_segment(buffer_w_n=-1e-6)
+
+    def test_has_buffer(self):
+        assert span_segment(buffer_w_n=1e-6).has_buffer
+        assert not span_segment().has_buffer
+
+    def test_mux_ratio_at_least_one(self):
+        with pytest.raises(DescriptionError):
+            span_segment(mux_ratio=0.5)
+
+    def test_paper_example_deserializer(self):
+        # "DataW0 inside=0_2 fraction=25% dir=h mux=1:8"
+        segment = inside_segment(start=(0, 2), mux_ratio=8.0)
+        assert segment.mux_ratio == 8.0
+        assert segment.kind is SegmentKind.INSIDE
+
+
+class TestSignalNet:
+    def test_requires_segments(self):
+        with pytest.raises(DescriptionError):
+            SignalNet(name="empty", segments=())
+
+    def test_requires_name(self):
+        with pytest.raises(DescriptionError):
+            SignalNet(name="", segments=(span_segment(),))
+
+    def test_background_when_no_operations(self):
+        net = SignalNet(name="clk", segments=(span_segment(),),
+                        trigger=Trigger.PER_CTRL_CLOCK)
+        assert net.is_background
+
+    def test_gated_when_operations_given(self):
+        net = SignalNet(name="wdata", segments=(span_segment(),),
+                        operations=frozenset({"wr"}))
+        assert not net.is_background
+
+    def test_string_enums_coerced(self):
+        net = SignalNet(name="x", segments=(span_segment(),),
+                        trigger="access", rail="vbl")
+        assert net.trigger is Trigger.PER_ACCESS
+        assert net.rail is Rail.VBL
+
+
+class TestSignalingFloorplan:
+    def test_duplicate_names_rejected(self):
+        nets = (
+            SignalNet(name="a", segments=(span_segment(),)),
+            SignalNet(name="a", segments=(inside_segment(),)),
+        )
+        with pytest.raises(DescriptionError):
+            SignalingFloorplan(nets)
+
+    def test_lookup_by_name(self):
+        plan = SignalingFloorplan((
+            SignalNet(name="a", segments=(span_segment(),)),
+        ))
+        assert plan.net("a").name == "a"
+        with pytest.raises(KeyError):
+            plan.net("b")
+
+    def test_iteration_and_length(self):
+        plan = SignalingFloorplan((
+            SignalNet(name="a", segments=(span_segment(),)),
+            SignalNet(name="b", segments=(inside_segment(),)),
+        ))
+        assert len(plan) == 2
+        assert [net.name for net in plan] == ["a", "b"]
+
+    def test_empty_floorplan_allowed(self):
+        assert len(SignalingFloorplan()) == 0

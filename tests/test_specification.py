@@ -1,0 +1,105 @@
+"""Tests for the interface specification and timing parameters."""
+
+import pytest
+
+from repro.description import Specification, TimingParameters
+from repro.errors import DescriptionError
+
+
+def ddr3_spec(**overrides):
+    values = dict(
+        io_width=16,
+        datarate=1.6e9,
+        n_clock_wires=2,
+        f_dataclock=800e6,
+        f_ctrlclock=800e6,
+        bank_bits=3,
+        row_bits=14,
+        col_bits=10,
+        prefetch=8,
+    )
+    values.update(overrides)
+    return Specification(**values)
+
+
+class TestSpecification:
+    def test_paper_example(self):
+        # "IO width=16 datarate=1.6Gbps / Clock frequency=800MHz".
+        spec = ddr3_spec()
+        assert spec.is_ddr
+        assert spec.bits_per_access == 128
+        assert spec.core_access_rate == pytest.approx(200e6)
+        assert spec.peak_bandwidth == pytest.approx(25.6e9)
+
+    def test_page_bits(self):
+        assert ddr3_spec().page_bits == 16384
+
+    def test_density(self):
+        spec = ddr3_spec()
+        assert spec.density_bits == 8 * (1 << 14) * 16384  # 2 Gb
+        assert spec.banks == 8
+        assert spec.rows_per_bank == 16384
+
+    def test_sdr_single_data_rate(self):
+        spec = ddr3_spec(datarate=166e6, f_dataclock=166e6,
+                         f_ctrlclock=166e6, prefetch=1)
+        assert not spec.is_ddr
+        assert spec.bits_per_access == 16
+
+    def test_burst_defaults_to_prefetch(self):
+        assert ddr3_spec().burst_length == 8
+
+    def test_rejects_rate_clock_mismatch(self):
+        # 3x the clock is neither SDR nor DDR.
+        with pytest.raises(DescriptionError):
+            ddr3_spec(datarate=2.4e9)
+
+    def test_rejects_non_power_of_two_prefetch(self):
+        with pytest.raises(DescriptionError):
+            ddr3_spec(prefetch=6)
+
+    def test_rejects_burst_beyond_columns(self):
+        with pytest.raises(DescriptionError):
+            ddr3_spec(col_bits=2, prefetch=8)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(DescriptionError):
+            ddr3_spec(io_width=0)
+
+    def test_scaled_copy(self):
+        spec = ddr3_spec().scaled(io_width=8)
+        assert spec.io_width == 8
+        assert spec.page_bits == 8192
+
+
+def ddr3_timing(**overrides):
+    values = dict(trc=50e-9, trrd=6.25e-9, tfaw=40e-9)
+    values.update(overrides)
+    return TimingParameters(**values)
+
+
+class TestTimingParameters:
+    def test_max_row_rate_trrd_limited(self):
+        timing = ddr3_timing(trrd=5e-9, tfaw=40e-9)
+        # 4/tFAW = 100 M/s < 1/tRRD = 200 M/s → FAW limited.
+        assert timing.max_row_rate == pytest.approx(1e8)
+
+    def test_max_row_rate_uses_minimum(self):
+        timing = ddr3_timing(trrd=10e-9, tfaw=20e-9)
+        assert timing.max_row_rate == pytest.approx(1.0 / 10e-9)
+
+    def test_rejects_trrd_above_trc(self):
+        with pytest.raises(DescriptionError):
+            ddr3_timing(trrd=60e-9)
+
+    def test_rejects_tfaw_below_trrd(self):
+        with pytest.raises(DescriptionError):
+            ddr3_timing(trrd=20e-9, tfaw=10e-9)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(DescriptionError):
+            ddr3_timing(trc=0.0)
+
+    def test_scaled_copy(self):
+        timing = ddr3_timing().scaled(trc=60e-9)
+        assert timing.trc == pytest.approx(60e-9)

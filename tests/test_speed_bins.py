@@ -1,0 +1,120 @@
+"""Tests for speed bins, Monte-Carlo variation and the Pareto frontier."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.analysis.montecarlo import monte_carlo
+from repro.core.idd import IddMeasure, idd0, idd4r
+from repro.devices import (
+    bins_for_interface,
+    build_binned_device,
+    ddr3_2g_55nm,
+    speed_bin,
+)
+from repro.errors import DescriptionError, ModelError
+from repro.schemes import compare_schemes, pareto_frontier
+
+
+class TestSpeedBins:
+    def test_lookup_case_insensitive(self):
+        assert speed_bin("ddr3-1600").datarate == pytest.approx(1.6e9)
+
+    def test_unknown_bin_rejected(self):
+        with pytest.raises(DescriptionError):
+            speed_bin("DDR9-9999")
+
+    def test_bins_for_interface_sorted(self):
+        bins = bins_for_interface("DDR3")
+        rates = [bin.datarate for bin in bins]
+        assert rates == sorted(rates)
+        assert len(bins) == 5
+
+    def test_binned_device_carries_timings(self):
+        device = build_binned_device("DDR3-1333", 65,
+                                     density_bits=1 << 30)
+        assert device.timing.trc == pytest.approx(49.5e-9)
+        assert device.timing.trrd == pytest.approx(6.0e-9)
+        assert device.spec.datarate == pytest.approx(1333e6)
+        assert "DDR3-1333" in device.name
+
+    def test_faster_bin_draws_more_idd4(self):
+        slow = DramPowerModel(build_binned_device("DDR3-1066", 65,
+                                                  density_bits=1 << 30))
+        fast = DramPowerModel(build_binned_device("DDR3-1600", 65,
+                                                  density_bits=1 << 30))
+        assert idd4r(fast).current > idd4r(slow).current
+
+    def test_tighter_trc_raises_idd0(self):
+        # Same device, faster row cycling: IDD0 grows.
+        ddr2_slow = DramPowerModel(build_binned_device(
+            "DDR2-400", 75, density_bits=1 << 30))
+        ddr2_fast = DramPowerModel(build_binned_device(
+            "DDR2-800", 75, density_bits=1 << 30))
+        assert idd0(ddr2_fast).current > idd0(ddr2_slow).current
+
+    def test_all_bins_build_valid_devices(self):
+        from repro.devices.speed_bins import SPEED_BINS
+        node_for = {"DDR2": 75, "DDR3": 55, "DDR4": 31, "DDR5": 18}
+        for name, chosen in SPEED_BINS.items():
+            device = build_binned_device(name,
+                                         node_for[chosen.interface])
+            assert DramPowerModel(device).pattern_power().power > 0, name
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def distributions(self):
+        return {dist.measure: dist
+                for dist in monte_carlo(ddr3_2g_55nm(), samples=40,
+                                        seed=11)}
+
+    def test_mean_near_nominal(self, distributions, ddr3_model):
+        nominal = idd0(ddr3_model).milliamps
+        assert distributions[IddMeasure.IDD0].mean == pytest.approx(
+            nominal, rel=0.05)
+
+    def test_spread_positive_and_bounded(self, distributions):
+        dist = distributions[IddMeasure.IDD4R]
+        assert 0 < dist.stdev < 0.15 * dist.mean
+        assert dist.minimum < dist.mean < dist.maximum
+
+    def test_guard_band_figure(self, distributions):
+        # p95/mean sits a few percent up — the datasheet-maximum story.
+        band = distributions[IddMeasure.IDD0].guard_band
+        assert 1.01 < band < 1.25
+
+    def test_deterministic_per_seed(self):
+        device = ddr3_2g_55nm()
+        first = monte_carlo(device, samples=5, seed=3)[0].samples
+        second = monte_carlo(device, samples=5, seed=3)[0].samples
+        assert first == second
+
+    def test_percentile_bounds(self, distributions):
+        dist = distributions[IddMeasure.IDD0]
+        assert dist.percentile(0.0) == dist.minimum
+        assert dist.percentile(1.0) == dist.maximum
+        with pytest.raises(ModelError):
+            dist.percentile(1.5)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ModelError):
+            monte_carlo(ddr3_2g_55nm(), samples=0)
+
+
+class TestParetoFrontier:
+    def test_frontier_is_non_dominated(self, ddr3_device):
+        results = compare_schemes(ddr3_device)
+        frontier = pareto_frontier(results)
+        names = {result.scheme for result in frontier}
+        # The zero-area CSL architecture anchors the frontier; SSA is
+        # dominated by SBA (same saving, more area).
+        assert "csl-ratio-reduction" in names
+        assert "single-subarray-access" not in names
+        # Frontier sorted by area, power saving non-decreasing along it.
+        savings = [result.power_saving for result in frontier]
+        assert savings == sorted(savings)
+
+    def test_frontier_subset(self, ddr3_device):
+        results = compare_schemes(ddr3_device)
+        frontier = pareto_frontier(results)
+        assert 0 < len(frontier) <= len(results)

@@ -1,0 +1,96 @@
+"""Tests for rank/module-level power composition."""
+
+import pytest
+
+from repro.devices import build_device
+from repro.errors import ModelError
+from repro.system import ModulePowerModel, RankConfig, mini_rank_study
+
+
+@pytest.fixture(scope="module")
+def x8_device():
+    """An x8 device: eight of them form a 64-bit rank."""
+    return build_device(55, io_width=8)
+
+
+@pytest.fixture(scope="module")
+def single_rank(x8_device):
+    return ModulePowerModel(RankConfig(x8_device, devices_per_rank=8))
+
+
+@pytest.fixture(scope="module")
+def dual_rank(x8_device):
+    return ModulePowerModel(
+        RankConfig(x8_device, devices_per_rank=8, ranks=2)
+    )
+
+
+class TestRankConfig:
+    def test_channel_width(self, x8_device):
+        config = RankConfig(x8_device, devices_per_rank=8)
+        assert config.channel_width == 64
+
+    def test_validation(self, x8_device):
+        with pytest.raises(ModelError):
+            RankConfig(x8_device, devices_per_rank=0)
+        with pytest.raises(ModelError):
+            RankConfig(x8_device, devices_per_rank=8, ranks=0)
+
+
+class TestLockstep:
+    def test_module_power_scales_with_devices(self, single_rank,
+                                              x8_device):
+        from repro.core import DramPowerModel
+        from repro.core.idd import idd7_mixed
+        device_power = idd7_mixed(DramPowerModel(x8_device)).power
+        result = single_rank.lockstep_power()
+        assert result.power == pytest.approx(8 * device_power, rel=0.01)
+
+    def test_idle_rank_costs_power_down(self, single_rank, dual_rank):
+        one = single_rank.lockstep_power()
+        two = dual_rank.lockstep_power(park_idle_ranks=True)
+        assert two.power > one.power
+        assert two.parked_devices == 8
+        # Parked rank costs far less than an active one.
+        assert two.power < 1.35 * one.power
+
+    def test_unparked_idle_rank_costs_more(self, dual_rank):
+        parked = dual_rank.lockstep_power(park_idle_ranks=True)
+        standby = dual_rank.lockstep_power(park_idle_ranks=False)
+        assert standby.power > parked.power
+
+    def test_bandwidth_is_channel_level(self, single_rank, x8_device):
+        result = single_rank.lockstep_power()
+        assert result.bandwidth <= 8 * x8_device.spec.peak_bandwidth
+        assert result.bandwidth > 0
+
+
+class TestMiniRank:
+    def test_saves_module_power_at_same_bandwidth(self, single_rank):
+        base = single_rank.lockstep_power(park_idle_ranks=False)
+        mini = single_rank.mini_rank_power(2)
+        assert mini.bandwidth == pytest.approx(base.bandwidth)
+        assert mini.power < base.power
+
+    def test_row_energy_divides(self, single_rank):
+        base = single_rank.lockstep_power(park_idle_ranks=False)
+        mini2 = single_rank.mini_rank_power(2)
+        mini4 = single_rank.mini_rank_power(4)
+        # Savings grow with the divisor but saturate (column +
+        # background are conserved).
+        saving2 = base.power - mini2.power
+        saving4 = base.power - mini4.power
+        assert saving4 > saving2
+        assert saving4 < 2.5 * saving2
+
+    def test_active_devices_reported(self, single_rank):
+        assert single_rank.mini_rank_power(4).active_devices == 2
+
+    def test_divisor_must_split_rank(self, single_rank):
+        with pytest.raises(ModelError):
+            single_rank.mini_rank_power(3)
+
+    def test_study_helper(self, x8_device):
+        results = mini_rank_study(x8_device, divisors=(1, 2, 4))
+        energies = [results[k].energy_per_bit for k in (1, 2, 4)]
+        assert energies[0] > energies[1] > energies[2]

@@ -1,0 +1,103 @@
+"""Tests for the 39-parameter technology description."""
+
+import pytest
+
+from repro.description import TechnologyParameters
+from repro.errors import DescriptionError
+from repro.technology.scaling import BASELINE_55NM
+
+
+class TestParameterCount:
+    def test_exactly_39_parameters(self):
+        # "In total 39 parameters are used in the model to describe the
+        # technology" (paper §III.B.3).
+        assert BASELINE_55NM.parameter_count == 39
+
+    def test_items_cover_all_fields(self):
+        names = dict(BASELINE_55NM.items())
+        assert len(names) == 39
+        assert names["c_bitline"] == BASELINE_55NM.c_bitline
+
+    def test_as_dict_round_trip(self):
+        rebuilt = TechnologyParameters(**BASELINE_55NM.as_dict())
+        assert rebuilt == BASELINE_55NM
+
+
+class TestValidation:
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(DescriptionError):
+            BASELINE_55NM.scaled(c_bitline=-1e-15)
+
+    def test_rejects_zero_oxide(self):
+        with pytest.raises(DescriptionError):
+            BASELINE_55NM.scaled(tox_logic=0.0)
+
+    def test_rejects_share_above_one(self):
+        with pytest.raises(DescriptionError):
+            BASELINE_55NM.scaled(share_bl_wl=1.5)
+
+    def test_accepts_share_zero(self):
+        assert BASELINE_55NM.scaled(share_bl_wl=0.0).share_bl_wl == 0.0
+
+    def test_rejects_activity_above_one(self):
+        with pytest.raises(DescriptionError):
+            BASELINE_55NM.scaled(mwl_dec_activity=1.2)
+
+
+class TestDerivedCapacitances:
+    def test_gate_cap_scales_with_area(self):
+        tech = BASELINE_55NM
+        one = tech.gate_capacitance(1e-6, 1e-7, 4e-9)
+        two = tech.gate_capacitance(2e-6, 1e-7, 4e-9)
+        assert two == pytest.approx(2 * one)
+
+    def test_gate_cap_inverse_in_oxide(self):
+        tech = BASELINE_55NM
+        thin = tech.gate_capacitance(1e-6, 1e-7, 2e-9)
+        thick = tech.gate_capacitance(1e-6, 1e-7, 4e-9)
+        assert thin == pytest.approx(2 * thick)
+
+    def test_logic_gate_cap_uses_min_length_default(self):
+        tech = BASELINE_55NM
+        assert tech.logic_gate_cap(1e-6) == pytest.approx(
+            tech.gate_capacitance(1e-6, tech.lmin_logic, tech.tox_logic)
+        )
+
+    def test_hv_gate_cap_thicker_oxide_than_logic(self):
+        tech = BASELINE_55NM
+        assert tech.hv_gate_cap(1e-6) < tech.logic_gate_cap(1e-6) \
+            * tech.lmin_hv / tech.lmin_logic * 1.01
+
+    def test_cell_gate_cap_is_tiny(self):
+        # A single cell access transistor gate is a small fraction of fF.
+        assert 1e-18 < BASELINE_55NM.cell_gate_cap() < 1e-15
+
+    def test_junction_cap_linear_in_width(self):
+        tech = BASELINE_55NM
+        assert tech.logic_junction_cap(2e-6) == pytest.approx(
+            2 * tech.logic_junction_cap(1e-6)
+        )
+
+    def test_device_load_is_gate_plus_junction(self):
+        tech = BASELINE_55NM
+        width = 0.5e-6
+        assert tech.logic_device_load(width) == pytest.approx(
+            tech.logic_gate_cap(width) + tech.logic_junction_cap(width)
+        )
+
+    def test_gate_cap_rejects_bad_geometry(self):
+        with pytest.raises(DescriptionError):
+            BASELINE_55NM.gate_capacitance(0.0, 1e-7, 4e-9)
+
+
+class TestScaledCopy:
+    def test_scaled_returns_new_object(self):
+        copy = BASELINE_55NM.scaled(c_cell=30e-15)
+        assert copy.c_cell == pytest.approx(30e-15)
+        assert BASELINE_55NM.c_cell != copy.c_cell
+
+    def test_plausible_bitline_to_cell_ratio(self):
+        # Bitline capacitance is several times the cell capacitance —
+        # the charge-sharing signal is a fraction of Vbl/2.
+        ratio = BASELINE_55NM.c_bitline / BASELINE_55NM.c_cell
+        assert 2.0 < ratio < 10.0

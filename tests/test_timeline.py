@@ -1,0 +1,110 @@
+"""Tests for trace power profiles and scheduler latency/refresh features."""
+
+import pytest
+
+from repro.core.timeline import power_profile
+from repro.core.trace import TraceCommand, evaluate_trace
+from repro.description import Command
+from repro.errors import ModelError
+from repro.workloads import OpenPageScheduler, Request, random_trace
+
+
+class TestPowerProfile:
+    def _trace(self, model):
+        timing = model.device.timing
+        return [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(timing.trcd, Command.RD, bank=0),
+            TraceCommand(timing.tras, Command.PRE, bank=0),
+        ]
+
+    def test_energy_conserved(self, ddr3_model):
+        trace = self._trace(ddr3_model)
+        profile = power_profile(ddr3_model, trace, bin_width=1e-9)
+        binned = sum(p - ddr3_model.background_power
+                     for p in profile.power) * profile.bin_width
+        expected = (ddr3_model.operation_energy(Command.ACT)
+                    + ddr3_model.operation_energy(Command.RD)
+                    + ddr3_model.operation_energy(Command.PRE))
+        assert binned == pytest.approx(expected, rel=0.02)
+
+    def test_idle_bins_show_background(self, ddr3_model):
+        trace = [TraceCommand(0.0, Command.ACT, bank=0),
+                 TraceCommand(200e-9, Command.PRE, bank=0)]
+        profile = power_profile(ddr3_model, trace, bin_width=5e-9)
+        # Between the activate window and the precharge the power floor
+        # is the background.
+        mid = profile.power[len(profile.power) // 2]
+        assert mid == pytest.approx(ddr3_model.background_power)
+
+    def test_activate_bins_spike(self, ddr3_model):
+        trace = self._trace(ddr3_model)
+        profile = power_profile(ddr3_model, trace, bin_width=1e-9)
+        assert profile.peak > 2.5 * ddr3_model.background_power
+        assert profile.crest_factor > 1.5
+
+    def test_times_match_bins(self, ddr3_model):
+        profile = power_profile(ddr3_model, self._trace(ddr3_model),
+                                bin_width=2e-9)
+        times = profile.times()
+        assert len(times) == len(profile.power)
+        assert times[0] == pytest.approx(1e-9)
+
+    def test_rejects_empty_trace(self, ddr3_model):
+        with pytest.raises(ModelError):
+            power_profile(ddr3_model, [])
+
+    def test_rejects_bad_bin_width(self, ddr3_model):
+        with pytest.raises(ModelError):
+            power_profile(ddr3_model, self._trace(ddr3_model),
+                          bin_width=0.0)
+
+
+class TestSchedulerLatency:
+    def test_latencies_recorded(self, ddr3_device):
+        scheduler = OpenPageScheduler(ddr3_device)
+        scheduler.extend([Request(0, 1), Request(0, 1), Request(0, 2)])
+        scheduler.finalize()
+        assert len(scheduler.latencies) == 3
+        # The first access pays activate + tRCD + burst.
+        timing = ddr3_device.timing
+        burst = (ddr3_device.spec.burst_length
+                 / ddr3_device.spec.datarate)
+        assert scheduler.latencies[0] == pytest.approx(
+            timing.trcd + burst)
+        # A row hit is faster than a row conflict.
+        assert scheduler.latencies[1] < scheduler.latencies[2]
+
+    def test_conflict_latency_includes_precharge(self, ddr3_device):
+        scheduler = OpenPageScheduler(ddr3_device)
+        scheduler.extend([Request(0, 1), Request(0, 2)])
+        scheduler.finalize()
+        timing = ddr3_device.timing
+        assert scheduler.latencies[1] > timing.trp + timing.trcd
+
+
+class TestRefreshInjection:
+    def test_refresh_bank_issues_row_cycle(self, ddr3_device,
+                                           ddr3_model):
+        scheduler = OpenPageScheduler(ddr3_device)
+        scheduler.add(Request(0, 1))
+        scheduler.refresh_bank(0)
+        trace = scheduler.finalize()
+        result = evaluate_trace(ddr3_model, trace, strict=True)
+        assert result.counts[Command.ACT] == 2  # request + refresh
+
+    def test_refreshed_trace_stays_legal(self, ddr3_device, ddr3_model):
+        trace = random_trace(ddr3_device, 500, with_refresh=True,
+                             seed=5)
+        result = evaluate_trace(ddr3_model, trace, strict=True)
+        assert result.counts[Command.RD] + result.counts[Command.WR] \
+            == 500
+
+    def test_refresh_adds_row_cycles(self, ddr3_device, ddr3_model):
+        base = evaluate_trace(
+            ddr3_model, random_trace(ddr3_device, 500, seed=5))
+        refreshed = evaluate_trace(
+            ddr3_model,
+            random_trace(ddr3_device, 500, with_refresh=True, seed=5))
+        assert refreshed.counts[Command.ACT] \
+            >= base.counts[Command.ACT]

@@ -1,0 +1,186 @@
+"""Tests for the timed command-trace engine."""
+
+import pytest
+
+from repro.core.trace import TraceCommand, TraceError, evaluate_trace
+from repro.description import Command
+
+
+def ns(value):
+    return value * 1e-9
+
+
+def simple_trace(timing):
+    """One legal row cycle with a read."""
+    return [
+        TraceCommand(ns(0), Command.ACT, bank=0, row=5),
+        TraceCommand(timing.trcd, Command.RD, bank=0),
+        TraceCommand(timing.tras, Command.PRE, bank=0),
+    ]
+
+
+class TestLegalTraces:
+    def test_simple_cycle(self, ddr3_model):
+        result = evaluate_trace(ddr3_model,
+                                simple_trace(ddr3_model.device.timing))
+        assert result.counts[Command.ACT] == 1
+        assert result.counts[Command.RD] == 1
+        assert result.counts[Command.PRE] == 1
+        assert result.data_bits == ddr3_model.device.spec.bits_per_access
+
+    def test_energy_decomposition(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        result = evaluate_trace(ddr3_model, simple_trace(timing))
+        expected = (ddr3_model.background_power * result.duration
+                    + ddr3_model.operation_energy(Command.ACT)
+                    + ddr3_model.operation_energy(Command.RD)
+                    + ddr3_model.operation_energy(Command.PRE))
+        assert result.energy == pytest.approx(expected)
+
+    def test_row_hit_accounting(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0, row=1),
+            TraceCommand(timing.trcd, Command.RD, bank=0),
+            TraceCommand(timing.trcd + ns(5), Command.RD, bank=0),
+            TraceCommand(timing.trcd + ns(10), Command.RD, bank=0),
+            TraceCommand(timing.tras + ns(20), Command.PRE, bank=0),
+        ]
+        result = evaluate_trace(ddr3_model, trace)
+        assert result.row_misses == 1
+        assert result.row_hits == 2
+        assert result.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_nops_are_free(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        with_nop = simple_trace(timing)
+        with_nop.insert(1, TraceCommand(ns(1), Command.NOP))
+        base = evaluate_trace(ddr3_model, simple_trace(timing))
+        padded = evaluate_trace(ddr3_model, with_nop)
+        assert padded.energy == pytest.approx(base.energy)
+
+    def test_multi_bank_interleaving(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = []
+        for bank in range(4):
+            start = bank * timing.trrd
+            trace.append(TraceCommand(start, Command.ACT, bank=bank))
+        for bank in range(4):
+            trace.append(TraceCommand(
+                3 * timing.trrd + timing.trcd + bank * ns(6),
+                Command.RD, bank=bank,
+            ))
+        for bank in range(4):
+            trace.append(TraceCommand(
+                3 * timing.trrd + timing.tras + bank * ns(2),
+                Command.PRE, bank=bank,
+            ))
+        result = evaluate_trace(ddr3_model, trace)
+        assert result.counts[Command.ACT] == 4
+
+    def test_average_current(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        result = evaluate_trace(ddr3_model, simple_trace(timing))
+        assert result.average_current == pytest.approx(
+            result.average_power / ddr3_model.device.voltages.vdd
+        )
+
+
+class TestProtocolViolations:
+    def test_read_on_idle_bank(self, ddr3_model):
+        with pytest.raises(TraceError, match="idle bank"):
+            evaluate_trace(ddr3_model,
+                           [TraceCommand(ns(0), Command.RD, bank=0)])
+
+    def test_activate_active_bank(self, ddr3_model):
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0),
+            TraceCommand(ns(30), Command.ACT, bank=0),
+        ]
+        with pytest.raises(TraceError, match="already-active"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_precharge_idle_bank(self, ddr3_model):
+        with pytest.raises(TraceError, match="idle bank"):
+            evaluate_trace(ddr3_model,
+                           [TraceCommand(ns(0), Command.PRE, bank=0)])
+
+    def test_unknown_bank(self, ddr3_model):
+        banks = ddr3_model.device.spec.banks
+        with pytest.raises(TraceError, match="bank"):
+            evaluate_trace(ddr3_model,
+                           [TraceCommand(ns(0), Command.ACT, bank=banks)])
+
+    def test_time_ordering_enforced(self, ddr3_model):
+        trace = [
+            TraceCommand(ns(10), Command.ACT, bank=0),
+            TraceCommand(ns(5), Command.ACT, bank=1),
+        ]
+        with pytest.raises(TraceError, match="non-decreasing"):
+            evaluate_trace(ddr3_model, trace)
+
+
+class TestTimingViolations:
+    def test_trcd(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0),
+            TraceCommand(timing.trcd * 0.5, Command.RD, bank=0),
+        ]
+        with pytest.raises(TraceError, match="tRCD"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_tras(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0),
+            TraceCommand(timing.tras * 0.5, Command.PRE, bank=0),
+        ]
+        with pytest.raises(TraceError, match="tRAS"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_trc(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0),
+            TraceCommand(timing.tras, Command.PRE, bank=0),
+            TraceCommand(timing.trc * 0.9, Command.ACT, bank=0),
+        ]
+        with pytest.raises(TraceError, match="tR"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_trrd(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0),
+            TraceCommand(timing.trrd * 0.5, Command.ACT, bank=1),
+        ]
+        with pytest.raises(TraceError, match="tRRD"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_tfaw(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        # Five activates spaced at exactly tRRD: the fifth violates tFAW
+        # if 4 × tRRD < tFAW.
+        assert 4 * timing.trrd < timing.tfaw
+        trace = [TraceCommand(bank * timing.trrd, Command.ACT, bank=bank)
+                 for bank in range(5)]
+        with pytest.raises(TraceError, match="tFAW"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_lenient_mode_prices_anyway(self, ddr3_model):
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0),
+            TraceCommand(ns(1), Command.RD, bank=0),  # tRCD violation
+        ]
+        result = evaluate_trace(ddr3_model, trace, strict=False)
+        assert result.counts[Command.RD] == 1
+
+    def test_error_reports_position(self, ddr3_model):
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0),
+            TraceCommand(ns(1), Command.RD, bank=0),
+        ]
+        with pytest.raises(TraceError) as excinfo:
+            evaluate_trace(ddr3_model, trace)
+        assert excinfo.value.index == 1

@@ -1,0 +1,139 @@
+"""Tests for the generation trends (Figures 11-13, §IV.B/§IV.C)."""
+
+import pytest
+
+from repro.analysis import (
+    energy_reduction_factors,
+    generation_trend,
+    power_shift,
+    timing_trend,
+    voltage_trend,
+)
+from repro.technology.roadmap import nodes
+
+
+@pytest.fixture(scope="module")
+def points():
+    return generation_trend()
+
+
+class TestFigure11:
+    def test_voltage_trend_covers_roadmap(self):
+        trend = voltage_trend()
+        assert len(trend) == len(nodes())
+        assert trend[0]["node_nm"] == 170
+        assert trend[-1]["node_nm"] == 16
+
+    def test_vdd_declines(self):
+        trend = voltage_trend()
+        vdd = [point["vdd"] for point in trend]
+        assert vdd[0] == 3.3
+        assert all(a >= b for a, b in zip(vdd, vdd[1:]))
+
+    def test_vpp_stays_highest(self):
+        for point in voltage_trend():
+            assert point["vpp"] > point["vdd"]
+            assert point["vdd"] >= point["vint"] >= point["vbl"]
+
+
+class TestFigure12:
+    def test_datarate_doubling_per_family(self):
+        trend = timing_trend()
+        first = trend[0]["datarate_gbps"]
+        last = trend[-1]["datarate_gbps"]
+        assert last / first > 30  # 166 Mb/s → 6.4 Gb/s
+
+    def test_core_frequency_flat(self):
+        trend = timing_trend()
+        cores = [point["core_frequency_mhz"] for point in trend]
+        assert max(cores) / min(cores) < 2.0
+
+    def test_prefetch_reaches_32(self):
+        trend = timing_trend()
+        assert trend[-1]["prefetch"] == 32.0
+
+    def test_trc_improves_slowly(self):
+        trend = timing_trend()
+        assert trend[0]["trc_ns"] / trend[-1]["trc_ns"] < 2.0
+
+
+class TestFigure13:
+    def test_energy_per_bit_declines_monotonically(self, points):
+        energies = [point.energy_idd7_pj for point in points]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_early_reduction_factor(self, points):
+        # Paper: ≈1.5× per generation 170 → 44 nm (2000-2010).
+        early, _ = energy_reduction_factors(points)
+        assert 1.4 < early < 1.75
+
+    def test_late_reduction_factor_flattens(self, points):
+        # Paper: only ≈1.2× per generation in the forecast.
+        early, late = energy_reduction_factors(points)
+        assert 1.1 < late < 1.35
+        assert late < early
+
+    def test_die_areas_in_band(self, points):
+        # "the die area is between about 40 mm² and 60 mm²"; allow the
+        # spread real products showed.
+        for point in points:
+            assert 25 < point.die_area_mm2 < 95, point.node_nm
+
+    def test_idd4_energy_below_idd7(self, points):
+        # The Idd4 pattern omits row activation energy, so it must sit
+        # below the interleaved Idd7 figure.
+        for point in points:
+            assert point.energy_idd4_pj < point.energy_idd7_pj
+
+    def test_absolute_energy_scale(self, points):
+        by_node = {point.node_nm: point for point in points}
+        # DDR3-era devices land at tens of pJ/bit; the DDR5 forecast at
+        # a few pJ/bit.
+        assert 8 < by_node[55].energy_idd7_pj < 40
+        assert 1 < by_node[18].energy_idd7_pj < 8
+
+
+class TestPowerShift:
+    def test_shares_sum_to_one(self, points):
+        for point in points:
+            total = (point.row_power_share + point.column_power_share
+                     + point.background_power_share)
+            assert total == pytest.approx(1.0)
+
+    def test_row_share_falls_with_generation(self, points):
+        # §IV.B: power shifts from the activate/precharge (row) operation
+        # to read/write as bandwidth grows much faster than row rates.
+        first = points[0]
+        last = points[-1]
+        assert last.row_power_share < first.row_power_share
+
+    def test_array_component_share_falls(self, points):
+        # "the share of power usage is shifting away from the DRAM
+        # specific cell array circuitry to general logic" (§VI).
+        first = points[0]
+        last = points[-1]
+        assert last.array_component_share < first.array_component_share
+
+    def test_power_shift_report(self, points):
+        rows = power_shift(points)
+        assert len(rows) == len(points)
+        assert set(rows[0]) == {"node_nm", "row_share", "column_share",
+                                "background_share",
+                                "array_component_share"}
+
+
+class TestGenerationPointDetails:
+    def test_interfaces_in_order(self, points):
+        order = ["SDR", "DDR", "DDR2", "DDR3", "DDR4", "DDR5"]
+        seen = [point.interface for point in points]
+        indices = [order.index(name) for name in seen]
+        assert indices == sorted(indices)
+
+    def test_subset_of_nodes(self):
+        subset = generation_trend(node_list=[55, 18])
+        assert [point.node_nm for point in subset] == [55, 18]
+
+    def test_idd_currents_present(self, points):
+        for point in points:
+            assert point.idd0_ma > 0
+            assert point.idd4r_ma > 0

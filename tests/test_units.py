@@ -1,0 +1,159 @@
+"""Unit parsing/formatting tests, including hypothesis round trips."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    format_quantity,
+    milli,
+    parse_quantity,
+    parse_ratio,
+    pj_per_bit,
+)
+
+
+class TestParseQuantity:
+    def test_nanometres(self):
+        assert parse_quantity("165nm") == pytest.approx(165e-9)
+
+    def test_micrometres(self):
+        assert parse_quantity("3396um") == pytest.approx(3396e-6)
+
+    def test_micro_sign(self):
+        assert parse_quantity("2µm") == pytest.approx(2e-6)
+
+    def test_gigabit_per_second(self):
+        assert parse_quantity("1.6Gbps") == pytest.approx(1.6e9)
+
+    def test_megahertz(self):
+        assert parse_quantity("800MHz") == pytest.approx(800e6)
+
+    def test_femtofarad(self):
+        assert parse_quantity("25fF") == pytest.approx(25e-15)
+
+    def test_percent_returns_fraction(self):
+        assert parse_quantity("25%") == pytest.approx(0.25)
+
+    def test_plain_number(self):
+        assert parse_quantity("42") == 42.0
+
+    def test_plain_float(self):
+        assert parse_quantity("0.15") == pytest.approx(0.15)
+
+    def test_scientific_notation(self):
+        assert parse_quantity("2.5e-10") == pytest.approx(2.5e-10)
+
+    def test_scientific_with_unit(self):
+        assert parse_quantity("1e2nm") == pytest.approx(100e-9)
+
+    def test_capacitance_per_micron(self):
+        # 0.2 fF/um == 2e-10 F/m
+        assert parse_quantity("0.2fF/um") == pytest.approx(2e-10)
+
+    def test_volts(self):
+        assert parse_quantity("1.5V") == 1.5
+
+    def test_milliamp(self):
+        assert parse_quantity("4mA") == pytest.approx(4e-3)
+
+    def test_nanoseconds(self):
+        assert parse_quantity("50ns") == pytest.approx(50e-9)
+
+    def test_microseconds(self):
+        assert parse_quantity("7.8us") == pytest.approx(7.8e-6)
+
+    def test_negative_value(self):
+        assert parse_quantity("-3nm") == pytest.approx(-3e-9)
+
+    def test_numeric_passthrough(self):
+        assert parse_quantity(7) == 7.0
+        assert parse_quantity(1.5) == 1.5
+
+    def test_square_millimetres(self):
+        assert parse_quantity("60mm2") == pytest.approx(60e-6)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(UnitError):
+            parse_quantity("fast")
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(UnitError):
+            parse_quantity("3parsec")
+
+    def test_rejects_empty(self):
+        with pytest.raises(UnitError):
+            parse_quantity("")
+
+    def test_expected_unit_mismatch(self):
+        with pytest.raises(UnitError):
+            parse_quantity("3V", expect_unit="m")
+
+    def test_expected_unit_match(self):
+        assert parse_quantity("3nm", expect_unit="m") == pytest.approx(3e-9)
+
+    def test_expected_unit_allows_bare_number(self):
+        assert parse_quantity("3", expect_unit="m") == 3.0
+
+
+class TestParseRatio:
+    def test_one_to_eight(self):
+        assert parse_ratio("1:8") == 8.0
+
+    def test_two_to_eight(self):
+        assert parse_ratio("2:8") == 4.0
+
+    def test_plain_number(self):
+        assert parse_ratio("8") == 8.0
+
+    def test_numeric_passthrough(self):
+        assert parse_ratio(4) == 4.0
+
+    def test_rejects_zero_term(self):
+        with pytest.raises(UnitError):
+            parse_ratio("0:8")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(UnitError):
+            parse_ratio("a:b")
+
+
+class TestFormatQuantity:
+    def test_nanometres(self):
+        assert format_quantity(1.65e-7, "m") == "165nm"
+
+    def test_milliamps(self):
+        assert format_quantity(0.0786, "A") == "78.6mA"
+
+    def test_zero(self):
+        assert format_quantity(0.0, "V") == "0V"
+
+    def test_unity(self):
+        assert format_quantity(1.5, "V") == "1.5V"
+
+    def test_giga(self):
+        assert format_quantity(1.6e9, "bps") == "1.6Gbps"
+
+    def test_non_finite(self):
+        assert "inf" in format_quantity(math.inf, "W")
+
+    @given(st.floats(min_value=1e-15, max_value=1e12,
+                     allow_nan=False, allow_infinity=False))
+    def test_round_trip(self, value):
+        text = format_quantity(value, "m", digits=12)
+        assert parse_quantity(text) == pytest.approx(value, rel=1e-9)
+
+
+class TestHelpers:
+    def test_pj_per_bit_identity(self):
+        # 1 W at 1 Gb/s is 1000 pJ/bit == 1000 mW/Gbps.
+        assert pj_per_bit(1.0, 1e9) == pytest.approx(1000.0)
+
+    def test_pj_per_bit_rejects_zero_rate(self):
+        with pytest.raises(UnitError):
+            pj_per_bit(1.0, 0.0)
+
+    def test_milli(self):
+        assert milli(0.5) == 500.0

@@ -1,0 +1,100 @@
+"""Tests for the Figure 8/9 datasheet verification harness."""
+
+import pytest
+
+from repro.analysis import (
+    verification_report,
+    verify_ddr2,
+    verify_ddr3,
+)
+from repro.core.idd import IddMeasure
+
+
+@pytest.fixture(scope="module")
+def ddr2_rows():
+    return verify_ddr2()
+
+
+@pytest.fixture(scope="module")
+def ddr3_rows():
+    return verify_ddr3()
+
+
+class TestFigure8:
+    def test_covers_all_comparison_points(self, ddr2_rows):
+        assert len(ddr2_rows) == 36  # 3 measures × 4 rates × 3 widths
+
+    def test_model_close_to_datasheet_band(self, ddr2_rows):
+        # "The figures show good agreement": the large majority of points
+        # must fall inside the vendor spread widened by 25 % of the mean.
+        hits = sum(row.within_spread(0.25) for row in ddr2_rows)
+        assert hits >= 0.75 * len(ddr2_rows)
+
+    def test_no_wild_outliers(self, ddr2_rows):
+        for row in ddr2_rows:
+            assert 0.4 < row.ratio_to_mean < 2.0, row.label
+
+    def test_technology_nodes_modeled(self, ddr2_rows):
+        assert set(ddr2_rows[0].model_ma) == {90, 75, 65}
+
+
+class TestFigure9:
+    def test_covers_all_comparison_points(self, ddr3_rows):
+        assert len(ddr3_rows) == 36
+
+    def test_model_close_to_datasheet_band(self, ddr3_rows):
+        hits = sum(row.within_spread(0.25) for row in ddr3_rows)
+        assert hits >= 0.75 * len(ddr3_rows)
+
+    def test_two_technology_nodes_modeled(self, ddr3_rows):
+        assert set(ddr3_rows[0].model_ma) == {65, 55}
+
+
+class TestDependenciesDescribedCorrectly:
+    """Paper §IV.A: 'The dependency of current on operating frequency,
+    interface standard, I/O width and type of operation is described
+    correctly.'"""
+
+    def _model_value(self, rows, measure, rate, width):
+        for row in rows:
+            if (row.measure is measure and row.datarate == rate
+                    and row.io_width == width):
+                return row.best_model
+        raise AssertionError("comparison point missing")
+
+    def test_current_grows_with_datarate(self, ddr3_rows):
+        values = [self._model_value(ddr3_rows, IddMeasure.IDD4R, rate, 16)
+                  for rate in (800e6, 1066e6, 1333e6, 1600e6)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_current_grows_with_width(self, ddr3_rows):
+        values = [self._model_value(ddr3_rows, IddMeasure.IDD4R, 1333e6,
+                                    width) for width in (4, 8, 16)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_idd4_above_idd0_on_wide_parts(self, ddr3_rows):
+        idd0 = self._model_value(ddr3_rows, IddMeasure.IDD0, 1333e6, 16)
+        idd4 = self._model_value(ddr3_rows, IddMeasure.IDD4R, 1333e6, 16)
+        assert idd4 > idd0
+
+    def test_ddr3_below_ddr2_at_same_rate(self, ddr2_rows, ddr3_rows):
+        ddr2 = self._model_value(ddr2_rows, IddMeasure.IDD4R, 800e6, 16)
+        ddr3 = self._model_value(ddr3_rows, IddMeasure.IDD4R, 800e6, 16)
+        assert ddr3 < ddr2
+
+    def test_write_at_least_read(self, ddr3_rows):
+        read = self._model_value(ddr3_rows, IddMeasure.IDD4R, 1600e6, 16)
+        write = self._model_value(ddr3_rows, IddMeasure.IDD4W, 1600e6, 16)
+        assert write >= read
+
+
+class TestReport:
+    def test_report_renders(self, ddr3_rows):
+        text = verification_report(ddr3_rows, title="Figure 9")
+        assert "Figure 9" in text
+        assert "idd4r 1600 x16" in text
+        assert "model 65nm" in text
+
+    def test_report_rejects_empty(self):
+        with pytest.raises(ValueError):
+            verification_report([])

@@ -1,0 +1,106 @@
+"""Tests for the voltage-domain model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.description import Rail, VoltageSet
+from repro.errors import DescriptionError
+
+
+def ddr3_voltages():
+    return VoltageSet(vdd=1.5, vint=1.4, vbl=1.15, vpp=2.8,
+                      eff_vint=0.93, eff_vbl=0.77, eff_vpp=0.75)
+
+
+class TestValidation:
+    def test_accepts_typical_ddr3(self):
+        volts = ddr3_voltages()
+        assert volts.vpp > volts.vdd > volts.vbl
+
+    def test_rejects_vint_above_vdd(self):
+        with pytest.raises(DescriptionError):
+            VoltageSet(vdd=1.5, vint=1.8, vbl=1.2, vpp=2.8)
+
+    def test_rejects_vbl_above_vpp(self):
+        # The wordline boost must cover the full bitline level.
+        with pytest.raises(DescriptionError):
+            VoltageSet(vdd=1.5, vint=1.4, vbl=2.9, vpp=2.8)
+
+    def test_rejects_zero_voltage(self):
+        with pytest.raises(DescriptionError):
+            VoltageSet(vdd=0.0, vint=1.4, vbl=1.2, vpp=2.8)
+
+    def test_rejects_efficiency_above_one(self):
+        with pytest.raises(DescriptionError):
+            VoltageSet(vdd=1.5, vint=1.4, vbl=1.2, vpp=2.8, eff_vpp=1.2)
+
+    def test_rejects_zero_efficiency(self):
+        with pytest.raises(DescriptionError):
+            VoltageSet(vdd=1.5, vint=1.4, vbl=1.2, vpp=2.8, eff_vbl=0.0)
+
+
+class TestLevels:
+    def test_level_lookup(self):
+        volts = ddr3_voltages()
+        assert volts.level(Rail.VDD) == 1.5
+        assert volts.level(Rail.VINT) == 1.4
+        assert volts.level(Rail.VBL) == 1.15
+        assert volts.level(Rail.VPP) == 2.8
+
+    def test_level_accepts_string_rail(self):
+        assert ddr3_voltages().level("vpp") == 2.8
+
+    def test_efficiency_lookup(self):
+        volts = ddr3_voltages()
+        assert volts.efficiency(Rail.VDD) == 1.0
+        assert volts.efficiency(Rail.VPP) == 0.75
+
+
+class TestEnergyAccounting:
+    def test_vdd_rail_energy_is_qv(self):
+        volts = ddr3_voltages()
+        assert volts.vdd_energy(1e-9, Rail.VDD) == pytest.approx(1.5e-9)
+
+    def test_derived_rail_divides_by_efficiency(self):
+        volts = ddr3_voltages()
+        direct = 1e-9 * 2.8
+        assert volts.vdd_energy(1e-9, Rail.VPP) == pytest.approx(
+            direct / 0.75
+        )
+
+    def test_linear_regulator_identity(self):
+        # With eff = Vint/Vdd, the Vdd current equals the rail current —
+        # the defining property of a linear regulator.
+        volts = VoltageSet(vdd=1.5, vint=1.2, vbl=1.0, vpp=2.8,
+                           eff_vint=1.2 / 1.5)
+        charge_rate = 1e-3  # 1 mA at the rail
+        assert volts.vdd_current(charge_rate, Rail.VINT) == pytest.approx(
+            charge_rate
+        )
+
+    def test_pump_draws_double_current(self):
+        # An ideal voltage doubler at eff = Vpp/(2 Vdd) draws twice the
+        # delivered charge from Vdd.
+        volts = VoltageSet(vdd=1.5, vint=1.4, vbl=1.2, vpp=2.8,
+                           eff_vpp=2.8 / 3.0)
+        assert volts.vdd_current(1e-3, Rail.VPP) == pytest.approx(2e-3)
+
+    @given(st.floats(min_value=1e-12, max_value=1e-6))
+    def test_energy_linear_in_charge(self, charge):
+        volts = ddr3_voltages()
+        one = volts.vdd_energy(charge, Rail.VINT)
+        two = volts.vdd_energy(2 * charge, Rail.VINT)
+        assert two == pytest.approx(2 * one)
+
+
+class TestCopying:
+    def test_with_levels(self):
+        volts = ddr3_voltages().with_levels(vint=1.2)
+        assert volts.vint == 1.2
+        assert volts.vdd == 1.5
+
+    def test_as_dict(self):
+        data = ddr3_voltages().as_dict()
+        assert data["vpp"] == 2.8
+        assert data["eff_vpp"] == 0.75
+        assert len(data) == 7

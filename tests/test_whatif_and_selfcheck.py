@@ -1,0 +1,94 @@
+"""Tests for what-if sweeps and the model self-check."""
+
+import pytest
+
+from repro import DramPowerModel
+from repro.analysis.whatif import (
+    sensitivity_slope,
+    sweep_parameter,
+    sweep_report,
+)
+from repro.devices import build_device, generation_sweep
+from repro.errors import ModelError
+
+
+class TestSweep:
+    def test_monotone_capacitance_sweep(self, ddr3_device):
+        points = sweep_parameter(ddr3_device, "technology.c_bitline",
+                                 [0.5, 1.0, 1.5])
+        powers = [point.power for point in points]
+        assert powers == sorted(powers)
+        assert points[1].factor == 1.0
+
+    def test_values_scale(self, ddr3_device):
+        points = sweep_parameter(ddr3_device, "voltages.vint",
+                                 [0.9, 1.0])
+        assert points[0].value == pytest.approx(
+            0.9 * ddr3_device.voltages.vint)
+
+    def test_custom_evaluator(self, ddr3_device):
+        from repro.core.idd import idd4r
+        points = sweep_parameter(
+            ddr3_device, "technology.c_wire_signal", [1.0],
+            evaluate=lambda model: idd4r(model).power,
+        )
+        base = idd4r(DramPowerModel(ddr3_device))
+        assert points[0].power == pytest.approx(base.power.power)
+
+    def test_empty_factors_rejected(self, ddr3_device):
+        with pytest.raises(ModelError):
+            sweep_parameter(ddr3_device, "voltages.vint", [])
+
+    def test_non_numeric_path_rejected(self, ddr3_device):
+        with pytest.raises(ModelError):
+            sweep_parameter(ddr3_device, "name", [1.0])
+
+    def test_report_renders(self, ddr3_device):
+        points = sweep_parameter(ddr3_device, "technology.c_bitline",
+                                 [0.8, 1.0, 1.2])
+        text = sweep_report("technology.c_bitline", points, unit="F")
+        assert "technology.c_bitline" in text
+        assert "pJ/bit" in text
+
+
+class TestSlope:
+    def test_wire_cap_slope_fractional(self, ddr3_device):
+        slope = sensitivity_slope(ddr3_device,
+                                  "technology.c_wire_signal")
+        # Wire capacitance carries part of the power: slope strictly
+        # between 0 and 1.
+        assert 0.02 < slope < 0.6
+
+    def test_irrelevant_parameter_near_zero(self, ddr3_device):
+        slope = sensitivity_slope(ddr3_device,
+                                  "technology.w_blmux")
+        # The bitline-mux devices exist only on folded parts; the open
+        # 55 nm device barely notices them.
+        assert abs(slope) < 0.01
+
+    def test_slopes_sum_sanity(self, ddr3_device):
+        # Capacitance-ish slopes are each below the proportionality
+        # line.
+        for path in ("technology.c_bitline", "technology.c_cell"):
+            assert 0 <= sensitivity_slope(ddr3_device, path) < 1.0
+
+
+class TestSelfCheck:
+    def test_reference_device_clean(self, ddr3_model):
+        assert ddr3_model.self_check() == []
+
+    def test_whole_roadmap_clean(self):
+        for device in generation_sweep():
+            issues = DramPowerModel(device).self_check()
+            assert issues == [], device.name
+
+    def test_mobile_clean(self):
+        from repro.devices import build_mobile_device
+        assert DramPowerModel(build_mobile_device(55)).self_check() == []
+
+    def test_detects_broken_event(self, ddr3_device, ddr3_model):
+        broken = ddr3_model.events[0].scaled(
+            capacitance=float("nan"))
+        model = DramPowerModel(
+            ddr3_device, events=(broken,) + ddr3_model.events[1:])
+        assert model.self_check() != []

@@ -1,0 +1,143 @@
+"""Tests for the workload generators and the open-page scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DramPowerModel
+from repro.core.trace import evaluate_trace
+from repro.description import Command
+from repro.devices import build_device
+from repro.errors import ModelError
+from repro.workloads import (
+    OpenPageScheduler,
+    Request,
+    random_trace,
+    streaming_trace,
+    utilization_trace,
+)
+
+DEVICE = build_device(55)
+MODEL = DramPowerModel(DEVICE)
+
+
+class TestScheduler:
+    def test_single_request_sequence(self):
+        scheduler = OpenPageScheduler(DEVICE)
+        scheduler.add(Request(bank=0, row=3))
+        trace = scheduler.finalize()
+        commands = [entry.command for entry in trace]
+        assert commands == [Command.ACT, Command.RD, Command.PRE]
+
+    def test_row_hit_skips_activate(self):
+        scheduler = OpenPageScheduler(DEVICE)
+        scheduler.extend([Request(0, 3), Request(0, 3), Request(0, 3)])
+        trace = scheduler.finalize()
+        acts = [e for e in trace if e.command is Command.ACT]
+        reads = [e for e in trace if e.command is Command.RD]
+        assert len(acts) == 1
+        assert len(reads) == 3
+
+    def test_row_conflict_precharges(self):
+        scheduler = OpenPageScheduler(DEVICE)
+        scheduler.extend([Request(0, 3), Request(0, 4)])
+        trace = scheduler.finalize()
+        commands = [entry.command for entry in trace]
+        assert commands == [Command.ACT, Command.RD, Command.PRE,
+                            Command.ACT, Command.RD, Command.PRE]
+
+    def test_write_requests(self):
+        scheduler = OpenPageScheduler(DEVICE)
+        scheduler.add(Request(0, 1, is_write=True))
+        trace = scheduler.finalize()
+        assert any(entry.command is Command.WR for entry in trace)
+
+    def test_rejects_bad_bank(self):
+        scheduler = OpenPageScheduler(DEVICE)
+        with pytest.raises(ModelError):
+            scheduler.add(Request(bank=DEVICE.spec.banks, row=0))
+
+    def test_generated_trace_is_strictly_legal(self):
+        scheduler = OpenPageScheduler(DEVICE)
+        scheduler.extend(Request(bank=index % 8, row=index % 64)
+                         for index in range(200))
+        trace = scheduler.finalize()
+        result = evaluate_trace(MODEL, trace, strict=True)
+        assert result.counts[Command.RD] == 200
+
+
+class TestStreamingTrace:
+    def test_high_row_hit_rate(self):
+        result = evaluate_trace(MODEL, streaming_trace(DEVICE, 1000))
+        assert result.row_hit_rate > 0.9
+
+    def test_near_peak_bandwidth(self):
+        result = evaluate_trace(MODEL, streaming_trace(DEVICE, 2000))
+        bandwidth = result.data_bits / result.duration
+        assert bandwidth > 0.8 * DEVICE.spec.peak_bandwidth
+
+    def test_write_mix(self):
+        trace = streaming_trace(DEVICE, 100, read_fraction=0.5)
+        writes = sum(1 for e in trace if e.command is Command.WR)
+        reads = sum(1 for e in trace if e.command is Command.RD)
+        assert writes == pytest.approx(reads, abs=2)
+
+    def test_banks_used_limits_fanout(self):
+        trace = streaming_trace(DEVICE, 600, banks_used=2)
+        banks = {entry.bank for entry in trace}
+        assert banks <= {0, 1}
+
+    def test_rejects_zero_accesses(self):
+        with pytest.raises(ModelError):
+            streaming_trace(DEVICE, 0)
+
+
+class TestRandomTrace:
+    def test_hit_rate_tracks_target(self):
+        for target in (0.2, 0.8):
+            result = evaluate_trace(
+                MODEL, random_trace(DEVICE, 3000, row_hit_rate=target))
+            assert result.row_hit_rate == pytest.approx(target, abs=0.08)
+
+    def test_deterministic_per_seed(self):
+        first = random_trace(DEVICE, 200, seed=7)
+        second = random_trace(DEVICE, 200, seed=7)
+        assert first == second
+        different = random_trace(DEVICE, 200, seed=8)
+        assert different != first
+
+    def test_energy_per_bit_rises_as_locality_falls(self):
+        high = evaluate_trace(
+            MODEL, random_trace(DEVICE, 2000, row_hit_rate=0.9))
+        low = evaluate_trace(
+            MODEL, random_trace(DEVICE, 2000, row_hit_rate=0.1))
+        assert low.energy_per_bit > 1.5 * high.energy_per_bit
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelError):
+            random_trace(DEVICE, 10, row_hit_rate=1.5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=400),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=100))
+    def test_generated_traces_always_legal(self, accesses, hit_rate,
+                                           seed):
+        trace = random_trace(DEVICE, accesses, row_hit_rate=hit_rate,
+                             seed=seed)
+        result = evaluate_trace(MODEL, trace, strict=True)
+        assert result.counts[Command.RD] + result.counts[Command.WR] \
+            == accesses
+
+
+class TestUtilizationTrace:
+    def test_access_count_scales_with_utilization(self):
+        low = utilization_trace(DEVICE, 10e-6, 0.1)
+        high = utilization_trace(DEVICE, 10e-6, 0.8)
+        def accesses(trace):
+            return sum(1 for e in trace
+                       if e.command in (Command.RD, Command.WR))
+        assert accesses(high) > 4 * accesses(low)
+
+    def test_rejects_zero_utilization(self):
+        with pytest.raises(ModelError):
+            utilization_trace(DEVICE, 1e-6, 0.0)

@@ -1,0 +1,92 @@
+"""Tests for the tWR / tRTP protocol constraints."""
+
+import pytest
+
+from repro.core.trace import TraceCommand, TraceError, evaluate_trace
+from repro.description import Command
+from repro.errors import DescriptionError
+from repro.workloads import OpenPageScheduler, Request
+
+
+class TestChecker:
+    def test_twr_violation_detected(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        spec = ddr3_model.device.spec
+        burst = spec.burst_length / spec.datarate
+        # A late write, so tRAS is already satisfied and only the write
+        # recovery gates the precharge.
+        write_time = timing.tras
+        trace = [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(write_time, Command.WR, bank=0),
+            TraceCommand(write_time + burst + timing.twr * 0.5,
+                         Command.PRE, bank=0),
+        ]
+        with pytest.raises(TraceError, match="tWR"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_twr_respected_is_legal(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        spec = ddr3_model.device.spec
+        burst = spec.burst_length / spec.datarate
+        write_time = timing.trcd
+        trace = [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(write_time, Command.WR, bank=0),
+            TraceCommand(max(write_time + burst + timing.twr,
+                             timing.tras),
+                         Command.PRE, bank=0),
+        ]
+        result = evaluate_trace(ddr3_model, trace)
+        assert result.counts[Command.WR] == 1
+
+    def test_trtp_violation_detected(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        late_read = timing.tras - timing.trtp * 0.5
+        trace = [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(late_read, Command.RD, bank=0),
+            TraceCommand(timing.tras, Command.PRE, bank=0),
+        ]
+        with pytest.raises(TraceError, match="tRTP"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_lenient_mode_still_prices(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(0.0, Command.ACT, bank=0),
+            TraceCommand(timing.trcd, Command.WR, bank=0),
+            TraceCommand(timing.trcd + 1e-9, Command.PRE, bank=0),
+        ]
+        result = evaluate_trace(ddr3_model, trace, strict=False)
+        assert result.counts[Command.PRE] == 1
+
+
+class TestSchedulerRespectsRecovery:
+    def test_write_then_conflict_waits_for_twr(self, ddr3_device):
+        timing = ddr3_device.timing
+        spec = ddr3_device.spec
+        scheduler = OpenPageScheduler(ddr3_device)
+        scheduler.add(Request(bank=0, row=1, is_write=True))
+        scheduler.add(Request(bank=0, row=2))  # row conflict
+        trace = scheduler.finalize()
+        write = [e for e in trace if e.command is Command.WR][0]
+        precharge = [e for e in trace if e.command is Command.PRE][0]
+        burst = spec.burst_length / spec.datarate
+        assert precharge.time >= write.time + burst + timing.twr \
+            - 1e-12
+
+    def test_write_heavy_closed_page_legal(self, ddr3_device,
+                                           ddr3_model):
+        scheduler = OpenPageScheduler(ddr3_device, policy="closed")
+        scheduler.extend(Request(bank=index % 8, row=index,
+                                 is_write=True)
+                         for index in range(60))
+        result = evaluate_trace(ddr3_model, scheduler.finalize(),
+                                strict=True)
+        assert result.counts[Command.WR] == 60
+
+    def test_timing_validation(self):
+        from repro.description import TimingParameters
+        with pytest.raises(DescriptionError):
+            TimingParameters(trc=50e-9, twr=0.0)
