@@ -17,11 +17,11 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
-from ..core import DramPowerModel
 from ..core.idd import IddMeasure, measure as run_measure
 from ..description import DramDescription
+from ..engine import EvaluationSession, ensure_session
 from ..errors import ModelError
 
 #: Blocks whose gate counts are considered free fit parameters.
@@ -81,8 +81,9 @@ def _apply_scales(device: DramDescription,
 
 
 def _error(device: DramDescription,
-           targets: Sequence[CalibrationTarget]) -> float:
-    model = DramPowerModel(device)
+           targets: Sequence[CalibrationTarget],
+           session: EvaluationSession) -> float:
+    model = session.model(device)
     total = 0.0
     weight_sum = 0.0
     for target in targets:
@@ -98,7 +99,8 @@ def calibrate_logic(device: DramDescription,
                     blocks: Sequence[str] = DEFAULT_FIT_BLOCKS,
                     iterations: int = 20,
                     initial_step: float = 0.5,
-                    bounds: Tuple[float, float] = (0.2, 5.0)
+                    bounds: Tuple[float, float] = (0.2, 5.0),
+                    session: Optional[EvaluationSession] = None
                     ) -> CalibrationResult:
     """Fit the gate counts of ``blocks`` to the IDD ``targets``.
 
@@ -107,18 +109,21 @@ def calibrate_logic(device: DramDescription,
     step and keeps improvements; the step halves whenever a full sweep
     makes no progress.  Multipliers are clamped to ``bounds`` — a fit
     wanting more than 5× the starting gate count indicates the
-    description, not the periphery, is wrong.
+    description, not the periphery, is wrong.  The descent revisits
+    coordinates as the step shrinks, so routing every point through a
+    ``session`` model cache removes the repeated rebuilds.
     """
     targets = list(targets)
     if not targets:
         raise ModelError("calibration needs at least one target")
+    session = ensure_session(session)
     names = [name for name in blocks
              if any(block.name == name for block in device.logic_blocks)]
     if not names:
         raise ModelError("no fit blocks present on the device")
 
     scales: Dict[str, float] = {name: 1.0 for name in names}
-    initial = _error(device, targets)
+    initial = _error(device, targets, session)
     best = initial
     step = initial_step
     low, high = bounds
@@ -132,7 +137,8 @@ def calibrate_logic(device: DramDescription,
                                                 scales[name] * factor))
                 if candidate[name] == scales[name]:
                     continue
-                error = _error(_apply_scales(device, candidate), targets)
+                error = _error(_apply_scales(device, candidate),
+                               targets, session)
                 if error < best - 1e-12:
                     best = error
                     scales = candidate
@@ -143,7 +149,7 @@ def calibrate_logic(device: DramDescription,
                 break
 
     fitted = _apply_scales(device, scales)
-    model = DramPowerModel(fitted)
+    model = session.model(fitted)
     residuals = {
         target.measure:
             run_measure(model, target.measure).milliamps

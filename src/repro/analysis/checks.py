@@ -12,10 +12,10 @@ studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..description import DramDescription
-from ..floorplan import FloorplanGeometry
+from ..engine import EvaluationSession, ensure_session
 
 #: Feasibility bands (paper §II and §IV.C), with engineering slack.
 SA_STRIPE_BAND = (0.05, 0.22)
@@ -55,9 +55,15 @@ def _banded(check: str, value: float, band, unit: str,
                        value=value)
 
 
-def check_device(device: DramDescription) -> List[CheckResult]:
-    """Run all feasibility checks; returns one result per check."""
-    geometry = FloorplanGeometry(device)
+def check_device(device: DramDescription,
+                 session: Optional[EvaluationSession] = None
+                 ) -> List[CheckResult]:
+    """Run all feasibility checks; returns one result per check.
+
+    The floorplan geometry comes from the session's cached model, so
+    a checker that follows an evaluation pays nothing extra.
+    """
+    geometry = ensure_session(session).model(device).geometry
     results = [
         _banded("sa_stripe_share", geometry.sa_stripe_share,
                 SA_STRIPE_BAND, "",
@@ -104,6 +110,8 @@ def check_device(device: DramDescription) -> List[CheckResult]:
     return results
 
 
-def is_feasible(device: DramDescription) -> bool:
+def is_feasible(device: DramDescription,
+                session: Optional[EvaluationSession] = None) -> bool:
     """True when no check raises a warning or error."""
-    return all(result.is_ok for result in check_device(device))
+    return all(result.is_ok
+               for result in check_device(device, session=session))

@@ -8,11 +8,11 @@ than another.  Used by the CLI ``compare`` command.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from ..core import DramPowerModel
 from ..core.idd import standard_idd_suite
 from ..description import DramDescription
+from ..engine import EvaluationSession, ensure_session
 from .reporting import format_table
 
 
@@ -71,8 +71,10 @@ def diff_devices(left: DramDescription,
 
 
 def compare_report(left: DramDescription,
-                   right: DramDescription) -> str:
+                   right: DramDescription,
+                   session: Optional[EvaluationSession] = None) -> str:
     """Render the parameter diff plus the IDD comparison."""
+    session = ensure_session(session)
     sections: List[str] = []
     diffs = diff_devices(left, right)
     if diffs:
@@ -90,8 +92,8 @@ def compare_report(left: DramDescription,
         sections.append("The descriptions are parameter-identical.")
     sections.append("")
 
-    left_suite = standard_idd_suite(DramPowerModel(left))
-    right_suite = standard_idd_suite(DramPowerModel(right))
+    left_suite = standard_idd_suite(session.model(left))
+    right_suite = standard_idd_suite(session.model(right))
     rows = []
     for measure in left_suite:
         left_ma = left_suite[measure].milliamps

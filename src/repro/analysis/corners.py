@@ -12,11 +12,11 @@ design would show across process and design variation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core import DramPowerModel
 from ..core.idd import IddMeasure, measure as run_measure
 from ..description import DramDescription
+from ..engine import EvaluationSession, Variant, ensure_session
 from ..errors import ModelError
 
 #: Parameter groups perturbed together by a corner.
@@ -45,16 +45,20 @@ class Corner:
     device: float = 1.0
     voltage: float = 1.0
 
-    def apply(self, device: DramDescription) -> DramDescription:
-        """Return the device shifted to this corner."""
+    def variant(self) -> Variant:
+        """The corner as an engine :class:`Variant` (deltas only)."""
+        variant = Variant(label=self.name)
         for group, factor in (("capacitance", self.capacitance),
                               ("device", self.device),
                               ("voltage", self.voltage)):
             if factor == 1.0:
                 continue
-            for path in _GROUP_PATHS[group]:
-                device = device.scale_path(path, factor)
-        return device
+            variant = variant.scaled_paths(_GROUP_PATHS[group], factor)
+        return variant
+
+    def apply(self, device: DramDescription) -> DramDescription:
+        """Return the device shifted to this corner."""
+        return self.variant().apply(device)
 
 
 #: The standard three-corner set: a fast/lean design, the typical one,
@@ -108,22 +112,29 @@ def corner_sweep(device: DramDescription,
                      IddMeasure.IDD0, IddMeasure.IDD2N,
                      IddMeasure.IDD4R, IddMeasure.IDD4W,
                  ),
-                 corners: Iterable[Corner] = STANDARD_CORNERS
-                 ) -> List[CornerBand]:
-    """Evaluate the IDD measures at every corner."""
+                 corners: Iterable[Corner] = STANDARD_CORNERS,
+                 session: Optional[EvaluationSession] = None,
+                 jobs: Optional[int] = None) -> List[CornerBand]:
+    """Evaluate the IDD measures at every corner.
+
+    Models route through ``session``; ``jobs`` builds the corner
+    models on a thread pool (results are order-stable).
+    """
     corners = list(corners)
     if not corners:
         raise ModelError("corner sweep needs at least one corner")
-    models: Mapping[str, DramPowerModel] = {
-        corner.name: DramPowerModel(corner.apply(device))
-        for corner in corners
-    }
+    session = ensure_session(session)
+    measures = [IddMeasure(which) for which in measures]
+    corner_devices = [corner.apply(device) for corner in corners]
+    per_corner = session.map(
+        corner_devices,
+        lambda model: {which: run_measure(model, which).milliamps
+                       for which in measures},
+        jobs=jobs,
+    )
     bands = []
     for which in measures:
-        values = {
-            name: run_measure(model, which).milliamps
-            for name, model in models.items()
-        }
-        bands.append(CornerBand(measure=IddMeasure(which),
-                                values_ma=values))
+        values = {corner.name: series[which]
+                  for corner, series in zip(corners, per_corner)}
+        bands.append(CornerBand(measure=which, values_ma=values))
     return bands

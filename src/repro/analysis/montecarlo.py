@@ -14,11 +14,11 @@ import math
 import random
 import statistics
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core import DramPowerModel
 from ..core.idd import IddMeasure, measure as run_measure
 from ..description import DramDescription
+from ..engine import EvaluationSession, Variant, ensure_session
 from ..errors import ModelError
 
 #: Relative 1-sigma variation per parameter group (fractions).
@@ -91,16 +91,18 @@ class Distribution:
         return self.percentile(0.95) / mean
 
 
-def _sample_device(device: DramDescription, rng: random.Random,
-                   sigmas: Dict[str, float]) -> DramDescription:
+def _sample_variant(rng: random.Random,
+                    sigmas: Dict[str, float]) -> Variant:
+    """One random draw of the variation space as an engine variant."""
+    variant = Variant()
     for group, paths in _GROUP_PATHS.items():
         sigma = sigmas.get(group, 0.0)
         if sigma <= 0:
             continue
         for path in paths:
             factor = math.exp(rng.gauss(0.0, sigma))
-            device = device.scale_path(path, factor)
-    return device
+            variant = variant.scaled(path, factor)
+    return variant
 
 
 def monte_carlo(device: DramDescription,
@@ -109,20 +111,30 @@ def monte_carlo(device: DramDescription,
                 ),
                 samples: int = 50,
                 sigmas: Dict[str, float] = None,
-                seed: int = 1) -> List[Distribution]:
-    """Sample the variation space and summarise the IDD distributions."""
+                seed: int = 1,
+                session: Optional[EvaluationSession] = None,
+                jobs: Optional[int] = None) -> List[Distribution]:
+    """Sample the variation space and summarise the IDD distributions.
+
+    The random draws depend only on ``seed``; models route through
+    ``session`` and may be built on ``jobs`` threads — the summaries
+    are identical either way.
+    """
     if samples <= 0:
         raise ModelError("samples must be positive")
     sigmas = dict(DEFAULT_SIGMAS if sigmas is None else sigmas)
     rng = random.Random(seed)
+    session = ensure_session(session)
     measures = [IddMeasure(which) for which in measures]
-    collected: Dict[IddMeasure, List[float]] = {which: []
-                                                for which in measures}
-    for _ in range(samples):
-        sampled = _sample_device(device, rng, sigmas)
-        model = DramPowerModel(sampled)
-        for which in measures:
-            collected[which].append(
-                run_measure(model, which).milliamps)
-    return [Distribution(measure=which, samples=tuple(values))
-            for which, values in collected.items()]
+    devices = [_sample_variant(rng, sigmas).apply(device)
+               for _ in range(samples)]
+    per_sample = session.map(
+        devices,
+        lambda model: [run_measure(model, which).milliamps
+                       for which in measures],
+        jobs=jobs,
+    )
+    return [Distribution(measure=which,
+                         samples=tuple(series[index]
+                                       for series in per_sample))
+            for index, which in enumerate(measures)]

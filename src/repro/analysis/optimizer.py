@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..core import DramPowerModel
 from ..core.idd import idd7_mixed
 from ..description import DramDescription
+from ..engine import EvaluationSession, ensure_session
 from ..errors import ModelError
 from .checks import check_device
 from .reporting import format_table
@@ -117,19 +117,22 @@ class DesignPoint:
 
 def explore_design_space(device: DramDescription,
                          space: Sequence[DesignChoice] = DEFAULT_SPACE,
-                         evaluate=None) -> List[DesignPoint]:
+                         evaluate=None,
+                         session: Optional[EvaluationSession] = None
+                         ) -> List[DesignPoint]:
     """Enumerate and rank the full design space (feasible first)."""
     evaluate = evaluate or idd7_mixed
+    session = ensure_session(session)
     points: List[DesignPoint] = []
 
     def recurse(index: int, current: DramDescription,
                 labels: Dict[str, str]) -> None:
         if index == len(space):
             try:
-                result = evaluate(DramPowerModel(current))
+                result = evaluate(session.model(current))
             except Exception:
                 return
-            findings = check_device(current)
+            findings = check_device(current, session=session)
             warnings = sum(1 for finding in findings
                            if not finding.is_ok)
             points.append(DesignPoint(
@@ -159,10 +162,11 @@ def explore_design_space(device: DramDescription,
 
 
 def best_design(device: DramDescription,
-                space: Sequence[DesignChoice] = DEFAULT_SPACE
+                space: Sequence[DesignChoice] = DEFAULT_SPACE,
+                session: Optional[EvaluationSession] = None
                 ) -> DesignPoint:
     """The lowest-energy feasible point (falls back to overall best)."""
-    points = explore_design_space(device, space)
+    points = explore_design_space(device, space, session=session)
     for point in points:
         if point.feasible:
             return point

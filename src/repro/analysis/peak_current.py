@@ -16,11 +16,23 @@ figure a power-grid designer would size for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..core import DramPowerModel
 from ..core.operations import command_activity_time, firings_per_command
-from ..description import Command, Rail
+from ..description import Command, DramDescription, Rail
+from ..engine import EvaluationSession, ensure_session
+
+ModelOrDevice = Union[DramPowerModel, DramDescription]
+
+
+def _as_model(target: ModelOrDevice,
+              session: Optional[EvaluationSession] = None
+              ) -> DramPowerModel:
+    """Accept a built model or a description (routed via the engine)."""
+    if isinstance(target, DramPowerModel):
+        return target
+    return ensure_session(session).model(target)
 
 #: Charge-delivery windows as fractions of the operation duration:
 #: sensing dumps the bitline charge in roughly a third of tRCD-ish time,
@@ -56,8 +68,15 @@ class PeakCurrent:
         return max(self.rail_currents, key=self.rail_currents.get)
 
 
-def peak_current(model: DramPowerModel, command: Command) -> PeakCurrent:
-    """Estimate the peak rail currents of one command occurrence."""
+def peak_current(model: ModelOrDevice, command: Command,
+                 session: Optional[EvaluationSession] = None
+                 ) -> PeakCurrent:
+    """Estimate the peak rail currents of one command occurrence.
+
+    ``model`` may be a built :class:`DramPowerModel` or a plain
+    description; descriptions are built through ``session``.
+    """
+    model = _as_model(model, session)
     command = Command(command)
     window = _operation_window(model, command)
     rail_charge: Dict[Rail, float] = {rail: 0.0 for rail in Rail}
@@ -83,18 +102,23 @@ def peak_current(model: DramPowerModel, command: Command) -> PeakCurrent:
                        vdd_current=vdd_total)
 
 
-def peak_current_table(model: DramPowerModel,
+def peak_current_table(model: ModelOrDevice,
                        commands: Iterable[Command] = (
                            Command.ACT, Command.PRE, Command.RD,
                            Command.WR,
-                       )) -> List[PeakCurrent]:
+                       ),
+                       session: Optional[EvaluationSession] = None
+                       ) -> List[PeakCurrent]:
     """Peak currents for each command, worst first."""
+    model = _as_model(model, session)
     results = [peak_current(model, command) for command in commands]
     results.sort(key=lambda result: -result.vdd_current)
     return results
 
 
-def peak_to_average_ratio(model: DramPowerModel) -> float:
+def peak_to_average_ratio(model: ModelOrDevice,
+                          session: Optional[EvaluationSession] = None
+                          ) -> float:
     """Peak activate Vdd current over the IDD0 average current.
 
     The activate dumps its bitline charge in a fraction of the row
@@ -104,6 +128,7 @@ def peak_to_average_ratio(model: DramPowerModel) -> float:
     """
     from ..core.idd import idd0
 
+    model = _as_model(model, session)
     peak = peak_current(model, Command.ACT).vdd_current
     average = idd0(model).current
     return peak / average

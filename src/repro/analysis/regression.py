@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..core import DramPowerModel
 from ..core.idd import standard_idd_suite
 from ..devices import ddr3_2g_55nm, sensitivity_trio
+from ..engine import EvaluationSession, ensure_session
 from ..errors import ModelError
 
 PathLike = Union[str, Path]
@@ -24,16 +24,23 @@ PathLike = Union[str, Path]
 DEFAULT_TOLERANCE = 0.02
 
 
-def collect_metrics() -> Dict[str, float]:
-    """All headline figures of the calibrated model."""
+def collect_metrics(session: Optional[EvaluationSession] = None
+                    ) -> Dict[str, float]:
+    """All headline figures of the calibrated model.
+
+    One shared :class:`EvaluationSession` carries every sub-analysis,
+    so recurring devices (the reference DDR3, the trend nodes) are
+    built exactly once across the whole collection.
+    """
     from .sensitivity import sensitivity
     from .trends import energy_reduction_factors, generation_trend
     from .verification import verify_ddr2, verify_ddr3
 
+    session = ensure_session(session)
     metrics: Dict[str, float] = {}
 
     device = ddr3_2g_55nm()
-    model = DramPowerModel(device)
+    model = session.model(device)
     for measure, result in standard_idd_suite(model).items():
         metrics[f"ddr3_55nm.{measure.value}_ma"] = round(
             result.milliamps, 3)
@@ -42,7 +49,7 @@ def collect_metrics() -> Dict[str, float]:
     metrics["ddr3_55nm.array_efficiency"] = round(
         model.geometry.array_efficiency, 4)
 
-    points = generation_trend()
+    points = generation_trend(session=session)
     early, late = energy_reduction_factors(points)
     metrics["trend.reduction_early"] = round(early, 4)
     metrics["trend.reduction_late"] = round(late, 4)
@@ -51,29 +58,33 @@ def collect_metrics() -> Dict[str, float]:
         metrics[f"trend.pj_per_bit_{node:g}nm"] = round(
             by_node[node].energy_idd7_pj, 3)
 
-    for name, rows in (("ddr2", verify_ddr2()), ("ddr3", verify_ddr3())):
+    for name, rows in (("ddr2", verify_ddr2(session=session)),
+                       ("ddr3", verify_ddr3(session=session))):
         hits = sum(row.within_spread(0.25) for row in rows)
         metrics[f"verify.{name}_hits"] = float(hits)
 
     for dev in sensitivity_trio():
-        top = sensitivity(dev)[0]
+        top = sensitivity(dev, session=session)[0]
         metrics[f"sensitivity.{dev.interface}_top_impact"] = round(
             top.impact, 4)
 
     return metrics
 
 
-def save_baseline(path: PathLike) -> Path:
+def save_baseline(path: PathLike,
+                  session: Optional[EvaluationSession] = None) -> Path:
     """Write the current metrics as the regression baseline."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(collect_metrics(), handle, indent=2, sort_keys=True)
+        json.dump(collect_metrics(session), handle, indent=2,
+                  sort_keys=True)
     return path
 
 
 def compare_to_baseline(path: PathLike,
-                        tolerance: float = DEFAULT_TOLERANCE
+                        tolerance: float = DEFAULT_TOLERANCE,
+                        session: Optional[EvaluationSession] = None
                         ) -> List[Tuple[str, float, float]]:
     """Diff current metrics against a baseline file.
 
@@ -86,7 +97,7 @@ def compare_to_baseline(path: PathLike,
         raise ModelError(f"no baseline at {path}")
     with open(path, encoding="utf-8") as handle:
         baseline: Dict[str, float] = json.load(handle)
-    current = collect_metrics()
+    current = collect_metrics(session)
     deviations: List[Tuple[str, float, float]] = []
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:

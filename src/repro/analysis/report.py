@@ -7,11 +7,11 @@ document — the complete paper reproduction at a glance, used by the CLI
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from ..core import DramPowerModel
 from ..core.idd import standard_idd_suite
 from ..devices import ddr3_2g_55nm, sensitivity_trio
+from ..engine import EvaluationSession, ensure_session
 from ..schemes import compare_schemes, scheme_report
 from .charts import bar_chart, line_chart
 from .reporting import format_table
@@ -24,8 +24,13 @@ from .trends import (
 from .verification import verification_report, verify_ddr2, verify_ddr3
 
 
-def generate_report() -> str:
-    """Run everything and render the reproduction report."""
+def generate_report(session: Optional[EvaluationSession] = None) -> str:
+    """Run everything and render the reproduction report.
+
+    One shared engine session carries every experiment, so the
+    reference device and the trend nodes are each built once.
+    """
+    session = ensure_session(session)
     sections: List[str] = []
     out = sections.append
 
@@ -36,7 +41,7 @@ def generate_report() -> str:
 
     # --- headline device ------------------------------------------------
     device = ddr3_2g_55nm()
-    model = DramPowerModel(device)
+    model = session.model(device)
     out(format_table(
         ["measure", "mA"],
         [[result.measure.value, round(result.milliamps, 1)]
@@ -46,8 +51,8 @@ def generate_report() -> str:
     out("")
 
     # --- verification ----------------------------------------------------
-    ddr2_rows = verify_ddr2()
-    ddr3_rows = verify_ddr3()
+    ddr2_rows = verify_ddr2(session=session)
+    ddr3_rows = verify_ddr3(session=session)
     out(verification_report(ddr2_rows,
                             title="Figure 8 - 1G DDR2 vs datasheets (mA)"))
     out("")
@@ -60,7 +65,7 @@ def generate_report() -> str:
     out("")
 
     # --- sensitivity ------------------------------------------------------
-    results = sensitivity(device)
+    results = sensitivity(device, session=session)
     out(bar_chart(
         [result.name for result in results],
         [result.impact * 100 for result in results],
@@ -69,7 +74,9 @@ def generate_report() -> str:
         unit="%",
     ))
     out("")
-    rankings = {d.interface: [r.name for r in sensitivity(d)[:10]]
+    rankings = {d.interface:
+                [r.name for r in
+                 sensitivity(d, session=session)[:10]]
                 for d in sensitivity_trio()}
     out(format_table(
         ["#", "SDR 170nm", "DDR3 55nm", "DDR5 18nm"],
@@ -80,7 +87,7 @@ def generate_report() -> str:
     out("")
 
     # --- trends -------------------------------------------------------------
-    points = generation_trend()
+    points = generation_trend(session=session)
     out(line_chart(
         [point.node_nm for point in points],
         [point.energy_idd7_pj for point in points],
@@ -102,7 +109,7 @@ def generate_report() -> str:
     out("")
 
     # --- schemes ---------------------------------------------------------------
-    out(scheme_report(compare_schemes(device),
+    out(scheme_report(compare_schemes(device, session=session),
                       title=f"Section V - schemes on {device.name}"))
     out("")
     return "\n".join(sections)

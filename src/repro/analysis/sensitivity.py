@@ -14,37 +14,25 @@ demonstrates it separately.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..description import DramDescription
-from ..core import DramPowerModel
 from ..core.idd import idd7_mixed
+from ..engine import EvaluationSession, Variant, ensure_session, scaling
 
 
 def _scale_paths(paths: Sequence[str]) -> Callable[[DramDescription, float],
                                                    DramDescription]:
     def apply(device: DramDescription, factor: float) -> DramDescription:
-        for path in paths:
-            device = device.scale_path(path, factor)
-        return device
+        return scaling(paths, factor).apply(device)
     return apply
 
 
 def _scale_logic(field: str) -> Callable[[DramDescription, float],
                                          DramDescription]:
     def apply(device: DramDescription, factor: float) -> DramDescription:
-        blocks = []
-        for block in device.logic_blocks:
-            value = getattr(block, field)
-            scaled = value * factor
-            if field == "n_gates":
-                scaled = max(1, int(round(scaled)))
-            if field in ("layout_density", "wiring_density", "toggle"):
-                scaled = min(1.0, scaled)
-            blocks.append(dataclasses.replace(block, **{field: scaled}))
-        return device.evolve(logic_blocks=tuple(blocks))
+        return Variant().scaled_logic(field, factor).apply(device)
     return apply
 
 
@@ -190,44 +178,58 @@ class SensitivityResult:
         return abs(self.impact)
 
 
-def _pattern_power(device: DramDescription) -> float:
-    return idd7_mixed(DramPowerModel(device)).power
+def _pattern_power(device: DramDescription,
+                   session: Optional[EvaluationSession] = None) -> float:
+    return idd7_mixed(ensure_session(session).model(device)).power
 
 
 def sensitivity(device: DramDescription, variation: float = 0.2,
-                parameters: Sequence[SensitivityParameter] = PARAMETERS
-                ) -> List[SensitivityResult]:
+                parameters: Sequence[SensitivityParameter] = PARAMETERS,
+                session: Optional[EvaluationSession] = None,
+                jobs: Optional[int] = None) -> List[SensitivityResult]:
     """The Figure 10 study: vary each parameter ±``variation``.
 
-    Returns results sorted by impact magnitude, largest first.
+    Returns results sorted by impact magnitude, largest first.  All
+    device models route through ``session`` (a private one when
+    omitted); ``jobs`` evaluates the variants on a thread pool with
+    results identical to the serial run.
     """
     if not 0.0 < variation < 1.0:
         raise ValueError("variation must be a fraction in (0, 1)")
-    base = _pattern_power(device)
-    results = []
+    session = ensure_session(session)
+    devices = [device]
     for parameter in parameters:
-        low = _pattern_power(parameter.apply(device, 1.0 - variation))
-        high = _pattern_power(parameter.apply(device, 1.0 + variation))
+        devices.append(parameter.apply(device, 1.0 - variation))
+        devices.append(parameter.apply(device, 1.0 + variation))
+    powers = session.map(
+        devices, lambda model: idd7_mixed(model).power, jobs=jobs)
+    base = powers[0]
+    results = []
+    for index, parameter in enumerate(parameters):
         results.append(SensitivityResult(
             name=parameter.name,
             group=parameter.group,
             power_base=base,
-            power_low=low,
-            power_high=high,
+            power_low=powers[1 + 2 * index],
+            power_high=powers[2 + 2 * index],
         ))
     results.sort(key=lambda result: -result.magnitude)
     return results
 
 
 def top_ranking(device: DramDescription, count: int = 10,
-                variation: float = 0.2) -> List[str]:
+                variation: float = 0.2,
+                session: Optional[EvaluationSession] = None) -> List[str]:
     """The Table III column for one device: top-N parameter names."""
     return [result.name
-            for result in sensitivity(device, variation)[:count]]
+            for result in sensitivity(device, variation,
+                                      session=session)[:count]]
 
 
 def external_voltage_proportionality(device: DramDescription,
-                                     factor: float = 1.2) -> float:
+                                     factor: float = 1.2,
+                                     session: Optional[EvaluationSession]
+                                     = None) -> float:
     """Relative power change when Vdd scales by ``factor``.
 
     The generators hold a fixed *current* ratio between Vdd and each
@@ -237,7 +239,8 @@ def external_voltage_proportionality(device: DramDescription,
     """
     if factor <= 1.0:
         raise ValueError("factor must exceed 1 (efficiencies stay valid)")
-    base = _pattern_power(device)
+    session = ensure_session(session)
+    base = _pattern_power(device, session)
     volts = device.voltages
     scaled = volts.with_levels(
         vdd=volts.vdd * factor,
@@ -246,5 +249,5 @@ def external_voltage_proportionality(device: DramDescription,
         eff_vbl=volts.eff_vbl / factor,
         eff_vpp=volts.eff_vpp / factor,
     )
-    high = _pattern_power(device.evolve(voltages=scaled))
+    high = _pattern_power(device.evolve(voltages=scaled), session)
     return high / base - 1.0

@@ -11,11 +11,12 @@ peripheral logic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import Component, DramPowerModel
+from ..core import Component
 from ..core.idd import idd4r, idd4w, idd7_mixed, idd0
 from ..devices import build_device
+from ..engine import EvaluationSession, ensure_session
 from ..technology.roadmap import ROADMAP, RoadmapEntry, nodes
 from ..units import pj_per_bit
 
@@ -56,14 +57,23 @@ class GenerationPoint:
 
 
 def generation_trend(io_width: int = 16,
-                     node_list: Sequence[float] = None
+                     node_list: Sequence[float] = None,
+                     session: Optional[EvaluationSession] = None,
+                     jobs: Optional[int] = None
                      ) -> List[GenerationPoint]:
-    """Evaluate the mainstream device of each roadmap node."""
+    """Evaluate the mainstream device of each roadmap node.
+
+    Models route through ``session``; ``jobs`` evaluates the nodes on
+    a thread pool with identical, node-ordered results.
+    """
+    session = ensure_session(session)
+    node_nms = list(node_list or nodes())
+    devices = [build_device(node_nm, io_width=io_width)
+               for node_nm in node_nms]
+    models = session.map(devices, lambda model: model, jobs=jobs)
     points: List[GenerationPoint] = []
-    for node_nm in (node_list or nodes()):
+    for node_nm, device, model in zip(node_nms, devices, models):
         entry: RoadmapEntry = ROADMAP[node_nm]
-        device = build_device(node_nm, io_width=io_width)
-        model = DramPowerModel(device)
         geometry = model.geometry
         r4 = idd4r(model)
         w4 = idd4w(model)

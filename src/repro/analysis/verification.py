@@ -9,13 +9,13 @@ against the reconstructed vendor spread.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core import DramPowerModel
 from ..core.idd import IddMeasure, measure as run_measure
 from ..datasheets import ddr2_points, ddr3_points
 from ..datasheets.idd import DatasheetPoint, spread
 from ..devices import build_device
+from ..engine import EvaluationSession, ensure_session
 from .reporting import format_table
 
 _GBIT = 1 << 30
@@ -68,13 +68,16 @@ class VerificationRow:
 
 
 def _verify(points: Sequence[DatasheetPoint], interface: str,
-            nodes: Sequence[float]) -> List[VerificationRow]:
+            nodes: Sequence[float],
+            session: Optional[EvaluationSession] = None
+            ) -> List[VerificationRow]:
     keys = sorted(
         {(point.measure, point.datarate, point.io_width)
          for point in points},
         key=lambda key: (key[0].value, key[2], key[1]),
     )
-    models: Dict[Tuple[float, float, int], DramPowerModel] = {}
+    session = ensure_session(session)
+    devices: Dict[Tuple[float, float, int], object] = {}
     rows: List[VerificationRow] = []
     for measure, datarate, io_width in keys:
         matching = [point for point in points
@@ -84,12 +87,12 @@ def _verify(points: Sequence[DatasheetPoint], interface: str,
         model_ma: Dict[float, float] = {}
         for node in nodes:
             cache_key = (node, datarate, io_width)
-            if cache_key not in models:
-                device = build_device(node, interface=interface,
-                                      density_bits=_GBIT,
-                                      io_width=io_width, datarate=datarate)
-                models[cache_key] = DramPowerModel(device)
-            result = run_measure(models[cache_key], measure)
+            if cache_key not in devices:
+                devices[cache_key] = build_device(
+                    node, interface=interface, density_bits=_GBIT,
+                    io_width=io_width, datarate=datarate)
+            result = run_measure(session.model(devices[cache_key]),
+                                 measure)
             model_ma[node] = result.milliamps
         rows.append(VerificationRow(
             label=f"{measure.value} {datarate / 1e6:.0f} x{io_width}",
@@ -105,16 +108,18 @@ def _verify(points: Sequence[DatasheetPoint], interface: str,
     return rows
 
 
-def verify_ddr2(nodes: Sequence[float] = DDR2_NODES
+def verify_ddr2(nodes: Sequence[float] = DDR2_NODES,
+                session: Optional[EvaluationSession] = None
                 ) -> List[VerificationRow]:
     """The Figure 8 comparison: 1 Gb DDR2 model vs datasheet spread."""
-    return _verify(ddr2_points(), "DDR2", nodes)
+    return _verify(ddr2_points(), "DDR2", nodes, session=session)
 
 
-def verify_ddr3(nodes: Sequence[float] = DDR3_NODES
+def verify_ddr3(nodes: Sequence[float] = DDR3_NODES,
+                session: Optional[EvaluationSession] = None
                 ) -> List[VerificationRow]:
     """The Figure 9 comparison: 1 Gb DDR3 model vs datasheet spread."""
-    return _verify(ddr3_points(), "DDR3", nodes)
+    return _verify(ddr3_points(), "DDR3", nodes, session=session)
 
 
 def verification_report(rows: Iterable[VerificationRow],

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Sequence
 from ..core import DramPowerModel, PatternPower
 from ..core.idd import idd7_mixed
 from ..description import DramDescription
+from ..engine import EvaluationSession, ensure_session
 from ..errors import ModelError
 from .reporting import format_table
 
@@ -35,32 +36,32 @@ class SweepPoint:
 def sweep_parameter(device: DramDescription, path: str,
                     factors: Sequence[float],
                     evaluate: Optional[Callable[[DramPowerModel],
-                                                PatternPower]] = None
-                    ) -> List[SweepPoint]:
+                                                PatternPower]] = None,
+                    session: Optional[EvaluationSession] = None,
+                    jobs: Optional[int] = None) -> List[SweepPoint]:
     """Scale one parameter through ``factors`` and evaluate each point.
 
     ``evaluate`` defaults to the Idd7-style mixed pattern; pass any
     callable taking a model and returning a
-    :class:`~repro.core.PatternPower`.
+    :class:`~repro.core.PatternPower`.  Models route through
+    ``session``; ``jobs`` evaluates points on a thread pool.
     """
     if not factors:
         raise ModelError("sweep needs at least one factor")
     evaluate = evaluate or idd7_mixed
+    session = ensure_session(session)
     base_value = device.get_path(path)
     if not isinstance(base_value, (int, float)) \
             or isinstance(base_value, bool):
         raise ModelError(f"parameter {path!r} is not numeric")
-    points: List[SweepPoint] = []
-    for factor in factors:
-        modified = device.scale_path(path, factor)
-        result = evaluate(DramPowerModel(modified))
-        points.append(SweepPoint(
-            factor=factor,
-            value=float(base_value) * factor,
-            power=result.power,
-            energy_per_bit=result.energy_per_bit,
-        ))
-    return points
+    devices = [device.scale_path(path, factor) for factor in factors]
+    results = session.map(devices, evaluate, jobs=jobs)
+    return [SweepPoint(
+        factor=factor,
+        value=float(base_value) * factor,
+        power=result.power,
+        energy_per_bit=result.energy_per_bit,
+    ) for factor, result in zip(factors, results)]
 
 
 def sweep_report(path: str, points: Sequence[SweepPoint],
@@ -77,7 +78,9 @@ def sweep_report(path: str, points: Sequence[SweepPoint],
 
 
 def sensitivity_slope(device: DramDescription, path: str,
-                      delta: float = 0.05) -> float:
+                      delta: float = 0.05,
+                      session: Optional[EvaluationSession] = None
+                      ) -> float:
     """Local normalised slope d(ln P)/d(ln x) of power in a parameter.
 
     1.0 means power is locally proportional to the parameter; values
@@ -86,7 +89,8 @@ def sensitivity_slope(device: DramDescription, path: str,
     import math
 
     points = sweep_parameter(device, path,
-                             [1.0 - delta, 1.0 + delta])
+                             [1.0 - delta, 1.0 + delta],
+                             session=session)
     low, high = points[0].power, points[1].power
     return (math.log(high / low)
             / math.log((1.0 + delta) / (1.0 - delta)))

@@ -31,6 +31,7 @@ from .analysis import (
 from .core.idd import standard_idd_suite
 from .core.trace import evaluate_trace
 from .description import DramDescription
+from .engine import EvaluationSession
 from .dsl import dumps, load
 from .schemes import compare_schemes, scheme_report
 from .units import parse_quantity
@@ -84,6 +85,12 @@ def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
                         help="per-pin data rate (e.g. 1.6Gbps)")
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="evaluate sweep variants with N worker "
+                             "threads (default: serial)")
+
+
 def _cmd_idd(args: argparse.Namespace) -> int:
     device = _device_from_args(args)
     model = DramPowerModel(device)
@@ -123,7 +130,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_trends(args: argparse.Namespace) -> int:
-    points = generation_trend(io_width=args.width)
+    points = generation_trend(io_width=args.width,
+                              session=EvaluationSession(),
+                              jobs=args.jobs)
     rows = [[point.node_nm, point.interface,
              point.datarate / 1e9, point.vdd, point.die_area_mm2,
              point.idd0_ma, point.idd4r_ma, point.energy_idd7_pj]
@@ -141,7 +150,8 @@ def _cmd_trends(args: argparse.Namespace) -> int:
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     device = _device_from_args(args)
-    results = sensitivity(device, variation=args.variation)
+    results = sensitivity(device, variation=args.variation,
+                          session=EvaluationSession(), jobs=args.jobs)
     rows = [[result.name, f"{result.impact:+.1%}"] for result in results]
     print(format_table(
         ["parameter", f"impact of +/-{args.variation:.0%}"], rows,
@@ -185,11 +195,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis import check_device
 
     device = _device_from_args(args)
-    results = check_device(device)
+    session = EvaluationSession()
+    session.model(device)
+    results = check_device(device, session=session)
     rows = [[result.severity, result.check, result.message]
             for result in results]
     print(format_table(["severity", "check", "finding"], rows,
                        title=f"Feasibility of {device.name}"))
+    print(f"engine: {session.stats}")
     return 0 if all(result.is_ok for result in results) else 1
 
 
@@ -207,10 +220,12 @@ def _cmd_corners(args: argparse.Namespace) -> int:
     from .analysis.montecarlo import monte_carlo
 
     device = _device_from_args(args)
+    session = EvaluationSession()
     corners = (VENDOR_SPREAD_CORNERS if args.vendor
                else None)
-    bands = (corner_sweep(device, corners=corners) if corners
-             else corner_sweep(device))
+    bands = (corner_sweep(device, corners=corners, session=session,
+                          jobs=args.jobs) if corners
+             else corner_sweep(device, session=session, jobs=args.jobs))
     rows = []
     for band in bands:
         rows.append([band.measure.value, round(band.minimum, 1),
@@ -225,7 +240,8 @@ def _cmd_corners(args: argparse.Namespace) -> int:
         print()
         rows = []
         for dist in monte_carlo(device, samples=args.samples,
-                                seed=args.seed):
+                                seed=args.seed, session=session,
+                                jobs=args.jobs):
             rows.append([dist.measure.value, round(dist.mean, 1),
                          round(dist.stdev, 2),
                          round(dist.percentile(0.95), 1),
@@ -370,12 +386,14 @@ def build_parser() -> argparse.ArgumentParser:
     trends = subparsers.add_parser("trends",
                                    help="Figure 11-13 generation tables")
     trends.add_argument("--width", type=int, default=16)
+    _add_jobs_argument(trends)
     trends.set_defaults(handler=_cmd_trends)
 
     sens = subparsers.add_parser("sensitivity",
                                  help="Figure 10 parameter Pareto")
     _add_device_arguments(sens)
     sens.add_argument("--variation", type=float, default=0.2)
+    _add_jobs_argument(sens)
     sens.set_defaults(handler=_cmd_sensitivity)
 
     schemes = subparsers.add_parser("schemes",
@@ -414,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     corners.add_argument("--samples", type=int, default=0,
                          help="add a Monte-Carlo run with N samples")
     corners.add_argument("--seed", type=int, default=1)
+    _add_jobs_argument(corners)
     corners.set_defaults(handler=_cmd_corners)
 
     events = subparsers.add_parser(

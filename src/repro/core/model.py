@@ -65,9 +65,12 @@ class DramPowerModel:
     """Evaluates the power of one DRAM description."""
 
     def __init__(self, device: DramDescription,
-                 events: Optional[Tuple[ChargeEvent, ...]] = None):
+                 events: Optional[Tuple[ChargeEvent, ...]] = None,
+                 geometry: Optional[FloorplanGeometry] = None):
         self.device = device
-        self.geometry = FloorplanGeometry(device)
+        if geometry is None:
+            geometry = FloorplanGeometry(device)
+        self.geometry = geometry
         if events is None:
             events = build_events(device, self.geometry)
         self.events: Tuple[ChargeEvent, ...] = tuple(events)

@@ -1,0 +1,48 @@
+"""Unified evaluation engine: shared model construction for all analyses.
+
+Every analysis in :mod:`repro.analysis`, every scheme in
+:mod:`repro.schemes` and the module-level model in :mod:`repro.system`
+evaluate many device *variants* of a handful of base descriptions.
+Rebuilding floorplan geometry and the charge-event list for each variant
+from scratch wastes most of a sweep's time whenever the same description
+recurs — which it does constantly: the nominal point of a sensitivity
+Pareto, the "typical" corner, the revisited coordinates of the
+calibration descent.
+
+The engine provides one construction path for all of them:
+
+* :func:`repro.engine.fingerprint.fingerprint` — a canonical,
+  order-stable key of a :class:`~repro.description.DramDescription`
+  (recursive dataclass walk, independent of ``repr``);
+* :class:`repro.engine.cache.ModelCache` — a bounded LRU memoising
+  built :class:`~repro.core.DramPowerModel` instances by fingerprint,
+  with hit/miss/build-time counters;
+* :class:`repro.engine.session.EvaluationSession` — the user-facing
+  façade: ``model(device)``, ``evaluate(device, pattern)`` and
+  ``map(devices, fn, jobs=N)`` batch evaluation;
+* :class:`repro.engine.variant.Variant` — declarative perturbations
+  (deltas) of a base description, replacing ad-hoc
+  ``dataclasses.replace`` scattering in the sweep code.
+
+All analysis entry points accept an optional ``session`` argument; when
+omitted a private session is created per call, so existing code keeps
+working unchanged while callers that share a session across calls get
+cross-analysis reuse for free.
+"""
+
+from .cache import EngineStats, ModelCache
+from .fingerprint import canonical_form, fingerprint
+from .session import EvaluationSession, ensure_session, evaluate_many
+from .variant import Variant, scaling
+
+__all__ = [
+    "EngineStats",
+    "ModelCache",
+    "canonical_form",
+    "fingerprint",
+    "EvaluationSession",
+    "ensure_session",
+    "evaluate_many",
+    "Variant",
+    "scaling",
+]

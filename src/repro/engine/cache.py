@@ -1,0 +1,142 @@
+"""Bounded LRU cache of built power models, keyed by fingerprint.
+
+Building a :class:`~repro.core.DramPowerModel` means resolving the
+floorplan geometry, deriving the full charge-event list and folding it
+into per-operation energies — by far the dominant cost of any sweep.
+The cache memoises the *whole built model*: a hit returns the identical
+object, so repeated evaluations of equal descriptions share geometry,
+events and energies bit-for-bit.
+
+The cache is thread-safe (a single lock around the table) so an
+:class:`~repro.engine.session.EvaluationSession` can hand it to a
+thread pool, and bounded (least-recently-used eviction) so open-ended
+sweeps cannot grow memory without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core import ChargeEvent, DramPowerModel
+from ..description import DramDescription
+from ..errors import ModelError
+from .fingerprint import fingerprint
+
+#: Default number of built models kept alive.
+DEFAULT_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Snapshot of one cache's counters (all cumulative)."""
+
+    hits: int
+    """Lookups answered from the cache."""
+    misses: int
+    """Lookups that had to build a model."""
+    evictions: int
+    """Models dropped by the LRU bound."""
+    size: int
+    """Models currently held."""
+    capacity: int
+    """Maximum models held."""
+    build_seconds: float
+    """Total wall-clock time spent building models (s)."""
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / lookups; 0.0 before the first lookup."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __str__(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} "
+                f"hit-rate={self.hit_rate:.1%} size={self.size}/"
+                f"{self.capacity} build-time={self.build_seconds:.3f}s")
+
+
+class ModelCache:
+    """LRU-memoised construction of :class:`DramPowerModel` instances."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ModelError("cache capacity must be positive")
+        self.capacity = capacity
+        self._models: "OrderedDict[str, DramPowerModel]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._build_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    # ------------------------------------------------------------------
+    def model(self, device: DramDescription,
+              events: Optional[Tuple[ChargeEvent, ...]] = None
+              ) -> DramPowerModel:
+        """The built model of ``device``, from cache when possible.
+
+        With ``events`` given (scheme-transformed charge lists) the
+        returned model is built fresh around those events — it is never
+        cached, since events are not part of the key — but it still
+        reuses the cached model's resolved geometry.
+        """
+        key = fingerprint(device)
+        with self._lock:
+            cached = self._models.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._models.move_to_end(key)
+            else:
+                self._misses += 1
+        if cached is None:
+            started = time.perf_counter()
+            cached = DramPowerModel(device)
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._build_seconds += elapsed
+                racing = self._models.get(key)
+                if racing is not None:
+                    # Another thread built it first; keep one canonical
+                    # model so hits stay identity-stable.
+                    cached = racing
+                    self._models.move_to_end(key)
+                else:
+                    self._models[key] = cached
+                    while len(self._models) > self.capacity:
+                        self._models.popitem(last=False)
+                        self._evictions += 1
+        if events is None:
+            return cached
+        return DramPowerModel(device, events=events,
+                              geometry=cached.geometry)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached model (counters keep accumulating)."""
+        with self._lock:
+            self._models.clear()
+
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return EngineStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._models),
+                capacity=self.capacity,
+                build_seconds=self._build_seconds,
+            )

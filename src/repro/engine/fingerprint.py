@@ -1,0 +1,131 @@
+"""Canonical device fingerprints — the engine's cache keys.
+
+A fingerprint must satisfy two properties the naive ``repr`` route does
+not guarantee:
+
+* **stability** — the same description value always produces the same
+  key, independent of object identity, insertion order of mappings, or
+  cosmetic ``repr`` changes between library versions;
+* **sensitivity** — any change to any model-relevant parameter (every
+  Table-I input: capacitances, voltages, organisation, floorplan sizes,
+  logic blocks, the command pattern…) produces a different key.
+
+Both follow from a recursive walk over the frozen dataclass tree:
+fields are visited in declaration order, mappings and sets are sorted,
+floats are serialised exactly (``float.hex``), and every token is
+type-tagged so ``1`` and ``1.0`` and ``"1"`` cannot collide.  The token
+stream is hashed with SHA-256.
+
+Because descriptions are frozen, every dataclass node memoises its own
+canonical form (stashed on the instance) the first time it is walked.
+``dataclasses.replace`` shares the unchanged sub-objects between a
+device and its variants, so fingerprinting a perturbed copy only
+re-walks the spine from the changed leaf to the root — the rest is
+O(1) lookups.  The memo is invisible to ``==``/``repr`` (dataclass
+equality only compares declared fields) and is only ever valid because
+description objects are immutable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any, Dict, List, Tuple
+
+from ..description import DramDescription
+from ..errors import ModelError
+
+#: Field-name tuples per dataclass type (``dataclasses.fields`` is too
+#: slow to call once per node on a hot path).
+_FIELDS_BY_TYPE: Dict[type, Tuple[str, ...]] = {}
+
+#: Attribute under which a frozen dataclass node memoises its own
+#: canonical form (safe: descriptions are immutable, and dataclass
+#: ``==`` / ``repr`` never look at undeclared attributes).
+_MEMO_ATTR = "_engine_canonical_memo"
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELDS_BY_TYPE.get(cls)
+    if names is None:
+        names = tuple(field.name for field in dataclasses.fields(cls))
+        _FIELDS_BY_TYPE[cls] = names
+    return names
+
+
+def _walk(value: Any, out: List[str]) -> None:
+    """Append the canonical token stream of one value (recursive)."""
+    kind = type(value)
+    if kind is float:
+        out.append("F:" + value.hex())
+    elif kind is int:
+        out.append("I:%d" % value)
+    elif kind is bool:
+        out.append("B:%d" % value)
+    elif kind is str:
+        out.append("S:%d:%s" % (len(value), value))
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        memo = getattr(value, _MEMO_ATTR, None)
+        if memo is not None:
+            out.append(memo)
+            return
+        sub: List[str] = ["D:" + kind.__name__ + "("]
+        for name in _field_names(kind):
+            sub.append(name + "=")
+            _walk(getattr(value, name), sub)
+        sub.append(")")
+        memo = "".join(sub)
+        object.__setattr__(value, _MEMO_ATTR, memo)
+        out.append(memo)
+    elif isinstance(value, enum.Enum):
+        out.append("E:" + kind.__name__ + "." + value.name)
+    elif isinstance(value, bool):
+        out.append("B:%d" % value)
+    elif isinstance(value, int):
+        out.append("I:%d" % value)
+    elif isinstance(value, float):
+        out.append("F:" + value.hex())
+    elif isinstance(value, str):
+        out.append("S:%d:%s" % (len(value), value))
+    elif value is None:
+        out.append("N")
+    elif isinstance(value, (tuple, list)):
+        out.append("T:%d[" % len(value))
+        for item in value:
+            _walk(item, out)
+        out.append("]")
+    elif isinstance(value, (frozenset, set)):
+        out.append("X:%d{" % len(value))
+        for item in sorted(value, key=str):
+            _walk(item, out)
+        out.append("}")
+    elif isinstance(value, dict):
+        out.append("M:%d{" % len(value))
+        for key in sorted(value, key=str):
+            _walk(key, out)
+            out.append(":")
+            _walk(value[key], out)
+        out.append("}")
+    else:
+        raise ModelError(
+            f"cannot fingerprint value of type {kind.__name__}"
+        )
+
+
+def canonical_form(value: Any) -> str:
+    """The full canonical token string of a value (mainly for tests).
+
+    Two values have the same canonical form exactly when the engine
+    considers them interchangeable as cache keys.
+    """
+    out: List[str] = []
+    _walk(value, out)
+    return "".join(out)
+
+
+def fingerprint(device: DramDescription) -> str:
+    """SHA-256 fingerprint of a device description (the cache key)."""
+    out: List[str] = []
+    _walk(device, out)
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()

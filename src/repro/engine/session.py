@@ -1,0 +1,130 @@
+"""The evaluation session — shared construction path for all analyses.
+
+An :class:`EvaluationSession` owns a :class:`~repro.engine.cache.ModelCache`
+and offers the three operations every sweep is made of:
+
+* :meth:`EvaluationSession.model` — the (cached) built model of a device;
+* :meth:`EvaluationSession.evaluate` — pattern power of a device;
+* :meth:`EvaluationSession.map` — evaluate a callable over many devices,
+  optionally on a thread pool, with deterministic result ordering.
+
+Sessions are cheap to create; analyses that are not handed one create a
+private session per call (:func:`ensure_session`), which keeps the
+public API backward compatible while still deduplicating construction
+*within* that call.  Handing one session to several analyses extends the
+reuse across them — the nominal device of a sensitivity Pareto, a corner
+sweep and a scheme comparison is then built exactly once.
+
+Parallelism caveat: ``jobs > 1`` uses ``concurrent.futures``
+``ThreadPoolExecutor``.  The model is pure Python, so threads overlap
+little compute under the GIL; the knob exists for API stability (and
+pays off when evaluation callables release the GIL or block).  Results
+are ordered by input position regardless of completion order, and the
+cache is lock-protected, so parallel and serial runs are bit-for-bit
+identical.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import (Callable, Iterable, List, Optional, Sequence, Tuple,
+                    TypeVar)
+
+from ..core import ChargeEvent, DramPowerModel, PatternPower
+from ..description import DramDescription, Pattern
+from ..errors import ModelError
+from .cache import DEFAULT_CAPACITY, EngineStats, ModelCache
+
+Result = TypeVar("Result")
+
+
+class EvaluationSession:
+    """One shared context for building and evaluating device models."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.cache = ModelCache(capacity=capacity)
+
+    # ------------------------------------------------------------------
+    def model(self, device: DramDescription,
+              events: Optional[Tuple[ChargeEvent, ...]] = None
+              ) -> DramPowerModel:
+        """The built power model of ``device`` (cached by fingerprint).
+
+        ``events`` overrides the charge-event list (scheme-transformed
+        models); such models bypass the cache but reuse geometry.
+        """
+        return self.cache.model(device, events=events)
+
+    def evaluate(self, device: DramDescription,
+                 pattern: Optional[Pattern] = None) -> PatternPower:
+        """Pattern power of ``device`` (the device default pattern when
+        ``pattern`` is omitted)."""
+        return self.model(device).pattern_power(pattern)
+
+    def with_events(self, model: DramPowerModel,
+                    events: Tuple[ChargeEvent, ...]) -> DramPowerModel:
+        """A sibling of ``model`` with a substituted charge-event list.
+
+        Geometry is shared with the original model; the result is not
+        cached (events are not part of the fingerprint key).
+        """
+        return DramPowerModel(model.device, events=events,
+                              geometry=model.geometry)
+
+    # ------------------------------------------------------------------
+    def map(self, devices: Iterable[DramDescription],
+            fn: Callable[[DramPowerModel], Result],
+            jobs: Optional[int] = None) -> List[Result]:
+        """Apply ``fn`` to the built model of every device, in order.
+
+        ``jobs`` > 1 evaluates on a thread pool; the result list is
+        always ordered like ``devices`` and equals the serial result.
+        """
+        devices = list(devices)
+        if jobs is not None and jobs <= 0:
+            raise ModelError("jobs must be a positive worker count")
+        if jobs is None or jobs == 1 or len(devices) <= 1:
+            return [fn(self.model(device)) for device in devices]
+        workers = min(jobs, len(devices))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda dev: fn(self.model(dev)),
+                                 devices))
+
+    def map_devices(self, devices: Iterable[DramDescription],
+                    fn: Callable[[DramDescription], Result],
+                    jobs: Optional[int] = None) -> List[Result]:
+        """Like :meth:`map` but hands ``fn`` the description itself.
+
+        For evaluation functions that route through the session on
+        their own (e.g. scheme evaluations building several models).
+        """
+        return self.map(devices, lambda model: fn(model.device),
+                        jobs=jobs)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        """Counter snapshot of the underlying model cache."""
+        return self.cache.stats()
+
+
+def ensure_session(session: Optional[EvaluationSession]
+                   ) -> EvaluationSession:
+    """``session`` itself, or a fresh private one when ``None``.
+
+    The standard prologue of every analysis entry point: passing no
+    session preserves the historical per-call behaviour; passing one
+    shares the model cache across calls.
+    """
+    if session is None:
+        return EvaluationSession()
+    return session
+
+
+def evaluate_many(devices: Sequence[DramDescription],
+                  fn: Callable[[DramPowerModel], Result],
+                  jobs: Optional[int] = None,
+                  session: Optional[EvaluationSession] = None
+                  ) -> List[Result]:
+    """One-shot convenience over :meth:`EvaluationSession.map`."""
+    return ensure_session(session).map(devices, fn, jobs=jobs)

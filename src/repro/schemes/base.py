@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..description import Command, DramDescription
 from ..core import DramPowerModel, PatternPower
 from ..core.events import ChargeEvent
 from ..core.idd import idd7_counts
+from ..engine import EvaluationSession, ensure_session
 
 
 @dataclass(frozen=True)
@@ -85,18 +86,26 @@ class Scheme:
         return 0.0
 
     # ------------------------------------------------------------------
-    def evaluate(self, device: DramDescription) -> SchemeResult:
-        """Evaluate the scheme against the unmodified device."""
-        base_model = DramPowerModel(device)
+    def evaluate(self, device: DramDescription,
+                 session: Optional[EvaluationSession] = None
+                 ) -> SchemeResult:
+        """Evaluate the scheme against the unmodified device.
+
+        All models route through ``session`` — sharing one session
+        across several scheme evaluations builds the unmodified
+        baseline exactly once.
+        """
+        session = ensure_session(session)
+        base_model = session.model(device)
         base_counts, base_window = idd7_counts(base_model,
                                                write_fraction=0.5)
         baseline = base_model.counts_power(base_counts, base_window,
                                            label="IDD7-mixed")
         new_device = self.transform_device(device)
-        new_model = DramPowerModel(new_device)
+        new_model = session.model(new_device)
         new_events = self.transform_events(new_model)
         if new_events is not new_model.events:
-            new_model = DramPowerModel(new_device, events=new_events)
+            new_model = session.with_events(new_model, new_events)
         counts, window = self.pattern_counts(new_model)
         modified = new_model.counts_power(counts, window,
                                           label=f"IDD7-mixed+{self.name}")
@@ -140,10 +149,11 @@ class CompositeScheme(Scheme):
 
     def transform_events(self, model: DramPowerModel
                          ) -> Tuple[ChargeEvent, ...]:
+        session = ensure_session(None)
         events = model.events
         for scheme in self.schemes:
             if events is not model.events:
-                model = DramPowerModel(model.device, events=events)
+                model = session.with_events(model, events)
             events = scheme.transform_events(model)
         return events
 

@@ -2,19 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..description import DramDescription
+from ..engine import EvaluationSession, ensure_session
 from .base import Scheme, SchemeResult
 from .library import ALL_SCHEMES
 from ..analysis.reporting import format_table
 
 
 def compare_schemes(device: DramDescription,
-                    schemes: Sequence[Scheme] = ALL_SCHEMES
+                    schemes: Sequence[Scheme] = ALL_SCHEMES,
+                    session: Optional[EvaluationSession] = None
                     ) -> List[SchemeResult]:
-    """Evaluate every scheme on one device, sorted by power saving."""
-    results = [scheme.evaluate(device) for scheme in schemes]
+    """Evaluate every scheme on one device, sorted by power saving.
+
+    One shared ``session`` means the unmodified baseline model is
+    built once for the whole comparison instead of once per scheme.
+    """
+    session = ensure_session(session)
+    results = [scheme.evaluate(device, session=session)
+               for scheme in schemes]
     results.sort(key=lambda result: -result.power_saving)
     return results
 

@@ -12,10 +12,10 @@ as a process-cost note rather than die area.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
-from ..core import DramPowerModel
 from ..description import DramDescription
+from ..engine import EvaluationSession, ensure_session
 from ..errors import SchemeError
 from .base import Scheme
 
@@ -102,22 +102,28 @@ PROCESS_OPTIONS: Tuple[Scheme, ...] = (
 )
 
 
-def process_option_savings(device: DramDescription) -> dict:
+def process_option_savings(device: DramDescription,
+                           session: Optional[EvaluationSession] = None
+                           ) -> dict:
     """Power saving of each §VI process option on a device."""
+    session = ensure_session(session)
     savings = {}
     for option in PROCESS_OPTIONS:
-        result = option.evaluate(device)
+        result = option.evaluate(device, session=session)
         savings[option.name] = result.power_saving
     return savings
 
 
-def combined_process_stack(device: DramDescription) -> float:
+def combined_process_stack(device: DramDescription,
+                           session: Optional[EvaluationSession] = None
+                           ) -> float:
     """Fractional saving of applying all §VI options together."""
     from ..core.idd import idd7_mixed
 
-    base = idd7_mixed(DramPowerModel(device)).power
+    session = ensure_session(session)
+    base = idd7_mixed(session.model(device)).power
     stacked_device = device
     for option in PROCESS_OPTIONS:
         stacked_device = option.transform_device(stacked_device)
-    stacked = idd7_mixed(DramPowerModel(stacked_device)).power
+    stacked = idd7_mixed(session.model(stacked_device)).power
     return 1.0 - stacked / base

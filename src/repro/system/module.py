@@ -14,11 +14,11 @@ and the per-access latency grows (not modeled: latency).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..core import DramPowerModel
 from ..core.idd import idd2n, idd2p, idd7_counts
 from ..description import Command, DramDescription
+from ..engine import EvaluationSession, ensure_session
 from ..errors import ModelError
 
 
@@ -70,9 +70,11 @@ class ModulePower:
 class ModulePowerModel:
     """Evaluates a rank configuration under a mixed workload."""
 
-    def __init__(self, config: RankConfig):
+    def __init__(self, config: RankConfig,
+                 session: Optional[EvaluationSession] = None):
         self.config = config
-        self.device_model = DramPowerModel(config.device)
+        self.session = ensure_session(session)
+        self.device_model = self.session.model(config.device)
 
     # ------------------------------------------------------------------
     def lockstep_power(self, write_fraction: float = 0.5,
@@ -141,10 +143,12 @@ class ModulePowerModel:
 
 
 def mini_rank_study(device: DramDescription, devices_per_rank: int = 8,
-                    divisors: List[int] = (1, 2, 4)
+                    divisors: List[int] = (1, 2, 4),
+                    session: Optional[EvaluationSession] = None
                     ) -> Dict[int, ModulePower]:
     """Module energy per bit across mini-rank splits (Zheng et al.)."""
-    model = ModulePowerModel(RankConfig(device, devices_per_rank))
+    model = ModulePowerModel(RankConfig(device, devices_per_rank),
+                             session=session)
     results: Dict[int, ModulePower] = {}
     for divisor in divisors:
         if divisor == 1:
