@@ -8,16 +8,44 @@ the regenerated tables:
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro import DramPowerModel
 from repro.devices import ddr3_2g_55nm, sensitivity_trio
+
+#: All metric JSON files live next to the benchmarks.
+METRICS_DIR = Path(__file__).parent
 
 
 def emit(text: str) -> None:
     """Print a regenerated artifact (visible with pytest -s)."""
     print()
     print(text)
+
+
+def record_metrics(filename: str, entries: dict) -> Path:
+    """Merge ``entries`` into ``benchmarks/<filename>``.
+
+    The shared recording path of every measurement artifact
+    (``engine_cache_metrics.json``, ``parallel_metrics.json``):
+    existing keys are preserved unless overwritten, output is sorted
+    and stable, and an unreadable file is replaced rather than
+    crashing the benchmark.
+    """
+    path = METRICS_DIR / filename
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(entries)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True)
+                    + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,53 @@
+"""CI smoke check: a warm disk cache must answer every lookup.
+
+Runs a small sweep twice against the persistent model cache
+(``REPRO_CACHE_DIR`` / ``--cache-dir`` semantics of the library): the
+first pass may build cold and populates the store, the second pass uses
+a brand-new session — the same situation as the next CLI run or the
+next CI job restoring the cache directory — and is required to report
+a 1.0 hit rate with zero cold builds.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_warm_cache.py [dir]``
+Exits non-zero when the warm pass built anything.
+"""
+
+import sys
+
+from repro.core.idd import idd7_mixed
+from repro.devices import ddr3_2g_55nm
+from repro.engine import EvaluationSession, default_cache_dir
+
+
+def _power(model):
+    return idd7_mixed(model).power
+
+
+def main(argv):
+    cache_dir = argv[1] if len(argv) > 1 else str(default_cache_dir())
+    base = ddr3_2g_55nm()
+    devices = [base.scale_path("technology.c_bitline",
+                               1.0 + 0.005 * step)
+               for step in range(20)]
+
+    cold_session = EvaluationSession(cache_dir=cache_dir)
+    cold = cold_session.map(devices, _power)
+    print(f"pass 1 ({cache_dir}): {cold_session.stats}")
+
+    warm_session = EvaluationSession(cache_dir=cache_dir)
+    warm = warm_session.map(devices, _power)
+    stats = warm_session.stats
+    print(f"pass 2 ({cache_dir}): {stats}")
+
+    if warm != cold:
+        print("FAIL: warm results differ from cold results")
+        return 1
+    if stats.misses != 0 or stats.hit_rate != 1.0:
+        print(f"FAIL: warm pass hit rate {stats.hit_rate:.2f} with "
+              f"{stats.misses} cold builds (expected 1.0 / 0)")
+        return 1
+    print("OK: warm hit rate 1.0, zero cold builds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

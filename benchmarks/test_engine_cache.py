@@ -11,17 +11,14 @@ rate.  Measured numbers are written to
 ``baseline_metrics.json``.
 """
 
-import json
 import time
-from pathlib import Path
 
 from repro.core.idd import idd7_mixed
 from repro.engine import EvaluationSession
 
-from conftest import emit
+from conftest import emit, record_metrics
 
 VARIANTS = 100
-METRICS_PATH = Path(__file__).parent / "engine_cache_metrics.json"
 
 
 def _variants(device):
@@ -60,14 +57,14 @@ def test_engine_cache_cold_vs_warm(benchmark, ddr3_device):
          f"({stats})")
     assert speedup >= 3.0
 
-    METRICS_PATH.write_text(json.dumps({
+    record_metrics("engine_cache_metrics.json", {
         "engine_cache.variants": VARIANTS,
         "engine_cache.cold_ms": round(cold_seconds * 1e3, 2),
         "engine_cache.warm_ms": round(warm_seconds * 1e3, 2),
         "engine_cache.speedup": round(speedup, 2),
         "engine_cache.hit_rate_second_pass": 1.0,
         "engine_cache.build_seconds": round(stats.build_seconds, 4),
-    }, indent=2, sort_keys=True) + "\n")
+    })
 
     # pytest-benchmark records the steady-state (warm) sweep cost.
     benchmark(_sweep, session, devices)

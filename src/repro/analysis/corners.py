@@ -12,6 +12,7 @@ design would show across process and design variation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.idd import IddMeasure, measure as run_measure
@@ -107,6 +108,17 @@ class CornerBand:
         return (self.maximum - self.minimum) / self.typical
 
 
+def _measure_corner(model, measures: Tuple[IddMeasure, ...]
+                    ) -> Dict[IddMeasure, float]:
+    """Worker callable: IDD currents of one corner model.
+
+    Module-level (pickled via :func:`functools.partial`) so the
+    process backend can ship it to worker sessions.
+    """
+    return {which: run_measure(model, which).milliamps
+            for which in measures}
+
+
 def corner_sweep(device: DramDescription,
                  measures: Iterable[IddMeasure] = (
                      IddMeasure.IDD0, IddMeasure.IDD2N,
@@ -114,11 +126,13 @@ def corner_sweep(device: DramDescription,
                  ),
                  corners: Iterable[Corner] = STANDARD_CORNERS,
                  session: Optional[EvaluationSession] = None,
-                 jobs: Optional[int] = None) -> List[CornerBand]:
+                 jobs: Optional[int] = None,
+                 backend: Optional[str] = None) -> List[CornerBand]:
     """Evaluate the IDD measures at every corner.
 
-    Models route through ``session``; ``jobs`` builds the corner
-    models on a thread pool (results are order-stable).
+    Models route through ``session``; ``jobs``/``backend`` build the
+    corner models on a thread or process pool (results are
+    order-stable and bit-for-bit equal to serial).
     """
     corners = list(corners)
     if not corners:
@@ -128,9 +142,9 @@ def corner_sweep(device: DramDescription,
     corner_devices = [corner.apply(device) for corner in corners]
     per_corner = session.map(
         corner_devices,
-        lambda model: {which: run_measure(model, which).milliamps
-                       for which in measures},
+        partial(_measure_corner, measures=tuple(measures)),
         jobs=jobs,
+        backend=backend,
     )
     bands = []
     for which in measures:

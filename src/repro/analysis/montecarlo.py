@@ -14,6 +14,7 @@ import math
 import random
 import statistics
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.idd import IddMeasure, measure as run_measure
@@ -91,6 +92,16 @@ class Distribution:
         return self.percentile(0.95) / mean
 
 
+def _measure_milliamps(model, measures: Tuple[IddMeasure, ...]
+                       ) -> List[float]:
+    """Worker callable: the sampled IDD currents of one model.
+
+    Module-level (pickled via :func:`functools.partial`) so the
+    process backend can ship it to worker sessions.
+    """
+    return [run_measure(model, which).milliamps for which in measures]
+
+
 def _sample_variant(rng: random.Random,
                     sigmas: Dict[str, float]) -> Variant:
     """One random draw of the variation space as an engine variant."""
@@ -113,12 +124,14 @@ def monte_carlo(device: DramDescription,
                 sigmas: Dict[str, float] = None,
                 seed: int = 1,
                 session: Optional[EvaluationSession] = None,
-                jobs: Optional[int] = None) -> List[Distribution]:
+                jobs: Optional[int] = None,
+                backend: Optional[str] = None) -> List[Distribution]:
     """Sample the variation space and summarise the IDD distributions.
 
     The random draws depend only on ``seed``; models route through
-    ``session`` and may be built on ``jobs`` threads — the summaries
-    are identical either way.
+    ``session`` and may be evaluated on ``jobs`` workers of any
+    ``backend`` (thread or process) — the summaries are bit-for-bit
+    identical either way.
     """
     if samples <= 0:
         raise ModelError("samples must be positive")
@@ -130,9 +143,9 @@ def monte_carlo(device: DramDescription,
                for _ in range(samples)]
     per_sample = session.map(
         devices,
-        lambda model: [run_measure(model, which).milliamps
-                       for which in measures],
+        partial(_measure_milliamps, measures=tuple(measures)),
         jobs=jobs,
+        backend=backend,
     )
     return [Distribution(measure=which,
                          samples=tuple(series[index]

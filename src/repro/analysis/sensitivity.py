@@ -183,16 +183,25 @@ def _pattern_power(device: DramDescription,
     return idd7_mixed(ensure_session(session).model(device)).power
 
 
+def _idd7_power(model) -> float:
+    """Worker callable: Idd7-mixed pattern power of one built model.
+
+    Module-level so the process backend can pickle it to workers.
+    """
+    return idd7_mixed(model).power
+
+
 def sensitivity(device: DramDescription, variation: float = 0.2,
                 parameters: Sequence[SensitivityParameter] = PARAMETERS,
                 session: Optional[EvaluationSession] = None,
-                jobs: Optional[int] = None) -> List[SensitivityResult]:
+                jobs: Optional[int] = None,
+                backend: Optional[str] = None) -> List[SensitivityResult]:
     """The Figure 10 study: vary each parameter ±``variation``.
 
     Returns results sorted by impact magnitude, largest first.  All
     device models route through ``session`` (a private one when
-    omitted); ``jobs`` evaluates the variants on a thread pool with
-    results identical to the serial run.
+    omitted); ``jobs``/``backend`` evaluate the variants on a thread
+    or process pool with results identical to the serial run.
     """
     if not 0.0 < variation < 1.0:
         raise ValueError("variation must be a fraction in (0, 1)")
@@ -201,8 +210,8 @@ def sensitivity(device: DramDescription, variation: float = 0.2,
     for parameter in parameters:
         devices.append(parameter.apply(device, 1.0 - variation))
         devices.append(parameter.apply(device, 1.0 + variation))
-    powers = session.map(
-        devices, lambda model: idd7_mixed(model).power, jobs=jobs)
+    powers = session.map(devices, _idd7_power, jobs=jobs,
+                         backend=backend)
     base = powers[0]
     results = []
     for index, parameter in enumerate(parameters):

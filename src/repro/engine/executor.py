@@ -1,0 +1,228 @@
+"""Process-based parallel execution of evaluation sweeps.
+
+The model is pure Python, so the thread backend of
+:meth:`~repro.engine.session.EvaluationSession.map` overlaps almost no
+compute under the GIL.  This module adds real CPU scale-out: the device
+list is sharded into contiguous chunks, each chunk's serialized
+:class:`~repro.description.DramDescription` list is shipped to a
+``ProcessPoolExecutor`` whose workers each own a private
+:class:`~repro.engine.session.EvaluationSession` (same capacity and
+disk-cache directory as the parent), and the per-chunk results come
+back in submission order — so the merged result list is bit-for-bit
+identical to the serial run (pickle round-trips floats exactly).
+
+Contract with callers:
+
+* the evaluation callable must be **picklable** — a module-level
+  function or a :func:`functools.partial` of one; lambdas and closures
+  are rejected up front with a clear :class:`~repro.errors.ModelError`;
+* a raising callable surfaces as a :class:`ModelError` naming the
+  failing device's *index* and *fingerprint* (the worker traceback is
+  appended), never as a bare pickled traceback;
+* each worker's cache counters are snapshotted per chunk and merged
+  back into the parent session via
+  :meth:`~repro.engine.cache.ModelCache.absorb`, so ``session.stats``
+  describes the whole sweep regardless of backend.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .cache import DEFAULT_CAPACITY, EngineStats
+from .fingerprint import fingerprint
+
+#: The recognised execution backends.
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_backend(backend: Optional[str],
+                    jobs: Optional[int]) -> str:
+    """The effective backend of a ``map`` call.
+
+    ``None`` preserves the historical behaviour: serial unless
+    ``jobs > 1``, which selects threads.  Anything not named in
+    :data:`BACKENDS` raises.
+    """
+    if backend is None:
+        return "thread" if jobs is not None and jobs > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ModelError(
+            f"unknown backend {backend!r}; choose from "
+            + "/".join(BACKENDS))
+    return backend
+
+
+def default_jobs() -> int:
+    """Worker count when ``jobs`` is omitted: the usable CPU count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def shard(count: int, chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges covering ``count`` items.
+
+    At most ``chunks`` ranges, balanced to within one item, in input
+    order — so concatenating per-chunk results reproduces the input
+    ordering exactly.
+    """
+    if count <= 0:
+        return []
+    chunks = max(1, min(chunks, count))
+    base, extra = divmod(count, chunks)
+    ranges = []
+    start = 0
+    for index in range(chunks):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _ensure_picklable_callable(fn: Callable) -> None:
+    """Reject closures/lambdas before the pool turns them into noise."""
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        raise ModelError(
+            "the process backend requires a picklable evaluation "
+            "callable (a module-level function or functools.partial); "
+            f"got {fn!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Worker side.  One EvaluationSession per worker process, built lazily
+# by the pool initializer and reused across that worker's chunks.
+# ----------------------------------------------------------------------
+_WORKER_SESSION = None
+
+
+def _initialize_worker(capacity: int,
+                       cache_dir: Optional[str]) -> None:
+    """Pool initializer: build this worker's private session."""
+    global _WORKER_SESSION
+    from .session import EvaluationSession
+    _WORKER_SESSION = EvaluationSession(capacity=capacity,
+                                        cache_dir=cache_dir)
+
+
+def _run_chunk(payload: Tuple[int, bytes, Callable, str]) -> Tuple:
+    """Evaluate one contiguous chunk inside a worker process.
+
+    Returns ``("ok", results, stats_delta)`` or
+    ``("error", (index, label, message), stats_delta)`` — exceptions
+    are reported as data so the parent can raise one well-formed
+    :class:`ModelError` instead of unpickling arbitrary tracebacks.
+    """
+    start, blob, fn, mode = payload
+    session = _WORKER_SESSION
+    items = pickle.loads(blob)
+    before = session.stats
+    results: List[Any] = []
+    failure = None
+    for offset, item in enumerate(items):
+        try:
+            if mode == "model":
+                results.append(fn(session.model(item)))
+            else:
+                results.append(fn(session, item))
+        except Exception as exc:
+            if mode == "model":
+                label = "fingerprint " + fingerprint(item)[:12]
+            else:
+                label = repr(getattr(item, "name", item))
+            message = (f"{type(exc).__name__}: {exc}\n"
+                       + traceback.format_exc())
+            failure = (start + offset, label, message)
+            break
+    delta = session.stats.delta(before)
+    if failure is not None:
+        return ("error", failure, delta)
+    return ("ok", results, delta)
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+def _pooled_map(items: Sequence, fn: Callable, mode: str,
+                jobs: Optional[int], capacity: int,
+                cache_dir: Optional[str]
+                ) -> Tuple[List, EngineStats]:
+    _ensure_picklable_callable(fn)
+    workers = jobs if jobs is not None else default_jobs()
+    if workers <= 0:
+        raise ModelError("jobs must be a positive worker count")
+    ranges = shard(len(items), workers)
+    payloads = [(start, pickle.dumps(list(items[start:stop])), fn, mode)
+                for start, stop in ranges]
+    merged: Optional[EngineStats] = None
+    results: List = []
+    with ProcessPoolExecutor(
+            max_workers=min(workers, len(ranges)),
+            initializer=_initialize_worker,
+            initargs=(capacity, cache_dir)) as pool:
+        for outcome in pool.map(_run_chunk, payloads):
+            status, body, delta = outcome
+            merged = delta if merged is None else _add_stats(merged,
+                                                             delta)
+            if status == "error":
+                index, label, message = body
+                raise ModelError(
+                    f"worker evaluation failed for device {index} "
+                    f"({label}): {message}")
+            results.extend(body)
+    if merged is None:
+        merged = EngineStats(hits=0, misses=0, evictions=0, size=0,
+                             capacity=capacity, build_seconds=0.0)
+    return results, merged
+
+
+def _add_stats(left: EngineStats, right: EngineStats) -> EngineStats:
+    """Counter-wise sum of two worker deltas."""
+    return EngineStats(
+        hits=left.hits + right.hits,
+        misses=left.misses + right.misses,
+        evictions=left.evictions + right.evictions,
+        size=left.size + right.size,
+        capacity=left.capacity,
+        build_seconds=left.build_seconds + right.build_seconds,
+        disk_hits=left.disk_hits + right.disk_hits,
+        disk_misses=left.disk_misses + right.disk_misses,
+        disk_writes=left.disk_writes + right.disk_writes,
+        disk_corrupt=left.disk_corrupt + right.disk_corrupt,
+    )
+
+
+def process_map(devices: Sequence, fn: Callable,
+                jobs: Optional[int] = None,
+                capacity: int = DEFAULT_CAPACITY,
+                cache_dir: Optional[str] = None
+                ) -> Tuple[List, EngineStats]:
+    """``fn(model)`` over every device, sharded across processes.
+
+    Returns ``(results, merged_worker_stats)``; results are ordered
+    exactly like ``devices`` and equal the serial evaluation
+    bit-for-bit.  Used by :meth:`EvaluationSession.map`.
+    """
+    return _pooled_map(devices, fn, "model", jobs, capacity, cache_dir)
+
+
+def process_map_items(items: Sequence, fn: Callable,
+                      jobs: Optional[int] = None,
+                      capacity: int = DEFAULT_CAPACITY,
+                      cache_dir: Optional[str] = None
+                      ) -> Tuple[List, EngineStats]:
+    """``fn(session, item)`` over arbitrary picklable items.
+
+    The scheme evaluator uses this shape: items are scheme objects and
+    the callable routes its own model builds through the per-worker
+    session.
+    """
+    return _pooled_map(items, fn, "item", jobs, capacity, cache_dir)

@@ -6,7 +6,7 @@ and offers the three operations every sweep is made of:
 * :meth:`EvaluationSession.model` — the (cached) built model of a device;
 * :meth:`EvaluationSession.evaluate` — pattern power of a device;
 * :meth:`EvaluationSession.map` — evaluate a callable over many devices,
-  optionally on a thread pool, with deterministic result ordering.
+  on a selectable backend, with deterministic result ordering.
 
 Sessions are cheap to create; analyses that are not handed one create a
 private session per call (:func:`ensure_session`), which keeps the
@@ -15,13 +15,20 @@ public API backward compatible while still deduplicating construction
 reuse across them — the nominal device of a sensitivity Pareto, a corner
 sweep and a scheme comparison is then built exactly once.
 
-Parallelism caveat: ``jobs > 1`` uses ``concurrent.futures``
-``ThreadPoolExecutor``.  The model is pure Python, so threads overlap
-little compute under the GIL; the knob exists for API stability (and
-pays off when evaluation callables release the GIL or block).  Results
-are ordered by input position regardless of completion order, and the
-cache is lock-protected, so parallel and serial runs are bit-for-bit
-identical.
+Backends: ``map(..., backend=...)`` selects ``"serial"`` (default),
+``"thread"`` (``concurrent.futures`` threads — the model is pure
+Python, so the GIL leaves little compute overlap; useful when the
+evaluation callable blocks or releases the GIL) or ``"process"``
+(contiguous shards on a ``ProcessPoolExecutor`` of per-worker
+sessions — real CPU scale-out; requires a picklable callable).  All
+backends preserve input ordering and equal the serial result
+bit-for-bit.  Passing only ``jobs > 1`` keeps the historical
+thread-pool behaviour.
+
+With ``cache_dir`` set, the session's model cache spills to a
+persistent on-disk store (see :mod:`repro.engine.diskcache`), so
+repeated runs — and process-backend workers, which inherit the same
+directory — skip cold builds entirely.
 """
 
 from __future__ import annotations
@@ -34,15 +41,41 @@ from ..core import ChargeEvent, DramPowerModel, PatternPower
 from ..description import DramDescription, Pattern
 from ..errors import ModelError
 from .cache import DEFAULT_CAPACITY, EngineStats, ModelCache
+from .diskcache import DiskModelCache
+from .executor import default_jobs, process_map, resolve_backend
+from .fingerprint import fingerprint
 
 Result = TypeVar("Result")
+
+
+class _DeviceCall:
+    """Picklable adapter turning ``fn(device)`` into ``fn(model)``.
+
+    :meth:`EvaluationSession.map_devices` needs the adapter to be a
+    module-level class (not a lambda) so the process backend can ship
+    it to workers.
+    """
+
+    def __init__(self, fn: Callable[[DramDescription], Result]):
+        self.fn = fn
+
+    def __call__(self, model: DramPowerModel) -> Result:
+        return self.fn(model.device)
 
 
 class EvaluationSession:
     """One shared context for building and evaluating device models."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
-        self.cache = ModelCache(capacity=capacity)
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 cache_dir: Optional[str] = None,
+                 disk: Optional[DiskModelCache] = None):
+        if disk is None and cache_dir is not None:
+            disk = DiskModelCache(cache_dir)
+        self.cache = ModelCache(capacity=capacity, disk=disk)
+        #: Directory handed to process-backend workers so their private
+        #: sessions share the same persistent store.
+        self.cache_dir = (str(disk.directory) if disk is not None
+                          else None)
 
     # ------------------------------------------------------------------
     def model(self, device: DramDescription,
@@ -72,34 +105,66 @@ class EvaluationSession:
                               geometry=model.geometry)
 
     # ------------------------------------------------------------------
+    def _evaluate_one(self, index: int, device: DramDescription,
+                      fn: Callable[[DramPowerModel], Result]) -> Result:
+        """Build + evaluate one device, naming it on callable failure."""
+        model = self.model(device)
+        try:
+            return fn(model)
+        except ModelError:
+            raise
+        except Exception as exc:
+            raise ModelError(
+                f"evaluation callable failed for device {index} "
+                f"(fingerprint {fingerprint(device)[:12]}): "
+                f"{type(exc).__name__}: {exc}") from exc
+
     def map(self, devices: Iterable[DramDescription],
             fn: Callable[[DramPowerModel], Result],
-            jobs: Optional[int] = None) -> List[Result]:
+            jobs: Optional[int] = None,
+            backend: Optional[str] = None) -> List[Result]:
         """Apply ``fn`` to the built model of every device, in order.
 
-        ``jobs`` > 1 evaluates on a thread pool; the result list is
-        always ordered like ``devices`` and equals the serial result.
+        ``backend`` selects serial, thread or process execution (see
+        the module docstring); omitted, ``jobs > 1`` keeps the
+        historical thread pool.  The result list is always ordered
+        like ``devices`` and equals the serial result bit-for-bit.  A
+        raising ``fn`` surfaces as a :class:`ModelError` naming the
+        failing device's index and fingerprint.
         """
         devices = list(devices)
         if jobs is not None and jobs <= 0:
             raise ModelError("jobs must be a positive worker count")
-        if jobs is None or jobs == 1 or len(devices) <= 1:
-            return [fn(self.model(device)) for device in devices]
-        workers = min(jobs, len(devices))
+        backend = resolve_backend(backend, jobs)
+        workers = jobs if jobs is not None else default_jobs()
+        if backend == "process" and len(devices) > 1 and workers > 1:
+            results, worker_stats = process_map(
+                devices, fn, jobs=workers,
+                capacity=self.cache.capacity,
+                cache_dir=self.cache_dir)
+            self.cache.absorb(worker_stats)
+            return results
+        if (backend == "serial" or workers == 1
+                or len(devices) <= 1):
+            return [self._evaluate_one(index, device, fn)
+                    for index, device in enumerate(devices)]
+        workers = min(workers, len(devices))
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda dev: fn(self.model(dev)),
-                                 devices))
+            return list(pool.map(
+                lambda pair: self._evaluate_one(pair[0], pair[1], fn),
+                enumerate(devices)))
 
     def map_devices(self, devices: Iterable[DramDescription],
                     fn: Callable[[DramDescription], Result],
-                    jobs: Optional[int] = None) -> List[Result]:
+                    jobs: Optional[int] = None,
+                    backend: Optional[str] = None) -> List[Result]:
         """Like :meth:`map` but hands ``fn`` the description itself.
 
         For evaluation functions that route through the session on
         their own (e.g. scheme evaluations building several models).
         """
-        return self.map(devices, lambda model: fn(model.device),
-                        jobs=jobs)
+        return self.map(devices, _DeviceCall(fn), jobs=jobs,
+                        backend=backend)
 
     # ------------------------------------------------------------------
     @property
@@ -124,7 +189,9 @@ def ensure_session(session: Optional[EvaluationSession]
 def evaluate_many(devices: Sequence[DramDescription],
                   fn: Callable[[DramPowerModel], Result],
                   jobs: Optional[int] = None,
+                  backend: Optional[str] = None,
                   session: Optional[EvaluationSession] = None
                   ) -> List[Result]:
     """One-shot convenience over :meth:`EvaluationSession.map`."""
-    return ensure_session(session).map(devices, fn, jobs=jobs)
+    return ensure_session(session).map(devices, fn, jobs=jobs,
+                                       backend=backend)

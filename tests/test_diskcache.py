@@ -1,0 +1,180 @@
+"""Persistent on-disk model cache: reuse, invalidation, corruption."""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    DiskModelCache,
+    EvaluationSession,
+    default_cache_dir,
+    fingerprint,
+    model_code_token,
+)
+from repro.engine.diskcache import SCHEMA_VERSION
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return tmp_path / "model-cache"
+
+
+class TestToken:
+    def test_token_is_stable_within_process(self):
+        assert model_code_token() == model_code_token()
+
+    def test_token_is_hex_sha256(self):
+        token = model_code_token()
+        assert len(token) == 64
+        int(token, 16)
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "over"))
+        assert default_cache_dir() == tmp_path / "over"
+
+    def test_default_dir_falls_back_to_xdg(self, monkeypatch,
+                                           tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro"
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache_dir, ddr3_device,
+                             ddr3_model):
+        disk = DiskModelCache(cache_dir)
+        key = fingerprint(ddr3_device)
+        assert disk.load(key) is None
+        assert disk.store(key, ddr3_model)
+        loaded = disk.load(key)
+        assert loaded is not None
+        assert loaded.pattern_power().power == \
+            ddr3_model.pattern_power().power
+        assert disk.entry_count() == 1
+
+    def test_atomic_write_leaves_no_staging_files(self, cache_dir,
+                                                  ddr3_device,
+                                                  ddr3_model):
+        disk = DiskModelCache(cache_dir)
+        disk.store(fingerprint(ddr3_device), ddr3_model)
+        leftovers = list(cache_dir.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_clear_removes_entries(self, cache_dir, ddr3_device,
+                                   ddr3_model):
+        disk = DiskModelCache(cache_dir)
+        disk.store(fingerprint(ddr3_device), ddr3_model)
+        disk.clear()
+        assert disk.entry_count() == 0
+
+
+class TestInvalidation:
+    def test_token_bump_ignores_stale_entries(self, cache_dir,
+                                              ddr3_device,
+                                              ddr3_model):
+        key = fingerprint(ddr3_device)
+        old = DiskModelCache(cache_dir, token="0" * 64)
+        assert old.store(key, ddr3_model)
+        bumped = DiskModelCache(cache_dir, token="1" * 64)
+        assert bumped.load(key) is None
+        # The old namespace still answers under its own token.
+        assert DiskModelCache(cache_dir, token="0" * 64) \
+            .load(key) is not None
+
+    def test_foreign_payload_token_treated_as_miss(self, cache_dir,
+                                                   ddr3_device,
+                                                   ddr3_model):
+        disk = DiskModelCache(cache_dir, token="a" * 64)
+        key = fingerprint(ddr3_device)
+        disk.store(key, ddr3_model)
+        # Rewrite the entry in place with a mismatched inner token,
+        # as a different library version sharing the directory would.
+        path = disk._path(key)
+        payload = {"schema": SCHEMA_VERSION, "token": "b" * 64,
+                   "fingerprint": key, "model": ddr3_model}
+        path.write_bytes(pickle.dumps(payload))
+        assert disk.load(key) is None
+        assert disk.corrupt_entries == 1
+
+
+class TestCorruptionTolerance:
+    def test_truncated_entry_degrades_to_miss(self, cache_dir,
+                                              ddr3_device,
+                                              ddr3_model):
+        disk = DiskModelCache(cache_dir)
+        key = fingerprint(ddr3_device)
+        disk.store(key, ddr3_model)
+        disk._path(key).write_bytes(b"\x80\x04 definitely not pickle")
+        assert disk.load(key) is None
+        assert disk.corrupt_entries == 1
+
+    def test_corrupt_entry_rebuilds_cold(self, cache_dir,
+                                         ddr3_device):
+        warm = EvaluationSession(cache_dir=cache_dir)
+        warm.model(ddr3_device)
+        key = fingerprint(ddr3_device)
+        path = warm.cache.disk._path(key)
+        path.write_bytes(b"garbage")
+        rebuilt = EvaluationSession(cache_dir=cache_dir)
+        model = rebuilt.model(ddr3_device)
+        assert model.pattern_power().power > 0
+        stats = rebuilt.stats
+        assert stats.misses == 1
+        assert stats.disk_corrupt == 1
+        # The rebuild repaired the entry for the next process.
+        assert stats.disk_writes == 1
+
+
+class TestSessionIntegration:
+    def test_second_session_is_all_disk_hits(self, cache_dir,
+                                             ddr3_device):
+        devices = [ddr3_device.scale_path("technology.c_bitline",
+                                          1.0 + 0.01 * step)
+                   for step in range(5)]
+        cold = EvaluationSession(cache_dir=cache_dir)
+        for device in devices:
+            cold.model(device)
+        assert cold.stats.misses == 5
+        assert cold.stats.disk_writes == 5
+
+        warm = EvaluationSession(cache_dir=cache_dir)
+        for device in devices:
+            warm.model(device)
+        stats = warm.stats
+        assert stats.misses == 0
+        assert stats.disk_hits == 5
+        assert stats.hit_rate == 1.0
+
+    def test_disk_hit_results_equal_cold_build(self, cache_dir,
+                                               ddr3_device):
+        cold = EvaluationSession(cache_dir=cache_dir)
+        cold_power = cold.model(ddr3_device).pattern_power().power
+        warm = EvaluationSession(cache_dir=cache_dir)
+        warm_power = warm.model(ddr3_device).pattern_power().power
+        assert warm_power == cold_power
+
+    def test_no_disk_counters_without_cache_dir(self, ddr3_device):
+        session = EvaluationSession()
+        session.model(ddr3_device)
+        stats = session.stats
+        assert stats.disk_hits == 0
+        assert stats.disk_misses == 0
+        assert stats.disk_writes == 0
+        assert "disk[" not in str(stats)
+
+    def test_disk_counters_render_in_stats_line(self, cache_dir,
+                                                ddr3_device):
+        session = EvaluationSession(cache_dir=cache_dir)
+        session.model(ddr3_device)
+        assert "disk[hits=0 misses=1 writes=1" in str(session.stats)
+
+    def test_stats_delta_isolates_one_sweep(self, cache_dir,
+                                            ddr3_device):
+        session = EvaluationSession(cache_dir=cache_dir)
+        session.model(ddr3_device)
+        before = session.stats
+        session.model(ddr3_device)
+        delta = session.stats.delta(before)
+        assert delta.hits == 1
+        assert delta.misses == 0
+        assert delta.disk_writes == 0
