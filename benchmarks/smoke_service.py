@@ -1,0 +1,103 @@
+"""CI smoke check: the evaluation service end to end.
+
+Boots ``python -m repro serve`` as a real subprocess on a free port,
+then drives it over HTTP the way a deployment would:
+
+* ``/healthz`` answers during start-up polling;
+* ``POST /evaluate`` twice with the identical description — the
+  second answer must come from the warm in-memory cache (the
+  ``/stats`` hit counter grows, misses do not);
+* ``POST /sweep`` runs a sensitivity sweep through the same session;
+* SIGTERM drains and the process exits 0.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_service.py``
+Exits non-zero on any failed expectation.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.client import ServiceClient
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _fail(process, message):
+    print(f"FAIL: {message}")
+    if process.poll() is None:
+        process.kill()
+        process.communicate(timeout=10)
+    return 1
+
+
+def main() -> int:
+    port = _free_port()
+    root = Path(__file__).parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True)
+    client = ServiceClient(f"http://127.0.0.1:{port}")
+
+    if not client.wait_until_ready(timeout=30):
+        return _fail(process, f"service never came up on :{port}")
+
+    first = client.evaluate(device={"node": 55})
+    power = first["results"][0]["power_w"]
+    if not power > 0:
+        return _fail(process, f"implausible power {power!r}")
+    cold = client.stats()["engine"]
+
+    second = client.evaluate(device={"node": 55})
+    warm = client.stats()["engine"]
+    if second != first:
+        return _fail(process, "warm answer differs from cold answer")
+    if warm["hits"] != cold["hits"] + 1 or \
+            warm["misses"] != cold["misses"]:
+        return _fail(
+            process,
+            f"second request missed the warm cache: hits "
+            f"{cold['hits']}->{warm['hits']}, misses "
+            f"{cold['misses']}->{warm['misses']}")
+    if not warm["hit_rate"] > 0.0:
+        return _fail(process, "hit rate still zero after warm hit")
+
+    sweep = client.sweep("sensitivity", variation=0.1)
+    if not sweep["rows"]:
+        return _fail(process, "sensitivity sweep returned no rows")
+
+    stats = client.stats()
+    total = stats["requests_total"]
+    if total < 6:
+        return _fail(process, f"only {total} requests counted")
+
+    process.send_signal(signal.SIGTERM)
+    try:
+        out, _ = process.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        return _fail(process, "service did not drain on SIGTERM")
+    if process.returncode != 0:
+        print(out)
+        return _fail(process,
+                     f"exit code {process.returncode} after SIGTERM")
+
+    print(f"OK: evaluate warm hit ({warm['hits']} hits, "
+          f"{warm['misses']} misses), {len(sweep['rows'])} sweep "
+          f"rows, {total} requests served, clean SIGTERM exit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

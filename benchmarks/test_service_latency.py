@@ -1,0 +1,92 @@
+"""Experiment E-SVC — warm evaluation service: request latency.
+
+Measures the end-to-end HTTP round-trip of ``POST /evaluate`` against
+one in-process :class:`~repro.service.EvaluationService` and records
+the numbers into ``benchmarks/service_metrics.json``:
+
+* the *cold* request pays one model build inside the daemon;
+* every *warm* repeat of the identical description is answered from
+  the session's in-memory cache — the whole point of keeping the
+  daemon alive — and is asserted to actually hit it (the ``/stats``
+  hit counter grows, the hit rate turns positive);
+* a sensitivity sweep is timed cold and warm the same way to show the
+  reuse extends across endpoints sharing the session.
+
+The warm median is additionally required to beat the cold request:
+transport costs stay, the build disappears.
+"""
+
+import statistics
+import threading
+import time
+
+from repro.client import ServiceClient
+from repro.service import create_service
+
+from conftest import emit, record_metrics
+
+WARM_REPEATS = 25
+
+
+def _serve():
+    service = create_service(host="127.0.0.1", port=0)
+    thread = threading.Thread(target=service.serve_forever,
+                              daemon=True)
+    thread.start()
+    return service, thread
+
+
+def _timed(call):
+    started = time.perf_counter()
+    call()
+    return (time.perf_counter() - started) * 1e3
+
+
+def test_service_request_latency():
+    service, thread = _serve()
+    client = ServiceClient(
+        f"http://127.0.0.1:{service.server_port}")
+    try:
+        evaluate = lambda: client.evaluate(device={"node": 55})
+        cold_ms = _timed(evaluate)
+        after_cold = client.stats()["engine"]
+
+        warm_ms = sorted(_timed(evaluate)
+                         for _ in range(WARM_REPEATS))
+        warm = client.stats()["engine"]
+
+        sweep = lambda: client.sweep("sensitivity", variation=0.1)
+        sweep_cold_ms = _timed(sweep)
+        sweep_warm_ms = _timed(sweep)
+    finally:
+        service.shutdown()
+        service.server_close()
+        thread.join(timeout=5)
+
+    # Every repeat was answered from the in-memory model cache: the
+    # hit counter grew by exactly the repeat count and no further
+    # cold build happened.
+    assert after_cold.get("disk_hits", 0) == 0
+    assert warm["hits"] >= after_cold["hits"] + WARM_REPEATS
+    assert warm["misses"] == after_cold["misses"]
+    assert warm["hit_rate"] > 0.0
+
+    warm_median_ms = statistics.median(warm_ms)
+    assert warm_median_ms < cold_ms
+
+    emit(f"POST /evaluate: cold {cold_ms:.1f} ms, warm median "
+         f"{warm_median_ms:.2f} ms over {WARM_REPEATS} repeats "
+         f"(p95 {warm_ms[int(0.95 * len(warm_ms))]:.2f} ms); "
+         f"sensitivity sweep cold {sweep_cold_ms:.0f} ms, warm "
+         f"{sweep_warm_ms:.0f} ms; session hit rate "
+         f"{warm['hit_rate']:.2%}")
+    record_metrics("service_metrics.json", {
+        "evaluate_cold_ms": round(cold_ms, 3),
+        "evaluate_warm_median_ms": round(warm_median_ms, 3),
+        "evaluate_warm_p95_ms": round(
+            warm_ms[int(0.95 * len(warm_ms))], 3),
+        "evaluate_warm_repeats": WARM_REPEATS,
+        "sweep_sensitivity_cold_ms": round(sweep_cold_ms, 3),
+        "sweep_sensitivity_warm_ms": round(sweep_warm_ms, 3),
+        "session_hit_rate": round(warm["hit_rate"], 4),
+    })

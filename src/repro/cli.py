@@ -89,13 +89,15 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     """The uniform sweep-execution options of every sweep subcommand."""
     parser.add_argument("--jobs", type=int, default=None,
                         help="evaluate sweep variants with N workers "
-                             "(default: serial, or every CPU when "
-                             "--backend is given)")
-    parser.add_argument("--backend", default=None,
-                        choices=["serial", "thread", "process"],
-                        help="sweep execution backend (process = real "
-                             "multi-core scale-out; default: serial, "
-                             "or thread when --jobs > 1)")
+                             "(default: every usable CPU)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "serial", "thread",
+                                 "process"],
+                        help="sweep execution backend (default auto: "
+                             "serial or process chosen per call from "
+                             "the sweep width, the measured per-build "
+                             "cost and the usable core count; process "
+                             "= real multi-core scale-out)")
     parser.add_argument("--cache-dir", dest="cache_dir", default=None,
                         help="persistent on-disk model cache directory "
                              "(default: disabled; ~/.cache/repro is "
@@ -231,6 +233,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"disk-hits={stats.disk_hits} "
               f"disk-writes={stats.disk_writes}")
     return 0 if all(result.is_ok for result in results) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from .service import create_service
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    service = create_service(host=args.host, port=args.port,
+                             capacity=args.capacity,
+                             cache_dir=args.cache_dir)
+    cache = args.cache_dir or "disabled"
+    print(f"repro service listening on "
+          f"http://{args.host}:{service.server_port} "
+          f"(model-cache capacity={args.capacity}, "
+          f"cache-dir={cache}); SIGTERM or Ctrl-C drains and exits",
+          flush=True)
+    service.run()
+    print("repro service stopped")
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -450,6 +474,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_device_arguments(check)
     _add_sweep_arguments(check)
     check.set_defaults(handler=_cmd_check)
+
+    serve = subparsers.add_parser(
+        "serve", help="long-lived evaluation service over HTTP "
+                      "(see docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8080)")
+    serve.add_argument("--capacity", type=int, default=256,
+                       help="in-memory model cache capacity "
+                            "(default 256 models)")
+    serve.add_argument("--cache-dir", dest="cache_dir", default=None,
+                       help="persistent on-disk model cache directory "
+                            "(default: disabled)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request (DEBUG level)")
+    serve.set_defaults(handler=_cmd_serve)
 
     export = subparsers.add_parser(
         "export", help="write all experiment data as CSV/JSON")

@@ -1,0 +1,128 @@
+"""HTTP client for the warm evaluation service (:mod:`repro.service`).
+
+A thin, stdlib-only wrapper over the four endpoints, used by the test
+suite, the CI smoke and any tool that wants cross-request model reuse
+without importing the model itself::
+
+    from repro.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    client.wait_until_ready()
+    result = client.evaluate(device={"node": 55})["results"][0]
+    print(result["power_w"], result["energy_per_bit_pj"])
+
+Every failure — transport, HTTP status, server-side model error —
+surfaces as one exception type, :class:`~repro.errors.ServiceError`,
+whose ``status`` attribute carries the HTTP code (``0`` when the
+service could not be reached at all).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, Optional
+
+from .errors import ServiceError
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``http://127.0.0.1:8080``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: Optional[Any] = None) -> Dict[str, Any]:
+        """One JSON round-trip; :class:`ServiceError` on any failure."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(self._error_detail(exc),
+                               status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: "
+                f"{exc.reason}", status=0) from exc
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        """The server's ``{"error": ...}`` message, or the bare code."""
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return str(payload.get("error", payload))
+        except Exception:
+            return f"HTTP {exc.code}"
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` — liveness."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats`` — engine counters + service bookkeeping."""
+        return self.request("GET", "/stats")
+
+    def evaluate(self, device: Optional[Any] = None,
+                 devices: Optional[Iterable[Any]] = None,
+                 pattern: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /evaluate`` for one device payload or a batch."""
+        if (device is None) == (devices is None):
+            raise ServiceError(
+                "pass exactly one of device= or devices=")
+        payload: Dict[str, Any] = {}
+        if device is not None:
+            payload["device"] = device
+        if devices is not None:
+            payload["devices"] = list(devices)
+        if pattern is not None:
+            payload["pattern"] = pattern
+        return self.request("POST", "/evaluate", payload)
+
+    def sweep(self, kind: str, device: Optional[Any] = None,
+              jobs: Optional[int] = None,
+              backend: Optional[str] = None,
+              **params: Any) -> Dict[str, Any]:
+        """``POST /sweep`` — a named sweep with parameters."""
+        payload: Dict[str, Any] = dict(params)
+        payload["kind"] = kind
+        if device is not None:
+            payload["device"] = device
+        if jobs is not None:
+            payload["jobs"] = jobs
+        if backend is not None:
+            payload["backend"] = backend
+        return self.request("POST", "/sweep", payload)
+
+    # ------------------------------------------------------------------
+    def wait_until_ready(self, timeout: float = 10.0,
+                         interval: float = 0.05) -> bool:
+        """Poll ``/healthz`` until the service answers.
+
+        Returns ``True`` as soon as a probe succeeds, ``False`` when
+        ``timeout`` elapses first — the start-up handshake of the CI
+        smoke and the subprocess tests.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.healthz()
+                return True
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(interval)

@@ -40,13 +40,18 @@ cross-analysis reuse for free.
 
 from .cache import EngineStats, ModelCache
 from .diskcache import DiskModelCache, default_cache_dir, model_code_token
-from .executor import BACKENDS, resolve_backend
+from .executor import (AUTO, BACKENDS, choose_backend, default_jobs,
+                       estimate_build_seconds, resolve_backend)
 from .fingerprint import canonical_form, fingerprint
 from .session import EvaluationSession, ensure_session, evaluate_many
 from .variant import Variant, scaling
 
 __all__ = [
+    "AUTO",
     "BACKENDS",
+    "choose_backend",
+    "default_jobs",
+    "estimate_build_seconds",
     "DiskModelCache",
     "EngineStats",
     "ModelCache",

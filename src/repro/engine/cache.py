@@ -53,7 +53,8 @@ class EngineStats:
     evictions: int
     """Models dropped by the LRU bound."""
     size: int
-    """Models currently held."""
+    """Models currently held — an occupancy gauge, not a counter:
+    merges across worker caches take the maximum, never the sum."""
     capacity: int
     """Maximum models held."""
     build_seconds: float

@@ -134,6 +134,8 @@ class DiskModelCache:
         The entry is complete-or-absent: it is staged in a temporary
         file and renamed into place, so concurrent readers and writers
         (parallel workers, parallel CI jobs) never see a torn entry.
+        No failure mode raises or leaks the staging file — I/O errors
+        and serialisation errors alike just return ``False``.
         """
         payload = {
             "schema": SCHEMA_VERSION,
@@ -150,14 +152,20 @@ class DiskModelCache:
                 pickle.dump(payload, stream,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(staging, self._path(key))
+            staging = None
             return True
-        except OSError:
+        except Exception:
+            # Not just OSError: a model holding an unpicklable
+            # attribute raises PicklingError mid-dump, and the "never
+            # raises" contract covers that too — the write degrades to
+            # a cold build next time.
+            return False
+        finally:
             if staging is not None:
                 try:
                     os.unlink(staging)
                 except OSError:
                     pass
-            return False
 
     # ------------------------------------------------------------------
     def entry_count(self) -> int:

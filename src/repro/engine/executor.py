@@ -40,22 +40,103 @@ from .fingerprint import fingerprint
 #: The recognised execution backends.
 BACKENDS = ("serial", "thread", "process")
 
+#: The deferred backend name: resolved per call from the sweep width,
+#: the measured per-build cost and the usable worker count.
+AUTO = "auto"
+
+#: Assumed cold-build cost (s) before any measurement exists; the
+#: observed ``build_seconds / misses`` of the session replaces it as
+#: soon as one cold build has been timed.
+DEFAULT_BUILD_SECONDS = 0.005
+
+#: Amortised cost (s) of adding one process-pool worker: fork/spawn,
+#: pool plumbing and the worker's private session.  Deliberately
+#: pessimistic — overestimating keeps small sweeps serial, which is
+#: the cheap mistake.
+WORKER_STARTUP_SECONDS = 0.1
+
+#: Sweeps at or below this width never leave the serial path; pool
+#: overhead can only lose on one or two builds.
+SERIAL_WIDTH_LIMIT = 2
+
 
 def resolve_backend(backend: Optional[str],
                     jobs: Optional[int]) -> str:
     """The effective backend of a ``map`` call.
 
     ``None`` preserves the historical behaviour: serial unless
-    ``jobs > 1``, which selects threads.  Anything not named in
-    :data:`BACKENDS` raises.
+    ``jobs > 1``, which selects threads.  ``"auto"`` passes through
+    unresolved — the caller holds the sweep width and cost estimate
+    that :func:`choose_backend` needs.  Anything else not named in
+    :data:`BACKENDS` raises, as does a non-positive ``jobs`` — this is
+    the single validation point for every backend, so serial and
+    thread calls reject ``jobs=0`` exactly like the process pool does.
     """
+    if jobs is not None and jobs <= 0:
+        raise ModelError("jobs must be a positive worker count")
     if backend is None:
         return "thread" if jobs is not None and jobs > 1 else "serial"
+    if backend == AUTO:
+        return AUTO
     if backend not in BACKENDS:
         raise ModelError(
             f"unknown backend {backend!r}; choose from "
-            + "/".join(BACKENDS))
+            + "/".join(BACKENDS + (AUTO,)))
     return backend
+
+
+def estimate_build_seconds(stats=None) -> float:
+    """Per-model cold-build cost estimate (s) for the auto policy.
+
+    Seeded from an :class:`~repro.engine.cache.EngineStats` snapshot
+    when it has timed at least one cold build; the conservative
+    :data:`DEFAULT_BUILD_SECONDS` otherwise.
+    """
+    if stats is not None and stats.misses > 0:
+        observed = stats.build_seconds / stats.misses
+        if observed > 0.0:
+            return observed
+    return DEFAULT_BUILD_SECONDS
+
+
+def choose_backend(width: int, jobs: Optional[int] = None,
+                   build_seconds: Optional[float] = None) -> str:
+    """The serial-vs-process decision behind ``backend="auto"``.
+
+    Compares the projected serial cost (``width`` x ``build_seconds``)
+    against the projected pool cost (per-worker startup plus the
+    sharded build time) and returns the cheaper backend.  The thread
+    backend is never chosen: the model is pure Python, so threads
+    cannot beat serial under the GIL — they exist for callables that
+    block or release it, which the policy cannot detect.
+
+    ``width <= 2`` and single-worker calls are always serial, so tiny
+    lookups keep their short stacks and zero pool overhead.
+    """
+    workers = jobs if jobs is not None else default_jobs()
+    if width <= SERIAL_WIDTH_LIMIT or workers <= 1:
+        return "serial"
+    per_build = (build_seconds if build_seconds and build_seconds > 0
+                 else DEFAULT_BUILD_SECONDS)
+    workers = min(workers, width)
+    serial_seconds = width * per_build
+    pooled_seconds = (workers * WORKER_STARTUP_SECONDS
+                      + serial_seconds / workers)
+    return "process" if pooled_seconds < serial_seconds else "serial"
+
+
+def is_picklable(fn: Callable) -> bool:
+    """Whether ``fn`` can ship to process-pool workers.
+
+    The auto policy downgrades to serial instead of failing when the
+    callable cannot be pickled; an *explicit* ``backend="process"``
+    still rejects it loudly (:func:`_ensure_picklable_callable`).
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return False
+    return True
 
 
 def default_jobs() -> int:
@@ -185,12 +266,18 @@ def _pooled_map(items: Sequence, fn: Callable, mode: str,
 
 
 def _add_stats(left: EngineStats, right: EngineStats) -> EngineStats:
-    """Counter-wise sum of two worker deltas."""
+    """Counter-wise sum of two worker deltas.
+
+    ``size`` is an occupancy *gauge*, not a counter: N workers each
+    holding k models do not hold N·k models between them from any one
+    cache's point of view, so the merge takes the maximum occupancy
+    instead of over-reporting the sum.
+    """
     return EngineStats(
         hits=left.hits + right.hits,
         misses=left.misses + right.misses,
         evictions=left.evictions + right.evictions,
-        size=left.size + right.size,
+        size=max(left.size, right.size),
         capacity=left.capacity,
         build_seconds=left.build_seconds + right.build_seconds,
         disk_hits=left.disk_hits + right.disk_hits,

@@ -20,7 +20,9 @@ Backends: ``map(..., backend=...)`` selects ``"serial"`` (default),
 Python, so the GIL leaves little compute overlap; useful when the
 evaluation callable blocks or releases the GIL) or ``"process"``
 (contiguous shards on a ``ProcessPoolExecutor`` of per-worker
-sessions — real CPU scale-out; requires a picklable callable).  All
+sessions — real CPU scale-out; requires a picklable callable) or
+``"auto"`` (serial vs process chosen per call from the sweep width,
+the measured per-build cost and the usable core count).  All
 backends preserve input ordering and equal the serial result
 bit-for-bit.  Passing only ``jobs > 1`` keeps the historical
 thread-pool behaviour.
@@ -42,7 +44,9 @@ from ..description import DramDescription, Pattern
 from ..errors import ModelError
 from .cache import DEFAULT_CAPACITY, EngineStats, ModelCache
 from .diskcache import DiskModelCache
-from .executor import default_jobs, process_map, resolve_backend
+from .executor import (AUTO, choose_backend, default_jobs,
+                       estimate_build_seconds, is_picklable,
+                       process_map, resolve_backend)
 from .fingerprint import fingerprint
 
 Result = TypeVar("Result")
@@ -127,16 +131,25 @@ class EvaluationSession:
 
         ``backend`` selects serial, thread or process execution (see
         the module docstring); omitted, ``jobs > 1`` keeps the
-        historical thread pool.  The result list is always ordered
-        like ``devices`` and equals the serial result bit-for-bit.  A
-        raising ``fn`` surfaces as a :class:`ModelError` naming the
-        failing device's index and fingerprint.
+        historical thread pool.  ``"auto"`` picks serial or process
+        per call from the sweep width, the session's measured
+        per-build cost and the worker count
+        (:func:`~repro.engine.executor.choose_backend`); an
+        unpicklable callable downgrades auto to serial instead of
+        failing.  The result list is always ordered like ``devices``
+        and equals the serial result bit-for-bit.  A raising ``fn``
+        surfaces as a :class:`ModelError` naming the failing device's
+        index and fingerprint.
         """
         devices = list(devices)
-        if jobs is not None and jobs <= 0:
-            raise ModelError("jobs must be a positive worker count")
         backend = resolve_backend(backend, jobs)
         workers = jobs if jobs is not None else default_jobs()
+        if backend == AUTO:
+            backend = choose_backend(
+                len(devices), jobs,
+                estimate_build_seconds(self.stats))
+            if backend == "process" and not is_picklable(fn):
+                backend = "serial"
         if backend == "process" and len(devices) > 1 and workers > 1:
             results, worker_stats = process_map(
                 devices, fn, jobs=workers,

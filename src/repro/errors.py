@@ -62,3 +62,17 @@ class TechnologyError(ReproError, KeyError):
 
 class SchemeError(ReproError):
     """A power-reduction scheme cannot be applied to the given device."""
+
+
+class ServiceError(ReproError):
+    """An evaluation-service request failed.
+
+    Raised by :mod:`repro.service` for malformed requests and by
+    :mod:`repro.client` for transport or server-side failures.
+    ``status`` carries the HTTP status code the failure maps to
+    (``0`` when no HTTP response was received at all).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = status
+        super().__init__(message)

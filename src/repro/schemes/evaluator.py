@@ -8,8 +8,9 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..description import DramDescription
 from ..engine import EvaluationSession, ensure_session
-from ..engine.executor import (default_jobs, process_map_items,
-                               resolve_backend)
+from ..engine.executor import (AUTO, choose_backend, default_jobs,
+                               estimate_build_seconds,
+                               process_map_items, resolve_backend)
 from .base import Scheme, SchemeResult
 from .library import ALL_SCHEMES
 from ..analysis.reporting import format_table
@@ -43,6 +44,13 @@ def compare_schemes(device: DramDescription,
     schemes = list(schemes)
     backend = resolve_backend(backend, jobs)
     workers = jobs if jobs is not None else default_jobs()
+    if backend == AUTO:
+        # Every scheme builds at least a baseline and a modified
+        # model, so the effective sweep width is twice the scheme
+        # count for the serial-vs-process projection.
+        backend = choose_backend(
+            2 * len(schemes), jobs,
+            estimate_build_seconds(session.stats))
     if backend == "process" and len(schemes) > 1 and workers > 1:
         results, worker_stats = process_map_items(
             schemes, partial(_evaluate_scheme, device=device),

@@ -1,0 +1,39 @@
+"""Warm evaluation service: a long-lived daemon over one session.
+
+A cold CLI invocation pays interpreter start-up plus a cold model
+build for every query; calibration-style workloads (repeated small
+queries against a measurement stream) ask the same model thousands of
+times.  This package turns the warm :class:`~repro.engine.session.
+EvaluationSession` cache into *cross-request* reuse: one process holds
+one session for its lifetime behind a small JSON-over-HTTP API, so the
+second identical request is answered from memory with no build at all.
+
+Stdlib only (``http.server.ThreadingHTTPServer``); endpoints:
+
+* ``POST /evaluate`` — pattern power and per-operation energies of
+  one device description or a batch;
+* ``POST /sweep`` — a named sweep (``sensitivity`` / ``corners`` /
+  ``trends`` / ``schemes``) with parameters, executed on the adaptive
+  ``auto`` backend by default;
+* ``GET /stats``  — engine counters (incl. disk cache), uptime and
+  per-endpoint request counts;
+* ``GET /healthz`` — liveness probe.
+
+``repro serve`` starts the daemon from the CLI; SIGTERM/SIGINT drain
+in-flight requests before the process exits.  The matching client
+lives in :mod:`repro.client`; request/response shapes are documented
+in ``docs/SERVICE.md``.
+"""
+
+from .jsonapi import (device_from_payload, evaluate_payload,
+                      stats_payload, sweep_payload)
+from .server import EvaluationService, create_service
+
+__all__ = [
+    "EvaluationService",
+    "create_service",
+    "device_from_payload",
+    "evaluate_payload",
+    "stats_payload",
+    "sweep_payload",
+]

@@ -1,0 +1,273 @@
+"""JSON request/response bodies of the evaluation service.
+
+Pure functions from parsed JSON payloads to JSON-compatible dicts;
+:mod:`repro.service.server` owns the HTTP plumbing and calls in here.
+Keeping the API surface socket-free makes every endpoint unit-testable
+without a server and reusable by other front ends.
+
+A *device payload* takes one of three shapes:
+
+* builder keywords — ``{"node": 55, "io_width": 16, ...}`` routed to
+  :func:`repro.devices.build_device` (an empty object is the default
+  mainstream device);
+* description language — ``{"dsl": "Device ..."}`` parsed by
+  :func:`repro.dsl.loads`;
+* JSON interchange — ``{"json": {...}}`` decoded by
+  :func:`repro.description.jsonio.from_dict`.
+
+Every malformed request raises :class:`~repro.errors.ServiceError`
+carrying the HTTP status it maps to; model-layer failures
+(:class:`~repro.errors.ReproError`) are translated to 400s so a bad
+description never takes the daemon down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Optional
+
+from ..analysis.corners import (STANDARD_CORNERS, VENDOR_SPREAD_CORNERS,
+                                corner_sweep)
+from ..analysis.sensitivity import sensitivity
+from ..analysis.trends import generation_trend
+from ..core import DramPowerModel
+from ..description import DramDescription, Pattern
+from ..description.jsonio import from_dict
+from ..description.pattern import Command
+from ..devices import build_device
+from ..dsl import loads
+from ..engine import AUTO, EvaluationSession
+from ..errors import ReproError, ServiceError
+from ..schemes import compare_schemes
+from ..units import parse_quantity
+
+#: Keyword keys accepted by the builder shape of a device payload.
+BUILDER_KEYS = ("node", "interface", "density_bits", "io_width",
+                "datarate", "page_bits", "banks", "name")
+
+#: Operations whose per-operation energy every evaluation reports.
+_OPERATIONS = (Command.ACT, Command.PRE, Command.RD, Command.WR)
+
+
+def _finite(value: float) -> Optional[float]:
+    """``value`` as JSON-safe data: non-finite floats become null."""
+    return value if math.isfinite(value) else None
+
+
+def device_from_payload(payload: Any) -> DramDescription:
+    """Decode one device payload (see the module docstring shapes)."""
+    if not isinstance(payload, dict):
+        raise ServiceError("device payload must be a JSON object")
+    try:
+        if "dsl" in payload:
+            if not isinstance(payload["dsl"], str):
+                raise ServiceError("'dsl' must be a string")
+            return loads(payload["dsl"], source="<request>")
+        if "json" in payload:
+            return from_dict(payload["json"])
+        unknown = set(payload) - set(BUILDER_KEYS)
+        if unknown:
+            raise ServiceError(
+                "unknown device keys: " + ", ".join(sorted(unknown))
+                + "; builder keys are " + ", ".join(BUILDER_KEYS)
+                + " (or pass 'dsl' / 'json')")
+        kwargs = dict(payload)
+        node = kwargs.pop("node", 55)
+        if isinstance(kwargs.get("datarate"), str):
+            kwargs["datarate"] = parse_quantity(kwargs["datarate"])
+        return build_device(node, **kwargs)
+    except ServiceError:
+        raise
+    except ReproError as exc:
+        raise ServiceError(str(exc)) from exc
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ServiceError(
+            f"invalid device payload: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _evaluation(model: DramPowerModel,
+                pattern: Optional[Pattern]) -> Dict[str, Any]:
+    """The JSON body describing one evaluated device."""
+    result = model.pattern_power(pattern)
+    return {
+        "device": result.device_name,
+        "pattern": result.pattern,
+        "power_w": result.power,
+        "current_a": result.current,
+        "duration_s": result.duration,
+        "energy_per_bit_pj": _finite(result.energy_per_bit_pj),
+        "operation_power_w": {name: value for name, value
+                              in result.operation_power.items()},
+        "operation_energy_pj": {
+            command.value: model.operation_energy(command) * 1e12
+            for command in _OPERATIONS},
+        "breakdown_w": result.breakdown.as_dict(),
+    }
+
+
+def evaluate_payload(session: EvaluationSession,
+                     payload: Any) -> Dict[str, Any]:
+    """``POST /evaluate``: one description or a batch.
+
+    ``{"device": {...}}`` or ``{"devices": [{...}, ...]}``, plus an
+    optional ``"pattern"`` command loop evaluated on every device
+    (the device default pattern when omitted).  Results keep the
+    request order.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("request body must be a JSON object")
+    if "devices" in payload:
+        specs = payload["devices"]
+        if not isinstance(specs, list) or not specs:
+            raise ServiceError("'devices' must be a non-empty list")
+    elif "device" in payload:
+        specs = [payload["device"]]
+    else:
+        raise ServiceError("request needs a 'device' or 'devices' key")
+    pattern = None
+    if payload.get("pattern") is not None:
+        if not isinstance(payload["pattern"], str):
+            raise ServiceError("'pattern' must be a command string")
+        try:
+            pattern = Pattern.parse(payload["pattern"])
+        except (ReproError, ValueError) as exc:
+            raise ServiceError(f"bad pattern: {exc}") from exc
+    devices = [device_from_payload(spec) for spec in specs]
+    try:
+        results = [_evaluation(session.model(device), pattern)
+                   for device in devices]
+    except ReproError as exc:
+        raise ServiceError(str(exc)) from exc
+    return {"count": len(results), "results": results}
+
+
+# ----------------------------------------------------------------------
+# Named sweeps.
+# ----------------------------------------------------------------------
+def _sensitivity_rows(session, payload, jobs, backend):
+    device = device_from_payload(payload.get("device", {}))
+    variation = float(payload.get("variation", 0.2))
+    results = sensitivity(device, variation=variation,
+                          session=session, jobs=jobs, backend=backend)
+    rows = [{"name": result.name,
+             "group": result.group,
+             "impact": result.impact,
+             "power_base_w": result.power_base,
+             "power_low_w": result.power_low,
+             "power_high_w": result.power_high}
+            for result in results]
+    return {"device": device.name, "variation": variation,
+            "rows": rows}
+
+
+def _corner_rows(session, payload, jobs, backend):
+    device = device_from_payload(payload.get("device", {}))
+    vendor = bool(payload.get("vendor", False))
+    corners = VENDOR_SPREAD_CORNERS if vendor else STANDARD_CORNERS
+    bands = corner_sweep(device, corners=corners, session=session,
+                         jobs=jobs, backend=backend)
+    rows = [{"measure": band.measure.value,
+             "min_ma": band.minimum,
+             "typ_ma": band.typical,
+             "max_ma": band.maximum,
+             "spread": band.spread,
+             "values_ma": band.values_ma}
+            for band in bands]
+    return {"device": device.name, "vendor": vendor, "rows": rows}
+
+
+def _trend_rows(session, payload, jobs, backend):
+    io_width = int(payload.get("io_width", 16))
+    node_list = payload.get("nodes")
+    if node_list is not None and not isinstance(node_list, list):
+        raise ServiceError("'nodes' must be a list of nodes in nm")
+    points = generation_trend(io_width=io_width, node_list=node_list,
+                              session=session, jobs=jobs,
+                              backend=backend)
+    rows = [{"node_nm": point.node_nm,
+             "year": point.year,
+             "interface": point.interface,
+             "datarate_gbps": point.datarate / 1e9,
+             "vdd": point.vdd,
+             "die_area_mm2": point.die_area_mm2,
+             "idd0_ma": point.idd0_ma,
+             "idd4r_ma": point.idd4r_ma,
+             "energy_idd7_pj": point.energy_idd7_pj}
+            for point in points]
+    return {"io_width": io_width, "rows": rows}
+
+
+def _scheme_rows(session, payload, jobs, backend):
+    device = device_from_payload(payload.get("device", {}))
+    results = compare_schemes(device, session=session, jobs=jobs,
+                              backend=backend)
+    rows = [{"scheme": result.scheme,
+             "power_saving": result.power_saving,
+             "area_overhead": result.area_overhead,
+             "baseline_power_w": result.baseline.power,
+             "modified_power_w": result.modified.power,
+             "notes": result.notes}
+            for result in results]
+    return {"device": device.name, "rows": rows}
+
+
+#: Sweep kinds served by ``POST /sweep``.
+SWEEPS = {
+    "sensitivity": _sensitivity_rows,
+    "corners": _corner_rows,
+    "trends": _trend_rows,
+    "schemes": _scheme_rows,
+}
+
+
+def sweep_payload(session: EvaluationSession,
+                  payload: Any) -> Dict[str, Any]:
+    """``POST /sweep``: one named sweep over the shared session.
+
+    ``{"kind": "sensitivity"|"corners"|"trends"|"schemes", ...}`` with
+    kind-specific parameters (``device``, ``variation``, ``vendor``,
+    ``io_width``, ``nodes``) plus the uniform execution options
+    ``jobs`` and ``backend`` (default ``"auto"``).
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("request body must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in SWEEPS:
+        raise ServiceError(
+            f"unknown sweep kind {kind!r}; choose from "
+            + "/".join(sorted(SWEEPS)))
+    jobs = payload.get("jobs")
+    if jobs is not None and not isinstance(jobs, int):
+        raise ServiceError("'jobs' must be an integer worker count")
+    backend = payload.get("backend", AUTO)
+    if backend is not None and not isinstance(backend, str):
+        raise ServiceError("'backend' must be a backend name")
+    try:
+        body = SWEEPS[kind](session, payload, jobs, backend)
+    except ServiceError:
+        raise
+    except (ReproError, ValueError, TypeError) as exc:
+        raise ServiceError(str(exc)) from exc
+    body["kind"] = kind
+    body["backend_requested"] = backend
+    return body
+
+
+def stats_payload(session: EvaluationSession) -> Dict[str, Any]:
+    """The engine half of ``GET /stats``: one counter snapshot.
+
+    The server wraps this with uptime and request counts; keeping the
+    engine part here lets tests assert cache behaviour without HTTP.
+    """
+    stats = session.stats
+    engine: Dict[str, Any] = dataclasses.asdict(stats)
+    engine["hit_rate"] = stats.hit_rate
+    engine["lookups"] = stats.lookups
+    return {"engine": engine, "cache_dir": session.cache_dir}
+
+
+def sweep_kinds() -> List[str]:
+    """The kinds ``POST /sweep`` understands, sorted."""
+    return sorted(SWEEPS)

@@ -1,0 +1,218 @@
+"""HTTP front end of the warm evaluation service.
+
+A :class:`ThreadingHTTPServer` subclass that owns one long-lived
+:class:`~repro.engine.session.EvaluationSession` shared by every
+request thread (the model cache is thread-safe), so repeated queries
+for equal descriptions are answered from memory across requests.
+
+Lifecycle: :func:`create_service` binds the socket (port ``0`` picks
+an ephemeral port — tests use this); :meth:`EvaluationService.run`
+serves until SIGTERM/SIGINT, then *drains*: handler threads are
+non-daemon and joined on close, so every in-flight request finishes
+before the process exits.  Embedders that cannot give up the main
+thread call :meth:`serve_forever`/:meth:`shutdown` directly.
+
+The wire protocol is JSON in both directions; failures are JSON too
+(``{"error": ...}`` with a 4xx/5xx status) — a malformed request or a
+model-layer error never terminates the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..engine import EvaluationSession
+from ..engine.cache import DEFAULT_CAPACITY
+from ..errors import ReproError, ServiceError
+from .jsonapi import evaluate_payload, sweep_payload
+from .jsonapi import stats_payload as engine_stats_payload
+
+_LOG = logging.getLogger("repro.service")
+
+#: Largest accepted request body; bigger posts are refused with 413
+#: so one misbehaving client cannot balloon the daemon.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the server's shared session."""
+
+    server_version = "repro-service/1.0"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._reply(200, self.server.health_payload())
+        elif path == "/stats":
+            self._reply(200, self.server.stats_payload())
+        else:
+            self._reply(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:
+        path = urlsplit(self.path).path
+        if path not in ("/evaluate", "/sweep"):
+            self._reply(404, {"error": f"unknown path {path!r}"})
+            return
+        session = self.server.session
+        try:
+            payload = self._read_json()
+            if path == "/evaluate":
+                body = evaluate_payload(session, payload)
+            else:
+                body = sweep_payload(session, payload)
+        except ServiceError as exc:
+            self._reply(exc.status or 400, {"error": str(exc)})
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            _LOG.exception("unhandled error on %s", path)
+            self._reply(500,
+                        {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._reply(200, body)
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError("request body too large", status=413)
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"invalid JSON body: {exc}") from exc
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        # Tally before the body goes out: a client that sees this
+        # response and immediately asks /stats must find the request
+        # already counted.
+        self.server.count_request(urlsplit(self.path).path, status)
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        try:
+            self.wfile.write(blob)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing left to tell it
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs to ``logging`` instead of stderr."""
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+
+class EvaluationService(ThreadingHTTPServer):
+    """A long-lived evaluation daemon holding one warm session."""
+
+    #: Handler threads are joined on close so in-flight requests
+    #: drain before the process exits (graceful SIGTERM semantics).
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, address: Tuple[str, int] = ("127.0.0.1", 8080),
+                 capacity: int = DEFAULT_CAPACITY,
+                 cache_dir: Optional[str] = None):
+        super().__init__(address, ServiceHandler)
+        self.session = EvaluationSession(capacity=capacity,
+                                         cache_dir=cache_dir)
+        self.started_monotonic = time.monotonic()
+        self.started_unix = time.time()
+        self._counts_lock = threading.Lock()
+        self.request_counts: Dict[str, int] = {}
+        self.error_count = 0
+
+    # ------------------------------------------------------------------
+    def count_request(self, path: str, status: int) -> None:
+        """Tally one answered request (any status) per endpoint."""
+        with self._counts_lock:
+            self.request_counts[path] = \
+                self.request_counts.get(path, 0) + 1
+            if status >= 400:
+                self.error_count += 1
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def health_payload(self) -> Dict[str, Any]:
+        return {"status": "ok",
+                "uptime_seconds": self.uptime_seconds}
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """``GET /stats``: engine counters + service bookkeeping."""
+        body = engine_stats_payload(self.session)
+        with self._counts_lock:
+            counts = dict(self.request_counts)
+            errors = self.error_count
+        body.update({
+            "status": "ok",
+            "uptime_seconds": self.uptime_seconds,
+            "started_unix": self.started_unix,
+            "requests": counts,
+            "requests_total": sum(counts.values()),
+            "errors": errors,
+        })
+        return body
+
+    # ------------------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Stop the serve loop; safe to call from any thread.
+
+        ``shutdown()`` blocks until the loop exits, so calling it on
+        the thread *running* ``serve_forever`` (e.g. a signal handler
+        interrupting the main thread) would deadlock — it is
+        dispatched to a helper thread instead.
+        """
+        threading.Thread(target=self.shutdown,
+                         name="repro-service-shutdown",
+                         daemon=True).start()
+
+    def _handle_signal(self, signum: int, frame: Any) -> None:
+        _LOG.info("signal %d received: draining and shutting down",
+                  signum)
+        self.request_shutdown()
+
+    def run(self, install_signals: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT; drain, close, return.
+
+        Installing signal handlers requires the main thread; pass
+        ``install_signals=False`` when serving from a worker thread
+        (tests) and use :meth:`shutdown` directly instead.
+        """
+        previous = {}
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(signum,
+                                                 self._handle_signal)
+        try:
+            self.serve_forever(poll_interval=0.1)
+        finally:
+            self.server_close()
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+
+def create_service(host: str = "127.0.0.1", port: int = 8080,
+                   capacity: int = DEFAULT_CAPACITY,
+                   cache_dir: Optional[str] = None
+                   ) -> EvaluationService:
+    """A bound, not-yet-serving service (``port=0`` = ephemeral).
+
+    The caller decides how to serve: ``service.run()`` for the CLI
+    (signals + drain), ``service.serve_forever()`` on a thread for
+    tests and embedders.  ``service.server_port`` holds the bound
+    port either way.
+    """
+    return EvaluationService((host, port), capacity=capacity,
+                             cache_dir=cache_dir)

@@ -178,3 +178,83 @@ class TestSessionIntegration:
         assert delta.hits == 1
         assert delta.misses == 0
         assert delta.disk_writes == 0
+
+
+class _UnpicklableModel:
+    """A model stand-in whose serialisation always fails mid-dump."""
+
+    def __reduce__(self):
+        raise pickle.PicklingError("refuses to pickle")
+
+
+class TestStoreFailureContract:
+    def test_unpicklable_model_returns_false(self, cache_dir):
+        # Regression: store() once caught only OSError, so a
+        # PicklingError raised mid-dump escaped to the caller and
+        # leaked the staging file.
+        disk = DiskModelCache(cache_dir)
+        assert disk.store("deadbeef" * 8, _UnpicklableModel()) is False
+
+    def test_unpicklable_model_leaks_no_staging_file(self, cache_dir):
+        disk = DiskModelCache(cache_dir)
+        disk.store("deadbeef" * 8, _UnpicklableModel())
+        assert list(cache_dir.rglob("*.tmp")) == []
+        assert disk.entry_count() == 0
+
+    def test_failed_store_reads_back_as_miss(self, cache_dir):
+        disk = DiskModelCache(cache_dir)
+        key = "deadbeef" * 8
+        disk.store(key, _UnpicklableModel())
+        assert disk.load(key) is None
+
+    def test_store_still_false_on_io_error(self, cache_dir,
+                                           ddr3_device, ddr3_model,
+                                           monkeypatch):
+        disk = DiskModelCache(cache_dir)
+        monkeypatch.setattr("os.replace", _raise_os_error)
+        assert disk.store(fingerprint(ddr3_device),
+                          ddr3_model) is False
+        assert list(cache_dir.rglob("*.tmp")) == []
+
+
+def _raise_os_error(*args, **kwargs):
+    raise OSError("disk full")
+
+
+class TestConcurrentAccess:
+    def test_parallel_store_and_load_of_one_key(self, cache_dir,
+                                                ddr3_device,
+                                                ddr3_model):
+        # Writers race os.replace on the same entry while readers
+        # load it; the atomic-write contract promises every reader a
+        # complete entry or a clean miss, never a torn file or an
+        # exception.
+        from concurrent.futures import ThreadPoolExecutor
+
+        disk = DiskModelCache(cache_dir)
+        key = fingerprint(ddr3_device)
+        expected = ddr3_model.pattern_power().power
+
+        def worker(index):
+            outcomes = []
+            for _ in range(5):
+                if index % 2 == 0:
+                    outcomes.append(disk.store(key, ddr3_model))
+                else:
+                    outcomes.append(disk.load(key))
+            return outcomes
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            rounds = list(pool.map(worker, range(8)))
+
+        for index, outcomes in enumerate(rounds):
+            for outcome in outcomes:
+                if index % 2 == 0:
+                    assert outcome is True
+                else:
+                    assert outcome is None or \
+                        outcome.pattern_power().power == expected
+        assert disk.corrupt_entries == 0
+        assert disk.entry_count() == 1
+        assert list(cache_dir.rglob("*.tmp")) == []
+        assert disk.load(key).pattern_power().power == expected

@@ -8,7 +8,8 @@ from repro.analysis.sensitivity import sensitivity
 from repro.analysis.trends import generation_trend
 from repro.core.idd import idd7_mixed
 from repro.engine import EvaluationSession, resolve_backend
-from repro.engine.executor import default_jobs, shard
+from repro.engine.cache import EngineStats
+from repro.engine.executor import _add_stats, default_jobs, shard
 from repro.errors import ModelError
 from repro.schemes import compare_schemes
 
@@ -173,3 +174,49 @@ class TestSweepDeterminism:
                                jobs=2, backend="thread")
         assert [d.samples for d in threaded] == \
             [d.samples for d in serial]
+
+
+class TestWorkerStatsMerge:
+    def test_size_merges_as_max_not_sum(self):
+        # size is an occupancy gauge: two workers each holding a few
+        # models do not jointly hold the sum from any single cache's
+        # point of view.  The pre-fix merge summed it.
+        left = EngineStats(hits=2, misses=3, evictions=1, size=3,
+                           capacity=8, build_seconds=0.25,
+                           disk_hits=1, disk_misses=2, disk_writes=2)
+        right = EngineStats(hits=1, misses=5, evictions=0, size=5,
+                            capacity=8, build_seconds=0.5,
+                            disk_misses=5, disk_writes=5,
+                            disk_corrupt=1)
+        merged = _add_stats(left, right)
+        assert merged.size == 5
+
+    def test_counters_still_sum(self):
+        left = EngineStats(hits=2, misses=3, evictions=1, size=3,
+                           capacity=8, build_seconds=0.25,
+                           disk_hits=1, disk_misses=2, disk_writes=2)
+        right = EngineStats(hits=1, misses=5, evictions=0, size=5,
+                            capacity=8, build_seconds=0.5,
+                            disk_misses=5, disk_writes=5,
+                            disk_corrupt=1)
+        merged = _add_stats(left, right)
+        assert merged.hits == 3
+        assert merged.misses == 8
+        assert merged.evictions == 1
+        assert merged.capacity == 8
+        assert merged.build_seconds == pytest.approx(0.75)
+        assert merged.disk_hits == 1
+        assert merged.disk_misses == 7
+        assert merged.disk_writes == 7
+        assert merged.disk_corrupt == 1
+
+    def test_pooled_size_is_parent_occupancy(self, ddr3_device):
+        # End to end: models were built in the workers, so absorbing
+        # their counters must not inflate the parent's occupancy
+        # gauge — it stays the parent cache's own (empty) count while
+        # the build counters reflect the whole sweep.
+        devices = _variants(ddr3_device)
+        session = EvaluationSession()
+        session.map(devices, _power, jobs=2, backend="process")
+        assert session.stats.size == 0
+        assert session.stats.misses == len(devices)

@@ -7,6 +7,8 @@ from hypothesis import given, strategies as st
 
 from repro.errors import UnitError
 from repro.units import (
+    SI_PREFIXES,
+    _FORMAT_PREFIXES,
     format_quantity,
     milli,
     parse_quantity,
@@ -157,3 +159,35 @@ class TestHelpers:
 
     def test_milli(self):
         assert milli(0.5) == 500.0
+
+
+class TestPrefixRoundTrips:
+    """Every SI prefix the module knows, both directions."""
+
+    @pytest.mark.parametrize("prefix,factor",
+                             sorted(SI_PREFIXES.items()))
+    def test_parse_accepts_every_prefix(self, prefix, factor):
+        assert parse_quantity(f"2.5{prefix}V") == \
+            pytest.approx(2.5 * factor)
+
+    @pytest.mark.parametrize("factor,prefix", _FORMAT_PREFIXES)
+    def test_format_then_parse_recovers_value(self, factor, prefix):
+        value = 3.25 * factor
+        text = format_quantity(value, "A")
+        assert text == f"3.25{prefix}A"
+        assert parse_quantity(text) == pytest.approx(value)
+
+    @pytest.mark.parametrize("factor,prefix", _FORMAT_PREFIXES)
+    def test_negative_values_round_trip_too(self, factor, prefix):
+        value = -1.75 * factor
+        text = format_quantity(value, "W")
+        assert parse_quantity(text) == pytest.approx(value)
+
+    @pytest.mark.parametrize("prefix,factor",
+                             sorted(SI_PREFIXES.items()))
+    def test_parse_then_format_is_stable(self, prefix, factor):
+        # Formatting what we parsed and parsing it again must land on
+        # the same float: the two prefix tables agree on magnitudes.
+        parsed = parse_quantity(f"4.5{prefix}Hz")
+        again = parse_quantity(format_quantity(parsed, "Hz"))
+        assert again == pytest.approx(parsed)
