@@ -1,0 +1,193 @@
+"""CI smoke check: the resilience layer under injected faults.
+
+Two stages, both asserting the PR's acceptance criteria end to end:
+
+1. **Executor fault tolerance**, in process: a process-backend sweep
+   whose worker is SIGKILLed mid-chunk must still return bit-for-bit
+   the serial result (fresh-pool retry), and a sweep whose workers
+   *keep* dying must degrade to the in-parent serial fallback — both
+   recorded in the engine counters.
+
+2. **Service under load**, as a real subprocess: ``repro serve`` with
+   one in-flight slot, a one-deep queue and injected handler latency
+   (via ``REPRO_FAULTS``) is hammered by concurrent clients.  The
+   admission bound must hold, load must actually be shed with
+   ``Retry-After``, and every client must still succeed through
+   backoff-and-retry.  SIGTERM must drain and exit 0.
+
+Shed counts and client-side latency percentiles are recorded into
+``benchmarks/resilience_metrics.json``.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_resilience.py``
+Exits non-zero on any failed expectation.
+"""
+
+import functools
+import json
+import os
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from conftest import record_metrics  # noqa: E402
+
+from repro.client import RetryPolicy, ServiceClient  # noqa: E402
+from repro.engine import EvaluationSession  # noqa: E402
+from repro.errors import ServiceError  # noqa: E402
+from repro.service.faults import (power_kill_always,  # noqa: E402
+                                  power_kill_once)
+
+CLIENTS = 8
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _variants(count=6):
+    from repro.devices import ddr3_2g_55nm
+    base = ddr3_2g_55nm()
+    return [base.scale_path("technology.c_bitline", 1.0 + 0.01 * step)
+            for step in range(count)]
+
+
+def check_worker_loss() -> dict:
+    """Stage 1: killed pool workers must not corrupt a sweep."""
+    devices = _variants()
+    with tempfile.TemporaryDirectory() as scratch:
+        flag = Path(scratch) / "kill"
+
+        fn_once = functools.partial(power_kill_once, str(flag))
+        serial = EvaluationSession().map(devices, fn_once)
+        flag.write_text("armed")
+        session = EvaluationSession()
+        pooled = session.map(devices, fn_once, jobs=2,
+                             backend="process")
+        assert pooled == serial, \
+            "kill-once sweep diverged from the serial baseline"
+        once = session.stats
+        assert once.pool_retries >= 1, \
+            f"expected a pool retry, stats: {once}"
+
+        fn_always = functools.partial(power_kill_always, str(flag))
+        flag.write_text("armed")
+        session = EvaluationSession()
+        pooled = session.map(devices, fn_always, jobs=2,
+                             backend="process")
+        assert pooled == serial, \
+            "kill-always sweep diverged from the serial baseline"
+        always = session.stats
+        assert always.serial_fallbacks >= 1, \
+            f"expected a serial fallback, stats: {always}"
+    print(f"worker-loss: retry path pool_retries="
+          f"{once.pool_retries}, degradation path "
+          f"serial_fallbacks={always.serial_fallbacks}, results "
+          f"bit-for-bit serial-identical")
+    return {"workerloss_pool_retries": once.pool_retries,
+            "workerloss_serial_fallbacks": always.serial_fallbacks}
+
+
+def check_saturated_service() -> dict:
+    """Stage 2: a tiny saturated server, retrying clients, SIGTERM."""
+    port = _free_port()
+    root = Path(__file__).parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    env["REPRO_FAULTS"] = json.dumps([
+        {"kind": "latency", "path": "/evaluate", "seconds": 0.05}])
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--max-inflight", "1",
+         "--max-queue", "1", "--retry-after", "0",
+         "--request-timeout", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True)
+    base_url = f"http://127.0.0.1:{port}"
+    policy = RetryPolicy(max_attempts=30, base_delay=0.02,
+                         max_delay=0.2)
+    try:
+        probe = ServiceClient(base_url)
+        assert probe.wait_until_ready(timeout=30), \
+            f"service never came up: {probe.last_ready_error}"
+
+        latencies = []
+        errors = []
+        lock = threading.Lock()
+
+        def hammer():
+            client = ServiceClient(base_url, retry=policy,
+                                   breaker=None)
+            started = time.perf_counter()
+            try:
+                client.evaluate(device={"node": 55})
+            except ServiceError as error:
+                with lock:
+                    errors.append(error)
+                return
+            elapsed = (time.perf_counter() - started) * 1e3
+            with lock:
+                latencies.append(elapsed)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == [], \
+            f"{len(errors)} clients failed despite retries: " \
+            f"{errors[0]}"
+
+        stats = probe.stats()
+        admission = stats["admission"]
+        assert admission["max_in_flight"] <= 1, \
+            f"in-flight bound violated: {admission}"
+        assert admission["shed_total"] > 0, \
+            f"saturation never shed anything: {admission}"
+
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=30)
+        assert process.returncode == 0, \
+            f"exit code {process.returncode} after SIGTERM:\n{out}"
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+
+    latencies.sort()
+    p50 = statistics.median(latencies)
+    p95 = latencies[int(0.95 * len(latencies))]
+    print(f"saturation: {CLIENTS} retrying clients all succeeded "
+          f"against 1 slot + 1 queue; shed 429={admission['shed_busy']}"
+          f" 503={admission['shed_timeout']}, max in-flight "
+          f"{admission['max_in_flight']}, client latency p50 "
+          f"{p50:.0f} ms p95 {p95:.0f} ms, clean SIGTERM exit")
+    return {"saturation_clients": CLIENTS,
+            "saturation_shed_busy": admission["shed_busy"],
+            "saturation_shed_timeout": admission["shed_timeout"],
+            "saturation_admitted": admission["admitted"],
+            "saturation_latency_p50_ms": round(p50, 3),
+            "saturation_latency_p95_ms": round(p95, 3)}
+
+
+def main() -> int:
+    metrics = {}
+    metrics.update(check_worker_loss())
+    metrics.update(check_saturated_service())
+    path = record_metrics("resilience_metrics.json", metrics)
+    print(f"OK: resilience metrics recorded to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

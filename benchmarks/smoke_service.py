@@ -5,8 +5,9 @@ then drives it over HTTP the way a deployment would:
 
 * ``/healthz`` answers during start-up polling;
 * ``POST /evaluate`` twice with the identical description — the
-  second answer must come from the warm in-memory cache (the
-  ``/stats`` hit counter grows, misses do not);
+  second answer must come from the memoized result cache (the
+  ``/stats`` result-cache hit counter grows, the engine never sees
+  the repeat);
 * ``POST /sweep`` runs a sensitivity sweep through the same session;
 * SIGTERM drains and the process exits 0.
 
@@ -58,21 +59,22 @@ def main() -> int:
     power = first["results"][0]["power_w"]
     if not power > 0:
         return _fail(process, f"implausible power {power!r}")
-    cold = client.stats()["engine"]
+    cold = client.stats()
 
     second = client.evaluate(device={"node": 55})
-    warm = client.stats()["engine"]
+    warm = client.stats()
     if second != first:
         return _fail(process, "warm answer differs from cold answer")
-    if warm["hits"] != cold["hits"] + 1 or \
-            warm["misses"] != cold["misses"]:
+    if warm["result_cache"]["hits"] != \
+            cold["result_cache"]["hits"] + 1:
         return _fail(
             process,
-            f"second request missed the warm cache: hits "
-            f"{cold['hits']}->{warm['hits']}, misses "
-            f"{cold['misses']}->{warm['misses']}")
-    if not warm["hit_rate"] > 0.0:
-        return _fail(process, "hit rate still zero after warm hit")
+            f"second request missed the result cache: hits "
+            f"{cold['result_cache']['hits']}->"
+            f"{warm['result_cache']['hits']}")
+    if warm["engine"]["misses"] != cold["engine"]["misses"]:
+        return _fail(process,
+                     "warm repeat triggered another cold build")
 
     sweep = client.sweep("sensitivity", variation=0.1)
     if not sweep["rows"]:
@@ -93,9 +95,11 @@ def main() -> int:
         return _fail(process,
                      f"exit code {process.returncode} after SIGTERM")
 
-    print(f"OK: evaluate warm hit ({warm['hits']} hits, "
-          f"{warm['misses']} misses), {len(sweep['rows'])} sweep "
-          f"rows, {total} requests served, clean SIGTERM exit")
+    print(f"OK: evaluate warm hit "
+          f"({warm['result_cache']['hits']} result-cache hits, "
+          f"{warm['engine']['misses']} cold builds), "
+          f"{len(sweep['rows'])} sweep rows, {total} requests "
+          f"served, clean SIGTERM exit")
     return 0
 
 

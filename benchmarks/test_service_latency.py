@@ -6,9 +6,9 @@ the numbers into ``benchmarks/service_metrics.json``:
 
 * the *cold* request pays one model build inside the daemon;
 * every *warm* repeat of the identical description is answered from
-  the session's in-memory cache — the whole point of keeping the
-  daemon alive — and is asserted to actually hit it (the ``/stats``
-  hit counter grows, the hit rate turns positive);
+  the memoized result cache — the whole point of keeping the daemon
+  alive — and is asserted to actually hit it (the ``/stats``
+  result-cache hit counter grows, the engine never sees the repeat);
 * a sensitivity sweep is timed cold and warm the same way to show the
   reuse extends across endpoints sharing the session.
 
@@ -49,11 +49,11 @@ def test_service_request_latency():
     try:
         evaluate = lambda: client.evaluate(device={"node": 55})
         cold_ms = _timed(evaluate)
-        after_cold = client.stats()["engine"]
+        after_cold = client.stats()
 
         warm_ms = sorted(_timed(evaluate)
                          for _ in range(WARM_REPEATS))
-        warm = client.stats()["engine"]
+        warm = client.stats()
 
         sweep = lambda: client.sweep("sensitivity", variation=0.1)
         sweep_cold_ms = _timed(sweep)
@@ -63,13 +63,15 @@ def test_service_request_latency():
         service.server_close()
         thread.join(timeout=5)
 
-    # Every repeat was answered from the in-memory model cache: the
-    # hit counter grew by exactly the repeat count and no further
-    # cold build happened.
-    assert after_cold.get("disk_hits", 0) == 0
-    assert warm["hits"] >= after_cold["hits"] + WARM_REPEATS
-    assert warm["misses"] == after_cold["misses"]
-    assert warm["hit_rate"] > 0.0
+    # Every repeat was answered from the memoized result cache: its
+    # hit counter grew by exactly the repeat count while the engine
+    # saw no further lookup and no further cold build.
+    assert after_cold["engine"].get("disk_hits", 0) == 0
+    assert warm["result_cache"]["hits"] >= \
+        after_cold["result_cache"]["hits"] + WARM_REPEATS
+    assert warm["engine"]["misses"] == after_cold["engine"]["misses"]
+    assert warm["engine"]["lookups"] == \
+        after_cold["engine"]["lookups"]
 
     warm_median_ms = statistics.median(warm_ms)
     assert warm_median_ms < cold_ms
@@ -78,8 +80,8 @@ def test_service_request_latency():
          f"{warm_median_ms:.2f} ms over {WARM_REPEATS} repeats "
          f"(p95 {warm_ms[int(0.95 * len(warm_ms))]:.2f} ms); "
          f"sensitivity sweep cold {sweep_cold_ms:.0f} ms, warm "
-         f"{sweep_warm_ms:.0f} ms; session hit rate "
-         f"{warm['hit_rate']:.2%}")
+         f"{sweep_warm_ms:.0f} ms; result-cache hits "
+         f"{warm['result_cache']['hits']}")
     record_metrics("service_metrics.json", {
         "evaluate_cold_ms": round(cold_ms, 3),
         "evaluate_warm_median_ms": round(warm_median_ms, 3),
@@ -88,5 +90,5 @@ def test_service_request_latency():
         "evaluate_warm_repeats": WARM_REPEATS,
         "sweep_sensitivity_cold_ms": round(sweep_cold_ms, 3),
         "sweep_sensitivity_warm_ms": round(sweep_warm_ms, 3),
-        "session_hit_rate": round(warm["hit_rate"], 4),
+        "result_cache_hits": warm["result_cache"]["hits"],
     })

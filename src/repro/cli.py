@@ -238,19 +238,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
-    from .service import create_service
+    from .service import ServiceLimits, create_service
 
     logging.basicConfig(
         level=logging.DEBUG if args.verbose else logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    limits = ServiceLimits(max_inflight=args.max_inflight,
+                           max_queue=args.max_queue,
+                           queue_timeout=args.queue_timeout,
+                           request_timeout=args.request_timeout,
+                           retry_after=args.retry_after,
+                           result_cache=args.result_cache)
     service = create_service(host=args.host, port=args.port,
                              capacity=args.capacity,
-                             cache_dir=args.cache_dir)
+                             cache_dir=args.cache_dir,
+                             limits=limits)
     cache = args.cache_dir or "disabled"
     print(f"repro service listening on "
           f"http://{args.host}:{service.server_port} "
           f"(model-cache capacity={args.capacity}, "
-          f"cache-dir={cache}); SIGTERM or Ctrl-C drains and exits",
+          f"cache-dir={cache}, in-flight<={limits.max_inflight}, "
+          f"queue<={limits.max_queue}, "
+          f"request-timeout={limits.request_timeout:g}s); "
+          f"SIGTERM or Ctrl-C drains and exits",
           flush=True)
     service.run()
     print("repro service stopped")
@@ -489,6 +499,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", dest="cache_dir", default=None,
                        help="persistent on-disk model cache directory "
                             "(default: disabled)")
+    serve.add_argument("--max-inflight", dest="max_inflight",
+                       type=int, default=8,
+                       help="concurrent requests admitted before "
+                            "queueing (default 8)")
+    serve.add_argument("--max-queue", dest="max_queue",
+                       type=int, default=16,
+                       help="requests allowed to wait for a slot; "
+                            "beyond this the service sheds with 429 "
+                            "(default 16)")
+    serve.add_argument("--queue-timeout", dest="queue_timeout",
+                       type=float, default=5.0,
+                       help="seconds a request may wait for a slot "
+                            "before a 503 (default 5)")
+    serve.add_argument("--request-timeout", dest="request_timeout",
+                       type=float, default=30.0,
+                       help="per-request deadline in seconds, 0 "
+                            "disables; clients may override per "
+                            "request via X-Request-Timeout "
+                            "(default 30)")
+    serve.add_argument("--retry-after", dest="retry_after",
+                       type=float, default=1.0,
+                       help="Retry-After hint sent with shed "
+                            "responses, seconds (default 1)")
+    serve.add_argument("--result-cache", dest="result_cache",
+                       type=int, default=256,
+                       help="memoized /evaluate responses kept in "
+                            "the LRU result cache, 0 disables "
+                            "(default 256)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request (DEBUG level)")
     serve.set_defaults(handler=_cmd_serve)

@@ -1,8 +1,9 @@
-"""HTTP client for the warm evaluation service (:mod:`repro.service`).
+"""Resilient HTTP client for the warm evaluation service.
 
-A thin, stdlib-only wrapper over the four endpoints, used by the test
-suite, the CI smoke and any tool that wants cross-request model reuse
-without importing the model itself::
+A stdlib-only wrapper over the service endpoints
+(:mod:`repro.service`), used by the test suite, the CI smokes and any
+tool that wants cross-request model reuse without importing the model
+itself::
 
     from repro.client import ServiceClient
 
@@ -14,50 +15,276 @@ without importing the model itself::
 Every failure — transport, HTTP status, server-side model error —
 surfaces as one exception type, :class:`~repro.errors.ServiceError`,
 whose ``status`` attribute carries the HTTP code (``0`` when the
-service could not be reached at all).
+service could not be reached at all) and whose ``retry_after``
+attribute carries the server's backoff hint when one was sent.
+
+Resilience: every evaluation request is a pure computation, so
+retrying is always safe.  The client retries retryable failures
+(connection errors and the service's load-shedding ``429``/``503``)
+with **exponential backoff and full jitter**, honouring the server's
+``Retry-After`` hint as a lower bound; a per-call ``deadline`` caps
+the total time spent across attempts.  A small **circuit breaker**
+counts consecutive transport/5xx failures, fails fast
+(:class:`~repro.errors.CircuitOpenError`) once the threshold is hit,
+and half-opens after a cooldown to let one probe through.  The
+timing sources (``sleep``, ``clock``, ``rng``) are injectable so all
+of this is unit-testable without waiting.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional
 
-from .errors import ServiceError
+from .errors import CircuitOpenError, ServiceError
+
+#: Statuses worth retrying: the service's load-shedding replies.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """``Retry-After`` delay-seconds as a float; None when absent or
+    in the (unsupported) HTTP-date form."""
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter across retryable failures.
+
+    The delay before attempt ``n`` (1-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * multiplier**n)]`` — "full
+    jitter", which decorrelates colliding clients far better than
+    truncated or equal jitter — and is floored by the server's
+    ``Retry-After`` hint when one was sent.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    retryable_statuses: FrozenSet[int] = RETRYABLE_STATUSES
+    retry_connection_errors: bool = True
+
+    def is_retryable(self, error: ServiceError) -> bool:
+        if error.status == 0:
+            return self.retry_connection_errors
+        return error.status in self.retryable_statuses
+
+    def backoff(self, attempt: int, retry_after: Optional[float],
+                rng: random.Random) -> float:
+        cap = min(self.max_delay,
+                  self.base_delay * self.multiplier ** attempt)
+        delay = rng.uniform(0.0, cap)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
+
+
+#: A policy that never retries — useful for probes and stress tests
+#: that must observe raw statuses.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class CircuitBreaker:
+    """Fail fast after consecutive failures; half-open on cooldown.
+
+    States: ``closed`` (normal), ``open`` (every call refused without
+    touching the network), ``half-open`` (one probe allowed; success
+    closes the circuit, failure re-opens it).  Only transport errors
+    and server-side failures (status ``0`` or 5xx) count — a 400
+    means the *request* was wrong, not the service, and a 429 means
+    the service is healthy but shedding load (backoff handles that).
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 cooldown: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if (self._probing
+                or self._clock() - self._opened_at >= self.cooldown):
+            return "half-open"
+        return "open"
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now."""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False  # one probe at a time
+        if self._clock() - self._opened_at >= self.cooldown:
+            self._probing = True  # half-open: let one probe through
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        self._probing = False
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+
+    @staticmethod
+    def counts(error: ServiceError) -> bool:
+        """Whether ``error`` is a service failure (vs a client bug
+        or healthy load shedding)."""
+        return error.status == 0 or error.status >= 500
+
+
+#: Sentinel distinguishing "default breaker" from "no breaker".
+_DEFAULT = object()
 
 
 class ServiceClient:
-    """One service endpoint, e.g. ``http://127.0.0.1:8080``."""
+    """One service endpoint, e.g. ``http://127.0.0.1:8080``.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    ``retry`` is a :class:`RetryPolicy` (pass :data:`NO_RETRY` to see
+    raw statuses); ``breaker`` a :class:`CircuitBreaker` (``None``
+    disables it); ``deadline`` a default per-call budget in seconds
+    across all attempts.  ``sleep``/``clock``/``rng`` exist for
+    deterministic tests.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Any = _DEFAULT,
+                 deadline: Optional[float] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic,
+                 rng: Optional[random.Random] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker() if breaker is _DEFAULT else breaker)
+        self.deadline = deadline
+        self.last_ready_error: Optional[str] = None
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
     def request(self, method: str, path: str,
-                payload: Optional[Any] = None) -> Dict[str, Any]:
-        """One JSON round-trip; :class:`ServiceError` on any failure."""
+                payload: Optional[Any] = None,
+                request_timeout: Optional[float] = None,
+                deadline: Optional[float] = None,
+                retry: Optional[RetryPolicy] = None,
+                use_breaker: bool = True) -> Dict[str, Any]:
+        """One JSON call with retries; :class:`ServiceError` on failure.
+
+        ``request_timeout`` is forwarded to the server as its
+        ``X-Request-Timeout`` budget; ``deadline`` caps this call's
+        total time across retries (defaults to the client-level
+        deadline).  Evaluations are pure, so retrying is always safe.
+        """
+        policy = retry if retry is not None else self.retry
+        budget = deadline if deadline is not None else self.deadline
+        expires = (self._clock() + budget
+                   if budget is not None else None)
+        breaker = self.breaker if use_breaker else None
+        attempt = 0
+        while True:
+            if breaker is not None and not breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for {self.base_url} after "
+                    f"{breaker.consecutive_failures} consecutive "
+                    f"failures; retry after "
+                    f"{breaker.cooldown:.3g}s cooldown")
+            try:
+                reply = self._request_once(method, path, payload,
+                                           request_timeout, expires)
+            except ServiceError as error:
+                failure = error
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return reply
+            if breaker is not None and CircuitBreaker.counts(failure):
+                breaker.record_failure()
+            attempt += 1
+            if (not policy.is_retryable(failure)
+                    or attempt >= policy.max_attempts):
+                raise failure
+            delay = policy.backoff(attempt, failure.retry_after,
+                                   self._rng)
+            if (expires is not None
+                    and self._clock() + delay >= expires):
+                raise ServiceError(
+                    f"deadline exhausted after {attempt} attempts: "
+                    f"{failure}", status=failure.status,
+                    retry_after=failure.retry_after) from failure
+            self._sleep(delay)
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[Any],
+                      request_timeout: Optional[float],
+                      expires: Optional[float]) -> Dict[str, Any]:
+        """One wire round-trip, no retries."""
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if request_timeout is not None:
+            headers["X-Request-Timeout"] = f"{request_timeout:g}"
+        timeout = self.timeout
+        if expires is not None:
+            timeout = min(timeout,
+                          max(1e-3, expires - self._clock()))
         request = urllib.request.Request(
             self.base_url + path, data=body, headers=headers,
             method=method)
         try:
             with urllib.request.urlopen(
-                    request, timeout=self.timeout) as reply:
+                    request, timeout=timeout) as reply:
                 return json.loads(reply.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            raise ServiceError(self._error_detail(exc),
-                               status=exc.code) from exc
+            raise ServiceError(
+                self._error_detail(exc), status=exc.code,
+                retry_after=_parse_retry_after(
+                    exc.headers.get("Retry-After"))) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"service unreachable at {self.base_url}: "
                 f"{exc.reason}", status=0) from exc
+        except (http.client.HTTPException, OSError) as exc:
+            # Mid-response connection loss (e.g. an injected reset)
+            # surfaces raw from read(); treat it like any transport
+            # failure.
+            raise ServiceError(
+                f"connection to {self.base_url} failed: "
+                f"{type(exc).__name__}: {exc}", status=0) from exc
 
     @staticmethod
     def _error_detail(exc: urllib.error.HTTPError) -> str:
@@ -79,7 +306,9 @@ class ServiceClient:
 
     def evaluate(self, device: Optional[Any] = None,
                  devices: Optional[Iterable[Any]] = None,
-                 pattern: Optional[str] = None) -> Dict[str, Any]:
+                 pattern: Optional[str] = None,
+                 request_timeout: Optional[float] = None
+                 ) -> Dict[str, Any]:
         """``POST /evaluate`` for one device payload or a batch."""
         if (device is None) == (devices is None):
             raise ServiceError(
@@ -91,11 +320,13 @@ class ServiceClient:
             payload["devices"] = list(devices)
         if pattern is not None:
             payload["pattern"] = pattern
-        return self.request("POST", "/evaluate", payload)
+        return self.request("POST", "/evaluate", payload,
+                            request_timeout=request_timeout)
 
     def sweep(self, kind: str, device: Optional[Any] = None,
               jobs: Optional[int] = None,
               backend: Optional[str] = None,
+              request_timeout: Optional[float] = None,
               **params: Any) -> Dict[str, Any]:
         """``POST /sweep`` — a named sweep with parameters."""
         payload: Dict[str, Any] = dict(params)
@@ -106,23 +337,44 @@ class ServiceClient:
             payload["jobs"] = jobs
         if backend is not None:
             payload["backend"] = backend
-        return self.request("POST", "/sweep", payload)
+        return self.request("POST", "/sweep", payload,
+                            request_timeout=request_timeout)
 
     # ------------------------------------------------------------------
     def wait_until_ready(self, timeout: float = 10.0,
-                         interval: float = 0.05) -> bool:
+                         interval: float = 0.05,
+                         max_interval: float = 1.0) -> bool:
         """Poll ``/healthz`` until the service answers.
 
         Returns ``True`` as soon as a probe succeeds, ``False`` when
         ``timeout`` elapses first — the start-up handshake of the CI
-        smoke and the subprocess tests.
+        smokes and the subprocess tests.  Probes back off
+        exponentially from ``interval`` up to ``max_interval`` (a
+        start-up burst, then gentle polling), bypassing the retry
+        policy and circuit breaker.  On failure
+        :attr:`last_ready_error` says *how* the service was not ready:
+        never reachable (connection refused) vs answering HTTP with an
+        error.
         """
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
+        delay = max(interval, 1e-3)
+        self.last_ready_error = None
         while True:
             try:
-                self.healthz()
+                self.request("GET", "/healthz", retry=NO_RETRY,
+                             use_breaker=False)
                 return True
-            except ServiceError:
-                if time.monotonic() >= deadline:
-                    return False
-                time.sleep(interval)
+            except ServiceError as error:
+                if error.status == 0:
+                    self.last_ready_error = (
+                        f"no HTTP service reachable at "
+                        f"{self.base_url}: {error}")
+                else:
+                    self.last_ready_error = (
+                        f"service at {self.base_url} answered HTTP "
+                        f"{error.status}: {error}")
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                return False
+            self._sleep(min(delay, remaining))
+            delay = min(delay * 2.0, max_interval)

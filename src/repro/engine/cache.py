@@ -67,6 +67,12 @@ class EngineStats:
     """Cold builds persisted to the on-disk cache."""
     disk_corrupt: int = 0
     """Disk entries skipped as corrupt or stale (treated as misses)."""
+    pool_retries: int = 0
+    """Process-backend chunks re-dispatched to a fresh pool after a
+    worker died (crash/kill) mid-sweep."""
+    serial_fallbacks: int = 0
+    """Process-backend chunks degraded to in-parent serial evaluation
+    after the fresh-pool retry died too."""
 
     @property
     def lookups(self) -> int:
@@ -91,6 +97,9 @@ class EngineStats:
                      f"misses={self.disk_misses} "
                      f"writes={self.disk_writes} "
                      f"corrupt={self.disk_corrupt}]")
+        if self.pool_retries or self.serial_fallbacks:
+            text += (f" faults[pool-retries={self.pool_retries} "
+                     f"serial-fallbacks={self.serial_fallbacks}]")
         return text
 
     def delta(self, since: "EngineStats") -> "EngineStats":
@@ -111,6 +120,9 @@ class EngineStats:
             disk_misses=self.disk_misses - since.disk_misses,
             disk_writes=self.disk_writes - since.disk_writes,
             disk_corrupt=self.disk_corrupt - since.disk_corrupt,
+            pool_retries=self.pool_retries - since.pool_retries,
+            serial_fallbacks=(self.serial_fallbacks
+                              - since.serial_fallbacks),
         )
 
 
@@ -133,6 +145,8 @@ class ModelCache:
         self._disk_misses = 0
         self._disk_writes = 0
         self._disk_corrupt = 0
+        self._pool_retries = 0
+        self._serial_fallbacks = 0
 
     def __len__(self) -> int:
         return len(self._models)
@@ -215,6 +229,8 @@ class ModelCache:
             self._disk_misses += worker_stats.disk_misses
             self._disk_writes += worker_stats.disk_writes
             self._disk_corrupt += worker_stats.disk_corrupt
+            self._pool_retries += worker_stats.pool_retries
+            self._serial_fallbacks += worker_stats.serial_fallbacks
 
     def clear(self) -> None:
         """Drop every cached model (counters keep accumulating)."""
@@ -237,4 +253,6 @@ class ModelCache:
                 disk_misses=self._disk_misses,
                 disk_writes=self._disk_writes,
                 disk_corrupt=self._disk_corrupt + corrupt,
+                pool_retries=self._pool_retries,
+                serial_fallbacks=self._serial_fallbacks,
             )

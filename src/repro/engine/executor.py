@@ -22,16 +22,25 @@ Contract with callers:
 * each worker's cache counters are snapshotted per chunk and merged
   back into the parent session via
   :meth:`~repro.engine.cache.ModelCache.absorb`, so ``session.stats``
-  describes the whole sweep regardless of backend.
+  describes the whole sweep regardless of backend;
+* a crashed or killed worker does **not** abort the sweep: the chunks
+  lost to the broken pool are re-dispatched once onto a fresh pool,
+  and chunks that die again degrade to in-parent serial evaluation —
+  results stay bit-for-bit identical to the serial run either way,
+  and the degradation is recorded in
+  :class:`~repro.engine.cache.EngineStats` (``pool_retries``,
+  ``serial_fallbacks``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
 
 from ..errors import ModelError
 from .cache import DEFAULT_CAPACITY, EngineStats
@@ -194,16 +203,18 @@ def _initialize_worker(capacity: int,
                                         cache_dir=cache_dir)
 
 
-def _run_chunk(payload: Tuple[int, bytes, Callable, str]) -> Tuple:
-    """Evaluate one contiguous chunk inside a worker process.
+def _evaluate_chunk(session,
+                    payload: Tuple[int, bytes, Callable, str]) -> Tuple:
+    """Evaluate one contiguous chunk against ``session``.
 
     Returns ``("ok", results, stats_delta)`` or
     ``("error", (index, label, message), stats_delta)`` — exceptions
     are reported as data so the parent can raise one well-formed
     :class:`ModelError` instead of unpickling arbitrary tracebacks.
+    Shared by the worker entry point and the parent-side serial
+    fallback, so a degraded chunk evaluates exactly like a pooled one.
     """
     start, blob, fn, mode = payload
-    session = _WORKER_SESSION
     items = pickle.loads(blob)
     before = session.stats
     results: List[Any] = []
@@ -229,9 +240,45 @@ def _run_chunk(payload: Tuple[int, bytes, Callable, str]) -> Tuple:
     return ("ok", results, delta)
 
 
+def _run_chunk(payload: Tuple[int, bytes, Callable, str]) -> Tuple:
+    """Worker entry point: evaluate a chunk on the worker session."""
+    return _evaluate_chunk(_WORKER_SESSION, payload)
+
+
 # ----------------------------------------------------------------------
 # Parent side.
 # ----------------------------------------------------------------------
+def _dispatch_round(payloads: List[Tuple], pending: List[int],
+                    outcomes: Dict[int, Tuple], workers: int,
+                    capacity: int, cache_dir: Optional[str]
+                    ) -> List[int]:
+    """One pool attempt over the pending chunks.
+
+    Completed chunks land in ``outcomes``; the indices of chunks lost
+    to worker death (``BrokenExecutor``) are returned for the caller
+    to retry.  A worker crash only breaks *this* pool — completed
+    futures keep their results.
+    """
+    lost: List[int] = []
+    with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_initialize_worker,
+            initargs=(capacity, cache_dir)) as pool:
+        futures = {}
+        for index in pending:
+            try:
+                futures[index] = pool.submit(_run_chunk,
+                                             payloads[index])
+            except BrokenExecutor:
+                lost.append(index)
+        for index, future in futures.items():
+            try:
+                outcomes[index] = future.result()
+            except BrokenExecutor:
+                lost.append(index)
+    return sorted(lost)
+
+
 def _pooled_map(items: Sequence, fn: Callable, mode: str,
                 jobs: Optional[int], capacity: int,
                 cache_dir: Optional[str]
@@ -243,25 +290,53 @@ def _pooled_map(items: Sequence, fn: Callable, mode: str,
     ranges = shard(len(items), workers)
     payloads = [(start, pickle.dumps(list(items[start:stop])), fn, mode)
                 for start, stop in ranges]
+    outcomes: Dict[int, Tuple] = {}
+    pending = list(range(len(payloads)))
+    pool_retries = 0
+    for attempt in (0, 1):
+        if not pending:
+            break
+        if attempt:
+            pool_retries += len(pending)
+        pending = _dispatch_round(payloads, pending, outcomes,
+                                  workers, capacity, cache_dir)
+    serial_fallbacks = len(pending)
+    if pending:
+        # Both pool attempts lost these chunks (e.g. a callable that
+        # kills every worker, or a host that cannot fork):  degrade
+        # to in-parent evaluation on one private session mirroring a
+        # worker's, so the results stay identical to the pooled run.
+        from .session import EvaluationSession
+        fallback = EvaluationSession(capacity=capacity,
+                                     cache_dir=cache_dir)
+        for index in pending:
+            outcomes[index] = _evaluate_chunk(fallback,
+                                              payloads[index])
     merged: Optional[EngineStats] = None
+    failure = None
     results: List = []
-    with ProcessPoolExecutor(
-            max_workers=min(workers, len(ranges)),
-            initializer=_initialize_worker,
-            initargs=(capacity, cache_dir)) as pool:
-        for outcome in pool.map(_run_chunk, payloads):
-            status, body, delta = outcome
-            merged = delta if merged is None else _add_stats(merged,
-                                                             delta)
-            if status == "error":
-                index, label, message = body
-                raise ModelError(
-                    f"worker evaluation failed for device {index} "
-                    f"({label}): {message}")
+    for index in range(len(payloads)):
+        status, body, delta = outcomes[index]
+        merged = delta if merged is None else _add_stats(merged, delta)
+        if status == "error":
+            if failure is None:
+                failure = body
+        else:
             results.extend(body)
+    if failure is not None:
+        index, label, message = failure
+        raise ModelError(
+            f"worker evaluation failed for device {index} "
+            f"({label}): {message}")
     if merged is None:
         merged = EngineStats(hits=0, misses=0, evictions=0, size=0,
                              capacity=capacity, build_seconds=0.0)
+    if pool_retries or serial_fallbacks:
+        merged = dataclasses.replace(
+            merged,
+            pool_retries=merged.pool_retries + pool_retries,
+            serial_fallbacks=(merged.serial_fallbacks
+                              + serial_fallbacks))
     return results, merged
 
 
@@ -284,6 +359,8 @@ def _add_stats(left: EngineStats, right: EngineStats) -> EngineStats:
         disk_misses=left.disk_misses + right.disk_misses,
         disk_writes=left.disk_writes + right.disk_writes,
         disk_corrupt=left.disk_corrupt + right.disk_corrupt,
+        pool_retries=left.pool_retries + right.pool_retries,
+        serial_fallbacks=left.serial_fallbacks + right.serial_fallbacks,
     )
 
 

@@ -25,7 +25,11 @@ sessions — real CPU scale-out; requires a picklable callable) or
 the measured per-build cost and the usable core count).  All
 backends preserve input ordering and equal the serial result
 bit-for-bit.  Passing only ``jobs > 1`` keeps the historical
-thread-pool behaviour.
+thread-pool behaviour.  The process backend survives worker loss: a
+crashed or killed worker's chunks are retried once on a fresh pool
+and then degrade to in-parent serial evaluation, with the recovery
+recorded in ``session.stats`` (``pool_retries``,
+``serial_fallbacks``).
 
 With ``cache_dir`` set, the session's model cache spills to a
 persistent on-disk store (see :mod:`repro.engine.diskcache`), so

@@ -70,9 +70,26 @@ class ServiceError(ReproError):
     Raised by :mod:`repro.service` for malformed requests and by
     :mod:`repro.client` for transport or server-side failures.
     ``status`` carries the HTTP status code the failure maps to
-    (``0`` when no HTTP response was received at all).
+    (``0`` when no HTTP response was received at all);
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds
+    when the response carried one (load-shedding replies do).
     """
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400,
+                 retry_after: "float | None" = None):
         self.status = status
+        self.retry_after = retry_after
         super().__init__(message)
+
+
+class CircuitOpenError(ServiceError):
+    """The client-side circuit breaker is open: the request was not
+    attempted at all.
+
+    Raised by :class:`repro.client.ServiceClient` after too many
+    consecutive transport/server failures; the breaker half-opens
+    after its cooldown and lets one probe through.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, status=0)

@@ -23,14 +23,34 @@ Stdlib only (``http.server.ThreadingHTTPServer``); endpoints:
 in-flight requests before the process exits.  The matching client
 lives in :mod:`repro.client`; request/response shapes are documented
 in ``docs/SERVICE.md``.
+
+Resilience: POST endpoints pass admission control (bounded in-flight
+slots + small wait queue, shedding with ``429``/``503`` and
+``Retry-After`` — :mod:`repro.service.admission`), every request gets
+a deadline (``504`` on a blown budget), ``/evaluate`` responses are
+memoized in a small LRU, and :mod:`repro.service.faults` can inject
+latency, errors, connection resets and worker kills so all of it is
+testable deterministically.
 """
 
-from .jsonapi import (device_from_payload, evaluate_payload,
-                      stats_payload, sweep_payload)
+from .admission import (AdmissionController, AdmissionShed, Deadline,
+                        DeadlineExceeded, ServiceLimits)
+from .faults import FaultInjector, FaultRule, InjectedFault
+from .jsonapi import (ResultCache, device_from_payload,
+                      evaluate_payload, stats_payload, sweep_payload)
 from .server import EvaluationService, create_service
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionShed",
+    "Deadline",
+    "DeadlineExceeded",
     "EvaluationService",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "ResultCache",
+    "ServiceLimits",
     "create_service",
     "device_from_payload",
     "evaluate_payload",

@@ -1,0 +1,222 @@
+"""Deterministic fault injection for resilience testing.
+
+Every behaviour the resilience layer promises — load shedding under
+latency, 504s on slow handlers, client recovery from connection
+resets, executor recovery from killed pool workers — is *tested*, not
+asserted.  This module is the switchboard those tests (and the CI
+resilience smoke) flip:
+
+* :class:`FaultInjector` — installed on an
+  :class:`~repro.service.server.EvaluationService` (tests assign
+  ``service.faults``; subprocesses configure it through the
+  ``REPRO_FAULTS`` environment variable, a JSON list of rules).  The
+  handler consults it once per request, after admission, so injected
+  latency occupies a real in-flight slot:
+
+  - ``latency`` rules sleep for ``seconds`` while holding the slot;
+  - ``error`` rules raise :class:`InjectedFault` (replied as the
+    rule's ``status``);
+  - ``reset`` rules make the handler abort the connection without a
+    response, which clients observe as a connection reset.
+
+  Each rule matches a request path (``"*"`` for any) and fires at
+  most ``times`` times (``-1`` = unlimited), so "the first three
+  requests are slow, then the service heals" is expressible and
+  deterministic.  An in-process ``hook`` callable (not expressible in
+  the environment) lets tests block handlers on an event for exact
+  concurrency control.
+
+* worker-kill helpers — picklable evaluation callables for
+  process-backend sweeps that ``SIGKILL`` their own *worker* process
+  when an arming file exists (:func:`power_kill_once` consumes the
+  file atomically so only the first pool attempt dies;
+  :func:`power_kill_always` leaves it, forcing the executor all the
+  way to its serial fallback).  Both are no-ops outside pool workers,
+  so the serial baseline and the parent-side fallback evaluate the
+  same devices to bit-for-bit identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..errors import ServiceError
+
+_LOG = logging.getLogger("repro.service.faults")
+
+#: Environment variable holding a JSON list of fault rules.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Recognised rule kinds.
+KINDS = ("latency", "error", "reset")
+
+
+class InjectedFault(ServiceError):
+    """A deliberately injected handler failure (``error`` rules)."""
+
+
+@dataclass
+class FaultRule:
+    """One injection rule; ``times`` counts down as it fires."""
+
+    kind: str
+    path: str = "*"
+    times: int = -1
+    seconds: float = 0.0
+    status: int = 500
+
+    def matches(self, path: str) -> bool:
+        if self.times == 0:
+            return False
+        return self.path in ("*", path)
+
+    def consume(self) -> None:
+        if self.times > 0:
+            self.times -= 1
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "FaultRule":
+        kind = spec.get("kind")
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; choose "
+                             "from " + "/".join(KINDS))
+        return cls(kind=kind,
+                   path=str(spec.get("path", "*")),
+                   times=int(spec.get("times", -1)),
+                   seconds=float(spec.get("seconds", 0.0)),
+                   status=int(spec.get("status", 500)))
+
+
+@dataclass
+class FaultInjector:
+    """Thread-safe rule store consulted once per handled request."""
+
+    rules: List[FaultRule] = field(default_factory=list)
+    hook: Optional[Callable[[str], None]] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self.fired: Dict[str, int] = {kind: 0 for kind in KINDS}
+
+    @property
+    def active(self) -> bool:
+        return bool(self.rules) or self.hook is not None
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None
+                 ) -> "FaultInjector":
+        """Rules from ``REPRO_FAULTS`` (JSON list); inert if unset.
+
+        A malformed specification logs a warning and injects nothing —
+        a typo in a test environment must not take the service down.
+        """
+        source = (env if env is not None else os.environ).get(
+            FAULTS_ENV, "")
+        if not source.strip():
+            return cls()
+        try:
+            specs = json.loads(source)
+            if not isinstance(specs, list):
+                raise ValueError("expected a JSON list of rules")
+            return cls(rules=[FaultRule.from_dict(spec)
+                              for spec in specs])
+        except (ValueError, TypeError) as exc:
+            _LOG.warning("ignoring malformed %s: %s", FAULTS_ENV, exc)
+            return cls()
+
+    # ------------------------------------------------------------------
+    def before_request(self, path: str) -> Optional[str]:
+        """Apply matching rules to one request.
+
+        Sleeps for latency rules, raises :class:`InjectedFault` for
+        error rules, and returns ``"reset"`` when the handler should
+        abort the connection without replying.  Rule order is the
+        configured order; at most one error/reset fires per request.
+        """
+        if not self.active:
+            return None
+        delay = 0.0
+        verdict: Optional[FaultRule] = None
+        with self._lock:
+            for rule in self.rules:
+                if not rule.matches(path):
+                    continue
+                if rule.kind == "latency":
+                    rule.consume()
+                    self.fired["latency"] += 1
+                    delay += rule.seconds
+                elif verdict is None:
+                    rule.consume()
+                    self.fired[rule.kind] += 1
+                    verdict = rule
+        if self.hook is not None:
+            self.hook(path)
+        if delay > 0.0:
+            self.sleep(delay)
+        if verdict is None:
+            return None
+        if verdict.kind == "error":
+            raise InjectedFault(
+                f"injected fault on {path}", status=verdict.status)
+        return "reset"
+
+    def snapshot(self) -> Dict[str, int]:
+        """Fired-fault counters for ``GET /stats`` and assertions."""
+        with self._lock:
+            return dict(self.fired)
+
+
+# ----------------------------------------------------------------------
+# Worker-kill helpers for executor fault-tolerance tests.
+# ----------------------------------------------------------------------
+def in_worker_process() -> bool:
+    """Whether this process is a multiprocessing pool worker."""
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_kill_worker(flag_path: str, once: bool = True) -> None:
+    """``SIGKILL`` the current *worker* process if ``flag_path`` exists.
+
+    With ``once`` the flag is consumed atomically (``unlink``) so
+    exactly one worker dies per arming; without it every worker that
+    sees the flag dies, which defeats the executor's fresh-pool retry
+    and exercises its serial fallback.  A no-op in the parent process,
+    so serial baselines and fallbacks evaluate normally.
+    """
+    if not in_worker_process():
+        return
+    if once:
+        try:
+            os.unlink(flag_path)
+        except FileNotFoundError:
+            return
+    elif not os.path.exists(flag_path):
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def power_kill_once(flag_path: str, model) -> float:
+    """Evaluation callable whose first armed worker dies mid-chunk.
+
+    Use with ``functools.partial(power_kill_once, str(flag))`` — the
+    partial of a module-level function is picklable, as the process
+    backend requires.
+    """
+    maybe_kill_worker(flag_path, once=True)
+    return model.pattern_power(None).power
+
+
+def power_kill_always(flag_path: str, model) -> float:
+    """Evaluation callable killing *every* armed worker (degradation
+    path: fresh-pool retry dies too, forcing the serial fallback)."""
+    maybe_kill_worker(flag_path, once=False)
+    return model.pattern_power(None).power

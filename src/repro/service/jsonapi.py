@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Any, Dict, List, Optional
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.corners import (STANDARD_CORNERS, VENDOR_SPREAD_CORNERS,
                                 corner_sweep)
@@ -37,7 +39,7 @@ from ..description.jsonio import from_dict
 from ..description.pattern import Command
 from ..devices import build_device
 from ..dsl import loads
-from ..engine import AUTO, EvaluationSession
+from ..engine import AUTO, EvaluationSession, fingerprint
 from ..errors import ReproError, ServiceError
 from ..schemes import compare_schemes
 from ..units import parse_quantity
@@ -53,6 +55,57 @@ _OPERATIONS = (Command.ACT, Command.PRE, Command.RD, Command.WR)
 def _finite(value: float) -> Optional[float]:
     """``value`` as JSON-safe data: non-finite floats become null."""
     return value if math.isfinite(value) else None
+
+
+class ResultCache:
+    """Bounded LRU of whole ``/evaluate`` responses.
+
+    Keyed on ``(device fingerprints, pattern string)`` — everything
+    that determines the response — so a warm repeat skips not just the
+    model build but the evaluation and response assembly too.  Thread
+    safe; a zero capacity disables it.  Hit/miss counters surface in
+    ``GET /stats`` under ``result_cache``.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(0, capacity)
+        self._entries: "OrderedDict[Tuple, Dict[str, Any]]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        """The cached response for ``key``, counting hit or miss."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: Tuple, value: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "size": len(self._entries),
+                    "capacity": self.capacity}
 
 
 def device_from_payload(payload: Any) -> DramDescription:
@@ -107,14 +160,17 @@ def _evaluation(model: DramPowerModel,
     }
 
 
-def evaluate_payload(session: EvaluationSession,
-                     payload: Any) -> Dict[str, Any]:
+def evaluate_payload(session: EvaluationSession, payload: Any,
+                     cache: Optional[ResultCache] = None
+                     ) -> Dict[str, Any]:
     """``POST /evaluate``: one description or a batch.
 
     ``{"device": {...}}`` or ``{"devices": [{...}, ...]}``, plus an
     optional ``"pattern"`` command loop evaluated on every device
     (the device default pattern when omitted).  Results keep the
-    request order.
+    request order.  With a :class:`ResultCache` the whole response is
+    memoized on ``(fingerprints, pattern)``: a repeat request skips
+    evaluation entirely.
     """
     if not isinstance(payload, dict):
         raise ServiceError("request body must be a JSON object")
@@ -135,12 +191,24 @@ def evaluate_payload(session: EvaluationSession,
         except (ReproError, ValueError) as exc:
             raise ServiceError(f"bad pattern: {exc}") from exc
     devices = [device_from_payload(spec) for spec in specs]
+    key = None
+    if cache is not None and cache.enabled:
+        key = (tuple(fingerprint(device) for device in devices),
+               payload.get("pattern"))
+        memoized = cache.get(key)
+        if memoized is not None:
+            return memoized
     try:
         results = [_evaluation(session.model(device), pattern)
                    for device in devices]
+    except ServiceError:
+        raise  # deadline/fault errors keep their own status
     except ReproError as exc:
         raise ServiceError(str(exc)) from exc
-    return {"count": len(results), "results": results}
+    body = {"count": len(results), "results": results}
+    if key is not None:
+        cache.put(key, body)
+    return body
 
 
 # ----------------------------------------------------------------------

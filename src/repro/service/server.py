@@ -7,10 +7,25 @@ for equal descriptions are answered from memory across requests.
 
 Lifecycle: :func:`create_service` binds the socket (port ``0`` picks
 an ephemeral port — tests use this); :meth:`EvaluationService.run`
-serves until SIGTERM/SIGINT, then *drains*: handler threads are
-non-daemon and joined on close, so every in-flight request finishes
-before the process exits.  Embedders that cannot give up the main
-thread call :meth:`serve_forever`/:meth:`shutdown` directly.
+serves until SIGTERM/SIGINT, then *drains*: queued requests are
+rejected (503), admitted requests finish (handler threads are
+non-daemon and joined on close) before the process exits.  Embedders
+that cannot give up the main thread call
+:meth:`serve_forever`/:meth:`shutdown` directly.
+
+Resilience (see :mod:`repro.service.admission`): POST endpoints pass
+through an :class:`~repro.service.admission.AdmissionController` — a
+bounded in-flight slot count plus a small wait queue — so a saturated
+server sheds excess load with ``429``/``503`` and a ``Retry-After``
+header instead of piling up work.  Every request gets a deadline
+(``--request-timeout``; ``X-Request-Timeout`` header overrides per
+request) enforced between model builds, replying ``504`` on a blown
+budget.  ``/evaluate`` responses are additionally memoized in a small
+LRU (:class:`~repro.service.jsonapi.ResultCache`).  A
+:class:`~repro.service.faults.FaultInjector` (inert by default,
+configured via the ``REPRO_FAULTS`` environment variable or assigned
+by tests) can inject latency, errors and connection resets to prove
+all of the above under fire.
 
 The wire protocol is JSON in both directions; failures are JSON too
 (``{"error": ...}`` with a 4xx/5xx status) — a malformed request or a
@@ -22,6 +37,8 @@ from __future__ import annotations
 import json
 import logging
 import signal
+import socket
+import struct
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,7 +48,11 @@ from urllib.parse import urlsplit
 from ..engine import EvaluationSession
 from ..engine.cache import DEFAULT_CAPACITY
 from ..errors import ReproError, ServiceError
-from .jsonapi import evaluate_payload, sweep_payload
+from .admission import (AdmissionController, AdmissionShed, Deadline,
+                        DeadlineExceeded, DeadlineSession,
+                        ServiceLimits)
+from .faults import FaultInjector, InjectedFault
+from .jsonapi import ResultCache, evaluate_payload, sweep_payload
 from .jsonapi import stats_payload as engine_stats_payload
 
 _LOG = logging.getLogger("repro.service")
@@ -40,34 +61,75 @@ _LOG = logging.getLogger("repro.service")
 #: so one misbehaving client cannot balloon the daemon.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: Per-request deadline override header (seconds, e.g. ``0.5``).
+TIMEOUT_HEADER = "X-Request-Timeout"
+
 
 class ServiceHandler(BaseHTTPRequestHandler):
     """Routes the four endpoints onto the server's shared session."""
 
-    server_version = "repro-service/1.0"
+    server_version = "repro-service/1.1"
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         path = urlsplit(self.path).path
-        if path == "/healthz":
-            self._reply(200, self.server.health_payload())
-        elif path == "/stats":
-            self._reply(200, self.server.stats_payload())
-        else:
-            self._reply(404, {"error": f"unknown path {path!r}"})
+        try:
+            if self.server.faults.before_request(path) == "reset":
+                self._abort_connection()
+                return
+            if path == "/healthz":
+                self._reply(200, self.server.health_payload())
+            elif path == "/stats":
+                self._reply(200, self.server.stats_payload())
+            else:
+                self._reply(404, {"error": f"unknown path {path!r}"})
+        except InjectedFault as exc:
+            self._reply(exc.status or 500, {"error": str(exc)})
 
     def do_POST(self) -> None:
         path = urlsplit(self.path).path
         if path not in ("/evaluate", "/sweep"):
             self._reply(404, {"error": f"unknown path {path!r}"})
             return
-        session = self.server.session
+        server = self.server
         try:
-            payload = self._read_json()
-            if path == "/evaluate":
-                body = evaluate_payload(session, payload)
-            else:
-                body = sweep_payload(session, payload)
+            deadline = self._request_deadline()
+        except ServiceError as exc:
+            self._reply(exc.status or 400, {"error": str(exc)})
+            return
+        try:
+            server.admission.acquire(deadline)
+        except AdmissionShed as exc:
+            self._reply(exc.status, {"error": str(exc)},
+                        retry_after=server.limits.retry_after)
+            return
+        except DeadlineExceeded as exc:
+            server.count_timeout()
+            self._reply(504, {"error": str(exc)})
+            return
+        try:
+            try:
+                if server.faults.before_request(path) == "reset":
+                    self._abort_connection()
+                    return
+                payload = self._read_json()
+                session: EvaluationSession = server.session
+                if deadline is not None:
+                    # A budget blown before evaluation even starts
+                    # (slow reads, injected latency) is a 504 even
+                    # when the answer would be memoized.
+                    deadline.check()
+                    session = DeadlineSession(session, deadline)
+                if path == "/evaluate":
+                    body = evaluate_payload(
+                        session, payload, cache=server.result_cache)
+                else:
+                    body = sweep_payload(session, payload)
+            finally:
+                server.admission.release()
+        except DeadlineExceeded as exc:
+            server.count_timeout()
+            self._reply(504, {"error": str(exc)})
         except ServiceError as exc:
             self._reply(exc.status or 400, {"error": str(exc)})
         except ReproError as exc:
@@ -80,19 +142,69 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._reply(200, body)
 
     # ------------------------------------------------------------------
+    def _request_deadline(self) -> Optional[Deadline]:
+        """The request's deadline: header override, server default,
+        or ``None`` when timeouts are disabled."""
+        budget = self.server.limits.request_timeout
+        header = self.headers.get(TIMEOUT_HEADER)
+        if header is not None:
+            try:
+                budget = float(header)
+            except ValueError:
+                raise ServiceError(
+                    f"invalid {TIMEOUT_HEADER} header {header!r}: "
+                    "expected seconds as a number") from None
+            if not budget > 0.0:
+                raise ServiceError(
+                    f"{TIMEOUT_HEADER} must be positive seconds")
+        if budget and budget > 0.0:
+            return Deadline(budget)
+        return None
+
+    def _read_body(self, length: int) -> bytes:
+        """Exactly ``length`` body bytes, or 400 on a short read.
+
+        ``rfile.read(n)`` may legally return fewer bytes than asked
+        (slow or half-closed peers), so loop until the declared
+        ``Content-Length`` arrived; a connection that drops early is a
+        client error, not an internal one.
+        """
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                raise ServiceError(
+                    f"request body truncated: got "
+                    f"{length - remaining} of {length} bytes")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
     def _read_json(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise ServiceError("request needs a JSON body")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ServiceError(
+                f"malformed Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise ServiceError(
+                f"negative Content-Length {length}")
+        if length == 0:
             raise ServiceError("request needs a JSON body")
         if length > MAX_BODY_BYTES:
             raise ServiceError("request body too large", status=413)
-        raw = self.rfile.read(length)
+        raw = self._read_body(length)
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServiceError(f"invalid JSON body: {exc}") from exc
 
-    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+    def _reply(self, status: int, payload: Dict[str, Any],
+               retry_after: Optional[float] = None) -> None:
         # Tally before the body goes out: a client that sees this
         # response and immediately asks /stats must find the request
         # already counted.
@@ -101,11 +213,30 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        if retry_after is not None:
+            # RFC 7231 wants integral delay-seconds; round up so the
+            # hint never understates the wait.
+            self.send_header("Retry-After",
+                             str(max(0, int(retry_after + 0.999))))
         self.end_headers()
         try:
             self.wfile.write(blob)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing left to tell it
+
+    def _abort_connection(self) -> None:
+        """Drop the connection without a response (injected reset)."""
+        self.close_connection = True
+        try:
+            self.connection.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0))
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
 
     def log_message(self, format: str, *args: Any) -> None:
         """Route access logs to ``logging`` instead of stderr."""
@@ -122,15 +253,24 @@ class EvaluationService(ThreadingHTTPServer):
 
     def __init__(self, address: Tuple[str, int] = ("127.0.0.1", 8080),
                  capacity: int = DEFAULT_CAPACITY,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 limits: Optional[ServiceLimits] = None):
         super().__init__(address, ServiceHandler)
         self.session = EvaluationSession(capacity=capacity,
                                          cache_dir=cache_dir)
+        self.limits = limits if limits is not None else ServiceLimits()
+        self.admission = AdmissionController(
+            capacity=self.limits.max_inflight,
+            queue_limit=self.limits.max_queue,
+            queue_timeout=self.limits.queue_timeout)
+        self.result_cache = ResultCache(self.limits.result_cache)
+        self.faults = FaultInjector.from_env()
         self.started_monotonic = time.monotonic()
         self.started_unix = time.time()
         self._counts_lock = threading.Lock()
         self.request_counts: Dict[str, int] = {}
         self.error_count = 0
+        self.timeout_count = 0
 
     # ------------------------------------------------------------------
     def count_request(self, path: str, status: int) -> None:
@@ -140,6 +280,11 @@ class EvaluationService(ThreadingHTTPServer):
                 self.request_counts.get(path, 0) + 1
             if status >= 400:
                 self.error_count += 1
+
+    def count_timeout(self) -> None:
+        """Tally one request aborted on its deadline (504)."""
+        with self._counts_lock:
+            self.timeout_count += 1
 
     @property
     def uptime_seconds(self) -> float:
@@ -155,6 +300,7 @@ class EvaluationService(ThreadingHTTPServer):
         with self._counts_lock:
             counts = dict(self.request_counts)
             errors = self.error_count
+            timeouts = self.timeout_count
         body.update({
             "status": "ok",
             "uptime_seconds": self.uptime_seconds,
@@ -162,10 +308,25 @@ class EvaluationService(ThreadingHTTPServer):
             "requests": counts,
             "requests_total": sum(counts.values()),
             "errors": errors,
+            "timeouts": timeouts,
+            "admission": self.admission.snapshot(),
+            "result_cache": self.result_cache.snapshot(),
         })
+        if self.faults.active:
+            body["faults"] = self.faults.snapshot()
         return body
 
     # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop serving: reject queued work, let admitted work finish.
+
+        Draining *before* the serve loop stops means requests waiting
+        for an in-flight slot get an orderly 503 + ``Retry-After``
+        instead of a dead socket.
+        """
+        self.admission.begin_drain()
+        super().shutdown()
+
     def request_shutdown(self) -> None:
         """Stop the serve loop; safe to call from any thread.
 
@@ -205,14 +366,16 @@ class EvaluationService(ThreadingHTTPServer):
 
 def create_service(host: str = "127.0.0.1", port: int = 8080,
                    capacity: int = DEFAULT_CAPACITY,
-                   cache_dir: Optional[str] = None
+                   cache_dir: Optional[str] = None,
+                   limits: Optional[ServiceLimits] = None
                    ) -> EvaluationService:
     """A bound, not-yet-serving service (``port=0`` = ephemeral).
 
     The caller decides how to serve: ``service.run()`` for the CLI
     (signals + drain), ``service.serve_forever()`` on a thread for
     tests and embedders.  ``service.server_port`` holds the bound
-    port either way.
+    port either way.  ``limits`` bounds concurrency, queueing and
+    per-request time (:class:`~repro.service.admission.ServiceLimits`).
     """
     return EvaluationService((host, port), capacity=capacity,
-                             cache_dir=cache_dir)
+                             cache_dir=cache_dir, limits=limits)

@@ -1,5 +1,7 @@
 """Process-parallel execution backend: sharding, determinism, errors."""
 
+import functools
+
 import pytest
 
 from repro.analysis.corners import corner_sweep
@@ -12,6 +14,7 @@ from repro.engine.cache import EngineStats
 from repro.engine.executor import _add_stats, default_jobs, shard
 from repro.errors import ModelError
 from repro.schemes import compare_schemes
+from repro.service.faults import power_kill_always, power_kill_once
 
 
 def _power(model):
@@ -220,3 +223,52 @@ class TestWorkerStatsMerge:
         session.map(devices, _power, jobs=2, backend="process")
         assert session.stats.size == 0
         assert session.stats.misses == len(devices)
+
+
+class TestWorkerLoss:
+    """A killed pool worker must not abort the sweep.
+
+    The kill callables (:mod:`repro.service.faults`) SIGKILL their own
+    *worker* when an arming file exists and are no-ops in the parent,
+    so the serial baseline evaluates the same devices normally.
+    """
+
+    def test_killed_worker_retries_and_matches_serial(
+            self, ddr3_device, tmp_path):
+        devices = _variants(ddr3_device)
+        flag = tmp_path / "kill-once"
+        fn = functools.partial(power_kill_once, str(flag))
+        serial = EvaluationSession().map(devices, fn)
+        flag.write_text("armed")
+        session = EvaluationSession()
+        pooled = session.map(devices, fn, jobs=2, backend="process")
+        # Bit-for-bit identical despite one worker dying mid-sweep.
+        assert pooled == serial
+        assert session.stats.pool_retries >= 1
+        assert session.stats.serial_fallbacks == 0
+        assert not flag.exists()  # consumed by exactly one worker
+
+    def test_repeated_kills_degrade_to_serial_fallback(
+            self, ddr3_device, tmp_path):
+        devices = _variants(ddr3_device)
+        flag = tmp_path / "kill-always"
+        fn = functools.partial(power_kill_always, str(flag))
+        serial = EvaluationSession().map(devices, fn)
+        flag.write_text("armed")
+        session = EvaluationSession()
+        pooled = session.map(devices, fn, jobs=2, backend="process")
+        # Both pool attempts die, so the lost chunks are finished
+        # in-parent — still bit-for-bit identical.
+        assert pooled == serial
+        assert session.stats.serial_fallbacks >= 1
+
+    def test_unarmed_kill_callable_is_plain_evaluation(
+            self, ddr3_device, tmp_path):
+        devices = _variants(ddr3_device, count=4)
+        fn = functools.partial(power_kill_once,
+                               str(tmp_path / "never-armed"))
+        session = EvaluationSession()
+        pooled = session.map(devices, fn, jobs=2, backend="process")
+        assert pooled == EvaluationSession().map(devices, fn)
+        assert session.stats.pool_retries == 0
+        assert session.stats.serial_fallbacks == 0

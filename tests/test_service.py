@@ -54,12 +54,23 @@ class TestHealthAndStats:
         engine = body["engine"]
         for key in ("hits", "misses", "size", "capacity",
                     "build_seconds", "disk_hits", "disk_writes",
-                    "hit_rate", "lookups"):
+                    "hit_rate", "lookups", "pool_retries",
+                    "serial_fallbacks"):
             assert key in engine, key
         assert body["requests"]["/evaluate"] == 1
         assert body["requests_total"] >= 1
         assert body["uptime_seconds"] > 0.0
         assert body["cache_dir"] is None
+        admission = body["admission"]
+        for key in ("in_flight", "queued", "admitted", "shed_busy",
+                    "shed_timeout", "shed_total", "max_in_flight",
+                    "max_queued", "draining"):
+            assert key in admission, key
+        assert admission["admitted"] >= 1
+        result_cache = body["result_cache"]
+        for key in ("hits", "misses", "size", "capacity"):
+            assert key in result_cache, key
+        assert body["timeouts"] == 0
 
     def test_error_requests_are_counted(self, client):
         with pytest.raises(ServiceError):
@@ -101,14 +112,16 @@ class TestEvaluate:
 
     def test_second_identical_request_hits_warm_cache(self, client):
         client.evaluate(device={"node": 55})
-        cold = client.stats()["engine"]
+        cold = client.stats()
         client.evaluate(device={"node": 55})
-        warm = client.stats()["engine"]
-        # Answered from the in-memory cache: one more hit, not one
-        # more cold build.
-        assert warm["hits"] == cold["hits"] + 1
-        assert warm["misses"] == cold["misses"]
-        assert warm["hit_rate"] > 0.0
+        warm = client.stats()
+        # Answered from the memoized response: one more result-cache
+        # hit, and the engine never even sees the repeat (no new
+        # lookup, no cold build).
+        assert warm["result_cache"]["hits"] == \
+            cold["result_cache"]["hits"] + 1
+        assert warm["engine"]["misses"] == cold["engine"]["misses"]
+        assert warm["engine"]["lookups"] == cold["engine"]["lookups"]
 
     def test_missing_device_key_is_400(self, client):
         with pytest.raises(ServiceError) as failure:
