@@ -1,0 +1,53 @@
+"""CI smoke check: a warm sensitivity sweep must reuse pipeline stages.
+
+Builds the base model once (warming the per-stage cache), then runs a
+single-parameter sensitivity sweep through the same
+:class:`~repro.engine.EvaluationSession`.  Every variant dirties only
+the stages its swept field feeds, so the session must report a
+non-zero stage hit rate — if it does not, incremental evaluation has
+silently degraded into full rebuilds.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_incremental.py``
+Exits non-zero when no stage was reused or results drift from cold
+builds.
+"""
+
+import sys
+
+from repro.core import DramPowerModel
+from repro.core.idd import idd0
+from repro.devices import ddr3_2g_55nm
+from repro.engine import EvaluationSession
+
+
+def _current(model):
+    return idd0(model).current
+
+
+def main(argv):
+    base = ddr3_2g_55nm()
+    devices = [base.scale_path("voltages.vdd", 1.0 + 0.01 * step)
+               for step in range(1, 17)]
+
+    session = EvaluationSession()
+    session.model(base)
+    swept = session.map(devices, _current)
+    stats = session.stats
+    print(f"warm sweep: {stats}")
+
+    cold = [_current(DramPowerModel(device)) for device in devices]
+    if swept != cold:
+        print("FAIL: incremental sweep differs from cold builds")
+        return 1
+    if stats.stage_hits == 0 or stats.stage_hit_rate == 0.0:
+        print(f"FAIL: warm sweep reused no stages "
+              f"(hits={stats.stage_hits}, "
+              f"hit-rate={stats.stage_hit_rate:.2f})")
+        return 1
+    print(f"OK: stage hit rate {stats.stage_hit_rate:.1%} "
+          f"({stats.stage_hits} hits), results match cold builds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,138 @@
+"""Experiment E-INC — incremental stage evaluation: cold vs staged sweeps.
+
+A 64-point single-parameter sensitivity sweep is evaluated twice: cold
+(every variant runs the full five-stage construction pipeline) and
+incrementally (variants are assembled through a shared
+:class:`~repro.engine.StageCache`, reusing every stage whose input
+fingerprint is unchanged).  Results must match bit-for-bit — the stage
+cache stores the exact artifacts a cold build would produce.
+
+The speedup depends on which stages the swept parameter dirties, so
+three families are measured and recorded honestly:
+
+* ``timing.trc``     — feeds no construction stage: all 5 stages reuse,
+  and the ≥3x acceptance floor is asserted here;
+* ``voltages.vdd``   — dirties charge resolution onward: 2 stages reuse;
+* ``technology.c_bitline`` — dirties capacitance onward: only geometry
+  reuses, so the speedup is ~1x (recorded, not asserted — no silent
+  caps on what the cache can and cannot accelerate).
+
+Numbers land in ``benchmarks/BENCH_incremental.json``.
+"""
+
+import time
+
+from repro.core import DramPowerModel
+from repro.core.idd import idd0
+from repro.engine import StageCache, build_model
+
+from conftest import emit, record_metrics
+
+POINTS = 64
+
+#: (family label, swept description path, stages a variant can reuse).
+FAMILIES = [
+    ("timing", "timing.trc", 5),
+    ("voltage", "voltages.vdd", 2),
+    ("technology", "technology.c_bitline", 1),
+]
+
+
+def _variants(device, path):
+    # Steps start at 1 so no variant collapses onto the base device
+    # (a factor of exactly 1.0 would get a full five-stage hit).
+    return [device.scale_path(path, 1.0 + 0.004 * step)
+            for step in range(1, POINTS + 1)]
+
+
+def _evaluate(model):
+    """IDD0 reads ``timing.trc``, so every family perturbs the result."""
+    result = idd0(model)
+    return (result.current, result.power.power)
+
+
+def _sweep_cold(devices):
+    return [_evaluate(DramPowerModel(device)) for device in devices]
+
+
+def _sweep_incremental(base, devices, stages):
+    build_model(base, stages)
+    return [_evaluate(build_model(device, stages)) for device in devices]
+
+
+def _measure_family(base, path):
+    devices = _variants(base, path)
+
+    started = time.perf_counter()
+    cold = _sweep_cold(devices)
+    cold_seconds = time.perf_counter() - started
+
+    stages = StageCache()
+    started = time.perf_counter()
+    incremental = _sweep_incremental(base, devices, stages)
+    incremental_seconds = time.perf_counter() - started
+
+    # Bit-for-bit: assembled-from-cache models equal cold builds.
+    assert incremental == cold
+    # The parameter actually perturbs the evaluated quantity.
+    assert len(set(cold)) > 1
+
+    hits, misses = stages.counters()
+    return {
+        "cold_seconds": cold_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": cold_seconds / incremental_seconds,
+        "stage_hits": hits,
+        "stage_misses": misses,
+        "hits_per_variant": hits / POINTS,
+    }
+
+
+def test_incremental_timing_sweep(benchmark, ddr3_device):
+    """Full-reuse family: the ≥3x acceptance criterion lives here."""
+    measured = _measure_family(ddr3_device, "timing.trc")
+
+    emit(f"incremental sweep (timing.trc, {POINTS} points): "
+         f"cold {measured['cold_seconds'] * 1e3:.1f} ms, "
+         f"incremental {measured['incremental_seconds'] * 1e3:.1f} ms, "
+         f"speedup {measured['speedup']:.1f}x, "
+         f"{measured['hits_per_variant']:.1f} stage hits/variant")
+
+    # Timing feeds no construction stage: every variant reuses all 5.
+    assert measured["hits_per_variant"] == 5.0
+    assert measured["stage_misses"] == 5  # the base build only
+    assert measured["speedup"] >= 3.0
+
+    record_metrics("BENCH_incremental.json", {
+        "incremental.points": POINTS,
+        "incremental.timing.cold_ms":
+            round(measured["cold_seconds"] * 1e3, 2),
+        "incremental.timing.incremental_ms":
+            round(measured["incremental_seconds"] * 1e3, 2),
+        "incremental.timing.speedup": round(measured["speedup"], 2),
+        "incremental.timing.hits_per_variant":
+            measured["hits_per_variant"],
+    })
+
+    # pytest-benchmark records the steady-state staged-assembly cost.
+    stages = StageCache()
+    devices = _variants(ddr3_device, "timing.trc")
+    benchmark(_sweep_incremental, ddr3_device, devices, stages)
+
+
+def test_incremental_partial_reuse_families(ddr3_device):
+    """Partial-reuse families: parity asserted, speedup recorded as-is."""
+    for label, path, reusable in FAMILIES[1:]:
+        measured = _measure_family(ddr3_device, path)
+
+        emit(f"incremental sweep ({path}): "
+             f"speedup {measured['speedup']:.2f}x, "
+             f"{measured['hits_per_variant']:.1f} stage hits/variant")
+
+        assert measured["hits_per_variant"] == float(reusable)
+        record_metrics("BENCH_incremental.json", {
+            f"incremental.{label}.speedup":
+                round(measured["speedup"], 2),
+            f"incremental.{label}.hits_per_variant":
+                measured["hits_per_variant"],
+        })

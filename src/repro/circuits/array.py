@@ -16,30 +16,31 @@ from typing import List
 
 from ..description import Command, DramDescription, Rail
 from ..description.signaling import Trigger
-from ..core.events import ChargeEvent, Component
+from ..core.events import (ChargeEvent, Component, EventSkeleton,
+                           resolve_skeletons)
 from ..floorplan import FloorplanGeometry
 from . import constants
 
 
-def events(device: DramDescription,
-           geometry: FloorplanGeometry) -> List[ChargeEvent]:
-    """Charge events of the cell array and sense-amplifier stripes."""
+def skeletons(device: DramDescription,
+              geometry: FloorplanGeometry) -> List[EventSkeleton]:
+    """Voltage-free event skeletons of the array and SA stripes."""
     tech = device.technology
     array = device.floorplan.array
-    volts = device.voltages
     page_bits = device.spec.page_bits
     stripes = device.swls_per_activate
 
-    produced: List[ChargeEvent] = []
+    produced: List[EventSkeleton] = []
 
     # One bitline of every pair charges from the Vbl/2 precharge level to
     # Vbl during sensing; its complement discharges to ground.  Only the
     # charging line draws supply current.
-    produced.append(ChargeEvent(
+    produced.append(EventSkeleton(
         name="bitline swing",
         component=Component.BITLINE,
         capacitance=tech.c_bitline,
-        swing=volts.vbl / 2.0,
+        swing_rail=Rail.VBL,
+        swing_divisor=2.0,
         rail=Rail.VBL,
         count=float(page_bits),
         trigger=Trigger.PER_ROW_OP,
@@ -48,11 +49,12 @@ def events(device: DramDescription,
 
     # Destructive readout: cells that stored a one are refilled from the
     # bitline supply (from the shared level ~Vbl/2 back up to Vbl).
-    produced.append(ChargeEvent(
+    produced.append(EventSkeleton(
         name="cell restore",
         component=Component.BITLINE,
         capacitance=tech.c_cell,
-        swing=volts.vbl / 2.0,
+        swing_rail=Rail.VBL,
+        swing_divisor=2.0,
         rail=Rail.VBL,
         count=page_bits * constants.ONES_FRACTION,
         trigger=Trigger.PER_ROW_OP,
@@ -68,11 +70,12 @@ def events(device: DramDescription,
         + set_devices * tech.logic_device_load(tech.w_nset, tech.l_nset)
         + set_devices * tech.logic_device_load(tech.w_pset, tech.l_pset)
     )
-    produced.append(ChargeEvent(
+    produced.append(EventSkeleton(
         name="sense-amp set lines",
         component=Component.SENSE_AMP,
         capacitance=set_line_cap,
-        swing=volts.vint,
+        swing_rail=Rail.VINT,
+        swing_divisor=1.0,
         rail=Rail.VINT,
         count=float(stripes),
         trigger=Trigger.PER_ROW_OP,
@@ -83,11 +86,12 @@ def events(device: DramDescription,
     # the Vbl/2 precharge level up to Vbl to power the sense amplifiers.
     pcs_cap = (pairs_per_stripe * tech.logic_junction_cap(tech.w_sa_p)
                + array.local_wordline_length * tech.c_wire_signal)
-    produced.append(ChargeEvent(
+    produced.append(EventSkeleton(
         name="sense-amp source node",
         component=Component.SENSE_AMP,
         capacitance=pcs_cap,
-        swing=volts.vbl / 2.0,
+        swing_rail=Rail.VBL,
+        swing_divisor=2.0,
         rail=Rail.VBL,
         count=float(stripes),
         trigger=Trigger.PER_ROW_OP,
@@ -101,11 +105,12 @@ def events(device: DramDescription,
         array.local_wordline_length * tech.c_wire_signal
         + pairs_per_stripe * 3 * tech.hv_device_load(tech.w_eq, tech.l_eq)
     )
-    produced.append(ChargeEvent(
+    produced.append(EventSkeleton(
         name="equalize control lines",
         component=Component.SENSE_AMP,
         capacitance=eq_line_cap,
-        swing=volts.vpp,
+        swing_rail=Rail.VPP,
+        swing_divisor=1.0,
         rail=Rail.VPP,
         count=float(stripes),
         trigger=Trigger.PER_ROW_OP,
@@ -121,11 +126,12 @@ def events(device: DramDescription,
             + pairs_per_stripe * 2
             * tech.hv_device_load(tech.w_blmux, tech.l_blmux)
         )
-        produced.append(ChargeEvent(
+        produced.append(EventSkeleton(
             name="bitline mux control lines",
             component=Component.SENSE_AMP,
             capacitance=mux_line_cap,
-            swing=volts.vpp,
+            swing_rail=Rail.VPP,
+            swing_divisor=1.0,
             rail=Rail.VPP,
             count=float(stripes),
             trigger=Trigger.PER_ROW_OP,
@@ -133,6 +139,13 @@ def events(device: DramDescription,
         ))
 
     return produced
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events of the cell array and sense-amplifier stripes."""
+    return list(resolve_skeletons(skeletons(device, geometry),
+                                  device.voltages))
 
 
 def transistors_per_pair(device: DramDescription) -> int:

@@ -17,7 +17,8 @@ from typing import List
 
 from ..description import Command, DramDescription, Rail
 from ..description.signaling import Trigger
-from ..core.events import ChargeEvent, Component
+from ..core.events import (ChargeEvent, Component, EventSkeleton,
+                           resolve_skeletons)
 from ..floorplan import FloorplanGeometry
 from . import constants
 
@@ -68,39 +69,41 @@ def master_dataline_capacitance(device: DramDescription,
     return wire + stripe_junctions + ssa_input
 
 
-def events(device: DramDescription,
-           geometry: FloorplanGeometry) -> List[ChargeEvent]:
-    """Charge events of the column path (reads and writes)."""
+def skeletons(device: DramDescription,
+              geometry: FloorplanGeometry) -> List[EventSkeleton]:
+    """Voltage-free event skeletons of the column path."""
     tech = device.technology
-    volts = device.voltages
     spec = device.spec
 
     produced = [
-        ChargeEvent(
+        EventSkeleton(
             name="column select lines",
             component=Component.COLUMN,
             capacitance=csl_capacitance(device, geometry),
-            swing=volts.vint,
+            swing_rail=Rail.VINT,
+            swing_divisor=1.0,
             rail=Rail.VINT,
             count=float(device.csls_per_access),
             trigger=Trigger.PER_ACCESS,
             operations=_COLUMN_OPS,
         ),
-        ChargeEvent(
+        EventSkeleton(
             name="local data lines",
             component=Component.COLUMN,
             capacitance=local_dataline_capacitance(device),
-            swing=volts.vbl / 2.0,
+            swing_rail=Rail.VBL,
+            swing_divisor=2.0,
             rail=Rail.VBL,
             count=float(spec.bits_per_access),
             trigger=Trigger.PER_ACCESS,
             operations=_COLUMN_OPS,
         ),
-        ChargeEvent(
+        EventSkeleton(
             name="master data lines",
             component=Component.DATAPATH,
             capacitance=master_dataline_capacitance(device, geometry),
-            swing=volts.vint,
+            swing_rail=Rail.VINT,
+            swing_divisor=1.0,
             rail=Rail.VINT,
             count=float(spec.bits_per_access),
             trigger=Trigger.PER_ACCESS,
@@ -109,11 +112,12 @@ def events(device: DramDescription,
         # Writing random data flips on average half of the latched sense
         # amplifiers: the rising bitline of each flipped pair is charged
         # through the write driver, and the cell is rewritten.
-        ChargeEvent(
+        EventSkeleton(
             name="write bitline flip",
             component=Component.BITLINE,
             capacitance=tech.c_bitline + tech.c_cell,
-            swing=volts.vbl,
+            swing_rail=Rail.VBL,
+            swing_divisor=1.0,
             rail=Rail.VBL,
             count=spec.bits_per_access * constants.WRITE_FLIP_PROBABILITY,
             trigger=Trigger.PER_ACCESS,
@@ -121,3 +125,10 @@ def events(device: DramDescription,
         ),
     ]
     return produced
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events of the column path (reads and writes)."""
+    return list(resolve_skeletons(skeletons(device, geometry),
+                                  device.voltages))

@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import List
 
 from ..description import DramDescription, LogicBlock
-from ..core.events import ChargeEvent, Component
+from ..core.events import (ChargeEvent, Component, EventSkeleton,
+                           resolve_skeletons)
 from ..floorplan import FloorplanGeometry
 
 
@@ -29,23 +30,30 @@ def gate_capacitance(device: DramDescription, block: LogicBlock) -> float:
     return device_load + wire_load
 
 
-def events(device: DramDescription,
-           geometry: FloorplanGeometry) -> List[ChargeEvent]:
-    """Charge events for every peripheral logic block."""
-    volts = device.voltages
-    produced: List[ChargeEvent] = []
+def skeletons(device: DramDescription,
+              geometry: FloorplanGeometry) -> List[EventSkeleton]:
+    """Voltage-free event skeletons for every peripheral logic block."""
+    produced: List[EventSkeleton] = []
     for block in device.iter_logic_blocks():
-        produced.append(ChargeEvent(
+        produced.append(EventSkeleton(
             name=f"logic {block.name}",
             component=Component(block.component),
             capacitance=gate_capacitance(device, block),
-            swing=volts.level(block.rail),
+            swing_rail=block.rail,
+            swing_divisor=1.0,
             rail=block.rail,
             count=block.n_gates * block.toggle,
             trigger=block.trigger,
             operations=block.operations,
         ))
     return produced
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events for every peripheral logic block."""
+    return list(resolve_skeletons(skeletons(device, geometry),
+                                  device.voltages))
 
 
 def total_block_area(device: DramDescription) -> float:

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import List
 
 from ..description import DramDescription
-from ..core.events import ChargeEvent, Component
+from ..core.events import (ChargeEvent, Component, EventSkeleton,
+                           resolve_skeletons)
 from ..floorplan import FloorplanGeometry
 from .devices import buffer_total_load
 
@@ -27,23 +28,30 @@ def segment_capacitance(device: DramDescription,
     return wire + devices
 
 
-def events(device: DramDescription,
-           geometry: FloorplanGeometry) -> List[ChargeEvent]:
-    """Charge events for every signal-net segment of the device."""
-    volts = device.voltages
-    produced: List[ChargeEvent] = []
+def skeletons(device: DramDescription,
+              geometry: FloorplanGeometry) -> List[EventSkeleton]:
+    """Voltage-free event skeletons for every signal-net segment."""
+    produced: List[EventSkeleton] = []
     for net in device.signaling:
         component = Component(net.component)
         for index, segment in enumerate(net.segments):
             capacitance = segment_capacitance(device, geometry, segment)
-            produced.append(ChargeEvent(
+            produced.append(EventSkeleton(
                 name=f"net {net.name}[{index}]",
                 component=component,
                 capacitance=capacitance,
-                swing=volts.level(net.rail),
+                swing_rail=net.rail,
+                swing_divisor=1.0,
                 rail=net.rail,
                 count=segment.wires * segment.toggle,
                 trigger=net.trigger,
                 operations=net.operations,
             ))
     return produced
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events for every signal-net segment of the device."""
+    return list(resolve_skeletons(skeletons(device, geometry),
+                                  device.voltages))

@@ -18,7 +18,8 @@ from typing import List
 
 from ..description import Command, DramDescription, Rail
 from ..description.signaling import Trigger
-from ..core.events import ChargeEvent, Component
+from ..core.events import (ChargeEvent, Component, EventSkeleton,
+                           resolve_skeletons)
 from ..floorplan import FloorplanGeometry
 from . import constants
 
@@ -86,19 +87,19 @@ def phase_line_capacitance(device: DramDescription,
     return wire_load + stripe_load + controller_load
 
 
-def events(device: DramDescription,
-           geometry: FloorplanGeometry) -> List[ChargeEvent]:
-    """Charge events of the row (wordline) path."""
+def skeletons(device: DramDescription,
+              geometry: FloorplanGeometry) -> List[EventSkeleton]:
+    """Voltage-free event skeletons of the row (wordline) path."""
     tech = device.technology
-    volts = device.voltages
     block = geometry.array_block
 
     produced = [
-        ChargeEvent(
+        EventSkeleton(
             name="local wordlines",
             component=Component.WORDLINE,
             capacitance=local_wordline_capacitance(device),
-            swing=volts.vpp,
+            swing_rail=Rail.VPP,
+            swing_divisor=1.0,
             rail=Rail.VPP,
             count=float(device.swls_per_activate),
             trigger=Trigger.PER_ROW_OP,
@@ -106,21 +107,23 @@ def events(device: DramDescription,
         ),
         # A page split over several blocks drives one master wordline and
         # one phase line in each of them.
-        ChargeEvent(
+        EventSkeleton(
             name="master wordline",
             component=Component.WORDLINE,
             capacitance=master_wordline_capacitance(device, geometry),
-            swing=volts.vpp,
+            swing_rail=Rail.VPP,
+            swing_divisor=1.0,
             rail=Rail.VPP,
             count=float(device.blocks_per_bank),
             trigger=Trigger.PER_ROW_OP,
             operations=frozenset({Command.ACT}),
         ),
-        ChargeEvent(
+        EventSkeleton(
             name="wordline phase line",
             component=Component.WORDLINE,
             capacitance=phase_line_capacitance(device, geometry),
-            swing=volts.vpp,
+            swing_rail=Rail.VPP,
+            swing_divisor=1.0,
             rail=Rail.VPP,
             count=float(device.blocks_per_bank),
             trigger=Trigger.PER_ROW_OP,
@@ -139,11 +142,12 @@ def events(device: DramDescription,
         + decoders_per_line * (tech.hv_gate_cap(tech.w_mwl_dec_n)
                                + tech.hv_gate_cap(tech.w_mwl_dec_p))
     )
-    produced.append(ChargeEvent(
+    produced.append(EventSkeleton(
         name="row predecode lines",
         component=Component.WORDLINE,
         capacitance=predecode_cap,
-        swing=volts.vint,
+        swing_rail=Rail.VINT,
+        swing_divisor=1.0,
         rail=Rail.VINT,
         count=tech.predecode_mwl * tech.mwl_dec_activity,
         trigger=Trigger.PER_ROW_OP,
@@ -151,3 +155,10 @@ def events(device: DramDescription,
     ))
 
     return produced
+
+
+def events(device: DramDescription,
+           geometry: FloorplanGeometry) -> List[ChargeEvent]:
+    """Charge events of the row (wordline) path."""
+    return list(resolve_skeletons(skeletons(device, geometry),
+                                  device.voltages))

@@ -226,6 +226,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
                        title=f"Feasibility of {device.name}"))
     stats = session.stats
     print(f"engine: {stats}")
+    if stats.stage_lookups:
+        print(f"stage-cache: hits={stats.stage_hits} "
+              f"misses={stats.stage_misses} "
+              f"hit-rate={stats.stage_hit_rate:.1%}")
     if session.cache_dir is not None:
         print(f"model-cache: dir={session.cache_dir} "
               f"hit-rate={stats.hit_rate:.1%} "

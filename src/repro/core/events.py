@@ -82,13 +82,22 @@ class ChargeEvent:
             raise ModelError(f"event {self.name!r}: negative swing")
         if self.count < 0:
             raise ModelError(f"event {self.name!r}: negative count")
-        object.__setattr__(self, "component", Component(self.component))
-        object.__setattr__(self, "rail", Rail(self.rail))
-        object.__setattr__(self, "trigger", Trigger(self.trigger))
-        object.__setattr__(
-            self, "operations",
-            frozenset(Command(op) for op in self.operations),
-        )
+        # Coerce only when needed: skeleton resolution and sweep code
+        # construct events with proper enums on a hot path.
+        if type(self.component) is not Component:
+            object.__setattr__(self, "component",
+                               Component(self.component))
+        if type(self.rail) is not Rail:
+            object.__setattr__(self, "rail", Rail(self.rail))
+        if type(self.trigger) is not Trigger:
+            object.__setattr__(self, "trigger", Trigger(self.trigger))
+        operations = self.operations
+        if not (type(operations) is frozenset
+                and all(type(op) is Command for op in operations)):
+            object.__setattr__(
+                self, "operations",
+                frozenset(Command(op) for op in operations),
+            )
         clocked = self.trigger in (Trigger.PER_CTRL_CLOCK,
                                    Trigger.PER_DATA_CLOCK)
         if not clocked and not self.operations:
@@ -117,6 +126,59 @@ class ChargeEvent:
     def scaled(self, **overrides: object) -> "ChargeEvent":
         """Return a copy with fields replaced."""
         return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class EventSkeleton:
+    """A charge event before its voltage swing is known.
+
+    The capacitance-extraction stage of the pipeline produces skeletons:
+    everything about an event *except* the resolved swing, which is
+    expressed as a reference to a rail level and an exact power-of-two
+    divisor (``swing = level(swing_rail) / swing_divisor``).  Resolving a
+    skeleton against a :class:`~repro.description.VoltageSet` is therefore
+    bit-for-bit identical to building the event directly — division by
+    1.0 or 2.0 is exact in IEEE-754 — while letting a voltage-only
+    perturbation reuse the full capacitance extraction unchanged.
+    """
+
+    name: str
+    """Human-readable event name, e.g. ``bitline swing``."""
+    component: Component
+    """Breakdown category."""
+    capacitance: float
+    """Capacitance of one switching element (F)."""
+    swing_rail: "Rail"
+    """Rail whose level sets the voltage swing."""
+    swing_divisor: float
+    """Exact divisor applied to the rail level (1.0 or 2.0)."""
+    rail: "Rail"
+    """Supply rail delivering the charge."""
+    count: float
+    """Elements switching per firing (may be fractional: activity)."""
+    trigger: Trigger
+    """What fires the event (per command, per access, per clock)."""
+    operations: FrozenSet[Command] = frozenset()
+    """Commands gating the event; empty = background (clock-triggered)."""
+
+    def resolve(self, voltages) -> ChargeEvent:
+        """The finished :class:`ChargeEvent` under ``voltages``."""
+        return ChargeEvent(
+            name=self.name,
+            component=self.component,
+            capacitance=self.capacitance,
+            swing=voltages.level(self.swing_rail) / self.swing_divisor,
+            rail=self.rail,
+            count=self.count,
+            trigger=self.trigger,
+            operations=self.operations,
+        )
+
+
+def resolve_skeletons(skeletons: Iterable[EventSkeleton],
+                      voltages) -> Tuple[ChargeEvent, ...]:
+    """Resolve a skeleton list into charge events, preserving order."""
+    return tuple(skeleton.resolve(voltages) for skeleton in skeletons)
 
 
 def filter_events(events: Iterable[ChargeEvent],

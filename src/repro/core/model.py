@@ -20,8 +20,8 @@ from ..description import Command, DramDescription, Pattern
 from ..errors import ModelError
 from ..floorplan import FloorplanGeometry
 from ..units import pj_per_bit
-from .builder import build_events
-from .events import ChargeEvent, Component
+from .builder import build_skeletons, resolve_events
+from .events import ChargeEvent, Component, EventSkeleton
 from .operations import EnergyBreakdown, OperationEnergies
 
 
@@ -62,19 +62,39 @@ class PatternPower:
 
 
 class DramPowerModel:
-    """Evaluates the power of one DRAM description."""
+    """Evaluates the power of one DRAM description.
+
+    Construction runs the Figure-4 pipeline stage by stage — geometry,
+    capacitance extraction (skeletons), charge determination (events),
+    per-operation energies — and each stage can be handed in prebuilt by
+    the evaluation engine's incremental builder
+    (:mod:`repro.engine.stages`), which reuses every stage whose inputs
+    are unchanged from an earlier build.  A model assembled from reused
+    stage artifacts is bit-for-bit identical to a cold build.
+    """
 
     def __init__(self, device: DramDescription,
                  events: Optional[Tuple[ChargeEvent, ...]] = None,
-                 geometry: Optional[FloorplanGeometry] = None):
+                 geometry: Optional[FloorplanGeometry] = None, *,
+                 skeletons: Optional[Tuple[EventSkeleton, ...]] = None,
+                 energies: Optional[OperationEnergies] = None,
+                 default_power: Optional["PatternPower"] = None):
         self.device = device
         if geometry is None:
             geometry = FloorplanGeometry(device)
         self.geometry = geometry
         if events is None:
-            events = build_events(device, self.geometry)
+            if skeletons is None:
+                skeletons = build_skeletons(device, self.geometry)
+            events = resolve_events(skeletons, device.voltages)
+        #: Voltage-free capacitance-stage artifacts; ``None`` for models
+        #: built around a substituted (scheme-transformed) event list.
+        self.skeletons = (tuple(skeletons) if skeletons is not None
+                          else None)
         self.events: Tuple[ChargeEvent, ...] = tuple(events)
-        self.energies = OperationEnergies(device, self.events)
+        self.energies = (energies if energies is not None
+                         else OperationEnergies(device, self.events))
+        self._default_power = default_power
 
     # ------------------------------------------------------------------
     # Per-operation results
@@ -145,12 +165,20 @@ class DramPowerModel:
         Without an argument the device's own default pattern is used
         (the paper's ``Pattern loop= act nop wrt nop rd nop pre nop``).
         """
+        use_memo = pattern is None
+        if use_memo and self._default_power is not None:
+            return self._default_power
         if pattern is None:
             pattern = self.device.pattern
         duration = len(pattern) / self.device.spec.f_ctrlclock
         counts = {command: float(count)
                   for command, count in pattern.counts().items()}
-        return self.counts_power(counts, duration, label=str(pattern))
+        result = self.counts_power(counts, duration, label=str(pattern))
+        if use_memo:
+            # Idempotent memo: every recomputation yields the identical
+            # value, so a benign race between threads cannot diverge.
+            self._default_power = result
+        return result
 
     # ------------------------------------------------------------------
     # Convenience figures

@@ -31,7 +31,8 @@ class EnergyBreakdown:
 
     def add(self, component: Component, amount: float) -> None:
         """Accumulate ``amount`` into one component bucket."""
-        component = Component(component)
+        if type(component) is not Component:
+            component = Component(component)
         self.values[component] = self.values.get(component, 0.0) + amount
 
     @property
@@ -82,7 +83,8 @@ def command_activity_time(device: DramDescription, command: Command) -> float:
     into the no-operation state"); row commands occupy their logic for one
     control clock.
     """
-    command = Command(command)
+    if type(command) is not Command:
+        command = Command(command)
     if command in (Command.RD, Command.WR):
         return device.spec.burst_length / device.spec.datarate
     return 1.0 / device.spec.f_ctrlclock
@@ -91,7 +93,9 @@ def command_activity_time(device: DramDescription, command: Command) -> float:
 def firings_per_command(device: DramDescription, event: ChargeEvent,
                         command: Command) -> float:
     """How often a gated event fires per occurrence of ``command``."""
-    if Command(command) not in event.operations:
+    if type(command) is not Command:
+        command = Command(command)
+    if command not in event.operations:
         return 0.0
     if event.trigger in (Trigger.PER_ACCESS, Trigger.PER_ROW_OP):
         return 1.0
@@ -159,6 +163,21 @@ class OperationEnergies:
                 self.device.constant_current * self.device.voltages.vdd,
             )
         return breakdown
+
+    def rebind(self, device: DramDescription) -> "OperationEnergies":
+        """A copy of these energies bound to ``device``.
+
+        The folded results are shared, not recomputed — valid exactly
+        when ``device`` carries the same voltages, specification and
+        constant-current values as the original, which is what the
+        engine's current-stage fingerprint guarantees.
+        """
+        clone = object.__new__(OperationEnergies)
+        clone.device = device
+        clone.events = self.events
+        clone._energies = self._energies
+        clone._background = self._background
+        return clone
 
     # ------------------------------------------------------------------
     def operation_energy(self, command: Command) -> EnergyBreakdown:

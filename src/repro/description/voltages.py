@@ -41,6 +41,17 @@ class Rail(str, Enum):
         return self.value
 
 
+#: Rail → dataclass field holding its level; module-level so the hot
+#: ``level``/``efficiency`` lookups build no per-call dict.
+_LEVEL_FIELDS = {Rail.VDD: "vdd", Rail.VINT: "vint",
+                 Rail.VBL: "vbl", Rail.VPP: "vpp"}
+
+#: Rail → dataclass field holding its generator efficiency (Vdd itself
+#: is the reference and is handled inline as the constant 1.0).
+_EFFICIENCY_FIELDS = {Rail.VINT: "eff_vint", Rail.VBL: "eff_vbl",
+                      Rail.VPP: "eff_vpp"}
+
+
 @dataclass(frozen=True)
 class VoltageSet:
     """Voltage levels and generator efficiencies of the four domains."""
@@ -82,21 +93,17 @@ class VoltageSet:
 
     def level(self, rail: Rail) -> float:
         """Voltage level of ``rail`` (V)."""
-        return {
-            Rail.VDD: self.vdd,
-            Rail.VINT: self.vint,
-            Rail.VBL: self.vbl,
-            Rail.VPP: self.vpp,
-        }[Rail(rail)]
+        if type(rail) is not Rail:
+            rail = Rail(rail)
+        return getattr(self, _LEVEL_FIELDS[rail])
 
     def efficiency(self, rail: Rail) -> float:
         """Generator efficiency of ``rail`` relative to Vdd."""
-        return {
-            Rail.VDD: 1.0,
-            Rail.VINT: self.eff_vint,
-            Rail.VBL: self.eff_vbl,
-            Rail.VPP: self.eff_vpp,
-        }[Rail(rail)]
+        if type(rail) is not Rail:
+            rail = Rail(rail)
+        if rail is Rail.VDD:
+            return 1.0
+        return getattr(self, _EFFICIENCY_FIELDS[rail])
 
     def vdd_energy(self, charge: float, rail: Rail) -> float:
         """Energy drawn from Vdd to deliver ``charge`` at ``rail`` (J).
@@ -104,7 +111,8 @@ class VoltageSet:
         A charge Q delivered at a rail at level V costs Q·V at the rail and
         Q·V / eff at the external supply.
         """
-        rail = Rail(rail)
+        if type(rail) is not Rail:
+            rail = Rail(rail)
         return charge * self.level(rail) / self.efficiency(rail)
 
     def vdd_current(self, charge_per_second: float, rail: Rail) -> float:

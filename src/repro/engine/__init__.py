@@ -30,7 +30,14 @@ The engine provides one construction path for all of them:
   statistics and ordered, bit-for-bit-identical results;
 * :class:`repro.engine.variant.Variant` — declarative perturbations
   (deltas) of a base description, replacing ad-hoc
-  ``dataclasses.replace`` scattering in the sweep code.
+  ``dataclasses.replace`` scattering in the sweep code;
+* :mod:`repro.engine.stages` — the Figure-4 pipeline split into
+  individually fingerprinted stages (geometry, capacitance, charge,
+  current, power) with a :class:`~repro.engine.stages.StageCache`, so
+  cold builds reuse every stage whose inputs are unchanged;
+* :mod:`repro.engine.shm` — the shared-memory stage store: pool
+  workers seed their stage caches from the parent's base model
+  instead of rebuilding it per worker.
 
 All analysis entry points accept an optional ``session`` argument; when
 omitted a private session is created per call, so existing code keeps
@@ -44,6 +51,9 @@ from .executor import (AUTO, BACKENDS, choose_backend, default_jobs,
                        estimate_build_seconds, resolve_backend)
 from .fingerprint import canonical_form, fingerprint
 from .session import EvaluationSession, ensure_session, evaluate_many
+from .shm import SharedStageStore, shm_available
+from .stages import (FIELD_STAGES, STAGE_INPUTS, STAGE_ORDER, StageCache,
+                     build_model, dirty_stages, stage_keys)
 from .variant import Variant, scaling
 
 __all__ = [
@@ -63,6 +73,15 @@ __all__ = [
     "EvaluationSession",
     "ensure_session",
     "evaluate_many",
+    "FIELD_STAGES",
+    "STAGE_INPUTS",
+    "STAGE_ORDER",
+    "StageCache",
+    "SharedStageStore",
+    "build_model",
+    "dirty_stages",
+    "shm_available",
+    "stage_keys",
     "Variant",
     "scaling",
 ]

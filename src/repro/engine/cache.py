@@ -37,6 +37,8 @@ from ..description import DramDescription
 from ..errors import ModelError
 from .diskcache import DiskModelCache
 from .fingerprint import fingerprint
+from .stages import (DEFAULT_STAGE_CAPACITY, STAGE_ORDER, StageCache,
+                     build_model, seed_stage_cache, stage_payload)
 
 #: Default number of built models kept alive.
 DEFAULT_CAPACITY = 256
@@ -73,6 +75,18 @@ class EngineStats:
     serial_fallbacks: int = 0
     """Process-backend chunks degraded to in-parent serial evaluation
     after the fresh-pool retry died too."""
+    stage_hits: int = 0
+    """Pipeline stages reused from the stage cache during cold model
+    builds (geometry/capacitance/charge/current/power granularity)."""
+    stage_misses: int = 0
+    """Pipeline stages that had to be computed during cold builds."""
+    shm_stores: int = 0
+    """Shared-memory stage payloads published for pool workers."""
+    shm_loads: int = 0
+    """Worker stage caches seeded from a shared-memory payload."""
+    shm_errors: int = 0
+    """Shared-memory store/attach attempts that failed (the sweep
+    falls back to per-worker cold builds; results are unaffected)."""
 
     @property
     def lookups(self) -> int:
@@ -87,16 +101,37 @@ class EngineStats:
             return 0.0
         return (self.hits + self.disk_hits) / self.lookups
 
+    @property
+    def stage_lookups(self) -> int:
+        """Total stage-cache lookups during cold builds."""
+        return self.stage_hits + self.stage_misses
+
+    @property
+    def stage_hit_rate(self) -> float:
+        """Pipeline stages reused instead of recomputed; 0.0 before
+        the first cold build."""
+        if not self.stage_lookups:
+            return 0.0
+        return self.stage_hits / self.stage_lookups
+
     def __str__(self) -> str:
         text = (f"hits={self.hits} misses={self.misses} "
                 f"hit-rate={self.hit_rate:.1%} size={self.size}/"
                 f"{self.capacity} build-time={self.build_seconds:.3f}s")
+        if self.stage_hits or self.stage_misses:
+            text += (f" stages[hits={self.stage_hits} "
+                     f"misses={self.stage_misses} "
+                     f"hit-rate={self.stage_hit_rate:.1%}]")
         if (self.disk_hits or self.disk_misses or self.disk_writes
                 or self.disk_corrupt):
             text += (f" disk[hits={self.disk_hits} "
                      f"misses={self.disk_misses} "
                      f"writes={self.disk_writes} "
                      f"corrupt={self.disk_corrupt}]")
+        if self.shm_stores or self.shm_loads or self.shm_errors:
+            text += (f" shm[stores={self.shm_stores} "
+                     f"loads={self.shm_loads} "
+                     f"errors={self.shm_errors}]")
         if self.pool_retries or self.serial_fallbacks:
             text += (f" faults[pool-retries={self.pool_retries} "
                      f"serial-fallbacks={self.serial_fallbacks}]")
@@ -123,6 +158,11 @@ class EngineStats:
             pool_retries=self.pool_retries - since.pool_retries,
             serial_fallbacks=(self.serial_fallbacks
                               - since.serial_fallbacks),
+            stage_hits=self.stage_hits - since.stage_hits,
+            stage_misses=self.stage_misses - since.stage_misses,
+            shm_stores=self.shm_stores - since.shm_stores,
+            shm_loads=self.shm_loads - since.shm_loads,
+            shm_errors=self.shm_errors - since.shm_errors,
         )
 
 
@@ -137,6 +177,8 @@ class ModelCache:
         self.disk = disk
         self._models: "OrderedDict[str, DramPowerModel]" = OrderedDict()
         self._lock = threading.Lock()
+        self.stages = StageCache(
+            max(DEFAULT_STAGE_CAPACITY, capacity * len(STAGE_ORDER)))
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -147,6 +189,11 @@ class ModelCache:
         self._disk_corrupt = 0
         self._pool_retries = 0
         self._serial_fallbacks = 0
+        self._stage_hits_extra = 0
+        self._stage_misses_extra = 0
+        self._shm_stores = 0
+        self._shm_loads = 0
+        self._shm_errors = 0
 
     def __len__(self) -> int:
         return len(self._models)
@@ -176,10 +223,14 @@ class ModelCache:
             elapsed = 0.0
             if loaded is None:
                 started = time.perf_counter()
-                built = DramPowerModel(device)
+                built = build_model(device, self.stages)
                 elapsed = time.perf_counter() - started
             else:
                 built = loaded
+                payload = stage_payload(device, loaded)
+                if payload is not None:
+                    # Disk-loaded stages feed later incremental builds.
+                    seed_stage_cache(self.stages, payload)
             stored_fresh = False
             with self._lock:
                 if loaded is not None:
@@ -231,16 +282,41 @@ class ModelCache:
             self._disk_corrupt += worker_stats.disk_corrupt
             self._pool_retries += worker_stats.pool_retries
             self._serial_fallbacks += worker_stats.serial_fallbacks
+            self._stage_hits_extra += worker_stats.stage_hits
+            self._stage_misses_extra += worker_stats.stage_misses
+            self._shm_stores += worker_stats.shm_stores
+            self._shm_loads += worker_stats.shm_loads
+            self._shm_errors += worker_stats.shm_errors
+
+    def record_shm(self, stores: int = 0, loads: int = 0,
+                   errors: int = 0) -> None:
+        """Count shared-memory store/load/error events (executor hook)."""
+        with self._lock:
+            self._shm_stores += stores
+            self._shm_loads += loads
+            self._shm_errors += errors
+
+    def stage_export(self, device: DramDescription):
+        """Exportable stage payload of ``device`` (builds if needed).
+
+        The payload is what the shared-memory store ships to pool
+        workers; ``None`` when the model carries no canonical stage
+        artifacts.
+        """
+        return stage_payload(device, self.model(device))
 
     def clear(self) -> None:
-        """Drop every cached model (counters keep accumulating)."""
+        """Drop every cached model and stage artifact (counters keep
+        accumulating)."""
         with self._lock:
             self._models.clear()
+        self.stages.clear()
 
     def stats(self) -> EngineStats:
         """A consistent snapshot of the counters."""
         corrupt = (self.disk.corrupt_entries
                    if self.disk is not None else 0)
+        stage_hits, stage_misses = self.stages.counters()
         with self._lock:
             return EngineStats(
                 hits=self._hits,
@@ -255,4 +331,9 @@ class ModelCache:
                 disk_corrupt=self._disk_corrupt + corrupt,
                 pool_retries=self._pool_retries,
                 serial_fallbacks=self._serial_fallbacks,
+                stage_hits=stage_hits + self._stage_hits_extra,
+                stage_misses=stage_misses + self._stage_misses_extra,
+                shm_stores=self._shm_stores,
+                shm_loads=self._shm_loads,
+                shm_errors=self._shm_errors,
             )

@@ -45,6 +45,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence,
 from ..errors import ModelError
 from .cache import DEFAULT_CAPACITY, EngineStats
 from .fingerprint import fingerprint
+from .shm import SharedStageStore, publish_stage_payload
+from .stages import seed_stage_cache
 
 #: The recognised execution backends.
 BACKENDS = ("serial", "thread", "process")
@@ -109,15 +111,26 @@ def estimate_build_seconds(stats=None) -> float:
 
 
 def choose_backend(width: int, jobs: Optional[int] = None,
-                   build_seconds: Optional[float] = None) -> str:
+                   build_seconds: Optional[float] = None,
+                   expected_hit_rate: float = 0.0) -> str:
     """The serial-vs-process decision behind ``backend="auto"``.
 
-    Compares the projected serial cost (``width`` x ``build_seconds``)
+    Compares the projected serial cost (``width`` x ``build_seconds``,
+    discounted by the cache hit rate the session has been observing)
     against the projected pool cost (per-worker startup plus the
     sharded build time) and returns the cheaper backend.  The thread
     backend is never chosen: the model is pure Python, so threads
     cannot beat serial under the GIL — they exist for callables that
     block or release it, which the policy cannot detect.
+
+    ``expected_hit_rate`` folds the warm-cache reality into the serial
+    projection only: a serial run on this session reuses its warm
+    model cache, while pool workers start from scratch (stage seeding
+    softens but does not erase that, and the pessimism keeps the cheap
+    mistake — staying serial — the likely one).  A session that has
+    been answering 90 % of lookups from cache projects a 10×-smaller
+    serial cost and correctly stays serial for re-runs of a sweep it
+    already holds.
 
     ``width <= 2`` and single-worker calls are always serial, so tiny
     lookups keep their short stacks and zero pool overhead.
@@ -127,10 +140,11 @@ def choose_backend(width: int, jobs: Optional[int] = None,
         return "serial"
     per_build = (build_seconds if build_seconds and build_seconds > 0
                  else DEFAULT_BUILD_SECONDS)
+    rate = min(max(expected_hit_rate, 0.0), 1.0)
     workers = min(workers, width)
-    serial_seconds = width * per_build
+    serial_seconds = width * per_build * (1.0 - rate)
     pooled_seconds = (workers * WORKER_STARTUP_SECONDS
-                      + serial_seconds / workers)
+                      + width * per_build / workers)
     return "process" if pooled_seconds < serial_seconds else "serial"
 
 
@@ -193,14 +207,35 @@ def _ensure_picklable_callable(fn: Callable) -> None:
 # ----------------------------------------------------------------------
 _WORKER_SESSION = None
 
+#: Counter events (``shm_loads``/``shm_errors``) produced by the pool
+#: initializer, which runs *before* the first chunk's stats snapshot —
+#: folded into that chunk's delta by :func:`_run_chunk` so the parent
+#: merge sees them exactly once.
+_WORKER_PENDING: Optional[Dict[str, int]] = None
 
-def _initialize_worker(capacity: int,
-                       cache_dir: Optional[str]) -> None:
-    """Pool initializer: build this worker's private session."""
-    global _WORKER_SESSION
+
+def _initialize_worker(capacity: int, cache_dir: Optional[str],
+                       shm_name: Optional[str] = None) -> None:
+    """Pool initializer: build this worker's private session.
+
+    With ``shm_name`` given, the worker seeds its stage cache from the
+    parent's shared-memory stage payload, so its first build of any
+    sweep variant already reuses every clean pipeline stage instead of
+    rebuilding (or disk-loading) the base model from scratch.  Any
+    attach failure is counted and otherwise ignored.
+    """
+    global _WORKER_SESSION, _WORKER_PENDING
     from .session import EvaluationSession
     _WORKER_SESSION = EvaluationSession(capacity=capacity,
                                         cache_dir=cache_dir)
+    _WORKER_PENDING = None
+    if shm_name is not None:
+        try:
+            payload = SharedStageStore.load(shm_name)
+            seed_stage_cache(_WORKER_SESSION.cache.stages, payload)
+            _WORKER_PENDING = {"shm_loads": 1}
+        except Exception:
+            _WORKER_PENDING = {"shm_errors": 1}
 
 
 def _evaluate_chunk(session,
@@ -242,7 +277,17 @@ def _evaluate_chunk(session,
 
 def _run_chunk(payload: Tuple[int, bytes, Callable, str]) -> Tuple:
     """Worker entry point: evaluate a chunk on the worker session."""
-    return _evaluate_chunk(_WORKER_SESSION, payload)
+    global _WORKER_PENDING
+    status, body, delta = _evaluate_chunk(_WORKER_SESSION, payload)
+    if _WORKER_PENDING:
+        delta = dataclasses.replace(
+            delta,
+            shm_loads=(delta.shm_loads
+                       + _WORKER_PENDING.get("shm_loads", 0)),
+            shm_errors=(delta.shm_errors
+                        + _WORKER_PENDING.get("shm_errors", 0)))
+        _WORKER_PENDING = None
+    return (status, body, delta)
 
 
 # ----------------------------------------------------------------------
@@ -250,7 +295,8 @@ def _run_chunk(payload: Tuple[int, bytes, Callable, str]) -> Tuple:
 # ----------------------------------------------------------------------
 def _dispatch_round(payloads: List[Tuple], pending: List[int],
                     outcomes: Dict[int, Tuple], workers: int,
-                    capacity: int, cache_dir: Optional[str]
+                    capacity: int, cache_dir: Optional[str],
+                    shm_name: Optional[str] = None
                     ) -> List[int]:
     """One pool attempt over the pending chunks.
 
@@ -263,7 +309,7 @@ def _dispatch_round(payloads: List[Tuple], pending: List[int],
     with ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
             initializer=_initialize_worker,
-            initargs=(capacity, cache_dir)) as pool:
+            initargs=(capacity, cache_dir, shm_name)) as pool:
         futures = {}
         for index in pending:
             try:
@@ -281,7 +327,8 @@ def _dispatch_round(payloads: List[Tuple], pending: List[int],
 
 def _pooled_map(items: Sequence, fn: Callable, mode: str,
                 jobs: Optional[int], capacity: int,
-                cache_dir: Optional[str]
+                cache_dir: Optional[str],
+                shm_payload=None
                 ) -> Tuple[List, EngineStats]:
     _ensure_picklable_callable(fn)
     workers = jobs if jobs is not None else default_jobs()
@@ -293,25 +340,40 @@ def _pooled_map(items: Sequence, fn: Callable, mode: str,
     outcomes: Dict[int, Tuple] = {}
     pending = list(range(len(payloads)))
     pool_retries = 0
-    for attempt in (0, 1):
-        if not pending:
-            break
-        if attempt:
-            pool_retries += len(pending)
-        pending = _dispatch_round(payloads, pending, outcomes,
-                                  workers, capacity, cache_dir)
-    serial_fallbacks = len(pending)
-    if pending:
-        # Both pool attempts lost these chunks (e.g. a callable that
-        # kills every worker, or a host that cannot fork):  degrade
-        # to in-parent evaluation on one private session mirroring a
-        # worker's, so the results stay identical to the pooled run.
-        from .session import EvaluationSession
-        fallback = EvaluationSession(capacity=capacity,
-                                     cache_dir=cache_dir)
-        for index in pending:
-            outcomes[index] = _evaluate_chunk(fallback,
-                                              payloads[index])
+    store = publish_stage_payload(shm_payload)
+    shm_stores = 1 if store is not None else 0
+    shm_errors = 1 if (shm_payload is not None and store is None) else 0
+    try:
+        shm_name = store.name if store is not None else None
+        for attempt in (0, 1):
+            if not pending:
+                break
+            if attempt:
+                pool_retries += len(pending)
+            pending = _dispatch_round(payloads, pending, outcomes,
+                                      workers, capacity, cache_dir,
+                                      shm_name)
+        serial_fallbacks = len(pending)
+        if pending:
+            # Both pool attempts lost these chunks (e.g. a callable
+            # that kills every worker, or a host that cannot fork):
+            # degrade to in-parent evaluation on one private session
+            # mirroring a worker's, so the results stay identical to
+            # the pooled run.  The session seeds straight from the
+            # in-parent payload — no shared memory needed.
+            from .session import EvaluationSession
+            fallback = EvaluationSession(capacity=capacity,
+                                         cache_dir=cache_dir)
+            if shm_payload is not None:
+                seed_stage_cache(fallback.cache.stages, shm_payload)
+            for index in pending:
+                outcomes[index] = _evaluate_chunk(fallback,
+                                                  payloads[index])
+    finally:
+        # The parent owns the segment: unlink it whatever happened
+        # above, so no /dev/shm entry outlives the sweep.
+        if store is not None:
+            store.destroy()
     merged: Optional[EngineStats] = None
     failure = None
     results: List = []
@@ -331,12 +393,14 @@ def _pooled_map(items: Sequence, fn: Callable, mode: str,
     if merged is None:
         merged = EngineStats(hits=0, misses=0, evictions=0, size=0,
                              capacity=capacity, build_seconds=0.0)
-    if pool_retries or serial_fallbacks:
+    if pool_retries or serial_fallbacks or shm_stores or shm_errors:
         merged = dataclasses.replace(
             merged,
             pool_retries=merged.pool_retries + pool_retries,
             serial_fallbacks=(merged.serial_fallbacks
-                              + serial_fallbacks))
+                              + serial_fallbacks),
+            shm_stores=merged.shm_stores + shm_stores,
+            shm_errors=merged.shm_errors + shm_errors)
     return results, merged
 
 
@@ -361,27 +425,38 @@ def _add_stats(left: EngineStats, right: EngineStats) -> EngineStats:
         disk_corrupt=left.disk_corrupt + right.disk_corrupt,
         pool_retries=left.pool_retries + right.pool_retries,
         serial_fallbacks=left.serial_fallbacks + right.serial_fallbacks,
+        stage_hits=left.stage_hits + right.stage_hits,
+        stage_misses=left.stage_misses + right.stage_misses,
+        shm_stores=left.shm_stores + right.shm_stores,
+        shm_loads=left.shm_loads + right.shm_loads,
+        shm_errors=left.shm_errors + right.shm_errors,
     )
 
 
 def process_map(devices: Sequence, fn: Callable,
                 jobs: Optional[int] = None,
                 capacity: int = DEFAULT_CAPACITY,
-                cache_dir: Optional[str] = None
+                cache_dir: Optional[str] = None,
+                shm_payload=None
                 ) -> Tuple[List, EngineStats]:
     """``fn(model)`` over every device, sharded across processes.
 
     Returns ``(results, merged_worker_stats)``; results are ordered
     exactly like ``devices`` and equal the serial evaluation
-    bit-for-bit.  Used by :meth:`EvaluationSession.map`.
+    bit-for-bit.  Used by :meth:`EvaluationSession.map`.  With
+    ``shm_payload`` (a stage export of the sweep's base model) the
+    workers seed their stage caches over shared memory instead of
+    rebuilding the base model each.
     """
-    return _pooled_map(devices, fn, "model", jobs, capacity, cache_dir)
+    return _pooled_map(devices, fn, "model", jobs, capacity, cache_dir,
+                       shm_payload=shm_payload)
 
 
 def process_map_items(items: Sequence, fn: Callable,
                       jobs: Optional[int] = None,
                       capacity: int = DEFAULT_CAPACITY,
-                      cache_dir: Optional[str] = None
+                      cache_dir: Optional[str] = None,
+                      shm_payload=None
                       ) -> Tuple[List, EngineStats]:
     """``fn(session, item)`` over arbitrary picklable items.
 
@@ -389,4 +464,5 @@ def process_map_items(items: Sequence, fn: Callable,
     the callable routes its own model builds through the per-worker
     session.
     """
-    return _pooled_map(items, fn, "item", jobs, capacity, cache_dir)
+    return _pooled_map(items, fn, "item", jobs, capacity, cache_dir,
+                       shm_payload=shm_payload)

@@ -149,16 +149,28 @@ class EvaluationSession:
         backend = resolve_backend(backend, jobs)
         workers = jobs if jobs is not None else default_jobs()
         if backend == AUTO:
+            snapshot = self.stats
             backend = choose_backend(
                 len(devices), jobs,
-                estimate_build_seconds(self.stats))
+                estimate_build_seconds(snapshot),
+                expected_hit_rate=snapshot.hit_rate)
             if backend == "process" and not is_picklable(fn):
                 backend = "serial"
         if backend == "process" and len(devices) > 1 and workers > 1:
+            try:
+                # Export the sweep's first device as the shared base:
+                # its clean stages seed every worker over shared
+                # memory.  Failures just skip the store — the device
+                # will then surface its error in a worker with the
+                # usual index/fingerprint labelling.
+                shm_payload = self.cache.stage_export(devices[0])
+            except Exception:
+                shm_payload = None
             results, worker_stats = process_map(
                 devices, fn, jobs=workers,
                 capacity=self.cache.capacity,
-                cache_dir=self.cache_dir)
+                cache_dir=self.cache_dir,
+                shm_payload=shm_payload)
             self.cache.absorb(worker_stats)
             return results
         if (backend == "serial" or workers == 1

@@ -1,0 +1,155 @@
+"""Shared-memory transport of stage artifacts to pool workers.
+
+The process backend historically had every worker rebuild (or
+disk-load) the swept base model from scratch, because worker sessions
+start empty.  The ROADMAP's shared-memory model store closes that gap:
+the parent pickles the base model's *stage payload* (the
+``{stage: (key, artifact)}`` export of :mod:`repro.engine.stages`) into
+one :mod:`multiprocessing.shared_memory` segment before the pool
+starts; each worker attaches read-only during pool initialisation,
+unpickles the payload, and seeds its private stage cache — so a
+worker's first build of any sweep variant already reuses every clean
+stage.
+
+Robustness rules:
+
+* every failure (no shm support, attach refused, corrupt payload) is
+  swallowed and counted — the sweep falls back to per-worker cold
+  builds and results are unaffected;
+* the segment layout is an 8-byte little-endian payload length followed
+  by the pickle, so attachers never trust the kernel's page-rounded
+  segment size;
+* workers must not *track* the segment: Python's resource tracker
+  would otherwise unlink it when the first worker exits.  Python 3.13+
+  exposes ``track=False``; earlier versions need the unregister
+  workaround applied here;
+* the parent owns the segment lifetime and unlinks it in a
+  ``try/finally`` around the whole pooled map, crash or not.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Optional
+
+try:
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    resource_tracker = None
+    shared_memory = None
+
+#: Byte width of the length header preceding the pickled payload.
+_HEADER_BYTES = 8
+
+
+def shm_available() -> bool:
+    """Whether this platform offers POSIX shared memory."""
+    return shared_memory is not None
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker adoption.
+
+    Attaching registers the segment with the process's resource
+    tracker on Python < 3.13, which would unlink it when any single
+    attacher exits — destroying it for the parent and every sibling
+    worker.  ``track=False`` (3.13+) expresses that directly; earlier
+    versions get registration suppressed for the duration of the
+    attach (pool initializers run single-threaded per process, so the
+    swap cannot race another registration).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedStageStore:
+    """One shared-memory segment holding a pickled stage payload."""
+
+    def __init__(self, segment):
+        self._segment = segment
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._segment.name
+
+    @classmethod
+    def create(cls, payload: Any) -> "SharedStageStore":
+        """Publish ``payload`` into a fresh shared-memory segment.
+
+        Raises on any failure (no shm support, unpicklable payload,
+        shm mount full) — the caller counts the error and proceeds
+        without a store.
+        """
+        if shared_memory is None:
+            raise RuntimeError("shared memory is not available")
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = shared_memory.SharedMemory(
+            create=True, size=_HEADER_BYTES + len(blob))
+        try:
+            segment.buf[:_HEADER_BYTES] = len(blob).to_bytes(
+                _HEADER_BYTES, "little")
+            segment.buf[_HEADER_BYTES:_HEADER_BYTES + len(blob)] = blob
+        except Exception:
+            segment.close()
+            segment.unlink()
+            raise
+        return cls(segment)
+
+    @staticmethod
+    def load(name: str) -> Any:
+        """Attach to segment ``name``, unpickle its payload, detach.
+
+        Raises on any failure; the worker counts the error and seeds
+        nothing.  The segment itself is left alive for the parent and
+        the other workers.
+        """
+        if shared_memory is None:
+            raise RuntimeError("shared memory is not available")
+        segment = _attach_untracked(name)
+        try:
+            length = int.from_bytes(segment.buf[:_HEADER_BYTES], "little")
+            if length > len(segment.buf) - _HEADER_BYTES:
+                raise ValueError(
+                    f"shared stage payload header claims {length} bytes "
+                    f"in a {len(segment.buf)}-byte segment")
+            payload = pickle.loads(
+                bytes(segment.buf[_HEADER_BYTES:_HEADER_BYTES + length]))
+        finally:
+            segment.close()
+        return payload
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent, never raises)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+
+
+def publish_stage_payload(payload: Any) -> Optional[SharedStageStore]:
+    """A :class:`SharedStageStore` holding ``payload``, or ``None``.
+
+    Convenience wrapper that turns every creation failure into
+    ``None`` so callers only need one error path.
+    """
+    if payload is None:
+        return None
+    try:
+        return SharedStageStore.create(payload)
+    except Exception:
+        return None

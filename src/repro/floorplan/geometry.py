@@ -104,6 +104,26 @@ class FloorplanGeometry:
         self._col_centers = _centers(self._col_widths)
         self._row_centers = _centers(self._row_heights)
 
+    def rebind(self, device: DramDescription) -> "FloorplanGeometry":
+        """A copy of this geometry bound to ``device``.
+
+        The resolved layout (array block, axis sizes, centres) is shared,
+        not recomputed — valid exactly when ``device`` has the same
+        floorplan and specification values as the original, which is what
+        the engine's geometry-stage fingerprint guarantees.  Rebinding
+        keeps lazy, device-reading paths (``net_wire_length``,
+        ``array_efficiency``) consistent with the device the caller is
+        actually evaluating.
+        """
+        clone = object.__new__(FloorplanGeometry)
+        clone.device = device
+        clone.array_block = self.array_block
+        clone._col_widths = self._col_widths
+        clone._row_heights = self._row_heights
+        clone._col_centers = self._col_centers
+        clone._row_centers = self._row_centers
+        return clone
+
     # ------------------------------------------------------------------
     # Array block derivation
     # ------------------------------------------------------------------

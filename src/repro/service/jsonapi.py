@@ -333,6 +333,8 @@ def stats_payload(session: EvaluationSession) -> Dict[str, Any]:
     engine: Dict[str, Any] = dataclasses.asdict(stats)
     engine["hit_rate"] = stats.hit_rate
     engine["lookups"] = stats.lookups
+    engine["stage_hit_rate"] = stats.stage_hit_rate
+    engine["stage_lookups"] = stats.stage_lookups
     return {"engine": engine, "cache_dir": session.cache_dir}
 
 

@@ -90,8 +90,13 @@ class TestProcessBackend:
         session = EvaluationSession()
         session.map(devices, _power, jobs=2, backend="process")
         stats = session.stats
-        assert stats.misses == len(devices)
+        # Worker misses for every device plus the parent's one build
+        # of the shared-memory base model.
+        assert stats.misses == len(devices) + 1
         assert stats.build_seconds > 0.0
+        assert stats.shm_stores == 1
+        assert stats.shm_loads >= 1
+        assert stats.shm_errors == 0
 
     def test_unpicklable_callable_rejected(self, ddr3_device):
         devices = _variants(ddr3_device)
@@ -221,8 +226,10 @@ class TestWorkerStatsMerge:
         devices = _variants(ddr3_device)
         session = EvaluationSession()
         session.map(devices, _power, jobs=2, backend="process")
-        assert session.stats.size == 0
-        assert session.stats.misses == len(devices)
+        # The parent holds exactly its own shared-memory base model,
+        # never the workers' occupancy.
+        assert session.stats.size == 1
+        assert session.stats.misses == len(devices) + 1
 
 
 class TestWorkerLoss:

@@ -1,0 +1,139 @@
+"""Shared-memory stage store: transport, seeding, cleanup, fallback."""
+
+import functools
+import os
+
+import pytest
+
+from repro.core import DramPowerModel
+from repro.core.idd import idd7_mixed
+from repro.engine import EvaluationSession, SharedStageStore, shm_available
+from repro.engine.shm import publish_stage_payload
+from repro.engine.stages import STAGE_ORDER, stage_payload
+from repro.service.faults import power_kill_always, power_kill_once
+
+pytestmark = pytest.mark.skipif(not shm_available(),
+                                reason="platform lacks shared memory")
+
+#: Where Linux exposes POSIX shared-memory segments as files.
+SHM_DIR = "/dev/shm"
+
+
+def _power(model):
+    """Module-level evaluation callable (picklable for the pool)."""
+    return idd7_mixed(model).power
+
+
+def _variants(device, count=6):
+    return [device.scale_path("voltages.vdd", 1.0 + 0.005 * step)
+            for step in range(count)]
+
+
+def _shm_entries():
+    """Current shared-memory segment names (empty off Linux)."""
+    try:
+        return set(os.listdir(SHM_DIR))
+    except OSError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestStoreRoundtrip:
+    def test_payload_survives_the_segment(self, ddr3_device):
+        payload = stage_payload(ddr3_device, DramPowerModel(ddr3_device))
+        store = SharedStageStore.create(payload)
+        try:
+            loaded = SharedStageStore.load(store.name)
+        finally:
+            store.destroy()
+        assert set(loaded) == set(STAGE_ORDER)
+        for stage in ("capacitance", "charge"):
+            key, artifact = loaded[stage]
+            assert key == payload[stage][0]
+            assert artifact == payload[stage][1]
+
+    def test_destroy_removes_the_segment(self, ddr3_device):
+        payload = stage_payload(ddr3_device, DramPowerModel(ddr3_device))
+        before = _shm_entries()
+        store = SharedStageStore.create(payload)
+        created = _shm_entries() - before
+        store.destroy()
+        assert not (_shm_entries() & created)
+
+    def test_destroy_is_idempotent(self, ddr3_device):
+        payload = stage_payload(ddr3_device, DramPowerModel(ddr3_device))
+        store = SharedStageStore.create(payload)
+        store.destroy()
+        store.destroy()
+
+    def test_load_unknown_name_raises(self):
+        with pytest.raises(Exception):
+            SharedStageStore.load("repro-no-such-segment")
+
+    def test_publish_none_payload_is_none(self):
+        assert publish_stage_payload(None) is None
+
+    def test_publish_unpicklable_payload_is_none(self):
+        assert publish_stage_payload({"power": ("k", lambda: 1)}) is None
+
+
+class TestWorkerSeeding:
+    def test_process_sweep_counts_store_and_loads(self, ddr3_device):
+        devices = _variants(ddr3_device)
+        session = EvaluationSession()
+        pooled = session.map(devices, _power, jobs=2, backend="process")
+        stats = session.stats
+        assert stats.shm_stores == 1
+        assert stats.shm_loads >= 1
+        assert stats.shm_errors == 0
+        assert pooled == [_power(DramPowerModel(d)) for d in devices]
+
+    def test_workers_reuse_seeded_stages(self, ddr3_device):
+        # The acceptance property of the shared-memory store: worker
+        # builds hit seeded stages instead of full-rebuilding the base
+        # model from scratch.  The parent's own single build misses
+        # every stage, so any merged hit came from a worker.
+        devices = _variants(ddr3_device)
+        session = EvaluationSession()
+        session.map(devices, _power, jobs=2, backend="process")
+        stats = session.stats
+        assert stats.stage_hits > 0
+        # The base device itself is a full-reuse build in whichever
+        # worker receives it: 5 hits; voltage variants reuse 2 each.
+        assert stats.stage_hits >= 2 * (len(devices) - 1)
+
+    def test_no_segments_leak_after_clean_sweep(self, ddr3_device):
+        before = _shm_entries()
+        session = EvaluationSession()
+        session.map(_variants(ddr3_device), _power, jobs=2,
+                    backend="process")
+        assert _shm_entries() - before == set()
+
+
+class TestCrashCleanup:
+    def test_no_segments_leak_after_worker_kill(self, ddr3_device,
+                                                tmp_path):
+        devices = _variants(ddr3_device)
+        flag = tmp_path / "kill-once"
+        fn = functools.partial(power_kill_once, str(flag))
+        flag.write_text("armed")
+        before = _shm_entries()
+        session = EvaluationSession()
+        pooled = session.map(devices, fn, jobs=2, backend="process")
+        assert _shm_entries() - before == set()
+        assert session.stats.pool_retries >= 1
+        assert pooled == [fn(DramPowerModel(d)) for d in devices]
+
+    def test_no_segments_leak_after_serial_fallback(self, ddr3_device,
+                                                    tmp_path):
+        devices = _variants(ddr3_device)
+        flag = tmp_path / "kill-always"
+        flag.write_text("armed")
+        fn = functools.partial(power_kill_always, str(flag))
+        before = _shm_entries()
+        session = EvaluationSession()
+        pooled = session.map(devices, fn, jobs=2, backend="process")
+        assert _shm_entries() - before == set()
+        stats = session.stats
+        assert stats.serial_fallbacks > 0
+        flag.unlink()
+        assert pooled == [fn(DramPowerModel(d)) for d in devices]
