@@ -1,0 +1,74 @@
+"""CI smoke check: the columnar kernel must engage and agree.
+
+Runs a 32-point voltage family through one
+:class:`~repro.engine.EvaluationSession` under ``backend="auto"`` and
+checks three things the vectorized-sweep PR promises:
+
+* the auto policy actually routes the family through the vector
+  kernel (``vector_batches``/``vector_builds`` counters move);
+* nothing fell back or downgraded (``vector_fallbacks == 0``,
+  ``vector_downgrades == 0``);
+* the folded powers agree with cold scalar builds to 1e-9 relative.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_vectorized.py``
+Exits non-zero when numpy is missing, the kernel does not engage, or
+results drift from the scalar oracle.
+"""
+
+import sys
+
+from repro.core import DramPowerModel
+from repro.devices import ddr3_2g_55nm
+from repro.engine import EvaluationSession, numpy_available
+
+POINTS = 32
+TOLERANCE = 1e-9
+
+
+def _power(model):
+    return model.pattern_power().power
+
+
+def main(argv):
+    if not numpy_available():
+        print("FAIL: numpy not importable - the vectorized smoke "
+              "check requires the repro[vector] extra")
+        return 1
+
+    base = ddr3_2g_55nm()
+    devices = [base.scale_path("voltages.vint", 1.0 - 0.002 * step)
+               for step in range(1, POINTS + 1)]
+
+    session = EvaluationSession()
+    folded = session.map(devices, _power, backend="auto")
+    stats = session.stats
+    print(f"auto sweep: {stats}")
+
+    if stats.vector_batches == 0 or stats.vector_builds != POINTS:
+        print(f"FAIL: auto did not fold the family "
+              f"(batches={stats.vector_batches}, "
+              f"builds={stats.vector_builds}, expected {POINTS})")
+        return 1
+    if stats.vector_fallbacks or stats.vector_downgrades:
+        print(f"FAIL: kernel degraded "
+              f"(fallbacks={stats.vector_fallbacks}, "
+              f"downgrades={stats.vector_downgrades})")
+        return 1
+
+    for index, device in enumerate(devices):
+        oracle = _power(DramPowerModel(device))
+        drift = abs(folded[index] - oracle) / oracle
+        if drift > TOLERANCE:
+            print(f"FAIL: variant {index} drifts {drift:.2e} "
+                  f"from the scalar oracle (tolerance {TOLERANCE})")
+            return 1
+
+    print(f"OK: {stats.vector_builds} variants folded in "
+          f"{stats.vector_batches} batch(es), "
+          f"{stats.vector_seconds * 1e3:.1f} ms, parity within "
+          f"{TOLERANCE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -132,7 +132,10 @@ def corner_sweep(device: DramDescription,
 
     Models route through ``session``; ``jobs``/``backend`` build the
     corner models on a thread or process pool (results are
-    order-stable and bit-for-bit equal to serial).
+    order-stable and bit-for-bit equal to serial).  The standard
+    three-corner sweep is below the vector kernel's batch floor, so
+    ``backend="auto"`` keeps it scalar; wider custom corner sets
+    fold columnarly like any other family.
     """
     corners = list(corners)
     if not corners:

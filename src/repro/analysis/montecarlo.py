@@ -131,7 +131,9 @@ def monte_carlo(device: DramDescription,
     The random draws depend only on ``seed``; models route through
     ``session`` and may be evaluated on ``jobs`` workers of any
     ``backend`` (thread or process) — the summaries are bit-for-bit
-    identical either way.
+    identical either way.  ``backend="auto"`` with numpy installed
+    folds the sample batch (one family: every draw shares the
+    nominal floorplan) through the columnar vector kernel instead.
     """
     if samples <= 0:
         raise ModelError("samples must be positive")

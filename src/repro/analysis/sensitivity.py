@@ -201,7 +201,11 @@ def sensitivity(device: DramDescription, variation: float = 0.2,
     Returns results sorted by impact magnitude, largest first.  All
     device models route through ``session`` (a private one when
     omitted); ``jobs``/``backend`` evaluate the variants on a thread
-    or process pool with results identical to the serial run.
+    or process pool with results identical to the serial run.  With
+    ``backend="auto"`` and numpy installed the sweep — one batchable
+    family sharing the nominal floorplan — folds through the columnar
+    vector kernel (:mod:`repro.engine.vector`), identical ordering
+    and ~1e-15-relative powers.
     """
     if not 0.0 < variation < 1.0:
         raise ValueError("variation must be a fraction in (0, 1)")

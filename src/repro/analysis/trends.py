@@ -75,7 +75,9 @@ def generation_trend(io_width: int = 16,
 
     Models route through ``session``; ``jobs``/``backend`` evaluate
     the nodes on a thread or process pool with identical,
-    node-ordered results.
+    node-ordered results.  Every node has its own floorplan, so the
+    columnar vector kernel finds no batchable family here and
+    ``backend="auto"`` stays on the scalar paths.
     """
     session = ensure_session(session)
     node_nms = list(node_list or nodes())

@@ -92,12 +92,15 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: every usable CPU)")
     parser.add_argument("--backend", default="auto",
                         choices=["auto", "serial", "thread",
-                                 "process"],
+                                 "process", "vector"],
                         help="sweep execution backend (default auto: "
-                             "serial or process chosen per call from "
-                             "the sweep width, the measured per-build "
-                             "cost and the usable core count; process "
-                             "= real multi-core scale-out)")
+                             "serial, process or vector chosen per "
+                             "call from the sweep width, the measured "
+                             "per-build and per-fold costs and the "
+                             "usable core count; process = real "
+                             "multi-core scale-out, vector = columnar "
+                             "numpy kernel over batchable sweep "
+                             "families)")
     parser.add_argument("--cache-dir", dest="cache_dir", default=None,
                         help="persistent on-disk model cache directory "
                              "(default: disabled; ~/.cache/repro is "
@@ -230,6 +233,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"stage-cache: hits={stats.stage_hits} "
               f"misses={stats.stage_misses} "
               f"hit-rate={stats.stage_hit_rate:.1%}")
+    if stats.vector_batches or stats.vector_downgrades:
+        print(f"vector: batches={stats.vector_batches} "
+              f"builds={stats.vector_builds} "
+              f"fallbacks={stats.vector_fallbacks} "
+              f"downgrades={stats.vector_downgrades} "
+              f"time={stats.vector_seconds:.3f}s")
     if session.cache_dir is not None:
         print(f"model-cache: dir={session.cache_dir} "
               f"hit-rate={stats.hit_rate:.1%} "

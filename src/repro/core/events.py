@@ -181,6 +181,55 @@ def resolve_skeletons(skeletons: Iterable[EventSkeleton],
     return tuple(skeleton.resolve(voltages) for skeleton in skeletons)
 
 
+# ----------------------------------------------------------------------
+# Columnar decomposition — the array-friendly view of a skeleton list.
+# ----------------------------------------------------------------------
+
+#: Trigger → firing-rate kind used by the columnar fold: ``0`` fires
+#: once per gating command, ``1`` follows the control clock, ``2`` the
+#: data clock.
+TRIGGER_KIND = {
+    Trigger.PER_ACCESS: 0,
+    Trigger.PER_ROW_OP: 0,
+    Trigger.PER_CTRL_CLOCK: 1,
+    Trigger.PER_DATA_CLOCK: 2,
+}
+
+
+def skeleton_signature(skeletons: Iterable[EventSkeleton]) -> Tuple:
+    """Structural identity of a skeleton list, numeric columns excluded.
+
+    Two skeleton lists with equal signatures describe the *same* charge
+    processes — same rails, swings references, triggers, gating and
+    breakdown categories in the same order — and differ at most in
+    their per-event capacitance and count values.  Such families fold
+    as one batch in the vectorized kernel, with capacitance/count as
+    per-variant columns.
+    """
+    return tuple(
+        (skeleton.swing_rail, skeleton.swing_divisor, skeleton.rail,
+         skeleton.trigger, skeleton.operations, skeleton.component)
+        for skeleton in skeletons
+    )
+
+
+def skeleton_columns(skeletons: Iterable[EventSkeleton]) -> Tuple[
+        Tuple[float, ...], Tuple[float, ...]]:
+    """The numeric ``(capacitance, count)`` columns of a skeleton list.
+
+    The per-variant half of the columnar decomposition; everything
+    else about the events is captured by :func:`skeleton_signature`.
+    Plain tuples so the core stays stdlib-only — the engine's vector
+    kernel turns them into array rows.
+    """
+    capacitance = []
+    count = []
+    for skeleton in skeletons:
+        capacitance.append(skeleton.capacitance)
+        count.append(skeleton.count)
+    return tuple(capacitance), tuple(count)
+
+
 def filter_events(events: Iterable[ChargeEvent],
                   component: Component = None,
                   operation: Command = None) -> Tuple[ChargeEvent, ...]:

@@ -83,18 +83,34 @@ class DramPowerModel:
         if geometry is None:
             geometry = FloorplanGeometry(device)
         self.geometry = geometry
-        if events is None:
-            if skeletons is None:
-                skeletons = build_skeletons(device, self.geometry)
+        if events is None and skeletons is None:
+            skeletons = build_skeletons(device, self.geometry)
+        if events is None and energies is None:
+            # Energies need the resolved events; otherwise resolution
+            # can stay lazy (vector-built models often never read it).
             events = resolve_events(skeletons, device.voltages)
         #: Voltage-free capacitance-stage artifacts; ``None`` for models
         #: built around a substituted (scheme-transformed) event list.
         self.skeletons = (tuple(skeletons) if skeletons is not None
                           else None)
-        self.events: Tuple[ChargeEvent, ...] = tuple(events)
+        self._events = tuple(events) if events is not None else None
         self.energies = (energies if energies is not None
-                         else OperationEnergies(device, self.events))
+                         else OperationEnergies(device, self._events))
         self._default_power = default_power
+
+    @property
+    def events(self) -> Tuple[ChargeEvent, ...]:
+        """The resolved charge-event list (paper eq. 2 processes).
+
+        Models assembled with prebuilt energies but no event list (the
+        vectorized kernel's product) resolve their skeletons on first
+        access — identical arithmetic to an eager build, just deferred
+        past the hot sweep path that only reads pattern powers.
+        """
+        if self._events is None:
+            self._events = resolve_events(self.skeletons,
+                                          self.device.voltages)
+        return self._events
 
     # ------------------------------------------------------------------
     # Per-operation results

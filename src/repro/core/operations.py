@@ -127,11 +127,44 @@ class OperationEnergies:
     def __init__(self, device: DramDescription,
                  events: Iterable[ChargeEvent]):
         self.device = device
-        self.events = tuple(events)
+        self._events = tuple(events)
+        self._skeletons = None
         self._energies: Dict[Command, EnergyBreakdown] = {}
         self._background = self._compute_background()
         for command in Command:
             self._energies[command] = self._compute_operation(command)
+
+    @classmethod
+    def from_folded(cls, device: DramDescription,
+                    energies: Dict[Command, EnergyBreakdown],
+                    background: EnergyBreakdown,
+                    skeletons=None) -> "OperationEnergies":
+        """Wrap already-folded results (the vectorized kernel's output).
+
+        The columnar kernel computes the per-operation breakdowns for a
+        whole sweep family in one array pass; this constructor adopts
+        one variant's row without touching the scalar fold.  ``events``
+        stays unresolved until read — ``skeletons`` plus the device's
+        voltages reproduce it exactly on demand.
+        """
+        folded = object.__new__(cls)
+        folded.device = device
+        folded._events = None
+        folded._skeletons = (tuple(skeletons) if skeletons is not None
+                             else None)
+        folded._energies = energies
+        folded._background = background
+        return folded
+
+    @property
+    def events(self) -> tuple:
+        """The charge events these energies were folded from."""
+        if self._events is None:
+            from .events import resolve_skeletons
+
+            self._events = resolve_skeletons(self._skeletons,
+                                             self.device.voltages)
+        return self._events
 
     # ------------------------------------------------------------------
     def _vdd_energy(self, event: ChargeEvent, firings: float) -> float:
@@ -174,7 +207,8 @@ class OperationEnergies:
         """
         clone = object.__new__(OperationEnergies)
         clone.device = device
-        clone.events = self.events
+        clone._events = self._events
+        clone._skeletons = self._skeletons
         clone._energies = self._energies
         clone._background = self._background
         return clone

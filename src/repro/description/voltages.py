@@ -41,6 +41,15 @@ class Rail(str, Enum):
         return self.value
 
 
+#: Canonical rail ordering used by the columnar evaluation kernel:
+#: a voltage set decomposes into parallel level/efficiency vectors
+#: indexed by this tuple (see :meth:`VoltageSet.rail_levels`).
+RAIL_ORDER = (Rail.VDD, Rail.VINT, Rail.VBL, Rail.VPP)
+
+#: Rail → position in :data:`RAIL_ORDER`.
+RAIL_INDEX = {rail: index for index, rail in enumerate(RAIL_ORDER)}
+
+
 #: Rail → dataclass field holding its level; module-level so the hot
 #: ``level``/``efficiency`` lookups build no per-call dict.
 _LEVEL_FIELDS = {Rail.VDD: "vdd", Rail.VINT: "vint",
@@ -118,6 +127,23 @@ class VoltageSet:
     def vdd_current(self, charge_per_second: float, rail: Rail) -> float:
         """Vdd current needed to sustain a rail charge flow (A)."""
         return self.vdd_energy(charge_per_second, rail) / self.vdd
+
+    def rail_levels(self) -> "tuple":
+        """The four rail levels ordered by :data:`RAIL_ORDER` (V).
+
+        The rail-field extraction of the vectorized evaluation kernel:
+        one device contributes one row of the (variants × rails) level
+        matrix.  Plain tuple so the core stays stdlib-only.
+        """
+        return (self.vdd, self.vint, self.vbl, self.vpp)
+
+    def rail_efficiencies(self) -> "tuple":
+        """Generator efficiencies ordered by :data:`RAIL_ORDER`.
+
+        Vdd is its own reference (efficiency 1.0), matching
+        :meth:`efficiency`.
+        """
+        return (1.0, self.eff_vint, self.eff_vbl, self.eff_vpp)
 
     def with_levels(self, **overrides: float) -> "VoltageSet":
         """Return a copy with the given levels/efficiencies replaced."""

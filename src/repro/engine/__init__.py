@@ -37,7 +37,13 @@ The engine provides one construction path for all of them:
   cold builds reuse every stage whose inputs are unchanged;
 * :mod:`repro.engine.shm` — the shared-memory stage store: pool
   workers seed their stage caches from the parent's base model
-  instead of rebuilding it per worker.
+  instead of rebuilding it per worker;
+* :mod:`repro.engine.vector` — the columnar kernel: batchable sweep
+  families evaluate as (variants × events) array math against the
+  scalar path as bit-level oracle, picked automatically by
+  ``backend="auto"`` when numpy is installed (the ``repro[vector]``
+  extra) and reported through the ``vector_*`` counters of
+  :class:`~repro.engine.cache.EngineStats`.
 
 All analysis entry points accept an optional ``session`` argument; when
 omitted a private session is created per call, so existing code keeps
@@ -47,21 +53,31 @@ cross-analysis reuse for free.
 
 from .cache import EngineStats, ModelCache
 from .diskcache import DiskModelCache, default_cache_dir, model_code_token
-from .executor import (AUTO, BACKENDS, choose_backend, default_jobs,
-                       estimate_build_seconds, resolve_backend)
+from .executor import (AUTO, BACKENDS, VECTOR, choose_backend,
+                       default_jobs, estimate_build_seconds,
+                       estimate_vector_seconds, resolve_backend)
 from .fingerprint import canonical_form, fingerprint
 from .session import EvaluationSession, ensure_session, evaluate_many
 from .shm import SharedStageStore, shm_available
 from .stages import (FIELD_STAGES, STAGE_INPUTS, STAGE_ORDER, StageCache,
                      build_model, dirty_stages, stage_keys)
 from .variant import Variant, scaling
+from .vector import (MIN_BATCH, VectorPlan, build_family_models,
+                     numpy_available, plan_batches)
 
 __all__ = [
     "AUTO",
     "BACKENDS",
+    "VECTOR",
+    "MIN_BATCH",
+    "VectorPlan",
+    "build_family_models",
+    "numpy_available",
+    "plan_batches",
     "choose_backend",
     "default_jobs",
     "estimate_build_seconds",
+    "estimate_vector_seconds",
     "DiskModelCache",
     "EngineStats",
     "ModelCache",

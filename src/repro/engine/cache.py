@@ -87,11 +87,26 @@ class EngineStats:
     shm_errors: int = 0
     """Shared-memory store/attach attempts that failed (the sweep
     falls back to per-worker cold builds; results are unaffected)."""
+    vector_batches: int = 0
+    """Sweep-family batches folded columnarly by the vectorized
+    kernel (one batch = one (variants × events) array fold)."""
+    vector_builds: int = 0
+    """Models assembled from vector-folded energies instead of a
+    scalar cold build."""
+    vector_fallbacks: int = 0
+    """Devices a vectorized call routed back through the scalar
+    path (structure too small or not batchable); results identical."""
+    vector_downgrades: int = 0
+    """One-time marker: a vector-eligible call found numpy missing
+    and the whole session degraded to the scalar path (0 or 1)."""
+    vector_seconds: float = 0.0
+    """Total wall-clock time spent in the columnar kernel (s)."""
 
     @property
     def lookups(self) -> int:
         """Total lookups served."""
-        return self.hits + self.disk_hits + self.misses
+        return (self.hits + self.disk_hits + self.misses
+                + self.vector_builds)
 
     @property
     def hit_rate(self) -> float:
@@ -132,6 +147,13 @@ class EngineStats:
             text += (f" shm[stores={self.shm_stores} "
                      f"loads={self.shm_loads} "
                      f"errors={self.shm_errors}]")
+        if (self.vector_batches or self.vector_builds
+                or self.vector_fallbacks or self.vector_downgrades):
+            text += (f" vector[batches={self.vector_batches} "
+                     f"builds={self.vector_builds} "
+                     f"fallbacks={self.vector_fallbacks} "
+                     f"downgrades={self.vector_downgrades} "
+                     f"time={self.vector_seconds:.3f}s]")
         if self.pool_retries or self.serial_fallbacks:
             text += (f" faults[pool-retries={self.pool_retries} "
                      f"serial-fallbacks={self.serial_fallbacks}]")
@@ -163,6 +185,13 @@ class EngineStats:
             shm_stores=self.shm_stores - since.shm_stores,
             shm_loads=self.shm_loads - since.shm_loads,
             shm_errors=self.shm_errors - since.shm_errors,
+            vector_batches=self.vector_batches - since.vector_batches,
+            vector_builds=self.vector_builds - since.vector_builds,
+            vector_fallbacks=(self.vector_fallbacks
+                              - since.vector_fallbacks),
+            vector_downgrades=(self.vector_downgrades
+                               - since.vector_downgrades),
+            vector_seconds=self.vector_seconds - since.vector_seconds,
         )
 
 
@@ -194,9 +223,72 @@ class ModelCache:
         self._shm_stores = 0
         self._shm_loads = 0
         self._shm_errors = 0
+        self._vector_batches = 0
+        self._vector_builds = 0
+        self._vector_fallbacks = 0
+        self._vector_downgrades = 0
+        self._vector_seconds = 0.0
 
     def __len__(self) -> int:
         return len(self._models)
+
+    # ------------------------------------------------------------------
+    # Vectorized-kernel hooks.  The columnar kernel wants the raw LRU —
+    # consult it per device, then store whole folded batches — without
+    # triggering the scalar cold-build path of :meth:`model`.
+    # ------------------------------------------------------------------
+    def lookup(self, device: DramDescription
+               ) -> Tuple[str, Optional[DramPowerModel]]:
+        """``(fingerprint, cached model or None)`` — LRU probe only.
+
+        A hit counts as a hit; a miss counts *nothing* here — the
+        kernel either folds the model (counted as ``vector_builds``
+        via :meth:`record_vector`) or falls back to :meth:`model`,
+        which does its own accounting.  The disk cache is not
+        consulted: vector-built models are cheaper to refold than to
+        round-trip through pickle.
+        """
+        key = fingerprint(device)
+        with self._lock:
+            cached = self._models.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._models.move_to_end(key)
+        return key, cached
+
+    def store_built(self, key: str,
+                    model: DramPowerModel) -> DramPowerModel:
+        """Insert an externally built model under ``key``.
+
+        Keeps the first copy on a race (hits stay identity-stable)
+        and returns the canonical instance.  Vector-built models are
+        not written to the disk cache — see :meth:`lookup`.
+        """
+        with self._lock:
+            racing = self._models.get(key)
+            if racing is not None:
+                self._models.move_to_end(key)
+                return racing
+            self._models[key] = model
+            while len(self._models) > self.capacity:
+                self._models.popitem(last=False)
+                self._evictions += 1
+        return model
+
+    def record_vector(self, batches: int = 0, builds: int = 0,
+                      fallbacks: int = 0, seconds: float = 0.0) -> None:
+        """Count columnar-kernel work (batches folded, models built,
+        scalar fallbacks, kernel wall-clock)."""
+        with self._lock:
+            self._vector_batches += batches
+            self._vector_builds += builds
+            self._vector_fallbacks += fallbacks
+            self._vector_seconds += seconds
+
+    def record_vector_downgrade(self) -> None:
+        """Set the one-time numpy-missing downgrade marker."""
+        with self._lock:
+            self._vector_downgrades = 1
 
     # ------------------------------------------------------------------
     def model(self, device: DramDescription,
@@ -287,6 +379,12 @@ class ModelCache:
             self._shm_stores += worker_stats.shm_stores
             self._shm_loads += worker_stats.shm_loads
             self._shm_errors += worker_stats.shm_errors
+            self._vector_batches += worker_stats.vector_batches
+            self._vector_builds += worker_stats.vector_builds
+            self._vector_fallbacks += worker_stats.vector_fallbacks
+            self._vector_downgrades = max(
+                self._vector_downgrades, worker_stats.vector_downgrades)
+            self._vector_seconds += worker_stats.vector_seconds
 
     def record_shm(self, stores: int = 0, loads: int = 0,
                    errors: int = 0) -> None:
@@ -336,4 +434,9 @@ class ModelCache:
                 shm_stores=self._shm_stores,
                 shm_loads=self._shm_loads,
                 shm_errors=self._shm_errors,
+                vector_batches=self._vector_batches,
+                vector_builds=self._vector_builds,
+                vector_fallbacks=self._vector_fallbacks,
+                vector_downgrades=self._vector_downgrades,
+                vector_seconds=self._vector_seconds,
             )

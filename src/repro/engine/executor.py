@@ -55,6 +55,12 @@ BACKENDS = ("serial", "thread", "process")
 #: the measured per-build cost and the usable worker count.
 AUTO = "auto"
 
+#: The columnar backend name: eligible sweep families fold as
+#: (variants × events) array math in-process (see
+#: :mod:`repro.engine.vector`); ineligible devices fall back to the
+#: scalar path silently.
+VECTOR = "vector"
+
 #: Assumed cold-build cost (s) before any measurement exists; the
 #: observed ``build_seconds / misses`` of the session replaces it as
 #: soon as one cold build has been timed.
@@ -69,6 +75,13 @@ WORKER_STARTUP_SECONDS = 0.1
 #: Sweeps at or below this width never leave the serial path; pool
 #: overhead can only lose on one or two builds.
 SERIAL_WIDTH_LIMIT = 2
+
+#: Assumed per-variant cost (s) of the columnar kernel before any
+#: measurement exists.  Deliberately below the scalar default — a
+#: vector-eligible family folds an order of magnitude faster than it
+#: builds — but conservative against the measured reality (~1e-4 s)
+#: so the first decision does not over-promise.
+DEFAULT_VECTOR_SECONDS = 0.0005
 
 
 def resolve_backend(backend: Optional[str],
@@ -87,12 +100,12 @@ def resolve_backend(backend: Optional[str],
         raise ModelError("jobs must be a positive worker count")
     if backend is None:
         return "thread" if jobs is not None and jobs > 1 else "serial"
-    if backend == AUTO:
-        return AUTO
+    if backend in (AUTO, VECTOR):
+        return backend
     if backend not in BACKENDS:
         raise ModelError(
             f"unknown backend {backend!r}; choose from "
-            + "/".join(BACKENDS + (AUTO,)))
+            + "/".join(BACKENDS + (AUTO, VECTOR)))
     return backend
 
 
@@ -110,10 +123,29 @@ def estimate_build_seconds(stats=None) -> float:
     return DEFAULT_BUILD_SECONDS
 
 
+def estimate_vector_seconds(stats=None) -> float:
+    """Per-variant columnar-fold cost estimate (s) for the auto policy.
+
+    Seeded from the session's measured ``vector_seconds /
+    vector_builds`` once the kernel has folded anything; the
+    conservative :data:`DEFAULT_VECTOR_SECONDS` before that.  This is
+    the cost-model fix for vector-eligible families: seeding the
+    decision from scalar ``build_seconds`` alone made ``auto`` pick
+    process sharding for sweeps the in-process columnar fold wins.
+    """
+    if stats is not None and getattr(stats, "vector_builds", 0) > 0:
+        observed = stats.vector_seconds / stats.vector_builds
+        if observed > 0.0:
+            return observed
+    return DEFAULT_VECTOR_SECONDS
+
+
 def choose_backend(width: int, jobs: Optional[int] = None,
                    build_seconds: Optional[float] = None,
-                   expected_hit_rate: float = 0.0) -> str:
-    """The serial-vs-process decision behind ``backend="auto"``.
+                   expected_hit_rate: float = 0.0,
+                   vector_eligible: bool = False,
+                   vector_seconds: Optional[float] = None) -> str:
+    """The serial/process/vector decision behind ``backend="auto"``.
 
     Compares the projected serial cost (``width`` x ``build_seconds``,
     discounted by the cache hit rate the session has been observing)
@@ -132,19 +164,40 @@ def choose_backend(width: int, jobs: Optional[int] = None,
     serial cost and correctly stays serial for re-runs of a sweep it
     already holds.
 
-    ``width <= 2`` and single-worker calls are always serial, so tiny
-    lookups keep their short stacks and zero pool overhead.
+    With ``vector_eligible`` (the caller found a batchable sweep
+    family and numpy present) a third projection joins the
+    comparison: ``width`` × the measured per-variant fold cost,
+    discounted by the same hit rate — the columnar kernel runs
+    in-process against this session's warm cache exactly like serial
+    does.  A vectorized single process often beats eight scalar
+    workers, so the fold cost must enter the decision *before* the
+    serial-vs-process comparison, not after.
+
+    ``width <= 2`` calls are always serial, so tiny lookups keep
+    their short stacks.  A single usable worker rules out the pool —
+    but **not** the vector kernel, which folds in-process on one core
+    and therefore stays on the table even on single-CPU hosts.
     """
     workers = jobs if jobs is not None else default_jobs()
-    if width <= SERIAL_WIDTH_LIMIT or workers <= 1:
+    if width <= SERIAL_WIDTH_LIMIT:
         return "serial"
     per_build = (build_seconds if build_seconds and build_seconds > 0
                  else DEFAULT_BUILD_SECONDS)
     rate = min(max(expected_hit_rate, 0.0), 1.0)
-    workers = min(workers, width)
     serial_seconds = width * per_build * (1.0 - rate)
-    pooled_seconds = (workers * WORKER_STARTUP_SECONDS
-                      + width * per_build / workers)
+    if workers > 1:
+        workers = min(workers, width)
+        pooled_seconds = (workers * WORKER_STARTUP_SECONDS
+                          + width * per_build / workers)
+    else:
+        pooled_seconds = float("inf")
+    if vector_eligible:
+        per_fold = (vector_seconds if vector_seconds
+                    and vector_seconds > 0 else DEFAULT_VECTOR_SECONDS)
+        folded_seconds = width * per_fold * (1.0 - rate)
+        if (folded_seconds <= serial_seconds
+                and folded_seconds <= pooled_seconds):
+            return VECTOR
     return "process" if pooled_seconds < serial_seconds else "serial"
 
 
@@ -430,6 +483,12 @@ def _add_stats(left: EngineStats, right: EngineStats) -> EngineStats:
         shm_stores=left.shm_stores + right.shm_stores,
         shm_loads=left.shm_loads + right.shm_loads,
         shm_errors=left.shm_errors + right.shm_errors,
+        vector_batches=left.vector_batches + right.vector_batches,
+        vector_builds=left.vector_builds + right.vector_builds,
+        vector_fallbacks=left.vector_fallbacks + right.vector_fallbacks,
+        vector_downgrades=max(left.vector_downgrades,
+                              right.vector_downgrades),
+        vector_seconds=left.vector_seconds + right.vector_seconds,
     )
 
 

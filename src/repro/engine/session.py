@@ -21,10 +21,14 @@ Python, so the GIL leaves little compute overlap; useful when the
 evaluation callable blocks or releases the GIL) or ``"process"``
 (contiguous shards on a ``ProcessPoolExecutor`` of per-worker
 sessions — real CPU scale-out; requires a picklable callable) or
-``"auto"`` (serial vs process chosen per call from the sweep width,
-the measured per-build cost and the usable core count).  All
-backends preserve input ordering and equal the serial result
-bit-for-bit.  Passing only ``jobs > 1`` keeps the historical
+``"vector"`` (batchable sweep families fold as (variants × events)
+array math in-process — see :mod:`repro.engine.vector`; needs the
+optional numpy dependency and degrades to serial without it) or
+``"auto"`` (serial vs process vs vector chosen per call from the
+sweep width, the measured per-build and per-fold costs and the
+usable core count).  Serial, thread and process preserve input
+ordering and equal the serial result bit-for-bit; vector agrees to
+~1e-15 relative.  Passing only ``jobs > 1`` keeps the historical
 thread-pool behaviour.  The process backend survives worker loss: a
 crashed or killed worker's chunks are retried once on a fresh pool
 and then degrade to in-parent serial evaluation, with the recovery
@@ -48,10 +52,12 @@ from ..description import DramDescription, Pattern
 from ..errors import ModelError
 from .cache import DEFAULT_CAPACITY, EngineStats, ModelCache
 from .diskcache import DiskModelCache
-from .executor import (AUTO, choose_backend, default_jobs,
-                       estimate_build_seconds, is_picklable,
-                       process_map, resolve_backend)
+from .executor import (AUTO, VECTOR, choose_backend, default_jobs,
+                       estimate_build_seconds, estimate_vector_seconds,
+                       is_picklable, process_map, resolve_backend)
 from .fingerprint import fingerprint
+from .vector import (MIN_BATCH, VectorPlan, build_family_models,
+                     numpy_available, plan_batches)
 
 Result = TypeVar("Result")
 
@@ -113,10 +119,10 @@ class EvaluationSession:
                               geometry=model.geometry)
 
     # ------------------------------------------------------------------
-    def _evaluate_one(self, index: int, device: DramDescription,
-                      fn: Callable[[DramPowerModel], Result]) -> Result:
-        """Build + evaluate one device, naming it on callable failure."""
-        model = self.model(device)
+    def _call_with(self, index: int, device: DramDescription,
+                   model: DramPowerModel,
+                   fn: Callable[[DramPowerModel], Result]) -> Result:
+        """Apply ``fn`` to a built model, naming the device on failure."""
         try:
             return fn(model)
         except ModelError:
@@ -127,35 +133,72 @@ class EvaluationSession:
                 f"(fingerprint {fingerprint(device)[:12]}): "
                 f"{type(exc).__name__}: {exc}") from exc
 
+    def _evaluate_one(self, index: int, device: DramDescription,
+                      fn: Callable[[DramPowerModel], Result]) -> Result:
+        """Build + evaluate one device, naming it on callable failure."""
+        return self._call_with(index, device, self.model(device), fn)
+
+    def map_vectorized(self, devices: Iterable[DramDescription],
+                       fn: Callable[[DramPowerModel], Result],
+                       plan: Optional[VectorPlan] = None
+                       ) -> List[Result]:
+        """Apply ``fn`` over models built by the columnar kernel.
+
+        The whole batch's models come from
+        :func:`~repro.engine.vector.build_family_models` — warm LRU
+        hits reused, batchable families folded as (variants × events)
+        arrays, the rest built scalar — then ``fn`` runs serially in
+        input order.  Results agree with :meth:`map` to ~1e-15
+        relative (float summation order is the only difference);
+        without numpy the call degrades to the scalar serial path and
+        sets the ``vector_downgrades`` stats marker.
+        """
+        devices = list(devices)
+        models = build_family_models(devices, self.cache, plan=plan)
+        return [self._call_with(index, device, model, fn)
+                for index, (device, model)
+                in enumerate(zip(devices, models))]
+
     def map(self, devices: Iterable[DramDescription],
             fn: Callable[[DramPowerModel], Result],
             jobs: Optional[int] = None,
             backend: Optional[str] = None) -> List[Result]:
         """Apply ``fn`` to the built model of every device, in order.
 
-        ``backend`` selects serial, thread or process execution (see
-        the module docstring); omitted, ``jobs > 1`` keeps the
-        historical thread pool.  ``"auto"`` picks serial or process
-        per call from the sweep width, the session's measured
-        per-build cost and the worker count
+        ``backend`` selects serial, thread, process or vector
+        execution (see the module docstring); omitted, ``jobs > 1``
+        keeps the historical thread pool.  ``"auto"`` picks serial,
+        process or the columnar vector kernel per call from the sweep
+        width, the session's measured per-build and per-fold costs
+        and the worker count
         (:func:`~repro.engine.executor.choose_backend`); an
         unpicklable callable downgrades auto to serial instead of
-        failing.  The result list is always ordered like ``devices``
-        and equals the serial result bit-for-bit.  A raising ``fn``
-        surfaces as a :class:`ModelError` naming the failing device's
-        index and fingerprint.
+        failing.  The result list is always ordered like ``devices``;
+        serial, thread and process agree bit-for-bit, the vector
+        backend to ~1e-15 relative (see :meth:`map_vectorized`).  A
+        raising ``fn`` surfaces as a :class:`ModelError` naming the
+        failing device's index and fingerprint.
         """
         devices = list(devices)
         backend = resolve_backend(backend, jobs)
         workers = jobs if jobs is not None else default_jobs()
+        plan = None
         if backend == AUTO:
             snapshot = self.stats
+            if len(devices) >= MIN_BATCH and numpy_available():
+                candidate = plan_batches(devices)
+                if candidate.eligible:
+                    plan = candidate
             backend = choose_backend(
                 len(devices), jobs,
                 estimate_build_seconds(snapshot),
-                expected_hit_rate=snapshot.hit_rate)
+                expected_hit_rate=snapshot.hit_rate,
+                vector_eligible=plan is not None,
+                vector_seconds=estimate_vector_seconds(snapshot))
             if backend == "process" and not is_picklable(fn):
                 backend = "serial"
+        if backend == VECTOR:
+            return self.map_vectorized(devices, fn, plan=plan)
         if backend == "process" and len(devices) > 1 and workers > 1:
             try:
                 # Export the sweep's first device as the shared base:

@@ -89,6 +89,23 @@ def dirty_stages(fields: Iterable[str]) -> Tuple[str, ...]:
     return ()
 
 
+def chain_stage_key(parent: str, stage: str,
+                    device: DramDescription) -> str:
+    """One link of the stage-key chain: hash ``stage``'s own inputs
+    onto its parent's key.
+
+    Exposed separately so callers that only need the head of the
+    chain — the vectorized kernel groups sweep families by geometry
+    and capacitance keys alone — can stop hashing after two links
+    instead of paying for all five stages.
+    """
+    tokens = [stage, "|", parent]
+    for name in STAGE_INPUTS[stage]:
+        tokens.append("|")
+        tokens.append(canonical_form(getattr(device, name)))
+    return hashlib.sha256("".join(tokens).encode("utf-8")).hexdigest()
+
+
 def stage_keys(device: DramDescription) -> Dict[str, str]:
     """Chained SHA-256 key per stage for ``device``.
 
@@ -99,11 +116,7 @@ def stage_keys(device: DramDescription) -> Dict[str, str]:
     keys: Dict[str, str] = {}
     parent = ""
     for stage in STAGE_ORDER:
-        tokens = [stage, "|", parent]
-        for name in STAGE_INPUTS[stage]:
-            tokens.append("|")
-            tokens.append(canonical_form(getattr(device, name)))
-        parent = hashlib.sha256("".join(tokens).encode("utf-8")).hexdigest()
+        parent = chain_stage_key(parent, stage, device)
         keys[stage] = parent
     return keys
 

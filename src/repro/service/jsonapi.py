@@ -297,7 +297,10 @@ def sweep_payload(session: EvaluationSession,
     ``{"kind": "sensitivity"|"corners"|"trends"|"schemes", ...}`` with
     kind-specific parameters (``device``, ``variation``, ``vendor``,
     ``io_width``, ``nodes``) plus the uniform execution options
-    ``jobs`` and ``backend`` (default ``"auto"``).
+    ``jobs`` and ``backend`` (default ``"auto"``, which folds
+    batchable sweep families through the columnar vector kernel when
+    numpy is installed — visible as the ``vector_*`` counters of
+    ``GET /stats``; ``"vector"`` requests the kernel explicitly).
     """
     if not isinstance(payload, dict):
         raise ServiceError("request body must be a JSON object")
