@@ -251,7 +251,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
-    from .service import ServiceLimits, create_service
+    from .service import ApiKeyAuth, ServiceLimits, create_service
+    from .service.prefork import serve_prefork
 
     logging.basicConfig(
         level=logging.DEBUG if args.verbose else logging.INFO,
@@ -262,15 +263,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            request_timeout=args.request_timeout,
                            retry_after=args.retry_after,
                            result_cache=args.result_cache)
+    auth = ApiKeyAuth.from_options(keys=args.api_key)
+    cache = args.cache_dir or "disabled"
+    guard = f"{len(auth)} API key(s)" if auth is not None else "open"
+    if args.workers > 1:
+        supervisor = serve_prefork(
+            host=args.host, port=args.port, workers=args.workers,
+            capacity=args.capacity, cache_dir=args.cache_dir,
+            limits=limits, auth=auth,
+            affinity=not args.no_affinity,
+            preseed=not args.no_preseed)
+        print(f"repro service listening on "
+              f"http://{args.host}:{supervisor.port} "
+              f"({args.workers} workers, "
+              f"model-cache capacity={args.capacity}, "
+              f"cache-dir={cache}, auth={guard}, "
+              f"affinity={'off' if args.no_affinity else 'on'}); "
+              f"SIGTERM or Ctrl-C drains and exits",
+              flush=True)
+        supervisor.run_until_signal()
+        print("repro service stopped "
+              f"({supervisor.respawns} worker respawns)")
+        return 0
     service = create_service(host=args.host, port=args.port,
                              capacity=args.capacity,
                              cache_dir=args.cache_dir,
-                             limits=limits)
-    cache = args.cache_dir or "disabled"
+                             limits=limits, auth=auth)
     print(f"repro service listening on "
           f"http://{args.host}:{service.server_port} "
           f"(model-cache capacity={args.capacity}, "
-          f"cache-dir={cache}, in-flight<={limits.max_inflight}, "
+          f"cache-dir={cache}, auth={guard}, "
+          f"in-flight<={limits.max_inflight}, "
           f"queue<={limits.max_queue}, "
           f"request-timeout={limits.request_timeout:g}s); "
           f"SIGTERM or Ctrl-C drains and exits",
@@ -540,6 +563,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memoized /evaluate responses kept in "
                             "the LRU result cache, 0 disables "
                             "(default 256)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes; >1 pre-forks a "
+                            "supervised fleet sharing the port via "
+                            "SO_REUSEPORT (default 1)")
+    serve.add_argument("--api-key", dest="api_key", action="append",
+                       default=None, metavar="KEY",
+                       help="require this X-Api-Key on every request "
+                            "but /healthz (repeatable; also read "
+                            "from $REPRO_API_KEYS)")
+    serve.add_argument("--no-affinity", dest="no_affinity",
+                       action="store_true",
+                       help="disable fingerprint-affinity redirects "
+                            "between pre-fork workers")
+    serve.add_argument("--no-preseed", dest="no_preseed",
+                       action="store_true",
+                       help="skip the shared-memory stage preseed "
+                            "of pre-fork workers")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request (DEBUG level)")
     serve.set_defaults(handler=_cmd_serve)

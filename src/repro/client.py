@@ -18,6 +18,16 @@ whose ``status`` attribute carries the HTTP code (``0`` when the
 service could not be reached at all) and whose ``retry_after``
 attribute carries the server's backoff hint when one was sent.
 
+Transport: persistent HTTP/1.1 keep-alive connections pooled per
+thread and endpoint (``connections_opened`` stays at 1 across many
+sequential requests), transparent gzip response decoding, optional
+``api_key`` authentication, and one-hop following of the pre-fork
+tier's affinity ``307`` redirects (``redirects_followed``) with
+fallback to the original worker when the redirect target just died.
+:meth:`ServiceClient.evaluate_stream` and
+:meth:`ServiceClient.sweep_stream` consume the chunked NDJSON
+streaming mode record by record on a dedicated connection.
+
 Resilience: every evaluation request is a pure computation, so
 retrying is always safe.  The client retries retryable failures
 (connection errors and the service's load-shedding ``429``/``503``)
@@ -33,19 +43,34 @@ of this is unit-testable without waiting.
 
 from __future__ import annotations
 
+import gzip
 import http.client
 import json
 import random
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator,
+                    Optional, Tuple)
+from urllib.parse import urlsplit
 
 from .errors import CircuitOpenError, ServiceError
 
 #: Statuses worth retrying: the service's load-shedding replies.
 RETRYABLE_STATUSES = frozenset({429, 503})
+
+#: Wire-protocol header names, mirroring ``repro.service.auth`` and
+#: ``repro.service.routing`` — duplicated here so importing the thin
+#: client never drags the whole model stack in.
+API_KEY_HEADER = "X-Api-Key"
+ROUTED_HEADER = "X-Repro-Routed"
+
+#: Transport failures on a *reused* connection that mean the server
+#: closed an idle keep-alive socket — safe to reconnect and resend.
+_STALE_ERRORS = (http.client.RemoteDisconnected,
+                 http.client.CannotSendRequest,
+                 BrokenPipeError, ConnectionResetError)
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:
@@ -180,6 +205,8 @@ class ServiceClient:
                  retry: Optional[RetryPolicy] = None,
                  breaker: Any = _DEFAULT,
                  deadline: Optional[float] = None,
+                 api_key: Optional[str] = None,
+                 follow_redirects: bool = True,
                  sleep: Callable[[float], None] = time.sleep,
                  clock: Callable[[], float] = time.monotonic,
                  rng: Optional[random.Random] = None):
@@ -189,7 +216,17 @@ class ServiceClient:
         self.breaker: Optional[CircuitBreaker] = (
             CircuitBreaker() if breaker is _DEFAULT else breaker)
         self.deadline = deadline
+        self.api_key = api_key
+        self.follow_redirects = follow_redirects
         self.last_ready_error: Optional[str] = None
+        #: Connections dialled over this client's lifetime (all
+        #: threads) — ``1`` after many keep-alive requests proves
+        #: connection reuse is working.
+        self.connections_opened = 0
+        #: Affinity ``307`` redirects this client followed.
+        self.redirects_followed = 0
+        self._counter_lock = threading.Lock()
+        self._local = threading.local()
         self._sleep = sleep
         self._clock = clock
         self._rng = rng if rng is not None else random.Random()
@@ -246,54 +283,177 @@ class ServiceClient:
                     retry_after=failure.retry_after) from failure
             self._sleep(delay)
 
-    def _request_once(self, method: str, path: str,
-                      payload: Optional[Any],
-                      request_timeout: Optional[float],
-                      expires: Optional[float]) -> Dict[str, Any]:
-        """One wire round-trip, no retries."""
+    def _build_headers(self, payload: Optional[Any],
+                       request_timeout: Optional[float]
+                       ) -> Tuple[Optional[bytes], Dict[str, str]]:
         body = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json",
+                   "Accept-Encoding": "gzip"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         if request_timeout is not None:
             headers["X-Request-Timeout"] = f"{request_timeout:g}"
+        if self.api_key is not None:
+            headers[API_KEY_HEADER] = self.api_key
+        return body, headers
+
+    def _request_timeout_budget(
+            self, expires: Optional[float]) -> float:
         timeout = self.timeout
         if expires is not None:
             timeout = min(timeout,
                           max(1e-3, expires - self._clock()))
-        request = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers,
-            method=method)
-        try:
-            with urllib.request.urlopen(
-                    request, timeout=timeout) as reply:
-                return json.loads(reply.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        return timeout
+
+    # -- persistent-connection pool (one per thread and netloc) --------
+    def _pool(self) -> Dict[str, http.client.HTTPConnection]:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        return pool
+
+    def _connection(self, netloc: str, timeout: float
+                    ) -> Tuple[http.client.HTTPConnection, bool]:
+        """A pooled connection to ``netloc`` and whether it is fresh.
+
+        Reused connections may have been closed server-side while
+        idle; the caller resends once on a *stale* reuse but treats a
+        fresh connection's failure as the service being down.
+        """
+        pool = self._pool()
+        conn = pool.get(netloc)
+        fresh = conn is None
+        if fresh:
+            host, _, raw_port = netloc.partition(":")
+            conn = http.client.HTTPConnection(
+                host, int(raw_port or 80), timeout=timeout)
+            pool[netloc] = conn
+            with self._counter_lock:
+                self.connections_opened += 1
+        conn.timeout = timeout
+        if conn.sock is not None:
+            conn.sock.settimeout(timeout)
+            # Requests are small back-to-back writes; without
+            # TCP_NODELAY, Nagle pairs with the peer's delayed ACK
+            # into ~40 ms stalls on reused connections.
+            conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                 socket.TCP_NODELAY, 1)
+        return conn, fresh
+
+    def _drop_connection(self, netloc: str) -> None:
+        conn = self._pool().pop(netloc, None)
+        if conn is not None:
+            conn.close()
+
+    def close(self) -> None:
+        """Close this thread's pooled connections (idempotent)."""
+        pool = self._pool()
+        for conn in pool.values():
+            conn.close()
+        pool.clear()
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, url: str, method: str,
+                   body: Optional[bytes], headers: Dict[str, str],
+                   timeout: float
+                   ) -> Tuple[int, Dict[str, str], bytes]:
+        """One exchange on a pooled keep-alive connection.
+
+        Returns ``(status, headers, decoded body)``; raises a
+        status-``0`` :class:`ServiceError` on transport failure.  A
+        stale reused connection (server closed it while idle) is
+        reconnected and resent exactly once — evaluations are pure,
+        so the resend is safe.
+        """
+        parts = urlsplit(url)
+        netloc = parts.netloc
+        path = parts.path or "/"
+        if parts.query:
+            path += "?" + parts.query
+        for attempt in (0, 1):
+            conn, fresh = self._connection(netloc, timeout)
+            try:
+                conn.request(method, path, body=body,
+                             headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except _STALE_ERRORS as exc:
+                self._drop_connection(netloc)
+                if fresh or attempt:
+                    raise ServiceError(
+                        f"service unreachable at http://{netloc}: "
+                        f"{type(exc).__name__}: {exc}",
+                        status=0) from exc
+                continue  # stale keep-alive socket: resend once
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop_connection(netloc)
+                raise ServiceError(
+                    f"connection to http://{netloc} failed: "
+                    f"{type(exc).__name__}: {exc}", status=0) from exc
+            reply_headers = dict(response.headers)
+            if response.will_close:
+                self._drop_connection(netloc)
+            if reply_headers.get("Content-Encoding") == "gzip":
+                data = gzip.decompress(data)
+            return response.status, reply_headers, data
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[Any],
+                      request_timeout: Optional[float],
+                      expires: Optional[float]) -> Dict[str, Any]:
+        """One wire round-trip, no retries (plus 1 affinity hop).
+
+        A ``307`` from a pre-fork worker is followed once to the
+        preferred worker's direct port, marked with the routed header
+        so routing terminates; if the redirect target is unreachable
+        (it just died) the request falls back to the original URL,
+        still marked routed so it is served locally.
+        """
+        body, headers = self._build_headers(payload, request_timeout)
+        timeout = self._request_timeout_budget(expires)
+        url = self.base_url + path
+        hopped = False
+        while True:
+            try:
+                status, reply_headers, data = self._roundtrip(
+                    url, method, body, headers, timeout)
+            except ServiceError:
+                if hopped and not url.startswith(self.base_url):
+                    url = self.base_url + path  # dead target: serve
+                    continue                    # at the origin
+                raise
+            if (status in (307, 308) and not hopped
+                    and self.follow_redirects):
+                location = reply_headers.get("Location")
+                if location:
+                    url = location
+                    headers[ROUTED_HEADER] = "1"
+                    hopped = True
+                    with self._counter_lock:
+                        self.redirects_followed += 1
+                    continue
+            break
+        if status >= 400:
             raise ServiceError(
-                self._error_detail(exc), status=exc.code,
+                self._error_detail(status, data), status=status,
                 retry_after=_parse_retry_after(
-                    exc.headers.get("Retry-After"))) from exc
-        except urllib.error.URLError as exc:
+                    reply_headers.get("Retry-After")))
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
             raise ServiceError(
-                f"service unreachable at {self.base_url}: "
-                f"{exc.reason}", status=0) from exc
-        except (http.client.HTTPException, OSError) as exc:
-            # Mid-response connection loss (e.g. an injected reset)
-            # surfaces raw from read(); treat it like any transport
-            # failure.
-            raise ServiceError(
-                f"connection to {self.base_url} failed: "
-                f"{type(exc).__name__}: {exc}", status=0) from exc
+                f"invalid JSON from {url}: {exc}", status=0) from exc
 
     @staticmethod
-    def _error_detail(exc: urllib.error.HTTPError) -> str:
+    def _error_detail(status: int, data: bytes) -> str:
         """The server's ``{"error": ...}`` message, or the bare code."""
         try:
-            payload = json.loads(exc.read().decode("utf-8"))
+            payload = json.loads(data.decode("utf-8"))
             return str(payload.get("error", payload))
         except Exception:
-            return f"HTTP {exc.code}"
+            return f"HTTP {status}"
 
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
@@ -339,6 +499,125 @@ class ServiceClient:
             payload["backend"] = backend
         return self.request("POST", "/sweep", payload,
                             request_timeout=request_timeout)
+
+    # ------------------------------------------------------------------
+    def evaluate_stream(self, device: Optional[Any] = None,
+                        devices: Optional[Iterable[Any]] = None,
+                        pattern: Optional[str] = None,
+                        request_timeout: Optional[float] = None
+                        ) -> Iterator[Dict[str, Any]]:
+        """Streaming ``POST /evaluate``: yields records as they land.
+
+        Each record is ``{"index": i, "result": {...}}`` (or an
+        ``{"error": ...}`` record for a device that failed
+        mid-batch), ending with ``{"done": true, "count": n}`` — the
+        first device's result arrives while the rest of the batch is
+        still evaluating.
+        """
+        if (device is None) == (devices is None):
+            raise ServiceError(
+                "pass exactly one of device= or devices=")
+        payload: Dict[str, Any] = {"stream": True}
+        if device is not None:
+            payload["device"] = device
+        if devices is not None:
+            payload["devices"] = list(devices)
+        if pattern is not None:
+            payload["pattern"] = pattern
+        return self._stream("/evaluate", payload, request_timeout)
+
+    def sweep_stream(self, kind: str, device: Optional[Any] = None,
+                     jobs: Optional[int] = None,
+                     backend: Optional[str] = None,
+                     request_timeout: Optional[float] = None,
+                     **params: Any) -> Iterator[Dict[str, Any]]:
+        """Streaming ``POST /sweep``: one record per sweep row."""
+        payload: Dict[str, Any] = dict(params)
+        payload["kind"] = kind
+        payload["stream"] = True
+        if device is not None:
+            payload["device"] = device
+        if jobs is not None:
+            payload["jobs"] = jobs
+        if backend is not None:
+            payload["backend"] = backend
+        return self._stream("/sweep", payload, request_timeout)
+
+    def _stream(self, path: str, payload: Dict[str, Any],
+                request_timeout: Optional[float]
+                ) -> Iterator[Dict[str, Any]]:
+        """Open a streaming POST on a dedicated connection.
+
+        Streams bypass the pool (the connection is busy for the whole
+        stream), the retry policy and the breaker: resending half a
+        consumed stream is not safe to do silently.  Errors before
+        the first record surface as :class:`ServiceError` from this
+        call; a connection lost mid-stream raises from the iterator.
+        Validation happens before the iterator is returned.
+        """
+        body, headers = self._build_headers(payload, request_timeout)
+        headers.pop("Accept-Encoding", None)  # streams are never
+        url = self.base_url + path            # compressed
+        hopped = False
+        while True:
+            parts = urlsplit(url)
+            host, _, raw_port = parts.netloc.partition(":")
+            conn = http.client.HTTPConnection(
+                host, int(raw_port or 80), timeout=self.timeout)
+            with self._counter_lock:
+                self.connections_opened += 1
+            try:
+                conn.request("POST", parts.path or "/", body=body,
+                             headers=headers)
+                response = conn.getresponse()
+            except (http.client.HTTPException, OSError) as exc:
+                conn.close()
+                if hopped and not url.startswith(self.base_url):
+                    url = self.base_url + path
+                    continue
+                raise ServiceError(
+                    f"service unreachable at {url}: "
+                    f"{type(exc).__name__}: {exc}", status=0) from exc
+            if (response.status in (307, 308) and not hopped
+                    and self.follow_redirects):
+                location = response.headers.get("Location")
+                if location:
+                    response.read()
+                    conn.close()
+                    url = location
+                    headers[ROUTED_HEADER] = "1"
+                    hopped = True
+                    with self._counter_lock:
+                        self.redirects_followed += 1
+                    continue
+            break
+        if response.status >= 400:
+            data = response.read()
+            conn.close()
+            raise ServiceError(
+                self._error_detail(response.status, data),
+                status=response.status,
+                retry_after=_parse_retry_after(
+                    response.headers.get("Retry-After")))
+
+        def records() -> Iterator[Dict[str, Any]]:
+            try:
+                while True:
+                    line = response.readline()
+                    if not line:
+                        return  # stream ended without a done record
+                    record = json.loads(line.decode("utf-8"))
+                    yield record
+                    if record.get("done"):
+                        return
+            except (http.client.HTTPException, OSError) as exc:
+                raise ServiceError(
+                    f"stream from {url} broke: "
+                    f"{type(exc).__name__}: {exc}", status=0) from exc
+            finally:
+                conn.close()
+
+        return records()
 
     # ------------------------------------------------------------------
     def wait_until_ready(self, timeout: float = 10.0,

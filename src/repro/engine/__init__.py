@@ -51,7 +51,7 @@ working unchanged while callers that share a session across calls get
 cross-analysis reuse for free.
 """
 
-from .cache import EngineStats, ModelCache
+from .cache import EngineStats, ModelCache, merge_stats
 from .diskcache import DiskModelCache, default_cache_dir, model_code_token
 from .executor import (AUTO, BACKENDS, VECTOR, choose_backend,
                        default_jobs, estimate_build_seconds,
@@ -80,6 +80,7 @@ __all__ = [
     "estimate_vector_seconds",
     "DiskModelCache",
     "EngineStats",
+    "merge_stats",
     "ModelCache",
     "canonical_form",
     "default_cache_dir",

@@ -26,6 +26,7 @@ Two extensions feed the scale-out paths:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict
@@ -159,6 +160,24 @@ class EngineStats:
                      f"serial-fallbacks={self.serial_fallbacks}]")
         return text
 
+    @classmethod
+    def from_dict(cls, payload) -> "EngineStats":
+        """Rebuild a snapshot from a JSON-ish mapping.
+
+        Accepts the ``engine`` payload of ``GET /stats`` verbatim:
+        unknown keys (derived properties like ``hit_rate``) are
+        ignored and missing counters default, so snapshots survive a
+        round trip through older or newer wire formats.  Malformed
+        values raise ``TypeError``/``ValueError`` for the caller.
+        """
+        fields = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {key: value for key, value in dict(payload).items()
+                  if key in fields}
+        for key in ("hits", "misses", "evictions", "size", "capacity",
+                    "build_seconds"):
+            kwargs.setdefault(key, 0)
+        return cls(**kwargs)
+
     def delta(self, since: "EngineStats") -> "EngineStats":
         """The counter growth between ``since`` and this snapshot.
 
@@ -193,6 +212,44 @@ class EngineStats:
                                - since.vector_downgrades),
             vector_seconds=self.vector_seconds - since.vector_seconds,
         )
+
+
+def merge_stats(left: EngineStats, right: EngineStats) -> EngineStats:
+    """Counter-wise sum of two snapshots (or deltas).
+
+    ``size`` is an occupancy *gauge*, not a counter: N caches each
+    holding k models do not hold N·k models between them from any one
+    cache's point of view, so the merge takes the maximum occupancy
+    and keeps the left (first) operand's configured capacity.  Shared
+    by the process-backend chunk merge and the multi-worker service's
+    cluster ``/stats`` (which overrides ``capacity`` with the fleet
+    total it computes itself).
+    """
+    return EngineStats(
+        hits=left.hits + right.hits,
+        misses=left.misses + right.misses,
+        evictions=left.evictions + right.evictions,
+        size=max(left.size, right.size),
+        capacity=left.capacity,
+        build_seconds=left.build_seconds + right.build_seconds,
+        disk_hits=left.disk_hits + right.disk_hits,
+        disk_misses=left.disk_misses + right.disk_misses,
+        disk_writes=left.disk_writes + right.disk_writes,
+        disk_corrupt=left.disk_corrupt + right.disk_corrupt,
+        pool_retries=left.pool_retries + right.pool_retries,
+        serial_fallbacks=left.serial_fallbacks + right.serial_fallbacks,
+        stage_hits=left.stage_hits + right.stage_hits,
+        stage_misses=left.stage_misses + right.stage_misses,
+        shm_stores=left.shm_stores + right.shm_stores,
+        shm_loads=left.shm_loads + right.shm_loads,
+        shm_errors=left.shm_errors + right.shm_errors,
+        vector_batches=left.vector_batches + right.vector_batches,
+        vector_builds=left.vector_builds + right.vector_builds,
+        vector_fallbacks=left.vector_fallbacks + right.vector_fallbacks,
+        vector_downgrades=max(left.vector_downgrades,
+                              right.vector_downgrades),
+        vector_seconds=left.vector_seconds + right.vector_seconds,
+    )
 
 
 class ModelCache:

@@ -43,7 +43,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple)
 
 from ..errors import ModelError
-from .cache import DEFAULT_CAPACITY, EngineStats
+from .cache import DEFAULT_CAPACITY, EngineStats, merge_stats
 from .fingerprint import fingerprint
 from .shm import SharedStageStore, publish_stage_payload
 from .stages import seed_stage_cache
@@ -432,7 +432,7 @@ def _pooled_map(items: Sequence, fn: Callable, mode: str,
     results: List = []
     for index in range(len(payloads)):
         status, body, delta = outcomes[index]
-        merged = delta if merged is None else _add_stats(merged, delta)
+        merged = delta if merged is None else merge_stats(merged, delta)
         if status == "error":
             if failure is None:
                 failure = body
@@ -455,41 +455,6 @@ def _pooled_map(items: Sequence, fn: Callable, mode: str,
             shm_stores=merged.shm_stores + shm_stores,
             shm_errors=merged.shm_errors + shm_errors)
     return results, merged
-
-
-def _add_stats(left: EngineStats, right: EngineStats) -> EngineStats:
-    """Counter-wise sum of two worker deltas.
-
-    ``size`` is an occupancy *gauge*, not a counter: N workers each
-    holding k models do not hold N·k models between them from any one
-    cache's point of view, so the merge takes the maximum occupancy
-    instead of over-reporting the sum.
-    """
-    return EngineStats(
-        hits=left.hits + right.hits,
-        misses=left.misses + right.misses,
-        evictions=left.evictions + right.evictions,
-        size=max(left.size, right.size),
-        capacity=left.capacity,
-        build_seconds=left.build_seconds + right.build_seconds,
-        disk_hits=left.disk_hits + right.disk_hits,
-        disk_misses=left.disk_misses + right.disk_misses,
-        disk_writes=left.disk_writes + right.disk_writes,
-        disk_corrupt=left.disk_corrupt + right.disk_corrupt,
-        pool_retries=left.pool_retries + right.pool_retries,
-        serial_fallbacks=left.serial_fallbacks + right.serial_fallbacks,
-        stage_hits=left.stage_hits + right.stage_hits,
-        stage_misses=left.stage_misses + right.stage_misses,
-        shm_stores=left.shm_stores + right.shm_stores,
-        shm_loads=left.shm_loads + right.shm_loads,
-        shm_errors=left.shm_errors + right.shm_errors,
-        vector_batches=left.vector_batches + right.vector_batches,
-        vector_builds=left.vector_builds + right.vector_builds,
-        vector_fallbacks=left.vector_fallbacks + right.vector_fallbacks,
-        vector_downgrades=max(left.vector_downgrades,
-                              right.vector_downgrades),
-        vector_seconds=left.vector_seconds + right.vector_seconds,
-    )
 
 
 def process_map(devices: Sequence, fn: Callable,

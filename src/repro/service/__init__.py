@@ -31,29 +31,58 @@ a deadline (``504`` on a blown budget), ``/evaluate`` responses are
 memoized in a small LRU, and :mod:`repro.service.faults` can inject
 latency, errors, connection resets and worker kills so all of it is
 testable deterministically.
+
+Scale-out: ``repro serve --workers N`` forks N such servers accepting
+on one shared port under a respawning supervisor
+(:mod:`repro.service.prefork`), each booted warm from a shared-memory
+stage preseed and the common disk cache; fingerprint-affinity routing
+(:mod:`repro.service.routing`) bounces a request to the worker whose
+caches hold its device (one-hop ``307``), ``"stream": true`` turns
+batch replies into chunked NDJSON (:mod:`repro.service.streaming`),
+API keys guard the perimeter (:mod:`repro.service.auth`), and
+``GET /stats?scope=cluster`` merges the whole fleet's counters.
 """
 
 from .admission import (AdmissionController, AdmissionShed, Deadline,
                         DeadlineExceeded, ServiceLimits)
+from .auth import API_KEY_HEADER, ApiKeyAuth, parse_keys
 from .faults import FaultInjector, FaultRule, InjectedFault
 from .jsonapi import (ResultCache, device_from_payload,
                       evaluate_payload, stats_payload, sweep_payload)
-from .server import EvaluationService, create_service
+from .prefork import PreforkSupervisor, serve_prefork
+from .routing import (ROUTED_HEADER, WORKER_HEADER, AffinityRouter,
+                      WorkerRegistry, preferred_worker)
+from .server import EvaluationService, ServiceCounters, create_service
+from .streaming import evaluate_stream, sweep_stream, wants_stream
 
 __all__ = [
+    "API_KEY_HEADER",
+    "ROUTED_HEADER",
+    "WORKER_HEADER",
     "AdmissionController",
     "AdmissionShed",
+    "AffinityRouter",
+    "ApiKeyAuth",
     "Deadline",
     "DeadlineExceeded",
     "EvaluationService",
     "FaultInjector",
     "FaultRule",
     "InjectedFault",
+    "PreforkSupervisor",
     "ResultCache",
+    "ServiceCounters",
     "ServiceLimits",
+    "WorkerRegistry",
     "create_service",
     "device_from_payload",
     "evaluate_payload",
+    "evaluate_stream",
+    "parse_keys",
+    "preferred_worker",
+    "serve_prefork",
     "stats_payload",
     "sweep_payload",
+    "sweep_stream",
+    "wants_stream",
 ]

@@ -1,0 +1,84 @@
+"""API-key authentication for the evaluation service.
+
+A deliberately small scheme: the operator hands the daemon one or
+more opaque keys (``repro serve --api-key ...``, repeatable, or the
+``REPRO_API_KEYS`` environment variable, comma/whitespace separated);
+every request except the ``/healthz`` liveness probe must then carry
+one of them in an ``X-Api-Key`` header or be refused with a JSON
+``401``.  Comparison uses :func:`hmac.compare_digest` so a presented
+key's rejection time does not leak how many leading characters
+matched.
+
+Keys are shared secrets for coarse perimeter control (keeping a
+service on a lab network from being an open evaluation endpoint), not
+a user model: there is no per-key identity, quota or audit trail.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+from typing import Iterable, Mapping, Optional, Tuple
+
+#: Request header carrying the presented key.
+API_KEY_HEADER = "X-Api-Key"
+
+#: Environment variable holding the accepted keys (comma or
+#: whitespace separated).
+API_KEYS_ENV = "REPRO_API_KEYS"
+
+
+def parse_keys(raw: str) -> Tuple[str, ...]:
+    """Split an environment-style key list on commas and whitespace."""
+    parts = [part.strip() for chunk in raw.split(",")
+             for part in chunk.split()]
+    return tuple(part for part in parts if part)
+
+
+class ApiKeyAuth:
+    """A set of accepted API keys with constant-time membership."""
+
+    def __init__(self, keys: Iterable[str]):
+        cleaned = tuple(dict.fromkeys(
+            key for key in keys if key))  # dedupe, keep order
+        if not cleaned:
+            raise ValueError("at least one non-empty API key required")
+        self.keys = cleaned
+
+    def check(self, presented: Optional[str]) -> bool:
+        """Whether ``presented`` matches any accepted key.
+
+        Each candidate comparison is constant-time in the key
+        contents; a missing header is a plain refusal.
+        """
+        if not presented:
+            return False
+        return any(hmac.compare_digest(key, presented)
+                   for key in self.keys)
+
+    def any_key(self) -> str:
+        """One accepted key — used by a worker to authenticate its
+        own internal calls to sibling workers."""
+        return self.keys[0]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @classmethod
+    def from_options(cls, keys: Optional[Iterable[str]] = None,
+                     env: Optional[Mapping[str, str]] = None
+                     ) -> Optional["ApiKeyAuth"]:
+        """Auth from explicit keys, else from :data:`API_KEYS_ENV`.
+
+        Returns ``None`` when neither source names a key — the open,
+        default configuration.
+        """
+        explicit = tuple(key for key in (keys or ()) if key)
+        if explicit:
+            return cls(explicit)
+        raw = (env if env is not None else os.environ).get(
+            API_KEYS_ENV, "")
+        parsed = parse_keys(raw)
+        if parsed:
+            return cls(parsed)
+        return None

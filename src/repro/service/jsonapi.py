@@ -160,17 +160,14 @@ def _evaluation(model: DramPowerModel,
     }
 
 
-def evaluate_payload(session: EvaluationSession, payload: Any,
-                     cache: Optional[ResultCache] = None
-                     ) -> Dict[str, Any]:
-    """``POST /evaluate``: one description or a batch.
+def parse_evaluate_request(payload: Any
+                           ) -> Tuple[List[DramDescription],
+                                      Optional[Pattern]]:
+    """Decode an ``/evaluate`` body into ``(devices, pattern)``.
 
-    ``{"device": {...}}`` or ``{"devices": [{...}, ...]}``, plus an
-    optional ``"pattern"`` command loop evaluated on every device
-    (the device default pattern when omitted).  Results keep the
-    request order.  With a :class:`ResultCache` the whole response is
-    memoized on ``(fingerprints, pattern)``: a repeat request skips
-    evaluation entirely.
+    Shared by the buffered endpoint below and the streaming variant
+    (:mod:`repro.service.streaming`), so both reject malformed
+    requests identically and before any evaluation starts.
     """
     if not isinstance(payload, dict):
         raise ServiceError("request body must be a JSON object")
@@ -191,6 +188,22 @@ def evaluate_payload(session: EvaluationSession, payload: Any,
         except (ReproError, ValueError) as exc:
             raise ServiceError(f"bad pattern: {exc}") from exc
     devices = [device_from_payload(spec) for spec in specs]
+    return devices, pattern
+
+
+def evaluate_payload(session: EvaluationSession, payload: Any,
+                     cache: Optional[ResultCache] = None
+                     ) -> Dict[str, Any]:
+    """``POST /evaluate``: one description or a batch.
+
+    ``{"device": {...}}`` or ``{"devices": [{...}, ...]}``, plus an
+    optional ``"pattern"`` command loop evaluated on every device
+    (the device default pattern when omitted).  Results keep the
+    request order.  With a :class:`ResultCache` the whole response is
+    memoized on ``(fingerprints, pattern)``: a repeat request skips
+    evaluation entirely.
+    """
+    devices, pattern = parse_evaluate_request(payload)
     key = None
     if cache is not None and cache.enabled:
         key = (tuple(fingerprint(device) for device in devices),
@@ -214,20 +227,56 @@ def evaluate_payload(session: EvaluationSession, payload: Any,
 # ----------------------------------------------------------------------
 # Named sweeps.
 # ----------------------------------------------------------------------
+def sensitivity_row(result) -> Dict[str, Any]:
+    """One sensitivity sweep row — shared with the streaming mode."""
+    return {"name": result.name,
+            "group": result.group,
+            "impact": result.impact,
+            "power_base_w": result.power_base,
+            "power_low_w": result.power_low,
+            "power_high_w": result.power_high}
+
+
+def corner_row(band) -> Dict[str, Any]:
+    """One corner sweep row — shared with the streaming mode."""
+    return {"measure": band.measure.value,
+            "min_ma": band.minimum,
+            "typ_ma": band.typical,
+            "max_ma": band.maximum,
+            "spread": band.spread,
+            "values_ma": band.values_ma}
+
+
+def trend_row(point) -> Dict[str, Any]:
+    """One generation-trend row — shared with the streaming mode."""
+    return {"node_nm": point.node_nm,
+            "year": point.year,
+            "interface": point.interface,
+            "datarate_gbps": point.datarate / 1e9,
+            "vdd": point.vdd,
+            "die_area_mm2": point.die_area_mm2,
+            "idd0_ma": point.idd0_ma,
+            "idd4r_ma": point.idd4r_ma,
+            "energy_idd7_pj": point.energy_idd7_pj}
+
+
+def scheme_row(result) -> Dict[str, Any]:
+    """One scheme-comparison row — shared with the streaming mode."""
+    return {"scheme": result.scheme,
+            "power_saving": result.power_saving,
+            "area_overhead": result.area_overhead,
+            "baseline_power_w": result.baseline.power,
+            "modified_power_w": result.modified.power,
+            "notes": result.notes}
+
+
 def _sensitivity_rows(session, payload, jobs, backend):
     device = device_from_payload(payload.get("device", {}))
     variation = float(payload.get("variation", 0.2))
     results = sensitivity(device, variation=variation,
                           session=session, jobs=jobs, backend=backend)
-    rows = [{"name": result.name,
-             "group": result.group,
-             "impact": result.impact,
-             "power_base_w": result.power_base,
-             "power_low_w": result.power_low,
-             "power_high_w": result.power_high}
-            for result in results]
     return {"device": device.name, "variation": variation,
-            "rows": rows}
+            "rows": [sensitivity_row(result) for result in results]}
 
 
 def _corner_rows(session, payload, jobs, backend):
@@ -236,14 +285,8 @@ def _corner_rows(session, payload, jobs, backend):
     corners = VENDOR_SPREAD_CORNERS if vendor else STANDARD_CORNERS
     bands = corner_sweep(device, corners=corners, session=session,
                          jobs=jobs, backend=backend)
-    rows = [{"measure": band.measure.value,
-             "min_ma": band.minimum,
-             "typ_ma": band.typical,
-             "max_ma": band.maximum,
-             "spread": band.spread,
-             "values_ma": band.values_ma}
-            for band in bands]
-    return {"device": device.name, "vendor": vendor, "rows": rows}
+    return {"device": device.name, "vendor": vendor,
+            "rows": [corner_row(band) for band in bands]}
 
 
 def _trend_rows(session, payload, jobs, backend):
@@ -254,31 +297,16 @@ def _trend_rows(session, payload, jobs, backend):
     points = generation_trend(io_width=io_width, node_list=node_list,
                               session=session, jobs=jobs,
                               backend=backend)
-    rows = [{"node_nm": point.node_nm,
-             "year": point.year,
-             "interface": point.interface,
-             "datarate_gbps": point.datarate / 1e9,
-             "vdd": point.vdd,
-             "die_area_mm2": point.die_area_mm2,
-             "idd0_ma": point.idd0_ma,
-             "idd4r_ma": point.idd4r_ma,
-             "energy_idd7_pj": point.energy_idd7_pj}
-            for point in points]
-    return {"io_width": io_width, "rows": rows}
+    return {"io_width": io_width,
+            "rows": [trend_row(point) for point in points]}
 
 
 def _scheme_rows(session, payload, jobs, backend):
     device = device_from_payload(payload.get("device", {}))
     results = compare_schemes(device, session=session, jobs=jobs,
                               backend=backend)
-    rows = [{"scheme": result.scheme,
-             "power_saving": result.power_saving,
-             "area_overhead": result.area_overhead,
-             "baseline_power_w": result.baseline.power,
-             "modified_power_w": result.modified.power,
-             "notes": result.notes}
-            for result in results]
-    return {"device": device.name, "rows": rows}
+    return {"device": device.name,
+            "rows": [scheme_row(result) for result in results]}
 
 
 #: Sweep kinds served by ``POST /sweep``.

@@ -1,0 +1,259 @@
+"""Fingerprint-affinity routing across pre-fork service workers.
+
+The pre-fork tier (:mod:`repro.service.prefork`) runs N worker
+processes accepting on one shared port; the kernel spreads incoming
+connections over them with no idea which worker's caches are warm for
+which device.  This module adds that knowledge:
+
+* every worker publishes a small JSON *registry entry* (pid, shared
+  port, private direct port) into the supervisor's run directory —
+  :class:`WorkerRegistry` reads the live set back with a short TTL
+  cache and a pid-liveness check;
+* :func:`preferred_worker` maps a device fingerprint onto one worker
+  id by rendezvous (highest-random-weight) hashing, which keeps the
+  assignment stable when workers die and respawn — only the dead
+  worker's share moves;
+* :class:`AffinityRouter` glues the two into the redirect decision:
+  a request landing on the "wrong" worker is answered with ``307``
+  and a ``Location`` pointing at the preferred worker's direct port,
+  so a device's variants keep hitting the worker whose model/stage
+  caches already hold them.  A client marks the redirected request
+  with ``X-Repro-Routed`` so routing terminates after one hop.
+
+All reads tolerate torn or stale files: a corrupt entry is skipped, a
+dead worker drops out of the candidate set, and any failure inside the
+router falls back to serving locally — affinity is an optimisation,
+never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from .auth import API_KEY_HEADER
+
+#: Marks a request that already followed one affinity redirect;
+#: carriers are always served locally (no redirect loops).
+ROUTED_HEADER = "X-Repro-Routed"
+
+#: Response header naming the worker that produced the reply.
+WORKER_HEADER = "X-Repro-Worker"
+
+
+def preferred_worker(key: str,
+                     worker_ids: Iterable[int]) -> Optional[int]:
+    """The rendezvous-hash owner of ``key`` among ``worker_ids``.
+
+    Every (key, worker) pair gets an independent pseudo-random score;
+    the highest score wins.  Removing a worker reassigns only that
+    worker's keys — exactly the stability a respawning fleet needs —
+    and the choice is identical in every process, so any worker can
+    compute any key's owner locally.
+    """
+    best_id: Optional[int] = None
+    best_score = b""
+    for worker_id in worker_ids:
+        score = hashlib.sha256(
+            f"{key}|{worker_id}".encode("utf-8")).digest()
+        if best_id is None or score > best_score:
+            best_id = worker_id
+            best_score = score
+    return best_id
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we could signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign but alive
+        return True
+    except OSError:  # pragma: no cover - platform oddities
+        return False
+    return True
+
+
+class WorkerRegistry:
+    """File-backed directory of the live workers of one service.
+
+    One ``worker-<id>.json`` per worker, written atomically by the
+    worker itself at boot (and rewritten on respawn).  Readers get a
+    dict of live entries; results are cached for ``ttl`` seconds so
+    per-request routing does not hammer the filesystem.
+    """
+
+    def __init__(self, directory: str, ttl: float = 0.25):
+        self.directory = Path(directory)
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._cached: Dict[int, Dict[str, Any]] = {}
+        self._read_at = -1.0
+
+    def _path(self, worker_id: int) -> Path:
+        return self.directory / f"worker-{worker_id}.json"
+
+    def write(self, worker_id: int, entry: Dict[str, Any]) -> None:
+        """Atomically publish ``entry`` for ``worker_id``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        staging = self._path(worker_id).with_suffix(
+            f".tmp{os.getpid()}")
+        staging.write_text(json.dumps(entry, sort_keys=True))
+        staging.replace(self._path(worker_id))
+
+    def remove(self, worker_id: int) -> None:
+        """Drop ``worker_id``'s entry (idempotent)."""
+        try:
+            self._path(worker_id).unlink()
+        except OSError:
+            pass
+
+    def entries(self, refresh: bool = False
+                ) -> Dict[int, Dict[str, Any]]:
+        """Live entries by worker id (dead pids filtered out)."""
+        now = time.monotonic()
+        with self._lock:
+            if not refresh and now - self._read_at < self.ttl:
+                return dict(self._cached)
+        fresh: Dict[int, Dict[str, Any]] = {}
+        try:
+            paths = sorted(self.directory.glob("worker-*.json"))
+        except OSError:
+            paths = []
+        for path in paths:
+            try:
+                entry = json.loads(path.read_text())
+                worker_id = int(entry["worker"])
+                pid = int(entry["pid"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # torn write or foreign file: skip
+            if pid_alive(pid):
+                fresh[worker_id] = entry
+        with self._lock:
+            self._cached = fresh
+            self._read_at = now
+        return dict(fresh)
+
+
+class AffinityRouter:
+    """Decides whether a request should bounce to a warmer worker."""
+
+    def __init__(self, worker_id: int, registry: WorkerRegistry,
+                 enabled: bool = True):
+        self.worker_id = worker_id
+        self.registry = registry
+        self.enabled = enabled
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _device_spec(path: str, payload: Any) -> Optional[Any]:
+        """The request's routing device payload, or ``None``.
+
+        ``/evaluate`` routes on its first device; ``/sweep`` routes on
+        the sweep's (possibly defaulted) base device for the kinds
+        that have one.  Kinds without a device (``trends``) and
+        malformed payloads return ``None`` — no routing.
+        """
+        if not isinstance(payload, dict):
+            return None
+        if path == "/evaluate":
+            devices = payload.get("devices")
+            if isinstance(devices, list) and devices:
+                return devices[0]
+            return payload.get("device")
+        if path == "/sweep":
+            if payload.get("kind") in ("sensitivity", "corners",
+                                       "schemes"):
+                return payload.get("device", {})
+        return None
+
+    def redirect_for(self, path: str, payload: Any,
+                     headers: Any) -> Optional[str]:
+        """The ``Location`` to redirect to, or ``None`` to serve here.
+
+        Never raises: a payload the model layer would reject is left
+        for the normal handler to diagnose, and any registry problem
+        degrades to local service.
+        """
+        if not self.enabled:
+            return None
+        if headers.get(ROUTED_HEADER) is not None:
+            return None  # terminal hop
+        spec = self._device_spec(path, payload)
+        if spec is None:
+            return None
+        try:
+            from ..engine import fingerprint
+            from .jsonapi import device_from_payload
+            key = fingerprint(device_from_payload(spec))
+            live = self.registry.entries()
+            target = preferred_worker(key, live.keys())
+            if target is None or target == self.worker_id:
+                return None
+            entry = live[target]
+            host = entry.get("direct_host", "127.0.0.1")
+            return f"http://{host}:{entry['direct_port']}{path}"
+        except Exception:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Cluster-wide /stats aggregation helpers.
+# ----------------------------------------------------------------------
+def fetch_worker_stats(url: str, api_key: Optional[str] = None,
+                       timeout: float = 2.0) -> Dict[str, Any]:
+    """One sibling worker's local ``/stats`` payload (may raise)."""
+    headers = {"Accept": "application/json"}
+    if api_key is not None:
+        headers[API_KEY_HEADER] = api_key
+    request = urllib.request.Request(url, headers=headers)
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return json.loads(reply.read().decode("utf-8"))
+
+
+def sum_counter_dicts(payloads: Iterable[Dict[str, Any]],
+                      keys: Iterable[str]) -> Dict[str, Any]:
+    """Key-wise integer sums over ``payloads`` (missing keys are 0)."""
+    totals = {key: 0 for key in keys}
+    for payload in payloads:
+        for key in totals:
+            value = payload.get(key, 0)
+            if isinstance(value, (int, float)):
+                totals[key] += value
+    return totals
+
+
+def merge_request_counts(payloads: Iterable[Dict[str, int]]
+                         ) -> Dict[str, int]:
+    """Per-path request-count sums across worker payloads."""
+    merged: Dict[str, int] = {}
+    for counts in payloads:
+        for path, value in counts.items():
+            merged[path] = merged.get(path, 0) + int(value)
+    return merged
+
+
+#: Admission counters that sum meaningfully across workers.
+ADMISSION_SUM_KEYS = ("capacity", "queue_limit", "in_flight", "queued",
+                      "admitted", "shed_busy", "shed_timeout",
+                      "shed_draining", "shed_total")
+
+#: Result-cache counters that sum meaningfully across workers.
+RESULT_CACHE_SUM_KEYS = ("hits", "misses", "size", "capacity")
+
+
+def merge_admission(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Cluster view of the admission counters: sums plus drain flag."""
+    merged = sum_counter_dicts(payloads, ADMISSION_SUM_KEYS)
+    merged["draining"] = any(payload.get("draining")
+                             for payload in payloads)
+    return merged

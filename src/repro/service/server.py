@@ -9,9 +9,30 @@ Lifecycle: :func:`create_service` binds the socket (port ``0`` picks
 an ephemeral port — tests use this); :meth:`EvaluationService.run`
 serves until SIGTERM/SIGINT, then *drains*: queued requests are
 rejected (503), admitted requests finish (handler threads are
-non-daemon and joined on close) before the process exits.  Embedders
-that cannot give up the main thread call
+non-daemon and joined on close) while idle keep-alive connections are
+closed so the join cannot hang on a silent peer.  Embedders that
+cannot give up the main thread call
 :meth:`serve_forever`/:meth:`shutdown` directly.
+
+The protocol is HTTP/1.1 with persistent connections: every response
+carries an exact ``Content-Length`` (or chunked framing for streams),
+large JSON bodies are gzip-compressed when the client advertises
+``Accept-Encoding: gzip``, and a POST that failed before its body was
+consumed closes the connection rather than desynchronise the next
+request on it.  ``{"stream": true}`` in an ``/evaluate`` or ``/sweep``
+body switches the response to chunked NDJSON records
+(:mod:`repro.service.streaming`), one per finished device or sweep
+row, so long batches deliver results as they complete.
+
+Scale-out hooks (used by :mod:`repro.service.prefork`): a pre-bound
+``listen_socket`` (``SO_REUSEPORT``) can replace the usual bind; a
+second *direct* server per worker can share the first's warm state
+via ``shared_with``; a :class:`~repro.service.routing.WorkerRegistry`
+plus :class:`~repro.service.routing.AffinityRouter` redirect requests
+(``307``) to the worker whose caches are warm for the device; and
+``GET /stats?scope=cluster`` scatter-gathers every live worker's
+counters into one fleet view.  Optional API-key auth
+(:mod:`repro.service.auth`) guards everything but ``/healthz``.
 
 Resilience (see :mod:`repro.service.admission`): POST endpoints pass
 through an :class:`~repro.service.admission.AdmissionController` — a
@@ -34,6 +55,8 @@ model-layer error never terminates the daemon.
 
 from __future__ import annotations
 
+import dataclasses
+import gzip as gzip_module
 import json
 import logging
 import signal
@@ -42,18 +65,25 @@ import struct
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
-from urllib.parse import urlsplit
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
-from ..engine import EvaluationSession
+from ..engine import EngineStats, EvaluationSession, merge_stats
 from ..engine.cache import DEFAULT_CAPACITY
 from ..errors import ReproError, ServiceError
 from .admission import (AdmissionController, AdmissionShed, Deadline,
                         DeadlineExceeded, DeadlineSession,
                         ServiceLimits)
+from .auth import API_KEY_HEADER, ApiKeyAuth
 from .faults import FaultInjector, InjectedFault
 from .jsonapi import ResultCache, evaluate_payload, sweep_payload
 from .jsonapi import stats_payload as engine_stats_payload
+from .routing import (RESULT_CACHE_SUM_KEYS, WORKER_HEADER,
+                      AffinityRouter, WorkerRegistry,
+                      fetch_worker_stats, merge_admission,
+                      merge_request_counts, sum_counter_dicts)
+from .streaming import (STREAM_CONTENT_TYPE, evaluate_stream,
+                        sweep_stream, wants_stream)
 
 _LOG = logging.getLogger("repro.service")
 
@@ -64,15 +94,135 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Per-request deadline override header (seconds, e.g. ``0.5``).
 TIMEOUT_HEADER = "X-Request-Timeout"
 
+#: Smallest JSON body worth gzip-compressing; tiny replies cost more
+#: in header overhead than the compression saves.
+GZIP_MIN_BYTES = 2048
+
+#: Top-level service counters that sum meaningfully across workers.
+SERVICE_SUM_KEYS = ("requests_total", "errors", "timeouts",
+                    "redirects", "streams", "stream_aborts",
+                    "gzipped", "auth_failures")
+
+
+class ServiceCounters:
+    """Lock-guarded request tallies, shareable between twin servers.
+
+    A pre-fork worker runs two :class:`EvaluationService` instances
+    (shared port + private direct port) over one warm session; both
+    must tally into the *same* counters for ``/stats`` to add up, so
+    the counters live in this aliasable object rather than as plain
+    integer attributes of either server.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.request_counts: Dict[str, int] = {}
+        self.error_count = 0
+        self.timeout_count = 0
+        self.redirects = 0
+        self.streams = 0
+        self.stream_aborts = 0
+        self.gzipped = 0
+        self.auth_failures = 0
+
+    def count_request(self, path: str, status: int) -> None:
+        """Tally one answered request (any status) per endpoint."""
+        with self._lock:
+            self.request_counts[path] = \
+                self.request_counts.get(path, 0) + 1
+            if status >= 400:
+                self.error_count += 1
+
+    def count_timeout(self) -> None:
+        """Tally one request aborted on its deadline (504)."""
+        with self._lock:
+            self.timeout_count += 1
+
+    def count_redirect(self) -> None:
+        """Tally one affinity ``307`` (not a served request)."""
+        with self._lock:
+            self.redirects += 1
+
+    def count_stream(self) -> None:
+        with self._lock:
+            self.streams += 1
+
+    def count_stream_abort(self) -> None:
+        """Tally one stream cut short by the client disconnecting."""
+        with self._lock:
+            self.stream_aborts += 1
+
+    def count_gzip(self) -> None:
+        with self._lock:
+            self.gzipped += 1
+
+    def count_auth_failure(self) -> None:
+        with self._lock:
+            self.auth_failures += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All tallies at once, under one lock acquisition."""
+        with self._lock:
+            return {
+                "requests": dict(self.request_counts),
+                "errors": self.error_count,
+                "timeouts": self.timeout_count,
+                "redirects": self.redirects,
+                "streams": self.streams,
+                "stream_aborts": self.stream_aborts,
+                "gzipped": self.gzipped,
+                "auth_failures": self.auth_failures,
+            }
+
 
 class ServiceHandler(BaseHTTPRequestHandler):
     """Routes the four endpoints onto the server's shared session."""
 
-    server_version = "repro-service/1.1"
+    server_version = "repro-service/1.2"
+    protocol_version = "HTTP/1.1"
+
+    #: Socket timeout: an idle keep-alive connection is dropped after
+    #: this many silent seconds (also bounds half-sent requests).
+    timeout = 30.0
+
+    #: TCP_NODELAY: headers and body are separate writes, and on a
+    #: reused keep-alive connection Nagle would hold the body until
+    #: the peer's delayed ACK (~40 ms per warm request).  Streaming
+    #: chunks need immediate flushes for the same reason.
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle: the server tracks live handlers so a
+    # drain can close *idle* keep-alive connections instead of
+    # waiting out their socket timeout in the non-daemon join.
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        super().setup()
+        self.busy = False
+        self.server.track_handler(self)
+
+    def finish(self) -> None:
+        self.server.forget_handler(self)
+        super().finish()
+
+    def handle_one_request(self) -> None:
+        if self.server.draining:
+            self.close_connection = True
+            return
+        try:
+            super().handle_one_request()
+        finally:
+            self.busy = False
+        if self.server.draining:
+            self.close_connection = True
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
-        path = urlsplit(self.path).path
+        self.busy = True
+        parts = urlsplit(self.path)
+        path = parts.path
+        if not self._authorized(path):
+            return
         try:
             if self.server.faults.before_request(path) == "reset":
                 self._abort_connection()
@@ -80,14 +230,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
             if path == "/healthz":
                 self._reply(200, self.server.health_payload())
             elif path == "/stats":
-                self._reply(200, self.server.stats_payload())
+                query = parse_qs(parts.query)
+                scope = query.get("scope", ["local"])[-1]
+                if scope == "cluster":
+                    body = self.server.cluster_stats_payload()
+                else:
+                    body = self.server.stats_payload()
+                self._reply(200, body)
             else:
                 self._reply(404, {"error": f"unknown path {path!r}"})
         except InjectedFault as exc:
             self._reply(exc.status or 500, {"error": str(exc)})
 
     def do_POST(self) -> None:
+        self.busy = True
         path = urlsplit(self.path).path
+        if not self._authorized(path):
+            return
         if path not in ("/evaluate", "/sweep"):
             self._reply(404, {"error": f"unknown path {path!r}"})
             return
@@ -113,6 +272,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self._abort_connection()
                     return
                 payload = self._read_json()
+                location = server.affinity_redirect(
+                    path, payload, self.headers)
+                if location is not None:
+                    self._redirect(location)
+                    return
                 session: EvaluationSession = server.session
                 if deadline is not None:
                     # A budget blown before evaluation even starts
@@ -120,6 +284,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     # when the answer would be memoized.
                     deadline.check()
                     session = DeadlineSession(session, deadline)
+                if wants_stream(payload):
+                    if self.request_version == "HTTP/1.0":
+                        raise ServiceError(
+                            "streaming requires an HTTP/1.1 client")
+                    if path == "/evaluate":
+                        records = evaluate_stream(session, payload)
+                    else:
+                        records = sweep_stream(session, payload)
+                    self._stream_reply(path, records)
+                    return
                 if path == "/evaluate":
                     body = evaluate_payload(
                         session, payload, cache=server.result_cache)
@@ -142,6 +316,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._reply(200, body)
 
     # ------------------------------------------------------------------
+    def _authorized(self, path: str) -> bool:
+        """Check the API key; reply ``401`` (and ``False``) if bad.
+
+        ``/healthz`` stays open so liveness probes need no secret.
+        The refusal closes the connection: a POST body may still be
+        sitting unread on the socket, which would desynchronise the
+        next request of a keep-alive connection.
+        """
+        auth = self.server.auth
+        if auth is None or path == "/healthz":
+            return True
+        if auth.check(self.headers.get(API_KEY_HEADER)):
+            return True
+        self.server.counters.count_auth_failure()
+        self.close_connection = True
+        self._reply(401, {"error": "missing or invalid API key"})
+        return False
+
     def _request_deadline(self) -> Optional[Deadline]:
         """The request's deadline: header override, server default,
         or ``None`` when timeouts are disabled."""
@@ -203,26 +395,99 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServiceError(f"invalid JSON body: {exc}") from exc
 
+    def _accepts_gzip(self) -> bool:
+        accept = self.headers.get("Accept-Encoding", "")
+        return "gzip" in accept.lower()
+
     def _reply(self, status: int, payload: Dict[str, Any],
                retry_after: Optional[float] = None) -> None:
+        server = self.server
         # Tally before the body goes out: a client that sees this
         # response and immediately asks /stats must find the request
         # already counted.
-        self.server.count_request(urlsplit(self.path).path, status)
+        server.count_request(urlsplit(self.path).path, status)
         blob = json.dumps(payload).encode("utf-8")
+        encoding = None
+        if (len(blob) >= server.gzip_min_bytes
+                and self._accepts_gzip()):
+            # mtime=0 keeps the compressed bytes deterministic, so
+            # equal answers from different workers stay bit-identical.
+            blob = gzip_module.compress(blob, mtime=0)
+            encoding = "gzip"
+            server.counters.count_gzip()
+        if status >= 400 and self.command == "POST":
+            # The request body may not have been consumed (shed, 401,
+            # oversized post): reusing this connection would read the
+            # leftover body as the next request line.
+            self.close_connection = True
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        if encoding is not None:
+            self.send_header("Content-Encoding", encoding)
+            self.send_header("Vary", "Accept-Encoding")
         if retry_after is not None:
             # RFC 7231 wants integral delay-seconds; round up so the
             # hint never understates the wait.
             self.send_header("Retry-After",
                              str(max(0, int(retry_after + 0.999))))
+        self.send_header(WORKER_HEADER, str(server.worker_id))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         try:
             self.wfile.write(blob)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing left to tell it
+
+    def _redirect(self, location: str) -> None:
+        """``307`` to the preferred worker (affinity routing).
+
+        Counted as a redirect, not as a served request: the target
+        worker tallies the request when it answers it.
+        """
+        server = self.server
+        server.counters.count_redirect()
+        blob = json.dumps({"redirect": location}).encode("utf-8")
+        self.send_response(307)
+        self.send_header("Location", location)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.send_header(WORKER_HEADER, str(server.worker_id))
+        self.end_headers()
+        try:
+            self.wfile.write(blob)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _stream_reply(self, path: str, records: Any) -> None:
+        """Send NDJSON records as they arrive, chunk-framed.
+
+        Each record is one chunk, flushed immediately, so the client
+        sees the first result while the rest of the batch is still
+        evaluating.  A client that disconnects mid-stream just ends
+        the stream (tallied in ``stream_aborts``).
+        """
+        server = self.server
+        server.counters.count_stream()
+        server.count_request(path, 200)
+        self.send_response(200)
+        self.send_header("Content-Type", STREAM_CONTENT_TYPE)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header(WORKER_HEADER, str(server.worker_id))
+        self.end_headers()
+        try:
+            for record in records:
+                blob = json.dumps(record).encode("utf-8") + b"\n"
+                self._write_chunk(blob)
+            self._write_chunk(b"")  # terminal zero-length chunk
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            server.counters.count_stream_abort()
+            self.close_connection = True
+
+    def _write_chunk(self, blob: bytes) -> None:
+        self.wfile.write(b"%x\r\n" % len(blob) + blob + b"\r\n")
+        self.wfile.flush()
 
     def _abort_connection(self) -> None:
         """Drop the connection without a response (injected reset)."""
@@ -254,8 +519,49 @@ class EvaluationService(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int] = ("127.0.0.1", 8080),
                  capacity: int = DEFAULT_CAPACITY,
                  cache_dir: Optional[str] = None,
-                 limits: Optional[ServiceLimits] = None):
-        super().__init__(address, ServiceHandler)
+                 limits: Optional[ServiceLimits] = None,
+                 auth: Optional[ApiKeyAuth] = None,
+                 worker_id: int = 0,
+                 registry: Optional[WorkerRegistry] = None,
+                 affinity: bool = True,
+                 listen_socket: Optional[socket.socket] = None,
+                 shared_with: Optional["EvaluationService"] = None,
+                 gzip_min_bytes: int = GZIP_MIN_BYTES):
+        if listen_socket is None:
+            super().__init__(address, ServiceHandler)
+        else:
+            # A pre-bound socket (SO_REUSEPORT sibling or inherited
+            # from the pre-fork supervisor) replaces the usual bind.
+            super().__init__(address, ServiceHandler,
+                             bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            self.server_name = socket.getfqdn(self.server_address[0])
+            self.server_port = self.server_address[1]
+            self.server_activate()
+        self.auth = auth
+        self.worker_id = worker_id
+        self.registry = registry
+        self.gzip_min_bytes = gzip_min_bytes
+        self.router = (AffinityRouter(worker_id, registry,
+                                      enabled=affinity)
+                       if registry is not None else None)
+        self.draining = False
+        self._handlers_lock = threading.Lock()
+        self._handlers: set = set()
+        if shared_with is not None:
+            # The direct twin of a pre-fork worker: same warm state,
+            # same counters, different socket.
+            self.session = shared_with.session
+            self.limits = shared_with.limits
+            self.admission = shared_with.admission
+            self.result_cache = shared_with.result_cache
+            self.faults = shared_with.faults
+            self.counters = shared_with.counters
+            self.started_monotonic = shared_with.started_monotonic
+            self.started_unix = shared_with.started_unix
+            return
         self.session = EvaluationSession(capacity=capacity,
                                          cache_dir=cache_dir)
         self.limits = limits if limits is not None else ServiceLimits()
@@ -265,50 +571,66 @@ class EvaluationService(ThreadingHTTPServer):
             queue_timeout=self.limits.queue_timeout)
         self.result_cache = ResultCache(self.limits.result_cache)
         self.faults = FaultInjector.from_env()
+        self.counters = ServiceCounters()
         self.started_monotonic = time.monotonic()
         self.started_unix = time.time()
-        self._counts_lock = threading.Lock()
-        self.request_counts: Dict[str, int] = {}
-        self.error_count = 0
-        self.timeout_count = 0
 
     # ------------------------------------------------------------------
     def count_request(self, path: str, status: int) -> None:
         """Tally one answered request (any status) per endpoint."""
-        with self._counts_lock:
-            self.request_counts[path] = \
-                self.request_counts.get(path, 0) + 1
-            if status >= 400:
-                self.error_count += 1
+        self.counters.count_request(path, status)
 
     def count_timeout(self) -> None:
         """Tally one request aborted on its deadline (504)."""
-        with self._counts_lock:
-            self.timeout_count += 1
+        self.counters.count_timeout()
+
+    @property
+    def request_counts(self) -> Dict[str, int]:
+        return self.counters.request_counts
+
+    @property
+    def error_count(self) -> int:
+        return self.counters.error_count
+
+    @property
+    def timeout_count(self) -> int:
+        return self.counters.timeout_count
 
     @property
     def uptime_seconds(self) -> float:
         return time.monotonic() - self.started_monotonic
 
+    def affinity_redirect(self, path: str, payload: Any,
+                          headers: Any) -> Optional[str]:
+        """Where to bounce this request, or ``None`` to serve here."""
+        if self.router is None:
+            return None
+        return self.router.redirect_for(path, payload, headers)
+
     def health_payload(self) -> Dict[str, Any]:
         return {"status": "ok",
-                "uptime_seconds": self.uptime_seconds}
+                "uptime_seconds": self.uptime_seconds,
+                "worker": self.worker_id}
 
     def stats_payload(self) -> Dict[str, Any]:
         """``GET /stats``: engine counters + service bookkeeping."""
         body = engine_stats_payload(self.session)
-        with self._counts_lock:
-            counts = dict(self.request_counts)
-            errors = self.error_count
-            timeouts = self.timeout_count
+        tallies = self.counters.snapshot()
         body.update({
             "status": "ok",
+            "scope": "local",
+            "worker": self.worker_id,
             "uptime_seconds": self.uptime_seconds,
             "started_unix": self.started_unix,
-            "requests": counts,
-            "requests_total": sum(counts.values()),
-            "errors": errors,
-            "timeouts": timeouts,
+            "requests": tallies["requests"],
+            "requests_total": sum(tallies["requests"].values()),
+            "errors": tallies["errors"],
+            "timeouts": tallies["timeouts"],
+            "redirects": tallies["redirects"],
+            "streams": tallies["streams"],
+            "stream_aborts": tallies["stream_aborts"],
+            "gzipped": tallies["gzipped"],
+            "auth_failures": tallies["auth_failures"],
             "admission": self.admission.snapshot(),
             "result_cache": self.result_cache.snapshot(),
         })
@@ -316,16 +638,107 @@ class EvaluationService(ThreadingHTTPServer):
             body["faults"] = self.faults.snapshot()
         return body
 
+    def cluster_stats_payload(self) -> Dict[str, Any]:
+        """``GET /stats?scope=cluster``: every live worker, merged.
+
+        The answering worker fetches each registered sibling's local
+        ``/stats`` over its direct port and sums what sums: engine
+        counters merge through
+        :func:`~repro.engine.cache.merge_stats` (fleet capacity is
+        the sum of per-worker capacities), admission and result-cache
+        counters add key-wise, per-path request counts add path-wise.
+        Unreachable siblings are reported, not fatal.
+        """
+        local = self.stats_payload()
+        if self.registry is None:
+            body = dict(local)
+            body["scope"] = "cluster"
+            body["workers"] = [self.worker_id]
+            body["workers_unreachable"] = []
+            return body
+        payloads: Dict[int, Dict[str, Any]] = {self.worker_id: local}
+        unreachable: List[int] = []
+        key = self.auth.any_key() if self.auth is not None else None
+        for wid, entry in sorted(
+                self.registry.entries(refresh=True).items()):
+            if wid == self.worker_id:
+                continue
+            host = entry.get("direct_host", "127.0.0.1")
+            url = f"http://{host}:{entry['direct_port']}/stats"
+            try:
+                payloads[wid] = fetch_worker_stats(url, api_key=key)
+            except Exception:
+                unreachable.append(wid)
+        ordered = [payloads[wid] for wid in sorted(payloads)]
+        stats_list = [EngineStats.from_dict(body.get("engine", {}))
+                      for body in ordered]
+        merged = stats_list[0]
+        for extra in stats_list[1:]:
+            merged = merge_stats(merged, extra)
+        merged = dataclasses.replace(
+            merged,
+            capacity=sum(stats.capacity for stats in stats_list))
+        engine: Dict[str, Any] = dataclasses.asdict(merged)
+        engine["hit_rate"] = merged.hit_rate
+        engine["lookups"] = merged.lookups
+        engine["stage_hit_rate"] = merged.stage_hit_rate
+        engine["stage_lookups"] = merged.stage_lookups
+        body = {
+            "status": "ok",
+            "scope": "cluster",
+            "worker": self.worker_id,
+            "workers": sorted(payloads),
+            "workers_unreachable": unreachable,
+            "uptime_seconds": self.uptime_seconds,
+            "engine": engine,
+            "requests": merge_request_counts(
+                [b.get("requests", {}) for b in ordered]),
+            "admission": merge_admission(
+                [b.get("admission", {}) for b in ordered]),
+            "result_cache": sum_counter_dicts(
+                [b.get("result_cache", {}) for b in ordered],
+                RESULT_CACHE_SUM_KEYS),
+        }
+        body.update(sum_counter_dicts(ordered, SERVICE_SUM_KEYS))
+        return body
+
+    # ------------------------------------------------------------------
+    # Handler tracking: lets a drain close idle keep-alive
+    # connections instead of waiting out their socket timeout.
+    # ------------------------------------------------------------------
+    def track_handler(self, handler: ServiceHandler) -> None:
+        with self._handlers_lock:
+            self._handlers.add(handler)
+
+    def forget_handler(self, handler: ServiceHandler) -> None:
+        with self._handlers_lock:
+            self._handlers.discard(handler)
+
+    def _close_idle_connections(self) -> None:
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            if getattr(handler, "busy", False):
+                continue  # mid-request: let it finish and drain
+            try:
+                handler.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
         """Stop serving: reject queued work, let admitted work finish.
 
         Draining *before* the serve loop stops means requests waiting
         for an in-flight slot get an orderly 503 + ``Retry-After``
-        instead of a dead socket.
+        instead of a dead socket.  Idle persistent connections are
+        then unblocked so the non-daemon handler join in
+        ``server_close`` cannot hang on a silent keep-alive peer.
         """
         self.admission.begin_drain()
+        self.draining = True
         super().shutdown()
+        self._close_idle_connections()
 
     def request_shutdown(self) -> None:
         """Stop the serve loop; safe to call from any thread.
@@ -367,7 +780,12 @@ class EvaluationService(ThreadingHTTPServer):
 def create_service(host: str = "127.0.0.1", port: int = 8080,
                    capacity: int = DEFAULT_CAPACITY,
                    cache_dir: Optional[str] = None,
-                   limits: Optional[ServiceLimits] = None
+                   limits: Optional[ServiceLimits] = None,
+                   auth: Optional[ApiKeyAuth] = None,
+                   worker_id: int = 0,
+                   registry: Optional[WorkerRegistry] = None,
+                   affinity: bool = True,
+                   listen_socket: Optional[socket.socket] = None
                    ) -> EvaluationService:
     """A bound, not-yet-serving service (``port=0`` = ephemeral).
 
@@ -376,6 +794,13 @@ def create_service(host: str = "127.0.0.1", port: int = 8080,
     tests and embedders.  ``service.server_port`` holds the bound
     port either way.  ``limits`` bounds concurrency, queueing and
     per-request time (:class:`~repro.service.admission.ServiceLimits`).
+    The scale-out parameters (``auth``, ``worker_id``, ``registry``,
+    ``affinity``, ``listen_socket``) are wired by
+    :mod:`repro.service.prefork`; single-process embedders can ignore
+    them.
     """
     return EvaluationService((host, port), capacity=capacity,
-                             cache_dir=cache_dir, limits=limits)
+                             cache_dir=cache_dir, limits=limits,
+                             auth=auth, worker_id=worker_id,
+                             registry=registry, affinity=affinity,
+                             listen_socket=listen_socket)

@@ -11,7 +11,8 @@ from repro.analysis.trends import generation_trend
 from repro.core.idd import idd7_mixed
 from repro.engine import EvaluationSession, resolve_backend
 from repro.engine.cache import EngineStats
-from repro.engine.executor import _add_stats, default_jobs, shard
+from repro.engine.cache import merge_stats
+from repro.engine.executor import default_jobs, shard
 from repro.errors import ModelError
 from repro.schemes import compare_schemes
 from repro.service.faults import power_kill_always, power_kill_once
@@ -196,7 +197,7 @@ class TestWorkerStatsMerge:
                             capacity=8, build_seconds=0.5,
                             disk_misses=5, disk_writes=5,
                             disk_corrupt=1)
-        merged = _add_stats(left, right)
+        merged = merge_stats(left, right)
         assert merged.size == 5
 
     def test_counters_still_sum(self):
@@ -207,7 +208,7 @@ class TestWorkerStatsMerge:
                             capacity=8, build_seconds=0.5,
                             disk_misses=5, disk_writes=5,
                             disk_corrupt=1)
-        merged = _add_stats(left, right)
+        merged = merge_stats(left, right)
         assert merged.hits == 3
         assert merged.misses == 8
         assert merged.evictions == 1

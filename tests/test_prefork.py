@@ -1,0 +1,338 @@
+"""Pre-fork tier: routing units, registry, twin servers, live fleet."""
+
+import dataclasses
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.client import ServiceClient
+from repro.engine import EvaluationSession, fingerprint
+from repro.engine.cache import EngineStats, merge_stats
+from repro.service import EvaluationService, create_service
+from repro.service.jsonapi import (device_from_payload,
+                                   evaluate_payload)
+from repro.service.routing import (ROUTED_HEADER, WorkerRegistry,
+                                   merge_admission,
+                                   merge_request_counts, pid_alive,
+                                   preferred_worker,
+                                   sum_counter_dicts)
+
+
+# ----------------------------------------------------------------------
+# Rendezvous hashing.
+# ----------------------------------------------------------------------
+class TestPreferredWorker:
+    def test_deterministic(self):
+        picks = {preferred_worker("some-key", [0, 1, 2, 3])
+                 for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_empty_worker_set(self):
+        assert preferred_worker("key", []) is None
+
+    def test_spreads_keys(self):
+        owners = {preferred_worker(f"key-{i}", [0, 1, 2])
+                  for i in range(200)}
+        assert owners == {0, 1, 2}
+
+    def test_removal_only_moves_dead_workers_keys(self):
+        keys = [f"key-{i}" for i in range(300)]
+        before = {key: preferred_worker(key, [0, 1, 2])
+                  for key in keys}
+        after = {key: preferred_worker(key, [0, 2]) for key in keys}
+        for key in keys:
+            if before[key] != 1:
+                assert after[key] == before[key]
+            else:
+                assert after[key] in (0, 2)
+
+
+# ----------------------------------------------------------------------
+# Worker registry.
+# ----------------------------------------------------------------------
+class TestWorkerRegistry:
+    def test_write_read_remove(self, tmp_path):
+        registry = WorkerRegistry(str(tmp_path), ttl=0.0)
+        entry = {"worker": 0, "pid": os.getpid(),
+                 "direct_host": "127.0.0.1", "direct_port": 12345}
+        registry.write(0, entry)
+        assert registry.entries() == {0: entry}
+        registry.remove(0)
+        registry.remove(0)  # idempotent
+        assert registry.entries(refresh=True) == {}
+
+    def test_corrupt_and_foreign_files_skipped(self, tmp_path):
+        registry = WorkerRegistry(str(tmp_path), ttl=0.0)
+        registry.write(0, {"worker": 0, "pid": os.getpid()})
+        (tmp_path / "worker-1.json").write_text("{torn write")
+        (tmp_path / "worker-2.json").write_text(
+            json.dumps({"pid": os.getpid()}))  # no worker id
+        assert sorted(registry.entries()) == [0]
+
+    def test_dead_pid_filtered(self, tmp_path):
+        probe = subprocess.Popen(["true"])
+        probe.wait()
+        assert not pid_alive(probe.pid)
+        registry = WorkerRegistry(str(tmp_path), ttl=0.0)
+        registry.write(0, {"worker": 0, "pid": os.getpid()})
+        registry.write(1, {"worker": 1, "pid": probe.pid})
+        assert sorted(registry.entries()) == [0]
+
+    def test_ttl_caches_reads(self, tmp_path):
+        registry = WorkerRegistry(str(tmp_path), ttl=60.0)
+        registry.write(0, {"worker": 0, "pid": os.getpid()})
+        assert sorted(registry.entries()) == [0]
+        registry.write(1, {"worker": 1, "pid": os.getpid()})
+        assert sorted(registry.entries()) == [0]  # cached view
+        assert sorted(registry.entries(refresh=True)) == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Stats merge helpers.
+# ----------------------------------------------------------------------
+class TestStatsMerging:
+    def test_sum_counter_dicts(self):
+        totals = sum_counter_dicts(
+            [{"a": 1, "b": 2}, {"a": 3, "b": "bad"}], ("a", "b"))
+        assert totals == {"a": 4, "b": 2}
+
+    def test_merge_request_counts(self):
+        merged = merge_request_counts(
+            [{"/evaluate": 2}, {"/evaluate": 1, "/sweep": 4}])
+        assert merged == {"/evaluate": 3, "/sweep": 4}
+
+    def test_merge_admission_drain_flag(self):
+        merged = merge_admission(
+            [{"capacity": 8, "draining": False},
+             {"capacity": 8, "draining": True}])
+        assert merged["capacity"] == 16
+        assert merged["draining"] is True
+
+    def test_engine_stats_round_trip_and_merge(self):
+        left = EngineStats(hits=3, misses=1, evictions=0, size=2,
+                           capacity=8, build_seconds=0.5)
+        right = EngineStats(hits=1, misses=2, evictions=0, size=3,
+                            capacity=8, build_seconds=0.25)
+        assert EngineStats.from_dict(
+            dataclasses.asdict(left)) == left
+        merged = merge_stats(left, right)
+        assert merged.hits == 4 and merged.misses == 3
+        assert merged.capacity == left.capacity
+
+
+# ----------------------------------------------------------------------
+# Twin servers sharing one warm state.
+# ----------------------------------------------------------------------
+def test_shared_with_aliases_state():
+    primary = create_service(host="127.0.0.1", port=0)
+    direct = EvaluationService(("127.0.0.1", 0), affinity=False,
+                               shared_with=primary)
+    assert direct.session is primary.session
+    assert direct.counters is primary.counters
+    assert direct.result_cache is primary.result_cache
+    threads = [threading.Thread(target=svc.serve_forever,
+                                daemon=True)
+               for svc in (primary, direct)]
+    for thread in threads:
+        thread.start()
+    try:
+        via_direct = ServiceClient(
+            f"http://127.0.0.1:{direct.server_port}")
+        via_direct.evaluate(device={"node": 44})
+        stats = ServiceClient(
+            f"http://127.0.0.1:{primary.server_port}").stats()
+        # The request entered through the direct port but shows up in
+        # the primary's books because the counters are one object.
+        assert stats["requests"]["/evaluate"] == 1
+        assert stats["engine"]["misses"] >= 1
+    finally:
+        for svc in (direct, primary):
+            svc.shutdown()
+            svc.server_close()
+        for thread in threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Live two-worker fleet (subprocess, real CLI entry point).
+# ----------------------------------------------------------------------
+def _free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _fleet_env():
+    env = os.environ.copy()
+    root = Path(__file__).parent.parent
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    return env
+
+
+def _child_pids(pid):
+    children = Path(f"/proc/{pid}/task/{pid}/children")
+    try:
+        candidates = [int(part) for part in
+                      children.read_text().split()]
+    except (OSError, ValueError):
+        out = subprocess.run(
+            ["ps", "-o", "pid=", "--ppid", str(pid)],
+            capture_output=True, text=True)
+        candidates = [int(part) for part in out.stdout.split()]
+    workers = []
+    for child in candidates:
+        # The fork-server workers inherit the supervisor's cmdline;
+        # the shared-memory resource tracker does not mention repro.
+        try:
+            cmdline = Path(f"/proc/{child}/cmdline").read_bytes()
+        except OSError:
+            continue
+        if b"repro" in cmdline:
+            workers.append(child)
+    return workers
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    port = _free_port()
+    cache_dir = tmp_path_factory.mktemp("fleet-cache")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--workers", "2",
+         "--cache-dir", str(cache_dir)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=_fleet_env())
+    client = ServiceClient(f"http://127.0.0.1:{port}")
+    if not client.wait_until_ready(timeout=60):
+        process.kill()
+        out, _ = process.communicate(timeout=10)
+        pytest.fail(f"fleet never became ready:\n{out}")
+    yield SimpleNamespace(port=port, process=process, client=client)
+    process.send_signal(signal.SIGTERM)
+    out, _ = process.communicate(timeout=30)
+    assert process.returncode == 0, out
+    assert "repro service stopped" in out
+
+
+def _fleet_post(port, path, payload, routed=False, timeout=60):
+    """POST once, following at most one affinity redirect manually.
+
+    Returns ``(final_status, body_bytes, worker_id)``.
+    """
+    headers = {"Content-Type": "application/json"}
+    if routed:
+        headers[ROUTED_HEADER] = "1"
+    blob = json.dumps(payload)
+    conn = http.client.HTTPConnection("127.0.0.1", port,
+                                      timeout=timeout)
+    try:
+        conn.request("POST", path, body=blob, headers=headers)
+        response = conn.getresponse()
+        body = response.read()
+        if response.status in (307, 308) and not routed:
+            location = response.getheader("Location")
+            parts = location.split("/")[2]  # host:port
+            host, _, target_port = parts.partition(":")
+            hop = http.client.HTTPConnection(
+                host, int(target_port), timeout=timeout)
+            try:
+                hop.request("POST", path, body=blob,
+                            headers={**headers, ROUTED_HEADER: "1"})
+                response = hop.getresponse()
+                body = response.read()
+                return (response.status, body,
+                        response.getheader("X-Repro-Worker"))
+            finally:
+                hop.close()
+        return (response.status, body,
+                response.getheader("X-Repro-Worker"))
+    finally:
+        conn.close()
+
+
+class TestFleet:
+    def test_fleet_matches_single_process_bit_for_bit(self, fleet):
+        payloads = [{"device": {}},
+                    {"devices": [{"node": 44}, {"node": 55}]}]
+        session = EvaluationSession(capacity=16)
+        for payload in payloads:
+            replies = [_fleet_post(fleet.port, "/evaluate", payload)
+                       for _ in range(3)]
+            assert all(status == 200 for status, _, _ in replies)
+            bodies = {body for _, body, _ in replies}
+            assert len(bodies) == 1, \
+                "repeat responses were not byte-identical"
+            expected = evaluate_payload(session, payload)
+            assert json.loads(bodies.pop()) == expected
+
+    def test_affinity_pins_device_to_one_worker(self, fleet):
+        payload = {"device": {"node": 44}}
+        outcomes = [_fleet_post(fleet.port, "/evaluate", payload)
+                    for _ in range(6)]
+        workers = {worker for status, _, worker in outcomes
+                   if status == 200}
+        assert len(workers) == 1, \
+            f"device bounced between workers: {workers}"
+        # A request that already followed a hop is served in place.
+        status, _, _ = _fleet_post(fleet.port, "/evaluate", payload,
+                                   routed=True)
+        assert status == 200
+        # Sanity: the fingerprint the router uses is process-stable.
+        key = fingerprint(device_from_payload({"node": 44}))
+        assert preferred_worker(key, [0, 1]) is not None
+
+    def test_cluster_stats_aggregate_both_workers(self, fleet):
+        fleet.client.evaluate(device={})
+        stats = fleet.client.request("GET", "/stats?scope=cluster")
+        assert stats["scope"] == "cluster"
+        assert stats["workers"] == [0, 1]
+        assert stats["workers_unreachable"] == []
+        assert stats["admission"]["capacity"] == 16  # 2 x 8 slots
+        assert stats["requests_total"] >= 1
+        assert stats["requests"].get("/evaluate", 0) >= 1
+        # Both workers preseeded their stage cache from shared memory.
+        assert stats["engine"]["shm_loads"] == 2
+
+    def test_killed_worker_is_respawned(self, fleet):
+        workers = _child_pids(fleet.process.pid)
+        assert len(workers) == 2
+        victim = workers[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 30
+        respawned = False
+        while time.monotonic() < deadline:
+            # The fleet must stay available throughout; transient
+            # refusals on the dying worker's accept queue are the
+            # client's stale-connection problem, not an outage.
+            try:
+                assert fleet.client.healthz()["status"] == "ok"
+            except Exception:
+                pass
+            current = _child_pids(fleet.process.pid)
+            if len(current) == 2 and victim not in current:
+                respawned = True
+                break
+            time.sleep(0.1)
+        assert respawned, "supervisor never replaced the dead worker"
+        stats_deadline = time.monotonic() + 30
+        while time.monotonic() < stats_deadline:
+            stats = fleet.client.request(
+                "GET", "/stats?scope=cluster")
+            if stats["workers"] == [0, 1]:
+                break
+            time.sleep(0.2)
+        assert stats["workers"] == [0, 1]
+        assert fleet.client.evaluate(
+            device={})["results"][0]["power_w"] > 0
