@@ -1,0 +1,177 @@
+"""CI smoke check: streaming trace ingestion end to end.
+
+Generates a gzipped k6 trace of ~400k transactions (which open-page
+expansion grows past one million DRAM commands), then checks the two
+production paths against each other:
+
+* the library one-shot (``evaluate_trace_file``) runs under
+  ``tracemalloc`` and must stay inside a constant-memory envelope —
+  the whole point of the streaming fold is that trace length never
+  shows up in the footprint;
+* a real ``python -m repro serve`` subprocess receives the same file
+  as a gzipped chunked ``POST /trace`` upload and must reproduce the
+  library result bit for bit, emitting incremental snapshots along
+  the way.
+
+Throughput and footprint land in ``benchmarks/BENCH_trace.json``.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_trace.py``
+Exits non-zero on any failed expectation.
+"""
+
+import gzip
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro import DramPowerModel
+from repro.client import ServiceClient
+from repro.devices import build_device
+from repro.trace import evaluate_trace_file
+
+#: Transactions to generate; expansion yields ~3 commands each.
+TRANSACTIONS = 400_000
+
+#: Commands the expanded trace must at least reach.
+MIN_COMMANDS = 1_000_000
+
+#: Peak-memory envelope for the streaming fold (bytes).  A
+#: materializing evaluator would need hundreds of MB here.
+PEAK_BUDGET = 32 * 1024 * 1024
+
+SNAPSHOT_EVERY = 250_000
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _generate(path: Path) -> None:
+    """Write a deterministic pseudo-random k6 trace, gzipped."""
+    state = 0x2C011
+    with gzip.open(path, "wt") as handle:
+        for i in range(TRANSACTIONS):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            op = "P_MEM_WR" if state % 3 == 0 else "P_MEM_RD"
+            address = (state * 64) & 0xFFFFFFF
+            handle.write(f"0x{address:X} {op} {i * 16}\n")
+            if i % 50_000 == 49_999:
+                handle.write(f"0x0 REF {i * 16 + 8}\n")
+
+
+def _library_pass(path: Path):
+    """One-shot evaluation under tracemalloc; returns metrics."""
+    model = DramPowerModel(build_device(55))
+    tracemalloc.start()
+    started = time.perf_counter()
+    result = evaluate_trace_file(model, path)
+    elapsed = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def _service_pass(path: Path):
+    """Upload the file to a live service; returns (records, seconds)."""
+    port = _free_port()
+    root = Path(__file__).parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True)
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{port}",
+                               timeout=180.0)
+        if not client.wait_until_ready(timeout=30):
+            raise RuntimeError(f"service never came up on :{port}")
+        started = time.perf_counter()
+        records = list(client.trace_stream(
+            path, device={"node": 55},
+            snapshot_every=SNAPSHOT_EVERY))
+        elapsed = time.perf_counter() - started
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            process.communicate(timeout=30)
+    return records, elapsed
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "smoke.trc.gz"
+        _generate(path)
+        size_mb = path.stat().st_size / 1e6
+        print(f"generated {TRANSACTIONS} transactions "
+              f"({size_mb:.1f} MB gzipped)")
+
+        result, lib_seconds, peak = _library_pass(path)
+        commands = sum(result.counts.values())
+        rate = commands / lib_seconds / 1e6
+        print(f"library (traced): {commands} commands in "
+              f"{lib_seconds:.1f}s ({rate:.2f} Mcmd/s), "
+              f"peak {peak / 1e6:.1f} MB")
+        if commands < MIN_COMMANDS:
+            print(f"FAIL: expanded trace has only {commands} "
+                  f"commands (< {MIN_COMMANDS})")
+            return 1
+        if peak > PEAK_BUDGET:
+            print(f"FAIL: streaming fold peaked at {peak} bytes "
+                  f"(budget {PEAK_BUDGET})")
+            return 1
+
+        records, upload_seconds = _service_pass(path)
+        if not records or records[-1].get("done") is not True:
+            print(f"FAIL: upload stream ended without a done "
+                  f"record ({records[-1:]})")
+            return 1
+        snapshots = [r for r in records if "snapshot" in r]
+        if not snapshots:
+            print("FAIL: no incremental snapshots were streamed")
+            return 1
+        final = records[-1]["result"]
+        if final["energy_j"] != result.energy:
+            print(f"FAIL: uploaded energy {final['energy_j']!r} != "
+                  f"library {result.energy!r}")
+            return 1
+        expected_counts = {command.value: count
+                           for command, count in result.counts.items()}
+        if final["counts"] != expected_counts:
+            print(f"FAIL: count mismatch: {final['counts']} != "
+                  f"{expected_counts}")
+            return 1
+        print(f"service: parity OK, {len(snapshots)} snapshots, "
+              f"upload+evaluate {upload_seconds:.1f}s")
+
+    metrics_path = Path(__file__).parent / "BENCH_trace.json"
+    metrics = {
+        "trace.transactions": TRANSACTIONS,
+        "trace.commands": commands,
+        "trace.gzip_mb": round(size_mb, 2),
+        "trace.library.traced_mcmd_per_s": round(rate, 3),
+        "trace.library.peak_mb": round(peak / 1e6, 2),
+        "trace.upload.seconds": round(upload_seconds, 2),
+        "trace.upload.mcmd_per_s": round(
+            commands / upload_seconds / 1e6, 3),
+        "trace.upload.snapshots": len(snapshots),
+    }
+    metrics_path.write_text(
+        json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    print(f"OK: wrote {metrics_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,8 @@ Commands
 ``trends``       — the Figure 11/12/13 generation tables
 ``sensitivity``  — the Figure 10 Pareto for one device
 ``schemes``      — the Section V scheme comparison for one device
-``trace``        — trace-based power of a generated workload
+``trace``        — trace-based power of a generated workload or an
+external trace file (k6 / gem5-mase / NDJSON, gzip transparent)
 ``dump``         — serialise a built device to the description language
 """
 
@@ -16,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from . import DramPowerModel, Pattern, build_device
@@ -29,7 +31,8 @@ from .analysis import (
     verify_ddr3,
 )
 from .core.idd import standard_idd_suite
-from .core.trace import evaluate_trace
+from .core.trace import TraceAccumulator, evaluate_trace
+from .trace import AddressDecoder, commands_from_records, read_trace
 from .description import DramDescription
 from .engine import EvaluationSession
 from .dsl import dumps, load
@@ -195,6 +198,8 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     device = _device_from_args(args)
     model = DramPowerModel(device)
+    if args.trace_file:
+        return _trace_file(args, device, model)
     if args.workload == "streaming":
         commands = streaming_trace(device, args.accesses,
                                    read_fraction=args.read_fraction)
@@ -213,6 +218,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"average power : {result.average_power * 1e3:.1f} mW "
           f"({result.average_current * 1e3:.1f} mA)")
     print(f"energy/bit    : {result.energy_per_bit * 1e12:.2f} pJ")
+    return 0
+
+
+def _trace_file(args: argparse.Namespace, device, model) -> int:
+    """``repro trace <file>``: stream an external trace through the
+    constant-memory accumulator and summarize."""
+    decoder = AddressDecoder.from_device(
+        device, policy=args.policy,
+        channel_bits=args.channel_bits, rank_bits=args.rank_bits,
+        offset_bits=args.offset_bits)
+    fmt = None if args.format == "auto" else args.format
+    commands = commands_from_records(
+        read_trace(args.trace_file, fmt), decoder,
+        clock=parse_quantity(args.clock))
+    accumulator = TraceAccumulator(model, strict=args.strict)
+    started = time.perf_counter()
+    accumulator.feed(commands)
+    elapsed = time.perf_counter() - started
+    result = accumulator.result()
+    commands_seen = accumulator.commands_seen
+    rate = commands_seen / elapsed if elapsed > 0 else float("inf")
+    print(f"device        : {device.name}")
+    print(f"trace         : {args.trace_file} "
+          f"({commands_seen} commands)")
+    print(f"duration      : {result.duration * 1e6:.2f} us")
+    print(f"row hit rate  : {result.row_hit_rate:.2f} "
+          f"(hits {result.row_hits}, misses {result.row_misses}, "
+          f"conflicts {result.row_conflicts})")
+    if result.data_bits:
+        print(f"bandwidth     : "
+              f"{result.data_bits / result.duration / 1e9:.2f} Gb/s")
+    print(f"average power : {result.average_power * 1e3:.1f} mW "
+          f"({result.average_current * 1e3:.1f} mA)")
+    if result.data_bits:
+        print(f"energy/bit    : "
+              f"{result.energy_per_bit * 1e12:.2f} pJ")
+    print(f"throughput    : {rate / 1e6:.2f} Mcmd/s")
     return 0
 
 
@@ -505,6 +547,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace = subparsers.add_parser("trace",
                                   help="trace-based workload power")
     _add_device_arguments(trace)
+    trace.add_argument("trace_file", nargs="?", default=None,
+                       help="external trace file to evaluate (k6 / "
+                            "gem5-mase / NDJSON, gzip transparent); "
+                            "omit to price a generated workload")
+    trace.add_argument("--format", default="auto",
+                       choices=["auto", "k6", "mase", "jsonl"],
+                       help="trace line format (default: sniffed)")
+    trace.add_argument("--clock", default="1GHz",
+                       help="cycle clock of the trace's cycle stamps "
+                            "(default 1GHz)")
+    trace.add_argument("--policy", default="row-bank-column",
+                       choices=["row-bank-column", "bank-row-column"],
+                       help="address bit-slice ordering")
+    trace.add_argument("--channel-bits", dest="channel_bits",
+                       type=int, default=0)
+    trace.add_argument("--rank-bits", dest="rank_bits", type=int,
+                       default=0)
+    trace.add_argument("--offset-bits", dest="offset_bits", type=int,
+                       default=None,
+                       help="low address bits below the column field "
+                            "(default: one access width)")
+    trace.add_argument("--strict", action="store_true",
+                       help="raise on protocol/timing violations "
+                            "instead of pricing the trace as given")
     trace.add_argument("--workload", default="random",
                        choices=["random", "streaming"])
     trace.add_argument("--accesses", type=int, default=2000)

@@ -26,7 +26,10 @@ tier's affinity ``307`` redirects (``redirects_followed``) with
 fallback to the original worker when the redirect target just died.
 :meth:`ServiceClient.evaluate_stream` and
 :meth:`ServiceClient.sweep_stream` consume the chunked NDJSON
-streaming mode record by record on a dedicated connection.
+streaming mode record by record on a dedicated connection;
+:meth:`ServiceClient.trace_stream` uploads external memory traces
+(files, blobs or chunk iterables, gzip forwarded as-is) with chunked
+transfer encoding and yields the server's incremental aggregates.
 
 Resilience: every evaluation request is a pure computation, so
 retrying is always safe.  The client retries retryable failures
@@ -46,6 +49,7 @@ from __future__ import annotations
 import gzip
 import http.client
 import json
+import os
 import random
 import socket
 import threading
@@ -53,7 +57,7 @@ import time
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator,
                     Optional, Tuple)
-from urllib.parse import urlsplit
+from urllib.parse import urlencode, urlsplit
 
 from .errors import CircuitOpenError, ServiceError
 
@@ -71,6 +75,35 @@ ROUTED_HEADER = "X-Repro-Routed"
 _STALE_ERRORS = (http.client.RemoteDisconnected,
                  http.client.CannotSendRequest,
                  BrokenPipeError, ConnectionResetError)
+
+
+def _trace_body(source: Any, gzipped: Optional[bool]
+                ) -> Tuple[Iterable[bytes], bool]:
+    """``(byte-chunk iterable, is_gzipped)`` for a trace upload.
+
+    Paths stream from disk in 64 KiB chunks; blobs upload as one
+    chunk; any other iterable passes through.  Gzip is sniffed from
+    the magic bytes (or ``.gz`` suffix) unless ``gzipped`` says."""
+    if isinstance(source, (str, os.PathLike)):
+        if gzipped is None:
+            with open(source, "rb") as handle:
+                gzipped = handle.read(2) == b"\x1f\x8b"
+
+        def file_chunks() -> Iterator[bytes]:
+            with open(source, "rb") as handle:
+                while True:
+                    chunk = handle.read(65536)
+                    if not chunk:
+                        return
+                    yield chunk
+
+        return file_chunks(), bool(gzipped)
+    if isinstance(source, (bytes, bytearray)):
+        blob = bytes(source)
+        if gzipped is None:
+            gzipped = blob[:2] == b"\x1f\x8b"
+        return [blob], bool(gzipped)
+    return source, bool(gzipped)
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:
@@ -591,6 +624,17 @@ class ServiceClient:
                         self.redirects_followed += 1
                     continue
             break
+        return self._ndjson_records(conn, url, response)
+
+    def _ndjson_records(self, conn: http.client.HTTPConnection,
+                        url: str, response: Any
+                        ) -> Iterator[Dict[str, Any]]:
+        """Consume a chunked NDJSON response record by record.
+
+        Raises :class:`ServiceError` for an error *status* before
+        yielding anything; the generator owns (and closes) the
+        dedicated connection.
+        """
         if response.status >= 400:
             data = response.read()
             conn.close()
@@ -618,6 +662,86 @@ class ServiceClient:
                 conn.close()
 
         return records()
+
+    # ------------------------------------------------------------------
+    def trace_stream(self, source: Any,
+                     device: Optional[Dict[str, Any]] = None,
+                     fmt: Optional[str] = None,
+                     clock: Optional[float] = None,
+                     strict: Optional[bool] = None,
+                     snapshot_every: Optional[int] = None,
+                     decoder: Optional[Dict[str, Any]] = None,
+                     gzipped: Optional[bool] = None,
+                     request_timeout: Optional[float] = None
+                     ) -> Iterator[Dict[str, Any]]:
+        """Raw-mode ``POST /trace``: chunked upload, NDJSON records.
+
+        ``source`` is a trace file path, a ``bytes`` blob, or any
+        iterable of byte chunks; it is streamed to the server with
+        ``Transfer-Encoding: chunked`` (constant memory on both
+        sides).  Gzip is auto-detected for paths and blobs (pass
+        ``gzipped`` to override) and forwarded compressed.  ``device``
+        is a builder-key dict (``node``, ``io_width``, …), ``decoder``
+        holds ``policy``/``channel_bits``/``rank_bits``/
+        ``offset_bits``; all parameters travel in the query string.
+        Yields ``{"index": i, "snapshot": {...}}`` records and a
+        terminal ``{"done": true, "result": {...}}``.
+        """
+        query: Dict[str, Any] = dict(device or {})
+        if fmt is not None:
+            query["format"] = fmt
+        if clock is not None:
+            query["clock"] = f"{clock:g}"
+        if strict is not None:
+            query["strict"] = "1" if strict else "0"
+        if snapshot_every is not None:
+            query["snapshot_every"] = snapshot_every
+        query.update(decoder or {})
+        chunks, gzipped = _trace_body(source, gzipped)
+        path = "/trace"
+        if query:
+            path += "?" + urlencode(query)
+        _, headers = self._build_headers(None, request_timeout)
+        headers["Content-Type"] = "application/octet-stream"
+        headers["Transfer-Encoding"] = "chunked"
+        if gzipped:
+            headers["Content-Encoding"] = "gzip"
+        parts = urlsplit(self.base_url)
+        host, _, raw_port = parts.netloc.partition(":")
+        conn = http.client.HTTPConnection(
+            host, int(raw_port or 80), timeout=self.timeout)
+        with self._counter_lock:
+            self.connections_opened += 1
+        url = self.base_url + path
+        try:
+            conn.request("POST", path, body=chunks, headers=headers,
+                         encode_chunked=True)
+            response = conn.getresponse()
+        except (http.client.HTTPException, OSError) as exc:
+            conn.close()
+            raise ServiceError(
+                f"trace upload to {url} failed: "
+                f"{type(exc).__name__}: {exc}", status=0) from exc
+        return self._ndjson_records(conn, url, response)
+
+    def trace(self, source: Any, **options: Any) -> Dict[str, Any]:
+        """``POST /trace`` returning just the final aggregate.
+
+        Same parameters as :meth:`trace_stream`; snapshot records are
+        consumed and discarded, in-band error records raise
+        :class:`ServiceError`.
+        """
+        final: Optional[Dict[str, Any]] = None
+        for record in self.trace_stream(source, **options):
+            if "error" in record:
+                raise ServiceError(record["error"],
+                                   status=record.get("status", 400))
+            if record.get("done"):
+                final = record.get("result")
+        if final is None:
+            raise ServiceError("trace stream ended without a result",
+                               status=0)
+        return final
 
     # ------------------------------------------------------------------
     def wait_until_ready(self, timeout: float = 10.0,

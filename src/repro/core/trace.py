@@ -1,23 +1,38 @@
-"""Timed command-trace evaluation.
+"""Timed command-trace evaluation (streaming, constant memory).
 
 The paper's pattern mechanism evaluates a steady-state loop; system
 studies (the §V references: memory-controller power management, mini-rank
 scheduling…) need to price an arbitrary *trace* of timed commands.  This
 module provides that: a bank-state machine with full timing-legality
-checking (tRC, tRRD, tFAW, tRCD, tRAS, tRP) and energy integration over
-the trace.
+checking (tRC, tRRD, tFAW, tRCD, tRAS, tRP, tRFC) and energy integration
+over the trace.
 
 Energy accounting is identical to the pattern engine: each command
 occurrence costs its per-operation energy, the background runs for the
-trace duration, and refresh commands cost ``rows_per_refresh`` row
-cycles.
+trace duration, and each :attr:`Command.REF` costs ``rows_per_refresh``
+row cycles — an activate + precharge energy pair per refreshed row,
+mirroring the IDD5B construction in :mod:`repro.core.idd`.
+
+Evaluation is a single-pass fold over the command iterable:
+:class:`TraceAccumulator` holds only per-bank protocol state and the
+running counts, so traces of any length evaluate in bounded memory and
+can be fed in chunks with :meth:`TraceAccumulator.snapshot` exposing
+intermediate aggregates.  Because the final energy is computed purely
+from the accumulated counts, chunked and one-shot evaluation are
+bit-for-bit identical.
+
+Strictness: with ``strict=True`` every protocol and timing violation
+raises :class:`TraceError`; with ``strict=False`` the trace is priced as
+given — out-of-order timestamps (common in merged external simulator
+traces) are clamped to the latest time seen, and accesses to a row other
+than the open one are tallied as ``row_conflicts`` instead of raising.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..description import Command
 from ..errors import ModelError
@@ -29,15 +44,30 @@ from .operations import EnergyBreakdown
 #: commands sit exactly on a timing boundary.
 TIMING_EPSILON = 1e-12
 
+#: Commands priced directly from their per-operation energy, in the
+#: fixed order the energy fold adds them (order is part of the
+#: bit-for-bit parity contract between chunked and one-shot paths).
+_PRICED_COMMANDS = (Command.ACT, Command.PRE, Command.RD, Command.WR)
+
 
 class TraceError(ModelError):
-    """A trace is illegal: protocol or timing violation."""
+    """A trace is illegal: protocol or timing violation.
 
-    def __init__(self, message: str, time: float = 0.0, index: int = 0):
+    ``index`` is the zero-based position of the offending command when
+    known; validation errors raised before a command joins a trace
+    (e.g. from :meth:`TraceCommand.__post_init__`) carry ``index=None``
+    and format without positional context.
+    """
+
+    def __init__(self, message: str, time: float = 0.0,
+                 index: Optional[int] = 0):
         self.time = time
         self.index = index
-        super().__init__(f"command {index} @ {time * 1e9:.2f} ns: "
-                         f"{message}")
+        if index is None:
+            super().__init__(message)
+        else:
+            super().__init__(f"command {index} @ {time * 1e9:.2f} ns: "
+                             f"{message}")
 
 
 @dataclass(frozen=True)
@@ -47,18 +77,20 @@ class TraceCommand:
     time: float
     """Issue time (s), non-decreasing along the trace."""
     command: Command
-    """Command mnemonic (ACT / PRE / RD / WR; NOP is ignored)."""
+    """Command mnemonic (ACT / PRE / RD / WR / REF; NOP is ignored)."""
     bank: int = 0
     """Target bank."""
     row: int = 0
-    """Target row (ACT) — used for row-hit bookkeeping only."""
+    """Target row (ACT and column accesses) — row-hit bookkeeping."""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "command", Command(self.command))
         if self.time < 0:
-            raise ModelError("command time must not be negative")
+            raise TraceError("command time must not be negative",
+                             self.time, None)
         if self.bank < 0:
-            raise ModelError("bank must not be negative")
+            raise TraceError("bank must not be negative",
+                             self.time, None)
 
 
 @dataclass
@@ -68,8 +100,12 @@ class _BankState:
     active_row: Optional[int] = None
     last_act: float = float("-inf")
     last_pre: float = float("-inf")
+    last_ref: float = float("-inf")
     last_read: float = float("-inf")
     write_data_end: float = float("-inf")
+    pending_access: bool = field(default=False)
+    """True between an ACT and its first matching column access (that
+    first access is the row miss the ACT paid for, not a hit)."""
 
     @property
     def is_active(self) -> bool:
@@ -97,6 +133,9 @@ class TraceResult:
     """Column accesses that reused the already-open row."""
     row_misses: int
     """Activates issued (each opens a row for subsequent accesses)."""
+    row_conflicts: int = 0
+    """Column accesses addressed to a row other than the open one
+    (only tallied with ``strict=False``; strict replay raises)."""
 
     @property
     def average_power(self) -> float:
@@ -118,10 +157,215 @@ class TraceResult:
     @property
     def row_hit_rate(self) -> float:
         """Fraction of column accesses hitting the open row."""
-        total = self.row_hits + self.row_misses
+        total = self.row_hits + self.row_misses + self.row_conflicts
         if total == 0:
             return 0.0
         return self.row_hits / total
+
+
+class TraceAccumulator:
+    """Streaming trace evaluator: feed commands in chunks, snapshot
+    aggregates at any point.
+
+    Holds per-bank protocol state, the rolling tFAW activate window and
+    per-command counts — memory is O(banks), independent of trace
+    length.  :meth:`snapshot` (and its alias :meth:`result`) derive the
+    energy breakdown purely from the counts, so any chunking of the
+    same command stream yields bit-for-bit identical results.
+    """
+
+    def __init__(self, model: DramPowerModel, strict: bool = True):
+        self.model = model
+        self.strict = strict
+        device = model.device
+        self._device = device
+        self._timing = device.timing
+        self._n_banks = device.spec.banks
+        self._burst = device.spec.burst_length / device.spec.datarate
+        self._banks: Dict[int, _BankState] = {}
+        self._act_window: deque = deque()
+        self.counts: Dict[Command, int] = {c: 0 for c in Command}
+        self._last_time = 0.0
+        self._previous = float("-inf")
+        self._row_hits = 0
+        self._row_conflicts = 0
+        self._index = 0
+
+    @property
+    def commands_seen(self) -> int:
+        """Commands consumed so far (including NOPs)."""
+        return self._index
+
+    @property
+    def row_hits(self) -> int:
+        return self._row_hits
+
+    @property
+    def row_conflicts(self) -> int:
+        return self._row_conflicts
+
+    # ------------------------------------------------------------------
+    def feed(self, commands: Iterable[TraceCommand]) -> "TraceAccumulator":
+        """Consume a chunk of commands; returns self for chaining."""
+        for entry in commands:
+            self._step(entry)
+        return self
+
+    def _step(self, entry: TraceCommand) -> None:
+        index = self._index
+        self._index = index + 1
+        time = entry.time
+        if time < self._previous:
+            if self.strict:
+                raise TraceError("trace times must be non-decreasing",
+                                 time, index)
+            # Lenient: clamp stragglers to the latest time seen so the
+            # bank-state machine stays monotonic (documented policy for
+            # merged external simulator traces).
+            time = self._previous
+        self._previous = time
+        if time > self._last_time:
+            self._last_time = time
+        command = entry.command
+        if command is Command.NOP:
+            return
+        if self.strict and entry.bank >= self._n_banks:
+            raise TraceError(
+                f"bank {entry.bank} outside 0..{self._n_banks - 1}",
+                time, index,
+            )
+        state = self._banks.setdefault(entry.bank, _BankState())
+        timing = self._timing
+        if command is Command.ACT:
+            group = self._device.spec.bank_group_of(entry.bank) \
+                if entry.bank < self._n_banks else 0
+            _check_activate(entry, time, index, state, self._act_window,
+                            timing, self.strict, group)
+            state.active_row = entry.row
+            state.last_act = time
+            state.pending_access = True
+            self._act_window.append((time, group))
+            while self._act_window and \
+                    self._act_window[0][0] < time - timing.tfaw:
+                self._act_window.popleft()
+        elif command is Command.PRE:
+            if self.strict and not state.is_active:
+                raise TraceError(f"precharge on idle bank {entry.bank}",
+                                 time, index)
+            if self.strict and time < state.last_act + timing.tras \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRAS violation on bank {entry.bank}",
+                    time, index,
+                )
+            if self.strict and time < state.last_read + timing.trtp \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRTP violation on bank {entry.bank}",
+                    time, index,
+                )
+            if self.strict and time < state.write_data_end \
+                    + timing.twr - TIMING_EPSILON:
+                raise TraceError(
+                    f"tWR violation on bank {entry.bank}",
+                    time, index,
+                )
+            state.active_row = None
+            state.pending_access = False
+            state.last_pre = time
+        elif command is Command.REF:
+            if self.strict and state.is_active:
+                raise TraceError(
+                    f"refresh on active bank {entry.bank}",
+                    time, index,
+                )
+            if self.strict and time < state.last_pre + timing.trp \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRP violation before refresh on bank {entry.bank}",
+                    time, index,
+                )
+            if self.strict and time < state.last_ref + timing.trfc \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRFC violation on bank {entry.bank}",
+                    time, index,
+                )
+            state.active_row = None
+            state.pending_access = False
+            state.last_ref = time
+        elif command in (Command.RD, Command.WR):
+            if self.strict and not state.is_active:
+                raise TraceError(
+                    f"column access on idle bank {entry.bank}",
+                    time, index,
+                )
+            if self.strict and time < state.last_act + timing.trcd \
+                    - TIMING_EPSILON:
+                raise TraceError(
+                    f"tRCD violation on bank {entry.bank}",
+                    time, index,
+                )
+            if state.active_row == entry.row:
+                if state.pending_access:
+                    # The miss this bank's activate already paid for.
+                    state.pending_access = False
+                else:
+                    self._row_hits += 1
+            else:
+                if self.strict:
+                    raise TraceError(
+                        f"access to row {entry.row} on bank "
+                        f"{entry.bank} with row {state.active_row} "
+                        f"open", time, index,
+                    )
+                self._row_conflicts += 1
+            if command is Command.RD:
+                state.last_read = time
+            else:
+                state.write_data_end = time + self._burst
+        self.counts[command] += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TraceResult:
+        """Aggregates over everything fed so far.
+
+        Cheap (O(components)); safe to call between chunks.  The final
+        call is identical to one-shot evaluation of the whole trace.
+        """
+        device = self._device
+        timing = self._timing
+        counts = dict(self.counts)
+        duration = self._last_time + timing.trc
+        breakdown = self.model.energies.background_power.scaled(duration)
+        for command in _PRICED_COMMANDS:
+            if counts[command]:
+                breakdown = breakdown + self.model.energies \
+                    .operation_energy(command).scaled(counts[command])
+        if counts[Command.REF]:
+            refresh_rows = counts[Command.REF] * timing.rows_per_refresh
+            row_cycle = (self.model.energies.operation_energy(Command.ACT)
+                         + self.model.energies.operation_energy(
+                             Command.PRE))
+            breakdown = breakdown + row_cycle.scaled(refresh_rows)
+        data_bits = ((counts[Command.RD] + counts[Command.WR])
+                     * device.spec.bits_per_access)
+        return TraceResult(
+            device_name=device.name,
+            vdd=device.voltages.vdd,
+            duration=duration,
+            counts=counts,
+            energy=breakdown.total,
+            breakdown=breakdown,
+            data_bits=float(data_bits),
+            row_hits=self._row_hits,
+            row_misses=counts[Command.ACT],
+            row_conflicts=self._row_conflicts,
+        )
+
+    def result(self) -> TraceResult:
+        """Final aggregates (alias of :meth:`snapshot`)."""
+        return self.snapshot()
 
 
 def evaluate_trace(model: DramPowerModel,
@@ -129,145 +373,45 @@ def evaluate_trace(model: DramPowerModel,
                    strict: bool = True) -> TraceResult:
     """Replay a trace against the model and integrate its energy.
 
-    With ``strict`` (default) every protocol and timing violation raises
-    :class:`TraceError`; with ``strict=False`` the trace is priced as
-    given (useful for approximate traces from external simulators).
+    Streams ``commands`` in a single pass (generators welcome; the
+    trace is never materialized).  With ``strict`` (default) every
+    protocol and timing violation raises :class:`TraceError`; with
+    ``strict=False`` the trace is priced as given (useful for
+    approximate traces from external simulators).
     """
-    device = model.device
-    timing = device.timing
-    banks: Dict[int, _BankState] = {}
-    act_window: deque = deque()
-    counts: Dict[Command, int] = {command: 0 for command in Command}
-    last_time = 0.0
-    previous = float("-inf")
-    row_hits = 0
-    n_banks = device.spec.banks
-
-    command_list: List[TraceCommand] = list(commands)
-    for index, entry in enumerate(command_list):
-        if entry.time < previous:
-            raise TraceError("trace times must be non-decreasing",
-                             entry.time, index)
-        previous = entry.time
-        last_time = max(last_time, entry.time)
-        command = entry.command
-        if command is Command.NOP:
-            continue
-        if strict and entry.bank >= n_banks:
-            raise TraceError(
-                f"bank {entry.bank} outside 0..{n_banks - 1}",
-                entry.time, index,
-            )
-        state = banks.setdefault(entry.bank, _BankState())
-        if command is Command.ACT:
-            group = device.spec.bank_group_of(entry.bank) \
-                if entry.bank < n_banks else 0
-            _check_activate(entry, index, state, act_window, timing,
-                            strict, group)
-            state.active_row = entry.row
-            state.last_act = entry.time
-            act_window.append((entry.time, group))
-            while act_window and act_window[0][0] < entry.time \
-                    - timing.tfaw:
-                act_window.popleft()
-        elif command is Command.PRE:
-            if strict and not state.is_active:
-                raise TraceError(f"precharge on idle bank {entry.bank}",
-                                 entry.time, index)
-            if strict and entry.time < state.last_act + timing.tras \
-                    - TIMING_EPSILON:
-                raise TraceError(
-                    f"tRAS violation on bank {entry.bank}",
-                    entry.time, index,
-                )
-            if strict and entry.time < state.last_read + timing.trtp \
-                    - TIMING_EPSILON:
-                raise TraceError(
-                    f"tRTP violation on bank {entry.bank}",
-                    entry.time, index,
-                )
-            if strict and entry.time < state.write_data_end \
-                    + timing.twr - TIMING_EPSILON:
-                raise TraceError(
-                    f"tWR violation on bank {entry.bank}",
-                    entry.time, index,
-                )
-            state.active_row = None
-            state.last_pre = entry.time
-        elif command in (Command.RD, Command.WR):
-            if strict and not state.is_active:
-                raise TraceError(
-                    f"column access on idle bank {entry.bank}",
-                    entry.time, index,
-                )
-            if strict and entry.time < state.last_act + timing.trcd \
-                    - TIMING_EPSILON:
-                raise TraceError(
-                    f"tRCD violation on bank {entry.bank}",
-                    entry.time, index,
-                )
-            row_hits += 1
-            if command is Command.RD:
-                state.last_read = entry.time
-            else:
-                burst = (device.spec.burst_length
-                         / device.spec.datarate)
-                state.write_data_end = entry.time + burst
-        counts[command] += 1
-
-    # Each activate serves its first access, so hits exclude one access
-    # per activate.
-    row_misses = counts[Command.ACT]
-    row_hits = max(0, row_hits - row_misses)
-
-    duration = last_time + timing.trc
-    breakdown = model.energies.background_power.scaled(duration)
-    for command in (Command.ACT, Command.PRE, Command.RD, Command.WR):
-        if counts[command]:
-            breakdown = breakdown + model.energies.operation_energy(
-                command).scaled(counts[command])
-    data_bits = ((counts[Command.RD] + counts[Command.WR])
-                 * device.spec.bits_per_access)
-    return TraceResult(
-        device_name=device.name,
-        vdd=device.voltages.vdd,
-        duration=duration,
-        counts=counts,
-        energy=breakdown.total,
-        breakdown=breakdown,
-        data_bits=float(data_bits),
-        row_hits=row_hits,
-        row_misses=row_misses,
-    )
+    return TraceAccumulator(model, strict=strict).feed(commands).result()
 
 
-def _check_activate(entry: TraceCommand, index: int, state: _BankState,
-                    act_window: Sequence, timing,
+def _check_activate(entry: TraceCommand, time: float, index: int,
+                    state: _BankState, act_window: Sequence, timing,
                     strict: bool, group: int) -> None:
     if not strict:
         return
     if state.is_active:
         raise TraceError(f"activate on already-active bank {entry.bank}",
-                         entry.time, index)
-    if entry.time < state.last_act + timing.trc - TIMING_EPSILON:
+                         time, index)
+    if time < state.last_act + timing.trc - TIMING_EPSILON:
         raise TraceError(f"tRC violation on bank {entry.bank}",
-                         entry.time, index)
-    if entry.time < state.last_pre + timing.trp - TIMING_EPSILON:
+                         time, index)
+    if time < state.last_pre + timing.trp - TIMING_EPSILON:
         raise TraceError(f"tRP violation on bank {entry.bank}",
-                         entry.time, index)
+                         time, index)
+    if time < state.last_ref + timing.trfc - TIMING_EPSILON:
+        raise TraceError(f"tRFC violation on bank {entry.bank}",
+                         time, index)
     recent = [t for t, _ in act_window
-              if t > entry.time - timing.trrd + TIMING_EPSILON]
+              if t > time - timing.trrd + TIMING_EPSILON]
     if recent:
-        raise TraceError("tRRD violation", entry.time, index)
+        raise TraceError("tRRD violation", time, index)
     same_group = [t for t, g in act_window if g == group
-                  and t > entry.time - timing.trrd_l + TIMING_EPSILON]
+                  and t > time - timing.trrd_l + TIMING_EPSILON]
     if same_group:
         raise TraceError("tRRD_L violation (same bank group)",
-                         entry.time, index)
+                         time, index)
     window = [t for t, _ in act_window
-              if t > entry.time - timing.tfaw + TIMING_EPSILON]
+              if t > time - timing.tfaw + TIMING_EPSILON]
     if len(window) >= 4:
-        raise TraceError("tFAW violation", entry.time, index)
+        raise TraceError("tFAW violation", time, index)
 
 
 def trace_power(model: DramPowerModel,

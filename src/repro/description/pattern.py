@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..errors import DescriptionError
 
@@ -28,10 +28,17 @@ class Command(str, Enum):
     PRE = "pre"
     RD = "rd"
     WR = "wr"
+    REF = "ref"
     NOP = "nop"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+    @classmethod
+    def _missing_(cls, value: object) -> Optional["Command"]:
+        if isinstance(value, str):
+            return _ALIASES.get(value.strip().lower())
+        return None
 
 
 #: Alternate spellings accepted by :meth:`Pattern.parse` (the paper's
@@ -46,6 +53,8 @@ _ALIASES: Dict[str, Command] = {
     "wr": Command.WR,
     "wrt": Command.WR,
     "write": Command.WR,
+    "ref": Command.REF,
+    "refresh": Command.REF,
     "nop": Command.NOP,
     "noop": Command.NOP,
 }

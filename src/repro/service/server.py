@@ -23,6 +23,11 @@ request on it.  ``{"stream": true}`` in an ``/evaluate`` or ``/sweep``
 body switches the response to chunked NDJSON records
 (:mod:`repro.service.streaming`), one per finished device or sweep
 row, so long batches deliver results as they complete.
+``POST /trace`` (:mod:`repro.service.tracing`) accepts external
+memory traces — JSON-wrapped or as a raw, optionally gzipped and
+chunk-framed body of unbounded length — and streams incremental
+energy/power aggregates back while folding the upload in constant
+memory.
 
 Scale-out hooks (used by :mod:`repro.service.prefork`): a pre-bound
 ``listen_socket`` (``SO_REUSEPORT``) can replace the usual bind; a
@@ -84,6 +89,8 @@ from .routing import (RESULT_CACHE_SUM_KEYS, WORKER_HEADER,
                       merge_request_counts, sum_counter_dicts)
 from .streaming import (STREAM_CONTENT_TYPE, evaluate_stream,
                         sweep_stream, wants_stream)
+from .tracing import (parse_trace_query, trace_payload,
+                      trace_stream_payload, trace_stream_records)
 
 _LOG = logging.getLogger("repro.service")
 
@@ -247,7 +254,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path
         if not self._authorized(path):
             return
-        if path not in ("/evaluate", "/sweep"):
+        if path not in ("/evaluate", "/sweep", "/trace"):
             self._reply(404, {"error": f"unknown path {path!r}"})
             return
         server = self.server
@@ -270,6 +277,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
             try:
                 if server.faults.before_request(path) == "reset":
                     self._abort_connection()
+                    return
+                if path == "/trace":
+                    self._handle_trace(deadline)
                     return
                 payload = self._read_json()
                 location = server.affinity_redirect(
@@ -314,6 +324,124 @@ class ServiceHandler(BaseHTTPRequestHandler):
                         {"error": f"{type(exc).__name__}: {exc}"})
         else:
             self._reply(200, body)
+
+    # ------------------------------------------------------------------
+    def _handle_trace(self, deadline: Optional[Deadline]) -> None:
+        """``POST /trace``: JSON mode or raw streaming upload.
+
+        JSON bodies carry the trace in a ``"text"`` key (bounded by
+        the normal body cap) and answer buffered or streamed like the
+        other endpoints.  Any other content type is treated as the
+        trace itself — optionally gzipped and chunk-framed, exempt
+        from ``MAX_BODY_BYTES`` because it is folded incrementally in
+        constant memory — with parameters in the query string and an
+        NDJSON snapshot stream as the only response shape.
+        """
+        server = self.server
+        content_type = (self.headers.get("Content-Type") or "")
+        content_type = content_type.split(";")[0].strip().lower()
+        if content_type == "application/json":
+            payload = self._read_json()
+            if deadline is not None:
+                deadline.check()
+            if wants_stream(payload):
+                if self.request_version == "HTTP/1.0":
+                    raise ServiceError(
+                        "streaming requires an HTTP/1.1 client")
+                records = trace_stream_payload(server.session, payload,
+                                               deadline=deadline)
+                self._stream_reply("/trace", records)
+                return
+            self._reply(200, trace_payload(server.session, payload,
+                                           deadline=deadline))
+            return
+        if self.request_version == "HTTP/1.0":
+            raise ServiceError(
+                "raw trace uploads require an HTTP/1.1 client")
+        request = parse_trace_query(
+            parse_qs(urlsplit(self.path).query))
+        encoding = (self.headers.get("Content-Encoding")
+                    or "").strip().lower()
+        if encoding == "gzip":
+            request.gzipped = True
+        elif encoding:
+            raise ServiceError(
+                f"unsupported Content-Encoding {encoding!r}")
+        if deadline is not None:
+            deadline.check()
+        records = trace_stream_records(server.session, request,
+                                       self._iter_request_body(),
+                                       deadline=deadline)
+        # The response interleaves with body consumption; an in-band
+        # error can leave unread body bytes, so never reuse the
+        # connection after a raw upload.
+        self.close_connection = True
+        self._stream_reply("/trace", records)
+
+    def _iter_request_body(self):
+        """The request body as a lazy byte-chunk stream.
+
+        Honors ``Transfer-Encoding: chunked`` (clients streaming a
+        trace of unknown length) and plain ``Content-Length`` bodies;
+        either way at most 64 KiB is resident at once.
+        """
+        transfer = (self.headers.get("Transfer-Encoding")
+                    or "").lower()
+        if "chunked" in transfer:
+            return self._iter_chunked_body()
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise ServiceError(
+                "trace upload needs Content-Length or "
+                "Transfer-Encoding: chunked")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ServiceError(
+                f"malformed Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise ServiceError(f"negative Content-Length {length}")
+        return self._iter_sized_body(length)
+
+    def _iter_sized_body(self, length: int):
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                raise ServiceError(
+                    f"request body truncated: got "
+                    f"{length - remaining} of {length} bytes")
+            remaining -= len(chunk)
+            yield chunk
+
+    def _iter_chunked_body(self):
+        """Decode ``Transfer-Encoding: chunked`` frames from rfile."""
+        while True:
+            line = self.rfile.readline(1026)
+            if not line:
+                raise ServiceError("chunked request body truncated")
+            try:
+                size = int(line.split(b";", 1)[0].strip() or b"x", 16)
+            except ValueError:
+                raise ServiceError(
+                    "malformed chunk-size line in request body"
+                ) from None
+            if size == 0:
+                # Consume optional trailers up to the blank line.
+                while True:
+                    trailer = self.rfile.readline(1026)
+                    if trailer in (b"\r\n", b"\n", b""):
+                        return
+                continue
+            remaining = size
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    raise ServiceError(
+                        "chunked request body truncated")
+                remaining -= len(chunk)
+                yield chunk
+            self.rfile.read(2)  # CRLF after each chunk's data
 
     # ------------------------------------------------------------------
     def _authorized(self, path: str) -> bool:
@@ -475,6 +603,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", STREAM_CONTENT_TYPE)
         self.send_header("Transfer-Encoding", "chunked")
         self.send_header(WORKER_HEADER, str(server.worker_id))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         try:
             for record in records:

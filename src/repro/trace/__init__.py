@@ -1,0 +1,37 @@
+"""Streaming ingestion of external memory traces (k6, mase, NDJSON).
+
+Public surface: line parsers and gzip plumbing (:mod:`formats`), the
+configurable physical-address bit-slice decoder (:mod:`decoder`) and
+the lazy record → command → energy pipeline (:mod:`ingest`).
+"""
+
+from .decoder import POLICIES, AddressDecoder, DecodedAddress
+from .formats import (FORMATS, TraceFormatError, TraceRecord,
+                      detect_format, iter_decompressed, iter_jsonl,
+                      iter_k6, iter_lines, iter_mase, iter_records,
+                      open_trace_lines)
+from .ingest import (DEFAULT_CLOCK, accumulate_records,
+                     commands_from_records, evaluate_trace_file,
+                     read_trace)
+
+__all__ = [
+    "POLICIES",
+    "AddressDecoder",
+    "DecodedAddress",
+    "FORMATS",
+    "TraceFormatError",
+    "TraceRecord",
+    "detect_format",
+    "iter_decompressed",
+    "iter_jsonl",
+    "iter_k6",
+    "iter_lines",
+    "iter_mase",
+    "iter_records",
+    "open_trace_lines",
+    "DEFAULT_CLOCK",
+    "accumulate_records",
+    "commands_from_records",
+    "evaluate_trace_file",
+    "read_trace",
+]

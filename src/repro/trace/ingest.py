@@ -1,0 +1,111 @@
+"""Streaming ingestion: external trace records → timed DRAM commands.
+
+The pipeline is lazy end to end: file lines → :class:`TraceRecord`
+stream → open-page command expansion → :class:`TraceAccumulator` fold.
+Nothing materializes the trace, so multi-billion-command files evaluate
+in bounded memory.
+
+Open-page expansion keeps one open-row register per bank: a transaction
+to a closed row emits ``PRE`` (when another row is open) + ``ACT``
+before the column access, all stamped with the transaction's own time —
+external traces carry no command-level timing, so expanded traces are
+evaluated with ``strict=False``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, Optional
+
+from ..core.model import DramPowerModel
+from ..core.trace import (TraceAccumulator, TraceCommand, TraceResult,
+                          evaluate_trace)
+from ..description import Command
+from .decoder import AddressDecoder
+from .formats import (TraceRecord, detect_format, iter_records,
+                      open_trace_lines)
+
+
+#: Default cycle clock (Hz) when a trace does not state one: 1 GHz, so
+#: cycle stamps read directly as nanoseconds.
+DEFAULT_CLOCK = 1e9
+
+
+def commands_from_records(records: Iterable[TraceRecord],
+                          decoder: AddressDecoder,
+                          clock: float = DEFAULT_CLOCK
+                          ) -> Iterator[TraceCommand]:
+    """Expand transaction records into an open-page command stream."""
+    if clock <= 0:
+        raise ValueError("clock must be positive")
+    period = 1.0 / clock
+    open_rows: Dict[int, int] = {}
+    for record in records:
+        decoded = decoder.decode(record.address)
+        bank = decoder.flat_bank(decoded)
+        time = record.cycle * period
+        if record.kind == "refresh":
+            if open_rows.pop(bank, None) is not None:
+                yield TraceCommand(time, Command.PRE, bank)
+            yield TraceCommand(time, Command.REF, bank)
+            continue
+        row = decoded.row
+        open_row = open_rows.get(bank)
+        if open_row != row:
+            if open_row is not None:
+                yield TraceCommand(time, Command.PRE, bank)
+            yield TraceCommand(time, Command.ACT, bank, row)
+            open_rows[bank] = row
+        kind = Command.RD if record.kind == "read" else Command.WR
+        yield TraceCommand(time, kind, bank, row)
+
+
+def read_trace(path, fmt: Optional[str] = None,
+               source: Optional[str] = None) -> Iterator[TraceRecord]:
+    """Yield records from a (possibly gzipped) trace file lazily.
+
+    ``fmt`` of ``None`` or ``"auto"`` sniffs the format from the first
+    payload line.
+    """
+    handle = open_trace_lines(path)
+    try:
+        lines: Iterator[str] = iter(handle)
+        if fmt is None or fmt == "auto":
+            fmt = "k6"
+            head = []
+            for line in lines:
+                head.append(line)
+                stripped = line.strip()
+                if stripped and not stripped.startswith(("#", ";")):
+                    fmt = detect_format(line)
+                    break
+            lines = itertools.chain(head, lines)
+        yield from iter_records(lines, fmt, source=source or str(path))
+    finally:
+        handle.close()
+
+
+def evaluate_trace_file(model: DramPowerModel, path,
+                        fmt: Optional[str] = None,
+                        decoder: Optional[AddressDecoder] = None,
+                        clock: float = DEFAULT_CLOCK,
+                        strict: bool = False) -> TraceResult:
+    """One-call evaluation of an external trace file."""
+    if decoder is None:
+        decoder = AddressDecoder.from_device(model.device)
+    commands = commands_from_records(read_trace(path, fmt), decoder,
+                                     clock)
+    return evaluate_trace(model, commands, strict=strict)
+
+
+def accumulate_records(model: DramPowerModel,
+                       records: Iterable[TraceRecord],
+                       decoder: Optional[AddressDecoder] = None,
+                       clock: float = DEFAULT_CLOCK,
+                       strict: bool = False) -> TraceAccumulator:
+    """Fold a record stream into a fresh :class:`TraceAccumulator`."""
+    if decoder is None:
+        decoder = AddressDecoder.from_device(model.device)
+    accumulator = TraceAccumulator(model, strict=strict)
+    accumulator.feed(commands_from_records(records, decoder, clock))
+    return accumulator

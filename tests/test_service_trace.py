@@ -1,0 +1,213 @@
+"""The ``POST /trace`` endpoint: JSON mode, raw chunked uploads."""
+
+import gzip
+import threading
+
+import pytest
+
+from repro.client import ServiceClient
+from repro.core.trace import evaluate_trace
+from repro.devices import build_device
+from repro.engine import EvaluationSession
+from repro.errors import ServiceError
+from repro.service import create_service
+from repro.service.tracing import (MIN_SNAPSHOT_EVERY,
+                                   parse_trace_payload,
+                                   parse_trace_query, trace_payload,
+                                   trace_stream_payload)
+from repro.trace import (DEFAULT_CLOCK, AddressDecoder,
+                         commands_from_records, iter_records)
+from repro import DramPowerModel
+
+
+@pytest.fixture()
+def service():
+    svc = create_service(host="127.0.0.1", port=0)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    yield svc
+    svc.shutdown()
+    svc.server_close()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(f"http://127.0.0.1:{service.server_port}")
+
+
+def k6_text(transactions=3000):
+    """A deterministic k6 trace with reads, writes and one refresh."""
+    lines = []
+    for i in range(transactions):
+        op = "P_MEM_WR" if i % 3 == 0 else "P_MEM_RD"
+        lines.append(f"0x{(i * 64) % (1 << 22):X} {op} {i * 16}")
+    lines.append(f"0x0 REF {transactions * 16}")
+    return "\n".join(lines) + "\n"
+
+
+def local_result(text, node=55):
+    """The library-side evaluation the service must match exactly."""
+    device = build_device(node)
+    model = DramPowerModel(device)
+    decoder = AddressDecoder.from_device(device)
+    records = iter_records(iter(text.splitlines()), "k6")
+    commands = commands_from_records(records, decoder, DEFAULT_CLOCK)
+    return evaluate_trace(model, commands, strict=False)
+
+
+class TestQueryParsing:
+    def test_defaults(self):
+        request = parse_trace_query({})
+        assert request.fmt == "k6"
+        assert request.strict is False
+        assert request.clock == DEFAULT_CLOCK
+
+    def test_full_query(self):
+        request = parse_trace_query({
+            "node": ["55"], "io_width": ["8"], "format": ["mase"],
+            "clock": ["8e8"], "strict": ["true"],
+            "snapshot_every": ["5"], "policy": ["bank-row-column"],
+            "channel_bits": ["1"], "rank_bits": ["2"],
+            "offset_bits": ["3"],
+        })
+        assert request.device_payload == {"node": 55, "io_width": 8}
+        assert request.fmt == "mase"
+        assert request.clock == 8e8
+        assert request.strict is True
+        assert request.snapshot_every == MIN_SNAPSHOT_EVERY  # floor
+        assert request.policy == "bank-row-column"
+        assert (request.channel_bits, request.rank_bits,
+                request.offset_bits) == (1, 2, 3)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ServiceError, match="bogus"):
+            parse_trace_query({"bogus": ["1"]})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ServiceError, match="format"):
+            parse_trace_query({"format": ["xml"]})
+        with pytest.raises(ServiceError, match="policy"):
+            parse_trace_query({"policy": ["diagonal"]})
+        with pytest.raises(ServiceError, match="clock"):
+            parse_trace_query({"clock": ["-1"]})
+        with pytest.raises(ServiceError, match="strict"):
+            parse_trace_query({"strict": ["maybe"]})
+
+
+class TestPayloadParsing:
+    def test_requires_device_and_text(self):
+        with pytest.raises(ServiceError, match="device"):
+            parse_trace_payload({"text": "0x0 READ 0"})
+        with pytest.raises(ServiceError, match="text"):
+            parse_trace_payload({"device": {"node": 55}})
+
+    def test_decoder_block(self):
+        request, text = parse_trace_payload({
+            "device": {"node": 55},
+            "text": "0x0 READ 0",
+            "decoder": {"policy": "bank-row-column",
+                        "channel_bits": 1},
+        })
+        assert text == "0x0 READ 0"
+        assert request.policy == "bank-row-column"
+        assert request.channel_bits == 1
+
+
+class TestSocketFreeEvaluation:
+    def test_buffered_matches_library(self):
+        text = k6_text(600)
+        session = EvaluationSession()
+        body = trace_payload(session, {"device": {"node": 55},
+                                       "text": text})
+        local = local_result(text)
+        assert body["energy_j"] == local.energy
+        assert body["duration_s"] == local.duration
+        expected_counts = {command.value: count
+                           for command, count in local.counts.items()}
+        assert body["counts"] == expected_counts
+        assert body["row_conflicts"] == local.row_conflicts
+
+    def test_stream_emits_snapshots_then_done(self):
+        text = k6_text(2000)  # expands past one snapshot segment
+        session = EvaluationSession()
+        records = list(trace_stream_payload(session, {
+            "device": {"node": 55},
+            "text": text,
+            "snapshot_every": MIN_SNAPSHOT_EVERY,
+        }))
+        assert records, "stream produced nothing"
+        assert records[-1].get("done") is True
+        snapshots = [r for r in records if "snapshot" in r]
+        assert snapshots, "no incremental snapshots emitted"
+        counts = [r["snapshot"]["commands"] for r in snapshots]
+        assert counts == sorted(counts)
+        assert records[-1]["count"] >= counts[-1]
+
+    def test_malformed_line_becomes_error_record(self):
+        session = EvaluationSession()
+        records = list(trace_stream_payload(session, {
+            "device": {"node": 55},
+            "text": "0x0 READ 0\n0x10 BOGUS 5\n",
+        }))
+        assert "error" in records[-1]
+        assert "BOGUS" in records[-1]["error"]
+        assert records[-1]["status"] == 400
+
+
+class TestJsonMode:
+    def test_buffered_over_http(self, client):
+        text = k6_text(400)
+        body = client.request("POST", "/trace",
+                              {"device": {"node": 55}, "text": text})
+        local = local_result(text)
+        assert body["energy_j"] == local.energy
+        assert body["row_hits"] == local.row_hits
+        assert body["counts"]["ref"] == 1
+
+    def test_missing_text_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/trace",
+                           {"device": {"node": 55}})
+        assert excinfo.value.status == 400
+
+
+class TestRawMode:
+    def test_gzipped_chunked_upload_matches_library(self, client):
+        text = k6_text(2500)
+        blob = gzip.compress(text.encode())
+        records = list(client.trace_stream(
+            blob, device={"node": 55},
+            snapshot_every=MIN_SNAPSHOT_EVERY))
+        assert records[-1].get("done") is True
+        local = local_result(text)
+        final = records[-1]["result"]
+        assert final["energy_j"] == local.energy
+        assert final["duration_s"] == local.duration
+        assert final["row_conflicts"] == local.row_conflicts
+        assert any("snapshot" in r for r in records)
+
+    def test_plain_blob_equals_gzipped_blob(self, client):
+        text = k6_text(300)
+        plain = client.trace(text.encode(), device={"node": 55})
+        packed = client.trace(gzip.compress(text.encode()),
+                              device={"node": 55})
+        assert plain == packed
+
+    def test_file_path_upload(self, client, tmp_path):
+        path = tmp_path / "upload.trc.gz"
+        text = k6_text(300)
+        path.write_bytes(gzip.compress(text.encode()))
+        body = client.trace(path, device={"node": 55})
+        assert body["energy_j"] == local_result(text).energy
+
+    def test_unknown_query_key_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace(b"0x0 READ 0\n", device={"wat": 1})
+        assert excinfo.value.status == 400
+
+    def test_malformed_line_raises_from_trace(self, client):
+        with pytest.raises(ServiceError, match="BOGUS"):
+            client.trace(b"0x0 READ 0\n0x10 BOGUS 5\n",
+                         device={"node": 55})

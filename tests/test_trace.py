@@ -1,9 +1,13 @@
 """Tests for the timed command-trace engine."""
 
+import tracemalloc
+
 import pytest
 
-from repro.core.trace import TraceCommand, TraceError, evaluate_trace
+from repro.core.trace import (TraceAccumulator, TraceCommand, TraceError,
+                              evaluate_trace)
 from repro.description import Command
+from repro.errors import ModelError
 
 
 def ns(value):
@@ -14,7 +18,7 @@ def simple_trace(timing):
     """One legal row cycle with a read."""
     return [
         TraceCommand(ns(0), Command.ACT, bank=0, row=5),
-        TraceCommand(timing.trcd, Command.RD, bank=0),
+        TraceCommand(timing.trcd, Command.RD, bank=0, row=5),
         TraceCommand(timing.tras, Command.PRE, bank=0),
     ]
 
@@ -41,9 +45,10 @@ class TestLegalTraces:
         timing = ddr3_model.device.timing
         trace = [
             TraceCommand(ns(0), Command.ACT, bank=0, row=1),
-            TraceCommand(timing.trcd, Command.RD, bank=0),
-            TraceCommand(timing.trcd + ns(5), Command.RD, bank=0),
-            TraceCommand(timing.trcd + ns(10), Command.RD, bank=0),
+            TraceCommand(timing.trcd, Command.RD, bank=0, row=1),
+            TraceCommand(timing.trcd + ns(5), Command.RD, bank=0, row=1),
+            TraceCommand(timing.trcd + ns(10), Command.RD, bank=0,
+                         row=1),
             TraceCommand(timing.tras + ns(20), Command.PRE, bank=0),
         ]
         result = evaluate_trace(ddr3_model, trace)
@@ -184,3 +189,192 @@ class TestTimingViolations:
         with pytest.raises(TraceError) as excinfo:
             evaluate_trace(ddr3_model, trace)
         assert excinfo.value.index == 1
+
+
+class TestStreamingEvaluation:
+    """Regression: the fold must stream, never materialize (bug a)."""
+
+    def test_generator_input_single_pass(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        cycles = 2000
+
+        def generated():
+            for i in range(cycles):
+                start = i * timing.trc
+                yield TraceCommand(start, Command.ACT, bank=0,
+                                   row=i % 7)
+                yield TraceCommand(start + timing.tras, Command.PRE,
+                                   bank=0)
+
+        result = evaluate_trace(ddr3_model, generated())
+        assert result.counts[Command.ACT] == cycles
+
+    def test_generator_input_bounded_memory(self, ddr3_model):
+        """A 100k-command generator must not be list()-ed: the old
+        materializing path peaked at tens of MB here."""
+        timing = ddr3_model.device.timing
+        cycles = 50_000
+
+        def generated():
+            for i in range(cycles):
+                start = i * timing.trc
+                yield TraceCommand(start, Command.ACT, bank=0,
+                                   row=i % 7)
+                yield TraceCommand(start + timing.tras, Command.PRE,
+                                   bank=0)
+
+        tracemalloc.start()
+        result = evaluate_trace(ddr3_model, generated())
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert result.counts[Command.ACT] == cycles
+        assert peak < 2 * 1024 * 1024
+
+    def test_chunked_accumulator_matches_oneshot(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = []
+        for i in range(30):
+            start = i * timing.trc
+            trace.append(TraceCommand(start, Command.ACT, bank=0,
+                                      row=i))
+            trace.append(TraceCommand(start + timing.trcd, Command.RD,
+                                      bank=0, row=i))
+            trace.append(TraceCommand(start + timing.tras, Command.PRE,
+                                      bank=0))
+        one = evaluate_trace(ddr3_model, trace)
+        accumulator = TraceAccumulator(ddr3_model)
+        for i in range(0, len(trace), 7):
+            accumulator.feed(trace[i:i + 7])
+            accumulator.snapshot()  # snapshots must not disturb state
+        two = accumulator.result()
+        assert one.energy == two.energy
+        assert one.breakdown.values == two.breakdown.values
+        assert one.counts == two.counts
+        assert one.duration == two.duration
+        assert (one.row_hits, one.row_misses) == (two.row_hits,
+                                                  two.row_misses)
+
+
+class TestRowConflicts:
+    """Regression: TraceCommand.row must actually be compared (bug b)."""
+
+    def test_strict_raises_on_non_open_row(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0, row=1),
+            TraceCommand(timing.trcd, Command.RD, bank=0, row=2),
+        ]
+        with pytest.raises(TraceError, match="row"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_lenient_counts_conflicts(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0, row=1),
+            TraceCommand(timing.trcd, Command.RD, bank=0, row=2),
+            TraceCommand(timing.trcd + ns(5), Command.RD, bank=0,
+                         row=1),
+            TraceCommand(timing.trcd + ns(10), Command.RD, bank=0,
+                         row=1),
+        ]
+        result = evaluate_trace(ddr3_model, trace, strict=False)
+        assert result.row_conflicts == 1
+        assert result.row_misses == 1
+        # The row=1 accesses: first consumes the activate, second hits.
+        assert result.row_hits == 1
+        assert result.row_hit_rate == pytest.approx(1 / 3)
+
+    def test_accesses_without_activate_are_not_hits(self, ddr3_model):
+        """The old code counted every column access as a hit candidate;
+        accesses with no open row must not inflate the hit rate."""
+        trace = [TraceCommand(ns(i * 10), Command.RD, bank=0, row=3)
+                 for i in range(4)]
+        result = evaluate_trace(ddr3_model, trace, strict=False)
+        assert result.row_hits == 0
+        assert result.row_conflicts == 4
+        assert result.row_hit_rate == 0.0
+
+
+class TestRefresh:
+    """Regression: the documented REF pricing must exist (bug c)."""
+
+    def test_ref_command_and_aliases(self):
+        assert Command("ref") is Command.REF
+        assert TraceCommand(0.0, "refresh").command is Command.REF
+        assert TraceCommand(0.0, "ref").command is Command.REF
+
+    def test_ref_priced_as_row_cycles(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        at = 1e-6
+        result = evaluate_trace(ddr3_model,
+                                [TraceCommand(at, Command.REF)])
+        expected = (ddr3_model.background_power * result.duration
+                    + timing.rows_per_refresh
+                    * (ddr3_model.operation_energy(Command.ACT)
+                       + ddr3_model.operation_energy(Command.PRE)))
+        assert result.counts[Command.REF] == 1
+        assert result.energy == pytest.approx(expected)
+
+    def test_ref_on_active_bank_strict(self, ddr3_model):
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0, row=1),
+            TraceCommand(ns(50), Command.REF, bank=0),
+        ]
+        with pytest.raises(TraceError, match="refresh on active"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_trfc_enforced_after_refresh(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        trace = [
+            TraceCommand(ns(0), Command.REF, bank=0),
+            TraceCommand(timing.trfc * 0.5, Command.ACT, bank=0),
+        ]
+        with pytest.raises(TraceError, match="tRFC"):
+            evaluate_trace(ddr3_model, trace)
+
+    def test_lenient_ref_closes_row(self, ddr3_model):
+        trace = [
+            TraceCommand(ns(0), Command.ACT, bank=0, row=1),
+            TraceCommand(ns(50), Command.REF, bank=0),
+            TraceCommand(ns(100), Command.RD, bank=0, row=1),
+        ]
+        result = evaluate_trace(ddr3_model, trace, strict=False)
+        # The refresh precharged the bank: the read is a conflict.
+        assert result.row_conflicts == 1
+
+
+class TestValidationConsistency:
+    """Regression: validation raises TraceError, and lenient mode
+    tolerates out-of-order timestamps (bug d)."""
+
+    def test_negative_time_is_trace_error(self):
+        with pytest.raises(TraceError, match="time"):
+            TraceCommand(-1e-9, Command.ACT)
+
+    def test_negative_bank_is_trace_error(self):
+        with pytest.raises(TraceError, match="bank"):
+            TraceCommand(0.0, Command.ACT, bank=-1)
+
+    def test_validation_errors_stay_model_errors(self):
+        """Back-compat: callers catching ModelError keep working."""
+        with pytest.raises(ModelError):
+            TraceCommand(-1e-9, Command.ACT)
+
+    def test_lenient_clamps_out_of_order_times(self, ddr3_model):
+        disordered = [
+            TraceCommand(ns(100), Command.ACT, bank=0, row=1),
+            TraceCommand(ns(40), Command.ACT, bank=1, row=2),
+            TraceCommand(ns(150), Command.ACT, bank=2, row=3),
+        ]
+        result = evaluate_trace(ddr3_model, disordered, strict=False)
+        assert result.counts[Command.ACT] == 3
+        # The straggler is clamped to the latest time seen (100 ns),
+        # so pricing matches the explicitly clamped trace.
+        clamped = [
+            TraceCommand(ns(100), Command.ACT, bank=0, row=1),
+            TraceCommand(ns(100), Command.ACT, bank=1, row=2),
+            TraceCommand(ns(150), Command.ACT, bank=2, row=3),
+        ]
+        reference = evaluate_trace(ddr3_model, clamped, strict=False)
+        assert result.energy == reference.energy
+        assert result.duration == reference.duration

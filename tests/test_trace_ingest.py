@@ -1,0 +1,289 @@
+"""Tests for trace-file parsers, address decoding and ingestion."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.core.trace import TraceAccumulator, evaluate_trace
+from repro.description import Command
+from repro.trace import (AddressDecoder, DecodedAddress,
+                         TraceFormatError, TraceRecord,
+                         commands_from_records, detect_format,
+                         evaluate_trace_file, iter_decompressed,
+                         iter_jsonl, iter_k6, iter_lines, iter_mase,
+                         iter_records, read_trace)
+
+
+class TestK6Parser:
+    def test_parses_dramsim_ops(self):
+        lines = [
+            "0x7FF2C8A0 P_MEM_RD 186",
+            "0x7FF2C8B0 P_FETCH 190",
+            "0x7FF2C8C0 P_LOCK_RD 194",
+            "0x7FF2C8D0 P_MEM_WR 200",
+            "0x7FF2C8E0 P_LOCK_WR 204",
+        ]
+        records = list(iter_k6(lines))
+        assert [r.kind for r in records] == [
+            "read", "read", "read", "write", "write"]
+        assert records[0].address == 0x7FF2C8A0
+        assert records[0].cycle == 186
+        assert records[0].line == 1
+
+    def test_plain_and_refresh_ops(self):
+        lines = ["0x100 READ 1", "0x200 WRITE 2", "0x0 REF 3"]
+        kinds = [r.kind for r in iter_k6(lines)]
+        assert kinds == ["read", "write", "refresh"]
+
+    def test_comments_and_blanks_skipped(self):
+        lines = ["# header", "", "; note", "// other", "0x10 READ 5"]
+        records = list(iter_k6(lines))
+        assert len(records) == 1
+        assert records[0].line == 5
+
+    def test_wrong_column_count(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(iter_k6(["0x10 READ"], source="t.trc"))
+        assert excinfo.value.line == 1
+        assert "t.trc:1:" in str(excinfo.value)
+
+    def test_unknown_operation(self):
+        lines = ["0x10 READ 1", "0x20 BOGUS 2"]
+        with pytest.raises(TraceFormatError, match="BOGUS") as excinfo:
+            list(iter_k6(lines))
+        assert excinfo.value.line == 2
+
+    def test_bad_address_and_cycle(self):
+        with pytest.raises(TraceFormatError, match="address"):
+            list(iter_k6(["zz READ 1"]))
+        with pytest.raises(TraceFormatError, match="cycle"):
+            list(iter_k6(["0x10 READ x9"]))
+
+
+class TestMaseParser:
+    def test_ifetch_reads(self):
+        lines = ["0x2971CFA0 IFETCH 62", "0x100 WRITE 70"]
+        records = list(iter_mase(lines))
+        assert [r.kind for r in records] == ["read", "write"]
+
+    def test_rejects_k6_vocabulary(self):
+        with pytest.raises(TraceFormatError, match="P_MEM_RD"):
+            list(iter_mase(["0x10 P_MEM_RD 1"]))
+
+
+class TestJsonlParser:
+    def test_parses_objects(self):
+        lines = [
+            json.dumps({"address": "0x100", "op": "read", "cycle": 4}),
+            json.dumps({"addr": 512, "kind": "write", "time": 9}),
+        ]
+        records = list(iter_jsonl(lines))
+        assert records[0] == TraceRecord(0x100, "read", 4, line=1)
+        assert records[1] == TraceRecord(512, "write", 9, line=2)
+
+    def test_missing_fields(self):
+        with pytest.raises(TraceFormatError, match="address"):
+            list(iter_jsonl(['{"op": "read", "cycle": 1}']))
+        with pytest.raises(TraceFormatError, match="cycle"):
+            list(iter_jsonl(['{"address": 16, "op": "read"}']))
+
+    def test_invalid_json(self):
+        with pytest.raises(TraceFormatError, match="JSON") as excinfo:
+            list(iter_jsonl(["not json"]))
+        assert excinfo.value.line == 1
+
+
+class TestFormatDispatch:
+    def test_detects_each_format(self):
+        assert detect_format('{"address": 1}') == "jsonl"
+        assert detect_format("0x10 IFETCH 3") == "mase"
+        assert detect_format("0x10 P_MEM_RD 3") == "k6"
+
+    def test_unknown_format_name(self):
+        with pytest.raises(TraceFormatError, match="unknown trace"):
+            iter_records([], "xml")
+
+
+class TestByteStreams:
+    def test_iter_lines_reassembles_split_chunks(self):
+        text = "0x10 READ 1\n0x20 WRITE 2\n0x30 READ 3"
+        blob = text.encode()
+        chunks = [blob[i:i + 5] for i in range(0, len(blob), 5)]
+        assert list(iter_lines(chunks)) == text.split("\n")
+
+    def test_iter_decompressed_round_trip(self):
+        payload = b"0x10 READ 1\n" * 500
+        blob = gzip.compress(payload)
+        chunks = [blob[i:i + 7] for i in range(0, len(blob), 7)]
+        assert b"".join(iter_decompressed(chunks)) == payload
+
+    def test_iter_decompressed_multi_member(self):
+        blob = gzip.compress(b"0x10 READ 1\n") \
+            + gzip.compress(b"0x20 WRITE 2\n")
+        joined = b"".join(iter_decompressed([blob]))
+        assert joined == b"0x10 READ 1\n0x20 WRITE 2\n"
+
+
+class TestReadTrace:
+    def test_gzip_file_sniffed_by_magic(self, tmp_path):
+        path = tmp_path / "trace.bin"  # no .gz suffix on purpose
+        path.write_bytes(gzip.compress(b"0x10 READ 1\n0x20 WRITE 2\n"))
+        records = list(read_trace(path))
+        assert [r.kind for r in records] == ["read", "write"]
+
+    def test_auto_detects_past_comment_header(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n0x10 IFETCH 1\n0x20 READ 2\n")
+        records = list(read_trace(path))
+        assert len(records) == 2
+        assert records[0].kind == "read"
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("0x10 READ 1\nbroken line here extra\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(read_trace(path))
+        assert excinfo.value.line == 2
+        assert "bad.trc:2:" in str(excinfo.value)
+
+
+class TestAddressDecoder:
+    @pytest.mark.parametrize("policy", ["row-bank-column",
+                                        "bank-row-column"])
+    def test_round_trip(self, policy):
+        decoder = AddressDecoder(bank_bits=3, row_bits=14, col_bits=10,
+                                 channel_bits=1, rank_bits=2,
+                                 offset_bits=2, policy=policy)
+        decoded = DecodedAddress(channel=1, rank=3, bank=5, row=9001,
+                                 column=321)
+        assert decoder.decode(decoder.encode(decoded)) == decoded
+
+    def test_policies_place_bank_differently(self):
+        kwargs = dict(bank_bits=3, row_bits=14, col_bits=10)
+        page = AddressDecoder(policy="row-bank-column", **kwargs)
+        bank = AddressDecoder(policy="bank-row-column", **kwargs)
+        address = 0b101 << 10  # three bits just above the column
+        assert page.decode(address).bank == 0b101
+        assert bank.decode(address).row == 0b101
+
+    def test_sequential_addresses_walk_columns(self):
+        decoder = AddressDecoder(bank_bits=3, row_bits=14, col_bits=10,
+                                 offset_bits=1)
+        first = decoder.decode(0)
+        second = decoder.decode(2)
+        assert (first.row, first.bank) == (second.row, second.bank)
+        assert second.column == first.column + 1
+
+    def test_flat_bank_spans_channel_and_rank(self):
+        decoder = AddressDecoder(bank_bits=3, row_bits=14, col_bits=10,
+                                 channel_bits=1, rank_bits=1)
+        low = decoder.flat_bank(DecodedAddress(bank=7))
+        high = decoder.flat_bank(DecodedAddress(channel=1, rank=1,
+                                                bank=0))
+        assert low == 7
+        # ((channel << rank_bits) | rank) << bank_bits = 0b11 << 3
+        assert high == 24
+
+    def test_encode_rejects_out_of_range_fields(self):
+        decoder = AddressDecoder(bank_bits=3, row_bits=14, col_bits=10)
+        with pytest.raises(Exception, match="bank 8"):
+            decoder.encode(DecodedAddress(bank=8))
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(Exception, match="policy"):
+            AddressDecoder(bank_bits=3, row_bits=14, col_bits=10,
+                           policy="column-major")
+
+    def test_from_device_matches_geometry(self, ddr3_device):
+        decoder = AddressDecoder.from_device(ddr3_device)
+        spec = ddr3_device.spec
+        assert decoder.bank_bits == spec.bank_bits
+        assert decoder.row_bits == spec.row_bits
+        assert decoder.col_bits == spec.col_bits
+        top = decoder.decode((1 << decoder.address_bits) - 1)
+        assert top.bank == (1 << spec.bank_bits) - 1
+
+
+class TestOpenPageExpansion:
+    def _decoder(self):
+        return AddressDecoder(bank_bits=3, row_bits=14, col_bits=10,
+                              offset_bits=2)
+
+    def test_row_switch_emits_precharge_and_activate(self):
+        decoder = self._decoder()
+        row_stride = 1 << (decoder.offset_bits + decoder.col_bits
+                           + decoder.bank_bits)
+        records = [
+            TraceRecord(0, "read", 0),
+            TraceRecord(4, "read", 10),          # same row: hit
+            TraceRecord(row_stride, "write", 20),  # new row: PRE+ACT
+        ]
+        commands = list(commands_from_records(records, decoder))
+        ops = [c.command for c in commands]
+        assert ops == [Command.ACT, Command.RD, Command.RD,
+                       Command.PRE, Command.ACT, Command.WR]
+
+    def test_refresh_closes_open_row(self):
+        decoder = self._decoder()
+        records = [
+            TraceRecord(0, "read", 0),
+            TraceRecord(0, "refresh", 50),
+            TraceRecord(0, "read", 100),
+        ]
+        ops = [c.command
+               for c in commands_from_records(records, decoder)]
+        assert ops == [Command.ACT, Command.RD, Command.PRE,
+                       Command.REF, Command.ACT, Command.RD]
+
+    def test_clock_scales_times(self):
+        decoder = self._decoder()
+        records = [TraceRecord(0, "read", 800)]
+        commands = list(commands_from_records(records, decoder,
+                                              clock=800e6))
+        assert commands[-1].time == pytest.approx(1e-6)
+        with pytest.raises(ValueError, match="clock"):
+            list(commands_from_records(records, decoder, clock=0.0))
+
+
+class TestEvaluateTraceFile:
+    def _write_trace(self, tmp_path, n=400):
+        lines = []
+        for i in range(n):
+            op = "P_MEM_WR" if i % 3 == 0 else "P_MEM_RD"
+            lines.append(f"0x{(i * 64) % (1 << 20):X} {op} {i * 16}")
+        lines.append(f"0x0 REF {n * 16}")
+        path = tmp_path / "trace.trc.gz"
+        path.write_bytes(gzip.compress("\n".join(lines).encode()))
+        return path, n
+
+    def test_end_to_end_matches_manual_fold(self, tmp_path,
+                                            ddr3_model):
+        path, n = self._write_trace(tmp_path)
+        result = evaluate_trace_file(ddr3_model, path)
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        accumulator = TraceAccumulator(ddr3_model, strict=False)
+        accumulator.feed(commands_from_records(read_trace(path),
+                                               decoder))
+        manual = accumulator.result()
+        assert result.counts[Command.RD] \
+            + result.counts[Command.WR] == n
+        assert result.counts[Command.REF] == 1
+        assert result.energy == manual.energy
+        assert result.counts == manual.counts
+
+    def test_streamed_chunks_match_file_path(self, tmp_path,
+                                             ddr3_model):
+        path, _ = self._write_trace(tmp_path)
+        one_shot = evaluate_trace_file(ddr3_model, path)
+        blob = path.read_bytes()
+        chunks = [blob[i:i + 256] for i in range(0, len(blob), 256)]
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        records = iter_records(
+            iter_lines(iter_decompressed(chunks)), "k6")
+        accumulator = TraceAccumulator(ddr3_model, strict=False)
+        accumulator.feed(commands_from_records(records, decoder))
+        streamed = accumulator.result()
+        assert streamed.energy == one_shot.energy
+        assert streamed.counts == one_shot.counts
+        assert streamed.duration == one_shot.duration
