@@ -292,6 +292,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
+    import os
 
     from .service import ApiKeyAuth, ServiceLimits, create_service
     from .service.prefork import serve_prefork
@@ -308,18 +309,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     auth = ApiKeyAuth.from_options(keys=args.api_key)
     cache = args.cache_dir or "disabled"
     guard = f"{len(auth)} API key(s)" if auth is not None else "open"
+    jobs_dir = args.jobs_dir
+    if jobs_dir is None and args.cache_dir is not None:
+        jobs_dir = os.path.join(args.cache_dir, "jobs")
+    jobs = jobs_dir or "disabled"
     if args.workers > 1:
         supervisor = serve_prefork(
             host=args.host, port=args.port, workers=args.workers,
             capacity=args.capacity, cache_dir=args.cache_dir,
             limits=limits, auth=auth,
             affinity=not args.no_affinity,
-            preseed=not args.no_preseed)
+            preseed=not args.no_preseed,
+            jobs_dir=jobs_dir, job_ttl=args.job_ttl)
         print(f"repro service listening on "
               f"http://{args.host}:{supervisor.port} "
               f"({args.workers} workers, "
               f"model-cache capacity={args.capacity}, "
-              f"cache-dir={cache}, auth={guard}, "
+              f"cache-dir={cache}, jobs-dir={jobs}, "
+              f"auth={guard}, "
               f"affinity={'off' if args.no_affinity else 'on'}); "
               f"SIGTERM or Ctrl-C drains and exits",
               flush=True)
@@ -330,11 +337,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = create_service(host=args.host, port=args.port,
                              capacity=args.capacity,
                              cache_dir=args.cache_dir,
-                             limits=limits, auth=auth)
+                             limits=limits, auth=auth,
+                             jobs_dir=jobs_dir,
+                             job_ttl=args.job_ttl)
     print(f"repro service listening on "
           f"http://{args.host}:{service.server_port} "
           f"(model-cache capacity={args.capacity}, "
-          f"cache-dir={cache}, auth={guard}, "
+          f"cache-dir={cache}, jobs-dir={jobs}, auth={guard}, "
           f"in-flight<={limits.max_inflight}, "
           f"queue<={limits.max_queue}, "
           f"request-timeout={limits.request_timeout:g}s); "
@@ -342,6 +351,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           flush=True)
     service.run()
     print("repro service stopped")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from .client import ServiceClient
+    from .errors import JobError, JobNotFound, ServiceError
+
+    client = ServiceClient(args.url, api_key=args.api_key,
+                           timeout=args.timeout)
+    try:
+        if args.job_command == "submit":
+            try:
+                params = json.loads(args.params)
+            except ValueError as exc:
+                print(f"error: --params is not valid JSON: {exc}",
+                      file=sys.stderr)
+                return 2
+            handle = client.submit_job(
+                args.kind, params=params,
+                chunk_size=args.chunk_size,
+                idempotency_key=args.key)
+            if args.wait:
+                print(json.dumps(handle.result(), indent=2))
+            else:
+                print(json.dumps(handle.submitted, indent=2))
+        elif args.job_command == "status":
+            print(json.dumps(client.job(args.job_id).status(),
+                             indent=2))
+        elif args.job_command == "watch":
+            handle = client.job(args.job_id)
+            last = None
+            for status in handle.watch(interval=args.interval,
+                                       timeout=args.timeout_watch):
+                line = (f"{status.get('state')} "
+                        f"{status.get('chunks_done', 0)}/"
+                        f"{status.get('chunks_total', '?')} chunks "
+                        f"({status.get('units_done', 0)}/"
+                        f"{status.get('units_total', '?')} units)")
+                if line != last:
+                    print(line, flush=True)
+                    last = line
+        elif args.job_command == "result":
+            result = client.job(args.job_id).result(
+                timeout=args.timeout_watch)
+            print(json.dumps(result, indent=2))
+        elif args.job_command == "cancel":
+            print(json.dumps(client.job(args.job_id).cancel(),
+                             indent=2))
+        else:  # list
+            print(json.dumps(client.request("GET", "/jobs"),
+                             indent=2))
+    except JobNotFound as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except JobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
     return 0
 
 
@@ -601,6 +674,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", dest="cache_dir", default=None,
                        help="persistent on-disk model cache directory "
                             "(default: disabled)")
+    serve.add_argument("--jobs-dir", dest="jobs_dir", default=None,
+                       help="durable job journal directory; default "
+                            "<cache-dir>/jobs when --cache-dir is "
+                            "set, else the job API is disabled")
+    serve.add_argument("--job-ttl", dest="job_ttl",
+                       type=float, default=3600.0,
+                       help="seconds a finished job's journal and "
+                            "result stay on disk before GC "
+                            "(default 3600)")
     serve.add_argument("--max-inflight", dest="max_inflight",
                        type=int, default=8,
                        help="concurrent requests admitted before "
@@ -649,6 +731,57 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log every request (DEBUG level)")
     serve.set_defaults(handler=_cmd_serve)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="submit and track durable jobs on a running "
+                     "service")
+    jobs.add_argument("--url", default="http://127.0.0.1:8080",
+                      help="service base URL "
+                           "(default http://127.0.0.1:8080)")
+    jobs.add_argument("--api-key", dest="api_key", default=None,
+                      help="X-Api-Key sent with every request")
+    jobs.add_argument("--timeout", type=float, default=60.0,
+                      help="per-request HTTP timeout in seconds "
+                           "(default 60)")
+    jobs_sub = jobs.add_subparsers(dest="job_command", required=True)
+    submit = jobs_sub.add_parser(
+        "submit", help="POST /jobs: submit a durable job")
+    submit.add_argument("kind",
+                        choices=["montecarlo", "evaluate", "sweep"],
+                        help="job kind")
+    submit.add_argument("--params", default="{}",
+                        help="job parameters as a JSON object "
+                             "(default {})")
+    submit.add_argument("--chunk-size", dest="chunk_size", type=int,
+                        default=None,
+                        help="units checkpointed per journal chunk")
+    submit.add_argument("--key", default=None,
+                        help="idempotency key: resubmits land on "
+                             "the same job")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until done and print the result")
+    status = jobs_sub.add_parser(
+        "status", help="GET /jobs/<id>: state and progress")
+    status.add_argument("job_id")
+    watch = jobs_sub.add_parser(
+        "watch", help="poll a job, printing progress until terminal")
+    watch.add_argument("job_id")
+    watch.add_argument("--interval", type=float, default=0.5,
+                       help="poll interval, seconds (default 0.5)")
+    watch.add_argument("--timeout", dest="timeout_watch", type=float,
+                       default=None,
+                       help="give up after this many seconds")
+    result = jobs_sub.add_parser(
+        "result", help="wait for and print a job's final result")
+    result.add_argument("job_id")
+    result.add_argument("--timeout", dest="timeout_watch",
+                        type=float, default=None,
+                        help="give up after this many seconds")
+    cancel = jobs_sub.add_parser(
+        "cancel", help="DELETE /jobs/<id>: cooperative cancel")
+    cancel.add_argument("job_id")
+    jobs_sub.add_parser("list", help="GET /jobs: list known jobs")
+    jobs.set_defaults(handler=_cmd_jobs)
 
     export = subparsers.add_parser(
         "export", help="write all experiment data as CSV/JSON")

@@ -59,7 +59,8 @@ from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator,
                     Optional, Tuple)
 from urllib.parse import urlencode, urlsplit
 
-from .errors import CircuitOpenError, ServiceError
+from .errors import (CircuitOpenError, JobError, JobNotFound,
+                     ServiceError)
 
 #: Statuses worth retrying: the service's load-shedding replies.
 RETRYABLE_STATUSES = frozenset({429, 503})
@@ -222,6 +223,60 @@ class CircuitBreaker:
 
 #: Sentinel distinguishing "default breaker" from "no breaker".
 _DEFAULT = object()
+
+
+class NDJSONStream:
+    """Iterator over one streamed NDJSON response.
+
+    Owns the dedicated (non-pooled) connection and closes it the
+    moment the stream logically ends — the terminal ``done`` record,
+    an in-band ``error`` record, EOF, or a transport failure — so an
+    abandoned or error-terminated stream never lingers as an open
+    socket waiting for garbage collection (and can never desync a
+    pooled connection: streams don't use the pool at all).
+    ``closed`` is observable for tests and callers.
+    """
+
+    def __init__(self, conn: http.client.HTTPConnection, url: str,
+                 response: Any):
+        self._conn = conn
+        self._url = url
+        self._response = response
+        self.closed = False
+
+    def __iter__(self) -> "NDJSONStream":
+        return self
+
+    def __next__(self) -> Dict[str, Any]:
+        if self.closed:
+            raise StopIteration
+        try:
+            line = self._response.readline()
+        except (http.client.HTTPException, OSError) as exc:
+            self.close()
+            raise ServiceError(
+                f"stream from {self._url} broke: "
+                f"{type(exc).__name__}: {exc}", status=0) from exc
+        if not line:
+            self.close()  # stream ended without a done record
+            raise StopIteration
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            self.close()
+            raise ServiceError(
+                f"invalid NDJSON from {self._url}: {exc}",
+                status=0) from exc
+        if not isinstance(record, dict) or record.get("done") \
+                or "error" in record:
+            self.close()
+        return record
+
+    def close(self) -> None:
+        """Idempotently release the dedicated connection."""
+        if not self.closed:
+            self.closed = True
+            self._conn.close()
 
 
 class ServiceClient:
@@ -627,13 +682,14 @@ class ServiceClient:
         return self._ndjson_records(conn, url, response)
 
     def _ndjson_records(self, conn: http.client.HTTPConnection,
-                        url: str, response: Any
-                        ) -> Iterator[Dict[str, Any]]:
+                        url: str, response: Any) -> "NDJSONStream":
         """Consume a chunked NDJSON response record by record.
 
         Raises :class:`ServiceError` for an error *status* before
-        yielding anything; the generator owns (and closes) the
-        dedicated connection.
+        yielding anything; the returned :class:`NDJSONStream` owns
+        the dedicated connection and closes it *eagerly* — on the
+        terminal record, an in-band error record, EOF, or transport
+        failure — not merely when the iterator is garbage-collected.
         """
         if response.status >= 400:
             data = response.read()
@@ -643,25 +699,7 @@ class ServiceClient:
                 status=response.status,
                 retry_after=_parse_retry_after(
                     response.headers.get("Retry-After")))
-
-        def records() -> Iterator[Dict[str, Any]]:
-            try:
-                while True:
-                    line = response.readline()
-                    if not line:
-                        return  # stream ended without a done record
-                    record = json.loads(line.decode("utf-8"))
-                    yield record
-                    if record.get("done"):
-                        return
-            except (http.client.HTTPException, OSError) as exc:
-                raise ServiceError(
-                    f"stream from {url} broke: "
-                    f"{type(exc).__name__}: {exc}", status=0) from exc
-            finally:
-                conn.close()
-
-        return records()
+        return NDJSONStream(conn, url, response)
 
     # ------------------------------------------------------------------
     def trace_stream(self, source: Any,
@@ -732,16 +770,49 @@ class ServiceClient:
         :class:`ServiceError`.
         """
         final: Optional[Dict[str, Any]] = None
-        for record in self.trace_stream(source, **options):
-            if "error" in record:
-                raise ServiceError(record["error"],
-                                   status=record.get("status", 400))
-            if record.get("done"):
-                final = record.get("result")
+        stream = self.trace_stream(source, **options)
+        try:
+            for record in stream:
+                if "error" in record:
+                    raise ServiceError(
+                        record["error"],
+                        status=record.get("status", 400),
+                        retry_after=record.get("retry_after"))
+                if record.get("done"):
+                    final = record.get("result")
+        finally:
+            stream.close()
         if final is None:
             raise ServiceError("trace stream ended without a result",
                                status=0)
         return final
+
+    # ------------------------------------------------------------------
+    def submit_job(self, kind: str,
+                   params: Optional[Dict[str, Any]] = None,
+                   chunk_size: Optional[int] = None,
+                   idempotency_key: Optional[str] = None,
+                   request_timeout: Optional[float] = None
+                   ) -> "JobHandle":
+        """``POST /jobs``: submit a durable job, get a handle.
+
+        With an ``idempotency_key`` the submit is safe to retry (and
+        is retried, through the normal policy): a repeat lands on
+        the same job instead of starting a second campaign.
+        """
+        payload: Dict[str, Any] = {"kind": kind,
+                                   "params": params or {}}
+        if chunk_size is not None:
+            payload["chunk_size"] = chunk_size
+        if idempotency_key is not None:
+            payload["idempotency_key"] = idempotency_key
+        status = self.request("POST", "/jobs", payload,
+                              request_timeout=request_timeout)
+        return JobHandle(self, status["job"], submitted=status)
+
+    def job(self, job_id: str) -> "JobHandle":
+        """A handle to an already-submitted job (no request made)."""
+        return JobHandle(self, job_id)
 
     # ------------------------------------------------------------------
     def wait_until_ready(self, timeout: float = 10.0,
@@ -781,3 +852,131 @@ class ServiceClient:
                 return False
             self._sleep(min(delay, remaining))
             delay = min(delay * 2.0, max_interval)
+
+
+# ----------------------------------------------------------------------
+# Durable-job handle.
+# ----------------------------------------------------------------------
+#: Job states after which the status can no longer change.
+JOB_TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class JobHandle:
+    """One durable job, addressed through a :class:`ServiceClient`.
+
+    The handle is resume-aware: the job lives in the *service's*
+    journal, not in this process, so a handle can be re-created from
+    a bare job id after a client crash (``client.job(job_id)``) and
+    :meth:`watch`/:meth:`result` keep polling straight through a
+    service restart.  The error model distinguishes the two failure
+    classes a poller must treat differently:
+
+    * a ``404`` means the job id is *unknown* (expired via TTL GC or
+      never submitted) — raised immediately as
+      :class:`~repro.errors.JobNotFound`, never retried;
+    * transport errors and shedding (status ``0``/``429``/``503``)
+      are *transient* — a restarting fleet answers that way while it
+      recovers the journal — so :meth:`watch` keeps polling them
+      down, bounded by its own timeout.
+    """
+
+    def __init__(self, client: ServiceClient, job_id: str,
+                 submitted: Optional[Dict[str, Any]] = None):
+        self.client = client
+        self.id = job_id
+        #: The ``POST /jobs`` response when this handle was created
+        #: by :meth:`ServiceClient.submit_job`, else ``None``.
+        self.submitted = submitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JobHandle({self.id!r})"
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """``GET /jobs/<id>``: current state, progress and partials."""
+        try:
+            return self.client.request("GET", f"/jobs/{self.id}")
+        except ServiceError as error:
+            if error.status == 404:
+                raise JobNotFound(
+                    f"job {self.id!r} unknown at "
+                    f"{self.client.base_url} (expired or never "
+                    f"submitted)") from error
+            raise
+
+    def cancel(self) -> Dict[str, Any]:
+        """``DELETE /jobs/<id>``: request cooperative cancellation."""
+        try:
+            return self.client.request("DELETE", f"/jobs/{self.id}")
+        except ServiceError as error:
+            if error.status == 404:
+                raise JobNotFound(
+                    f"job {self.id!r} unknown at "
+                    f"{self.client.base_url}") from error
+            raise
+
+    # ------------------------------------------------------------------
+    def watch(self, interval: float = 0.25,
+              timeout: Optional[float] = None
+              ) -> Iterator[Dict[str, Any]]:
+        """Yield status payloads until the job reaches a terminal
+        state.
+
+        Transient poll failures (transport errors, ``429``/``503``
+        shedding — the signature of a fleet restarting around a
+        durable job) are absorbed and polling continues; ``timeout``
+        bounds the *whole* watch, including such outages.  A ``404``
+        escapes immediately as :class:`~repro.errors.JobNotFound`.
+        """
+        clock = self.client._clock
+        expires = None if timeout is None else clock() + timeout
+        while True:
+            try:
+                status = self.status()
+            except JobNotFound:
+                raise
+            except ServiceError as error:
+                if error.status not in (0, 429, 503):
+                    raise
+                if expires is not None and clock() >= expires:
+                    raise
+                self.client._sleep(interval)
+                continue
+            yield status
+            if status.get("state") in JOB_TERMINAL_STATES:
+                return
+            if expires is not None and clock() >= expires:
+                raise JobError(
+                    f"watch timed out after {timeout:g}s; job "
+                    f"{self.id!r} still {status.get('state')!r} at "
+                    f"{status.get('chunks_done', 0)}/"
+                    f"{status.get('chunks_total', '?')} chunks")
+            self.client._sleep(interval)
+
+    def wait(self, interval: float = 0.25,
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until terminal; return the final status payload."""
+        status: Dict[str, Any] = {}
+        for status in self.watch(interval=interval, timeout=timeout):
+            pass
+        return status
+
+    def result(self, interval: float = 0.25,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The job's final result body, polling until it is durable.
+
+        Raises :class:`~repro.errors.JobError` when the job ends
+        ``failed`` (carrying the recorded error) or ``cancelled``,
+        and :class:`~repro.errors.JobNotFound` when the id is
+        unknown.
+        """
+        status = self.wait(interval=interval, timeout=timeout)
+        state = status.get("state")
+        if state == "failed":
+            raise JobError(
+                f"job {self.id!r} failed: "
+                f"{status.get('error', 'unknown error')}")
+        if state == "cancelled":
+            raise JobError(f"job {self.id!r} was cancelled")
+        payload = self.client.request("GET", f"/jobs/{self.id}/result")
+        return payload["result"]

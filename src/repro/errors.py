@@ -82,6 +82,27 @@ class ServiceError(ReproError):
         super().__init__(message)
 
 
+class JobError(ReproError):
+    """A durable job could not be submitted, executed, or resumed.
+
+    Raised by :mod:`repro.jobs` for malformed specs, idempotency-key
+    conflicts, and by :class:`repro.client.JobHandle` when a watched
+    job terminates in the ``failed`` state.
+    """
+
+
+class JobNotFound(ServiceError):
+    """The referenced job id does not exist (HTTP 404).
+
+    Distinguished from transient transport/shedding errors so a
+    resume-aware client can fail fast on a genuinely unknown id while
+    tolerating 429/503/connection blips during polling.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, status=404)
+
+
 class CircuitOpenError(ServiceError):
     """The client-side circuit breaker is open: the request was not
     attempted at all.

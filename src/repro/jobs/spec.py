@@ -1,0 +1,388 @@
+"""Job specifications and deterministic chunk planning.
+
+A *job spec* is the durable, JSON-serialisable description of a wide
+workload — what to compute, never how far it got (progress lives in
+the journal).  Planning a spec against a session yields a
+:class:`JobPlan`: a fixed number of work *units* split into
+contiguous chunks of ``chunk_size`` units each.  Two properties make
+crash-resume bit-for-bit exact:
+
+* planning is **deterministic** — the unit list depends only on the
+  spec (Monte-Carlo device draws are regenerated from the seed, so a
+  resumed runner sees the same devices at the same indices as the
+  crashed one);
+* chunks are **independent and ordered** — each chunk's JSON result
+  depends only on its own units, and :meth:`JobPlan.assemble` merges
+  the chunk map in index order, so mixing journal-replayed chunks
+  with freshly computed ones reproduces the uninterrupted result
+  exactly (Python round-trips floats through JSON losslessly).
+
+Three kinds cover the ROADMAP's fleet-scale campaigns:
+
+* ``montecarlo`` — VAR-DRAM-style variation sweeps; one unit = one
+  sampled device, result rows match
+  :class:`repro.analysis.montecarlo.Distribution` summaries;
+* ``evaluate`` — wide device batches; one unit = one device, the
+  assembled result matches buffered ``POST /evaluate``;
+* ``sweep`` — the named sweep families; one unit = one decomposed
+  sweep slice (parameter / node / scheme; ``corners`` is one unit),
+  rows in the same order the streaming endpoint emits them.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.corners import (STANDARD_CORNERS, VENDOR_SPREAD_CORNERS,
+                                corner_sweep)
+from ..analysis.montecarlo import (DEFAULT_SIGMAS, Distribution,
+                                   _measure_milliamps, _sample_variant)
+from ..analysis.sensitivity import PARAMETERS, sensitivity
+from ..analysis.trends import generation_trend
+from ..core.idd import IddMeasure
+from ..engine import AUTO, EvaluationSession
+from ..errors import JobError, ReproError, ServiceError
+from ..schemes import ALL_SCHEMES, compare_schemes
+from ..service.jsonapi import (SWEEPS, _evaluation, corner_row,
+                               device_from_payload,
+                               parse_evaluate_request, scheme_row,
+                               sensitivity_row, trend_row)
+from ..technology.roadmap import nodes
+
+#: Default units per journaled chunk.
+DEFAULT_CHUNK_SIZE = 8
+
+#: Hard ceiling on Monte-Carlo samples per job (memory guard).
+MAX_SAMPLES = 1_000_000
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A durable job description: what to run, in chunks of what."""
+
+    kind: str
+    params: Mapping[str, Any]
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params),
+                "chunk_size": self.chunk_size}
+
+    def canonical(self) -> str:
+        """Key-sorted JSON — the idempotency comparison form."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def parse_job_spec(payload: Any) -> JobSpec:
+    """Decode and eagerly validate a ``POST /jobs`` body.
+
+    Raises :class:`ServiceError` (HTTP 400) on anything malformed so
+    a bad spec is rejected at submit time, never accepted and then
+    failed asynchronously.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("request body must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ServiceError(
+            f"unknown job kind {kind!r}; choose from "
+            + "/".join(sorted(JOB_KINDS)))
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ServiceError("'params' must be a JSON object")
+    chunk_size = payload.get("chunk_size", DEFAULT_CHUNK_SIZE)
+    if not isinstance(chunk_size, int) or chunk_size < 1:
+        raise ServiceError("'chunk_size' must be a positive integer")
+    spec = JobSpec(kind=kind, params=params, chunk_size=chunk_size)
+    JOB_KINDS[kind].validate(params)
+    return spec
+
+
+class JobPlan:
+    """Deterministic chunked execution plan of one spec."""
+
+    def __init__(self, spec: JobSpec, session: EvaluationSession):
+        self.spec = spec
+        self.session = session
+        self.units = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def chunk_count(self) -> int:
+        size = self.spec.chunk_size
+        return (self.units + size - 1) // size
+
+    def chunk_range(self, index: int) -> Tuple[int, int]:
+        low = index * self.spec.chunk_size
+        return low, min(self.units, low + self.spec.chunk_size)
+
+    def units_done(self, chunks: Mapping[int, Any]) -> int:
+        return sum(len(result) for result in chunks.values())
+
+    def _merged(self, chunks: Mapping[int, Any]) -> List[Any]:
+        """Unit results in index order; raises if a chunk is absent."""
+        merged: List[Any] = []
+        for index in range(self.chunk_count):
+            if index not in chunks:
+                raise JobError(f"chunk {index} missing at assembly")
+            merged.extend(chunks[index])
+        return merged
+
+    # -- kind-specific hooks -------------------------------------------
+    @classmethod
+    def validate(cls, params: Mapping[str, Any]) -> None:
+        """Cheap eager validation; raises :class:`ServiceError`."""
+        raise NotImplementedError
+
+    def run_chunk(self, index: int) -> List[Any]:
+        """Evaluate one chunk to a JSON-safe list of unit results."""
+        raise NotImplementedError
+
+    def assemble(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        """The final job result from the complete chunk map."""
+        raise NotImplementedError
+
+    def partial(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        """Cheap progress aggregate for ``GET /jobs/<id>``."""
+        return {"units_done": self.units_done(chunks),
+                "units_total": self.units}
+
+
+def _execution_options(params: Mapping[str, Any]
+                       ) -> Tuple[Optional[int], Optional[str]]:
+    jobs = params.get("jobs")
+    if jobs is not None and not isinstance(jobs, int):
+        raise ServiceError("'jobs' must be an integer worker count")
+    backend = params.get("backend", AUTO)
+    if backend is not None and not isinstance(backend, str):
+        raise ServiceError("'backend' must be a backend name")
+    return jobs, backend
+
+
+class MonteCarloPlan(JobPlan):
+    """``montecarlo``: one unit per sampled device variant."""
+
+    def __init__(self, spec: JobSpec, session: EvaluationSession):
+        super().__init__(spec, session)
+        params = spec.params
+        self.device = device_from_payload(params.get("device", {}))
+        self.samples = int(params["samples"])
+        self.seed = int(params.get("seed", 1))
+        self.measures = tuple(
+            IddMeasure(name) for name in params.get(
+                "measures", ("idd0", "idd4r")))
+        sigmas = params.get("sigmas")
+        self.sigmas = dict(DEFAULT_SIGMAS if sigmas is None
+                           else sigmas)
+        self.jobs, self.backend = _execution_options(params)
+        # The deterministic core: the whole draw sequence depends
+        # only on the seed, so a resumed plan regenerates the exact
+        # device list and evaluates only the missing chunks.
+        rng = random.Random(self.seed)
+        self.devices = [
+            _sample_variant(rng, self.sigmas).apply(self.device)
+            for _ in range(self.samples)]
+        self.units = self.samples
+
+    @classmethod
+    def validate(cls, params: Mapping[str, Any]) -> None:
+        samples = params.get("samples")
+        if not isinstance(samples, int) or samples < 1:
+            raise ServiceError("'samples' must be a positive integer")
+        if samples > MAX_SAMPLES:
+            raise ServiceError(
+                f"'samples' capped at {MAX_SAMPLES}")
+        seed = params.get("seed", 1)
+        if not isinstance(seed, int):
+            raise ServiceError("'seed' must be an integer")
+        sigmas = params.get("sigmas")
+        if sigmas is not None and not isinstance(sigmas, dict):
+            raise ServiceError("'sigmas' must be a JSON object")
+        try:
+            for name in params.get("measures", ("idd0", "idd4r")):
+                IddMeasure(name)
+        except (ValueError, TypeError) as exc:
+            raise ServiceError(f"bad measure: {exc}") from exc
+        device_from_payload(params.get("device", {}))
+        _execution_options(params)
+
+    def run_chunk(self, index: int) -> List[Any]:
+        low, high = self.chunk_range(index)
+        return self.session.map(
+            self.devices[low:high],
+            partial(_measure_milliamps, measures=self.measures),
+            jobs=self.jobs, backend=self.backend)
+
+    def _distributions(self, series: List[List[float]]
+                       ) -> List[Distribution]:
+        return [Distribution(measure=which,
+                             samples=tuple(row[column]
+                                           for row in series))
+                for column, which in enumerate(self.measures)]
+
+    def assemble(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        rows = []
+        for dist in self._distributions(self._merged(chunks)):
+            rows.append({"measure": dist.measure.value,
+                         "mean_ma": dist.mean,
+                         "stdev_ma": dist.stdev,
+                         "min_ma": dist.minimum,
+                         "max_ma": dist.maximum,
+                         "p95_ma": dist.percentile(0.95),
+                         "guard_band": dist.guard_band})
+        return {"kind": "montecarlo", "device": self.device.name,
+                "samples": self.samples, "seed": self.seed,
+                "measures": [m.value for m in self.measures],
+                "rows": rows}
+
+    def partial(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        progress = super().partial(chunks)
+        series = [row for index in sorted(chunks)
+                  for row in chunks[index]]
+        if series:
+            progress["rows"] = [
+                {"measure": dist.measure.value, "mean_ma": dist.mean}
+                for dist in self._distributions(series)]
+        return progress
+
+
+class EvaluatePlan(JobPlan):
+    """``evaluate``: one unit per device of a wide batch."""
+
+    def __init__(self, spec: JobSpec, session: EvaluationSession):
+        super().__init__(spec, session)
+        self.devices, self.pattern = parse_evaluate_request(
+            dict(spec.params))
+        self.units = len(self.devices)
+
+    @classmethod
+    def validate(cls, params: Mapping[str, Any]) -> None:
+        parse_evaluate_request(dict(params))
+
+    def run_chunk(self, index: int) -> List[Any]:
+        low, high = self.chunk_range(index)
+        try:
+            return [_evaluation(self.session.model(device),
+                                self.pattern)
+                    for device in self.devices[low:high]]
+        except ServiceError:
+            raise
+        except ReproError as exc:
+            raise JobError(str(exc)) from exc
+
+    def assemble(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        results = self._merged(chunks)
+        return {"kind": "evaluate", "count": len(results),
+                "results": results}
+
+
+class SweepPlan(JobPlan):
+    """``sweep``: one unit per decomposed slice of a named sweep.
+
+    Mirrors the streaming decomposition (``sensitivity`` per
+    parameter, ``trends`` per node, ``schemes`` per scheme,
+    ``corners`` as a single unit) so resumable rows keep the
+    streaming order.
+    """
+
+    def __init__(self, spec: JobSpec, session: EvaluationSession):
+        super().__init__(spec, session)
+        params = spec.params
+        self.sweep = params.get("kind")
+        self.jobs, self.backend = _execution_options(params)
+        self.variation = float(params.get("variation", 0.2))
+        self.vendor = bool(params.get("vendor", False))
+        self.io_width = int(params.get("io_width", 16))
+        if self.sweep in ("sensitivity", "corners", "schemes"):
+            self.device = device_from_payload(
+                params.get("device", {}))
+        else:
+            self.device = None
+        if self.sweep == "sensitivity":
+            self.slices: List[Any] = list(PARAMETERS)
+        elif self.sweep == "trends":
+            node_list = params.get("nodes")
+            if node_list is None:
+                node_list = list(nodes())
+            self.slices = list(node_list)
+        elif self.sweep == "schemes":
+            self.slices = list(ALL_SCHEMES)
+        else:
+            self.slices = [None]  # corners: one indivisible unit
+        self.units = len(self.slices)
+
+    @classmethod
+    def validate(cls, params: Mapping[str, Any]) -> None:
+        sweep = params.get("kind")
+        if sweep not in SWEEPS:
+            raise ServiceError(
+                f"unknown sweep kind {sweep!r}; choose from "
+                + "/".join(sorted(SWEEPS)))
+        node_list = params.get("nodes")
+        if node_list is not None and not isinstance(node_list, list):
+            raise ServiceError("'nodes' must be a list of nodes in nm")
+        if sweep in ("sensitivity", "corners", "schemes"):
+            device_from_payload(params.get("device", {}))
+        _execution_options(params)
+
+    def _slice_rows(self, item: Any) -> List[Any]:
+        if self.sweep == "sensitivity":
+            results = sensitivity(self.device,
+                                  variation=self.variation,
+                                  parameters=(item,),
+                                  session=self.session,
+                                  jobs=self.jobs,
+                                  backend=self.backend)
+            return [sensitivity_row(result) for result in results]
+        if self.sweep == "trends":
+            points = generation_trend(io_width=self.io_width,
+                                      node_list=[item],
+                                      session=self.session,
+                                      jobs=self.jobs,
+                                      backend=self.backend)
+            return [trend_row(point) for point in points]
+        if self.sweep == "schemes":
+            results = compare_schemes(self.device, schemes=(item,),
+                                      session=self.session,
+                                      jobs=self.jobs,
+                                      backend=self.backend)
+            return [scheme_row(result) for result in results]
+        corners = (VENDOR_SPREAD_CORNERS if self.vendor
+                   else STANDARD_CORNERS)
+        bands = corner_sweep(self.device, corners=corners,
+                             session=self.session, jobs=self.jobs,
+                             backend=self.backend)
+        return [corner_row(band) for band in bands]
+
+    def run_chunk(self, index: int) -> List[Any]:
+        low, high = self.chunk_range(index)
+        try:
+            return [self._slice_rows(item)
+                    for item in self.slices[low:high]]
+        except ServiceError:
+            raise
+        except (ReproError, ValueError, TypeError) as exc:
+            raise JobError(str(exc)) from exc
+
+    def assemble(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        rows = [row for unit in self._merged(chunks) for row in unit]
+        return {"kind": "sweep", "sweep": self.sweep,
+                "count": len(rows), "rows": rows}
+
+
+#: Registered job kinds, keyed by spec ``kind``.
+JOB_KINDS: Dict[str, Any] = {
+    "montecarlo": MonteCarloPlan,
+    "evaluate": EvaluatePlan,
+    "sweep": SweepPlan,
+}
+
+
+def plan_job(spec: JobSpec,
+             session: EvaluationSession) -> JobPlan:
+    """Instantiate the plan for ``spec`` against ``session``."""
+    return JOB_KINDS[spec.kind](spec, session)

@@ -41,6 +41,13 @@ caches hold its device (one-hop ``307``), ``"stream": true`` turns
 batch replies into chunked NDJSON (:mod:`repro.service.streaming`),
 API keys guard the perimeter (:mod:`repro.service.auth`), and
 ``GET /stats?scope=cluster`` merges the whole fleet's counters.
+
+Durability: with ``--jobs-dir`` (defaulted to ``<cache-dir>/jobs``
+by the CLI) the service also fronts the crash-recoverable job layer
+(:mod:`repro.jobs`) — ``POST /jobs`` submits journaled, chunk-
+checkpointed campaigns, ``GET /jobs/<id>`` reports progress,
+``DELETE /jobs/<id>`` cancels cooperatively, and the prefork
+supervisor reassigns jobs orphaned by a killed worker.
 """
 
 from .admission import (AdmissionController, AdmissionShed, Deadline,

@@ -55,8 +55,17 @@ _LOG = logging.getLogger("repro.service.faults")
 #: Environment variable holding a JSON list of fault rules.
 FAULTS_ENV = "REPRO_FAULTS"
 
-#: Recognised rule kinds.
+#: Recognised request-level rule kinds.
 KINDS = ("latency", "error", "reset")
+
+#: Job-level rule kinds consulted by :mod:`repro.jobs` runners, not
+#: by the request handler.  ``job-crash`` SIGKILLs the worker at a
+#: named fault ``point`` (``mid-chunk`` — work computed but not yet
+#: journaled; ``after-checkpoint`` — journaled but status not yet
+#: updated); ``job-torn-write`` makes the journal append cut its
+#: line in half before the kill, leaving the torn tail replay must
+#: tolerate.
+JOB_KINDS = ("job-crash", "job-torn-write")
 
 
 class InjectedFault(ServiceError):
@@ -72,11 +81,17 @@ class FaultRule:
     times: int = -1
     seconds: float = 0.0
     status: int = 500
+    point: str = "*"
 
     def matches(self, path: str) -> bool:
         if self.times == 0:
             return False
         return self.path in ("*", path)
+
+    def matches_point(self, point: str) -> bool:
+        if self.times == 0:
+            return False
+        return self.point in ("*", point)
 
     def consume(self) -> None:
         if self.times > 0:
@@ -85,14 +100,15 @@ class FaultRule:
     @classmethod
     def from_dict(cls, spec: Mapping[str, Any]) -> "FaultRule":
         kind = spec.get("kind")
-        if kind not in KINDS:
+        if kind not in KINDS + JOB_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}; choose "
-                             "from " + "/".join(KINDS))
+                             "from " + "/".join(KINDS + JOB_KINDS))
         return cls(kind=kind,
                    path=str(spec.get("path", "*")),
                    times=int(spec.get("times", -1)),
                    seconds=float(spec.get("seconds", 0.0)),
-                   status=int(spec.get("status", 500)))
+                   status=int(spec.get("status", 500)),
+                   point=str(spec.get("point", "*")))
 
 
 @dataclass
@@ -105,7 +121,8 @@ class FaultInjector:
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
-        self.fired: Dict[str, int] = {kind: 0 for kind in KINDS}
+        self.fired: Dict[str, int] = {
+            kind: 0 for kind in KINDS + JOB_KINDS}
 
     @property
     def active(self) -> bool:
@@ -148,6 +165,8 @@ class FaultInjector:
         verdict: Optional[FaultRule] = None
         with self._lock:
             for rule in self.rules:
+                if rule.kind not in KINDS:
+                    continue  # job-level rules: not per-request
                 if not rule.matches(path):
                     continue
                 if rule.kind == "latency":
@@ -169,6 +188,36 @@ class FaultInjector:
                 f"injected fault on {path}", status=verdict.status)
         return "reset"
 
+    # ------------------------------------------------------------------
+    def _consume_job_rule(self, kind: str, point: str) -> bool:
+        with self._lock:
+            for rule in self.rules:
+                if rule.kind != kind:
+                    continue
+                if not rule.matches_point(point):
+                    continue
+                rule.consume()
+                self.fired[kind] += 1
+                return True
+        return False
+
+    def job_crash(self, point: str) -> bool:
+        """Whether a ``job-crash`` rule fires at this fault point.
+
+        The *caller* performs the SIGKILL (via :func:`kill_self`) so
+        runners can order the crash precisely against their journal
+        writes.  Points: ``mid-chunk``, ``after-checkpoint``.
+        """
+        if not self.rules:
+            return False
+        return self._consume_job_rule("job-crash", point)
+
+    def job_torn_write(self) -> bool:
+        """Whether the next journal append should be torn short."""
+        if not self.rules:
+            return False
+        return self._consume_job_rule("job-torn-write", "*")
+
     def snapshot(self) -> Dict[str, int]:
         """Fired-fault counters for ``GET /stats`` and assertions."""
         with self._lock:
@@ -178,6 +227,16 @@ class FaultInjector:
 # ----------------------------------------------------------------------
 # Worker-kill helpers for executor fault-tolerance tests.
 # ----------------------------------------------------------------------
+def kill_self() -> None:
+    """``SIGKILL`` the current process — the job-crash primitive.
+
+    Used by job runners when a ``job-crash``/``job-torn-write`` rule
+    fires: no cleanup, no atexit, no flushing beyond what already
+    hit the disk — exactly the failure mode the journal must absorb.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def in_worker_process() -> bool:
     """Whether this process is a multiprocessing pool worker."""
     return multiprocessing.parent_process() is not None

@@ -117,7 +117,9 @@ def _worker_main(worker_id: int, host: str, port: int,
                  capacity: int, cache_dir: Optional[str],
                  limits: Optional[ServiceLimits],
                  auth: Optional[ApiKeyAuth], affinity: bool,
-                 run_dir: str, shm_name: Optional[str]) -> None:
+                 run_dir: str, shm_name: Optional[str],
+                 jobs_dir: Optional[str] = None,
+                 job_ttl: float = 3600.0) -> None:
     """One worker process: twin servers over one warm session.
 
     The *primary* server accepts on the shared port; the *direct*
@@ -136,7 +138,8 @@ def _worker_main(worker_id: int, host: str, port: int,
                                 cache_dir=cache_dir, limits=limits,
                                 auth=auth, worker_id=worker_id,
                                 registry=registry, affinity=affinity,
-                                listen_socket=listen_sock)
+                                listen_socket=listen_sock,
+                                jobs_dir=jobs_dir, job_ttl=job_ttl)
     direct = EvaluationService(("127.0.0.1", 0), auth=auth,
                                worker_id=worker_id, registry=registry,
                                affinity=False, shared_with=primary)
@@ -189,7 +192,9 @@ class PreforkSupervisor:
                  affinity: bool = True,
                  preseed: bool = True,
                  run_dir: Optional[str] = None,
-                 grace: float = DEFAULT_GRACE):
+                 grace: float = DEFAULT_GRACE,
+                 jobs_dir: Optional[str] = None,
+                 job_ttl: float = 3600.0):
         if workers < 1:
             raise ValueError("workers must be a positive count")
         self.host = host
@@ -204,7 +209,11 @@ class PreforkSupervisor:
         self.preseed = preseed
         self.grace = grace
         self.run_dir = run_dir
+        self.jobs_dir = jobs_dir
+        self.job_ttl = job_ttl
         self.respawns = 0
+        self.job_reassignments = 0
+        self._orphan_scan_at = 0.0
         self._own_run_dir = run_dir is None
         self._anchor: Optional[socket.socket] = None
         self._store: Optional[SharedStageStore] = None
@@ -235,6 +244,10 @@ class PreforkSupervisor:
         self.port = self._anchor.getsockname()[1]
         if self.run_dir is None:
             self.run_dir = tempfile.mkdtemp(prefix="repro-prefork-")
+        if self.jobs_dir is None and self.cache_dir is not None:
+            # The shared cache dir is the durable home the journaled
+            # jobs need to survive a full-fleet restart.
+            self.jobs_dir = os.path.join(self.cache_dir, "jobs")
         if self.preseed:
             payload = _preseed_payload(self.capacity, self.cache_dir)
             self._store = publish_stage_payload(payload)
@@ -250,7 +263,8 @@ class PreforkSupervisor:
             args=(worker_id, self.host, self.port, self._anchor,
                   self._reuseport, self.capacity, self.cache_dir,
                   self.limits, self.auth, self.affinity,
-                  self.run_dir, shm_name),
+                  self.run_dir, shm_name, self.jobs_dir,
+                  self.job_ttl),
             name=f"repro-worker-{worker_id}")
         proc.start()
         self._procs[worker_id] = proc
@@ -280,6 +294,37 @@ class PreforkSupervisor:
                 return
             self._spawn(worker_id)
 
+    def _reassign_orphan_jobs(self) -> None:
+        """Point dead workers' journaled jobs at live ones.
+
+        Runs at most once a second: reads the registry (pid-liveness
+        filters the dead), and asks the shared
+        :class:`~repro.jobs.store.JobStore` to reassign any running
+        job whose recorded owner pid no longer exists.  The adopting
+        worker replays the job's journal and resumes from the last
+        durable chunk.
+        """
+        if self.jobs_dir is None:
+            return
+        now = time.monotonic()
+        if now - self._orphan_scan_at < 1.0:
+            return
+        self._orphan_scan_at = now
+        try:
+            from ..jobs.store import JobStore
+            registry = WorkerRegistry(self.run_dir)
+            live = registry.entries(refresh=True)
+            if not live:
+                return
+            moved = JobStore(self.jobs_dir).reassign_orphans(live)
+            if moved:
+                _LOG.warning(
+                    "reassigned %d orphaned job(s) to live workers",
+                    moved)
+                self.job_reassignments += moved
+        except Exception:  # pragma: no cover - defensive
+            _LOG.exception("orphan-job reassignment failed")
+
     def stop(self) -> None:
         """Ask the watch loop to drain the fleet and return."""
         self._stop.set()
@@ -305,6 +350,7 @@ class PreforkSupervisor:
         try:
             while not self._stop.wait(0.2):
                 self._respawn_dead()
+                self._reassign_orphan_jobs()
         finally:
             self._shutdown_workers()
             self._cleanup()
@@ -352,7 +398,9 @@ def serve_prefork(host: str, port: int, workers: int,
                   limits: Optional[ServiceLimits] = None,
                   auth: Optional[ApiKeyAuth] = None,
                   affinity: bool = True,
-                  preseed: bool = True) -> PreforkSupervisor:
+                  preseed: bool = True,
+                  jobs_dir: Optional[str] = None,
+                  job_ttl: float = 3600.0) -> PreforkSupervisor:
     """A started supervisor (fleet forked, port resolved).
 
     The caller — normally :mod:`repro.cli` — announces
@@ -362,6 +410,7 @@ def serve_prefork(host: str, port: int, workers: int,
     supervisor = PreforkSupervisor(
         host=host, port=port, workers=workers, capacity=capacity,
         cache_dir=cache_dir, limits=limits, auth=auth,
-        affinity=affinity, preseed=preseed)
+        affinity=affinity, preseed=preseed, jobs_dir=jobs_dir,
+        job_ttl=job_ttl)
     supervisor.start()
     return supervisor

@@ -99,6 +99,10 @@ class WorkerRegistry:
         self._cached: Dict[int, Dict[str, Any]] = {}
         self._read_at = -1.0
 
+    #: Age (seconds) past which an unattributable staging file is
+    #: assumed crash-leaked and collected.
+    STALE_STAGING_SECONDS = 60.0
+
     def _path(self, worker_id: int) -> Path:
         return self.directory / f"worker-{worker_id}.json"
 
@@ -125,6 +129,7 @@ class WorkerRegistry:
             if not refresh and now - self._read_at < self.ttl:
                 return dict(self._cached)
         fresh: Dict[int, Dict[str, Any]] = {}
+        self._gc_stale_staging()
         try:
             paths = sorted(self.directory.glob("worker-*.json"))
         except OSError:
@@ -142,6 +147,40 @@ class WorkerRegistry:
             self._cached = fresh
             self._read_at = now
         return dict(fresh)
+
+    def _gc_stale_staging(self) -> None:
+        """Collect crash-leaked ``worker-*.tmp<pid>`` staging files.
+
+        :meth:`write` publishes entries via ``.tmp<pid>`` + rename; a
+        worker killed between the two leaks the staging file forever.
+        The writer's pid is in the suffix, so a dead pid identifies a
+        leak exactly; files without a parseable pid fall back to an
+        age check (a live writer renames within milliseconds).
+        """
+        try:
+            leaks = list(self.directory.glob("worker-*.tmp*"))
+        except OSError:  # pragma: no cover - directory racing away
+            return
+        now = time.time()
+        for path in leaks:
+            suffix = path.suffix  # ".tmp<pid>"
+            try:
+                writer = int(suffix[4:])
+            except ValueError:
+                writer = None
+            if writer is not None:
+                stale = not pid_alive(writer)
+            else:
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue  # already gone
+                stale = age > self.STALE_STAGING_SECONDS
+            if stale:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - raced unlink
+                    pass
 
 
 class AffinityRouter:

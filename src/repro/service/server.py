@@ -27,7 +27,9 @@ row, so long batches deliver results as they complete.
 memory traces — JSON-wrapped or as a raw, optionally gzipped and
 chunk-framed body of unbounded length — and streams incremental
 energy/power aggregates back while folding the upload in constant
-memory.
+memory.  ``/jobs`` (POST/GET/DELETE, enabled by ``jobs_dir``) fronts
+the durable job layer (:mod:`repro.jobs`): long campaigns submitted
+once, journaled at chunk granularity, resumable across crashes.
 
 Scale-out hooks (used by :mod:`repro.service.prefork`): a pre-bound
 ``listen_socket`` (``SO_REUSEPORT``) can replace the usual bind; a
@@ -244,17 +246,39 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 else:
                     body = self.server.stats_payload()
                 self._reply(200, body)
+            elif path == "/jobs" or path.startswith("/jobs/"):
+                self._reply(200, self.server.job_payload(path))
             else:
                 self._reply(404, {"error": f"unknown path {path!r}"})
         except InjectedFault as exc:
             self._reply(exc.status or 500, {"error": str(exc)})
+        except ServiceError as exc:
+            self._reply(exc.status or 400, {"error": str(exc)})
+
+    def do_DELETE(self) -> None:
+        self.busy = True
+        path = urlsplit(self.path).path
+        if not self._authorized(path):
+            return
+        try:
+            if self.server.faults.before_request(path) == "reset":
+                self._abort_connection()
+                return
+            parts = path.split("/")
+            if (len(parts) == 3 and parts[1] == "jobs"
+                    and parts[2]):
+                self._reply(200, self.server.cancel_job(parts[2]))
+            else:
+                self._reply(404, {"error": f"unknown path {path!r}"})
+        except ServiceError as exc:
+            self._reply(exc.status or 400, {"error": str(exc)})
 
     def do_POST(self) -> None:
         self.busy = True
         path = urlsplit(self.path).path
         if not self._authorized(path):
             return
-        if path not in ("/evaluate", "/sweep", "/trace"):
+        if path not in ("/evaluate", "/sweep", "/trace", "/jobs"):
             self._reply(404, {"error": f"unknown path {path!r}"})
             return
         server = self.server
@@ -282,6 +306,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self._handle_trace(deadline)
                     return
                 payload = self._read_json()
+                if path == "/jobs":
+                    # Submission is cheap (validation only); the job
+                    # itself runs asynchronously on the manager.
+                    self._reply(200, server.submit_job(payload))
+                    return
                 location = server.affinity_redirect(
                     path, payload, self.headers)
                 if location is not None:
@@ -530,6 +559,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _reply(self, status: int, payload: Dict[str, Any],
                retry_after: Optional[float] = None) -> None:
         server = self.server
+        if retry_after is None and status in (429, 503):
+            # Every shedding-class reply carries the Retry-After
+            # hint, whatever code path produced it (admission,
+            # injected faults, disabled subsystems) — clients size
+            # their backoff from it.
+            retry_after = server.limits.retry_after
         # Tally before the body goes out: a client that sees this
         # response and immediately asks /stats must find the request
         # already counted.
@@ -656,7 +691,9 @@ class EvaluationService(ThreadingHTTPServer):
                  affinity: bool = True,
                  listen_socket: Optional[socket.socket] = None,
                  shared_with: Optional["EvaluationService"] = None,
-                 gzip_min_bytes: int = GZIP_MIN_BYTES):
+                 gzip_min_bytes: int = GZIP_MIN_BYTES,
+                 jobs_dir: Optional[str] = None,
+                 job_ttl: float = 3600.0):
         if listen_socket is None:
             super().__init__(address, ServiceHandler)
         else:
@@ -691,6 +728,8 @@ class EvaluationService(ThreadingHTTPServer):
             self.counters = shared_with.counters
             self.started_monotonic = shared_with.started_monotonic
             self.started_unix = shared_with.started_unix
+            self.jobs = shared_with.jobs
+            self._owns_jobs = False
             return
         self.session = EvaluationSession(capacity=capacity,
                                          cache_dir=cache_dir)
@@ -704,6 +743,22 @@ class EvaluationService(ThreadingHTTPServer):
         self.counters = ServiceCounters()
         self.started_monotonic = time.monotonic()
         self.started_unix = time.time()
+        # Durable jobs need a durable directory: enabled when the
+        # caller names one (the CLI defaults it to
+        # ``<cache-dir>/jobs``), otherwise /jobs answers 503 rather
+        # than journaling into a directory that vanishes with the
+        # process.
+        self.jobs = None
+        self._owns_jobs = False
+        if jobs_dir is not None:
+            # Imported lazily: repro.jobs itself imports service
+            # submodules for payload formatting.
+            from ..jobs.manager import JobManager
+            self.jobs = JobManager(jobs_dir, session=self.session,
+                                   worker_id=worker_id,
+                                   faults=self.faults, ttl=job_ttl)
+            self._owns_jobs = True
+            self.jobs.start()
 
     # ------------------------------------------------------------------
     def count_request(self, path: str, status: int) -> None:
@@ -742,6 +797,44 @@ class EvaluationService(ThreadingHTTPServer):
                 "uptime_seconds": self.uptime_seconds,
                 "worker": self.worker_id}
 
+    # ------------------------------------------------------------------
+    # Durable jobs (POST/GET/DELETE /jobs — see docs/JOBS.md).
+    # ------------------------------------------------------------------
+    def _require_jobs(self):
+        if self.jobs is None:
+            raise ServiceError(
+                "job subsystem disabled: start the service with "
+                "--cache-dir or --jobs-dir", status=503)
+        return self.jobs
+
+    def submit_job(self, payload: Any) -> Dict[str, Any]:
+        """``POST /jobs``: validate, persist, kick the manager."""
+        return self._require_jobs().submit(payload)
+
+    def job_payload(self, path: str) -> Dict[str, Any]:
+        """``GET /jobs`` (listing), ``/jobs/<id>`` (status + partial
+        aggregates), ``/jobs/<id>/result`` (the final result)."""
+        jobs = self._require_jobs()
+        parts = path.rstrip("/").split("/")
+        if len(parts) == 2:
+            listing = jobs.list_jobs()
+            return {"count": len(listing), "jobs": listing}
+        if len(parts) == 3:
+            return jobs.status(parts[2])
+        if len(parts) == 4 and parts[3] == "result":
+            result = jobs.result(parts[2])
+            if result is None:
+                status = jobs.status(parts[2])
+                raise ServiceError(
+                    f"job {parts[2]!r} has no result (state "
+                    f"{status.get('state')!r})", status=409)
+            return {"job": parts[2], "result": result}
+        raise ServiceError(f"unknown path {path!r}", status=404)
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /jobs/<id>``: cooperative cancellation."""
+        return self._require_jobs().cancel(job_id)
+
     def stats_payload(self) -> Dict[str, Any]:
         """``GET /stats``: engine counters + service bookkeeping."""
         body = engine_stats_payload(self.session)
@@ -764,6 +857,8 @@ class EvaluationService(ThreadingHTTPServer):
             "admission": self.admission.snapshot(),
             "result_cache": self.result_cache.snapshot(),
         })
+        if self.jobs is not None:
+            body["jobs"] = self.jobs.counters()
         if self.faults.active:
             body["faults"] = self.faults.snapshot()
         return body
@@ -870,6 +965,18 @@ class EvaluationService(ThreadingHTTPServer):
         super().shutdown()
         self._close_idle_connections()
 
+    def server_close(self) -> None:
+        """Close the socket and stop the owned job manager (if any).
+
+        Runners finish (or suspend back to ``pending``) before the
+        process exits, so a graceful stop never strands a claimed
+        job in the ``running`` state.
+        """
+        if getattr(self, "_owns_jobs", False) and self.jobs is not None:
+            self.jobs.stop()
+            self._owns_jobs = False
+        super().server_close()
+
     def request_shutdown(self) -> None:
         """Stop the serve loop; safe to call from any thread.
 
@@ -915,7 +1022,9 @@ def create_service(host: str = "127.0.0.1", port: int = 8080,
                    worker_id: int = 0,
                    registry: Optional[WorkerRegistry] = None,
                    affinity: bool = True,
-                   listen_socket: Optional[socket.socket] = None
+                   listen_socket: Optional[socket.socket] = None,
+                   jobs_dir: Optional[str] = None,
+                   job_ttl: float = 3600.0
                    ) -> EvaluationService:
     """A bound, not-yet-serving service (``port=0`` = ephemeral).
 
@@ -933,4 +1042,5 @@ def create_service(host: str = "127.0.0.1", port: int = 8080,
                              cache_dir=cache_dir, limits=limits,
                              auth=auth, worker_id=worker_id,
                              registry=registry, affinity=affinity,
-                             listen_socket=listen_socket)
+                             listen_socket=listen_socket,
+                             jobs_dir=jobs_dir, job_ttl=job_ttl)

@@ -53,9 +53,18 @@ def wants_stream(payload: Any) -> bool:
 
 
 def _error_record(index: int, exc: Exception) -> Dict[str, Any]:
-    """An in-band failure record for a unit that died mid-stream."""
+    """An in-band failure record for a unit that died mid-stream.
+
+    Shedding-class failures (429/503) additionally carry their
+    ``retry_after`` hint in-band, since chunked streams cannot grow
+    a ``Retry-After`` header after the 200 went out.
+    """
     status = exc.status if isinstance(exc, ServiceError) else 400
-    return {"index": index, "error": str(exc), "status": status}
+    record = {"index": index, "error": str(exc), "status": status}
+    if (isinstance(exc, ServiceError)
+            and exc.retry_after is not None):
+        record["retry_after"] = exc.retry_after
+    return record
 
 
 def _done(count: int) -> Dict[str, Any]:

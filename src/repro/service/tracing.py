@@ -218,7 +218,13 @@ def trace_result_row(result: TraceResult,
 
 def _error_record(index: int, exc: Exception) -> Dict[str, Any]:
     status = exc.status if isinstance(exc, ServiceError) else 400
-    return {"index": index, "error": str(exc), "status": status}
+    record = {"index": index, "error": str(exc), "status": status}
+    if (isinstance(exc, ServiceError)
+            and exc.retry_after is not None):
+        # Shedding-class failures after the stream started cannot
+        # carry a Retry-After header; the hint rides in-band.
+        record["retry_after"] = exc.retry_after
+    return record
 
 
 def trace_stream_records(session: EvaluationSession,

@@ -1,0 +1,485 @@
+"""Durable job layer: journal, spec planning, store, runner resume.
+
+The acceptance bar these tests enforce: a job interrupted by SIGKILL
+mid-chunk, at a chunk boundary, or during the journal write itself
+resumes from the last durable checkpoint and produces a result
+*bit-for-bit identical* to an uninterrupted run — no journaled chunk
+re-computed, no journaled chunk lost.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import EvaluationSession
+from repro.errors import JobError, JobNotFound, ServiceError
+from repro.jobs import (DEFAULT_CHUNK_SIZE, JobJournal, JobManager,
+                        JobRunner, JobSpec, JobStore, parse_job_spec,
+                        plan_job)
+from repro.service.faults import FaultInjector, FaultRule
+
+MC_PAYLOAD = {"kind": "montecarlo",
+              "params": {"samples": 10, "seed": 7},
+              "chunk_size": 3}
+
+#: Keyed variant: both sides of a byte-parity comparison submit with
+#: the same key, so the job id (embedded in result.json) matches.
+MC_KEYED = dict(MC_PAYLOAD, idempotency_key="parity")
+
+
+def _result_bytes(root, job_id):
+    return (Path(root) / job_id / "result.json").read_bytes()
+
+
+def _run_all(root, **kwargs):
+    manager = JobManager(str(root), session=EvaluationSession(),
+                         **kwargs)
+    manager.run_pending()
+    return manager
+
+
+# ----------------------------------------------------------------------
+# Journal durability.
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append_chunk(0, [1.5, 2.5])
+        journal.append_chunk(1, [[3.0, 4.0]])
+        replayed = JobJournal(tmp_path).replay()
+        assert replayed == {0: [1.5, 2.5], 1: [[3.0, 4.0]]}
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append_chunk(0, ["a"])
+        journal.append_chunk(1, ["b"])
+        raw = journal.journal_path.read_bytes()
+        # Cut the final line in half: the torn-write crash shape.
+        journal.journal_path.write_bytes(raw[:len(raw) - 6])
+        replayed = JobJournal(tmp_path).replay()
+        assert replayed == {0: ["a"]}
+
+    def test_malformed_interior_line_is_skipped(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append_chunk(0, ["a"])
+        with open(journal.journal_path, "ab") as handle:
+            handle.write(b"{not json}\n")
+        journal.append_chunk(2, ["c"])
+        assert JobJournal(tmp_path).replay() == {0: ["a"], 2: ["c"]}
+
+    def test_compaction_preserves_replay(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append_chunk(0, [1.25])
+        journal.append_chunk(1, [2.75])
+        journal.compact(journal.replay())
+        assert journal.journal_records == 0
+        assert journal.journal_path.read_bytes() == b""
+        journal.append_chunk(2, [9.5])
+        replayed = JobJournal(tmp_path).replay()
+        assert replayed == {0: [1.25], 1: [2.75], 2: [9.5]}
+
+    def test_duplicate_records_dedupe_by_index(self, tmp_path):
+        # Crash window between snapshot rename and journal truncate:
+        # both files hold chunk 0.  Replay must not double-count.
+        journal = JobJournal(tmp_path)
+        journal.append_chunk(0, [1.0])
+        journal.compact({0: [1.0]})
+        journal.append_chunk(0, [1.0])  # duplicate, same value
+        journal.append_chunk(1, [2.0])
+        assert JobJournal(tmp_path).replay() == {0: [1.0], 1: [2.0]}
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and deterministic planning.
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_parse_defaults(self):
+        spec = parse_job_spec({"kind": "montecarlo",
+                               "params": {"samples": 4}})
+        assert spec.chunk_size == DEFAULT_CHUNK_SIZE
+        assert spec.kind == "montecarlo"
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {"kind": "nope", "params": {}},
+        {"kind": "montecarlo", "params": {"samples": 0}},
+        {"kind": "montecarlo", "params": {"samples": "many"}},
+        {"kind": "montecarlo", "params": {"samples": 4,
+                                          "seed": "x"}},
+        {"kind": "montecarlo", "params": {"samples": 4},
+         "chunk_size": 0},
+        {"kind": "montecarlo", "params": []},
+        {"kind": "sweep", "params": {"kind": "bogus"}},
+        {"kind": "evaluate", "params": {"devices": "x"}},
+    ])
+    def test_parse_rejects_malformed(self, payload):
+        with pytest.raises(ServiceError):
+            parse_job_spec(payload)
+
+    def test_montecarlo_planning_is_deterministic(self):
+        session = EvaluationSession()
+        spec = JobSpec(kind="montecarlo",
+                       params={"samples": 6, "seed": 3},
+                       chunk_size=2)
+        first = plan_job(spec, session)
+        second = plan_job(spec, session)
+        assert first.chunk_count == 3
+        assert first.run_chunk(1) == second.run_chunk(1)
+
+    def test_chunked_equals_single_chunk(self):
+        """Chunk size never changes the assembled result."""
+        session = EvaluationSession()
+        params = {"samples": 7, "seed": 11}
+        wide = plan_job(JobSpec("montecarlo", params, 7), session)
+        narrow = plan_job(JobSpec("montecarlo", params, 2), session)
+        whole = wide.assemble({0: wide.run_chunk(0)})
+        pieces = narrow.assemble(
+            {i: narrow.run_chunk(i)
+             for i in range(narrow.chunk_count)})
+        assert json.dumps(whole, sort_keys=True) \
+            == json.dumps(pieces, sort_keys=True)
+
+    def test_assemble_refuses_missing_chunk(self):
+        session = EvaluationSession()
+        plan = plan_job(JobSpec("montecarlo",
+                                {"samples": 4, "seed": 1}, 2),
+                        session)
+        with pytest.raises(JobError):
+            plan.assemble({0: plan.run_chunk(0)})
+
+    def test_sweep_schemes_rows_match_buffered(self):
+        from repro.schemes import ALL_SCHEMES
+        session = EvaluationSession()
+        plan = plan_job(JobSpec("sweep", {"kind": "schemes"}, 8),
+                        session)
+        result = plan.assemble({0: plan.run_chunk(0)})
+        assert result["count"] == len(ALL_SCHEMES)
+        assert [row["scheme"] for row in result["rows"]] \
+            == [scheme.name for scheme in ALL_SCHEMES]
+
+    def test_evaluate_plan_matches_endpoint_shape(self):
+        session = EvaluationSession()
+        plan = plan_job(
+            JobSpec("evaluate", {"devices": [{}, {"node": 65}]}, 1),
+            session)
+        result = plan.assemble({0: plan.run_chunk(0),
+                                1: plan.run_chunk(1)})
+        assert result["count"] == 2
+        assert all("pattern" in r for r in result["results"])
+
+
+# ----------------------------------------------------------------------
+# Store: idempotency, claims, cancel, GC.
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_keyed_submit_is_idempotent(self, tmp_path):
+        store = JobStore(tmp_path)
+        payload = dict(MC_PAYLOAD, idempotency_key="k")
+        first, created = store.submit(payload)
+        again, recreated = store.submit(payload)
+        assert created and not recreated
+        assert first["job"] == again["job"]
+
+    def test_same_key_different_spec_conflicts(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(dict(MC_PAYLOAD, idempotency_key="k"))
+        other = dict(MC_PAYLOAD, chunk_size=5, idempotency_key="k")
+        with pytest.raises(ServiceError) as caught:
+            store.submit(other)
+        assert caught.value.status == 409
+
+    def test_unkeyed_submits_are_distinct(self, tmp_path):
+        store = JobStore(tmp_path)
+        first, _ = store.submit(MC_PAYLOAD)
+        second, _ = store.submit(MC_PAYLOAD)
+        assert first["job"] != second["job"]
+
+    def test_claim_is_exclusive(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_PAYLOAD)
+        claim = store.claim(status["job"])
+        assert claim is not None
+        assert store.claim(status["job"]) is None
+        claim.release()
+        retry = store.claim(status["job"])
+        assert retry is not None
+        retry.release()
+
+    def test_unknown_job_raises_not_found(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(JobNotFound):
+            store.status("jdoesnotexist0000")
+
+    def test_cancel_pending_finalises_immediately(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_PAYLOAD)
+        after = store.request_cancel(status["job"])
+        assert after["state"] == "cancelled"
+
+    def test_cancel_running_sets_marker_only(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_PAYLOAD)
+        claim = store.claim(status["job"])  # a live runner owns it
+        after = store.request_cancel(status["job"])
+        assert after["state"] == "pending"
+        assert after["cancel_requested"] is True
+        claim.release()
+
+    def test_gc_reaps_only_stale_terminal_jobs(self, tmp_path):
+        now = [1000.0]
+        store = JobStore(tmp_path, clock=lambda: now[0])
+        done, _ = store.submit(dict(MC_PAYLOAD, idempotency_key="a"))
+        live, _ = store.submit(dict(MC_PAYLOAD, idempotency_key="b"))
+        store.write_status(done["job"], state="done")
+        now[0] += 10.0
+        assert store.gc(ttl=60.0) == 0
+        now[0] += 100.0
+        assert store.gc(ttl=60.0) == 1
+        ids = {status["job"] for status in store.list_jobs()}
+        assert ids == {live["job"]}
+
+    def test_runnable_prefers_assigned_then_unassigned(self, tmp_path):
+        store = JobStore(tmp_path)
+        mine, _ = store.submit(dict(MC_PAYLOAD, idempotency_key="m"))
+        free, _ = store.submit(dict(MC_PAYLOAD, idempotency_key="f"))
+        other, _ = store.submit(dict(MC_PAYLOAD, idempotency_key="o"))
+        store.write_status(mine["job"], assigned=3)
+        store.write_status(other["job"], assigned=9)
+        assert store.runnable_jobs(worker_id=3) == [
+            mine["job"], free["job"], other["job"]]
+
+    def test_running_with_live_owner_not_runnable(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_PAYLOAD)
+        store.write_status(status["job"], state="running",
+                           pid=os.getpid())
+        assert store.runnable_jobs() == []
+
+    def test_orphan_reassignment(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_PAYLOAD)
+        store.write_status(status["job"], state="running",
+                           pid=99999999)  # dead owner
+        moved = store.reassign_orphans({0: {}, 1: {}})
+        assert moved == 1
+        after = store.status(status["job"])
+        assert after["assigned"] in (0, 1)
+        assert after["orphaned"] is True
+        assert store.runnable_jobs() == [status["job"]]
+
+
+# ----------------------------------------------------------------------
+# Runner and manager: execution, cancel, resume accounting.
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_runs_to_done_with_progress(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_PAYLOAD)
+        manager = _run_all(tmp_path)
+        after = store.status(status["job"])
+        assert after["state"] == "done"
+        assert after["chunks_done"] == after["chunks_total"] == 4
+        assert after["replayed_chunks"] == 0
+        assert after["computed_chunks"] == 4
+        assert after["partial"]["units_done"] == 10
+        result = store.result(status["job"])
+        assert result["kind"] == "montecarlo"
+        assert len(result["rows"]) == 2
+        assert manager.jobs_started == 1
+        assert manager.jobs_resumed == 0
+
+    def test_bad_spec_params_fail_terminally(self, tmp_path):
+        store = JobStore(tmp_path)
+        # Passes eager validation but dies planning: bad device.
+        status, _ = store.submit(
+            {"kind": "sweep",
+             "params": {"kind": "trends", "nodes": ["x"]}})
+        _run_all(tmp_path)
+        after = store.status(status["job"])
+        assert after["state"] == "failed"
+        assert after["error"]
+
+    def test_cancel_marker_stops_at_chunk_boundary(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_PAYLOAD)
+        (store.job_dir(status["job"]) / "cancel").touch()
+        _run_all(tmp_path)
+        after = store.status(status["job"])
+        assert after["state"] == "cancelled"
+        assert store.result(status["job"]) is None
+
+    def test_resume_never_recomputes_journaled_chunks(self, tmp_path):
+        session = EvaluationSession()
+        store = JobStore(tmp_path)
+        status, _ = store.submit(MC_KEYED)
+        job_id = status["job"]
+        # First owner computes two chunks, then "crashes" (its pid
+        # is recorded dead; the journal holds its checkpoints).
+        plan = plan_job(store.load_spec(job_id), session)
+        journal = store.journal(job_id)
+        journal.append_chunk(0, plan.run_chunk(0))
+        journal.append_chunk(1, plan.run_chunk(1))
+        store.write_status(job_id, state="running", pid=99999999)
+        manager = _run_all(tmp_path)
+        after = store.status(job_id)
+        assert after["state"] == "done"
+        assert after["replayed_chunks"] == 2
+        assert after["computed_chunks"] == 2
+        assert manager.jobs_resumed == 1
+        # Bit-for-bit: the resumed result equals a clean run's.
+        clean = JobStore(tmp_path / "clean")
+        clean_status, _ = clean.submit(MC_KEYED)
+        JobManager(str(tmp_path / "clean"),
+                   session=session).run_pending()
+        assert _result_bytes(tmp_path, job_id) \
+            == _result_bytes(tmp_path / "clean", clean_status["job"])
+
+    def test_compaction_during_run(self, tmp_path):
+        store = JobStore(tmp_path)
+        status, _ = store.submit(
+            {"kind": "montecarlo",
+             "params": {"samples": 8, "seed": 2}, "chunk_size": 1})
+        _run_all(tmp_path, compact_every=2)
+        job_dir = store.job_dir(status["job"])
+        assert (job_dir / "snapshot.json").is_file()
+        assert store.status(status["job"])["state"] == "done"
+        snapshot = json.loads(
+            (job_dir / "snapshot.json").read_text())
+        assert len(snapshot["chunks"]) >= 2
+
+    def test_manager_threaded_lifecycle(self, tmp_path):
+        manager = JobManager(str(tmp_path),
+                             session=EvaluationSession(),
+                             poll_interval=0.02)
+        manager.start()
+        try:
+            status = manager.submit(dict(MC_PAYLOAD))
+            assert status["created"] is True
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if manager.status(status["job"])["state"] == "done":
+                    break
+                time.sleep(0.02)
+            assert manager.status(status["job"])["state"] == "done"
+            counters = manager.counters()
+            assert counters["jobs_started"] == 1
+        finally:
+            manager.stop()
+
+
+# ----------------------------------------------------------------------
+# SIGKILL crash-resume parity (the tentpole acceptance test).
+# ----------------------------------------------------------------------
+_CRASH_DRIVER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.engine import EvaluationSession
+from repro.jobs import JobManager
+from repro.service.faults import FaultInjector, FaultRule
+
+faults = FaultInjector(rules=[FaultRule(kind={fault_kind!r},
+                                        point={fault_point!r},
+                                        times=1)])
+manager = JobManager({root!r}, session=EvaluationSession(),
+                     faults=faults)
+manager.store.submit({payload!r})
+manager.run_pending()  # SIGKILLs itself at the fault point
+print("survived")  # reaching here means the fault never fired
+"""
+
+
+def _crash_run(tmp_path, fault_kind, fault_point):
+    """Run a job in a subprocess armed to SIGKILL itself."""
+    root = str(tmp_path / "crashed")
+    script = _CRASH_DRIVER.format(
+        src=str(Path(__file__).resolve().parent.parent / "src"),
+        fault_kind=fault_kind, fault_point=fault_point,
+        root=root, payload=MC_KEYED)
+    process = subprocess.run([sys.executable, "-c", script],
+                             capture_output=True, text=True,
+                             timeout=120)
+    assert process.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL, got rc={process.returncode}: "
+        f"{process.stdout}{process.stderr}")
+    return root
+
+
+def _clean_run(tmp_path):
+    root = str(tmp_path / "clean")
+    store = JobStore(root)
+    status, _ = store.submit(MC_KEYED)
+    _run_all(root)
+    return root, status["job"]
+
+
+@pytest.mark.parametrize("fault_kind,fault_point,survivors", [
+    ("job-crash", "mid-chunk", 0),
+    ("job-crash", "after-checkpoint", 1),
+    ("job-torn-write", "*", 0),
+])
+def test_sigkill_resume_is_bit_for_bit(tmp_path, fault_kind,
+                                       fault_point, survivors):
+    """SIGKILL at every fault point; resume must be byte-identical.
+
+    ``survivors`` is the number of durable chunks the crash leaves:
+    mid-chunk dies before the journal write (0), after-checkpoint
+    dies after it (1), and a torn write fsyncs only half a line,
+    which replay must discard (0).
+    """
+    root = _crash_run(tmp_path, fault_kind, fault_point)
+    store = JobStore(root)
+    job_id = store.list_jobs()[0]["job"]
+    journal = store.journal(job_id)
+    assert len(journal.replay()) == survivors
+    before = store.status(job_id)
+    assert before["state"] == "running"  # crashed mid-flight
+
+    manager = _run_all(root)
+    after = store.status(job_id)
+    assert after["state"] == "done"
+    assert after["replayed_chunks"] == survivors
+    assert after["computed_chunks"] == 4 - survivors
+    assert manager.jobs_resumed == 1
+
+    clean_root, clean_id = _clean_run(tmp_path)
+    assert _result_bytes(root, job_id) \
+        == _result_bytes(clean_root, clean_id)
+
+
+def test_double_crash_then_resume(tmp_path):
+    """Two consecutive crashes still converge to the exact result."""
+    root = str(tmp_path / "crashed")
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    for _ in range(2):
+        script = _CRASH_DRIVER.format(
+            src=src, fault_kind="job-crash",
+            fault_point="after-checkpoint", root=root,
+            payload=MC_KEYED)
+        process = subprocess.run([sys.executable, "-c", script],
+                                 capture_output=True, text=True,
+                                 timeout=120)
+        assert process.returncode == -signal.SIGKILL
+    store = JobStore(root)
+    job_id = store.list_jobs()[0]["job"]
+    assert len(store.journal(job_id).replay()) == 2
+    _run_all(root)
+    assert store.status(job_id)["replayed_chunks"] == 2
+    clean_root, clean_id = _clean_run(tmp_path)
+    assert _result_bytes(root, job_id) \
+        == _result_bytes(clean_root, clean_id)
+
+
+def test_job_fault_rules_do_not_leak_into_requests():
+    """Job-level rules never fire on the per-request path."""
+    faults = FaultInjector(rules=[
+        FaultRule(kind="job-crash", point="mid-chunk")])
+    assert faults.before_request("/evaluate") is None
+    assert faults.job_crash("mid-chunk") is True
+    assert faults.job_crash("mid-chunk") is True  # times=-1
+    assert faults.snapshot()["job-crash"] == 2

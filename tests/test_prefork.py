@@ -96,6 +96,30 @@ class TestWorkerRegistry:
         assert sorted(registry.entries()) == [0]  # cached view
         assert sorted(registry.entries(refresh=True)) == [0, 1]
 
+    def test_crash_leaked_staging_files_collected(self, tmp_path):
+        """A worker SIGKILLed between staging write and rename leaks
+        ``worker-<id>.json.tmp<pid>``; registry scans collect it."""
+        probe = subprocess.Popen(["true"])
+        probe.wait()
+        assert not pid_alive(probe.pid)
+        registry = WorkerRegistry(str(tmp_path), ttl=0.0)
+        registry.write(0, {"worker": 0, "pid": os.getpid()})
+        dead_leak = tmp_path / f"worker-3.json.tmp{probe.pid}"
+        dead_leak.write_text("{half a reg")
+        live_leak = tmp_path / f"worker-4.json.tmp{os.getpid()}"
+        live_leak.write_text("{mid-write}")
+        odd_old = tmp_path / "worker-5.json.tmpXYZ"
+        odd_old.write_text("{}")
+        ancient = time.time() - 2 * registry.STALE_STAGING_SECONDS
+        os.utime(odd_old, (ancient, ancient))
+        odd_new = tmp_path / "worker-6.json.tmpABC"
+        odd_new.write_text("{}")
+        assert sorted(registry.entries(refresh=True)) == [0]
+        assert not dead_leak.exists()  # writer pid dead: collected
+        assert live_leak.exists()      # writer alive: in-flight
+        assert not odd_old.exists()    # unattributable + old: gone
+        assert odd_new.exists()        # unattributable + fresh: kept
+
 
 # ----------------------------------------------------------------------
 # Stats merge helpers.
@@ -336,3 +360,22 @@ class TestFleet:
         assert stats["workers"] == [0, 1]
         assert fleet.client.evaluate(
             device={})["results"][0]["power_w"] > 0
+
+    def test_durable_job_runs_across_the_fleet(self, fleet):
+        """Jobs are on by default with --cache-dir; any worker can
+        answer for a job another worker is running, because the
+        journal and status live in the shared store."""
+        handle = fleet.client.submit_job(
+            "montecarlo", params={"samples": 6, "seed": 5},
+            chunk_size=2, idempotency_key="fleet-mc")
+        again = fleet.client.submit_job(
+            "montecarlo", params={"samples": 6, "seed": 5},
+            chunk_size=2, idempotency_key="fleet-mc")
+        assert again.id == handle.id
+        assert again.submitted["created"] is False
+        result = handle.result(interval=0.1, timeout=60.0)
+        assert result["samples"] == 6
+        assert len(result["rows"]) == 2
+        final = handle.status()
+        assert final["state"] == "done"
+        assert final["chunks_done"] == 3

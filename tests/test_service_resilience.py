@@ -443,3 +443,77 @@ class TestSaturationRecovery:
             assert snap["admitted"] >= 16
         finally:
             _stop_service(svc, thread)
+
+
+# ----------------------------------------------------------------------
+# Retry-After coverage: every shed-class reply carries the hint.
+# ----------------------------------------------------------------------
+class TestRetryAfterEverywhere:
+    """Every 429/503 — buffered or streamed, from any endpoint —
+    tells the client when to come back.
+
+    Buffered replies (and streamed requests rejected *before* the
+    first record) carry the ``Retry-After`` header even when the
+    error site supplied no explicit hint: the reply path defaults it
+    from ``ServiceLimits.retry_after``.  Errors after a stream has
+    started cannot grow a header, so the hint rides in-band in the
+    error record.
+    """
+
+    TRACE_TEXT = "0x0 READ 0\n0x40 WRITE 10\n"
+
+    def test_injected_sheds_carry_the_header(self):
+        limits = ServiceLimits(retry_after=2.0)
+        svc, thread = _start_service(limits)
+        requests = [
+            ("/evaluate", {"device": {"node": 55}}),
+            ("/sweep", {"kind": "schemes"}),
+            ("/trace", {"device": {"node": 55},
+                        "text": self.TRACE_TEXT}),
+        ]
+        try:
+            for path, payload in requests:
+                for status in (429, 503):
+                    svc.faults.rules.append(FaultRule(
+                        kind="error", path=path, times=1,
+                        status=status))
+                    client = _probe_client(svc)
+                    with pytest.raises(ServiceError) as caught:
+                        client.request("POST", path, payload)
+                    assert caught.value.status == status, path
+                    assert caught.value.retry_after == 2.0, path
+                    client.close()
+        finally:
+            _stop_service(svc, thread)
+
+    def test_streamed_request_shed_before_start_has_header(self):
+        limits = ServiceLimits(retry_after=1.0)
+        svc, thread = _start_service(limits)
+        try:
+            for path, payload in (
+                    ("/evaluate", {"device": {"node": 55},
+                                   "stream": True}),
+                    ("/sweep", {"kind": "schemes", "stream": True})):
+                svc.faults.rules.append(FaultRule(
+                    kind="error", path=path, times=1, status=503))
+                client = _probe_client(svc)
+                with pytest.raises(ServiceError) as caught:
+                    client._stream(path, payload, None)
+                assert caught.value.status == 503, path
+                assert caught.value.retry_after == 1.0, path
+                client.close()
+        finally:
+            _stop_service(svc, thread)
+
+    def test_mid_stream_errors_carry_the_hint_in_band(self):
+        from repro.service.streaming import (
+            _error_record as stream_record)
+        from repro.service.tracing import (
+            _error_record as trace_record)
+        shed = ServiceError("busy", status=503, retry_after=2.0)
+        assert stream_record(3, shed)["retry_after"] == 2.0
+        assert trace_record(3, shed)["retry_after"] == 2.0
+        # Non-shed errors carry no hint: nothing to wait for.
+        plain = ServiceError("bad device", status=400)
+        assert "retry_after" not in stream_record(0, plain)
+        assert "retry_after" not in trace_record(0, plain)

@@ -211,3 +211,80 @@ class TestRawMode:
         with pytest.raises(ServiceError, match="BOGUS"):
             client.trace(b"0x0 READ 0\n0x10 BOGUS 5\n",
                          device={"node": 55})
+
+
+# ----------------------------------------------------------------------
+# Concurrent snapshots during an active feed.
+# ----------------------------------------------------------------------
+class TestConcurrentSnapshot:
+    """``snapshot()`` racing ``feed()`` must stay internally
+    consistent: every observed aggregate is a valid point-in-time
+    view (monotone command count, non-negative monotone energy), and
+    the final snapshot still equals one-shot evaluation bit for bit.
+    """
+
+    def test_snapshot_during_feed_is_consistent(self):
+        text = k6_text(4000)
+        device = build_device(55)
+        model = DramPowerModel(device)
+        decoder = AddressDecoder.from_device(device)
+        records = iter_records(iter(text.splitlines()), "k6")
+        commands = list(commands_from_records(records, decoder,
+                                              DEFAULT_CLOCK))
+        from repro.core.trace import TraceAccumulator
+        accumulator = TraceAccumulator(model, strict=False)
+        done = threading.Event()
+        views = []
+        errors = []
+
+        def observer():
+            try:
+                while not done.is_set():
+                    result = accumulator.snapshot()
+                    views.append((result.counts, result.energy,
+                                  result.duration))
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        watcher = threading.Thread(target=observer)
+        watcher.start()
+        for start in range(0, len(commands), 50):
+            accumulator.feed(commands[start:start + 50])
+        done.set()
+        watcher.join(timeout=30)
+        assert not watcher.is_alive()
+        assert errors == []
+        assert len(views) > 0
+        seen = -1
+        last_energy = -1.0
+        for counts, energy, duration in views:
+            total = sum(counts.values())
+            assert total >= seen  # commands only accumulate
+            seen = total
+            assert energy >= 0.0 and duration >= 0.0
+            assert energy >= last_energy  # components only add
+            last_energy = energy
+        # The race disturbed nothing: final equals one-shot.
+        final = accumulator.result()
+        alone = evaluate_trace(model, iter(commands), strict=False)
+        assert final.energy == alone.energy
+        assert final.counts == alone.counts
+
+    def test_streamed_snapshots_are_monotone(self, client):
+        """In-band snapshots of a streamed upload are consistent."""
+        text = k6_text(2000)
+        records = list(client.trace_stream(
+            text.encode(), device={"node": 55},
+            snapshot_every=MIN_SNAPSHOT_EVERY))
+        snapshots = [r["snapshot"] for r in records
+                     if "snapshot" in r]
+        assert len(snapshots) >= 2
+        previous_commands = -1
+        previous_energy = -1.0
+        for snap in snapshots:
+            assert snap["commands"] > previous_commands
+            assert snap["energy_j"] >= previous_energy
+            previous_commands = snap["commands"]
+            previous_energy = snap["energy_j"]
+        final = records[-1]["result"]
+        assert final["energy_j"] == local_result(text).energy

@@ -220,3 +220,49 @@ class TestStreamingHttp:
         probe = ServiceClient(
             f"http://127.0.0.1:{service.server_port}")
         assert probe.healthz()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Dedicated-connection hygiene of client streams.
+# ----------------------------------------------------------------------
+class TestDedicatedConnectionClose:
+    """Streams run on dedicated (non-pooled) connections; the client
+    must release them *eagerly* when the stream logically ends — on
+    the terminal record, an in-band error record, or an explicit
+    abandon — never leaving a socket open until garbage collection.
+    """
+
+    def test_closed_after_terminal_record(self, client):
+        stream = client.evaluate_stream(devices=[{}, {"node": 65}])
+        records = list(stream)
+        assert records[-1]["done"] is True
+        assert stream.closed is True
+        assert stream._conn.sock is None  # socket really released
+
+    def test_closed_on_mid_stream_error_record(self, client):
+        # The second trace line is unparsable: the server emits
+        # snapshot-less records then an in-band error record.
+        stream = client.trace_stream(
+            b"0x0 READ 0\n0x10 BOGUS 5\n", device={"node": 55})
+        records = list(stream)
+        assert "error" in records[-1]
+        assert records[-1]["status"] == 400
+        assert stream.closed is True
+        assert stream._conn.sock is None
+
+    def test_abandoned_stream_closes_idempotently(self, client):
+        stream = client.sweep_stream("schemes")
+        first = next(stream)
+        assert "row" in first
+        stream.close()
+        assert stream.closed is True
+        stream.close()  # idempotent
+        with pytest.raises(StopIteration):
+            next(stream)
+
+    def test_error_status_never_leaks_a_connection(self, client):
+        opened_before = client.connections_opened
+        with pytest.raises(ServiceError) as caught:
+            client.evaluate_stream(device={"node": 999})
+        assert caught.value.status == 400
+        assert client.connections_opened == opened_before + 1
