@@ -31,8 +31,8 @@ from .analysis import (
     verify_ddr3,
 )
 from .core.idd import standard_idd_suite
-from .core.trace import TraceAccumulator, evaluate_trace
-from .trace import AddressDecoder, commands_from_records, read_trace
+from .core.trace import evaluate_trace
+from .trace import AddressDecoder, replay_trace_file
 from .description import DramDescription
 from .engine import EvaluationSession
 from .dsl import dumps, load
@@ -222,24 +222,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _trace_file(args: argparse.Namespace, device, model) -> int:
-    """``repro trace <file>``: stream an external trace through the
-    constant-memory accumulator and summarize."""
+    """``repro trace <file>``: replay an external trace on the chosen
+    backend (serial fold, columnar kernel or rank-sharded processes)
+    and summarize."""
     decoder = AddressDecoder.from_device(
         device, policy=args.policy,
         channel_bits=args.channel_bits, rank_bits=args.rank_bits,
         offset_bits=args.offset_bits)
     fmt = None if args.format == "auto" else args.format
-    commands = commands_from_records(
-        read_trace(args.trace_file, fmt), decoder,
-        clock=parse_quantity(args.clock))
-    accumulator = TraceAccumulator(model, strict=args.strict)
     started = time.perf_counter()
-    accumulator.feed(commands)
+    accumulator, backend = replay_trace_file(
+        model, args.trace_file, fmt=fmt, decoder=decoder,
+        clock=parse_quantity(args.clock), strict=args.strict,
+        backend=args.backend, jobs=args.jobs)
     elapsed = time.perf_counter() - started
     result = accumulator.result()
     commands_seen = accumulator.commands_seen
     rate = commands_seen / elapsed if elapsed > 0 else float("inf")
     print(f"device        : {device.name}")
+    print(f"backend       : {backend}")
     print(f"trace         : {args.trace_file} "
           f"({commands_seen} commands)")
     print(f"duration      : {result.duration * 1e6:.2f} us")
@@ -644,6 +645,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--strict", action="store_true",
                        help="raise on protocol/timing violations "
                             "instead of pricing the trace as given")
+    trace.add_argument("--backend", default="auto",
+                       choices=["auto", "serial", "vector", "process"],
+                       help="replay backend: serial fold, columnar "
+                            "kernel (numpy), rank-sharded processes, "
+                            "or cost-based auto (default)")
+    trace.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the process "
+                            "backend (default: usable CPUs)")
     trace.add_argument("--workload", default="random",
                        choices=["random", "streaming"])
     trace.add_argument("--accesses", type=int, default=2000)

@@ -710,6 +710,7 @@ class ServiceClient:
                      snapshot_every: Optional[int] = None,
                      decoder: Optional[Dict[str, Any]] = None,
                      gzipped: Optional[bool] = None,
+                     backend: Optional[str] = None,
                      request_timeout: Optional[float] = None
                      ) -> Iterator[Dict[str, Any]]:
         """Raw-mode ``POST /trace``: chunked upload, NDJSON records.
@@ -734,6 +735,8 @@ class ServiceClient:
             query["strict"] = "1" if strict else "0"
         if snapshot_every is not None:
             query["snapshot_every"] = snapshot_every
+        if backend is not None:
+            query["backend"] = backend
         query.update(decoder or {})
         chunks, gzipped = _trace_body(source, gzipped)
         path = "/trace"

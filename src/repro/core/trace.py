@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from ..description import Command
 from ..errors import ModelError
@@ -183,7 +183,17 @@ class TraceAccumulator:
         self._n_banks = device.spec.banks
         self._burst = device.spec.burst_length / device.spec.datarate
         self._banks: Dict[int, _BankState] = {}
+        # Strict-mode activation bookkeeping.  The window holds only
+        # the activate times still inside the tFAW horizon (pruned
+        # incrementally, so it never exceeds four entries on a legal
+        # trace); the two "last activate" registers answer the tRRD
+        # and tRRD_L checks in O(1) instead of scanning the window.
+        # Lenient replay never reads any of them, so it skips the
+        # maintenance entirely — O(1) time and O(banks) memory per
+        # command even for ACT-dense traces.
         self._act_window: deque = deque()
+        self._last_act_time = float("-inf")
+        self._group_last_act: Dict[int, float] = {}
         self.counts: Dict[Command, int] = {c: 0 for c in Command}
         self._last_time = 0.0
         self._previous = float("-inf")
@@ -237,17 +247,16 @@ class TraceAccumulator:
         state = self._banks.setdefault(entry.bank, _BankState())
         timing = self._timing
         if command is Command.ACT:
-            group = self._device.spec.bank_group_of(entry.bank) \
-                if entry.bank < self._n_banks else 0
-            _check_activate(entry, time, index, state, self._act_window,
-                            timing, self.strict, group)
+            if self.strict:
+                group = self._device.spec.bank_group_of(entry.bank) \
+                    if entry.bank < self._n_banks else 0
+                self._check_activate(entry, time, index, state, group)
+                self._act_window.append(time)
+                self._last_act_time = time
+                self._group_last_act[group] = time
             state.active_row = entry.row
             state.last_act = time
             state.pending_access = True
-            self._act_window.append((time, group))
-            while self._act_window and \
-                    self._act_window[0][0] < time - timing.tfaw:
-                self._act_window.popleft()
         elif command is Command.PRE:
             if self.strict and not state.is_active:
                 raise TraceError(f"precharge on idle bank {entry.bank}",
@@ -326,6 +335,164 @@ class TraceAccumulator:
                 state.write_data_end = time + self._burst
         self.counts[command] += 1
 
+    def _check_activate(self, entry: TraceCommand, time: float,
+                        index: int, state: _BankState,
+                        group: int) -> None:
+        """Strict-mode legality of one activate, in O(1).
+
+        The window is pruned to the tFAW horizon before the checks, so
+        its length *is* the rolling four-activate count; tRRD and
+        tRRD_L read the scalar last-activate registers (times are
+        non-decreasing under strict replay, so the most recent
+        activate is always the binding one).
+        """
+        timing = self._timing
+        if state.is_active:
+            raise TraceError(
+                f"activate on already-active bank {entry.bank}",
+                time, index)
+        if time < state.last_act + timing.trc - TIMING_EPSILON:
+            raise TraceError(f"tRC violation on bank {entry.bank}",
+                             time, index)
+        if time < state.last_pre + timing.trp - TIMING_EPSILON:
+            raise TraceError(f"tRP violation on bank {entry.bank}",
+                             time, index)
+        if time < state.last_ref + timing.trfc - TIMING_EPSILON:
+            raise TraceError(f"tRFC violation on bank {entry.bank}",
+                             time, index)
+        window = self._act_window
+        while window and window[0] <= time - timing.tfaw \
+                + TIMING_EPSILON:
+            window.popleft()
+        if self._last_act_time > time - timing.trrd + TIMING_EPSILON:
+            raise TraceError("tRRD violation", time, index)
+        last_in_group = self._group_last_act.get(group)
+        if last_in_group is not None and last_in_group \
+                > time - timing.trrd_l + TIMING_EPSILON:
+            raise TraceError("tRRD_L violation (same bank group)",
+                             time, index)
+        if len(window) >= 4:
+            raise TraceError("tFAW violation", time, index)
+
+    # ------------------------------------------------------------------
+    # Batched and sharded replay.  Both are lenient-only: the columnar
+    # fold carries no per-command timing state, and strict legality
+    # (the activate window) is global across banks, so neither batches
+    # nor (channel, rank) shards could reproduce strict replay.
+    # ------------------------------------------------------------------
+    def absorb_batch(self, counts: Mapping[Command, int],
+                     row_hits: int, commands: int, last_time: float,
+                     bank_rows: Optional[Mapping[int, Optional[int]]]
+                     = None,
+                     row_conflicts: int = 0) -> None:
+        """Fold one pre-aggregated command batch into this accumulator.
+
+        The columnar kernel reduces a batch of expanded commands to
+        count deltas; this applies them so that the subsequent
+        :meth:`snapshot` is bit-for-bit identical to having fed the
+        same commands through :meth:`feed`.  ``bank_rows`` carries the
+        open row (or ``None``) left on every bank the batch touched,
+        keeping the per-bank state consistent for any later scalar
+        :meth:`feed` on the same accumulator.
+        """
+        if self.strict:
+            raise TraceError(
+                "batched absorption requires strict=False replay",
+                0.0, None)
+        for command, count in counts.items():
+            if count:
+                self.counts[command] += count
+        self._row_hits += row_hits
+        self._row_conflicts += row_conflicts
+        self._index += commands
+        if last_time > self._last_time:
+            self._last_time = last_time
+        if last_time > self._previous:
+            self._previous = last_time
+        if bank_rows:
+            for bank, row in bank_rows.items():
+                state = self._banks.setdefault(bank, _BankState())
+                state.active_row = row
+                state.pending_access = False
+
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the lenient replay state.
+
+        Carries everything :meth:`merge_state` needs to combine shard
+        replays exactly: the counts, hit/conflict tallies, time
+        watermarks (``-inf`` encodes as ``None``) and per-bank open
+        rows.  Floats round-trip JSON losslessly, so a state that
+        travelled through a journal or a process pool merges
+        bit-for-bit identically to the in-memory object.
+        """
+        if self.strict:
+            raise TraceError(
+                "state export requires strict=False replay", 0.0, None)
+        previous = (None if self._previous == float("-inf")
+                    else self._previous)
+        return {
+            "device": self._device.name,
+            "counts": {command.value: count
+                       for command, count in self.counts.items()},
+            "row_hits": self._row_hits,
+            "row_conflicts": self._row_conflicts,
+            "commands": self._index,
+            "last_time": self._last_time,
+            "previous": previous,
+            "banks": {str(bank): [state.active_row,
+                                  state.pending_access]
+                      for bank, state in self._banks.items()},
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Merge one exported shard state into this accumulator.
+
+        Exact by construction when shards partition the trace by
+        ``(channel, rank)``: the flat bank sets are disjoint (the
+        shard index occupies the top bits of every flat bank), counts
+        and tallies are integer sums, the time watermarks are maxima,
+        and :meth:`snapshot` derives energy from the merged counts
+        through the same code path as serial replay — so the merged
+        result is byte-identical to a serial one-shot fold.
+        """
+        if self.strict:
+            raise TraceError(
+                "merging requires strict=False replay", 0.0, None)
+        if state.get("device") != self._device.name:
+            raise TraceError(
+                f"cannot merge state of device {state.get('device')!r}"
+                f" into {self._device.name!r}", 0.0, None)
+        banks = {int(bank): value
+                 for bank, value in state.get("banks", {}).items()}
+        overlap = self._banks.keys() & banks.keys()
+        if overlap:
+            raise TraceError(
+                "cannot merge overlapping bank states (banks "
+                f"{sorted(overlap)[:4]}...); shards must partition "
+                "the trace by (channel, rank)", 0.0, None)
+        for name, count in state["counts"].items():
+            self.counts[Command(name)] += count
+        self._row_hits += state["row_hits"]
+        self._row_conflicts += state["row_conflicts"]
+        self._index += state["commands"]
+        if state["last_time"] > self._last_time:
+            self._last_time = state["last_time"]
+        previous = state.get("previous")
+        if previous is not None and previous > self._previous:
+            self._previous = previous
+        for bank, (row, pending) in banks.items():
+            self._banks[bank] = _BankState(active_row=row,
+                                           pending_access=pending)
+
+    def merge(self, other: "TraceAccumulator") -> "TraceAccumulator":
+        """Fold another accumulator's shard into this one.
+
+        See :meth:`merge_state` for the exactness argument; returns
+        self for chaining.
+        """
+        self.merge_state(other.export_state())
+        return self
+
     # ------------------------------------------------------------------
     def snapshot(self) -> TraceResult:
         """Aggregates over everything fed so far.
@@ -380,38 +547,6 @@ def evaluate_trace(model: DramPowerModel,
     approximate traces from external simulators).
     """
     return TraceAccumulator(model, strict=strict).feed(commands).result()
-
-
-def _check_activate(entry: TraceCommand, time: float, index: int,
-                    state: _BankState, act_window: Sequence, timing,
-                    strict: bool, group: int) -> None:
-    if not strict:
-        return
-    if state.is_active:
-        raise TraceError(f"activate on already-active bank {entry.bank}",
-                         time, index)
-    if time < state.last_act + timing.trc - TIMING_EPSILON:
-        raise TraceError(f"tRC violation on bank {entry.bank}",
-                         time, index)
-    if time < state.last_pre + timing.trp - TIMING_EPSILON:
-        raise TraceError(f"tRP violation on bank {entry.bank}",
-                         time, index)
-    if time < state.last_ref + timing.trfc - TIMING_EPSILON:
-        raise TraceError(f"tRFC violation on bank {entry.bank}",
-                         time, index)
-    recent = [t for t, _ in act_window
-              if t > time - timing.trrd + TIMING_EPSILON]
-    if recent:
-        raise TraceError("tRRD violation", time, index)
-    same_group = [t for t, g in act_window if g == group
-                  and t > time - timing.trrd_l + TIMING_EPSILON]
-    if same_group:
-        raise TraceError("tRRD_L violation (same bank group)",
-                         time, index)
-    window = [t for t, _ in act_window
-              if t > time - timing.tfaw + TIMING_EPSILON]
-    if len(window) >= 4:
-        raise TraceError("tFAW violation", time, index)
 
 
 def trace_power(model: DramPowerModel,

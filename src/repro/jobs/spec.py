@@ -17,7 +17,7 @@ crash-resume bit-for-bit exact:
   with freshly computed ones reproduces the uninterrupted result
   exactly (Python round-trips floats through JSON losslessly).
 
-Three kinds cover the ROADMAP's fleet-scale campaigns:
+Four kinds cover the ROADMAP's fleet-scale campaigns:
 
 * ``montecarlo`` — VAR-DRAM-style variation sweeps; one unit = one
   sampled device, result rows match
@@ -27,11 +27,17 @@ Three kinds cover the ROADMAP's fleet-scale campaigns:
 * ``sweep`` — the named sweep families; one unit = one decomposed
   sweep slice (parameter / node / scheme; ``corners`` is one unit),
   rows in the same order the streaming endpoint emits them.
+* ``trace`` — rank-sharded replay of an on-disk trace file; one unit
+  = one (channel, rank) shard, chunk results are exported
+  :class:`~repro.core.trace.TraceAccumulator` states and assembly
+  merges them exactly, so the job result is bit-identical to serial
+  one-shot replay (and resumable mid-file at shard granularity).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 from dataclasses import dataclass
 from functools import partial
@@ -44,6 +50,7 @@ from ..analysis.montecarlo import (DEFAULT_SIGMAS, Distribution,
 from ..analysis.sensitivity import PARAMETERS, sensitivity
 from ..analysis.trends import generation_trend
 from ..core.idd import IddMeasure
+from ..core.trace import TraceAccumulator
 from ..engine import AUTO, EvaluationSession
 from ..errors import JobError, ReproError, ServiceError
 from ..schemes import ALL_SCHEMES, compare_schemes
@@ -51,7 +58,10 @@ from ..service.jsonapi import (SWEEPS, _evaluation, corner_row,
                                device_from_payload,
                                parse_evaluate_request, scheme_row,
                                sensitivity_row, trend_row)
+from ..service.tracing import trace_result_row
 from ..technology.roadmap import nodes
+from ..trace import (DEFAULT_CLOCK, FORMATS, POLICIES, AddressDecoder,
+                     fold_file_shards, resolve_trace_format)
 
 #: Default units per journaled chunk.
 DEFAULT_CHUNK_SIZE = 8
@@ -374,11 +384,131 @@ class SweepPlan(JobPlan):
                 "count": len(rows), "rows": rows}
 
 
+def _trace_decoder_params(params: Mapping[str, Any]
+                          ) -> Dict[str, Any]:
+    """Validated decoder keyword arguments from a ``trace`` spec."""
+    decoder = params.get("decoder", {})
+    if not isinstance(decoder, dict):
+        raise ServiceError("'decoder' must be a JSON object")
+    policy = decoder.get("policy", "row-bank-column")
+    if policy not in POLICIES:
+        raise ServiceError(
+            f"unknown decode policy {policy!r}; choose from "
+            + "/".join(POLICIES))
+    kwargs: Dict[str, Any] = {"policy": policy}
+    for key in ("channel_bits", "rank_bits", "offset_bits"):
+        if key not in decoder:
+            continue
+        value = decoder[key]
+        if not isinstance(value, int) or value < 0:
+            raise ServiceError(
+                f"'{key}' must be a non-negative integer")
+        kwargs[key] = value
+    return kwargs
+
+
+class TracePlan(JobPlan):
+    """``trace``: one unit per (channel, rank) shard of a trace file.
+
+    The file stays on disk (journal entries carry exported
+    accumulator states, never trace lines), so multi-gigabyte traces
+    replay as durable, crash-resumable jobs.  Each chunk folds a
+    contiguous shard range through
+    :func:`~repro.trace.parallel.fold_file_shards` — columnar when
+    numpy is present — and assembly merges the states in shard order,
+    which reproduces serial one-shot replay bit for bit.
+    """
+
+    def __init__(self, spec: JobSpec, session: EvaluationSession):
+        super().__init__(spec, session)
+        params = spec.params
+        self.device = device_from_payload(params.get("device", {}))
+        self.path = str(params["path"])
+        self.clock = float(params.get("clock", DEFAULT_CLOCK))
+        self.decoder = AddressDecoder.from_device(
+            self.device, **_trace_decoder_params(params))
+        self.fmt = resolve_trace_format(self.path,
+                                        params.get("format"))
+        self.units = self.decoder.num_shards
+
+    @classmethod
+    def validate(cls, params: Mapping[str, Any]) -> None:
+        path = params.get("path")
+        if not isinstance(path, str) or not path:
+            raise ServiceError("'path' must be a trace file path")
+        if not os.path.isfile(path):
+            raise ServiceError(f"trace file not found: {path!r}",
+                               status=400)
+        fmt = params.get("format")
+        if fmt is not None and fmt != "auto" and fmt not in FORMATS:
+            raise ServiceError(
+                f"unknown trace format {fmt!r}; choose from "
+                + "/".join(sorted(FORMATS)))
+        clock = params.get("clock", DEFAULT_CLOCK)
+        if not isinstance(clock, (int, float)) or not clock > 0:
+            raise ServiceError("'clock' must be positive Hz")
+        if params.get("strict"):
+            raise ServiceError(
+                "sharded trace jobs replay leniently; strict "
+                "legality checking needs the serial CLI path")
+        device_from_payload(params.get("device", {}))
+        _trace_decoder_params(params)
+
+    def run_chunk(self, index: int) -> List[Any]:
+        low, high = self.chunk_range(index)
+        try:
+            accumulator = fold_file_shards(
+                self.session.model(self.device), self.path, self.fmt,
+                self.decoder, self.clock, range(low, high))
+        except OSError as exc:
+            raise JobError(str(exc)) from exc
+        except ServiceError:
+            raise
+        except ReproError as exc:
+            raise JobError(str(exc)) from exc
+        return [accumulator.export_state()]
+
+    def units_done(self, chunks: Mapping[int, Any]) -> int:
+        # One exported state covers the chunk's whole shard range.
+        return sum(self.chunk_range(index)[1]
+                   - self.chunk_range(index)[0]
+                   for index in chunks)
+
+    def _merge(self, chunks: Mapping[int, Any],
+               indices: List[int]) -> TraceAccumulator:
+        merged = TraceAccumulator(self.session.model(self.device),
+                                  strict=False)
+        for index in indices:
+            for state in chunks[index]:
+                merged.merge_state(state)
+        return merged
+
+    def assemble(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        for index in range(self.chunk_count):
+            if index not in chunks:
+                raise JobError(f"chunk {index} missing at assembly")
+        merged = self._merge(chunks, list(range(self.chunk_count)))
+        return {"kind": "trace", "path": self.path,
+                "format": self.fmt, "device": self.device.name,
+                "shards": self.units,
+                "commands": merged.commands_seen,
+                "result": trace_result_row(merged.result(),
+                                           merged.commands_seen)}
+
+    def partial(self, chunks: Mapping[int, Any]) -> Dict[str, Any]:
+        progress = super().partial(chunks)
+        if chunks:
+            merged = self._merge(chunks, sorted(chunks))
+            progress["commands"] = merged.commands_seen
+        return progress
+
+
 #: Registered job kinds, keyed by spec ``kind``.
 JOB_KINDS: Dict[str, Any] = {
     "montecarlo": MonteCarloPlan,
     "evaluate": EvaluatePlan,
     "sweep": SweepPlan,
+    "trace": TracePlan,
 }
 
 

@@ -37,8 +37,10 @@ from ..core.trace import TraceAccumulator, TraceResult
 from ..engine import EvaluationSession
 from ..errors import ReproError, ServiceError
 from ..trace import (DEFAULT_CLOCK, FORMATS, POLICIES, AddressDecoder,
+                     ColumnarReplayer, columnar_available,
                      commands_from_records, iter_decompressed,
                      iter_lines, iter_records)
+from ..trace.columnar import LINES_PER_BATCH, record_downgrade
 from .admission import Deadline
 from .jsonapi import _finite, device_from_payload
 
@@ -57,7 +59,13 @@ _DEVICE_QUERY_KEYS = ("node", "interface", "io_width", "datarate",
 #: Query keys interpreted by the trace evaluator itself.
 _TRACE_QUERY_KEYS = ("format", "clock", "strict", "snapshot_every",
                      "policy", "channel_bits", "rank_bits",
-                     "offset_bits")
+                     "offset_bits", "backend")
+
+#: Backends a streamed upload can ask for.  ``process`` is rejected:
+#: a socket stream is consumed sequentially and cannot be re-read by
+#: shard workers — file-scale sharded replays go through the CLI or
+#: the durable ``trace`` job kind instead.
+_STREAM_BACKENDS = ("auto", "serial", "vector")
 
 
 @dataclass
@@ -74,6 +82,7 @@ class TraceRequest:
     rank_bits: int = 0
     offset_bits: Optional[int] = None
     gzipped: bool = False
+    backend: str = "auto"
 
 
 def _parse_int(value: Any, name: str) -> int:
@@ -113,6 +122,17 @@ def _validate(request: TraceRequest) -> TraceRequest:
             + "/".join(POLICIES))
     if not request.clock > 0:
         raise ServiceError("'clock' must be positive Hz")
+    if request.backend not in _STREAM_BACKENDS:
+        raise ServiceError(
+            f"unknown trace backend {request.backend!r}; choose from "
+            + "/".join(_STREAM_BACKENDS)
+            + " (sharded process replay needs a seekable file: use "
+            "the CLI or a 'trace' job)")
+    if request.backend == "vector" and request.strict:
+        raise ServiceError(
+            "the vector backend replays batched and cannot honour "
+            "strict=true; use backend=serial for strict legality "
+            "checking")
     request.snapshot_every = max(MIN_SNAPSHOT_EVERY,
                                  int(request.snapshot_every))
     return request
@@ -154,6 +174,8 @@ def parse_trace_query(query: Dict[str, List[str]]) -> TraceRequest:
     if "offset_bits" in flat:
         request.offset_bits = _parse_int(flat["offset_bits"],
                                          "offset_bits")
+    if "backend" in flat:
+        request.backend = flat["backend"]
     return _validate(request)
 
 
@@ -179,6 +201,10 @@ def parse_trace_payload(payload: Any) -> Tuple[TraceRequest, str]:
     if "snapshot_every" in payload:
         request.snapshot_every = _parse_int(payload["snapshot_every"],
                                             "snapshot_every")
+    if "backend" in payload:
+        request.backend = payload["backend"]
+        if not isinstance(request.backend, str):
+            raise ServiceError("'backend' must be a string")
     decoder = payload.get("decoder", {})
     if not isinstance(decoder, dict):
         raise ServiceError("'decoder' must be a JSON object")
@@ -249,12 +275,10 @@ def trace_stream_records(session: EvaluationSession,
         rank_bits=request.rank_bits,
         offset_bits=request.offset_bits)
 
-    def records() -> Iterator[Dict[str, Any]]:
-        accumulator = TraceAccumulator(model, strict=request.strict)
-        data = (iter_decompressed(chunks) if request.gzipped
-                else chunks)
-        parsed = iter_records(iter_lines(data), request.fmt,
-                              source="<upload>")
+    def scalar_records(accumulator: TraceAccumulator,
+                       lines: Iterator[str]
+                       ) -> Iterator[Dict[str, Any]]:
+        parsed = iter_records(lines, request.fmt, source="<upload>")
         commands = commands_from_records(parsed, decoder,
                                          request.clock)
         index = 0
@@ -279,6 +303,62 @@ def trace_stream_records(session: EvaluationSession,
         yield {"done": True, "count": accumulator.commands_seen,
                "result": trace_result_row(accumulator.result(),
                                           accumulator.commands_seen)}
+
+    def columnar_records(accumulator: TraceAccumulator,
+                         lines: Iterator[str]
+                         ) -> Iterator[Dict[str, Any]]:
+        # One line yields at least one command, so batching
+        # ``snapshot_every`` lines guarantees each full batch crosses
+        # the snapshot cadence; the cap keeps batches array-sized.
+        batch_lines = min(request.snapshot_every, LINES_PER_BATCH)
+        index = 0
+        last_snap = 0
+        try:
+            replayer = ColumnarReplayer(accumulator, request.fmt,
+                                        decoder, request.clock,
+                                        source="<upload>")
+            batch: List[str] = []
+            for line in lines:
+                batch.append(line)
+                if len(batch) < batch_lines:
+                    continue
+                replayer.feed_lines(batch)
+                batch = []
+                if deadline is not None:
+                    deadline.check()
+                if (accumulator.commands_seen - last_snap
+                        >= request.snapshot_every):
+                    yield {"index": index,
+                           "snapshot": trace_result_row(
+                               accumulator.snapshot(),
+                               accumulator.commands_seen)}
+                    last_snap = accumulator.commands_seen
+                    index += 1
+            if batch:
+                replayer.feed_lines(batch)
+                if deadline is not None:
+                    deadline.check()
+        except (ServiceError, ReproError, ValueError) as exc:
+            yield _error_record(index, exc)
+            return
+        yield {"done": True, "count": accumulator.commands_seen,
+               "result": trace_result_row(accumulator.result(),
+                                          accumulator.commands_seen)}
+
+    def records() -> Iterator[Dict[str, Any]]:
+        accumulator = TraceAccumulator(model, strict=request.strict)
+        data = (iter_decompressed(chunks) if request.gzipped
+                else chunks)
+        lines = iter_lines(data)
+        columnar = (request.backend in ("auto", "vector")
+                    and not request.strict)
+        if columnar and not columnar_available():
+            record_downgrade()
+            columnar = False
+        if columnar:
+            yield from columnar_records(accumulator, lines)
+        else:
+            yield from scalar_records(accumulator, lines)
 
     return records()
 

@@ -22,7 +22,7 @@ Policies (naming reads MSB → LSB below channel/rank):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.trace import TraceError
 
@@ -86,6 +86,46 @@ class AddressDecoder:
                     ("bank", self.bank_bits)]
         return core + [("rank", self.rank_bits),
                        ("channel", self.channel_bits)]
+
+    def field_layout(self) -> Dict[str, Tuple[int, int]]:
+        """Field name → ``(lsb_shift, width)`` over the raw address.
+
+        The flat shift/mask view of :meth:`decode` — the columnar
+        kernel slices whole address arrays with it (``(addresses >>
+        shift) & mask``) and lands bit-identical coordinates.
+        """
+        layout: Dict[str, Tuple[int, int]] = {}
+        shift = self.offset_bits
+        for name, bits in self._fields():
+            layout[name] = (shift, bits)
+            shift += bits
+        return layout
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_bits(self) -> int:
+        """Address bits identifying the (channel, rank) shard."""
+        return self.channel_bits + self.rank_bits
+
+    @property
+    def num_shards(self) -> int:
+        """Independent (channel, rank) replay shards this decoder
+        produces.  Bank state and tFAW tracking never cross a rank
+        boundary, so shards replay in parallel and merge exactly."""
+        return 1 << self.shard_bits
+
+    def shard_of(self, address: int) -> int:
+        """The (channel, rank) shard index of one address.
+
+        Equals ``flat_bank(decode(address)) >> bank_bits`` — rank and
+        channel are always the top two fields regardless of policy —
+        but computed with one shift and mask.
+        """
+        if address < 0:
+            raise TraceError("address must not be negative", 0.0, None)
+        shift = (self.offset_bits + self.col_bits + self.row_bits
+                 + self.bank_bits)
+        return (address >> shift) & (self.num_shards - 1)
 
     def decode(self, address: int) -> DecodedAddress:
         """Split a physical byte address into coordinates."""

@@ -119,8 +119,8 @@ def _parse_cycle(token: str, number: int, source: str) -> int:
 
 
 def _iter_columns(lines: Iterable[str], ops: Dict[str, str],
-                  source: str) -> Iterator[TraceRecord]:
-    for number, line in enumerate(lines, start=1):
+                  source: str, start: int = 1) -> Iterator[TraceRecord]:
+    for number, line in enumerate(lines, start=start):
         if _skip(line):
             continue
         tokens = line.split()
@@ -141,22 +141,27 @@ def _iter_columns(lines: Iterable[str], ops: Dict[str, str],
         )
 
 
-def iter_k6(lines: Iterable[str],
-            source: str = "<trace>") -> Iterator[TraceRecord]:
-    """Parse k6 / DRAMSim2 trace lines lazily."""
-    return _iter_columns(lines, K6_OPS, source)
+def iter_k6(lines: Iterable[str], source: str = "<trace>",
+            start: int = 1) -> Iterator[TraceRecord]:
+    """Parse k6 / DRAMSim2 trace lines lazily.
+
+    ``start`` is the 1-based source line number of the first line —
+    batch parsers hand line windows here with their global offset so
+    error messages keep whole-file line numbers.
+    """
+    return _iter_columns(lines, K6_OPS, source, start=start)
 
 
-def iter_mase(lines: Iterable[str],
-              source: str = "<trace>") -> Iterator[TraceRecord]:
+def iter_mase(lines: Iterable[str], source: str = "<trace>",
+              start: int = 1) -> Iterator[TraceRecord]:
     """Parse gem5 / mase trace lines lazily."""
-    return _iter_columns(lines, MASE_OPS, source)
+    return _iter_columns(lines, MASE_OPS, source, start=start)
 
 
-def iter_jsonl(lines: Iterable[str],
-               source: str = "<trace>") -> Iterator[TraceRecord]:
+def iter_jsonl(lines: Iterable[str], source: str = "<trace>",
+               start: int = 1) -> Iterator[TraceRecord]:
     """Parse NDJSON trace lines lazily."""
-    for number, line in enumerate(lines, start=1):
+    for number, line in enumerate(lines, start=start):
         if _skip(line):
             continue
         try:
@@ -206,14 +211,15 @@ def detect_format(line: str) -> str:
 
 
 def iter_records(lines: Iterable[str], fmt: str,
-                 source: str = "<trace>") -> Iterator[TraceRecord]:
+                 source: str = "<trace>",
+                 start: int = 1) -> Iterator[TraceRecord]:
     """Dispatch to the parser registered for ``fmt``."""
     parser = FORMATS.get(fmt)
     if parser is None:
         known = ", ".join(sorted(FORMATS))
         raise TraceFormatError(f"unknown trace format {fmt!r} "
                                f"(known: {known})", 0, source)
-    return parser(lines, source=source)
+    return parser(lines, source=source, start=start)
 
 
 # ----------------------------------------------------------------------

@@ -15,11 +15,12 @@ evaluated with ``strict=False``.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, Optional
+import os
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from ..core.model import DramPowerModel
-from ..core.trace import (TraceAccumulator, TraceCommand, TraceResult,
-                          evaluate_trace)
+from ..core.trace import (TraceAccumulator, TraceCommand, TraceError,
+                          TraceResult)
 from ..description import Command
 from .decoder import AddressDecoder
 from .formats import (TraceRecord, detect_format, iter_records,
@@ -30,16 +31,29 @@ from .formats import (TraceRecord, detect_format, iter_records,
 #: cycle stamps read directly as nanoseconds.
 DEFAULT_CLOCK = 1e9
 
+#: Replay backends accepted by the file/record entry points.  ``auto``
+#: defers to :func:`~repro.trace.columnar.choose_trace_backend`.
+TRACE_BACKENDS = ("serial", "vector", "process")
+
 
 def commands_from_records(records: Iterable[TraceRecord],
                           decoder: AddressDecoder,
-                          clock: float = DEFAULT_CLOCK
+                          clock: float = DEFAULT_CLOCK,
+                          open_rows: Optional[Dict[int, int]] = None
                           ) -> Iterator[TraceCommand]:
-    """Expand transaction records into an open-page command stream."""
+    """Expand transaction records into an open-page command stream.
+
+    ``open_rows`` optionally supplies (and keeps receiving) the
+    per-bank open-row register, so a caller alternating between this
+    scalar expansion and the columnar batch kernel hands the carried
+    state back and forth and the combined stream stays bit-identical
+    to a single-path run.
+    """
     if clock <= 0:
         raise ValueError("clock must be positive")
     period = 1.0 / clock
-    open_rows: Dict[int, int] = {}
+    if open_rows is None:
+        open_rows = {}
     for record in records:
         decoded = decoder.decode(record.address)
         bank = decoder.flat_bank(decoded)
@@ -85,27 +99,156 @@ def read_trace(path, fmt: Optional[str] = None,
         handle.close()
 
 
+def resolve_trace_format(path, fmt: Optional[str] = None) -> str:
+    """The concrete format of a trace file: sniffed when ``fmt`` is
+    ``None`` or ``"auto"``, passed through otherwise.
+
+    Sharded replay needs the sniff done once in the parent so every
+    worker parses with the same format.
+    """
+    if fmt is not None and fmt != "auto":
+        return fmt
+    handle = open_trace_lines(path)
+    try:
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith(("#", ";")):
+                return detect_format(line)
+    finally:
+        handle.close()
+    return "k6"
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    if backend is None:
+        return "auto"
+    if backend != "auto" and backend not in TRACE_BACKENDS:
+        raise TraceError(
+            f"unknown trace backend {backend!r}; choose from "
+            + "/".join(TRACE_BACKENDS + ("auto",)), 0.0, None)
+    return backend
+
+
+def replay_trace_file(model: DramPowerModel, path,
+                      fmt: Optional[str] = None,
+                      decoder: Optional[AddressDecoder] = None,
+                      clock: float = DEFAULT_CLOCK,
+                      strict: bool = False,
+                      backend: str = "auto",
+                      jobs: Optional[int] = None
+                      ) -> Tuple[TraceAccumulator, str]:
+    """Replay an external trace file on the chosen backend.
+
+    Returns ``(accumulator, backend_used)``.  ``backend="auto"``
+    weighs serial vs the columnar kernel vs rank-sharded processes
+    (:func:`~repro.trace.columnar.choose_trace_backend`); every
+    backend produces bit-for-bit identical aggregates, so the choice
+    is purely a throughput decision.  Strict replay needs per-command
+    timing state the batched paths discard, so ``vector`` and
+    ``process`` reject ``strict=True``; ``auto`` quietly stays
+    serial.  An explicit ``vector`` request without numpy degrades to
+    serial and fires the one-time downgrade marker, exactly like
+    :mod:`repro.engine.vector`.
+    """
+    from .columnar import (choose_trace_backend, columnar_available,
+                           record_downgrade, replay_lines_columnar)
+    if decoder is None:
+        decoder = AddressDecoder.from_device(model.device)
+    resolved_fmt = resolve_trace_format(path, fmt)
+    backend = _resolve_backend(backend)
+    if backend == "auto":
+        try:
+            size: Optional[int] = os.path.getsize(path)
+        except OSError:
+            size = None
+        backend = choose_trace_backend(strict=strict,
+                                       shards=decoder.num_shards,
+                                       jobs=jobs, size_bytes=size)
+    elif backend in ("vector", "process") and strict:
+        raise TraceError(
+            f"the {backend} backend replays batched/sharded and "
+            "cannot honour strict=True; use backend='serial' for "
+            "strict legality checking", 0.0, None)
+    if backend == "vector" and not columnar_available():
+        record_downgrade()
+        backend = "serial"
+    if backend == "vector":
+        accumulator = TraceAccumulator(model, strict=False)
+        handle = open_trace_lines(path)
+        try:
+            replay_lines_columnar(accumulator, handle, resolved_fmt,
+                                  decoder, clock, source=str(path))
+        finally:
+            handle.close()
+        return accumulator, "vector"
+    if backend == "process":
+        from .parallel import evaluate_file_sharded
+        accumulator = evaluate_file_sharded(model, path, resolved_fmt,
+                                            decoder, clock, jobs=jobs)
+        return accumulator, "process"
+    accumulator = TraceAccumulator(model, strict=strict)
+    accumulator.feed(commands_from_records(
+        read_trace(path, resolved_fmt), decoder, clock))
+    return accumulator, "serial"
+
+
 def evaluate_trace_file(model: DramPowerModel, path,
                         fmt: Optional[str] = None,
                         decoder: Optional[AddressDecoder] = None,
                         clock: float = DEFAULT_CLOCK,
-                        strict: bool = False) -> TraceResult:
+                        strict: bool = False,
+                        backend: str = "auto",
+                        jobs: Optional[int] = None) -> TraceResult:
     """One-call evaluation of an external trace file."""
-    if decoder is None:
-        decoder = AddressDecoder.from_device(model.device)
-    commands = commands_from_records(read_trace(path, fmt), decoder,
-                                     clock)
-    return evaluate_trace(model, commands, strict=strict)
+    accumulator, _ = replay_trace_file(model, path, fmt=fmt,
+                                       decoder=decoder, clock=clock,
+                                       strict=strict, backend=backend,
+                                       jobs=jobs)
+    return accumulator.result()
 
 
 def accumulate_records(model: DramPowerModel,
                        records: Iterable[TraceRecord],
                        decoder: Optional[AddressDecoder] = None,
                        clock: float = DEFAULT_CLOCK,
-                       strict: bool = False) -> TraceAccumulator:
-    """Fold a record stream into a fresh :class:`TraceAccumulator`."""
+                       strict: bool = False,
+                       backend: str = "auto",
+                       jobs: Optional[int] = None
+                       ) -> TraceAccumulator:
+    """Fold a record stream into a fresh :class:`TraceAccumulator`.
+
+    ``backend="auto"`` picks the columnar kernel for lenient replay
+    when numpy is present and serial otherwise — never processes,
+    which would have to materialize the stream; an explicit
+    ``backend="process"`` accepts that cost and runs the rank-sharded
+    pool over the materialized records.
+    """
+    from .columnar import (columnar_available, record_downgrade,
+                           replay_records_columnar)
     if decoder is None:
         decoder = AddressDecoder.from_device(model.device)
+    backend = _resolve_backend(backend)
+    if backend == "auto":
+        backend = ("vector" if not strict and columnar_available()
+                   else "serial")
+        if not strict and not columnar_available():
+            record_downgrade()
+    elif backend in ("vector", "process") and strict:
+        raise TraceError(
+            f"the {backend} backend replays batched/sharded and "
+            "cannot honour strict=True; use backend='serial' for "
+            "strict legality checking", 0.0, None)
+    if backend == "vector" and not columnar_available():
+        record_downgrade()
+        backend = "serial"
+    if backend == "vector":
+        accumulator = TraceAccumulator(model, strict=False)
+        return replay_records_columnar(accumulator, records, decoder,
+                                       clock)
+    if backend == "process":
+        from .parallel import replay_records_sharded
+        return replay_records_sharded(model, list(records), decoder,
+                                      clock, jobs=jobs)
     accumulator = TraceAccumulator(model, strict=strict)
     accumulator.feed(commands_from_records(records, decoder, clock))
     return accumulator

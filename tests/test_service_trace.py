@@ -288,3 +288,64 @@ class TestConcurrentSnapshot:
             previous_energy = snap["energy_j"]
         final = records[-1]["result"]
         assert final["energy_j"] == local_result(text).energy
+
+
+class TestBackendSelection:
+    """The ``backend`` knob: query/payload parsing and parity."""
+
+    def test_query_accepts_stream_backends(self):
+        for backend in ("auto", "serial", "vector"):
+            request = parse_trace_query({"backend": [backend]})
+            assert request.backend == backend
+
+    def test_query_rejects_process_backend(self):
+        # Sharded process replay re-reads the file per worker; a
+        # socket stream cannot be re-read, so the endpoint says no
+        # and points at the alternatives.
+        with pytest.raises(ServiceError, match="trace.*job"):
+            parse_trace_query({"backend": ["process"]})
+
+    def test_query_rejects_unknown_backend(self):
+        with pytest.raises(ServiceError, match="quantum"):
+            parse_trace_query({"backend": ["quantum"]})
+
+    def test_query_rejects_vector_with_strict(self):
+        with pytest.raises(ServiceError, match="strict"):
+            parse_trace_query({"backend": ["vector"],
+                               "strict": ["true"]})
+
+    def test_payload_backend_parsing(self):
+        request, _ = parse_trace_payload({
+            "device": {"node": 55}, "text": "0x0 READ 0",
+            "backend": "serial"})
+        assert request.backend == "serial"
+        with pytest.raises(ServiceError, match="backend"):
+            parse_trace_payload({"device": {"node": 55},
+                                 "text": "0x0 READ 0",
+                                 "backend": 7})
+        with pytest.raises(ServiceError, match="process"):
+            parse_trace_payload({"device": {"node": 55},
+                                 "text": "0x0 READ 0",
+                                 "backend": "process"})
+
+    def test_serial_backend_matches_default(self):
+        """Forcing serial must price identically to the default
+        (columnar when numpy is present) path — the endpoint parity
+        contract extends across backends."""
+        text = k6_text(1500)
+        session = EvaluationSession()
+        default = trace_payload(session, {"device": {"node": 55},
+                                          "text": text})
+        forced = trace_payload(session, {"device": {"node": 55},
+                                         "text": text,
+                                         "backend": "serial"})
+        assert forced == default
+
+    def test_serial_stream_over_http(self, client):
+        text = k6_text(1200)
+        records = list(client.trace_stream(
+            text.encode(), device={"node": 55},
+            snapshot_every=MIN_SNAPSHOT_EVERY, backend="serial"))
+        assert records[-1].get("done") is True
+        assert records[-1]["result"]["energy_j"] \
+            == local_result(text).energy

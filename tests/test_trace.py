@@ -378,3 +378,126 @@ class TestValidationConsistency:
         reference = evaluate_trace(ddr3_model, clamped, strict=False)
         assert result.energy == reference.energy
         assert result.duration == reference.duration
+
+
+class TestActWindowCost:
+    """The tFAW/tRRD window must cost O(1) per ACT.
+
+    The old implementation filtered a growing list of every ACT ever
+    seen three times per activate — O(n²) on ACT-dense traces.  The
+    deque-based window is bounded by the tFAW depth in strict mode
+    and empty in lenient mode.
+    """
+
+    def _act_trace(self, timing, count):
+        for i in range(count):
+            start = i * timing.trc
+            yield TraceCommand(start, Command.ACT, bank=i % 4,
+                               row=i % 7)
+            yield TraceCommand(start + timing.tras, Command.PRE,
+                               bank=i % 4)
+
+    def test_lenient_act_dense_bounded_memory(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        count = 50_000
+        tracemalloc.start()
+        accumulator = TraceAccumulator(ddr3_model, strict=False)
+        accumulator.feed(self._act_trace(timing, count))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert accumulator.counts[Command.ACT] == count
+        # Lenient replay keeps no ACT history at all.
+        assert len(accumulator._act_window) == 0
+        assert peak < 2 * 1024 * 1024
+
+    def test_strict_window_stays_bounded(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        accumulator = TraceAccumulator(ddr3_model, strict=True)
+        accumulator.feed(self._act_trace(timing, 500))
+        # Expired activates are pruned as they age out, so the window
+        # never exceeds the tFAW depth.
+        assert len(accumulator._act_window) <= 4
+
+    def test_strict_still_catches_tfaw(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        gap = max(timing.trrd, timing.trrd_l) + ns(1)
+        trace = [TraceCommand(i * gap, Command.ACT, bank=i, row=1)
+                 for i in range(5)]
+        if 4 * gap < timing.tfaw:
+            with pytest.raises(TraceError, match="tFAW"):
+                evaluate_trace(ddr3_model, trace, strict=True)
+
+
+class TestStateExportAndMerge:
+    """Shard merge: export_state/merge_state reproduce serial replay
+    bit for bit when bank sets are disjoint."""
+
+    def _bank_trace(self, timing, bank, rows=40):
+        trace = []
+        for i in range(rows):
+            start = i * timing.trc
+            trace.append(TraceCommand(start, Command.ACT, bank=bank,
+                                      row=i % 9))
+            trace.append(TraceCommand(start + timing.trcd, Command.RD,
+                                      bank=bank, row=i % 9))
+        return trace
+
+    def test_merge_matches_serial(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        left = self._bank_trace(timing, bank=0)
+        right = self._bank_trace(timing, bank=1)
+        serial = TraceAccumulator(ddr3_model, strict=False)
+        serial.feed(sorted(left + right, key=lambda c: c.time))
+        one = TraceAccumulator(ddr3_model, strict=False).feed(left)
+        two = TraceAccumulator(ddr3_model, strict=False).feed(right)
+        merged = one.merge(two)
+        assert merged is one
+        expect = serial.result()
+        got = merged.result()
+        assert got.energy == expect.energy
+        assert got.duration == expect.duration
+        assert got.counts == expect.counts
+        assert got.row_hits == expect.row_hits
+        assert merged.commands_seen == serial.commands_seen
+
+    def test_state_survives_json_round_trip(self, ddr3_model):
+        import json
+
+        timing = ddr3_model.device.timing
+        one = TraceAccumulator(ddr3_model, strict=False)
+        one.feed(self._bank_trace(timing, bank=0))
+        two = TraceAccumulator(ddr3_model, strict=False)
+        two.feed(self._bank_trace(timing, bank=1))
+        direct = TraceAccumulator(ddr3_model, strict=False)
+        direct.merge(one)
+        direct.merge(two)
+        wired = TraceAccumulator(ddr3_model, strict=False)
+        for shard in (one, two):
+            wired.merge_state(json.loads(
+                json.dumps(shard.export_state())))
+        assert wired.result().energy == direct.result().energy
+        assert wired.export_state() == direct.export_state()
+
+    def test_strict_accumulators_refuse_merge(self, ddr3_model):
+        strict = TraceAccumulator(ddr3_model, strict=True)
+        lenient = TraceAccumulator(ddr3_model, strict=False)
+        with pytest.raises(TraceError, match="strict"):
+            strict.merge(lenient)
+        with pytest.raises(TraceError, match="strict"):
+            strict.export_state()
+
+    def test_overlapping_banks_refuse_merge(self, ddr3_model):
+        timing = ddr3_model.device.timing
+        one = TraceAccumulator(ddr3_model, strict=False)
+        one.feed(self._bank_trace(timing, bank=0))
+        two = TraceAccumulator(ddr3_model, strict=False)
+        two.feed(self._bank_trace(timing, bank=0))
+        with pytest.raises(TraceError, match="overlap"):
+            one.merge(two)
+
+    def test_device_mismatch_refuses_merge(self, ddr3_model,
+                                           ddr5_model):
+        one = TraceAccumulator(ddr3_model, strict=False)
+        two = TraceAccumulator(ddr5_model, strict=False)
+        with pytest.raises(TraceError, match="cannot merge"):
+            one.merge(two)

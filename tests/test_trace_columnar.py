@@ -1,0 +1,339 @@
+"""Columnar kernel and backend-choice tests.
+
+The columnar fast path is held to one standard: every observable —
+energies, counts, durations, even error messages with their global
+line numbers — must be bit-identical to the scalar pipeline, across
+formats, decode policies, shard geometries and batch boundaries.
+"""
+
+import importlib.util
+import json
+import sys
+
+import pytest
+
+from repro import DramPowerModel
+from repro.core.trace import TraceAccumulator, TraceError
+from repro.devices import build_device
+from repro.trace import (DEFAULT_CLOCK, AddressDecoder,
+                         TraceFormatError, accumulate_records,
+                         choose_trace_backend, columnar_available,
+                         evaluate_trace_file, iter_records,
+                         parse_columns, replay_lines_columnar,
+                         replay_trace_file)
+from repro.trace.columnar import reset_downgrades, trace_downgrades
+
+needs_numpy = pytest.mark.skipif(not columnar_available(),
+                                 reason="numpy not installed")
+
+
+def _lcg(state):
+    return (state * 1103515245 + 12345) & 0x7FFFFFFF
+
+
+def make_lines(fmt, count, address_bits=26, with_refresh=True,
+               seed=7):
+    """Deterministic trace lines exercising the full address width."""
+    lines = []
+    state = seed
+    mask = (1 << address_bits) - 1
+    for i in range(count):
+        state = _lcg(state)
+        address = (state * 2654435761) & mask
+        cycle = i * 4
+        if with_refresh and i % 97 == 96:
+            op, kind = "REF", "refresh"
+        elif state % 3 == 0:
+            op, kind = "P_MEM_WR", "write"
+        else:
+            op, kind = "P_MEM_RD", "read"
+        if fmt == "k6":
+            lines.append(f"0x{address:x} {op} {cycle}")
+        elif fmt == "mase":
+            mase_op = {"refresh": "REF", "write": "WRITE",
+                       "read": "IFETCH"}[kind]
+            lines.append(f"0x{address:x} {mase_op} {cycle}")
+        else:
+            lines.append(json.dumps({"addr": address, "op": op,
+                                     "cycle": cycle}))
+    return lines
+
+
+def _fingerprint(accumulator):
+    result = accumulator.result()
+    return (result.energy, result.duration, result.counts,
+            result.row_hits, result.row_misses, result.row_conflicts,
+            result.data_bits, result.breakdown.values,
+            accumulator.commands_seen)
+
+
+def _serial_fingerprint(model, records, decoder):
+    accumulator = accumulate_records(model, records, decoder=decoder,
+                                     backend="serial")
+    return _fingerprint(accumulator)
+
+
+@needs_numpy
+class TestColumnarParity:
+    """vector == serial, bit for bit, across the whole matrix."""
+
+    @pytest.mark.parametrize("fmt", ["k6", "mase", "jsonl"])
+    @pytest.mark.parametrize("policy", ["row-bank-column",
+                                        "bank-row-column"])
+    def test_formats_and_policies(self, fmt, policy, tmp_path):
+        device = build_device(55)
+        model = DramPowerModel(device)
+        decoder = AddressDecoder.from_device(device, policy=policy,
+                                             channel_bits=1,
+                                             rank_bits=1)
+        lines = make_lines(fmt, 3000,
+                           address_bits=decoder.address_bits)
+        path = tmp_path / f"t.{fmt}.trc"
+        path.write_text("\n".join(lines) + "\n")
+        serial = evaluate_trace_file(model, path, fmt=fmt,
+                                     decoder=decoder,
+                                     backend="serial")
+        vector = evaluate_trace_file(model, path, fmt=fmt,
+                                     decoder=decoder,
+                                     backend="vector")
+        assert vector.energy == serial.energy
+        assert vector.duration == serial.duration
+        assert vector.counts == serial.counts
+        assert vector.row_hits == serial.row_hits
+        assert vector.breakdown.values == serial.breakdown.values
+
+    def test_batch_boundaries_carry_open_rows(self, ddr3_model):
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        lines = make_lines("k6", 500)
+        records = list(iter_records(iter(lines), "k6"))
+        expect = _serial_fingerprint(ddr3_model, iter(records),
+                                     decoder)
+        for batch_lines in (1, 3, 17, 499, 10_000):
+            accumulator = TraceAccumulator(ddr3_model, strict=False)
+            replay_lines_columnar(accumulator, iter(lines), "k6",
+                                  decoder, DEFAULT_CLOCK,
+                                  batch_lines=batch_lines)
+            assert _fingerprint(accumulator) == expect
+
+    def test_comments_blanks_and_case_match_scalar(self, ddr3_model):
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        lines = ["# header", "", "0x100 read 1", "; note",
+                 "0x200 Wr 2", "0x100 P_MEM_RD 3", "  ", "0x0 REF 9",
+                 "0x300 rd 11"]
+        records = list(iter_records(iter(lines), "k6"))
+        expect = _serial_fingerprint(ddr3_model, iter(records),
+                                     decoder)
+        accumulator = TraceAccumulator(ddr3_model, strict=False)
+        replay_lines_columnar(accumulator, iter(lines), "k6", decoder,
+                              DEFAULT_CLOCK)
+        assert _fingerprint(accumulator) == expect
+
+    def test_record_stream_backend_parity(self, ddr3_model):
+        decoder = AddressDecoder.from_device(ddr3_model.device,
+                                             channel_bits=1)
+        lines = make_lines("k6", 2000,
+                           address_bits=decoder.address_bits)
+        records = list(iter_records(iter(lines), "k6"))
+        serial = _serial_fingerprint(ddr3_model, iter(records),
+                                     decoder)
+        vector = accumulate_records(ddr3_model, iter(records),
+                                    decoder=decoder,
+                                    backend="vector")
+        auto = accumulate_records(ddr3_model, iter(records),
+                                  decoder=decoder)
+        assert _fingerprint(vector) == serial
+        assert _fingerprint(auto) == serial
+
+    def test_oversize_addresses_fall_back_exactly(self, ddr3_model):
+        # 1 << 70 cannot live in an int64 array: the batch must drop
+        # to the scalar fold, splicing the open-row register exactly.
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        lines = make_lines("k6", 50)
+        lines.insert(25, f"0x{1 << 70:x} READ 99")
+        records = list(iter_records(iter(lines), "k6"))
+        expect = _serial_fingerprint(ddr3_model, iter(records),
+                                     decoder)
+        accumulator = TraceAccumulator(ddr3_model, strict=False)
+        replay_lines_columnar(accumulator, iter(lines), "k6", decoder,
+                              DEFAULT_CLOCK, batch_lines=10)
+        assert _fingerprint(accumulator) == expect
+
+
+@needs_numpy
+class TestErrorParity:
+    """The fast path must raise the scalar path's exact errors."""
+
+    def _error_of(self, model, path, fmt, backend):
+        decoder = AddressDecoder.from_device(model.device)
+        with pytest.raises(TraceFormatError) as excinfo:
+            evaluate_trace_file(model, path, fmt=fmt, decoder=decoder,
+                                backend=backend)
+        return str(excinfo.value), excinfo.value.line
+
+    @pytest.mark.parametrize("bad_line", [
+        "0x10 BOGUS 5",          # unknown op
+        "0x10 READ",             # wrong arity
+        "zz READ 5",             # bad address
+        "0x10 READ -5",          # negative cycle
+        "0x10 READ nope",        # bad cycle
+    ])
+    def test_malformed_lines(self, ddr3_model, tmp_path, bad_line):
+        lines = make_lines("k6", 40)
+        lines.insert(20, bad_line)
+        path = tmp_path / "bad.trc"
+        path.write_text("\n".join(lines) + "\n")
+        serial = self._error_of(ddr3_model, path, "k6", "serial")
+        vector = self._error_of(ddr3_model, path, "k6", "vector")
+        assert vector == serial
+        assert serial[1] == 21  # the global line number, not batch
+
+    def test_blank_plus_six_token_line_goes_scalar(self):
+        # A blank line next to a double line keeps the flat token
+        # count at 4n-1 but shifts payload into the sentinel slots —
+        # the arity check must catch it and the scalar parser must
+        # raise its usual error.
+        lines = ["0x10 READ 1", "",
+                 "0x20 READ 2 0x30 READ 3"]
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_columns(lines, "k6", source="t.trc")
+        assert "t.trc:3" in str(excinfo.value)
+
+    def test_parse_columns_matches_scalar_records(self):
+        lines = make_lines("k6", 200)
+        columns = parse_columns(lines, "k6")
+        records = list(iter_records(iter(lines), "k6"))
+        assert list(columns.addresses) == [r.address for r in records]
+        assert list(columns.cycles) == [r.cycle for r in records]
+        kinds = {0: "read", 1: "write", 2: "refresh"}
+        assert ([kinds[int(code)] for code in columns.kinds]
+                == [r.kind for r in records])
+
+
+class TestStrictRejection:
+    def test_vector_backend_rejects_strict(self, ddr3_model,
+                                           tmp_path):
+        path = tmp_path / "s.trc"
+        path.write_text("0x100 READ 1\n")
+        for backend in ("vector", "process"):
+            with pytest.raises(TraceError, match="strict"):
+                evaluate_trace_file(ddr3_model, path, backend=backend,
+                                    strict=True)
+
+    def test_auto_stays_serial_for_strict(self, ddr3_model, tmp_path):
+        # Expanded ACT+RD share a timestamp, so only a refresh-only
+        # trace is strict-legal; spacing them past tRFC keeps it so.
+        path = tmp_path / "s.trc"
+        path.write_text("0x0 REF 1000\n0x0 REF 2000\n")
+        _, backend = replay_trace_file(ddr3_model, path, strict=True)
+        assert backend == "serial"
+
+    def test_unknown_backend_rejected(self, ddr3_model, tmp_path):
+        path = tmp_path / "s.trc"
+        path.write_text("0x100 READ 1\n")
+        with pytest.raises(TraceError, match="unknown trace backend"):
+            evaluate_trace_file(ddr3_model, path, backend="quantum")
+
+
+class TestBackendChoice:
+    def test_strict_is_always_serial(self):
+        assert choose_trace_backend(strict=True, shards=64,
+                                    jobs=32) == "serial"
+
+    @needs_numpy
+    def test_numpy_means_vector(self):
+        assert choose_trace_backend(strict=False) == "vector"
+        assert choose_trace_backend(strict=False, shards=64,
+                                    jobs=32) == "vector"
+
+
+def _import_columnar_without_numpy(monkeypatch):
+    """A fresh repro.trace.columnar instance with numpy blocked."""
+    import repro.trace.columnar as real
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    spec = importlib.util.spec_from_file_location(
+        "repro.trace.columnar", real.__file__)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestNoNumpyDegradation:
+    """Without numpy every columnar entry point degrades to scalar,
+    fires the one-time marker, and changes no results."""
+
+    def test_auto_degrades_serially_with_marker(self, ddr3_model,
+                                                monkeypatch):
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        lines = make_lines("k6", 300)
+        records = list(iter_records(iter(lines), "k6"))
+        expect = _serial_fingerprint(ddr3_model, iter(records),
+                                     decoder)
+        stub = _import_columnar_without_numpy(monkeypatch)
+        assert stub.columnar_available() is False
+        assert stub.trace_downgrades() == 0
+        # ingest imports the columnar module lazily, so installing
+        # the numpy-free instance reroutes the auto backend.
+        monkeypatch.setitem(sys.modules, "repro.trace.columnar", stub)
+        first = accumulate_records(ddr3_model, iter(records),
+                                   decoder=decoder)
+        assert stub.trace_downgrades() == 1
+        second = accumulate_records(ddr3_model, iter(records),
+                                    decoder=decoder)
+        assert stub.trace_downgrades() == 1  # marker is one-time
+        assert _fingerprint(first) == expect
+        assert _fingerprint(second) == expect
+
+    def test_explicit_vector_degrades_with_marker(self, ddr3_model,
+                                                  monkeypatch,
+                                                  tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text("\n".join(make_lines("k6", 200)) + "\n")
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        expect = evaluate_trace_file(ddr3_model, path,
+                                     decoder=decoder,
+                                     backend="serial")
+        stub = _import_columnar_without_numpy(monkeypatch)
+        monkeypatch.setitem(sys.modules, "repro.trace.columnar", stub)
+        accumulator, backend = replay_trace_file(
+            ddr3_model, path, decoder=decoder, backend="vector")
+        assert backend == "serial"
+        assert stub.trace_downgrades() == 1
+        result = accumulator.result()
+        assert result.energy == expect.energy
+        assert result.counts == expect.counts
+
+    def test_stub_replayer_refuses_to_build(self, ddr3_model,
+                                            monkeypatch):
+        stub = _import_columnar_without_numpy(monkeypatch)
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        accumulator = TraceAccumulator(ddr3_model, strict=False)
+        with pytest.raises(TraceError, match="numpy"):
+            stub.ColumnarReplayer(accumulator, "k6", decoder,
+                                  DEFAULT_CLOCK)
+
+    def test_stub_choice_prefers_process_for_big_shardable(
+            self, monkeypatch):
+        stub = _import_columnar_without_numpy(monkeypatch)
+        big = 2 * stub.MIN_PROCESS_BYTES
+        assert stub.choose_trace_backend(
+            strict=False, shards=4, jobs=4, size_bytes=big
+        ) == "process"
+        # Small files, single shards or single workers stay serial.
+        assert stub.choose_trace_backend(
+            strict=False, shards=4, jobs=4, size_bytes=1024
+        ) == "serial"
+        assert stub.choose_trace_backend(
+            strict=False, shards=1, jobs=4, size_bytes=big
+        ) == "serial"
+        assert stub.choose_trace_backend(
+            strict=False, shards=4, jobs=1, size_bytes=big
+        ) == "serial"
+        assert stub.trace_downgrades() == 1
+
+    def test_downgrade_marker_reset_hook(self):
+        before = trace_downgrades()
+        reset_downgrades()
+        assert trace_downgrades() == 0
+        if before:  # leave the process-global marker as found
+            from repro.trace.columnar import record_downgrade
+            record_downgrade()

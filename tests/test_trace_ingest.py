@@ -287,3 +287,142 @@ class TestEvaluateTraceFile:
         assert streamed.energy == one_shot.energy
         assert streamed.counts == one_shot.counts
         assert streamed.duration == one_shot.duration
+
+
+class TestDecoderEdgeGeometries:
+    """Decoder corner cases: zero-width channel/rank fields, maximal
+    row widths, and shard/field-layout consistency — each geometry
+    must decode identically through the scalar and columnar paths."""
+
+    def _parity(self, decoder, lines, ddr3_model):
+        from repro.trace import accumulate_records, columnar_available
+        records = list(iter_records(iter(lines), "k6"))
+        serial = accumulate_records(ddr3_model, iter(records),
+                                    decoder=decoder,
+                                    backend="serial").result()
+        if columnar_available():
+            vector = accumulate_records(ddr3_model, iter(records),
+                                        decoder=decoder,
+                                        backend="vector").result()
+            assert vector.energy == serial.energy
+            assert vector.counts == serial.counts
+            assert vector.row_hits == serial.row_hits
+        return serial
+
+    def _lines(self, decoder, count=400):
+        lines = []
+        state = 29
+        mask = (1 << decoder.address_bits) - 1
+        for i in range(count):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            address = (state * 2654435761) & mask
+            lines.append(f"0x{address:x} READ {i * 4}")
+        return lines
+
+    def test_zero_channel_and_rank_bits(self, ddr3_model):
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+        assert decoder.channel_bits == 0 and decoder.rank_bits == 0
+        assert decoder.num_shards == 1
+        assert decoder.shard_of((1 << decoder.address_bits) - 1) == 0
+        lines = self._lines(decoder)
+        self._parity(decoder, lines, ddr3_model)
+
+    def test_max_width_rows(self, ddr3_model):
+        decoder = AddressDecoder(bank_bits=1, row_bits=30, col_bits=1,
+                                 rank_bits=1, offset_bits=0)
+        top = decoder.encode(DecodedAddress(rank=1,
+                                            row=(1 << 30) - 1,
+                                            bank=1, column=1))
+        decoded = decoder.decode(top)
+        assert decoded.row == (1 << 30) - 1
+        assert decoder.shard_of(top) == 1
+        lines = self._lines(decoder)
+        self._parity(decoder, lines, ddr3_model)
+
+    @pytest.mark.parametrize("policy", ["row-bank-column",
+                                        "bank-row-column"])
+    def test_shard_of_matches_flat_bank(self, policy, ddr3_model):
+        decoder = AddressDecoder.from_device(ddr3_model.device,
+                                             policy=policy,
+                                             channel_bits=2,
+                                             rank_bits=1)
+        state = 97
+        mask = (1 << decoder.address_bits) - 1
+        seen = set()
+        for _ in range(500):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            address = (state * 2654435761) & mask
+            decoded = decoder.decode(address)
+            flat = decoder.flat_bank(decoded)
+            assert decoder.shard_of(address) \
+                == flat >> decoder.bank_bits
+            seen.add(decoder.shard_of(address))
+        assert seen == set(range(decoder.num_shards))
+
+    @pytest.mark.parametrize("policy", ["row-bank-column",
+                                        "bank-row-column"])
+    def test_field_layout_matches_decode(self, policy, ddr3_model):
+        decoder = AddressDecoder.from_device(ddr3_model.device,
+                                             policy=policy,
+                                             channel_bits=1,
+                                             rank_bits=2)
+        layout = decoder.field_layout()
+        assert sum(width for _, width in layout.values()) \
+            + decoder.offset_bits == decoder.address_bits
+        address = (1 << decoder.address_bits) - 12345
+        decoded = decoder.decode(address)
+        for name, (shift, width) in layout.items():
+            assert (address >> shift) & ((1 << width) - 1) \
+                == getattr(decoded, name)
+
+
+class TestDetectFormatAmbiguity:
+    """Ambiguous first lines must sniff deterministically — and both
+    parse paths must then agree on the result."""
+
+    def test_three_token_lines_default_to_k6(self):
+        # "READ" is in both vocabularies; k6 wins the tie.
+        assert detect_format("0x100 READ 5") == "k6"
+        assert detect_format("0x100 WRITE 5") == "k6"
+        assert detect_format("0x100 REF 5") == "k6"
+
+    def test_ifetch_selects_mase(self):
+        assert detect_format("0x100 IFETCH 5") == "mase"
+        assert detect_format("0x100 ifetch 5") == "mase"
+
+    def test_json_object_selects_jsonl(self):
+        assert detect_format('{"addr": 256, "op": "read", '
+                             '"cycle": 5}') == "jsonl"
+
+    def test_ambiguous_lines_agree_across_parsers(self, ddr3_model):
+        # Lines legal under both k6 and mase vocabularies must price
+        # identically whichever parser the sniff picks.
+        lines = ["0x100 READ 1", "0x2100 WRITE 2", "0x100 REF 3",
+                 "0x4100 read 4"]
+        decoder = AddressDecoder.from_device(ddr3_model.device)
+
+        def result_for(fmt):
+            records = iter_records(iter(lines), fmt)
+            accumulator = TraceAccumulator(ddr3_model, strict=False)
+            accumulator.feed(commands_from_records(records, decoder))
+            return accumulator.result()
+
+        k6 = result_for("k6")
+        mase = result_for("mase")
+        assert k6.energy == mase.energy
+        assert k6.counts == mase.counts
+
+    def test_sniff_skips_comments(self, tmp_path, ddr3_model):
+        from repro.trace import resolve_trace_format
+        path = tmp_path / "sniff.trc"
+        path.write_text("# mase-style trace\n; more header\n"
+                        "0x100 IFETCH 5\n")
+        assert resolve_trace_format(path) == "mase"
+        assert resolve_trace_format(path, "k6") == "k6"
+        assert resolve_trace_format(path, "auto") == "mase"
+
+    def test_empty_file_defaults_to_k6(self, tmp_path):
+        from repro.trace import resolve_trace_format
+        path = tmp_path / "empty.trc"
+        path.write_text("# only comments\n\n")
+        assert resolve_trace_format(path) == "k6"

@@ -81,3 +81,132 @@ def test_generator_and_list_inputs_agree(device_models):
     from_list = evaluate_trace(model, trace)
     from_generator = evaluate_trace(model, iter(trace))
     _assert_identical(from_list, from_generator)
+
+
+# ----------------------------------------------------------------------
+# Rank-sharded replay: merged shard states == serial one-shot replay.
+# ----------------------------------------------------------------------
+from repro.trace import (AddressDecoder, evaluate_file_sharded,
+                         evaluate_trace_file, fold_file_shards,
+                         iter_records, replay_records_sharded,
+                         resolve_trace_format, shard_assignments)
+from repro.trace.ingest import DEFAULT_CLOCK
+
+
+def _shard_lines(fmt, count, address_bits, seed=11):
+    """Deterministic trace text covering every (channel, rank) shard."""
+    import json as _json
+    lines = []
+    state = seed
+    mask = (1 << address_bits) - 1
+    for i in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        address = (state * 2654435761) & mask
+        if i % 89 == 88:
+            op = "REF"
+        elif state % 3 == 0:
+            op = "WRITE"
+        else:
+            op = "READ"
+        if fmt == "jsonl":
+            lines.append(_json.dumps({"addr": address, "op": op,
+                                      "cycle": i * 4}))
+        else:
+            lines.append(f"0x{address:x} {op} {i * 4}")
+    return lines
+
+
+def _result_key(result):
+    return (result.energy, result.duration, result.counts,
+            result.row_hits, result.row_misses, result.row_conflicts,
+            result.data_bits, result.breakdown.values)
+
+
+class TestShardedReplayParity:
+    @pytest.mark.parametrize("fmt", ["k6", "mase", "jsonl"])
+    @pytest.mark.parametrize("policy", ["row-bank-column",
+                                        "bank-row-column"])
+    def test_shard_fold_merge_matches_serial(self, fmt, policy,
+                                             ddr3_model, tmp_path):
+        """Folding each shard range separately and merging in shard
+        order must reproduce serial replay exactly (in-process, so
+        the whole matrix stays fast)."""
+        from repro.core.trace import TraceAccumulator
+
+        decoder = AddressDecoder.from_device(ddr3_model.device,
+                                             policy=policy,
+                                             channel_bits=1,
+                                             rank_bits=1)
+        lines = _shard_lines(fmt, 1200, decoder.address_bits)
+        path = tmp_path / f"s.{fmt}.trc"
+        path.write_text("\n".join(lines) + "\n")
+        from repro.trace import replay_trace_file
+        serial, backend = replay_trace_file(ddr3_model, path, fmt=fmt,
+                                            decoder=decoder,
+                                            backend="serial")
+        assert backend == "serial"
+        merged = TraceAccumulator(ddr3_model, strict=False)
+        for low, high in shard_assignments(decoder.num_shards, 3):
+            piece = fold_file_shards(ddr3_model, path, fmt, decoder,
+                                     DEFAULT_CLOCK, range(low, high))
+            merged.merge(piece)
+        assert (_result_key(merged.result())
+                == _result_key(serial.result()))
+        assert merged.commands_seen == serial.commands_seen
+
+    def test_process_pool_matches_serial(self, ddr3_model, tmp_path):
+        """One real multi-process run (pools are slow to spawn, so a
+        single pooled case guards the wire format; the in-process
+        matrix above covers the fold/merge algebra)."""
+        decoder = AddressDecoder.from_device(ddr3_model.device,
+                                             channel_bits=1,
+                                             rank_bits=1)
+        lines = _shard_lines("k6", 4000, decoder.address_bits)
+        path = tmp_path / "pool.trc"
+        path.write_text("\n".join(lines) + "\n")
+        serial = evaluate_trace_file(ddr3_model, path,
+                                     decoder=decoder,
+                                     backend="serial")
+        pooled = evaluate_file_sharded(
+            ddr3_model, path, resolve_trace_format(path), decoder,
+            DEFAULT_CLOCK, jobs=2)
+        assert _result_key(pooled.result()) == _result_key(serial)
+
+    def test_sharded_records_match_serial(self, ddr3_model):
+        decoder = AddressDecoder.from_device(ddr3_model.device,
+                                             rank_bits=2)
+        lines = _shard_lines("k6", 1500, decoder.address_bits)
+        records = list(iter_records(iter(lines), "k6"))
+        from repro.trace import accumulate_records
+        serial = accumulate_records(ddr3_model, iter(records),
+                                    decoder=decoder,
+                                    backend="serial")
+        # jobs=1 exercises the single-range in-process path.
+        sharded = replay_records_sharded(ddr3_model, records, decoder,
+                                         DEFAULT_CLOCK, jobs=1)
+        assert (_result_key(sharded.result())
+                == _result_key(serial.result()))
+
+    def test_empty_and_full_shard_ranges(self, ddr3_model, tmp_path):
+        decoder = AddressDecoder.from_device(ddr3_model.device,
+                                             channel_bits=1)
+        lines = _shard_lines("k6", 300, decoder.address_bits)
+        path = tmp_path / "e.trc"
+        path.write_text("\n".join(lines) + "\n")
+        empty = fold_file_shards(ddr3_model, path, "k6", decoder,
+                                 DEFAULT_CLOCK, [])
+        assert empty.commands_seen == 0
+        serial = evaluate_trace_file(ddr3_model, path,
+                                     decoder=decoder,
+                                     backend="serial")
+        full = fold_file_shards(ddr3_model, path, "k6", decoder,
+                                DEFAULT_CLOCK,
+                                range(decoder.num_shards))
+        assert _result_key(full.result()) == _result_key(serial)
+
+    def test_shard_assignments_cover_in_order(self):
+        for shards, workers in ((1, 4), (4, 2), (8, 3), (16, 16)):
+            ranges = shard_assignments(shards, workers)
+            covered = [i for low, high in ranges
+                       for i in range(low, high)]
+            assert covered == list(range(shards))
